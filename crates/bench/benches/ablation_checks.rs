@@ -1,0 +1,116 @@
+//! Ablation: the cost of each individual §V-D verification check, the
+//! cryptographic primitives underneath them, and the effect of response
+//! proof size on client-side verification.
+//!
+//! Not a paper table — this supports the DESIGN.md analysis of where
+//! PARP's client overhead comes from (signature recovery dominates;
+//! Merkle verification scales with proof size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parp_bench::{chain_with_block_of, connected_fixture, read_call, served_exchange};
+use parp_contracts::{payment_digest, ParpRequest, ParpResponse, RpcCall};
+use parp_crypto::{keccak256, recover_address, sign, verify, SecretKey};
+use parp_primitives::U256;
+use std::hint::black_box;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/primitives");
+    let key = SecretKey::from_seed(b"abl");
+    let digest = keccak256(b"ablation message");
+    let signature = sign(&key, &digest);
+    let public = key.public_key();
+    group.bench_function("keccak256_1kb", |b| {
+        let data = vec![0xabu8; 1024];
+        b.iter(|| black_box(keccak256(&data)))
+    });
+    group.bench_function("ecdsa_sign", |b| b.iter(|| black_box(sign(&key, &digest))));
+    group.bench_function("ecdsa_verify", |b| {
+        b.iter(|| assert!(verify(&public, &digest, &signature)))
+    });
+    group.bench_function("ecdsa_recover", |b| {
+        b.iter(|| black_box(recover_address(&digest, &signature).expect("recovers")))
+    });
+    group.finish();
+}
+
+fn bench_individual_checks(c: &mut Criterion) {
+    let (mut net, node, mut client) = connected_fixture();
+    let me = client.address();
+    let (request, response, _) = served_exchange(&mut net, node, &mut client, read_call(me));
+    let header = net.chain().head().header.clone();
+
+    let mut group = c.benchmark_group("ablation/checks");
+    group.bench_function("request_hash_check", |b| {
+        b.iter(|| black_box(request.expected_hash() == request.request_hash))
+    });
+    group.bench_function("response_signature_check", |b| {
+        b.iter(|| black_box(response.signer()))
+    });
+    group.bench_function("channel_id_check", |b| {
+        b.iter(|| black_box(response.channel_id == request.channel_id))
+    });
+    group.bench_function("amount_check", |b| {
+        b.iter(|| black_box(response.amount == request.amount))
+    });
+    group.bench_function("merkle_proof_check", |b| {
+        let key = keccak256(me.as_bytes());
+        b.iter(|| {
+            black_box(
+                parp_trie::verify_proof(header.state_root, key.as_bytes(), &response.proof)
+                    .expect("verifies"),
+            )
+        })
+    });
+    group.bench_function("payment_sig_check", |b| {
+        let digest = payment_digest(request.channel_id, &request.amount);
+        b.iter(|| black_box(recover_address(&digest, &request.payment_sig).expect("recovers")))
+    });
+    group.finish();
+}
+
+fn bench_proof_size_scaling(c: &mut Criterion) {
+    // Client-side Merkle verification cost as the block (and therefore
+    // the proof) grows.
+    let mut group = c.benchmark_group("ablation/verify_by_block_size");
+    let lc = SecretKey::from_seed(b"abl-lc");
+    let fnode = SecretKey::from_seed(b"abl-fn");
+    for &size in &[50usize, 200, 500] {
+        let (chain, _) = chain_with_block_of(size);
+        let block = chain.head().clone();
+        let index = size / 2;
+        let raw = block.transactions[index].encode();
+        let request = ParpRequest::build(
+            &lc,
+            0,
+            block.hash(),
+            U256::from(10u64),
+            RpcCall::SendRawTransaction { raw },
+        );
+        let proof = block.transaction_proof(index).expect("in range");
+        let response = ParpResponse::build(
+            &fnode,
+            &request,
+            block.number(),
+            parp_rlp::encode_u64(index as u64),
+            proof,
+        );
+        let root = block.header.transactions_root;
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            let key = parp_rlp::encode_u64(index as u64);
+            b.iter(|| {
+                black_box(
+                    parp_trie::verify_proof(root, &key, &response.proof).expect("verifies"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_primitives,
+    bench_individual_checks,
+    bench_proof_size_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Figure 6: Merkle proof size as a function of transaction index across
+//! block sizes (paper §VI-C).
+//!
+//! The paper observes (a) proof size grows with block size, (b) ~1150 B
+//! average at 200 transactions, and (c) sawtooth drops at trie radix
+//! boundaries (indices whose RLP key encoding is shorter sit in shallower
+//! branches). Sizes are printed as a CSV series; the timed portion
+//! benches proof generation per block size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parp_bench::chain_with_block_of;
+use std::hint::black_box;
+
+const BLOCK_SIZES: [usize; 6] = [50, 100, 200, 300, 400, 500];
+
+fn print_fig6() {
+    println!("=== Figure 6: Merkle proof size vs transaction index ===");
+    println!("block_size,avg_proof_bytes,min_proof_bytes,max_proof_bytes");
+    for &size in &BLOCK_SIZES {
+        let (chain, _) = chain_with_block_of(size);
+        let block = chain.head();
+        let mut total = 0usize;
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        for index in 0..size {
+            let proof = block.transaction_proof(index).expect("in range");
+            let bytes: usize = proof.iter().map(Vec::len).sum();
+            total += bytes;
+            min = min.min(bytes);
+            max = max.max(bytes);
+        }
+        println!("{size},{},{min},{max}", total / size);
+    }
+    // Index-level series for the 200-tx block (the paper's sawtooth).
+    let (chain, _) = chain_with_block_of(200);
+    let block = chain.head();
+    println!("index_series_200tx(index,proof_bytes):");
+    let series: Vec<String> = (0..200)
+        .map(|index| {
+            let proof = block.transaction_proof(index).expect("in range");
+            let bytes: usize = proof.iter().map(Vec::len).sum();
+            format!("{index}:{bytes}")
+        })
+        .collect();
+    println!("{}", series.join(","));
+}
+
+fn bench_proof_generation(c: &mut Criterion) {
+    print_fig6();
+    let mut group = c.benchmark_group("fig6/proof_generation");
+    group.sample_size(20);
+    for &size in &BLOCK_SIZES {
+        let (chain, _) = chain_with_block_of(size);
+        let block = chain.head().clone();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| black_box(block.transaction_proof(size / 2).expect("in range")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_proof_generation);
+criterion_main!(benches);

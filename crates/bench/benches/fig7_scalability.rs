@@ -1,0 +1,58 @@
+//! Figure 7: CPU and memory of a PARP full node vs a standard node as the
+//! number of concurrent light clients grows (paper §VI-F).
+//!
+//! The paper's full setup (2 req/s × 2 min × up to 20 clients) runs in
+//! the `report` binary; this bench uses a reduced request count per point
+//! so Criterion iterations stay tractable, and prints the resulting
+//! ratio series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parp_net::{run_scalability_point, ScalabilityConfig};
+use std::hint::black_box;
+
+fn config() -> ScalabilityConfig {
+    ScalabilityConfig {
+        requests_per_client: 10,
+        read_fraction: 0.9,
+        seed: 0xF16_7,
+    }
+}
+
+fn print_fig7() {
+    println!("=== Figure 7 (reduced): PARP vs standard node ===");
+    println!("clients,requests,parp_cpu_us,base_cpu_us,cpu_ratio,parp_mem_B,base_mem_B,mem_ratio");
+    for &clients in &[1usize, 5, 10, 20] {
+        let point = run_scalability_point(clients, &config());
+        println!(
+            "{},{},{},{},{:.2},{},{},{:.2}",
+            point.clients,
+            point.requests,
+            point.parp_cpu_us,
+            point.base_cpu_us,
+            point.cpu_ratio(),
+            point.parp_mem_bytes,
+            point.base_mem_bytes,
+            point.mem_ratio()
+        );
+    }
+    println!("(paper at 20 clients: cpu_ratio 3.43, mem_ratio 2.38)");
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    print_fig7();
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    for &clients in &[1usize, 5] {
+        group.bench_with_input(
+            BenchmarkId::new("serve_round", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| black_box(run_scalability_point(clients, &config())));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

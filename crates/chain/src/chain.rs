@@ -1,0 +1,526 @@
+//! The simulated blockchain: deterministic block production over the
+//! pluggable execution layer, with snapshot-backed historical queries and
+//! Merkle proofs — everything a PARP full node needs to serve.
+
+use crate::block::{receipts_trie, Block};
+use crate::exec::{BlockContext, TransactionExecutor};
+use crate::header::Header;
+use crate::receipt::Receipt;
+use crate::state::State;
+use crate::transaction::SignedTransaction;
+use parp_crypto::keccak256;
+use parp_primitives::{Address, H256, U256};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// EVM `BLOCKHASH` visibility window, which bounds fraud-proof freshness
+/// exactly as in the paper's prototype (§VI).
+pub const BLOCK_HASH_WINDOW: u64 = 256;
+
+/// Seconds between consecutive blocks (Ethereum's post-merge slot time).
+pub const BLOCK_INTERVAL: u64 = 12;
+
+/// Errors from block production.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockError {
+    /// A transaction failed pre-execution validation.
+    InvalidTransaction {
+        /// Index within the submitted batch.
+        index: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The block's total gas exceeded the block gas limit.
+    GasLimitExceeded,
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockError::InvalidTransaction { index, reason } => {
+                write!(f, "transaction {index} is invalid: {reason}")
+            }
+            BlockError::GasLimitExceeded => write!(f, "block gas limit exceeded"),
+        }
+    }
+}
+
+impl Error for BlockError {}
+
+/// A deterministic in-process blockchain.
+///
+/// # Examples
+///
+/// ```
+/// use parp_chain::{Blockchain, Transaction, TransferExecutor};
+/// use parp_crypto::SecretKey;
+/// use parp_primitives::{Address, U256};
+///
+/// let alice = SecretKey::from_seed(b"alice");
+/// let mut chain = Blockchain::new(vec![(alice.address(), U256::from(1_000_000u64))]);
+/// let tx = Transaction {
+///     nonce: 0,
+///     gas_price: U256::ZERO,
+///     gas_limit: 21_000,
+///     to: Some(Address::from_low_u64_be(0xb0b)),
+///     value: U256::from(123u64),
+///     data: Vec::new(),
+/// }
+/// .sign(&alice);
+/// chain.produce_block(vec![tx], &mut TransferExecutor).unwrap();
+/// assert_eq!(chain.balance(&Address::from_low_u64_be(0xb0b)), U256::from(123u64));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Blockchain {
+    blocks: Vec<Block>,
+    receipts: Vec<Vec<Receipt>>,
+    snapshots: Vec<State>,
+    state: State,
+    hash_index: HashMap<H256, u64>,
+    tx_index: HashMap<H256, (u64, usize)>,
+    beneficiary: Address,
+    gas_limit: u64,
+    genesis_timestamp: u64,
+}
+
+impl Blockchain {
+    /// Creates a chain whose genesis state holds the given balances.
+    pub fn new<I: IntoIterator<Item = (Address, U256)>>(alloc: I) -> Self {
+        let state = State::with_alloc(alloc);
+        let genesis_timestamp = 1_700_000_000;
+        let genesis = Block {
+            header: Header {
+                parent_hash: H256::ZERO,
+                ommers_hash: keccak256(&[0xc0]),
+                beneficiary: Address::ZERO,
+                state_root: state.state_root(),
+                transactions_root: parp_trie::empty_root(),
+                receipts_root: parp_trie::empty_root(),
+                difficulty: U256::ZERO,
+                number: 0,
+                gas_limit: 30_000_000,
+                gas_used: 0,
+                timestamp: genesis_timestamp,
+                extra_data: b"parp-genesis".to_vec(),
+            },
+            transactions: Vec::new(),
+        };
+        let mut hash_index = HashMap::new();
+        hash_index.insert(genesis.hash(), 0);
+        Blockchain {
+            snapshots: vec![state.clone()],
+            state,
+            receipts: vec![Vec::new()],
+            blocks: vec![genesis],
+            hash_index,
+            tx_index: HashMap::new(),
+            beneficiary: Address::from_low_u64_be(0xbe9ef1c1a97),
+            gas_limit: 30_000_000,
+            genesis_timestamp,
+        }
+    }
+
+    /// Produces and appends a block containing `transactions`.
+    ///
+    /// Each transaction is validated (signature, nonce, gas purchase),
+    /// executed through `executor`, and folded into the block's receipt
+    /// and state roots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockError`] when any transaction fails validation; the
+    /// chain is left unchanged in that case.
+    pub fn produce_block(
+        &mut self,
+        transactions: Vec<SignedTransaction>,
+        executor: &mut dyn TransactionExecutor,
+    ) -> Result<&Block, BlockError> {
+        let parent = self.blocks.last().expect("genesis always present");
+        let number = parent.number() + 1;
+        let window_start = number.saturating_sub(BLOCK_HASH_WINDOW);
+        let recent_hashes: Vec<(u64, H256)> = (window_start..number)
+            .map(|n| (n, self.blocks[n as usize].hash()))
+            .collect();
+        let ctx = BlockContext {
+            number,
+            timestamp: self.genesis_timestamp + number * BLOCK_INTERVAL,
+            beneficiary: self.beneficiary,
+            recent_hashes,
+        };
+        let mut state = self.state.clone();
+        let mut receipts = Vec::with_capacity(transactions.len());
+        let mut cumulative_gas = 0u64;
+        for (index, tx) in transactions.iter().enumerate() {
+            let receipt = Self::apply_transaction(&mut state, &ctx, tx, executor, cumulative_gas)
+                .map_err(|reason| BlockError::InvalidTransaction { index, reason })?;
+            cumulative_gas = receipt.cumulative_gas_used;
+            if cumulative_gas > self.gas_limit {
+                return Err(BlockError::GasLimitExceeded);
+            }
+            receipts.push(receipt);
+        }
+        let transactions_root = {
+            let encoded: Vec<Vec<u8>> =
+                transactions.iter().map(SignedTransaction::encode).collect();
+            parp_trie::ordered_trie(encoded.iter().map(Vec::as_slice)).root_hash()
+        };
+        let block = Block {
+            header: Header {
+                parent_hash: parent.hash(),
+                ommers_hash: keccak256(&[0xc0]),
+                beneficiary: ctx.beneficiary,
+                state_root: state.state_root(),
+                transactions_root,
+                receipts_root: receipts_trie(&receipts).root_hash(),
+                difficulty: U256::ZERO,
+                number,
+                gas_limit: self.gas_limit,
+                gas_used: cumulative_gas,
+                timestamp: ctx.timestamp,
+                extra_data: Vec::new(),
+            },
+            transactions,
+        };
+        self.hash_index.insert(block.hash(), number);
+        for (i, tx) in block.transactions.iter().enumerate() {
+            self.tx_index.insert(tx.hash(), (number, i));
+        }
+        self.state = state.clone();
+        self.snapshots.push(state);
+        self.receipts.push(receipts);
+        self.blocks.push(block);
+        Ok(self.blocks.last().expect("just pushed"))
+    }
+
+    fn apply_transaction(
+        state: &mut State,
+        ctx: &BlockContext,
+        tx: &SignedTransaction,
+        executor: &mut dyn TransactionExecutor,
+        cumulative_gas: u64,
+    ) -> Result<Receipt, String> {
+        let sender = tx
+            .sender()
+            .map_err(|e| format!("sender recovery failed: {e}"))?;
+        let body = tx.tx();
+        let expected_nonce = state.nonce(&sender);
+        if body.nonce != expected_nonce {
+            return Err(format!(
+                "nonce mismatch: expected {expected_nonce}, got {}",
+                body.nonce
+            ));
+        }
+        let intrinsic = body.intrinsic_gas();
+        if body.gas_limit < intrinsic {
+            return Err(format!(
+                "gas limit {} below intrinsic cost {intrinsic}",
+                body.gas_limit
+            ));
+        }
+        // Buy gas up front, like Ethereum.
+        let upfront = body
+            .gas_price
+            .checked_mul(U256::from(body.gas_limit))
+            .ok_or("gas cost overflow")?;
+        if !state.debit(&sender, upfront) {
+            return Err("insufficient funds for gas".to_string());
+        }
+        state.account_mut(sender).nonce += 1;
+        let mut result = executor.execute(state, ctx, tx, sender, intrinsic);
+        if result.gas_used > body.gas_limit {
+            // Out of gas: consume everything, drop effects the executor
+            // reported (executors revert their own state on failure).
+            result.success = false;
+            result.gas_used = body.gas_limit;
+            result.logs.clear();
+        }
+        // Refund unused gas; route the fee to the beneficiary.
+        let refund = body.gas_price * U256::from(body.gas_limit - result.gas_used);
+        state.credit(sender, refund);
+        let fee = body.gas_price * U256::from(result.gas_used);
+        state.credit(ctx.beneficiary, fee);
+        Ok(Receipt {
+            status: result.success as u64,
+            cumulative_gas_used: cumulative_gas + result.gas_used,
+            logs: result.logs,
+        })
+    }
+
+    /// The chain head.
+    pub fn head(&self) -> &Block {
+        self.blocks.last().expect("genesis always present")
+    }
+
+    /// Current chain height.
+    pub fn height(&self) -> u64 {
+        self.head().number()
+    }
+
+    /// Block by height.
+    pub fn block(&self, number: u64) -> Option<&Block> {
+        self.blocks.get(number as usize)
+    }
+
+    /// Block by hash.
+    pub fn block_by_hash(&self, hash: &H256) -> Option<&Block> {
+        self.hash_index.get(hash).and_then(|&n| self.block(n))
+    }
+
+    /// Height of a block hash, if known.
+    pub fn block_number_by_hash(&self, hash: &H256) -> Option<u64> {
+        self.hash_index.get(hash).copied()
+    }
+
+    /// The hash of block `number` *if it lies within the 256-block
+    /// `BLOCKHASH` window* of the head — the same visibility constraint
+    /// the paper's on-chain fraud verification relies on.
+    pub fn recent_block_hash(&self, number: u64) -> Option<H256> {
+        let head = self.height();
+        if number > head || head.saturating_sub(number) >= BLOCK_HASH_WINDOW {
+            return None;
+        }
+        self.block(number).map(Block::hash)
+    }
+
+    /// Receipts for block `number`.
+    pub fn receipts(&self, number: u64) -> Option<&[Receipt]> {
+        self.receipts.get(number as usize).map(Vec::as_slice)
+    }
+
+    /// The state snapshot *after* executing block `number`.
+    pub fn state_at(&self, number: u64) -> Option<&State> {
+        self.snapshots.get(number as usize)
+    }
+
+    /// The current world state.
+    pub fn state(&self) -> &State {
+        &self.state
+    }
+
+    /// Current balance of an address.
+    pub fn balance(&self, address: &Address) -> U256 {
+        self.state.balance(address)
+    }
+
+    /// Current nonce of an address.
+    pub fn nonce(&self, address: &Address) -> u64 {
+        self.state.nonce(address)
+    }
+
+    /// Locates a transaction by hash: `(block number, index)`.
+    pub fn transaction_location(&self, hash: &H256) -> Option<(u64, usize)> {
+        self.tx_index.get(hash).copied()
+    }
+
+    /// Account Merkle proof at a given block height, verifiable against
+    /// that block's `state_root`.
+    pub fn account_proof_at(&self, address: &Address, number: u64) -> Option<Vec<Vec<u8>>> {
+        self.state_at(number).map(|s| s.account_proof(address))
+    }
+
+    /// Transaction inclusion proof, verifiable against the block's
+    /// `transactions_root`.
+    pub fn transaction_proof(&self, number: u64, index: usize) -> Option<Vec<Vec<u8>>> {
+        self.block(number).and_then(|b| b.transaction_proof(index))
+    }
+
+    /// Receipt inclusion proof, verifiable against the block's
+    /// `receipts_root`.
+    pub fn receipt_proof(&self, number: u64, index: usize) -> Option<Vec<Vec<u8>>> {
+        let receipts = self.receipts(number)?;
+        if index >= receipts.len() {
+            return None;
+        }
+        Some(receipts_trie(receipts).prove(&parp_rlp::encode_u64(index as u64)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::TransferExecutor;
+    use crate::transaction::Transaction;
+    use parp_crypto::SecretKey;
+
+    fn funded_chain() -> (Blockchain, SecretKey) {
+        let key = SecretKey::from_seed(b"rich");
+        let chain = Blockchain::new(vec![(
+            key.address(),
+            U256::from(10u64) * U256::from(1_000_000_000_000_000_000u64),
+        )]);
+        (chain, key)
+    }
+
+    fn transfer(key: &SecretKey, nonce: u64, to: u64, value: u64) -> SignedTransaction {
+        Transaction {
+            nonce,
+            gas_price: U256::from(12_000_000_000u64),
+            gas_limit: 21_000,
+            to: Some(Address::from_low_u64_be(to)),
+            value: U256::from(value),
+            data: Vec::new(),
+        }
+        .sign(key)
+    }
+
+    #[test]
+    fn genesis_is_block_zero() {
+        let (chain, _) = funded_chain();
+        assert_eq!(chain.height(), 0);
+        assert_eq!(chain.head().number(), 0);
+        assert_eq!(chain.head().header.parent_hash, H256::ZERO);
+    }
+
+    #[test]
+    fn produce_block_links_parent() {
+        let (mut chain, key) = funded_chain();
+        let genesis_hash = chain.head().hash();
+        chain
+            .produce_block(vec![transfer(&key, 0, 2, 100)], &mut TransferExecutor)
+            .unwrap();
+        assert_eq!(chain.height(), 1);
+        assert_eq!(chain.head().header.parent_hash, genesis_hash);
+        assert_eq!(chain.balance(&Address::from_low_u64_be(2)), U256::from(100u64));
+    }
+
+    #[test]
+    fn fees_flow_to_beneficiary() {
+        let (mut chain, key) = funded_chain();
+        let before = chain.balance(&chain.beneficiary);
+        chain
+            .produce_block(vec![transfer(&key, 0, 2, 100)], &mut TransferExecutor)
+            .unwrap();
+        let after = chain.balance(&chain.beneficiary);
+        assert_eq!(
+            after - before,
+            U256::from(21_000u64) * U256::from(12_000_000_000u64)
+        );
+    }
+
+    #[test]
+    fn bad_nonce_rejects_block() {
+        let (mut chain, key) = funded_chain();
+        let err = chain
+            .produce_block(vec![transfer(&key, 5, 2, 100)], &mut TransferExecutor)
+            .unwrap_err();
+        assert!(matches!(err, BlockError::InvalidTransaction { index: 0, .. }));
+        assert_eq!(chain.height(), 0, "chain unchanged after rejection");
+    }
+
+    #[test]
+    fn insufficient_gas_funds_rejected() {
+        let key = SecretKey::from_seed(b"poor");
+        let mut chain = Blockchain::new(vec![(key.address(), U256::from(100u64))]);
+        let err = chain
+            .produce_block(vec![transfer(&key, 0, 2, 1)], &mut TransferExecutor)
+            .unwrap_err();
+        assert!(matches!(err, BlockError::InvalidTransaction { .. }));
+    }
+
+    #[test]
+    fn failed_transfer_still_charges_gas() {
+        let key = SecretKey::from_seed(b"gas-only");
+        // Enough for gas but not for the value.
+        let gas_budget = U256::from(21_000u64) * U256::from(12_000_000_000u64);
+        let mut chain = Blockchain::new(vec![(key.address(), gas_budget + U256::from(5u64))]);
+        chain
+            .produce_block(vec![transfer(&key, 0, 2, 1_000)], &mut TransferExecutor)
+            .unwrap();
+        let receipts = chain.receipts(1).unwrap();
+        assert_eq!(receipts[0].status, 0);
+        assert_eq!(chain.balance(&key.address()), U256::from(5u64));
+        assert_eq!(chain.balance(&Address::from_low_u64_be(2)), U256::ZERO);
+    }
+
+    #[test]
+    fn lookups_by_hash_and_number() {
+        let (mut chain, key) = funded_chain();
+        let tx = transfer(&key, 0, 2, 7);
+        let tx_hash = tx.hash();
+        chain.produce_block(vec![tx], &mut TransferExecutor).unwrap();
+        let head_hash = chain.head().hash();
+        assert_eq!(chain.block_by_hash(&head_hash).unwrap().number(), 1);
+        assert_eq!(chain.transaction_location(&tx_hash), Some((1, 0)));
+        assert_eq!(chain.block_number_by_hash(&head_hash), Some(1));
+    }
+
+    #[test]
+    fn recent_hash_window() {
+        let (mut chain, key) = funded_chain();
+        let mut nonce = 0;
+        for _ in 0..300 {
+            chain
+                .produce_block(vec![transfer(&key, nonce, 2, 1)], &mut TransferExecutor)
+                .unwrap();
+            nonce += 1;
+        }
+        assert_eq!(chain.height(), 300);
+        assert!(chain.recent_block_hash(300).is_some());
+        assert!(chain.recent_block_hash(45).is_some()); // 300 - 45 = 255 < 256
+        assert!(chain.recent_block_hash(44).is_none()); // 300 - 44 = 256
+        assert!(chain.recent_block_hash(301).is_none()); // future
+    }
+
+    #[test]
+    fn historical_state_is_frozen() {
+        let (mut chain, key) = funded_chain();
+        chain
+            .produce_block(vec![transfer(&key, 0, 2, 100)], &mut TransferExecutor)
+            .unwrap();
+        chain
+            .produce_block(vec![transfer(&key, 1, 2, 50)], &mut TransferExecutor)
+            .unwrap();
+        let to = Address::from_low_u64_be(2);
+        assert_eq!(chain.state_at(0).unwrap().balance(&to), U256::ZERO);
+        assert_eq!(chain.state_at(1).unwrap().balance(&to), U256::from(100u64));
+        assert_eq!(chain.state_at(2).unwrap().balance(&to), U256::from(150u64));
+    }
+
+    #[test]
+    fn proofs_verify_against_headers() {
+        let (mut chain, key) = funded_chain();
+        let txs: Vec<SignedTransaction> =
+            (0..10).map(|i| transfer(&key, i, 2, i + 1)).collect();
+        chain.produce_block(txs, &mut TransferExecutor).unwrap();
+        let header = &chain.block(1).unwrap().header.clone();
+
+        // Account proof against the state root.
+        let proof = chain.account_proof_at(&key.address(), 1).unwrap();
+        let account_key = keccak256(key.address().as_bytes());
+        let value = parp_trie::verify_proof(header.state_root, account_key.as_bytes(), &proof)
+            .unwrap()
+            .unwrap();
+        let account = crate::account::Account::decode(&value).unwrap();
+        assert_eq!(account.nonce, 10);
+
+        // Transaction proof against the transactions root.
+        let tx_proof = chain.transaction_proof(1, 4).unwrap();
+        let tx_key = parp_rlp::encode_u64(4);
+        let tx_value =
+            parp_trie::verify_proof(header.transactions_root, &tx_key, &tx_proof)
+                .unwrap()
+                .unwrap();
+        assert_eq!(tx_value, chain.block(1).unwrap().transactions[4].encode());
+
+        // Receipt proof against the receipts root.
+        let receipt_proof = chain.receipt_proof(1, 4).unwrap();
+        let receipt_value =
+            parp_trie::verify_proof(header.receipts_root, &tx_key, &receipt_proof)
+                .unwrap()
+                .unwrap();
+        let receipt = Receipt::decode(&receipt_value).unwrap();
+        assert!(receipt.is_success());
+    }
+
+    #[test]
+    fn state_roots_differ_across_blocks() {
+        let (mut chain, key) = funded_chain();
+        let root0 = chain.block(0).unwrap().header.state_root;
+        chain
+            .produce_block(vec![transfer(&key, 0, 2, 100)], &mut TransferExecutor)
+            .unwrap();
+        let root1 = chain.block(1).unwrap().header.state_root;
+        assert_ne!(root0, root1);
+    }
+}

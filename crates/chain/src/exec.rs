@@ -1,0 +1,209 @@
+//! Transaction execution: the pluggable state-transition function.
+//!
+//! The chain core handles sender recovery, nonce and gas-purchase
+//! bookkeeping; a [`TransactionExecutor`] decides what the transaction
+//! *does*. The default [`TransferExecutor`] implements plain value
+//! transfers; `parp-contracts` layers the PARP on-chain modules on top by
+//! intercepting calls to module addresses.
+
+use crate::receipt::Log;
+use crate::state::State;
+use crate::transaction::SignedTransaction;
+use parp_primitives::{Address, H256};
+
+/// Block-level execution context passed to executors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockContext {
+    /// Height of the block being produced.
+    pub number: u64,
+    /// Timestamp of the block being produced.
+    pub timestamp: u64,
+    /// Fee recipient.
+    pub beneficiary: Address,
+    /// Hashes of the most recent ancestor blocks, oldest first, ending
+    /// with the parent. Mirrors the EVM `BLOCKHASH` 256-block window that
+    /// the paper's fraud-proof contract relies on (§VI).
+    pub recent_hashes: Vec<(u64, H256)>,
+}
+
+impl BlockContext {
+    /// A context with no ancestor hashes (unit tests, genesis).
+    pub fn bare(number: u64, timestamp: u64, beneficiary: Address) -> Self {
+        BlockContext {
+            number,
+            timestamp,
+            beneficiary,
+            recent_hashes: Vec::new(),
+        }
+    }
+
+    /// `BLOCKHASH(number)`: the hash of an ancestor within the window.
+    pub fn block_hash(&self, number: u64) -> Option<H256> {
+        self.recent_hashes
+            .iter()
+            .find(|(n, _)| *n == number)
+            .map(|(_, h)| *h)
+    }
+
+    /// Reverse lookup: the height of a recent ancestor hash, the
+    /// `getBlockHeightByHash` primitive from Algorithm 2.
+    pub fn block_height_by_hash(&self, hash: &H256) -> Option<u64> {
+        self.recent_hashes
+            .iter()
+            .find(|(_, h)| h == hash)
+            .map(|(n, _)| *n)
+    }
+}
+
+/// Outcome of executing one transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionResult {
+    /// `true` when the transaction succeeded.
+    pub success: bool,
+    /// Total gas consumed, *including* intrinsic gas. Clamped to the
+    /// transaction's gas limit by the chain.
+    pub gas_used: u64,
+    /// Logs emitted during execution.
+    pub logs: Vec<Log>,
+    /// Return data (module call results; empty for transfers).
+    pub output: Vec<u8>,
+}
+
+impl ExecutionResult {
+    /// A successful result consuming exactly `gas_used`.
+    pub fn success(gas_used: u64) -> Self {
+        ExecutionResult {
+            success: true,
+            gas_used,
+            logs: Vec::new(),
+            output: Vec::new(),
+        }
+    }
+
+    /// A failed (reverted) result consuming `gas_used`.
+    pub fn failure(gas_used: u64) -> Self {
+        ExecutionResult {
+            success: false,
+            gas_used,
+            logs: Vec::new(),
+            output: Vec::new(),
+        }
+    }
+}
+
+/// The pluggable state-transition function applied to each transaction.
+///
+/// Implementations receive the post-nonce-increment, post-gas-purchase
+/// state. The transferred `value` has *not* been moved yet; moving it (and
+/// reverting on failure) is the executor's responsibility.
+pub trait TransactionExecutor {
+    /// Executes `tx` from `sender` against `state`.
+    ///
+    /// `intrinsic_gas` is the already-computed base cost; the returned
+    /// [`ExecutionResult::gas_used`] must include it.
+    fn execute(
+        &mut self,
+        state: &mut State,
+        ctx: &BlockContext,
+        tx: &SignedTransaction,
+        sender: Address,
+        intrinsic_gas: u64,
+    ) -> ExecutionResult;
+}
+
+/// The default executor: plain value transfers, no contract semantics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransferExecutor;
+
+impl TransactionExecutor for TransferExecutor {
+    fn execute(
+        &mut self,
+        state: &mut State,
+        _ctx: &BlockContext,
+        tx: &SignedTransaction,
+        sender: Address,
+        intrinsic_gas: u64,
+    ) -> ExecutionResult {
+        let Some(to) = tx.tx().to else {
+            // Contract creation is not supported by the transfer executor.
+            return ExecutionResult::failure(intrinsic_gas);
+        };
+        if state.transfer(&sender, to, tx.tx().value) {
+            ExecutionResult::success(intrinsic_gas)
+        } else {
+            ExecutionResult::failure(intrinsic_gas)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::Transaction;
+    use parp_crypto::SecretKey;
+    use parp_primitives::U256;
+
+    fn ctx() -> BlockContext {
+        BlockContext::bare(1, 1_700_000_000, Address::from_low_u64_be(0xfee))
+    }
+
+    #[test]
+    fn transfer_moves_value() {
+        let key = SecretKey::from_seed(b"sender");
+        let mut state = State::new();
+        state.credit(key.address(), U256::from(1_000u64));
+        let tx = Transaction {
+            nonce: 0,
+            gas_price: U256::ZERO,
+            gas_limit: 21_000,
+            to: Some(Address::from_low_u64_be(2)),
+            value: U256::from(400u64),
+            data: Vec::new(),
+        }
+        .sign(&key);
+        let result =
+            TransferExecutor.execute(&mut state, &ctx(), &tx, key.address(), 21_000);
+        assert!(result.success);
+        assert_eq!(state.balance(&Address::from_low_u64_be(2)), U256::from(400u64));
+        assert_eq!(state.balance(&key.address()), U256::from(600u64));
+    }
+
+    #[test]
+    fn insufficient_funds_fail_without_moving_value() {
+        let key = SecretKey::from_seed(b"sender");
+        let mut state = State::new();
+        state.credit(key.address(), U256::from(10u64));
+        let tx = Transaction {
+            nonce: 0,
+            gas_price: U256::ZERO,
+            gas_limit: 21_000,
+            to: Some(Address::from_low_u64_be(2)),
+            value: U256::from(400u64),
+            data: Vec::new(),
+        }
+        .sign(&key);
+        let result =
+            TransferExecutor.execute(&mut state, &ctx(), &tx, key.address(), 21_000);
+        assert!(!result.success);
+        assert_eq!(result.gas_used, 21_000);
+        assert_eq!(state.balance(&key.address()), U256::from(10u64));
+    }
+
+    #[test]
+    fn creation_unsupported() {
+        let key = SecretKey::from_seed(b"sender");
+        let mut state = State::new();
+        let tx = Transaction {
+            nonce: 0,
+            gas_price: U256::ZERO,
+            gas_limit: 50_000,
+            to: None,
+            value: U256::ZERO,
+            data: vec![1, 2, 3],
+        }
+        .sign(&key);
+        let result =
+            TransferExecutor.execute(&mut state, &ctx(), &tx, key.address(), 21_048);
+        assert!(!result.success);
+    }
+}

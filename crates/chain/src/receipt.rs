@@ -1,0 +1,139 @@
+//! Transaction receipts and logs, RLP-encoded into the receipt trie.
+
+use parp_primitives::{Address, H256};
+use parp_rlp::{
+    decode_list_of, encode_address, encode_bytes, encode_h256, encode_list, encode_u64,
+    DecodeError,
+};
+
+/// An event log emitted during transaction execution.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Log {
+    /// Emitting contract (module) address.
+    pub address: Address,
+    /// Indexed topics.
+    pub topics: Vec<H256>,
+    /// Unindexed payload.
+    pub data: Vec<u8>,
+}
+
+impl Log {
+    /// RLP encoding `[address, [topics...], data]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let topics: Vec<Vec<u8>> = self.topics.iter().map(encode_h256).collect();
+        encode_list(&[
+            encode_address(&self.address),
+            encode_list(&topics),
+            encode_bytes(&self.data),
+        ])
+    }
+
+    /// Decodes a log record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when the structure is not a 3-item log.
+    pub fn decode_item(item: &parp_rlp::Item) -> Result<Self, DecodeError> {
+        let fields = item.as_list()?;
+        if fields.len() != 3 {
+            return Err(DecodeError::WrongArity {
+                expected: 3,
+                actual: fields.len(),
+            });
+        }
+        let topics = fields[1]
+            .as_list()?
+            .iter()
+            .map(|t| t.as_h256())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Log {
+            address: fields[0].as_address()?,
+            topics,
+            data: fields[2].as_bytes()?.to_vec(),
+        })
+    }
+}
+
+/// A transaction receipt: execution status, gas accounting and logs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Receipt {
+    /// 1 on success, 0 on failure (post-Byzantium status encoding).
+    pub status: u64,
+    /// Total gas used in the block up to and including this transaction.
+    pub cumulative_gas_used: u64,
+    /// Logs emitted by this transaction.
+    pub logs: Vec<Log>,
+}
+
+impl Receipt {
+    /// RLP encoding `[status, cumulativeGasUsed, [logs...]]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let logs: Vec<Vec<u8>> = self.logs.iter().map(Log::encode).collect();
+        encode_list(&[
+            encode_u64(self.status),
+            encode_u64(self.cumulative_gas_used),
+            encode_list(&logs),
+        ])
+    }
+
+    /// Decodes a receipt-trie entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on a malformed receipt structure.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let items = decode_list_of(bytes, 3)?;
+        let logs = items[2]
+            .as_list()?
+            .iter()
+            .map(Log::decode_item)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Receipt {
+            status: items[0].as_u64()?,
+            cumulative_gas_used: items[1].as_u64()?,
+            logs,
+        })
+    }
+
+    /// Returns `true` when the transaction succeeded.
+    pub fn is_success(&self) -> bool {
+        self.status == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn receipt_roundtrip() {
+        let receipt = Receipt {
+            status: 1,
+            cumulative_gas_used: 53_000,
+            logs: vec![Log {
+                address: Address::from_low_u64_be(5),
+                topics: vec![H256::from_low_u64_be(1), H256::from_low_u64_be(2)],
+                data: vec![1, 2, 3],
+            }],
+        };
+        assert_eq!(Receipt::decode(&receipt.encode()).unwrap(), receipt);
+        assert!(receipt.is_success());
+    }
+
+    #[test]
+    fn failed_receipt() {
+        let receipt = Receipt {
+            status: 0,
+            cumulative_gas_used: 21_000,
+            logs: Vec::new(),
+        };
+        assert!(!receipt.is_success());
+        assert_eq!(Receipt::decode(&receipt.encode()).unwrap(), receipt);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Receipt::decode(&[0x01, 0x02]).is_err());
+        assert!(Receipt::decode(&parp_rlp::encode_bytes(b"nope")).is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! World state: accounts keyed by address, committed to a secure Merkle
+//! Patricia Trie (keys are `keccak256(address)`, as in Ethereum).
+
+use crate::account::Account;
+use parp_crypto::keccak256;
+use parp_primitives::{Address, H256, U256};
+use parp_trie::Trie;
+use std::collections::BTreeMap;
+
+/// The world state at a point in time.
+///
+/// # Examples
+///
+/// ```
+/// use parp_chain::State;
+/// use parp_primitives::{Address, U256};
+///
+/// let mut state = State::new();
+/// let alice = Address::from_low_u64_be(1);
+/// state.credit(alice, U256::from(100u64));
+/// assert_eq!(state.balance(&alice), U256::from(100u64));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct State {
+    accounts: BTreeMap<Address, Account>,
+}
+
+impl State {
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        State {
+            accounts: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a state pre-funded with the given balances.
+    pub fn with_alloc<I: IntoIterator<Item = (Address, U256)>>(alloc: I) -> Self {
+        let mut state = State::new();
+        for (address, balance) in alloc {
+            state.accounts.insert(address, Account::with_balance(balance));
+        }
+        state
+    }
+
+    /// Looks up an account.
+    pub fn account(&self, address: &Address) -> Option<&Account> {
+        self.accounts.get(address)
+    }
+
+    /// Returns a mutable account record, creating a default one on first
+    /// touch.
+    pub fn account_mut(&mut self, address: Address) -> &mut Account {
+        self.accounts.entry(address).or_default()
+    }
+
+    /// The balance of an address (zero for absent accounts).
+    pub fn balance(&self, address: &Address) -> U256 {
+        self.accounts
+            .get(address)
+            .map(|a| a.balance)
+            .unwrap_or(U256::ZERO)
+    }
+
+    /// The nonce of an address (zero for absent accounts).
+    pub fn nonce(&self, address: &Address) -> u64 {
+        self.accounts.get(address).map(|a| a.nonce).unwrap_or(0)
+    }
+
+    /// Adds `amount` to an address, creating the account if needed.
+    pub fn credit(&mut self, address: Address, amount: U256) {
+        let account = self.account_mut(address);
+        account.balance = account.balance.saturating_add(amount);
+    }
+
+    /// Removes `amount` from an address.
+    ///
+    /// Returns `false` (leaving the balance untouched) when funds are
+    /// insufficient.
+    #[must_use]
+    pub fn debit(&mut self, address: &Address, amount: U256) -> bool {
+        match self.accounts.get_mut(address) {
+            Some(account) => match account.balance.checked_sub(amount) {
+                Some(rest) => {
+                    account.balance = rest;
+                    true
+                }
+                None => false,
+            },
+            None => amount.is_zero(),
+        }
+    }
+
+    /// Moves `amount` from `from` to `to`; `false` on insufficient funds.
+    #[must_use]
+    pub fn transfer(&mut self, from: &Address, to: Address, amount: U256) -> bool {
+        if !self.debit(from, amount) {
+            return false;
+        }
+        self.credit(to, amount);
+        true
+    }
+
+    /// Number of touched accounts.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Returns `true` when no accounts exist.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    /// Iterates over `(address, account)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Address, &Account)> {
+        self.accounts.iter()
+    }
+
+    /// Builds the secure state trie: `keccak256(address) → rlp(account)`.
+    pub fn build_trie(&self) -> Trie {
+        let mut trie = Trie::new();
+        for (address, account) in &self.accounts {
+            trie.insert(
+                keccak256(address.as_bytes()).as_bytes().to_vec(),
+                account.encode(),
+            );
+        }
+        trie
+    }
+
+    /// The state root committed into block headers.
+    pub fn state_root(&self) -> H256 {
+        self.build_trie().root_hash()
+    }
+
+    /// Merkle proof for an account (inclusion or exclusion), verifiable
+    /// against [`State::state_root`] with the key `keccak256(address)`.
+    pub fn account_proof(&self, address: &Address) -> Vec<Vec<u8>> {
+        self.build_trie().prove(keccak256(address.as_bytes()).as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parp_trie::verify_proof;
+
+    fn addr(n: u64) -> Address {
+        Address::from_low_u64_be(n)
+    }
+
+    #[test]
+    fn empty_state_has_empty_root() {
+        assert_eq!(State::new().state_root(), parp_trie::empty_root());
+    }
+
+    #[test]
+    fn credit_debit_transfer() {
+        let mut state = State::new();
+        state.credit(addr(1), U256::from(100u64));
+        assert!(state.debit(&addr(1), U256::from(30u64)));
+        assert!(!state.debit(&addr(1), U256::from(1000u64)));
+        assert!(state.transfer(&addr(1), addr(2), U256::from(70u64)));
+        assert_eq!(state.balance(&addr(1)), U256::ZERO);
+        assert_eq!(state.balance(&addr(2)), U256::from(70u64));
+        assert!(!state.transfer(&addr(1), addr(2), U256::ONE));
+        // Debiting zero from a missing account is fine.
+        assert!(state.debit(&addr(9), U256::ZERO));
+        assert!(!state.debit(&addr(9), U256::ONE));
+    }
+
+    #[test]
+    fn root_reflects_balances() {
+        let mut a = State::new();
+        a.credit(addr(1), U256::from(5u64));
+        let mut b = State::new();
+        b.credit(addr(1), U256::from(6u64));
+        assert_ne!(a.state_root(), b.state_root());
+        let _ = b.debit(&addr(1), U256::ONE);
+        assert_eq!(a.state_root(), b.state_root());
+    }
+
+    #[test]
+    fn account_proof_verifies_against_root() {
+        let mut state = State::new();
+        for i in 1..50u64 {
+            state.credit(addr(i), U256::from(i * 1000));
+        }
+        let root = state.state_root();
+        let proof = state.account_proof(&addr(7));
+        let key = keccak256(addr(7).as_bytes());
+        let value = verify_proof(root, key.as_bytes(), &proof).unwrap().unwrap();
+        let account = Account::decode(&value).unwrap();
+        assert_eq!(account.balance, U256::from(7000u64));
+    }
+
+    #[test]
+    fn absent_account_proof_is_exclusion() {
+        let mut state = State::new();
+        state.credit(addr(1), U256::ONE);
+        let root = state.state_root();
+        let proof = state.account_proof(&addr(999));
+        let key = keccak256(addr(999).as_bytes());
+        assert_eq!(verify_proof(root, key.as_bytes(), &proof).unwrap(), None);
+    }
+
+    #[test]
+    fn alloc_constructor() {
+        let state = State::with_alloc([(addr(1), U256::ONE), (addr(2), U256::from(2u64))]);
+        assert_eq!(state.len(), 2);
+        assert_eq!(state.balance(&addr(2)), U256::from(2u64));
+    }
+}

@@ -1,0 +1,309 @@
+//! Transactions: legacy-format Ethereum transactions with ECDSA signatures
+//! and sender recovery.
+
+use parp_crypto::{keccak256, recover_address, sign, SecretKey, Signature, SignatureError};
+use parp_primitives::{Address, H256, U256};
+use parp_rlp::{
+    decode_list_of, encode_address, encode_bytes, encode_list, encode_u256, encode_u64,
+    DecodeError, Item,
+};
+use std::error::Error;
+use std::fmt;
+
+/// An unsigned transaction body (legacy format, pre-EIP-155).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Sender nonce.
+    pub nonce: u64,
+    /// Price per unit of gas, in wei.
+    pub gas_price: U256,
+    /// Maximum gas the sender buys for this transaction.
+    pub gas_limit: u64,
+    /// Recipient; `None` denotes contract creation.
+    pub to: Option<Address>,
+    /// Value transferred, in wei.
+    pub value: U256,
+    /// Call data.
+    pub data: Vec<u8>,
+}
+
+impl Transaction {
+    /// The digest that is signed: `keccak256(rlp([nonce, gasPrice,
+    /// gasLimit, to, value, data]))`.
+    pub fn signing_hash(&self) -> H256 {
+        keccak256(&encode_list(&[
+            encode_u64(self.nonce),
+            encode_u256(&self.gas_price),
+            encode_u64(self.gas_limit),
+            match &self.to {
+                Some(addr) => encode_address(addr),
+                None => encode_bytes(&[]),
+            },
+            encode_u256(&self.value),
+            encode_bytes(&self.data),
+        ]))
+    }
+
+    /// Signs the transaction with `secret`.
+    pub fn sign(self, secret: &SecretKey) -> SignedTransaction {
+        let signature = sign(secret, &self.signing_hash());
+        SignedTransaction {
+            tx: self,
+            signature,
+        }
+    }
+
+    /// Intrinsic gas: the 21000 base cost plus calldata costs
+    /// (16 gas per nonzero byte, 4 per zero byte — EIP-2028 rates).
+    pub fn intrinsic_gas(&self) -> u64 {
+        let data_cost: u64 = self
+            .data
+            .iter()
+            .map(|&b| if b == 0 { 4u64 } else { 16 })
+            .sum();
+        21_000 + data_cost
+    }
+}
+
+/// Errors from decoding or validating signed transactions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransactionError {
+    /// The RLP structure was malformed.
+    Decode(DecodeError),
+    /// The signature was out of range or recovery failed.
+    Signature(SignatureError),
+}
+
+impl fmt::Display for TransactionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransactionError::Decode(e) => write!(f, "transaction decode failed: {e}"),
+            TransactionError::Signature(e) => write!(f, "transaction signature invalid: {e}"),
+        }
+    }
+}
+
+impl Error for TransactionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TransactionError::Decode(e) => Some(e),
+            TransactionError::Signature(e) => Some(e),
+        }
+    }
+}
+
+impl From<DecodeError> for TransactionError {
+    fn from(e: DecodeError) -> Self {
+        TransactionError::Decode(e)
+    }
+}
+
+impl From<SignatureError> for TransactionError {
+    fn from(e: SignatureError) -> Self {
+        TransactionError::Signature(e)
+    }
+}
+
+/// A signed transaction: the unit stored in blocks and the transaction
+/// trie.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedTransaction {
+    tx: Transaction,
+    signature: Signature,
+}
+
+impl SignedTransaction {
+    /// The transaction body.
+    pub fn tx(&self) -> &Transaction {
+        &self.tx
+    }
+
+    /// The signature.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// The canonical RLP encoding
+    /// `[nonce, gasPrice, gasLimit, to, value, data, v, r, s]`.
+    pub fn encode(&self) -> Vec<u8> {
+        encode_list(&[
+            encode_u64(self.tx.nonce),
+            encode_u256(&self.tx.gas_price),
+            encode_u64(self.tx.gas_limit),
+            match &self.tx.to {
+                Some(addr) => encode_address(addr),
+                None => encode_bytes(&[]),
+            },
+            encode_u256(&self.tx.value),
+            encode_bytes(&self.tx.data),
+            encode_u64(self.signature.v() as u64 + 27),
+            encode_bytes(strip_leading_zeros(self.signature.r_bytes())),
+            encode_bytes(strip_leading_zeros(self.signature.s_bytes())),
+        ])
+    }
+
+    /// Decodes and validates a signed transaction.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed RLP or non-canonical signature components.
+    pub fn decode(bytes: &[u8]) -> Result<Self, TransactionError> {
+        let items = decode_list_of(bytes, 9)?;
+        let to = match &items[3] {
+            Item::Bytes(b) if b.is_empty() => None,
+            item => Some(item.as_address()?),
+        };
+        let tx = Transaction {
+            nonce: items[0].as_u64()?,
+            gas_price: items[1].as_u256()?,
+            gas_limit: items[2].as_u64()?,
+            to,
+            value: items[4].as_u256()?,
+            data: items[5].as_bytes()?.to_vec(),
+        };
+        let v_raw = items[6].as_u64()?;
+        if !(27..=28).contains(&v_raw) {
+            return Err(TransactionError::Signature(
+                SignatureError::InvalidRecoveryId,
+            ));
+        }
+        let mut sig_bytes = [0u8; 65];
+        let r = items[7].as_bytes()?;
+        let s = items[8].as_bytes()?;
+        if r.len() > 32 || s.len() > 32 {
+            return Err(TransactionError::Signature(
+                SignatureError::InvalidComponent,
+            ));
+        }
+        sig_bytes[32 - r.len()..32].copy_from_slice(r);
+        sig_bytes[64 - s.len()..64].copy_from_slice(s);
+        sig_bytes[64] = (v_raw - 27) as u8;
+        let signature = Signature::from_bytes(&sig_bytes)?;
+        Ok(SignedTransaction { tx, signature })
+    }
+
+    /// The transaction hash: `keccak256` of the signed encoding.
+    pub fn hash(&self) -> H256 {
+        keccak256(&self.encode())
+    }
+
+    /// Recovers the sender address from the signature.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the signature does not recover to a valid public key.
+    pub fn sender(&self) -> Result<Address, SignatureError> {
+        recover_address(&self.tx.signing_hash(), &self.signature)
+    }
+}
+
+fn strip_leading_zeros(bytes: &[u8; 32]) -> &[u8] {
+    let first = bytes.iter().position(|&b| b != 0).unwrap_or(31);
+    &bytes[first..]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tx(nonce: u64) -> Transaction {
+        Transaction {
+            nonce,
+            gas_price: U256::from(12_000_000_000u64),
+            gas_limit: 21_000,
+            to: Some(Address::from_low_u64_be(0xbeef)),
+            value: U256::from(1_000_000u64),
+            data: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn sign_and_recover() {
+        let key = SecretKey::from_seed(b"tx-sender");
+        let signed = sample_tx(0).sign(&key);
+        assert_eq!(signed.sender().unwrap(), key.address());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let key = SecretKey::from_seed(b"tx-sender");
+        let mut tx = sample_tx(3);
+        tx.data = vec![0, 1, 2, 0, 255];
+        let signed = tx.sign(&key);
+        let decoded = SignedTransaction::decode(&signed.encode()).unwrap();
+        assert_eq!(decoded, signed);
+        assert_eq!(decoded.hash(), signed.hash());
+        assert_eq!(decoded.sender().unwrap(), key.address());
+    }
+
+    #[test]
+    fn contract_creation_roundtrip() {
+        let key = SecretKey::from_seed(b"deployer");
+        let mut tx = sample_tx(0);
+        tx.to = None;
+        tx.data = vec![0x60, 0x80];
+        let signed = tx.sign(&key);
+        let decoded = SignedTransaction::decode(&signed.encode()).unwrap();
+        assert_eq!(decoded.tx().to, None);
+    }
+
+    #[test]
+    fn tampering_changes_sender() {
+        let key = SecretKey::from_seed(b"tx-sender");
+        let signed = sample_tx(0).sign(&key);
+        let mut tampered_tx = signed.tx().clone();
+        tampered_tx.value = U256::from(2_000_000u64);
+        let tampered = SignedTransaction {
+            tx: tampered_tx,
+            signature: *signed.signature(),
+        };
+        // Recovery yields *some* address, but not the signer's.
+        match tampered.sender() {
+            Ok(addr) => assert_ne!(addr, key.address()),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn intrinsic_gas_counts_calldata() {
+        let mut tx = sample_tx(0);
+        assert_eq!(tx.intrinsic_gas(), 21_000);
+        tx.data = vec![0, 0, 1, 2]; // 2 zero + 2 nonzero
+        assert_eq!(tx.intrinsic_gas(), 21_000 + 2 * 4 + 2 * 16);
+    }
+
+    #[test]
+    fn decode_rejects_bad_v() {
+        let key = SecretKey::from_seed(b"x");
+        let signed = sample_tx(0).sign(&key);
+        let items = parp_rlp::decode(&signed.encode()).unwrap();
+        let mut fields: Vec<Item> = items.as_list().unwrap().to_vec();
+        fields[6] = Item::Bytes(vec![55]); // invalid v
+        let bad = Item::List(fields).encode();
+        assert!(matches!(
+            SignedTransaction::decode(&bad),
+            Err(TransactionError::Signature(_))
+        ));
+    }
+
+    #[test]
+    fn signing_hash_ignores_signature() {
+        let key1 = SecretKey::from_seed(b"a");
+        let key2 = SecretKey::from_seed(b"b");
+        let tx = sample_tx(1);
+        assert_eq!(
+            tx.clone().sign(&key1).tx().signing_hash(),
+            tx.sign(&key2).tx().signing_hash()
+        );
+    }
+
+    #[test]
+    fn paper_write_request_size_is_realistic() {
+        // §VI-C: a raw transaction RPC call is ~422 bytes of JSON. The raw
+        // signed transfer itself is ~100 bytes of RLP; sanity-check ours.
+        let key = SecretKey::from_seed(b"sizer");
+        let signed = sample_tx(0).sign(&key);
+        let len = signed.encode().len();
+        assert!((90..=120).contains(&len), "unexpected raw tx size {len}");
+    }
+}

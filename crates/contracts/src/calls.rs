@@ -1,0 +1,338 @@
+//! Calldata encoding for the on-chain PARP modules.
+//!
+//! A module call is a transaction whose `to` is one of the module
+//! addresses and whose `data` is `rlp([selector, args...])` — the moral
+//! equivalent of a Solidity ABI call.
+
+use parp_crypto::Signature;
+use parp_primitives::{Address, U256};
+use parp_rlp::{
+    encode_address, encode_bytes, encode_list, encode_u256, encode_u64,
+    DecodeError, Item,
+};
+
+/// Address of the Full Nodes Deposit Module.
+pub fn fndm_address() -> Address {
+    Address::from_low_u64_be(0xF1)
+}
+
+/// Address of the Channels Management Module.
+pub fn cmm_address() -> Address {
+    Address::from_low_u64_be(0xF2)
+}
+
+/// Address of the Fraud Detection Module.
+pub fn fdm_address() -> Address {
+    Address::from_low_u64_be(0xF3)
+}
+
+/// A decoded module invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModuleCall {
+    /// FNDM: deposit the transaction value as serving collateral.
+    Deposit,
+    /// FNDM: withdraw unlocked collateral (only while not serving).
+    Withdraw {
+        /// Amount to withdraw.
+        amount: U256,
+    },
+    /// FNDM: toggle availability to serve light clients.
+    SetServing {
+        /// New serving flag.
+        serving: bool,
+    },
+    /// CMM: open a payment channel; the transaction value is the budget.
+    OpenChannel {
+        /// The serving full node.
+        full_node: Address,
+        /// Expiry (block timestamp) of the handshake confirmation.
+        expiry: u64,
+        /// `Sign(keccak256(LC || expiry), sk_FN)` — the full node's
+        /// consent from Algorithm 1.
+        confirmation_sig: Signature,
+    },
+    /// CMM: start closing a channel with the latest signed state.
+    CloseChannel {
+        /// Channel identifier α.
+        channel_id: u64,
+        /// Final cumulative amount `a`.
+        amount: U256,
+        /// The light client's `σ_a` over `(α, a)`.
+        payment_sig: Signature,
+    },
+    /// CMM: submit a later state during the dispute window.
+    SubmitState {
+        /// Channel identifier α.
+        channel_id: u64,
+        /// Claimed cumulative amount `a`.
+        amount: U256,
+        /// The light client's `σ_a` over `(α, a)`.
+        payment_sig: Signature,
+    },
+    /// CMM: settle a channel whose dispute window has elapsed.
+    ConfirmClosure {
+        /// Channel identifier α.
+        channel_id: u64,
+    },
+    /// FDM: submit a fraud proof (paper Algorithm 2).
+    SubmitFraudProof {
+        /// Encoded [`crate::ParpRequest`].
+        request: Vec<u8>,
+        /// Encoded [`crate::ParpResponse`].
+        response: Vec<u8>,
+        /// The witness full node that relayed this proof.
+        witness: Address,
+        /// RLP-encoded header of block `res.m_B` (the contract recomputes
+        /// its hash and checks it against the `BLOCKHASH` window, exactly
+        /// like the prototype's Solidity does — §VI).
+        header: Vec<u8>,
+    },
+}
+
+impl ModuleCall {
+    /// Encodes the call into transaction calldata.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            ModuleCall::Deposit => encode_list(&[encode_u64(0)]),
+            ModuleCall::Withdraw { amount } => {
+                encode_list(&[encode_u64(1), encode_u256(amount)])
+            }
+            ModuleCall::SetServing { serving } => {
+                encode_list(&[encode_u64(2), encode_u64(*serving as u64)])
+            }
+            ModuleCall::OpenChannel {
+                full_node,
+                expiry,
+                confirmation_sig,
+            } => encode_list(&[
+                encode_u64(3),
+                encode_address(full_node),
+                encode_u64(*expiry),
+                encode_bytes(&confirmation_sig.to_bytes()),
+            ]),
+            ModuleCall::CloseChannel {
+                channel_id,
+                amount,
+                payment_sig,
+            } => encode_list(&[
+                encode_u64(4),
+                encode_u64(*channel_id),
+                encode_u256(amount),
+                encode_bytes(&payment_sig.to_bytes()),
+            ]),
+            ModuleCall::SubmitState {
+                channel_id,
+                amount,
+                payment_sig,
+            } => encode_list(&[
+                encode_u64(5),
+                encode_u64(*channel_id),
+                encode_u256(amount),
+                encode_bytes(&payment_sig.to_bytes()),
+            ]),
+            ModuleCall::ConfirmClosure { channel_id } => {
+                encode_list(&[encode_u64(6), encode_u64(*channel_id)])
+            }
+            ModuleCall::SubmitFraudProof {
+                request,
+                response,
+                witness,
+                header,
+            } => encode_list(&[
+                encode_u64(7),
+                encode_bytes(request),
+                encode_bytes(response),
+                encode_address(witness),
+                encode_bytes(header),
+            ]),
+        }
+    }
+
+    /// Decodes calldata into a module call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on unknown selectors or malformed args.
+    pub fn decode(data: &[u8]) -> Result<Self, DecodeError> {
+        let item = parp_rlp::decode(data)?;
+        let fields = item.as_list()?;
+        let selector = fields
+            .first()
+            .ok_or(DecodeError::WrongArity {
+                expected: 1,
+                actual: 0,
+            })?
+            .as_u64()?;
+        let arity = |n: usize| -> Result<(), DecodeError> {
+            if fields.len() != n {
+                Err(DecodeError::WrongArity {
+                    expected: n,
+                    actual: fields.len(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        match selector {
+            0 => {
+                arity(1)?;
+                Ok(ModuleCall::Deposit)
+            }
+            1 => {
+                arity(2)?;
+                Ok(ModuleCall::Withdraw {
+                    amount: fields[1].as_u256()?,
+                })
+            }
+            2 => {
+                arity(2)?;
+                Ok(ModuleCall::SetServing {
+                    serving: fields[1].as_u64()? != 0,
+                })
+            }
+            3 => {
+                arity(4)?;
+                Ok(ModuleCall::OpenChannel {
+                    full_node: fields[1].as_address()?,
+                    expiry: fields[2].as_u64()?,
+                    confirmation_sig: decode_sig(&fields[3])?,
+                })
+            }
+            4 => {
+                arity(4)?;
+                Ok(ModuleCall::CloseChannel {
+                    channel_id: fields[1].as_u64()?,
+                    amount: fields[2].as_u256()?,
+                    payment_sig: decode_sig(&fields[3])?,
+                })
+            }
+            5 => {
+                arity(4)?;
+                Ok(ModuleCall::SubmitState {
+                    channel_id: fields[1].as_u64()?,
+                    amount: fields[2].as_u256()?,
+                    payment_sig: decode_sig(&fields[3])?,
+                })
+            }
+            6 => {
+                arity(2)?;
+                Ok(ModuleCall::ConfirmClosure {
+                    channel_id: fields[1].as_u64()?,
+                })
+            }
+            7 => {
+                arity(5)?;
+                Ok(ModuleCall::SubmitFraudProof {
+                    request: fields[1].as_bytes()?.to_vec(),
+                    response: fields[2].as_bytes()?.to_vec(),
+                    witness: fields[3].as_address()?,
+                    header: fields[4].as_bytes()?.to_vec(),
+                })
+            }
+            _ => Err(DecodeError::ExpectedList),
+        }
+    }
+
+    /// The module address this call targets.
+    pub fn target(&self) -> Address {
+        match self {
+            ModuleCall::Deposit | ModuleCall::Withdraw { .. } | ModuleCall::SetServing { .. } => {
+                fndm_address()
+            }
+            ModuleCall::OpenChannel { .. }
+            | ModuleCall::CloseChannel { .. }
+            | ModuleCall::SubmitState { .. }
+            | ModuleCall::ConfirmClosure { .. } => cmm_address(),
+            ModuleCall::SubmitFraudProof { .. } => fdm_address(),
+        }
+    }
+}
+
+fn decode_sig(item: &Item) -> Result<Signature, DecodeError> {
+    let bytes = item.as_bytes()?;
+    let array: &[u8; 65] = bytes.try_into().map_err(|_| DecodeError::WrongLength {
+        expected: 65,
+        actual: bytes.len(),
+    })?;
+    Signature::from_bytes(array).map_err(|_| DecodeError::ExpectedBytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parp_crypto::{keccak256, sign, SecretKey};
+
+    fn sig() -> Signature {
+        sign(&SecretKey::from_seed(b"signer"), &keccak256(b"payload"))
+    }
+
+    #[test]
+    fn all_calls_roundtrip() {
+        let calls = vec![
+            ModuleCall::Deposit,
+            ModuleCall::Withdraw {
+                amount: U256::from(5u64),
+            },
+            ModuleCall::SetServing { serving: true },
+            ModuleCall::OpenChannel {
+                full_node: Address::from_low_u64_be(1),
+                expiry: 12345,
+                confirmation_sig: sig(),
+            },
+            ModuleCall::CloseChannel {
+                channel_id: 3,
+                amount: U256::from(100u64),
+                payment_sig: sig(),
+            },
+            ModuleCall::SubmitState {
+                channel_id: 3,
+                amount: U256::from(200u64),
+                payment_sig: sig(),
+            },
+            ModuleCall::ConfirmClosure { channel_id: 3 },
+            ModuleCall::SubmitFraudProof {
+                request: vec![1, 2],
+                response: vec![3, 4],
+                witness: Address::from_low_u64_be(9),
+                header: vec![5, 6],
+            },
+        ];
+        for call in calls {
+            assert_eq!(ModuleCall::decode(&call.encode()).unwrap(), call);
+        }
+    }
+
+    #[test]
+    fn targets_are_stable() {
+        assert_eq!(ModuleCall::Deposit.target(), fndm_address());
+        assert_eq!(
+            ModuleCall::ConfirmClosure { channel_id: 0 }.target(),
+            cmm_address()
+        );
+        assert_eq!(
+            ModuleCall::SubmitFraudProof {
+                request: vec![],
+                response: vec![],
+                witness: Address::ZERO,
+                header: vec![],
+            }
+            .target(),
+            fdm_address()
+        );
+        // All three modules have distinct addresses.
+        assert_ne!(fndm_address(), cmm_address());
+        assert_ne!(cmm_address(), fdm_address());
+    }
+
+    #[test]
+    fn unknown_selector_rejected() {
+        let bad = encode_list(&[encode_u64(42)]);
+        assert!(ModuleCall::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(ModuleCall::decode(&[0xff, 0x00]).is_err());
+        assert!(ModuleCall::decode(&[]).is_err());
+    }
+}

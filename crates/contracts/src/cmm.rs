@@ -1,0 +1,652 @@
+//! The Channels Management Module (CMM): unidirectional payment channels
+//! between light clients and full nodes (paper §IV-C, §V-B).
+
+use crate::fndm::{address_topic, event_log, DepositModule, Revert};
+use crate::gas::GasMeter;
+use crate::message::payment_digest;
+use parp_chain::{BlockContext, Log, State};
+use parp_crypto::{keccak256_concat, recover_address, Keccak256, Signature};
+use parp_primitives::{Address, H256, U256};
+use std::collections::BTreeMap;
+
+/// Length of the dispute window, in blocks (paper §IV-E: "the channel
+/// will have a dispute window for a period of time before it closes").
+pub const DISPUTE_WINDOW_BLOCKS: u64 = 25;
+
+/// The lifecycle of a payment channel (paper §V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelStatus {
+    /// Successfully set up; off-chain payments flowing.
+    Open,
+    /// A party has initiated settlement; disputes may be filed until the
+    /// deadline block.
+    Closing {
+        /// First block at which `confirmClosure` succeeds.
+        deadline: u64,
+    },
+    /// Settled; funds redistributed.
+    Closed,
+}
+
+impl ChannelStatus {
+    /// Single-byte encoding used in liveness responses.
+    pub fn as_byte(&self) -> u8 {
+        match self {
+            ChannelStatus::Open => 0,
+            ChannelStatus::Closing { .. } => 1,
+            ChannelStatus::Closed => 2,
+        }
+    }
+}
+
+/// An on-chain payment channel record `P = (α, LC, FN, b, cs, T)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Channel {
+    /// Unique identifier α.
+    pub id: u64,
+    /// The paying light client.
+    pub light_client: Address,
+    /// The serving full node.
+    pub full_node: Address,
+    /// Total budget `b` locked by the light client.
+    pub budget: U256,
+    /// Latest accepted cumulative amount `cs`.
+    pub latest_amount: U256,
+    /// Lifecycle status `T`.
+    pub status: ChannelStatus,
+    /// Block at which the channel was opened.
+    pub opened_at: u64,
+}
+
+/// The digest a full node signs to consent to a channel
+/// (`Sign(keccak256(LC || expiry), sk_FN)`, Algorithm 1).
+pub fn confirmation_digest(light_client: &Address, expiry: u64) -> H256 {
+    keccak256_concat(&[light_client.as_bytes(), &expiry.to_be_bytes()])
+}
+
+/// The channels module state.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelsModule {
+    channels: BTreeMap<u64, Channel>,
+    next_id: u64,
+}
+
+impl ChannelsModule {
+    /// Creates an empty module.
+    pub fn new() -> Self {
+        ChannelsModule::default()
+    }
+
+    /// Looks up a channel by identifier.
+    pub fn channel(&self, id: u64) -> Option<&Channel> {
+        self.channels.get(&id)
+    }
+
+    /// Number of channels ever opened.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// `openChannel(fullNode, expiry, confirmationSig)` with the budget as
+    /// transaction value. Returns `rlp(channel_id)`.
+    ///
+    /// # Errors
+    ///
+    /// Reverts on zero budget, expired or invalid confirmation, or an
+    /// ineligible full node.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_channel(
+        &mut self,
+        sender: Address,
+        value: U256,
+        full_node: Address,
+        expiry: u64,
+        confirmation_sig: &Signature,
+        ctx: &BlockContext,
+        fndm: &DepositModule,
+        meter: &mut GasMeter,
+    ) -> Result<(Vec<u8>, Vec<Log>), Revert> {
+        if value.is_zero() {
+            return Err(Revert::new("channel budget must be positive"));
+        }
+        if expiry < ctx.timestamp {
+            return Err(Revert::new("full node confirmation expired"));
+        }
+        let digest = confirmation_digest(&sender, expiry);
+        meter.keccak(28);
+        meter.ecrecover();
+        let signer = recover_address(&digest, confirmation_sig)
+            .map_err(|_| Revert::new("invalid confirmation signature"))?;
+        if signer != full_node {
+            return Err(Revert::new("confirmation not signed by full node"));
+        }
+        meter.sload_n(2);
+        if !fndm.is_eligible(&full_node) {
+            return Err(Revert::new("full node not eligible to serve"));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        // A fresh Solidity channel struct: id counter update plus six new
+        // slots (participants, budget, cs, status/expiry, opened_at).
+        meter.sstore_update();
+        meter.sstore_set_n(6);
+        meter.value_transfer(false);
+        self.channels.insert(
+            id,
+            Channel {
+                id,
+                light_client: sender,
+                full_node,
+                budget: value,
+                latest_amount: U256::ZERO,
+                status: ChannelStatus::Open,
+                opened_at: ctx.number,
+            },
+        );
+        let log = event_log(
+            crate::calls::cmm_address(),
+            "ChannelOpened(uint64,address,address,uint256)",
+            &[address_topic(&sender), address_topic(&full_node)],
+            &parp_rlp::encode_list(&[
+                parp_rlp::encode_u64(id),
+                parp_rlp::encode_u256(&value),
+            ]),
+        );
+        meter.log(3, 40);
+        Ok((parp_rlp::encode_u64(id), vec![log]))
+    }
+
+    /// Validates a payment state `(α, a, σ_a)` against a channel: the
+    /// signature must be the light client's and `a` must not exceed the
+    /// budget.
+    fn validate_state(
+        channel: &Channel,
+        amount: &U256,
+        payment_sig: &Signature,
+        meter: &mut GasMeter,
+    ) -> Result<(), Revert> {
+        if *amount > channel.budget {
+            return Err(Revert::new("amount exceeds channel budget"));
+        }
+        meter.keccak(40);
+        meter.ecrecover();
+        let digest = payment_digest(channel.id, amount);
+        let signer = recover_address(&digest, payment_sig)
+            .map_err(|_| Revert::new("invalid payment signature"))?;
+        if signer != channel.light_client {
+            return Err(Revert::new("payment not signed by light client"));
+        }
+        Ok(())
+    }
+
+    /// `closeChannel(α, a, σ_a)`: either party starts settlement with the
+    /// latest signed state.
+    ///
+    /// # Errors
+    ///
+    /// Reverts when the channel is not open, the caller is not a
+    /// participant, or the state is invalid.
+    pub fn close_channel(
+        &mut self,
+        sender: Address,
+        channel_id: u64,
+        amount: U256,
+        payment_sig: &Signature,
+        ctx: &BlockContext,
+        meter: &mut GasMeter,
+    ) -> Result<(Vec<u8>, Vec<Log>), Revert> {
+        meter.sload_n(6);
+        let channel = self
+            .channels
+            .get_mut(&channel_id)
+            .ok_or_else(|| Revert::new("unknown channel"))?;
+        if channel.status != ChannelStatus::Open {
+            return Err(Revert::new("channel is not open"));
+        }
+        if sender != channel.light_client && sender != channel.full_node {
+            return Err(Revert::new("caller is not a channel participant"));
+        }
+        if !amount.is_zero() {
+            Self::validate_state(channel, &amount, payment_sig, meter)?;
+        }
+        channel.latest_amount = channel.latest_amount.max(amount);
+        let deadline = ctx.number + DISPUTE_WINDOW_BLOCKS;
+        channel.status = ChannelStatus::Closing { deadline };
+        // cs update + status/deadline slot (first write).
+        meter.sstore_update();
+        meter.sstore_set();
+        let log = event_log(
+            crate::calls::cmm_address(),
+            "ChannelClosing(uint64,uint256,uint64)",
+            &[address_topic(&sender)],
+            &parp_rlp::encode_list(&[
+                parp_rlp::encode_u64(channel_id),
+                parp_rlp::encode_u256(&amount),
+                parp_rlp::encode_u64(deadline),
+            ]),
+        );
+        meter.log(2, 48);
+        Ok((Vec::new(), vec![log]))
+    }
+
+    /// `submitState(α, a, σ_a)`: during the dispute window, a strictly
+    /// higher valid state supersedes the recorded one and resets the
+    /// window (paper §V-B "Dispute present").
+    ///
+    /// # Errors
+    ///
+    /// Reverts when the channel is not closing or the state is not an
+    /// improvement.
+    pub fn submit_state(
+        &mut self,
+        channel_id: u64,
+        amount: U256,
+        payment_sig: &Signature,
+        ctx: &BlockContext,
+        meter: &mut GasMeter,
+    ) -> Result<(Vec<u8>, Vec<Log>), Revert> {
+        meter.sload_n(6);
+        let channel = self
+            .channels
+            .get_mut(&channel_id)
+            .ok_or_else(|| Revert::new("unknown channel"))?;
+        let ChannelStatus::Closing { .. } = channel.status else {
+            return Err(Revert::new("channel is not closing"));
+        };
+        if amount <= channel.latest_amount {
+            return Err(Revert::new("state is not newer than the recorded one"));
+        }
+        Self::validate_state(channel, &amount, payment_sig, meter)?;
+        channel.latest_amount = amount;
+        let deadline = ctx.number + DISPUTE_WINDOW_BLOCKS;
+        channel.status = ChannelStatus::Closing { deadline };
+        meter.sstore_update();
+        meter.sstore_update();
+        let log = event_log(
+            crate::calls::cmm_address(),
+            "ChannelStateSubmitted(uint64,uint256,uint64)",
+            &[],
+            &parp_rlp::encode_list(&[
+                parp_rlp::encode_u64(channel_id),
+                parp_rlp::encode_u256(&amount),
+                parp_rlp::encode_u64(deadline),
+            ]),
+        );
+        meter.log(1, 48);
+        Ok((Vec::new(), vec![log]))
+    }
+
+    /// `confirmClosure(α)`: after the dispute window, pays the full node
+    /// its earned `cs` and refunds the remainder to the light client.
+    ///
+    /// # Errors
+    ///
+    /// Reverts before the deadline or when the channel is not closing.
+    pub fn confirm_closure(
+        &mut self,
+        channel_id: u64,
+        ctx: &BlockContext,
+        state: &mut State,
+        meter: &mut GasMeter,
+    ) -> Result<(Vec<u8>, Vec<Log>), Revert> {
+        meter.sload_n(6);
+        let channel = self
+            .channels
+            .get_mut(&channel_id)
+            .ok_or_else(|| Revert::new("unknown channel"))?;
+        let ChannelStatus::Closing { deadline } = channel.status else {
+            return Err(Revert::new("channel is not closing"));
+        };
+        if ctx.number < deadline {
+            return Err(Revert::new("dispute window still open"));
+        }
+        let module = crate::calls::cmm_address();
+        let earned = channel.latest_amount.min(channel.budget);
+        let refund = channel.budget - earned;
+        if !state.transfer(&module, channel.full_node, earned) {
+            return Err(Revert::new("module balance underflow"));
+        }
+        meter.value_transfer(false);
+        if !state.transfer(&module, channel.light_client, refund) {
+            return Err(Revert::new("module balance underflow"));
+        }
+        meter.value_transfer(false);
+        channel.status = ChannelStatus::Closed;
+        meter.sstore_update();
+        meter.sstore_update();
+        let log = event_log(
+            crate::calls::cmm_address(),
+            "ChannelClosed(uint64,uint256,uint256)",
+            &[],
+            &parp_rlp::encode_list(&[
+                parp_rlp::encode_u64(channel_id),
+                parp_rlp::encode_u256(&earned),
+                parp_rlp::encode_u256(&refund),
+            ]),
+        );
+        meter.log(1, 64);
+        Ok((Vec::new(), vec![log]))
+    }
+
+    /// Force-settles a channel after proven fraud: the full node forfeits
+    /// nothing here (its collateral is slashed by the FNDM); the budget
+    /// is settled at the recorded `cs` so honest payments stand.
+    pub(crate) fn settle_for_fraud(
+        &mut self,
+        channel_id: u64,
+        state: &mut State,
+        meter: &mut GasMeter,
+    ) -> Result<(), Revert> {
+        let channel = self
+            .channels
+            .get_mut(&channel_id)
+            .ok_or_else(|| Revert::new("unknown channel"))?;
+        if channel.status == ChannelStatus::Closed {
+            return Err(Revert::new("channel already closed"));
+        }
+        let module = crate::calls::cmm_address();
+        let earned = channel.latest_amount.min(channel.budget);
+        let refund = channel.budget - earned;
+        if !state.transfer(&module, channel.full_node, earned)
+            || !state.transfer(&module, channel.light_client, refund)
+        {
+            return Err(Revert::new("module balance underflow"));
+        }
+        meter.value_transfer(false);
+        meter.value_transfer(false);
+        channel.status = ChannelStatus::Closed;
+        meter.sstore_update();
+        Ok(())
+    }
+
+    /// Commitment to the module state (stored as the module account's
+    /// `storage_root`).
+    pub fn commitment(&self) -> H256 {
+        let mut hasher = Keccak256::new();
+        hasher.update(b"cmm");
+        hasher.update(&self.next_id.to_be_bytes());
+        for channel in self.channels.values() {
+            hasher.update(&channel.id.to_be_bytes());
+            hasher.update(channel.light_client.as_bytes());
+            hasher.update(channel.full_node.as_bytes());
+            hasher.update(&channel.budget.to_be_bytes());
+            hasher.update(&channel.latest_amount.to_be_bytes());
+            hasher.update(&[channel.status.as_byte()]);
+            if let ChannelStatus::Closing { deadline } = channel.status {
+                hasher.update(&deadline.to_be_bytes());
+            }
+            hasher.update(&channel.opened_at.to_be_bytes());
+        }
+        hasher.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parp_crypto::{sign, SecretKey};
+
+    fn lc() -> SecretKey {
+        SecretKey::from_seed(b"cmm-lc")
+    }
+
+    fn full_node() -> SecretKey {
+        SecretKey::from_seed(b"cmm-fn")
+    }
+
+    fn ctx_at(number: u64) -> BlockContext {
+        BlockContext::bare(number, 1_700_000_000 + number * 12, Address::ZERO)
+    }
+
+    fn eligible_fndm() -> DepositModule {
+        let mut fndm = DepositModule::new();
+        fndm.deposit(full_node().address(), crate::fndm::min_deposit(), &mut GasMeter::new())
+            .unwrap();
+        fndm.set_serving(full_node().address(), true, &mut GasMeter::new())
+            .unwrap();
+        fndm
+    }
+
+    fn consent(expiry: u64) -> Signature {
+        sign(
+            &full_node(),
+            &confirmation_digest(&lc().address(), expiry),
+        )
+    }
+
+    fn open_test_channel(cmm: &mut ChannelsModule, budget: u64) -> u64 {
+        let fndm = eligible_fndm();
+        let expiry = ctx_at(1).timestamp + 600;
+        let (output, _) = cmm
+            .open_channel(
+                lc().address(),
+                U256::from(budget),
+                full_node().address(),
+                expiry,
+                &consent(expiry),
+                &ctx_at(1),
+                &fndm,
+                &mut GasMeter::new(),
+            )
+            .unwrap();
+        parp_rlp::decode(&output).unwrap().as_u64().unwrap()
+    }
+
+    fn payment(channel_id: u64, amount: u64) -> (U256, Signature) {
+        let a = U256::from(amount);
+        let sig = sign(&lc(), &payment_digest(channel_id, &a));
+        (a, sig)
+    }
+
+    #[test]
+    fn open_channel_happy_path() {
+        let mut cmm = ChannelsModule::new();
+        let id = open_test_channel(&mut cmm, 1000);
+        let channel = cmm.channel(id).unwrap();
+        assert_eq!(channel.status, ChannelStatus::Open);
+        assert_eq!(channel.budget, U256::from(1000u64));
+        assert_eq!(channel.light_client, lc().address());
+        assert_eq!(channel.full_node, full_node().address());
+    }
+
+    #[test]
+    fn open_rejects_expired_confirmation() {
+        let mut cmm = ChannelsModule::new();
+        let fndm = eligible_fndm();
+        let ctx = ctx_at(1);
+        let expiry = ctx.timestamp - 1;
+        let err = cmm
+            .open_channel(
+                lc().address(),
+                U256::from(10u64),
+                full_node().address(),
+                expiry,
+                &consent(expiry),
+                &ctx,
+                &fndm,
+                &mut GasMeter::new(),
+            )
+            .unwrap_err();
+        assert!(err.0.contains("expired"));
+    }
+
+    #[test]
+    fn open_rejects_wrong_signer() {
+        let mut cmm = ChannelsModule::new();
+        let fndm = eligible_fndm();
+        let ctx = ctx_at(1);
+        let expiry = ctx.timestamp + 600;
+        // Signed by the light client instead of the full node.
+        let forged = sign(&lc(), &confirmation_digest(&lc().address(), expiry));
+        let err = cmm
+            .open_channel(
+                lc().address(),
+                U256::from(10u64),
+                full_node().address(),
+                expiry,
+                &forged,
+                &ctx,
+                &fndm,
+                &mut GasMeter::new(),
+            )
+            .unwrap_err();
+        assert!(err.0.contains("not signed by full node"));
+    }
+
+    #[test]
+    fn open_rejects_ineligible_node() {
+        let mut cmm = ChannelsModule::new();
+        let fndm = DepositModule::new(); // no deposit
+        let ctx = ctx_at(1);
+        let expiry = ctx.timestamp + 600;
+        let err = cmm
+            .open_channel(
+                lc().address(),
+                U256::from(10u64),
+                full_node().address(),
+                expiry,
+                &consent(expiry),
+                &ctx,
+                &fndm,
+                &mut GasMeter::new(),
+            )
+            .unwrap_err();
+        assert!(err.0.contains("not eligible"));
+    }
+
+    #[test]
+    fn close_and_confirm_settles_funds() {
+        let mut cmm = ChannelsModule::new();
+        let id = open_test_channel(&mut cmm, 1000);
+        let (amount, sig) = payment(id, 300);
+        cmm.close_channel(
+            full_node().address(),
+            id,
+            amount,
+            &sig,
+            &ctx_at(10),
+            &mut GasMeter::new(),
+        )
+        .unwrap();
+        let ChannelStatus::Closing { deadline } = cmm.channel(id).unwrap().status else {
+            panic!("expected closing");
+        };
+        assert_eq!(deadline, 10 + DISPUTE_WINDOW_BLOCKS);
+
+        // Too early.
+        let mut state = State::new();
+        state.credit(crate::calls::cmm_address(), U256::from(1000u64));
+        assert!(cmm
+            .confirm_closure(id, &ctx_at(deadline - 1), &mut state, &mut GasMeter::new())
+            .is_err());
+
+        cmm.confirm_closure(id, &ctx_at(deadline), &mut state, &mut GasMeter::new())
+            .unwrap();
+        assert_eq!(state.balance(&full_node().address()), U256::from(300u64));
+        assert_eq!(state.balance(&lc().address()), U256::from(700u64));
+        assert_eq!(cmm.channel(id).unwrap().status, ChannelStatus::Closed);
+    }
+
+    #[test]
+    fn dispute_raises_amount_and_resets_window() {
+        let mut cmm = ChannelsModule::new();
+        let id = open_test_channel(&mut cmm, 1000);
+        // FN closes with a stale state (100)...
+        let (stale, stale_sig) = payment(id, 100);
+        cmm.close_channel(
+            full_node().address(),
+            id,
+            stale,
+            &stale_sig,
+            &ctx_at(10),
+            &mut GasMeter::new(),
+        )
+        .unwrap();
+        // ...and the LC disputes with the newer state (250)? No — only a
+        // *higher* amount wins, which favors the FN; here the FN itself
+        // could submit the higher state. Either party may call it.
+        let (newer, newer_sig) = payment(id, 250);
+        cmm.submit_state(id, newer, &newer_sig, &ctx_at(20), &mut GasMeter::new())
+            .unwrap();
+        let channel = cmm.channel(id).unwrap();
+        assert_eq!(channel.latest_amount, U256::from(250u64));
+        let ChannelStatus::Closing { deadline } = channel.status else {
+            panic!("expected closing");
+        };
+        assert_eq!(deadline, 20 + DISPUTE_WINDOW_BLOCKS);
+        // A lower state is rejected.
+        let (lower, lower_sig) = payment(id, 200);
+        assert!(cmm
+            .submit_state(id, lower, &lower_sig, &ctx_at(21), &mut GasMeter::new())
+            .is_err());
+    }
+
+    #[test]
+    fn amount_cannot_exceed_budget() {
+        let mut cmm = ChannelsModule::new();
+        let id = open_test_channel(&mut cmm, 100);
+        let (too_much, sig) = payment(id, 500);
+        let err = cmm
+            .close_channel(
+                lc().address(),
+                id,
+                too_much,
+                &sig,
+                &ctx_at(5),
+                &mut GasMeter::new(),
+            )
+            .unwrap_err();
+        assert!(err.0.contains("exceeds"));
+    }
+
+    #[test]
+    fn non_participant_cannot_close() {
+        let mut cmm = ChannelsModule::new();
+        let id = open_test_channel(&mut cmm, 100);
+        let (amount, sig) = payment(id, 10);
+        let stranger = Address::from_low_u64_be(0xbad);
+        assert!(cmm
+            .close_channel(stranger, id, amount, &sig, &ctx_at(5), &mut GasMeter::new())
+            .is_err());
+    }
+
+    #[test]
+    fn forged_payment_sig_rejected() {
+        let mut cmm = ChannelsModule::new();
+        let id = open_test_channel(&mut cmm, 1000);
+        let amount = U256::from(900u64);
+        // Signed by the full node, not the light client.
+        let forged = sign(&full_node(), &payment_digest(id, &amount));
+        let err = cmm
+            .close_channel(
+                full_node().address(),
+                id,
+                amount,
+                &forged,
+                &ctx_at(5),
+                &mut GasMeter::new(),
+            )
+            .unwrap_err();
+        assert!(err.0.contains("not signed by light client"));
+    }
+
+    #[test]
+    fn commitment_tracks_channel_changes() {
+        let mut cmm = ChannelsModule::new();
+        let c0 = cmm.commitment();
+        let id = open_test_channel(&mut cmm, 100);
+        let c1 = cmm.commitment();
+        assert_ne!(c0, c1);
+        let (amount, sig) = payment(id, 10);
+        cmm.close_channel(
+            lc().address(),
+            id,
+            amount,
+            &sig,
+            &ctx_at(5),
+            &mut GasMeter::new(),
+        )
+        .unwrap();
+        assert_ne!(c1, cmm.commitment());
+    }
+}

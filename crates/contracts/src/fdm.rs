@@ -1,0 +1,359 @@
+//! The Fraud Detection Module (FDM): on-chain verification of fraud
+//! proofs, implementing the paper's Algorithm 2.
+//!
+//! A fraud proof is `(req, res, addr_WN, header)`. The module:
+//!
+//! 1. checks the channel identifiers match and the channel is not closed;
+//! 2. re-derives `h_req` and recovers the request signer (must be the
+//!    channel's light client);
+//! 3. recovers the response signer (must be the channel's full node);
+//! 4. validates the submitted header against the `BLOCKHASH` window
+//!    (Ethereum can only validate hashes of the last 256 blocks — §VI);
+//! 5. condemns the full node when the response shows a payment-amount
+//!    mismatch, a stale block height, or an invalid/contradicting Merkle
+//!    proof;
+//! 6. slashes the offender's collateral via the FNDM and distributes the
+//!    reward to the light client, the witness node and the serving pool.
+
+use crate::cmm::{ChannelStatus, ChannelsModule};
+use crate::fndm::{address_topic, event_log, DepositModule, Revert};
+use crate::gas::GasMeter;
+use crate::message::{ParpRequest, ParpResponse, ProofKind, RpcCall};
+use parp_chain::{BlockContext, Header, Log, State};
+use parp_crypto::keccak256;
+use parp_primitives::{Address, H256, U256};
+use parp_trie::verify_proof;
+use std::collections::BTreeMap;
+
+/// Why a full node was condemned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FraudVerdict {
+    /// `req.a != res.a` (payment amount check, §V-D).
+    AmountMismatch,
+    /// `res.m_B` is lower than the height of `req.h_B` (timestamp check).
+    StaleBlockHeight,
+    /// `π_γ` does not verify against the trusted root, or proves a value
+    /// different from the claimed result (Merkle proof check).
+    InvalidProof,
+}
+
+impl FraudVerdict {
+    /// Single-byte encoding used in the module output and event data.
+    pub fn as_byte(&self) -> u8 {
+        match self {
+            FraudVerdict::AmountMismatch => 1,
+            FraudVerdict::StaleBlockHeight => 2,
+            FraudVerdict::InvalidProof => 3,
+        }
+    }
+}
+
+/// Evaluates the paper's three fraud conditions against a request/response
+/// pair and the trusted header for `res.m_B`.
+///
+/// `request_height` is the height of the block `req.h_B` refers to (the
+/// light client knows it because it chose `h_B`; the on-chain module
+/// resolves it through the `BLOCKHASH` window).
+///
+/// Returns `Ok(None)` when the response is consistent, `Ok(Some(verdict))`
+/// when it is provably fraudulent.
+///
+/// # Errors
+///
+/// Returns a description when the response payload is too malformed to
+/// judge (e.g. an unparsable transaction index) — such responses are
+/// *invalid* rather than fraudulent in the §V-D classification.
+pub fn fraud_conditions(
+    req: &ParpRequest,
+    res: &ParpResponse,
+    header: &Header,
+    request_height: u64,
+) -> Result<Option<FraudVerdict>, String> {
+    // Condition 1: payment amount mismatch.
+    if req.amount != res.amount {
+        return Ok(Some(FraudVerdict::AmountMismatch));
+    }
+    // Condition 2: stale block height. Historical-inclusion lookups are
+    // exempt (see [`RpcCall::requires_fresh_height`]); everything else
+    // must answer at or after the client's view.
+    if req.call.requires_fresh_height() && res.block_number < request_height {
+        return Ok(Some(FraudVerdict::StaleBlockHeight));
+    }
+    // An unproven empty result for an inclusion lookup means "not found"
+    // — absence by hash is not provable in an index-keyed trie, so it is
+    // unverifiable rather than fraudulent.
+    if matches!(
+        req.call.proof_kind(),
+        ProofKind::Transaction | ProofKind::Receipt
+    ) && res.result.is_empty()
+        && res.proof.is_empty()
+    {
+        return Ok(None);
+    }
+    // Condition 3: Merkle proof verification.
+    match req.call.proof_kind() {
+        ProofKind::None => Ok(None),
+        ProofKind::State => {
+            let RpcCall::GetBalance { address } = &req.call else {
+                return Ok(None);
+            };
+            let key = keccak256(address.as_bytes());
+            match verify_proof(header.state_root, key.as_bytes(), &res.proof) {
+                Err(_) => Ok(Some(FraudVerdict::InvalidProof)),
+                Ok(proven) => {
+                    // The claimed result must equal the proven account
+                    // record (empty result ⇔ proven absence).
+                    let claimed = if res.result.is_empty() {
+                        None
+                    } else {
+                        Some(res.result.clone())
+                    };
+                    if claimed != proven {
+                        Ok(Some(FraudVerdict::InvalidProof))
+                    } else {
+                        Ok(None)
+                    }
+                }
+            }
+        }
+        ProofKind::Transaction => {
+            // result = rlp(index) of the included transaction.
+            let index = parp_rlp::decode(&res.result)
+                .and_then(|i| i.as_u64())
+                .map_err(|_| "malformed transaction index in result".to_string())?;
+            let key = parp_rlp::encode_u64(index);
+            match verify_proof(header.transactions_root, &key, &res.proof) {
+                Err(_) | Ok(None) => Ok(Some(FraudVerdict::InvalidProof)),
+                Ok(Some(proven_tx)) => {
+                    let consistent = match &req.call {
+                        RpcCall::SendRawTransaction { raw } => proven_tx == *raw,
+                        RpcCall::GetTransactionByHash { hash } => keccak256(&proven_tx) == *hash,
+                        _ => true,
+                    };
+                    if consistent {
+                        Ok(None)
+                    } else {
+                        Ok(Some(FraudVerdict::InvalidProof))
+                    }
+                }
+            }
+        }
+        ProofKind::Receipt => {
+            // result = rlp([index, receipt]): the claimed receipt and its
+            // position, provable under the header's receipts_root.
+            let fields = parp_rlp::decode_list_of(&res.result, 2)
+                .map_err(|_| "malformed receipt result".to_string())?;
+            let index = fields[0]
+                .as_u64()
+                .map_err(|_| "malformed receipt index".to_string())?;
+            let claimed_receipt = fields[1]
+                .as_bytes()
+                .map_err(|_| "malformed receipt payload".to_string())?;
+            let key = parp_rlp::encode_u64(index);
+            match verify_proof(header.receipts_root, &key, &res.proof) {
+                Err(_) | Ok(None) => Ok(Some(FraudVerdict::InvalidProof)),
+                Ok(Some(proven_receipt)) => {
+                    if proven_receipt == claimed_receipt {
+                        Ok(None)
+                    } else {
+                        Ok(Some(FraudVerdict::InvalidProof))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A processed fraud case (kept to prevent double reporting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FraudRecord {
+    /// The condemned full node.
+    pub offender: Address,
+    /// The reporting light client.
+    pub reporter: Address,
+    /// The witness that relayed the proof.
+    pub witness: Address,
+    /// What the proof showed.
+    pub verdict: FraudVerdict,
+    /// The slashed collateral.
+    pub slashed: U256,
+    /// Block at which the proof was accepted.
+    pub block: u64,
+}
+
+/// The fraud detection module state.
+#[derive(Debug, Clone, Default)]
+pub struct FraudModule {
+    /// Accepted proofs, keyed by `h_req` (one slash per request).
+    records: BTreeMap<H256, FraudRecord>,
+}
+
+impl FraudModule {
+    /// Creates an empty module.
+    pub fn new() -> Self {
+        FraudModule::default()
+    }
+
+    /// Accepted fraud records, in request-hash order.
+    pub fn records(&self) -> impl Iterator<Item = (&H256, &FraudRecord)> {
+        self.records.iter()
+    }
+
+    /// Looks up the fraud record for a request hash.
+    pub fn record(&self, request_hash: &H256) -> Option<&FraudRecord> {
+        self.records.get(request_hash)
+    }
+
+    /// `submitFraudProof(req, res, addrWN, header)` — Algorithm 2.
+    ///
+    /// Returns `[verdict_byte]` on success.
+    ///
+    /// # Errors
+    ///
+    /// Reverts when the proof is malformed, refers to an unknown or closed
+    /// channel, fails authentication, the header cannot be validated, the
+    /// case was already processed — or when no fraud condition holds
+    /// (submitting proofs against honest responses costs the submitter
+    /// gas and achieves nothing).
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_fraud_proof(
+        &mut self,
+        request_bytes: &[u8],
+        response_bytes: &[u8],
+        witness: Address,
+        header_bytes: &[u8],
+        ctx: &BlockContext,
+        cmm: &mut ChannelsModule,
+        fndm: &mut DepositModule,
+        state: &mut State,
+        meter: &mut GasMeter,
+    ) -> Result<(Vec<u8>, Vec<Log>), Revert> {
+        // Solidity-style decode cost over every submitted byte.
+        meter.process_bytes(request_bytes.len() + response_bytes.len() + header_bytes.len());
+        let req = ParpRequest::decode(request_bytes)
+            .map_err(|e| Revert::new(format!("malformed request: {e}")))?;
+        let res = ParpResponse::decode(response_bytes)
+            .map_err(|e| Revert::new(format!("malformed response: {e}")))?;
+
+        // The match of the identifier.
+        if req.channel_id != res.channel_id {
+            return Err(Revert::new("channel identifier mismatch"));
+        }
+        meter.sload_n(6);
+        let channel = cmm
+            .channel(req.channel_id)
+            .ok_or_else(|| Revert::new("unknown channel"))?
+            .clone();
+        if channel.status == ChannelStatus::Closed {
+            return Err(Revert::new("channel already closed"));
+        }
+        if self.records.contains_key(&req.request_hash) {
+            return Err(Revert::new("fraud case already processed"));
+        }
+
+        // The origin of the request: recompute h_req, recover σ_req.
+        meter.keccak(request_bytes.len());
+        if req.expected_hash() != req.request_hash {
+            return Err(Revert::new("request hash does not match contents"));
+        }
+        if res.request_hash != req.request_hash {
+            return Err(Revert::new("response references a different request"));
+        }
+        meter.ecrecover();
+        let request_signer = req
+            .signer()
+            .ok_or_else(|| Revert::new("request signature invalid"))?;
+        if request_signer != channel.light_client {
+            return Err(Revert::new("request not signed by the channel's light client"));
+        }
+
+        // The origin of the response: recover σ_res.
+        meter.keccak(response_bytes.len());
+        meter.ecrecover();
+        let response_signer = res
+            .signer()
+            .ok_or_else(|| Revert::new("response signature invalid"))?;
+        if response_signer != channel.full_node {
+            return Err(Revert::new("response not signed by the channel's full node"));
+        }
+
+        // Trusted root hash: the submitted header must hash to the stored
+        // block hash for res.m_B, which is only visible inside the
+        // 256-block window (paper §VI).
+        let header = Header::decode(header_bytes)
+            .map_err(|e| Revert::new(format!("malformed header: {e}")))?;
+        if header.number != res.block_number {
+            return Err(Revert::new("header height does not match response"));
+        }
+        meter.keccak(header_bytes.len());
+        let expected = ctx
+            .block_hash(header.number)
+            .ok_or_else(|| Revert::new("header outside the blockhash window"))?;
+        if keccak256(header_bytes) != expected {
+            return Err(Revert::new("header hash does not match the chain"));
+        }
+
+        // The three fraud conditions (shared with the light client's own
+        // §V-D checks). The height of req.h_B must be resolvable on-chain.
+        let request_height = if req.amount != res.amount {
+            0 // irrelevant: condition 1 already condemns
+        } else {
+            ctx.block_height_by_hash(&req.block_hash)
+                .ok_or_else(|| Revert::new("request block hash outside the window"))?
+        };
+        // MPT walk cost: hash every proof node.
+        for node in &res.proof {
+            meter.keccak(node.len());
+        }
+        let verdict = fraud_conditions(&req, &res, &header, request_height)
+            .map_err(Revert::new)?;
+        let Some(verdict) = verdict else {
+            return Err(Revert::new("no fraud detected"));
+        };
+
+        // slashAndReward (Algorithm 2).
+        let slashed = fndm.slash(
+            channel.full_node,
+            channel.light_client,
+            witness,
+            state,
+            meter,
+        )?;
+        cmm.settle_for_fraud(channel.id, state, meter)?;
+        self.records.insert(
+            req.request_hash,
+            FraudRecord {
+                offender: channel.full_node,
+                reporter: channel.light_client,
+                witness,
+                verdict,
+                slashed,
+                block: ctx.number,
+            },
+        );
+        meter.sstore_set_n(3);
+        let log = event_log(
+            crate::calls::fdm_address(),
+            "FraudProven(address,address,uint8)",
+            &[address_topic(&channel.full_node), address_topic(&witness)],
+            &[verdict.as_byte()],
+        );
+        meter.log(3, 1);
+        Ok((vec![verdict.as_byte()], vec![log]))
+    }
+
+    /// Commitment to the module state.
+    pub fn commitment(&self) -> H256 {
+        let mut hasher = parp_crypto::Keccak256::new();
+        hasher.update(b"fdm");
+        for (hash, record) in &self.records {
+            hasher.update(hash.as_bytes());
+            hasher.update(record.offender.as_bytes());
+            hasher.update(record.witness.as_bytes());
+            hasher.update(&[record.verdict.as_byte()]);
+            hasher.update(&record.slashed.to_be_bytes());
+            hasher.update(&record.block.to_be_bytes());
+        }
+        hasher.finalize()
+    }
+}

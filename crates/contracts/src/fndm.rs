@@ -1,0 +1,369 @@
+//! The Full Nodes Deposit Module (FNDM): collateral staking, the serving
+//! registry, and slashing (paper §IV-C, §IV-F).
+
+use crate::gas::GasMeter;
+use parp_chain::{Log, State};
+use parp_crypto::{keccak256, Keccak256};
+use parp_primitives::{Address, H256, U256};
+use std::collections::BTreeMap;
+
+/// Minimum collateral to become eligible to serve: 1 token (10^18 wei).
+pub fn min_deposit() -> U256 {
+    U256::from(1_000_000_000_000_000_000u64)
+}
+
+/// Share of a slashed deposit awarded to the reporting light client, in
+/// percent (the remainder after the witness share stays in the module as
+/// the serving-layer reward pool, §IV-F).
+pub const SLASH_CLIENT_SHARE: u64 = 40;
+/// Share of a slashed deposit awarded to the witness full node.
+pub const SLASH_WITNESS_SHARE: u64 = 20;
+
+/// Reasons a module call reverts. The executor maps these to failed
+/// receipts and rolls back state, like an EVM `revert`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Revert(pub String);
+
+impl Revert {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Revert(msg.into())
+    }
+}
+
+impl std::fmt::Display for Revert {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "reverted: {}", self.0)
+    }
+}
+
+impl std::error::Error for Revert {}
+
+/// One full node's standing in the deposit module.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NodeRecord {
+    /// Locked collateral in wei.
+    pub deposit: U256,
+    /// Whether the node has flagged itself available to serve.
+    pub serving: bool,
+    /// Number of times this node has been slashed.
+    pub slash_count: u64,
+}
+
+/// The deposit module state.
+#[derive(Debug, Clone, Default)]
+pub struct DepositModule {
+    nodes: BTreeMap<Address, NodeRecord>,
+    /// Undistributed slashed funds retained as the serving-layer pool.
+    pool: U256,
+}
+
+impl DepositModule {
+    /// Creates an empty module.
+    pub fn new() -> Self {
+        DepositModule::default()
+    }
+
+    /// `deposit()`: locks the transaction value as collateral.
+    ///
+    /// # Errors
+    ///
+    /// Reverts on a zero-value deposit.
+    pub fn deposit(
+        &mut self,
+        sender: Address,
+        value: U256,
+        meter: &mut GasMeter,
+    ) -> Result<(Vec<u8>, Vec<Log>), Revert> {
+        if value.is_zero() {
+            return Err(Revert::new("deposit value must be positive"));
+        }
+        meter.sload_n(1);
+        let record = self.nodes.entry(sender).or_default();
+        if record.deposit.is_zero() {
+            meter.sstore_set();
+        } else {
+            meter.sstore_update();
+        }
+        record.deposit = record.deposit.saturating_add(value);
+        let log = event_log(
+            crate::calls::fndm_address(),
+            "Deposited(address,uint256)",
+            &[address_topic(&sender)],
+            &value.to_be_bytes_minimal(),
+        );
+        meter.log(2, 32);
+        Ok((Vec::new(), vec![log]))
+    }
+
+    /// `withdraw(amount)`: releases collateral back to the node.
+    ///
+    /// # Errors
+    ///
+    /// Reverts while the node is flagged as serving, or on insufficient
+    /// collateral.
+    pub fn withdraw(
+        &mut self,
+        sender: Address,
+        amount: U256,
+        state: &mut State,
+        meter: &mut GasMeter,
+    ) -> Result<(Vec<u8>, Vec<Log>), Revert> {
+        meter.sload_n(2);
+        let record = self
+            .nodes
+            .get_mut(&sender)
+            .ok_or_else(|| Revert::new("no deposit on record"))?;
+        if record.serving {
+            return Err(Revert::new("cannot withdraw while serving"));
+        }
+        let rest = record
+            .deposit
+            .checked_sub(amount)
+            .ok_or_else(|| Revert::new("insufficient deposit"))?;
+        record.deposit = rest;
+        meter.sstore_update();
+        if !state.transfer(&crate::calls::fndm_address(), sender, amount) {
+            return Err(Revert::new("module balance underflow"));
+        }
+        meter.value_transfer(false);
+        Ok((Vec::new(), Vec::new()))
+    }
+
+    /// `setServing(bool)`: flags availability; requires the minimum
+    /// deposit to enable.
+    ///
+    /// # Errors
+    ///
+    /// Reverts when enabling without sufficient collateral.
+    pub fn set_serving(
+        &mut self,
+        sender: Address,
+        serving: bool,
+        meter: &mut GasMeter,
+    ) -> Result<(Vec<u8>, Vec<Log>), Revert> {
+        meter.sload_n(1);
+        let record = self.nodes.entry(sender).or_default();
+        if serving && record.deposit < min_deposit() {
+            return Err(Revert::new("deposit below serving minimum"));
+        }
+        record.serving = serving;
+        meter.sstore_update();
+        Ok((Vec::new(), Vec::new()))
+    }
+
+    /// Whether a node can currently accept new PARP connections.
+    pub fn is_eligible(&self, node: &Address) -> bool {
+        self.nodes
+            .get(node)
+            .map(|r| r.serving && r.deposit >= min_deposit())
+            .unwrap_or(false)
+    }
+
+    /// The collateral currently locked by a node.
+    pub fn deposit_of(&self, node: &Address) -> U256 {
+        self.nodes.get(node).map(|r| r.deposit).unwrap_or(U256::ZERO)
+    }
+
+    /// A node's full record.
+    pub fn record(&self, node: &Address) -> Option<&NodeRecord> {
+        self.nodes.get(node)
+    }
+
+    /// The on-chain registry of serving full nodes (paper §IV-A:
+    /// "discoverable via an on-chain registry").
+    pub fn registry(&self) -> Vec<Address> {
+        self.nodes
+            .iter()
+            .filter(|(_, r)| r.serving && r.deposit >= min_deposit())
+            .map(|(a, _)| *a)
+            .collect()
+    }
+
+    /// Undistributed slashed funds held for the serving-layer pool.
+    pub fn pool(&self) -> U256 {
+        self.pool
+    }
+
+    /// Confiscates a misbehaving node's entire deposit and splits it
+    /// between the reporting light client, the witness node and the
+    /// serving-layer pool (§IV-F). Returns the slashed amount.
+    pub(crate) fn slash(
+        &mut self,
+        offender: Address,
+        light_client: Address,
+        witness: Address,
+        state: &mut State,
+        meter: &mut GasMeter,
+    ) -> Result<U256, Revert> {
+        meter.sload_n(2);
+        let record = self
+            .nodes
+            .get_mut(&offender)
+            .ok_or_else(|| Revert::new("offender has no deposit"))?;
+        let slashed = record.deposit;
+        if slashed.is_zero() {
+            return Err(Revert::new("offender deposit already empty"));
+        }
+        record.deposit = U256::ZERO;
+        record.serving = false;
+        record.slash_count += 1;
+        meter.sstore_update();
+        meter.sstore_update();
+        let hundred = U256::from(100u64);
+        let client_share = slashed * U256::from(SLASH_CLIENT_SHARE) / hundred;
+        let witness_share = slashed * U256::from(SLASH_WITNESS_SHARE) / hundred;
+        let pool_share = slashed - client_share - witness_share;
+        let module = crate::calls::fndm_address();
+        let client_new = state.account(&light_client).is_none();
+        if !state.transfer(&module, light_client, client_share) {
+            return Err(Revert::new("module balance underflow"));
+        }
+        meter.value_transfer(client_new);
+        let witness_new = state.account(&witness).is_none();
+        if !state.transfer(&module, witness, witness_share) {
+            return Err(Revert::new("module balance underflow"));
+        }
+        meter.value_transfer(witness_new);
+        self.pool = self.pool.saturating_add(pool_share);
+        meter.sstore_update();
+        Ok(slashed)
+    }
+
+    /// Commitment to the module state, stored as the module account's
+    /// `storage_root` so the world-state root covers module state.
+    pub fn commitment(&self) -> H256 {
+        let mut hasher = Keccak256::new();
+        hasher.update(b"fndm");
+        for (address, record) in &self.nodes {
+            hasher.update(address.as_bytes());
+            hasher.update(&record.deposit.to_be_bytes());
+            hasher.update(&[record.serving as u8]);
+            hasher.update(&record.slash_count.to_be_bytes());
+        }
+        hasher.update(&self.pool.to_be_bytes());
+        hasher.finalize()
+    }
+}
+
+/// Builds a log with a name-derived topic0, like a Solidity event.
+pub(crate) fn event_log(
+    address: Address,
+    signature: &str,
+    extra_topics: &[H256],
+    data: &[u8],
+) -> Log {
+    let mut topics = vec![keccak256(signature.as_bytes())];
+    topics.extend_from_slice(extra_topics);
+    Log {
+        address,
+        topics,
+        data: data.to_vec(),
+    }
+}
+
+/// Encodes an address as a 32-byte log topic.
+pub(crate) fn address_topic(address: &Address) -> H256 {
+    let mut bytes = [0u8; 32];
+    bytes[12..].copy_from_slice(address.as_bytes());
+    H256::new(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> Address {
+        Address::from_low_u64_be(0xff01)
+    }
+
+    fn meter() -> GasMeter {
+        GasMeter::new()
+    }
+
+    #[test]
+    fn deposit_accumulates() {
+        let mut fndm = DepositModule::new();
+        let mut m = meter();
+        fndm.deposit(node(), U256::from(10u64), &mut m).unwrap();
+        fndm.deposit(node(), U256::from(5u64), &mut m).unwrap();
+        assert_eq!(fndm.deposit_of(&node()), U256::from(15u64));
+        assert!(m.used() > 0);
+    }
+
+    #[test]
+    fn zero_deposit_reverts() {
+        let mut fndm = DepositModule::new();
+        assert!(fndm.deposit(node(), U256::ZERO, &mut meter()).is_err());
+    }
+
+    #[test]
+    fn serving_requires_minimum() {
+        let mut fndm = DepositModule::new();
+        fndm.deposit(node(), U256::from(10u64), &mut meter()).unwrap();
+        assert!(fndm.set_serving(node(), true, &mut meter()).is_err());
+        fndm.deposit(node(), min_deposit(), &mut meter()).unwrap();
+        fndm.set_serving(node(), true, &mut meter()).unwrap();
+        assert!(fndm.is_eligible(&node()));
+        assert_eq!(fndm.registry(), vec![node()]);
+    }
+
+    #[test]
+    fn withdraw_blocked_while_serving() {
+        let mut fndm = DepositModule::new();
+        let mut state = State::new();
+        state.credit(crate::calls::fndm_address(), min_deposit());
+        fndm.deposit(node(), min_deposit(), &mut meter()).unwrap();
+        fndm.set_serving(node(), true, &mut meter()).unwrap();
+        assert!(fndm
+            .withdraw(node(), U256::ONE, &mut state, &mut meter())
+            .is_err());
+        fndm.set_serving(node(), false, &mut meter()).unwrap();
+        fndm.withdraw(node(), min_deposit(), &mut state, &mut meter())
+            .unwrap();
+        assert_eq!(fndm.deposit_of(&node()), U256::ZERO);
+        assert_eq!(state.balance(&node()), min_deposit());
+    }
+
+    #[test]
+    fn slash_splits_three_ways() {
+        let mut fndm = DepositModule::new();
+        let mut state = State::new();
+        let lc = Address::from_low_u64_be(0x1c);
+        let witness = Address::from_low_u64_be(0x33);
+        let stake = U256::from(1_000u64);
+        state.credit(crate::calls::fndm_address(), stake);
+        fndm.deposit(node(), stake, &mut meter()).unwrap();
+        let slashed = fndm
+            .slash(node(), lc, witness, &mut state, &mut meter())
+            .unwrap();
+        assert_eq!(slashed, stake);
+        assert_eq!(state.balance(&lc), U256::from(400u64));
+        assert_eq!(state.balance(&witness), U256::from(200u64));
+        assert_eq!(fndm.pool(), U256::from(400u64));
+        assert_eq!(fndm.deposit_of(&node()), U256::ZERO);
+        assert!(!fndm.is_eligible(&node()));
+        assert_eq!(fndm.record(&node()).unwrap().slash_count, 1);
+    }
+
+    #[test]
+    fn double_slash_reverts() {
+        let mut fndm = DepositModule::new();
+        let mut state = State::new();
+        state.credit(crate::calls::fndm_address(), U256::from(100u64));
+        fndm.deposit(node(), U256::from(100u64), &mut meter()).unwrap();
+        fndm.slash(node(), Address::ZERO, Address::ZERO, &mut state, &mut meter())
+            .unwrap();
+        assert!(fndm
+            .slash(node(), Address::ZERO, Address::ZERO, &mut state, &mut meter())
+            .is_err());
+    }
+
+    #[test]
+    fn commitment_tracks_state() {
+        let mut fndm = DepositModule::new();
+        let c0 = fndm.commitment();
+        fndm.deposit(node(), U256::ONE, &mut meter()).unwrap();
+        let c1 = fndm.commitment();
+        assert_ne!(c0, c1);
+    }
+}

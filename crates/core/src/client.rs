@@ -1,0 +1,743 @@
+//! The PARP light client: header store, handshake and channel state
+//! machine (Fig. 4, Algorithm 1), request construction, response
+//! verification, and fraud-evidence collection.
+
+use crate::server::HandshakeConfirm;
+use crate::verify::{classify_response, Classification, InvalidReason};
+use parp_chain::{Header, SignedTransaction, Transaction};
+use parp_contracts::{
+    ChannelStatus, FraudVerdict, ModuleCall, ParpRequest, ParpResponse, RpcCall,
+    MODULE_CALL_GAS_LIMIT,
+};
+use parp_crypto::{recover_address, sign, KeyPair, SecretKey};
+use parp_primitives::{Address, H256, U256};
+use std::collections::{BTreeMap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+/// The light client's protocol state (Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClientState {
+    /// No connection.
+    #[default]
+    Idle,
+    /// `HANDSHAKE` sent, waiting for `HSCONFIRM`.
+    Handshaking,
+    /// `OpenChannel` sent, waiting for the receipt.
+    Unbonded,
+    /// Channel open; requests flowing.
+    Bonded,
+    /// `CloseChannel` sent, waiting for settlement.
+    Unbonding,
+}
+
+/// Client-side errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The operation requires a different protocol state.
+    WrongState {
+        /// State the operation requires.
+        expected: ClientState,
+        /// State the client is in.
+        actual: ClientState,
+    },
+    /// No synced headers yet — cannot pick `h_B`.
+    NoHeaders,
+    /// The handshake confirmation failed validation.
+    BadConfirmation(String),
+    /// The channel budget cannot cover another call.
+    BudgetExhausted,
+    /// No pending request matches this response.
+    UnknownResponse,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::WrongState { expected, actual } => {
+                write!(f, "operation requires {expected:?} state, client is {actual:?}")
+            }
+            ClientError::NoHeaders => write!(f, "no synced block headers"),
+            ClientError::BadConfirmation(e) => write!(f, "handshake confirmation rejected: {e}"),
+            ClientError::BudgetExhausted => write!(f, "channel budget exhausted"),
+            ClientError::UnknownResponse => write!(f, "response matches no pending request"),
+        }
+    }
+}
+
+impl Error for ClientError {}
+
+/// The client's view of its payment channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientChannel {
+    /// Channel identifier α.
+    pub id: u64,
+    /// The serving full node.
+    pub full_node: Address,
+    /// Budget locked on-chain.
+    pub budget: U256,
+    /// Cumulative amount committed so far (the local `a`).
+    pub spent: U256,
+}
+
+/// Everything needed to prove fraud on-chain: the request, the signed
+/// response, and the header the proof is judged against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FraudEvidence {
+    /// The offending request.
+    pub request: ParpRequest,
+    /// The fraudulent response.
+    pub response: ParpResponse,
+    /// Header of block `res.m_B`.
+    pub header: Header,
+    /// What the client's checks concluded.
+    pub verdict: FraudVerdict,
+}
+
+impl FraudEvidence {
+    /// Builds the `submitFraudProof` module call, to be relayed through a
+    /// witness full node (§IV-F).
+    pub fn to_module_call(&self, witness: Address) -> ModuleCall {
+        ModuleCall::SubmitFraudProof {
+            request: self.request.encode(),
+            response: self.response.encode(),
+            witness,
+            header: self.header.encode(),
+        }
+    }
+}
+
+/// Outcome of processing a response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcessOutcome {
+    /// Response accepted; payload returned.
+    Valid {
+        /// The verified `R(γ)` payload.
+        result: Vec<u8>,
+        /// The verified Merkle proof, if the call had one.
+        proven: bool,
+    },
+    /// Response rejected without slashing grounds; the client should
+    /// terminate the connection.
+    Invalid(InvalidReason),
+    /// Provable fraud; the evidence supports an on-chain proof.
+    Fraud(Box<FraudEvidence>),
+}
+
+#[derive(Debug, Clone)]
+struct PendingRequest {
+    request: ParpRequest,
+    request_height: u64,
+}
+
+/// A PARP light client.
+///
+/// Holds only block headers (never full blocks), a single payment channel,
+/// and the key pair that pseudonymously identifies it.
+#[derive(Debug, Clone)]
+pub struct LightClient {
+    key: KeyPair,
+    price_per_call: U256,
+    headers: BTreeMap<u64, Header>,
+    hash_index: HashMap<H256, u64>,
+    state: ClientState,
+    channel: Option<ClientChannel>,
+    pending: HashMap<H256, PendingRequest>,
+    valid_responses: u64,
+}
+
+impl LightClient {
+    /// Creates a client paying `price_per_call` wei per request.
+    pub fn new(secret: SecretKey, price_per_call: U256) -> Self {
+        LightClient {
+            key: KeyPair::from_secret(secret),
+            price_per_call,
+            headers: BTreeMap::new(),
+            hash_index: HashMap::new(),
+            state: ClientState::Idle,
+            channel: None,
+            pending: HashMap::new(),
+            valid_responses: 0,
+        }
+    }
+
+    /// The client's (pseudonymous) address.
+    pub fn address(&self) -> Address {
+        self.key.address()
+    }
+
+    /// The client's secret key (for signing its on-chain transactions).
+    pub fn secret(&self) -> &SecretKey {
+        self.key.secret()
+    }
+
+    /// Current protocol state.
+    pub fn state(&self) -> ClientState {
+        self.state
+    }
+
+    /// The client's channel view, if connected.
+    pub fn channel(&self) -> Option<&ClientChannel> {
+        self.channel.as_ref()
+    }
+
+    /// Number of responses accepted as valid.
+    pub fn valid_responses(&self) -> u64 {
+        self.valid_responses
+    }
+
+    /// Ingests a block header from any source (headers are
+    /// self-authenticating through their hashes; PARP assumes header
+    /// availability, §IV-D).
+    ///
+    /// Returns `false` when the header conflicts with an already-stored
+    /// header at the same height (which the client refuses to overwrite).
+    pub fn sync_header(&mut self, header: Header) -> bool {
+        if let Some(existing) = self.headers.get(&header.number) {
+            return existing.hash() == header.hash();
+        }
+        self.hash_index.insert(header.hash(), header.number);
+        self.headers.insert(header.number, header);
+        true
+    }
+
+    /// Ingests many headers.
+    pub fn sync_headers<I: IntoIterator<Item = Header>>(&mut self, headers: I) {
+        for header in headers {
+            self.sync_header(header);
+        }
+    }
+
+    /// The latest synced header (the client's chain tip).
+    pub fn tip(&self) -> Option<&Header> {
+        self.headers.values().next_back()
+    }
+
+    /// Header lookup by height.
+    pub fn header(&self, number: u64) -> Option<&Header> {
+        self.headers.get(&number)
+    }
+
+    /// Number of headers held — the client's whole storage footprint.
+    pub fn headers_len(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Starts a handshake with a full node (Algorithm 1, `HANDSHAKE`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when not [`ClientState::Idle`] or no headers are synced.
+    pub fn start_handshake(&mut self, _full_node: Address) -> Result<Address, ClientError> {
+        self.require_state(ClientState::Idle)?;
+        if self.headers.is_empty() {
+            return Err(ClientError::NoHeaders);
+        }
+        self.state = ClientState::Handshaking;
+        Ok(self.address())
+    }
+
+    /// Validates an `HSCONFIRM` and produces the signed `OpenChannel`
+    /// transaction (Algorithm 1 lines 10-16).
+    ///
+    /// # Errors
+    ///
+    /// Fails on state mismatch, an expired or mis-signed confirmation.
+    pub fn accept_confirmation(
+        &mut self,
+        confirm: &HandshakeConfirm,
+        budget: U256,
+        nonce: u64,
+    ) -> Result<SignedTransaction, ClientError> {
+        self.require_state(ClientState::Handshaking)?;
+        let now = self.tip().map(|h| h.timestamp).unwrap_or(0);
+        if confirm.expiry < now {
+            self.state = ClientState::Idle;
+            return Err(ClientError::BadConfirmation("confirmation expired".into()));
+        }
+        let digest =
+            parp_contracts::confirmation_digest(&self.address(), confirm.expiry);
+        match recover_address(&digest, &confirm.signature) {
+            Ok(addr) if addr == confirm.full_node => {}
+            _ => {
+                self.state = ClientState::Idle;
+                return Err(ClientError::BadConfirmation(
+                    "signature does not recover to the full node".into(),
+                ));
+            }
+        }
+        let call = ModuleCall::OpenChannel {
+            full_node: confirm.full_node,
+            expiry: confirm.expiry,
+            confirmation_sig: confirm.signature,
+        };
+        let tx = Transaction {
+            nonce,
+            gas_price: U256::ZERO,
+            gas_limit: MODULE_CALL_GAS_LIMIT,
+            to: Some(call.target()),
+            value: budget,
+            data: call.encode(),
+        }
+        .sign(self.key.secret());
+        self.channel = Some(ClientChannel {
+            id: u64::MAX, // assigned on receipt
+            full_node: confirm.full_node,
+            budget,
+            spent: U256::ZERO,
+        });
+        self.state = ClientState::Unbonded;
+        Ok(tx)
+    }
+
+    /// Records the `OpenChannel` receipt: the channel id is known and the
+    /// client becomes *Bonded* (Algorithm 1 lines 17-21).
+    ///
+    /// # Errors
+    ///
+    /// Fails when not [`ClientState::Unbonded`].
+    pub fn channel_opened(&mut self, channel_id: u64) -> Result<(), ClientError> {
+        self.require_state(ClientState::Unbonded)?;
+        if let Some(channel) = &mut self.channel {
+            channel.id = channel_id;
+        }
+        self.state = ClientState::Bonded;
+        Ok(())
+    }
+
+    /// Builds the next signed request for `call`, bumping the cumulative
+    /// payment by the agreed price (§IV-E step 3).
+    ///
+    /// # Errors
+    ///
+    /// Fails when not bonded, headers are missing, or the budget cannot
+    /// cover the next payment.
+    pub fn request(&mut self, call: RpcCall) -> Result<ParpRequest, ClientError> {
+        self.require_state(ClientState::Bonded)?;
+        let tip = self.tip().ok_or(ClientError::NoHeaders)?;
+        let (tip_hash, tip_number) = (tip.hash(), tip.number);
+        let channel = self.channel.as_ref().expect("bonded implies channel");
+        let amount = channel.spent.saturating_add(self.price_per_call);
+        if amount > channel.budget {
+            return Err(ClientError::BudgetExhausted);
+        }
+        let request = ParpRequest::build(
+            self.key.secret(),
+            channel.id,
+            tip_hash,
+            amount,
+            call,
+        );
+        self.pending.insert(
+            request.request_hash,
+            PendingRequest {
+                request: request.clone(),
+                request_height: tip_number,
+            },
+        );
+        Ok(request)
+    }
+
+    /// A liveness probe for the client's own channel (§V-C).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LightClient::request`].
+    pub fn liveness_probe(&mut self) -> Result<ParpRequest, ClientError> {
+        let channel_id = self
+            .channel
+            .as_ref()
+            .map(|c| c.id)
+            .ok_or(ClientError::WrongState {
+                expected: ClientState::Bonded,
+                actual: self.state,
+            })?;
+        self.request(RpcCall::GetChannelStatus { channel_id })
+    }
+
+    /// Verifies a response against its pending request ((D) in Fig. 5) and
+    /// updates the channel ledger.
+    ///
+    /// On a *valid* response the committed amount advances. On an
+    /// *invalid* one the pending payment is rolled back (it was never
+    /// acknowledged) and the caller should fail over to another node. On
+    /// *fraud* the returned evidence supports an on-chain proof.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no pending request matches the response.
+    pub fn process_response(
+        &mut self,
+        response: &ParpResponse,
+    ) -> Result<ProcessOutcome, ClientError> {
+        // Pair by the echoed hash; when the echo is corrupted but exactly
+        // one request is in flight, transport-level pairing still
+        // identifies it (and the §V-D hash check will flag the response).
+        let pending = match self.pending.remove(&response.request_hash) {
+            Some(pending) => pending,
+            None if self.pending.len() == 1 => {
+                let key = *self.pending.keys().next().expect("len checked");
+                self.pending.remove(&key).expect("key just read")
+            }
+            None => return Err(ClientError::UnknownResponse),
+        };
+        let channel = self.channel.as_ref().expect("pending implies channel");
+        let classification = classify_response(
+            &pending.request,
+            response,
+            channel.full_node,
+            pending.request_height,
+            |n| self.headers.get(&n).cloned(),
+        );
+        match classification {
+            Classification::Valid => {
+                let proven = !response.proof.is_empty();
+                self.valid_responses += 1;
+                if let Some(channel) = &mut self.channel {
+                    channel.spent = channel.spent.max(pending.request.amount);
+                }
+                Ok(ProcessOutcome::Valid {
+                    result: response.result.clone(),
+                    proven,
+                })
+            }
+            Classification::Invalid(reason) => {
+                // Keep the pending payment un-committed; the node cannot
+                // redeem it without returning a verifiable response, but
+                // the client still counts it spent defensively (the node
+                // holds σ_a). Terminate per §V-D.
+                if let Some(channel) = &mut self.channel {
+                    channel.spent = channel.spent.max(pending.request.amount);
+                }
+                Ok(ProcessOutcome::Invalid(reason))
+            }
+            Classification::Fraudulent(verdict) => {
+                if let Some(channel) = &mut self.channel {
+                    channel.spent = channel.spent.max(pending.request.amount);
+                }
+                let header = self
+                    .headers
+                    .get(&response.block_number)
+                    .cloned()
+                    .expect("classification used this header");
+                Ok(ProcessOutcome::Fraud(Box::new(FraudEvidence {
+                    request: pending.request,
+                    response: response.clone(),
+                    header,
+                    verdict,
+                })))
+            }
+        }
+    }
+
+    /// Interprets a liveness-probe result: `true` when the channel is
+    /// still open according to the node.
+    pub fn channel_reported_open(result: &[u8]) -> bool {
+        result == [ChannelStatus::Open.as_byte()]
+    }
+
+    /// Builds the `closeChannel` call with the client's final state and
+    /// transitions to *Unbonding* (§IV-E step 4).
+    ///
+    /// # Errors
+    ///
+    /// Fails when not bonded.
+    pub fn close_channel_call(&mut self) -> Result<ModuleCall, ClientError> {
+        self.require_state(ClientState::Bonded)?;
+        let channel = self.channel.as_ref().expect("bonded implies channel");
+        let amount = channel.spent;
+        let payment_sig = sign(
+            self.key.secret(),
+            &parp_contracts::payment_digest(channel.id, &amount),
+        );
+        self.state = ClientState::Unbonding;
+        Ok(ModuleCall::CloseChannel {
+            channel_id: channel.id,
+            amount,
+            payment_sig,
+        })
+    }
+
+    /// Builds the `confirmClosure` call for the client's channel.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the client has no channel.
+    pub fn confirm_closure_call(&self) -> Result<ModuleCall, ClientError> {
+        let channel = self.channel.as_ref().ok_or(ClientError::WrongState {
+            expected: ClientState::Unbonding,
+            actual: self.state,
+        })?;
+        Ok(ModuleCall::ConfirmClosure {
+            channel_id: channel.id,
+        })
+    }
+
+    /// Records final settlement: back to *Idle* with no channel.
+    pub fn channel_closed(&mut self) {
+        self.state = ClientState::Idle;
+        self.channel = None;
+        self.pending.clear();
+    }
+
+    /// Abandons the current connection (fail-over after an invalid
+    /// response or detected fraud): the client returns to *Idle* and can
+    /// immediately handshake with another node, since PARP needs no
+    /// sign-up (§IV-A "enhanced availability").
+    pub fn abandon_connection(&mut self) {
+        self.state = ClientState::Idle;
+        self.channel = None;
+        self.pending.clear();
+    }
+
+    fn require_state(&self, expected: ClientState) -> Result<(), ClientError> {
+        if self.state == expected {
+            Ok(())
+        } else {
+            Err(ClientError::WrongState {
+                expected,
+                actual: self.state,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::FullNode;
+    use parp_primitives::H256;
+
+    fn header_at(number: u64) -> Header {
+        Header {
+            parent_hash: H256::from_low_u64_be(number.wrapping_sub(1)),
+            ommers_hash: parp_crypto::keccak256(&[0xc0]),
+            beneficiary: Address::ZERO,
+            state_root: parp_trie::empty_root(),
+            transactions_root: parp_trie::empty_root(),
+            receipts_root: parp_trie::empty_root(),
+            difficulty: U256::ZERO,
+            number,
+            gas_limit: 30_000_000,
+            gas_used: 0,
+            timestamp: 1_700_000_000 + number * 12,
+            extra_data: Vec::new(),
+        }
+    }
+
+    fn bonded_client() -> (LightClient, FullNode) {
+        let node = FullNode::new(SecretKey::from_seed(b"lc-test-node"), U256::from(10u64));
+        let mut client = LightClient::new(SecretKey::from_seed(b"lc-test"), U256::from(10u64));
+        client.sync_headers((0..5).map(header_at));
+        client.start_handshake(node.address()).unwrap();
+        let confirm = node.confirm_handshake(client.address(), 1_700_000_000);
+        client
+            .accept_confirmation(&confirm, U256::from(1_000u64), 0)
+            .unwrap();
+        client.channel_opened(7).unwrap();
+        (client, node)
+    }
+
+    #[test]
+    fn state_machine_follows_fig4() {
+        let node = FullNode::new(SecretKey::from_seed(b"sm-node"), U256::ONE);
+        let mut client = LightClient::new(SecretKey::from_seed(b"sm"), U256::ONE);
+        assert_eq!(client.state(), ClientState::Idle);
+        // No headers: cannot handshake.
+        assert_eq!(
+            client.start_handshake(node.address()),
+            Err(ClientError::NoHeaders)
+        );
+        client.sync_header(header_at(0));
+        client.start_handshake(node.address()).unwrap();
+        assert_eq!(client.state(), ClientState::Handshaking);
+        let confirm = node.confirm_handshake(client.address(), 1_700_000_000);
+        client
+            .accept_confirmation(&confirm, U256::from(100u64), 0)
+            .unwrap();
+        assert_eq!(client.state(), ClientState::Unbonded);
+        client.channel_opened(0).unwrap();
+        assert_eq!(client.state(), ClientState::Bonded);
+        client.close_channel_call().unwrap();
+        assert_eq!(client.state(), ClientState::Unbonding);
+        client.channel_closed();
+        assert_eq!(client.state(), ClientState::Idle);
+        assert!(client.channel().is_none());
+    }
+
+    #[test]
+    fn rejects_forged_confirmation() {
+        let mut client = LightClient::new(SecretKey::from_seed(b"forge"), U256::ONE);
+        client.sync_header(header_at(0));
+        let node = FullNode::new(SecretKey::from_seed(b"honest"), U256::ONE);
+        client.start_handshake(node.address()).unwrap();
+        let mut confirm = node.confirm_handshake(client.address(), 1_700_000_000);
+        confirm.full_node = Address::from_low_u64_be(0xbad); // not the signer
+        assert!(matches!(
+            client.accept_confirmation(&confirm, U256::from(100u64), 0),
+            Err(ClientError::BadConfirmation(_))
+        ));
+        // Failed confirmation resets to Idle for a retry.
+        assert_eq!(client.state(), ClientState::Idle);
+    }
+
+    #[test]
+    fn rejects_expired_confirmation() {
+        let mut client = LightClient::new(SecretKey::from_seed(b"expired"), U256::ONE);
+        client.sync_header(header_at(1000)); // tip timestamp far in the future
+        let node = FullNode::new(SecretKey::from_seed(b"slow"), U256::ONE);
+        client.start_handshake(node.address()).unwrap();
+        let confirm = node.confirm_handshake(client.address(), 0); // expiry = TTL only
+        assert!(matches!(
+            client.accept_confirmation(&confirm, U256::from(100u64), 0),
+            Err(ClientError::BadConfirmation(_))
+        ));
+    }
+
+    #[test]
+    fn requests_accumulate_payments() {
+        let (mut client, _) = bonded_client();
+        let r1 = client.request(RpcCall::BlockNumber).unwrap();
+        assert_eq!(r1.amount, U256::from(10u64));
+        // Until a response is accepted, `spent` stays; a second request
+        // re-offers the same cumulative amount (r1 was never acknowledged).
+        let r2 = client.request(RpcCall::BlockNumber).unwrap();
+        assert_eq!(r2.amount, U256::from(10u64));
+        assert_eq!(r1.channel_id, 7);
+    }
+
+    #[test]
+    fn budget_exhaustion() {
+        let node = FullNode::new(SecretKey::from_seed(b"be-node"), U256::from(60u64));
+        let mut client = LightClient::new(SecretKey::from_seed(b"be"), U256::from(60u64));
+        client.sync_header(header_at(0));
+        client.start_handshake(node.address()).unwrap();
+        let confirm = node.confirm_handshake(client.address(), 1_700_000_000);
+        client
+            .accept_confirmation(&confirm, U256::from(100u64), 0)
+            .unwrap();
+        client.channel_opened(0).unwrap();
+        let r = client.request(RpcCall::BlockNumber).unwrap();
+        // Simulate acceptance to advance spent.
+        client.channel.as_mut().unwrap().spent = r.amount;
+        assert_eq!(
+            client.request(RpcCall::BlockNumber),
+            Err(ClientError::BudgetExhausted)
+        );
+    }
+
+    #[test]
+    fn header_conflicts_rejected() {
+        let mut client = LightClient::new(SecretKey::from_seed(b"hdr"), U256::ONE);
+        assert!(client.sync_header(header_at(3)));
+        assert!(client.sync_header(header_at(3))); // same header is fine
+        let mut conflicting = header_at(3);
+        conflicting.gas_used = 999;
+        assert!(!client.sync_header(conflicting));
+        assert_eq!(client.headers_len(), 1);
+        assert_eq!(client.tip().unwrap().number, 3);
+    }
+
+    #[test]
+    fn unknown_response_rejected() {
+        let (mut client, node) = bonded_client();
+        let foreign_req = ParpRequest::build(
+            &SecretKey::from_seed(b"other"),
+            7,
+            header_at(4).hash(),
+            U256::from(10u64),
+            RpcCall::BlockNumber,
+        );
+        let response = ParpResponse::build(
+            node.secret(),
+            &foreign_req,
+            4,
+            parp_rlp::encode_u64(4),
+            Vec::new(),
+        );
+        assert_eq!(
+            client.process_response(&response),
+            Err(ClientError::UnknownResponse)
+        );
+    }
+
+    #[test]
+    fn valid_response_advances_ledger() {
+        let (mut client, node) = bonded_client();
+        let request = client.request(RpcCall::BlockNumber).unwrap();
+        let response = ParpResponse::build(
+            node.secret(),
+            &request,
+            4,
+            parp_rlp::encode_u64(4),
+            Vec::new(),
+        );
+        let outcome = client.process_response(&response).unwrap();
+        assert!(matches!(outcome, ProcessOutcome::Valid { .. }));
+        assert_eq!(client.channel().unwrap().spent, U256::from(10u64));
+        assert_eq!(client.valid_responses(), 1);
+        // The next request pays more.
+        let next = client.request(RpcCall::BlockNumber).unwrap();
+        assert_eq!(next.amount, U256::from(20u64));
+    }
+
+    #[test]
+    fn fraudulent_response_yields_evidence() {
+        let (mut client, node) = bonded_client();
+        let request = client.request(RpcCall::BlockNumber).unwrap();
+        let mut response = ParpResponse::build(
+            node.secret(),
+            &request,
+            4,
+            parp_rlp::encode_u64(4),
+            Vec::new(),
+        );
+        response.amount = U256::ZERO; // amount mismatch
+        let digest = response.expected_hash();
+        response.response_sig = parp_crypto::sign(node.secret(), &digest);
+        let outcome = client.process_response(&response).unwrap();
+        let ProcessOutcome::Fraud(evidence) = outcome else {
+            panic!("expected fraud, got {outcome:?}");
+        };
+        assert_eq!(evidence.verdict, FraudVerdict::AmountMismatch);
+        assert_eq!(evidence.header.number, 4);
+        // Evidence converts into a module call for the witness.
+        let call = evidence.to_module_call(Address::from_low_u64_be(0x33));
+        assert!(matches!(call, ModuleCall::SubmitFraudProof { .. }));
+    }
+
+    #[test]
+    fn liveness_probe_and_interpretation() {
+        let (mut client, node) = bonded_client();
+        let probe = client.liveness_probe().unwrap();
+        assert!(matches!(
+            probe.call,
+            RpcCall::GetChannelStatus { channel_id: 7 }
+        ));
+        let response = ParpResponse::build(
+            node.secret(),
+            &probe,
+            4,
+            vec![ChannelStatus::Open.as_byte()],
+            Vec::new(),
+        );
+        let outcome = client.process_response(&response).unwrap();
+        let ProcessOutcome::Valid { result, .. } = outcome else {
+            panic!("probe should be valid");
+        };
+        assert!(LightClient::channel_reported_open(&result));
+        assert!(!LightClient::channel_reported_open(&[
+            ChannelStatus::Closed.as_byte()
+        ]));
+    }
+
+    #[test]
+    fn abandon_allows_new_handshake() {
+        let (mut client, _) = bonded_client();
+        client.abandon_connection();
+        assert_eq!(client.state(), ClientState::Idle);
+        let other = FullNode::new(SecretKey::from_seed(b"failover"), U256::from(10u64));
+        client.start_handshake(other.address()).unwrap();
+        assert_eq!(client.state(), ClientState::Handshaking);
+    }
+}

@@ -1,0 +1,159 @@
+//! Failure injection: the ways a malicious or buggy full node can deviate
+//! from the protocol. Drives the fraud tests and the fraud benches.
+
+use parp_contracts::{ParpRequest, ParpResponse};
+use parp_crypto::{sign, SecretKey};
+use parp_primitives::U256;
+
+/// A deviation a full node can be configured to perform.
+///
+/// Variants map onto the paper's §V-D checks: the first group produces
+/// *fraudulent* (slashable) responses, the second *invalid* (untrusted
+/// but unprovable) ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Misbehavior {
+    /// Honest behaviour.
+    #[default]
+    None,
+    /// Echo a lower payment amount — slashable (amount check).
+    WrongAmount,
+    /// Answer as of an older block than the client's view — slashable
+    /// (timestamp check).
+    StaleHeight,
+    /// Return a forged result with an honest proof — slashable (Merkle
+    /// proof check).
+    ForgedResult,
+    /// Corrupt a byte of the Merkle proof — slashable.
+    CorruptProof,
+    /// Omit the Merkle proof entirely — slashable.
+    OmitProof,
+    /// Answer on a different channel id — invalid (client walks away).
+    WrongChannelId,
+    /// Sign the response with a key other than the node's — invalid.
+    WrongResponseKey,
+    /// Echo a wrong request hash, breaking fraud-proof linkage — invalid.
+    WrongRequestHash,
+}
+
+impl Misbehavior {
+    /// Whether this deviation should be provable on-chain (drives test
+    /// assertions: every `slashable` misbehavior must end in a slash, no
+    /// `!slashable` one may).
+    pub fn slashable(&self) -> bool {
+        matches!(
+            self,
+            Misbehavior::WrongAmount
+                | Misbehavior::StaleHeight
+                | Misbehavior::ForgedResult
+                | Misbehavior::CorruptProof
+                | Misbehavior::OmitProof
+        )
+    }
+
+    /// All deviations (excluding honest), for exhaustive test sweeps.
+    pub fn all() -> [Misbehavior; 8] {
+        [
+            Misbehavior::WrongAmount,
+            Misbehavior::StaleHeight,
+            Misbehavior::ForgedResult,
+            Misbehavior::CorruptProof,
+            Misbehavior::OmitProof,
+            Misbehavior::WrongChannelId,
+            Misbehavior::WrongResponseKey,
+            Misbehavior::WrongRequestHash,
+        ]
+    }
+
+    /// Applies the deviation to an honest response, re-signing where the
+    /// attack requires the node's authentic signature.
+    ///
+    /// `request_height` is the height of `req.h_B` (used to fake
+    /// staleness).
+    pub(crate) fn corrupt(
+        &self,
+        request: &ParpRequest,
+        mut response: ParpResponse,
+        node_key: &SecretKey,
+        request_height: u64,
+    ) -> ParpResponse {
+        match self {
+            Misbehavior::None => return response,
+            Misbehavior::WrongAmount => {
+                response.amount = request.amount.saturating_sub(U256::ONE);
+            }
+            Misbehavior::StaleHeight => {
+                response.block_number = request_height.saturating_sub(1);
+            }
+            Misbehavior::ForgedResult => {
+                // Forge a payload of the right *shape* for the call, so
+                // the lie is well-formed and therefore provable: receipts
+                // keep their envelope with doctored contents; everything
+                // else claims an inflated account.
+                let receipt_envelope = parp_rlp::decode_list_of(&response.result, 2).ok();
+                response.result = match receipt_envelope {
+                    Some(fields) => {
+                        let index = fields[0].as_u64().unwrap_or(0);
+                        let forged_receipt = parp_chain::Receipt {
+                            status: 0, // claim the tx failed
+                            cumulative_gas_used: 1,
+                            logs: Vec::new(),
+                        };
+                        parp_rlp::encode_list(&[
+                            parp_rlp::encode_u64(index),
+                            parp_rlp::encode_bytes(&forged_receipt.encode()),
+                        ])
+                    }
+                    None => parp_chain::Account::with_balance(U256::from(123_456_789_000u64))
+                        .encode(),
+                };
+            }
+            Misbehavior::CorruptProof => {
+                if let Some(first) = response.proof.first_mut() {
+                    if let Some(byte) = first.last_mut() {
+                        *byte ^= 0x01;
+                    }
+                } else {
+                    // Nothing to corrupt: fall back to a forged result so
+                    // the deviation is still observable.
+                    response.result = vec![0xde, 0xad];
+                }
+            }
+            Misbehavior::OmitProof => {
+                response.proof.clear();
+            }
+            Misbehavior::WrongChannelId => {
+                response.channel_id = response.channel_id.wrapping_add(1);
+            }
+            Misbehavior::WrongResponseKey => {
+                let rogue = SecretKey::from_seed(b"rogue-node-key");
+                let digest = response.expected_hash();
+                response.response_sig = sign(&rogue, &digest);
+                return response; // deliberately signed by the wrong key
+            }
+            Misbehavior::WrongRequestHash => {
+                response.request_hash = parp_crypto::keccak256(b"unrelated");
+            }
+        }
+        // Authentic signature over the corrupted contents: the node
+        // commits to its own lie, which is what makes fraud provable.
+        let digest = response.expected_hash();
+        response.response_sig = sign(node_key, &digest);
+        response
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slashable_partition() {
+        let slashable: Vec<_> = Misbehavior::all()
+            .into_iter()
+            .filter(Misbehavior::slashable)
+            .collect();
+        assert_eq!(slashable.len(), 5);
+        assert!(!Misbehavior::None.slashable());
+        assert!(!Misbehavior::WrongChannelId.slashable());
+    }
+}

@@ -1,0 +1,577 @@
+//! The PARP-compatible full node: handshake confirmation, request
+//! verification, response generation, and payment tracking (paper §IV-E,
+//! §V, and the server half of Fig. 5's processing pipeline).
+
+use crate::misbehavior::Misbehavior;
+use parp_chain::Blockchain;
+use parp_contracts::{
+    confirmation_digest, ChannelStatus, ModuleCall, ParpExecutor, ParpRequest, ParpResponse,
+    RpcCall,
+};
+use parp_crypto::{sign, KeyPair, SecretKey, Signature};
+use parp_primitives::{Address, U256};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// How long a handshake confirmation stays valid, in seconds.
+pub const HANDSHAKE_TTL_SECS: u64 = 600;
+
+/// The signed consent a full node returns during the handshake
+/// (Algorithm 1's `HSCONFIRM` message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandshakeConfirm {
+    /// The confirming full node.
+    pub full_node: Address,
+    /// Expiry timestamp of this confirmation.
+    pub expiry: u64,
+    /// `Sign(keccak256(LC || expiry), sk_FN)`.
+    pub signature: Signature,
+}
+
+/// Why a full node refuses to serve a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// No such channel on-chain.
+    UnknownChannel(u64),
+    /// The channel is not in the `Open` state.
+    ChannelNotOpen(u64),
+    /// The channel names a different full node.
+    NotOurChannel,
+    /// `σ_req` or `σ_a` does not recover to the channel's light client.
+    WrongSigner,
+    /// The cumulative amount regressed or pays less than the price.
+    InsufficientPayment {
+        /// Amount offered by this request.
+        offered: U256,
+        /// Minimum acceptable cumulative amount.
+        required: U256,
+    },
+    /// The cumulative amount exceeds the channel budget.
+    BudgetExceeded,
+    /// The wrapped call could not be executed.
+    Execution(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownChannel(id) => write!(f, "unknown channel {id}"),
+            ServeError::ChannelNotOpen(id) => write!(f, "channel {id} is not open"),
+            ServeError::NotOurChannel => write!(f, "channel names a different full node"),
+            ServeError::WrongSigner => write!(f, "request not signed by the channel owner"),
+            ServeError::InsufficientPayment { offered, required } => {
+                write!(f, "payment {offered} below required {required}")
+            }
+            ServeError::BudgetExceeded => write!(f, "cumulative amount exceeds channel budget"),
+            ServeError::Execution(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+/// Per-channel serving state tracked by the node (the `(a, σ_a)` pairs it
+/// will redeem on-chain).
+#[derive(Debug, Clone)]
+pub struct ServedChannel {
+    /// Highest cumulative amount received.
+    pub latest_amount: U256,
+    /// The matching payment signature.
+    pub latest_payment_sig: Signature,
+    /// Requests served on this channel.
+    pub calls_served: u64,
+}
+
+/// A PARP-compatible full node service.
+///
+/// The node borrows the chain (it *is* a full node, so it holds the whole
+/// chain locally) and its view of the on-chain modules.
+#[derive(Debug, Clone)]
+pub struct FullNode {
+    key: KeyPair,
+    price_per_call: U256,
+    channels: HashMap<u64, ServedChannel>,
+    misbehavior: Misbehavior,
+    requests_served: u64,
+}
+
+impl FullNode {
+    /// Creates a full node serving at `price_per_call` wei per request.
+    pub fn new(secret: SecretKey, price_per_call: U256) -> Self {
+        FullNode {
+            key: KeyPair::from_secret(secret),
+            price_per_call,
+            channels: HashMap::new(),
+            misbehavior: Misbehavior::None,
+            requests_served: 0,
+        }
+    }
+
+    /// The node's address.
+    pub fn address(&self) -> Address {
+        self.key.address()
+    }
+
+    /// The node's secret key (needed to build its module transactions).
+    pub fn secret(&self) -> &SecretKey {
+        self.key.secret()
+    }
+
+    /// The agreed price per RPC call.
+    pub fn price_per_call(&self) -> U256 {
+        self.price_per_call
+    }
+
+    /// Total requests served across all channels.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
+    /// Configures failure injection (tests, fraud benches).
+    pub fn set_misbehavior(&mut self, misbehavior: Misbehavior) {
+        self.misbehavior = misbehavior;
+    }
+
+    /// Confirms a handshake: signs consent for `light_client` with an
+    /// expiry of `now + HANDSHAKE_TTL_SECS` (Algorithm 1).
+    pub fn confirm_handshake(&self, light_client: Address, now: u64) -> HandshakeConfirm {
+        let expiry = now + HANDSHAKE_TTL_SECS;
+        let signature = sign(
+            self.key.secret(),
+            &confirmation_digest(&light_client, expiry),
+        );
+        HandshakeConfirm {
+            full_node: self.address(),
+            expiry,
+            signature,
+        }
+    }
+
+    /// Serves one PARP request: verifies it (step B of Fig. 5), executes
+    /// the wrapped call against the chain, and signs the response (step
+    /// C). Write calls mine a block, mirroring the node's relay role.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] when the channel, signatures or payment are
+    /// not acceptable; the request is then not served (and not charged).
+    pub fn handle_request(
+        &mut self,
+        request: &ParpRequest,
+        chain: &mut Blockchain,
+        executor: &mut ParpExecutor,
+    ) -> Result<ParpResponse, ServeError> {
+        self.verify_request(request, executor)?;
+        let request_height = chain
+            .block_number_by_hash(&request.block_hash)
+            .unwrap_or(0);
+        let (block_number, result, proof) = self.execute_call(&request.call, chain, executor)?;
+        // Record the payment before responding: the signed cumulative
+        // amount is the node's receivable.
+        self.channels.insert(
+            request.channel_id,
+            ServedChannel {
+                latest_amount: request.amount,
+                latest_payment_sig: request.payment_sig,
+                calls_served: self
+                    .channels
+                    .get(&request.channel_id)
+                    .map(|c| c.calls_served + 1)
+                    .unwrap_or(1),
+            },
+        );
+        self.requests_served += 1;
+        let honest = ParpResponse::build(
+            self.key.secret(),
+            request,
+            block_number,
+            result,
+            proof,
+        );
+        Ok(self
+            .misbehavior
+            .corrupt(request, honest, self.key.secret(), request_height))
+    }
+
+    /// Step (B): request verification — channel lookup plus two signature
+    /// recoveries (the request signature and the payment signature).
+    pub fn verify_request(
+        &self,
+        request: &ParpRequest,
+        executor: &ParpExecutor,
+    ) -> Result<(), ServeError> {
+        let channel = executor
+            .cmm()
+            .channel(request.channel_id)
+            .ok_or(ServeError::UnknownChannel(request.channel_id))?;
+        // Liveness probes (§V-C) exist to detect a channel being closed
+        // behind the client's back, so they are served while the channel
+        // is Closing; everything else requires Open.
+        let is_liveness_probe = matches!(request.call, RpcCall::GetChannelStatus { .. });
+        match channel.status {
+            ChannelStatus::Open => {}
+            ChannelStatus::Closing { .. } if is_liveness_probe => {}
+            _ => return Err(ServeError::ChannelNotOpen(request.channel_id)),
+        }
+        if channel.full_node != self.address() {
+            return Err(ServeError::NotOurChannel);
+        }
+        if request.signer() != Some(channel.light_client)
+            || request.payment_signer() != Some(channel.light_client)
+        {
+            return Err(ServeError::WrongSigner);
+        }
+        if request.amount > channel.budget {
+            return Err(ServeError::BudgetExceeded);
+        }
+        let prev = self
+            .channels
+            .get(&request.channel_id)
+            .map(|c| c.latest_amount)
+            .unwrap_or(U256::ZERO);
+        let required = prev.saturating_add(self.price_per_call);
+        if request.amount < required {
+            return Err(ServeError::InsufficientPayment {
+                offered: request.amount,
+                required,
+            });
+        }
+        Ok(())
+    }
+
+    /// Executes γ against the chain, returning `(m_B, R(γ), π_γ)`.
+    fn execute_call(
+        &self,
+        call: &RpcCall,
+        chain: &mut Blockchain,
+        executor: &mut ParpExecutor,
+    ) -> Result<(u64, Vec<u8>, Vec<Vec<u8>>), ServeError> {
+        match call {
+            RpcCall::GetBalance { address } => {
+                let head = chain.height();
+                let state = chain.state_at(head).expect("head state exists");
+                let result = state
+                    .account(address)
+                    .map(parp_chain::Account::encode)
+                    .unwrap_or_default();
+                let proof = state.account_proof(address);
+                Ok((head, result, proof))
+            }
+            RpcCall::SendRawTransaction { raw } => {
+                let tx = parp_chain::SignedTransaction::decode(raw)
+                    .map_err(|e| ServeError::Execution(format!("bad transaction: {e}")))?;
+                let hash = tx.hash();
+                chain
+                    .produce_block(vec![tx], executor)
+                    .map_err(|e| ServeError::Execution(format!("inclusion failed: {e}")))?;
+                let (block, index) = chain
+                    .transaction_location(&hash)
+                    .expect("just included");
+                let proof = chain
+                    .transaction_proof(block, index)
+                    .expect("proof for included tx");
+                Ok((block, parp_rlp::encode_u64(index as u64), proof))
+            }
+            RpcCall::GetTransactionByHash { hash } => {
+                match chain.transaction_location(hash) {
+                    Some((block, index)) => {
+                        let proof = chain
+                            .transaction_proof(block, index)
+                            .expect("proof for located tx");
+                        Ok((block, parp_rlp::encode_u64(index as u64), proof))
+                    }
+                    // Absence of a transaction by hash is not provable in
+                    // the transaction trie; serve an empty result at the
+                    // head (the client treats it as unverified data).
+                    None => Ok((chain.height(), Vec::new(), Vec::new())),
+                }
+            }
+            RpcCall::BlockNumber => {
+                let head = chain.height();
+                Ok((head, parp_rlp::encode_u64(head), Vec::new()))
+            }
+            RpcCall::GetHeader { number } => {
+                let header = chain
+                    .block(*number)
+                    .map(|b| b.header.encode())
+                    .unwrap_or_default();
+                Ok((chain.height(), header, Vec::new()))
+            }
+            RpcCall::GetChannelStatus { channel_id } => {
+                let status = executor
+                    .cmm()
+                    .channel(*channel_id)
+                    .map(|c| c.status.as_byte())
+                    .unwrap_or(0xff);
+                Ok((chain.height(), vec![status], Vec::new()))
+            }
+            RpcCall::GetTransactionReceipt { hash } => {
+                match chain.transaction_location(hash) {
+                    Some((block, index)) => {
+                        let receipt = chain.receipts(block).expect("located")[index].encode();
+                        let proof = chain
+                            .receipt_proof(block, index)
+                            .expect("proof for located receipt");
+                        let result = parp_rlp::encode_list(&[
+                            parp_rlp::encode_u64(index as u64),
+                            parp_rlp::encode_bytes(&receipt),
+                        ]);
+                        Ok((block, result, proof))
+                    }
+                    None => Ok((chain.height(), Vec::new(), Vec::new())),
+                }
+            }
+        }
+    }
+
+    /// The serving state for a channel, if any requests arrived.
+    pub fn served_channel(&self, channel_id: u64) -> Option<&ServedChannel> {
+        self.channels.get(&channel_id)
+    }
+
+    /// All channels the node has served, with their receivables.
+    pub fn served_channels(&self) -> impl Iterator<Item = (&u64, &ServedChannel)> {
+        self.channels.iter()
+    }
+
+    /// Builds the `closeChannel` module call redeeming the node's latest
+    /// signed payment state for a channel.
+    pub fn close_channel_call(&self, channel_id: u64) -> Option<ModuleCall> {
+        let served = self.channels.get(&channel_id)?;
+        Some(ModuleCall::CloseChannel {
+            channel_id,
+            amount: served.latest_amount,
+            payment_sig: served.latest_payment_sig,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parp_contracts::{build_module_call, min_deposit};
+    use parp_crypto::recover_address;
+
+    fn setup() -> (Blockchain, ParpExecutor, FullNode, SecretKey, u64) {
+        let node_key = SecretKey::from_seed(b"server-node");
+        let client_key = SecretKey::from_seed(b"server-client");
+        let funds = U256::from(10u64) * min_deposit();
+        let mut chain = Blockchain::new(vec![
+            (node_key.address(), funds),
+            (client_key.address(), funds),
+        ]);
+        let mut executor = ParpExecutor::new();
+        chain
+            .produce_block(
+                vec![
+                    build_module_call(&node_key, 0, ModuleCall::Deposit, min_deposit()),
+                ],
+                &mut executor,
+            )
+            .unwrap();
+        chain
+            .produce_block(
+                vec![build_module_call(
+                    &node_key,
+                    1,
+                    ModuleCall::SetServing { serving: true },
+                    U256::ZERO,
+                )],
+                &mut executor,
+            )
+            .unwrap();
+        let node = FullNode::new(node_key, U256::from(10u64));
+        // Open a channel for the client.
+        let expiry = chain.head().header.timestamp + 600;
+        let confirm = node.confirm_handshake(client_key.address(), chain.head().header.timestamp);
+        assert_eq!(confirm.expiry, expiry);
+        let open = build_module_call(
+            &client_key,
+            0,
+            ModuleCall::OpenChannel {
+                full_node: node.address(),
+                expiry: confirm.expiry,
+                confirmation_sig: confirm.signature,
+            },
+            U256::from(1_000_000u64),
+        );
+        chain.produce_block(vec![open], &mut executor).unwrap();
+        assert_eq!(chain.receipts(chain.height()).unwrap()[0].status, 1);
+        (chain, executor, node, client_key, 0)
+    }
+
+    fn request(
+        client: &SecretKey,
+        chain: &Blockchain,
+        channel: u64,
+        amount: u64,
+        call: RpcCall,
+    ) -> ParpRequest {
+        ParpRequest::build(
+            client,
+            channel,
+            chain.head().hash(),
+            U256::from(amount),
+            call,
+        )
+    }
+
+    #[test]
+    fn handshake_confirmation_verifies() {
+        let node = FullNode::new(SecretKey::from_seed(b"hs"), U256::ONE);
+        let lc = Address::from_low_u64_be(0x1c);
+        let confirm = node.confirm_handshake(lc, 1000);
+        assert_eq!(confirm.expiry, 1000 + HANDSHAKE_TTL_SECS);
+        let digest = confirmation_digest(&lc, confirm.expiry);
+        assert_eq!(
+            recover_address(&digest, &confirm.signature).unwrap(),
+            node.address()
+        );
+    }
+
+    #[test]
+    fn serves_balance_request_with_proof() {
+        let (mut chain, mut executor, mut node, client, channel) = setup();
+        let req = request(
+            &client,
+            &chain,
+            channel,
+            10,
+            RpcCall::GetBalance {
+                address: client.address(),
+            },
+        );
+        let res = node.handle_request(&req, &mut chain, &mut executor).unwrap();
+        assert_eq!(res.channel_id, channel);
+        assert!(!res.proof.is_empty());
+        // The proof verifies against the served header's state root.
+        let header = &chain.block(res.block_number).unwrap().header;
+        let key = parp_crypto::keccak256(client.address().as_bytes());
+        let proven = parp_trie::verify_proof(header.state_root, key.as_bytes(), &res.proof)
+            .unwrap()
+            .unwrap();
+        assert_eq!(proven, res.result);
+        assert_eq!(node.requests_served(), 1);
+    }
+
+    #[test]
+    fn serves_write_request_by_mining() {
+        let (mut chain, mut executor, mut node, client, channel) = setup();
+        let transfer = parp_chain::Transaction {
+            nonce: 1, // nonce 0 opened the channel
+            gas_price: U256::ZERO,
+            gas_limit: 21_000,
+            to: Some(Address::from_low_u64_be(0xaa)),
+            value: U256::from(5u64),
+            data: Vec::new(),
+        }
+        .sign(&client);
+        let height_before = chain.height();
+        let req = request(
+            &client,
+            &chain,
+            channel,
+            10,
+            RpcCall::SendRawTransaction {
+                raw: transfer.encode(),
+            },
+        );
+        let res = node.handle_request(&req, &mut chain, &mut executor).unwrap();
+        assert_eq!(chain.height(), height_before + 1);
+        assert_eq!(res.block_number, height_before + 1);
+        // Proof binds the raw tx into the transactions root.
+        let header = &chain.block(res.block_number).unwrap().header;
+        let index = parp_rlp::decode(&res.result).unwrap().as_u64().unwrap();
+        let proven = parp_trie::verify_proof(
+            header.transactions_root,
+            &parp_rlp::encode_u64(index),
+            &res.proof,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(proven, transfer.encode());
+    }
+
+    #[test]
+    fn rejects_underpayment_and_regression() {
+        let (mut chain, mut executor, mut node, client, channel) = setup();
+        // Price is 10; offering 5 fails.
+        let cheap = request(&client, &chain, channel, 5, RpcCall::BlockNumber);
+        assert!(matches!(
+            node.handle_request(&cheap, &mut chain, &mut executor),
+            Err(ServeError::InsufficientPayment { .. })
+        ));
+        // Pay 10, then try to reuse 10 (cumulative must grow).
+        let first = request(&client, &chain, channel, 10, RpcCall::BlockNumber);
+        node.handle_request(&first, &mut chain, &mut executor).unwrap();
+        let replay = request(&client, &chain, channel, 10, RpcCall::BlockNumber);
+        assert!(matches!(
+            node.handle_request(&replay, &mut chain, &mut executor),
+            Err(ServeError::InsufficientPayment { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_overbudget() {
+        let (mut chain, mut executor, mut node, client, channel) = setup();
+        let req = request(&client, &chain, channel, 2_000_000, RpcCall::BlockNumber);
+        assert_eq!(
+            node.handle_request(&req, &mut chain, &mut executor),
+            Err(ServeError::BudgetExceeded)
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_channel_and_wrong_signer() {
+        let (mut chain, mut executor, mut node, client, _) = setup();
+        let ghost = request(&client, &chain, 42, 10, RpcCall::BlockNumber);
+        assert_eq!(
+            node.handle_request(&ghost, &mut chain, &mut executor),
+            Err(ServeError::UnknownChannel(42))
+        );
+        let stranger = SecretKey::from_seed(b"stranger");
+        let forged = ParpRequest::build(
+            &stranger,
+            0,
+            chain.head().hash(),
+            U256::from(10u64),
+            RpcCall::BlockNumber,
+        );
+        assert_eq!(
+            node.handle_request(&forged, &mut chain, &mut executor),
+            Err(ServeError::WrongSigner)
+        );
+    }
+
+    #[test]
+    fn tracks_latest_payment_for_redemption() {
+        let (mut chain, mut executor, mut node, client, channel) = setup();
+        for amount in [10u64, 20, 30] {
+            let req = request(&client, &chain, channel, amount, RpcCall::BlockNumber);
+            node.handle_request(&req, &mut chain, &mut executor).unwrap();
+        }
+        let served = node.served_channel(channel).unwrap();
+        assert_eq!(served.latest_amount, U256::from(30u64));
+        assert_eq!(served.calls_served, 3);
+        let close = node.close_channel_call(channel).unwrap();
+        assert!(matches!(
+            close,
+            ModuleCall::CloseChannel { channel_id: 0, amount, .. } if amount == U256::from(30u64)
+        ));
+    }
+
+    #[test]
+    fn channel_status_probe() {
+        let (mut chain, mut executor, mut node, client, channel) = setup();
+        let req = request(
+            &client,
+            &chain,
+            channel,
+            10,
+            RpcCall::GetChannelStatus { channel_id: channel },
+        );
+        let res = node.handle_request(&req, &mut chain, &mut executor).unwrap();
+        assert_eq!(res.result, vec![ChannelStatus::Open.as_byte()]);
+    }
+}

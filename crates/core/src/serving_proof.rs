@@ -1,0 +1,134 @@
+//! "Proof of Serving" (paper §VIII, future work): aggregating signed
+//! payment receipts so a full node can claim serving rewards.
+//!
+//! A payment signature `σ_a` over `(α, a)` is a receipt: it proves the
+//! channel's light client authorized a cumulative payment of `a` on
+//! channel α. Summing the *maximum* receipt per channel measures the work
+//! a node performed. The Sybil caveat from the paper applies and is
+//! exercised in tests: a node colluding with fake light clients can mint
+//! receipts, so a real deployment must weight receipts by channel
+//! deposits (which cost the attacker real funds).
+
+use crate::server::FullNode;
+use parp_contracts::{payment_digest, ChannelsModule};
+use parp_crypto::{recover_address, Signature};
+use parp_primitives::{Address, U256};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// One payment receipt: the redeemable `(α, a, σ_a)` triple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServingReceipt {
+    /// Channel identifier α.
+    pub channel_id: u64,
+    /// Cumulative amount `a`.
+    pub amount: U256,
+    /// The light client's payment signature.
+    pub payment_sig: Signature,
+}
+
+/// An aggregate claim of service performed by a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServingProof {
+    /// The claiming full node.
+    pub node: Address,
+    /// One receipt per channel served.
+    pub receipts: Vec<ServingReceipt>,
+}
+
+impl ServingProof {
+    /// Total claimed across receipts (unverified).
+    pub fn claimed_total(&self) -> U256 {
+        self.receipts
+            .iter()
+            .fold(U256::ZERO, |acc, r| acc.saturating_add(r.amount))
+    }
+}
+
+/// Why a serving proof was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServingProofError {
+    /// A receipt references a channel that does not exist on-chain.
+    UnknownChannel(u64),
+    /// A receipt's channel belongs to a different full node.
+    WrongNode(u64),
+    /// A receipt's signature does not recover to the channel's client.
+    BadReceipt(u64),
+    /// A receipt claims more than the channel's budget.
+    OverBudget(u64),
+    /// The same channel appears twice.
+    DuplicateChannel(u64),
+}
+
+impl fmt::Display for ServingProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServingProofError::UnknownChannel(id) => write!(f, "unknown channel {id}"),
+            ServingProofError::WrongNode(id) => {
+                write!(f, "channel {id} belongs to a different node")
+            }
+            ServingProofError::BadReceipt(id) => write!(f, "invalid receipt for channel {id}"),
+            ServingProofError::OverBudget(id) => {
+                write!(f, "receipt exceeds budget of channel {id}")
+            }
+            ServingProofError::DuplicateChannel(id) => {
+                write!(f, "channel {id} appears more than once")
+            }
+        }
+    }
+}
+
+impl Error for ServingProofError {}
+
+/// Collects the node's receipts into a serving proof.
+pub fn collect_serving_proof(node: &FullNode) -> ServingProof {
+    let receipts = node
+        .served_channels()
+        .map(|(id, served)| ServingReceipt {
+            channel_id: *id,
+            amount: served.latest_amount,
+            payment_sig: served.latest_payment_sig,
+        })
+        .collect();
+    ServingProof {
+        node: node.address(),
+        receipts,
+    }
+}
+
+/// Verifies a serving proof against on-chain channel records, returning
+/// the total of validated receipts.
+///
+/// # Errors
+///
+/// Returns the first [`ServingProofError`] encountered.
+pub fn verify_serving_proof(
+    proof: &ServingProof,
+    cmm: &ChannelsModule,
+) -> Result<U256, ServingProofError> {
+    let mut seen: BTreeMap<u64, ()> = BTreeMap::new();
+    let mut total = U256::ZERO;
+    for receipt in &proof.receipts {
+        let id = receipt.channel_id;
+        if seen.insert(id, ()).is_some() {
+            return Err(ServingProofError::DuplicateChannel(id));
+        }
+        let channel = cmm
+            .channel(id)
+            .ok_or(ServingProofError::UnknownChannel(id))?;
+        if channel.full_node != proof.node {
+            return Err(ServingProofError::WrongNode(id));
+        }
+        if receipt.amount > channel.budget {
+            return Err(ServingProofError::OverBudget(id));
+        }
+        let digest = payment_digest(id, &receipt.amount);
+        match recover_address(&digest, &receipt.payment_sig) {
+            Ok(signer) if signer == channel.light_client => {}
+            _ => return Err(ServingProofError::BadReceipt(id)),
+        }
+        total = total.saturating_add(receipt.amount);
+    }
+    Ok(total)
+}

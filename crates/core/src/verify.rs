@@ -1,0 +1,239 @@
+//! Client-side response classification (paper §V-D).
+//!
+//! Every PARP response is classified as **valid** (all checks pass),
+//! **invalid** (cannot be trusted, but also cannot support a fraud proof —
+//! the client should walk away), or **fraudulent** (provably wrong: the
+//! client can slash the full node on-chain).
+
+use parp_chain::Header;
+use parp_contracts::{fraud_conditions, FraudVerdict, ParpRequest, ParpResponse};
+use parp_primitives::Address;
+use std::fmt;
+
+/// Why a response is invalid (untrusted but not slashable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidReason {
+    /// The echoed request hash does not match the request's.
+    RequestHashMismatch,
+    /// The echoed request signature differs (breaks fraud-proof linkage).
+    RequestSigMismatch,
+    /// `σ_res` does not recover to the serving full node.
+    ResponseSignatureInvalid,
+    /// The response's channel id differs from the request's.
+    ChannelIdMismatch,
+    /// The client has no header for `res.m_B`, so proofs cannot be
+    /// checked yet (fetch the header and retry).
+    MissingHeader(u64),
+    /// The result payload is too malformed to judge.
+    MalformedResult(String),
+}
+
+impl fmt::Display for InvalidReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidReason::RequestHashMismatch => write!(f, "request hash mismatch"),
+            InvalidReason::RequestSigMismatch => write!(f, "request signature echo mismatch"),
+            InvalidReason::ResponseSignatureInvalid => write!(f, "response signature invalid"),
+            InvalidReason::ChannelIdMismatch => write!(f, "channel identifier mismatch"),
+            InvalidReason::MissingHeader(n) => write!(f, "missing header for block {n}"),
+            InvalidReason::MalformedResult(e) => write!(f, "malformed result: {e}"),
+        }
+    }
+}
+
+/// The §V-D trichotomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Classification {
+    /// All checks pass; the client trusts the response.
+    Valid,
+    /// The client cannot trust the response, but cannot prove fraud
+    /// either; terminating the connection is the sensible reaction.
+    Invalid(InvalidReason),
+    /// Provably wrong; grounds for an on-chain fraud proof.
+    Fraudulent(FraudVerdict),
+}
+
+/// Runs the full §V-D check sequence on a response.
+///
+/// * `full_node` — the address the serving node authenticated with when
+///   the channel was opened.
+/// * `request_height` — the height of the block `req.h_B` names (the
+///   client knows it: it picked `h_B` from its own header store).
+/// * `header_for` — the client's header store lookup for `res.m_B`.
+pub fn classify_response(
+    req: &ParpRequest,
+    res: &ParpResponse,
+    full_node: Address,
+    request_height: u64,
+    header_for: impl Fn(u64) -> Option<Header>,
+) -> Classification {
+    // 1. Verify request hash: without the correct linkage no fraud proof
+    //    can be built, so a mismatch is invalid, not fraud.
+    if res.request_hash != req.request_hash || req.expected_hash() != req.request_hash {
+        return Classification::Invalid(InvalidReason::RequestHashMismatch);
+    }
+    if res.request_sig != req.request_sig {
+        return Classification::Invalid(InvalidReason::RequestSigMismatch);
+    }
+    // 2. Verify response signature.
+    match res.signer() {
+        Some(signer) if signer == full_node => {}
+        _ => return Classification::Invalid(InvalidReason::ResponseSignatureInvalid),
+    }
+    // 3. Channel identifier check.
+    if res.channel_id != req.channel_id {
+        return Classification::Invalid(InvalidReason::ChannelIdMismatch);
+    }
+    // 4-6. Payment amount, timestamp and Merkle proof — the same
+    // conditions the on-chain module enforces (Algorithm 2).
+    let Some(header) = header_for(res.block_number) else {
+        return Classification::Invalid(InvalidReason::MissingHeader(res.block_number));
+    };
+    match fraud_conditions(req, res, &header, request_height) {
+        Err(e) => Classification::Invalid(InvalidReason::MalformedResult(e)),
+        Ok(Some(verdict)) => Classification::Fraudulent(verdict),
+        Ok(None) => Classification::Valid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parp_contracts::RpcCall;
+    use parp_crypto::{sign, SecretKey};
+    use parp_primitives::{H256, U256};
+
+    fn lc() -> SecretKey {
+        SecretKey::from_seed(b"verify-lc")
+    }
+
+    fn node() -> SecretKey {
+        SecretKey::from_seed(b"verify-fn")
+    }
+
+    fn header_at(number: u64) -> Header {
+        Header {
+            parent_hash: H256::from_low_u64_be(number.wrapping_sub(1)),
+            ommers_hash: parp_crypto::keccak256(&[0xc0]),
+            beneficiary: Address::ZERO,
+            state_root: parp_trie::empty_root(),
+            transactions_root: parp_trie::empty_root(),
+            receipts_root: parp_trie::empty_root(),
+            difficulty: U256::ZERO,
+            number,
+            gas_limit: 30_000_000,
+            gas_used: 0,
+            timestamp: number * 12,
+            extra_data: Vec::new(),
+        }
+    }
+
+    fn honest_pair() -> (ParpRequest, ParpResponse) {
+        let req = ParpRequest::build(
+            &lc(),
+            1,
+            header_at(10).hash(),
+            U256::from(100u64),
+            RpcCall::BlockNumber,
+        );
+        let res = ParpResponse::build(&node(), &req, 12, parp_rlp::encode_u64(12), Vec::new());
+        (req, res)
+    }
+
+    fn classify(req: &ParpRequest, res: &ParpResponse) -> Classification {
+        classify_response(req, res, node().address(), 10, |n| Some(header_at(n)))
+    }
+
+    #[test]
+    fn honest_response_is_valid() {
+        let (req, res) = honest_pair();
+        assert_eq!(classify(&req, &res), Classification::Valid);
+    }
+
+    #[test]
+    fn wrong_request_hash_is_invalid() {
+        let (req, mut res) = honest_pair();
+        res.request_hash = H256::from_low_u64_be(0xbad);
+        assert_eq!(
+            classify(&req, &res),
+            Classification::Invalid(InvalidReason::RequestHashMismatch)
+        );
+    }
+
+    #[test]
+    fn wrong_signer_is_invalid() {
+        let (req, _) = honest_pair();
+        let imposter = SecretKey::from_seed(b"imposter");
+        let res = ParpResponse::build(&imposter, &req, 12, parp_rlp::encode_u64(12), Vec::new());
+        assert_eq!(
+            classify(&req, &res),
+            Classification::Invalid(InvalidReason::ResponseSignatureInvalid)
+        );
+    }
+
+    #[test]
+    fn wrong_channel_id_is_invalid() {
+        let (req, mut res) = honest_pair();
+        res.channel_id = 99;
+        let digest = res.expected_hash();
+        res.response_sig = sign(&node(), &digest);
+        assert_eq!(
+            classify(&req, &res),
+            Classification::Invalid(InvalidReason::ChannelIdMismatch)
+        );
+    }
+
+    #[test]
+    fn amount_mismatch_is_fraud() {
+        let (req, mut res) = honest_pair();
+        res.amount = U256::from(50u64);
+        let digest = res.expected_hash();
+        res.response_sig = sign(&node(), &digest);
+        assert_eq!(
+            classify(&req, &res),
+            Classification::Fraudulent(FraudVerdict::AmountMismatch)
+        );
+    }
+
+    #[test]
+    fn stale_height_is_fraud() {
+        let (req, _) = honest_pair();
+        let res = ParpResponse::build(&node(), &req, 9, parp_rlp::encode_u64(9), Vec::new());
+        assert_eq!(
+            classify(&req, &res),
+            Classification::Fraudulent(FraudVerdict::StaleBlockHeight)
+        );
+    }
+
+    #[test]
+    fn missing_header_is_invalid_not_fraud() {
+        let (req, res) = honest_pair();
+        let classification =
+            classify_response(&req, &res, node().address(), 10, |_| None);
+        assert_eq!(
+            classification,
+            Classification::Invalid(InvalidReason::MissingHeader(12))
+        );
+    }
+
+    #[test]
+    fn bad_balance_proof_is_fraud() {
+        let req = ParpRequest::build(
+            &lc(),
+            1,
+            header_at(10).hash(),
+            U256::from(100u64),
+            RpcCall::GetBalance {
+                address: Address::from_low_u64_be(5),
+            },
+        );
+        // Claims a balance but supplies no proof: with the empty-trie root
+        // in our test header the claim contradicts the (empty) state.
+        let account = parp_chain::Account::with_balance(U256::from(777u64));
+        let res = ParpResponse::build(&node(), &req, 12, account.encode(), Vec::new());
+        assert_eq!(
+            classify(&req, &res),
+            Classification::Fraudulent(FraudVerdict::InvalidProof)
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Property tests on the protocol layer: message round-trips, signer
+//! attribution, and the §V-D classification's soundness on randomly
+//! corrupted responses.
+
+use parp_chain::Header;
+use parp_contracts::{ParpRequest, ParpResponse, RpcCall};
+use parp_core::{classify_response, Classification};
+use parp_crypto::SecretKey;
+use parp_primitives::{Address, H256, U256};
+use proptest::prelude::*;
+
+fn arb_call() -> impl Strategy<Value = RpcCall> {
+    prop_oneof![
+        any::<u64>().prop_map(|n| RpcCall::GetBalance {
+            address: Address::from_low_u64_be(n)
+        }),
+        proptest::collection::vec(any::<u8>(), 1..200)
+            .prop_map(|raw| RpcCall::SendRawTransaction { raw }),
+        any::<u64>().prop_map(|n| RpcCall::GetTransactionByHash {
+            hash: H256::from_low_u64_be(n)
+        }),
+        Just(RpcCall::BlockNumber),
+        any::<u64>().prop_map(|number| RpcCall::GetHeader { number }),
+        any::<u64>().prop_map(|channel_id| RpcCall::GetChannelStatus { channel_id }),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = (ParpRequest, u64)> {
+    (
+        any::<u64>(),          // channel id
+        any::<u64>(),          // block hash seed
+        any::<u64>(),          // amount
+        arb_call(),
+        any::<u8>(),           // key seed
+    )
+        .prop_map(|(channel, hb, amount, call, key_seed)| {
+            let key = SecretKey::from_seed(&[key_seed, 0x17]);
+            let request = ParpRequest::build(
+                &key,
+                channel,
+                H256::from_low_u64_be(hb),
+                U256::from(amount),
+                call,
+            );
+            (request, key_seed as u64)
+        })
+}
+
+fn header_at(number: u64) -> Header {
+    Header {
+        parent_hash: H256::from_low_u64_be(number.wrapping_sub(1)),
+        ommers_hash: parp_crypto::keccak256(&[0xc0]),
+        beneficiary: Address::ZERO,
+        state_root: parp_trie::empty_root(),
+        transactions_root: parp_trie::empty_root(),
+        receipts_root: parp_trie::empty_root(),
+        difficulty: U256::ZERO,
+        number,
+        gas_limit: 30_000_000,
+        gas_used: 0,
+        timestamp: number * 12,
+        extra_data: Vec::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn request_roundtrip_preserves_signer((request, key_seed) in arb_request()) {
+        let decoded = ParpRequest::decode(&request.encode()).unwrap();
+        prop_assert_eq!(&decoded, &request);
+        let key = SecretKey::from_seed(&[key_seed as u8, 0x17]);
+        prop_assert_eq!(decoded.signer(), Some(key.address()));
+        prop_assert_eq!(decoded.payment_signer(), Some(key.address()));
+    }
+
+    #[test]
+    fn response_roundtrip(
+        (request, _) in arb_request(),
+        block_number in any::<u64>(),
+        result in proptest::collection::vec(any::<u8>(), 0..100),
+        proof in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..64), 0..5),
+        node_seed in any::<u8>(),
+    ) {
+        let node = SecretKey::from_seed(&[node_seed, 0x33]);
+        let response = ParpResponse::build(&node, &request, block_number, result, proof);
+        let decoded = ParpResponse::decode(&response.encode()).unwrap();
+        prop_assert_eq!(&decoded, &response);
+        prop_assert_eq!(decoded.signer(), Some(node.address()));
+    }
+
+    #[test]
+    fn honest_unproven_response_is_valid(
+        channel in any::<u64>(),
+        amount in any::<u64>(),
+        request_height in 0u64..1000,
+        lag in 0u64..10,
+    ) {
+        // BlockNumber carries no proof: only amount/height/signature
+        // checks apply. An honest echo at m_B >= request height is Valid.
+        let lc = SecretKey::from_seed(b"prop-lc");
+        let node = SecretKey::from_seed(b"prop-node");
+        let request = ParpRequest::build(
+            &lc,
+            channel,
+            header_at(request_height).hash(),
+            U256::from(amount),
+            RpcCall::BlockNumber,
+        );
+        let m_b = request_height + lag;
+        let response = ParpResponse::build(
+            &node, &request, m_b, parp_rlp::encode_u64(m_b), Vec::new(),
+        );
+        let classification = classify_response(
+            &request, &response, node.address(), request_height,
+            |n| Some(header_at(n)),
+        );
+        prop_assert_eq!(classification, Classification::Valid);
+    }
+
+    #[test]
+    fn corrupted_amount_is_never_valid(
+        amount in any::<u64>(),
+        corrupt in any::<u64>(),
+    ) {
+        prop_assume!(amount != corrupt);
+        let lc = SecretKey::from_seed(b"prop-lc2");
+        let node = SecretKey::from_seed(b"prop-node2");
+        let request = ParpRequest::build(
+            &lc, 1, header_at(5).hash(), U256::from(amount), RpcCall::BlockNumber,
+        );
+        let mut response = ParpResponse::build(
+            &node, &request, 6, parp_rlp::encode_u64(6), Vec::new(),
+        );
+        response.amount = U256::from(corrupt);
+        let digest = response.expected_hash();
+        response.response_sig = parp_crypto::sign(&node, &digest);
+        let classification = classify_response(
+            &request, &response, node.address(), 5, |n| Some(header_at(n)),
+        );
+        // Signed by the node itself, so it is *provable* fraud (and in
+        // particular never Valid).
+        prop_assert!(matches!(classification, Classification::Fraudulent(_)));
+    }
+
+    #[test]
+    fn stale_response_is_never_valid(
+        request_height in 1u64..1000,
+        staleness in 1u64..100,
+    ) {
+        let lc = SecretKey::from_seed(b"prop-lc3");
+        let node = SecretKey::from_seed(b"prop-node3");
+        let request = ParpRequest::build(
+            &lc, 1, header_at(request_height).hash(), U256::from(10u64),
+            RpcCall::BlockNumber,
+        );
+        let m_b = request_height.saturating_sub(staleness);
+        let response = ParpResponse::build(
+            &node, &request, m_b, parp_rlp::encode_u64(m_b), Vec::new(),
+        );
+        let classification = classify_response(
+            &request, &response, node.address(), request_height,
+            |n| Some(header_at(n)),
+        );
+        prop_assert!(matches!(classification, Classification::Fraudulent(_)));
+    }
+
+    #[test]
+    fn foreign_signer_is_never_valid(
+        (request, _) in arb_request(),
+        imposter_seed in any::<u8>(),
+    ) {
+        let node = SecretKey::from_seed(b"prop-honest-node");
+        let imposter = SecretKey::from_seed(&[imposter_seed, 0x99]);
+        prop_assume!(imposter.address() != node.address());
+        let response = ParpResponse::build(
+            &imposter, &request, 10, Vec::new(), Vec::new(),
+        );
+        let classification = classify_response(
+            &request, &response, node.address(), 0, |n| Some(header_at(n)),
+        );
+        // Signed by someone else: untrusted but NOT slashable fraud
+        // against the honest node.
+        prop_assert!(matches!(classification, Classification::Invalid(_)));
+    }
+}

@@ -1,0 +1,237 @@
+//! Key pairs and Ethereum-style address derivation.
+
+use crate::keccak::keccak256;
+use crate::point::AffinePoint;
+use crate::scalar::Scalar;
+use parp_primitives::Address;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned for out-of-range or zero secret keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidSecretKey;
+
+impl fmt::Display for InvalidSecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "secret key must be in the range [1, n-1]")
+    }
+}
+
+impl Error for InvalidSecretKey {}
+
+/// A secp256k1 secret key: a non-zero scalar.
+///
+/// The `Debug` impl redacts the key material.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SecretKey(pub(crate) Scalar);
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SecretKey(<redacted>)")
+    }
+}
+
+impl SecretKey {
+    /// Creates a secret key from 32 big-endian bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidSecretKey`] when the value is zero or not below the
+    /// group order.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Result<Self, InvalidSecretKey> {
+        let scalar = Scalar::from_be_bytes(bytes).ok_or(InvalidSecretKey)?;
+        if scalar.is_zero() {
+            return Err(InvalidSecretKey);
+        }
+        Ok(SecretKey(scalar))
+    }
+
+    /// Derives a secret key deterministically from a seed by hashing until
+    /// the digest lands in `[1, n-1]` (succeeds on the first try with
+    /// overwhelming probability).
+    ///
+    /// Intended for tests, simulations and examples where reproducible
+    /// identities matter more than external entropy.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let mut digest = keccak256(seed);
+        loop {
+            if let Ok(key) = SecretKey::from_bytes(&digest.into_inner()) {
+                return key;
+            }
+            digest = keccak256(digest.as_bytes());
+        }
+    }
+
+    /// Serializes the key as 32 big-endian bytes.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0.to_be_bytes()
+    }
+
+    /// Computes the corresponding public key `sk * G`.
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey(AffinePoint::generator().mul(&self.0))
+    }
+
+    /// Shorthand for `self.public_key().address()`.
+    pub fn address(&self) -> Address {
+        self.public_key().address()
+    }
+}
+
+/// A secp256k1 public key (a finite curve point).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PublicKey(pub(crate) AffinePoint);
+
+impl PublicKey {
+    /// Parses a 64-byte uncompressed `x || y` encoding.
+    ///
+    /// Returns `None` when either coordinate is out of range or the point
+    /// is not on the curve.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Option<Self> {
+        let point = AffinePoint::from_bytes(bytes)?;
+        (!point.is_infinity()).then_some(PublicKey(point))
+    }
+
+    /// Serializes as 64 bytes `x || y`.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        self.0.to_bytes()
+    }
+
+    /// The underlying curve point.
+    pub fn point(&self) -> &AffinePoint {
+        &self.0
+    }
+
+    /// Derives the Ethereum-style address: the low 20 bytes of
+    /// `keccak256(x || y)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use parp_crypto::SecretKey;
+    ///
+    /// let sk = SecretKey::from_bytes(&{
+    ///     let mut b = [0u8; 32];
+    ///     b[31] = 1;
+    ///     b
+    /// }).unwrap();
+    /// // The well-known address of private key 0x...01.
+    /// assert_eq!(
+    ///     sk.public_key().address().to_string(),
+    ///     "0x7e5f4552091a69125d5dfcb7b8c2659029395bdf"
+    /// );
+    /// ```
+    pub fn address(&self) -> Address {
+        let digest = keccak256(&self.to_bytes());
+        Address::from_slice(&digest.as_bytes()[12..]).expect("20-byte tail of a 32-byte digest")
+    }
+}
+
+/// A convenience bundle of a secret key with its derived public key and
+/// address.
+#[derive(Clone, Copy, Debug)]
+pub struct KeyPair {
+    secret: SecretKey,
+    public: PublicKey,
+    address: Address,
+}
+
+impl KeyPair {
+    /// Builds the key pair for a secret key.
+    pub fn from_secret(secret: SecretKey) -> Self {
+        let public = secret.public_key();
+        KeyPair {
+            secret,
+            public,
+            address: public.address(),
+        }
+    }
+
+    /// Deterministic key pair from a seed; see [`SecretKey::from_seed`].
+    pub fn from_seed(seed: &[u8]) -> Self {
+        Self::from_secret(SecretKey::from_seed(seed))
+    }
+
+    /// The secret key.
+    pub fn secret(&self) -> &SecretKey {
+        &self.secret
+    }
+
+    /// The public key.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// The derived address.
+    pub fn address(&self) -> Address {
+        self.address
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sk(byte: u8) -> SecretKey {
+        let mut bytes = [0u8; 32];
+        bytes[31] = byte;
+        SecretKey::from_bytes(&bytes).unwrap()
+    }
+
+    #[test]
+    fn zero_key_rejected() {
+        assert_eq!(SecretKey::from_bytes(&[0u8; 32]), Err(InvalidSecretKey));
+    }
+
+    #[test]
+    fn order_key_rejected() {
+        // n itself is out of range.
+        let n_bytes: [u8; 32] = [
+            0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+            0xff, 0xfe, 0xba, 0xae, 0xdc, 0xe6, 0xaf, 0x48, 0xa0, 0x3b, 0xbf, 0xd2, 0x5e, 0x8c,
+            0xd0, 0x36, 0x41, 0x41,
+        ];
+        assert_eq!(SecretKey::from_bytes(&n_bytes), Err(InvalidSecretKey));
+    }
+
+    #[test]
+    fn known_addresses() {
+        // Private keys 1 and 2 have widely published addresses.
+        assert_eq!(
+            sk(1).address().to_string(),
+            "0x7e5f4552091a69125d5dfcb7b8c2659029395bdf"
+        );
+        assert_eq!(
+            sk(2).address().to_string(),
+            "0x2b5ad5c4795c026514f8317c7a215e218dccd6cf"
+        );
+    }
+
+    #[test]
+    fn pubkey_roundtrip() {
+        let pk = sk(7).public_key();
+        assert_eq!(PublicKey::from_bytes(&pk.to_bytes()), Some(pk));
+    }
+
+    #[test]
+    fn seeded_keys_are_deterministic_and_distinct() {
+        let a = KeyPair::from_seed(b"client-1");
+        let b = KeyPair::from_seed(b"client-1");
+        let c = KeyPair::from_seed(b"client-2");
+        assert_eq!(a.address(), b.address());
+        assert_ne!(a.address(), c.address());
+    }
+
+    #[test]
+    fn debug_redacts_secret() {
+        let rendered = format!("{:?}", sk(5));
+        assert!(rendered.contains("redacted"));
+        assert!(!rendered.contains("05"));
+    }
+
+    #[test]
+    fn secret_byte_roundtrip() {
+        let key = sk(0xab);
+        assert_eq!(SecretKey::from_bytes(&key.to_bytes()), Ok(key));
+    }
+}

@@ -1,0 +1,278 @@
+//! Shared 256-bit modular arithmetic for moduli of the form `2^256 - d`.
+//!
+//! Both secp256k1 moduli have this shape: the field prime
+//! `p = 2^256 - 0x1000003d1` and the group order
+//! `n = 2^256 - 0x14551231950b75fc4402da1732fc9bebf`. Reduction therefore
+//! folds the high 256 bits back in as `hi * d + lo` until the value fits in
+//! 256 bits, followed by at most one conditional subtraction.
+//!
+//! Values are four little-endian `u64` limbs. Nothing here is constant-time;
+//! this is a research prototype, not a production signer (see crate docs).
+
+pub(crate) type Limbs = [u64; 4];
+
+/// Adds `a + b`, returning the 4-limb sum and the carry-out.
+pub(crate) fn add(a: &Limbs, b: &Limbs) -> (Limbs, bool) {
+    let mut out = [0u64; 4];
+    let mut carry = false;
+    for i in 0..4 {
+        let (s1, c1) = a[i].overflowing_add(b[i]);
+        let (s2, c2) = s1.overflowing_add(carry as u64);
+        out[i] = s2;
+        carry = c1 | c2;
+    }
+    (out, carry)
+}
+
+/// Subtracts `a - b`, returning the 4-limb difference and the borrow-out.
+pub(crate) fn sub(a: &Limbs, b: &Limbs) -> (Limbs, bool) {
+    let mut out = [0u64; 4];
+    let mut borrow = false;
+    for i in 0..4 {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow as u64);
+        out[i] = d2;
+        borrow = b1 | b2;
+    }
+    (out, borrow)
+}
+
+/// Compares two 4-limb values.
+pub(crate) fn gte(a: &Limbs, b: &Limbs) -> bool {
+    for i in (0..4).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+pub(crate) fn is_zero(a: &Limbs) -> bool {
+    a.iter().all(|&l| l == 0)
+}
+
+/// Schoolbook 4x4-limb multiplication into an 8-limb product.
+pub(crate) fn mul_wide(a: &Limbs, b: &Limbs) -> [u64; 8] {
+    let mut out = [0u64; 8];
+    for i in 0..4 {
+        let mut carry = 0u64;
+        for j in 0..4 {
+            let wide = a[i] as u128 * b[j] as u128 + out[i + j] as u128 + carry as u128;
+            out[i + j] = wide as u64;
+            carry = (wide >> 64) as u64;
+        }
+        out[i + 4] = carry;
+    }
+    out
+}
+
+/// Reduces an 8-limb value modulo `m = 2^256 - d`.
+///
+/// `d` must be at most 192 bits (three limbs) so the fold product fits in
+/// eight limbs — true for both secp256k1 moduli.
+pub(crate) fn reduce_wide(mut wide: [u64; 8], d: &Limbs, m: &Limbs) -> Limbs {
+    debug_assert_eq!(d[3], 0, "fold constant must fit in three limbs");
+    loop {
+        let hi = [wide[4], wide[5], wide[6], wide[7]];
+        if is_zero(&hi) {
+            break;
+        }
+        let lo = [wide[0], wide[1], wide[2], wide[3]];
+        // hi * d: hi has <=4 limbs, d has <=3 limbs, product <= 2^(256+192)
+        // which fits in 7 limbs; adding lo can carry into limb 7.
+        let mut folded = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u64;
+            for j in 0..3 {
+                let wide_prod =
+                    hi[i] as u128 * d[j] as u128 + folded[i + j] as u128 + carry as u128;
+                folded[i + j] = wide_prod as u64;
+                carry = (wide_prod >> 64) as u64;
+            }
+            // Propagate the final carry.
+            let mut k = i + 3;
+            while carry != 0 {
+                let (sum, c) = folded[k].overflowing_add(carry);
+                folded[k] = sum;
+                carry = c as u64;
+                k += 1;
+            }
+        }
+        // folded += lo
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s1, c1) = folded[i].overflowing_add(lo[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            folded[i] = s2;
+            carry = (c1 | c2) as u64;
+        }
+        let mut k = 4;
+        while carry != 0 {
+            let (sum, c) = folded[k].overflowing_add(carry);
+            folded[k] = sum;
+            carry = c as u64;
+            k += 1;
+        }
+        wide = folded;
+    }
+    let mut out = [wide[0], wide[1], wide[2], wide[3]];
+    while gte(&out, m) {
+        out = sub(&out, m).0;
+    }
+    out
+}
+
+/// Modular multiplication for `m = 2^256 - d`.
+pub(crate) fn mul_mod(a: &Limbs, b: &Limbs, d: &Limbs, m: &Limbs) -> Limbs {
+    reduce_wide(mul_wide(a, b), d, m)
+}
+
+/// Modular addition; inputs must already be `< m`.
+pub(crate) fn add_mod(a: &Limbs, b: &Limbs, m: &Limbs) -> Limbs {
+    let (sum, carry) = add(a, b);
+    if carry || gte(&sum, m) {
+        sub(&sum, m).0
+    } else {
+        sum
+    }
+}
+
+/// Modular subtraction; inputs must already be `< m`.
+pub(crate) fn sub_mod(a: &Limbs, b: &Limbs, m: &Limbs) -> Limbs {
+    let (diff, borrow) = sub(a, b);
+    if borrow {
+        add(&diff, m).0
+    } else {
+        diff
+    }
+}
+
+/// Modular exponentiation by square-and-multiply (MSB first).
+pub(crate) fn pow_mod(base: &Limbs, exp: &Limbs, d: &Limbs, m: &Limbs) -> Limbs {
+    let mut result = [1u64, 0, 0, 0];
+    let mut started = false;
+    for i in (0..256).rev() {
+        if started {
+            result = mul_mod(&result, &result, d, m);
+        }
+        if (exp[i / 64] >> (i % 64)) & 1 == 1 {
+            if started {
+                result = mul_mod(&result, base, d, m);
+            } else {
+                result = *base;
+                started = true;
+            }
+        }
+    }
+    if started {
+        result
+    } else {
+        [1, 0, 0, 0]
+    }
+}
+
+/// Modular inverse via Fermat's little theorem (`m` must be prime).
+pub(crate) fn inv_mod(a: &Limbs, d: &Limbs, m: &Limbs) -> Limbs {
+    // exp = m - 2
+    let (exp, _) = sub(m, &[2, 0, 0, 0]);
+    pow_mod(a, &exp, d, m)
+}
+
+/// Parses 32 big-endian bytes into limbs (no reduction).
+pub(crate) fn from_be_bytes(bytes: &[u8; 32]) -> Limbs {
+    let mut limbs = [0u64; 4];
+    for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(chunk);
+        limbs[3 - i] = u64::from_be_bytes(buf);
+    }
+    limbs
+}
+
+/// Serializes limbs as 32 big-endian bytes.
+pub(crate) fn to_be_bytes(limbs: &Limbs) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for i in 0..4 {
+        out[i * 8..(i + 1) * 8].copy_from_slice(&limbs[3 - i].to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Small prime 2^256 - 189 is handy: d = 189.
+    const D: Limbs = [189, 0, 0, 0];
+    const M: Limbs = [u64::MAX - 188, u64::MAX, u64::MAX, u64::MAX];
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = [5, 6, 7, 8];
+        let b = [1, 2, 3, 4];
+        let (sum, carry) = add(&a, &b);
+        assert!(!carry);
+        assert_eq!(sub(&sum, &b), (a, false));
+    }
+
+    #[test]
+    fn mul_wide_known() {
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let a = [u64::MAX, 0, 0, 0];
+        let prod = mul_wide(&a, &a);
+        assert_eq!(prod[0], 1);
+        assert_eq!(prod[1], u64::MAX - 1);
+        assert!(prod[2..].iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn reduce_identity_below_modulus() {
+        let value = [12345, 0, 0, 0];
+        let wide = [12345, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(reduce_wide(wide, &D, &M), value);
+    }
+
+    #[test]
+    fn reduce_exact_modulus_is_zero() {
+        let wide = [M[0], M[1], M[2], M[3], 0, 0, 0, 0];
+        assert_eq!(reduce_wide(wide, &D, &M), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn two_to_256_reduces_to_d() {
+        // 2^256 mod (2^256 - d) = d
+        let wide = [0, 0, 0, 0, 1, 0, 0, 0];
+        assert_eq!(reduce_wide(wide, &D, &M), D);
+    }
+
+    #[test]
+    fn mul_mod_matches_small_numbers() {
+        let a = [0xffff_ffff_ffff_ffff, 1, 0, 0];
+        let b = [7, 0, 0, 0];
+        // No reduction needed (fits in 256 bits, below m).
+        let expected = {
+            let wide = mul_wide(&a, &b);
+            [wide[0], wide[1], wide[2], wide[3]]
+        };
+        assert_eq!(mul_mod(&a, &b, &D, &M), expected);
+    }
+
+    #[test]
+    fn inverse_times_self_is_one() {
+        let a = [0xdead_beef, 0xcafe, 42, 7];
+        let inv = inv_mod(&a, &D, &M);
+        assert_eq!(mul_mod(&a, &inv, &D, &M), [1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn pow_zero_is_one() {
+        let a = [9, 9, 9, 9];
+        assert_eq!(pow_mod(&a, &[0, 0, 0, 0], &D, &M), [1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let a = [1, 2, 3, 0x0807060504030201];
+        assert_eq!(from_be_bytes(&to_be_bytes(&a)), a);
+    }
+}

@@ -1,0 +1,463 @@
+//! secp256k1 group arithmetic: affine and Jacobian points, windowed scalar
+//! multiplication, and the curve generator.
+//!
+//! The curve is `y^2 = x^3 + 7` over `F_p`. Jacobian coordinates
+//! `(X, Y, Z)` represent the affine point `(X/Z^2, Y/Z^3)`; `Z = 0` is the
+//! point at infinity.
+
+use crate::field::FieldElement;
+use crate::scalar::Scalar;
+use std::fmt;
+
+/// An affine point on secp256k1, or the point at infinity.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum AffinePoint {
+    /// The identity element.
+    Infinity,
+    /// A finite curve point.
+    Point {
+        /// x-coordinate.
+        x: FieldElement,
+        /// y-coordinate.
+        y: FieldElement,
+    },
+}
+
+impl fmt::Debug for AffinePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AffinePoint::Infinity => write!(f, "AffinePoint::Infinity"),
+            AffinePoint::Point { x, y } => f
+                .debug_struct("AffinePoint")
+                .field("x", x)
+                .field("y", y)
+                .finish(),
+        }
+    }
+}
+
+/// The secp256k1 generator point coordinates.
+const GX: [u8; 32] = [
+    0x79, 0xbe, 0x66, 0x7e, 0xf9, 0xdc, 0xbb, 0xac, 0x55, 0xa0, 0x62, 0x95, 0xce, 0x87, 0x0b,
+    0x07, 0x02, 0x9b, 0xfc, 0xdb, 0x2d, 0xce, 0x28, 0xd9, 0x59, 0xf2, 0x81, 0x5b, 0x16, 0xf8,
+    0x17, 0x98,
+];
+const GY: [u8; 32] = [
+    0x48, 0x3a, 0xda, 0x77, 0x26, 0xa3, 0xc4, 0x65, 0x5d, 0xa4, 0xfb, 0xfc, 0x0e, 0x11, 0x08,
+    0xa8, 0xfd, 0x17, 0xb4, 0x48, 0xa6, 0x85, 0x54, 0x19, 0x9c, 0x47, 0xd0, 0x8f, 0xfb, 0x10,
+    0xd4, 0xb8,
+];
+
+impl AffinePoint {
+    /// The group generator `G`.
+    pub fn generator() -> Self {
+        AffinePoint::Point {
+            x: FieldElement::from_be_bytes(&GX).expect("generator x below p"),
+            y: FieldElement::from_be_bytes(&GY).expect("generator y below p"),
+        }
+    }
+
+    /// Returns `true` for the point at infinity.
+    pub fn is_infinity(&self) -> bool {
+        matches!(self, AffinePoint::Infinity)
+    }
+
+    /// Checks the curve equation `y^2 = x^3 + 7`. Infinity is on the curve.
+    pub fn is_on_curve(&self) -> bool {
+        match self {
+            AffinePoint::Infinity => true,
+            AffinePoint::Point { x, y } => y.square() == x.square() * *x + FieldElement::B,
+        }
+    }
+
+    /// Reconstructs a point from an x-coordinate and the parity of `y`.
+    ///
+    /// Returns `None` when `x^3 + 7` is not a quadratic residue.
+    pub fn from_x(x: FieldElement, y_is_odd: bool) -> Option<Self> {
+        let y2 = x.square() * x + FieldElement::B;
+        let mut y = y2.sqrt()?;
+        if y.is_odd() != y_is_odd {
+            y = -y;
+        }
+        Some(AffinePoint::Point { x, y })
+    }
+
+    /// Serializes as 64 bytes `x || y` (uncompressed, without the 0x04 tag).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the point at infinity, which has no affine encoding.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        match self {
+            AffinePoint::Infinity => panic!("cannot serialize the point at infinity"),
+            AffinePoint::Point { x, y } => {
+                let mut out = [0u8; 64];
+                out[..32].copy_from_slice(&x.to_be_bytes());
+                out[32..].copy_from_slice(&y.to_be_bytes());
+                out
+            }
+        }
+    }
+
+    /// Parses a 64-byte `x || y` encoding, validating the curve equation.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Option<Self> {
+        let mut xb = [0u8; 32];
+        let mut yb = [0u8; 32];
+        xb.copy_from_slice(&bytes[..32]);
+        yb.copy_from_slice(&bytes[32..]);
+        let x = FieldElement::from_be_bytes(&xb)?;
+        let y = FieldElement::from_be_bytes(&yb)?;
+        let point = AffinePoint::Point { x, y };
+        point.is_on_curve().then_some(point)
+    }
+
+    /// Negates the point.
+    pub fn neg(&self) -> Self {
+        match self {
+            AffinePoint::Infinity => AffinePoint::Infinity,
+            AffinePoint::Point { x, y } => AffinePoint::Point { x: *x, y: -*y },
+        }
+    }
+
+    /// Converts to Jacobian coordinates.
+    pub fn to_jacobian(&self) -> JacobianPoint {
+        match self {
+            AffinePoint::Infinity => JacobianPoint::INFINITY,
+            AffinePoint::Point { x, y } => JacobianPoint {
+                x: *x,
+                y: *y,
+                z: FieldElement::ONE,
+            },
+        }
+    }
+
+    /// Scalar multiplication `k * self` using a 4-bit fixed window.
+    pub fn mul(&self, k: &Scalar) -> AffinePoint {
+        self.to_jacobian().mul(k).to_affine()
+    }
+}
+
+/// A point in Jacobian projective coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct JacobianPoint {
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
+}
+
+impl JacobianPoint {
+    /// The point at infinity (`Z = 0`).
+    pub const INFINITY: JacobianPoint = JacobianPoint {
+        x: FieldElement::ONE,
+        y: FieldElement::ONE,
+        z: FieldElement::ZERO,
+    };
+
+    /// Returns `true` for the point at infinity.
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Point doubling (specialized for curve parameter `a = 0`).
+    pub fn double(&self) -> JacobianPoint {
+        if self.is_infinity() || self.y.is_zero() {
+            return JacobianPoint::INFINITY;
+        }
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        let mut d = (self.x + b).square() - a - c;
+        d = d + d;
+        let e = a + a + a;
+        let f = e.square();
+        let x3 = f - (d + d);
+        let c8 = {
+            let c2 = c + c;
+            let c4 = c2 + c2;
+            c4 + c4
+        };
+        let y3 = e * (d - x3) - c8;
+        let z3 = {
+            let yz = self.y * self.z;
+            yz + yz
+        };
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// General Jacobian point addition.
+    pub fn add(&self, other: &JacobianPoint) -> JacobianPoint {
+        if self.is_infinity() {
+            return *other;
+        }
+        if other.is_infinity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        let u1 = self.x * z2z2;
+        let u2 = other.x * z1z1;
+        let s1 = self.y * z2z2 * other.z;
+        let s2 = other.y * z1z1 * self.z;
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return JacobianPoint::INFINITY;
+        }
+        let h = u2 - u1;
+        let r = s2 - s1;
+        let h2 = h.square();
+        let h3 = h2 * h;
+        let u1h2 = u1 * h2;
+        let x3 = r.square() - h3 - (u1h2 + u1h2);
+        let y3 = r * (u1h2 - x3) - s1 * h3;
+        let z3 = self.z * other.z * h;
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Mixed addition with an affine point (slightly cheaper).
+    pub fn add_affine(&self, other: &AffinePoint) -> JacobianPoint {
+        match other {
+            AffinePoint::Infinity => *self,
+            AffinePoint::Point { x, y } => {
+                if self.is_infinity() {
+                    return JacobianPoint {
+                        x: *x,
+                        y: *y,
+                        z: FieldElement::ONE,
+                    };
+                }
+                let z1z1 = self.z.square();
+                let u2 = *x * z1z1;
+                let s2 = *y * z1z1 * self.z;
+                if self.x == u2 {
+                    if self.y == s2 {
+                        return self.double();
+                    }
+                    return JacobianPoint::INFINITY;
+                }
+                let h = u2 - self.x;
+                let r = s2 - self.y;
+                let h2 = h.square();
+                let h3 = h2 * h;
+                let u1h2 = self.x * h2;
+                let x3 = r.square() - h3 - (u1h2 + u1h2);
+                let y3 = r * (u1h2 - x3) - self.y * h3;
+                let z3 = self.z * h;
+                JacobianPoint {
+                    x: x3,
+                    y: y3,
+                    z: z3,
+                }
+            }
+        }
+    }
+
+    /// Windowed (4-bit) scalar multiplication, MSB window first.
+    pub fn mul(&self, k: &Scalar) -> JacobianPoint {
+        if k.is_zero() || self.is_infinity() {
+            return JacobianPoint::INFINITY;
+        }
+        // Precompute 1..=15 multiples of self.
+        let mut table = [JacobianPoint::INFINITY; 16];
+        table[1] = *self;
+        for i in 2..16 {
+            table[i] = if i % 2 == 0 {
+                table[i / 2].double()
+            } else {
+                table[i - 1].add(self)
+            };
+        }
+        let mut acc = JacobianPoint::INFINITY;
+        for window in (0..64).rev() {
+            if !acc.is_infinity() {
+                acc = acc.double().double().double().double();
+            }
+            let digit = k.nibble(window) as usize;
+            if digit != 0 {
+                acc = acc.add(&table[digit]);
+            }
+        }
+        acc
+    }
+
+    /// Converts back to affine coordinates (one field inversion).
+    pub fn to_affine(&self) -> AffinePoint {
+        if self.is_infinity() {
+            return AffinePoint::Infinity;
+        }
+        let z_inv = self.z.invert();
+        let z_inv2 = z_inv.square();
+        let z_inv3 = z_inv2 * z_inv;
+        AffinePoint::Point {
+            x: self.x * z_inv2,
+            y: self.y * z_inv3,
+        }
+    }
+}
+
+/// Computes `a * G + b * Q` (Shamir's trick), the core of ECDSA
+/// verification and recovery.
+pub fn double_scalar_mul(a: &Scalar, b: &Scalar, q: &AffinePoint) -> AffinePoint {
+    let g = AffinePoint::generator().to_jacobian();
+    let qj = q.to_jacobian();
+    let gq = g.add(&qj); // G + Q for the combined window
+    let mut acc = JacobianPoint::INFINITY;
+    for i in (0..256).rev() {
+        if !acc.is_infinity() {
+            acc = acc.double();
+        }
+        match (a.bit(i), b.bit(i)) {
+            (true, true) => acc = acc.add(&gq),
+            (true, false) => acc = acc.add(&g),
+            (false, true) => acc = acc.add(&qj),
+            (false, false) => {}
+        }
+    }
+    acc.to_affine()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parp_primitives::to_hex;
+
+    fn g() -> AffinePoint {
+        AffinePoint::generator()
+    }
+
+    #[test]
+    fn generator_is_on_curve() {
+        assert!(g().is_on_curve());
+    }
+
+    #[test]
+    fn two_g_known_answer() {
+        // 2G, published test vector.
+        let two_g = g().to_jacobian().double().to_affine();
+        match two_g {
+            AffinePoint::Point { x, y } => {
+                assert_eq!(
+                    to_hex(&x.to_be_bytes()),
+                    "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5"
+                );
+                assert_eq!(
+                    to_hex(&y.to_be_bytes()),
+                    "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a"
+                );
+            }
+            AffinePoint::Infinity => panic!("2G must be finite"),
+        }
+    }
+
+    #[test]
+    fn three_g_two_ways() {
+        let j = g().to_jacobian();
+        let via_add = j.double().add(&j).to_affine();
+        let via_mul = g().mul(&Scalar::from_u64(3));
+        assert_eq!(via_add, via_mul);
+        assert!(via_mul.is_on_curve());
+    }
+
+    #[test]
+    fn mul_by_zero_is_infinity() {
+        assert!(g().mul(&Scalar::ZERO).is_infinity());
+    }
+
+    #[test]
+    fn mul_by_order_is_infinity() {
+        // n * G = O, expressed as (n - 1) * G + G.
+        let n_minus_one = -Scalar::ONE;
+        let p = g().mul(&n_minus_one);
+        let sum = p.to_jacobian().add_affine(&g()).to_affine();
+        assert!(sum.is_infinity());
+    }
+
+    #[test]
+    fn n_minus_one_g_is_neg_g() {
+        let p = g().mul(&(-Scalar::ONE));
+        assert_eq!(p, g().neg());
+    }
+
+    #[test]
+    fn addition_commutes() {
+        let a = g().mul(&Scalar::from_u64(17));
+        let b = g().mul(&Scalar::from_u64(23));
+        let ab = a.to_jacobian().add(&b.to_jacobian()).to_affine();
+        let ba = b.to_jacobian().add(&a.to_jacobian()).to_affine();
+        assert_eq!(ab, ba);
+        assert_eq!(ab, g().mul(&Scalar::from_u64(40)));
+    }
+
+    #[test]
+    fn mixed_addition_matches_full() {
+        let a = g().mul(&Scalar::from_u64(99));
+        let b = g().mul(&Scalar::from_u64(101));
+        let full = a.to_jacobian().add(&b.to_jacobian()).to_affine();
+        let mixed = a.to_jacobian().add_affine(&b).to_affine();
+        assert_eq!(full, mixed);
+    }
+
+    #[test]
+    fn point_plus_negation_is_infinity() {
+        let p = g().mul(&Scalar::from_u64(5));
+        let sum = p.to_jacobian().add_affine(&p.neg()).to_affine();
+        assert!(sum.is_infinity());
+    }
+
+    #[test]
+    fn from_x_recovers_generator() {
+        match g() {
+            AffinePoint::Point { x, y } => {
+                let recovered = AffinePoint::from_x(x, y.is_odd()).unwrap();
+                assert_eq!(recovered, g());
+                let flipped = AffinePoint::from_x(x, !y.is_odd()).unwrap();
+                assert_eq!(flipped, g().neg());
+            }
+            AffinePoint::Infinity => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip_and_validation() {
+        let p = g().mul(&Scalar::from_u64(42));
+        let bytes = p.to_bytes();
+        assert_eq!(AffinePoint::from_bytes(&bytes), Some(p));
+        // Corrupt y: almost surely off-curve.
+        let mut bad = bytes;
+        bad[63] ^= 1;
+        assert_eq!(AffinePoint::from_bytes(&bad), None);
+    }
+
+    #[test]
+    fn double_scalar_mul_matches_separate() {
+        let a = Scalar::from_u64(1234567);
+        let b = Scalar::from_u64(7654321);
+        let q = g().mul(&Scalar::from_u64(31337));
+        let combined = double_scalar_mul(&a, &b, &q);
+        let separate = g()
+            .mul(&a)
+            .to_jacobian()
+            .add(&q.mul(&b).to_jacobian())
+            .to_affine();
+        assert_eq!(combined, separate);
+    }
+
+    #[test]
+    fn scalar_mul_distributes_over_addition() {
+        // (a + b) G == aG + bG for random-ish scalars.
+        let a = Scalar::from_be_bytes_reduced(&[0xa5; 32]);
+        let b = Scalar::from_be_bytes_reduced(&[0x3c; 32]);
+        let lhs = g().mul(&(a + b));
+        let rhs = g().mul(&a).to_jacobian().add(&g().mul(&b).to_jacobian()).to_affine();
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,211 @@
+//! Arithmetic modulo the secp256k1 group order
+//! `n = 0xfffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141`.
+
+use crate::modarith::{self, Limbs};
+use parp_primitives::U256;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// The group order `n` as little-endian limbs.
+pub(crate) const N: Limbs = [
+    0xbfd2_5e8c_d036_4141,
+    0xbaae_dce6_af48_a03b,
+    0xffff_ffff_ffff_fffe,
+    0xffff_ffff_ffff_ffff,
+];
+
+/// `2^256 - n = 0x14551231950b75fc4402da1732fc9bebf` (129 bits).
+const D: Limbs = [0x402d_a173_2fc9_bebf, 0x4551_2319_50b7_5fc4, 0x1, 0];
+
+/// Half the group order, used for low-`s` normalization (EIP-2).
+const HALF_N: Limbs = [
+    0xdfe9_2f46_681b_20a0,
+    0x5d57_6e73_57a4_501d,
+    0xffff_ffff_ffff_ffff,
+    0x7fff_ffff_ffff_ffff,
+];
+
+/// A scalar modulo the secp256k1 group order, always reduced below `n`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scalar(Limbs);
+
+impl fmt::Debug for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Scalar(0x{})", parp_primitives::to_hex(&self.to_be_bytes()))
+    }
+}
+
+impl Scalar {
+    /// The scalar `0`.
+    pub const ZERO: Scalar = Scalar([0, 0, 0, 0]);
+    /// The scalar `1`.
+    pub const ONE: Scalar = Scalar([1, 0, 0, 0]);
+
+    /// Builds a scalar from a small integer.
+    pub fn from_u64(v: u64) -> Self {
+        Scalar([v, 0, 0, 0])
+    }
+
+    /// Parses 32 big-endian bytes; `None` when the value is >= `n`.
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> Option<Self> {
+        let limbs = modarith::from_be_bytes(bytes);
+        if modarith::gte(&limbs, &N) {
+            None
+        } else {
+            Some(Scalar(limbs))
+        }
+    }
+
+    /// Parses 32 big-endian bytes, reducing modulo `n`.
+    pub fn from_be_bytes_reduced(bytes: &[u8; 32]) -> Self {
+        let limbs = modarith::from_be_bytes(bytes);
+        let wide = [limbs[0], limbs[1], limbs[2], limbs[3], 0, 0, 0, 0];
+        Scalar(modarith::reduce_wide(wide, &D, &N))
+    }
+
+    /// Converts a [`U256`] reducing modulo `n`.
+    pub fn from_u256_reduced(value: U256) -> Self {
+        Self::from_be_bytes_reduced(&value.to_be_bytes())
+    }
+
+    /// Serializes to 32 big-endian bytes.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        modarith::to_be_bytes(&self.0)
+    }
+
+    /// Returns `true` for zero.
+    pub fn is_zero(self) -> bool {
+        modarith::is_zero(&self.0)
+    }
+
+    /// Returns `true` when the scalar exceeds `n/2` ("high s").
+    pub fn is_high(self) -> bool {
+        modarith::gte(&self.0, &HALF_N) && self != Scalar(HALF_N)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is zero.
+    pub fn invert(self) -> Self {
+        assert!(!self.is_zero(), "inverse of zero scalar");
+        Scalar(modarith::inv_mod(&self.0, &D, &N))
+    }
+
+    /// Returns bit `i` (0 = least significant).
+    pub(crate) fn bit(&self, i: usize) -> bool {
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Extracts the 4-bit window ending at bit `i*4` (for windowed point
+    /// multiplication).
+    pub(crate) fn nibble(&self, i: usize) -> u8 {
+        let bit = i * 4;
+        ((self.0[bit / 64] >> (bit % 64)) & 0xf) as u8
+    }
+}
+
+impl Add for Scalar {
+    type Output = Scalar;
+
+    fn add(self, rhs: Scalar) -> Scalar {
+        Scalar(modarith::add_mod(&self.0, &rhs.0, &N))
+    }
+}
+
+impl Sub for Scalar {
+    type Output = Scalar;
+
+    fn sub(self, rhs: Scalar) -> Scalar {
+        Scalar(modarith::sub_mod(&self.0, &rhs.0, &N))
+    }
+}
+
+impl Mul for Scalar {
+    type Output = Scalar;
+
+    fn mul(self, rhs: Scalar) -> Scalar {
+        Scalar(modarith::mul_mod(&self.0, &rhs.0, &D, &N))
+    }
+}
+
+impl Neg for Scalar {
+    type Output = Scalar;
+
+    fn neg(self) -> Scalar {
+        Scalar::ZERO - self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d_constant_is_complement_of_n() {
+        // n + d must equal 2^256, i.e. n + d wraps to zero with carry.
+        let (sum, carry) = modarith::add(&N, &D);
+        assert!(carry);
+        assert!(modarith::is_zero(&sum));
+    }
+
+    #[test]
+    fn half_n_doubles_to_n_minus_one() {
+        let half = Scalar(HALF_N);
+        let doubled = half + half;
+        // 2 * ((n-1)/2) = n - 1
+        assert_eq!(doubled + Scalar::ONE, Scalar::ZERO);
+    }
+
+    #[test]
+    fn n_reduces_to_zero() {
+        let n_bytes = modarith::to_be_bytes(&N);
+        assert!(Scalar::from_be_bytes(&n_bytes).is_none());
+        assert_eq!(Scalar::from_be_bytes_reduced(&n_bytes), Scalar::ZERO);
+    }
+
+    #[test]
+    fn inverse() {
+        let a = Scalar::from_u64(0xabcdef);
+        assert_eq!(a * a.invert(), Scalar::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn zero_inverse_panics() {
+        let _ = Scalar::ZERO.invert();
+    }
+
+    #[test]
+    fn high_low_classification() {
+        assert!(!Scalar::ONE.is_high());
+        assert!(!Scalar(HALF_N).is_high());
+        assert!((Scalar(HALF_N) + Scalar::ONE).is_high());
+        assert!((-Scalar::ONE).is_high());
+    }
+
+    #[test]
+    fn negation_cancels() {
+        let a = Scalar::from_u64(777);
+        assert_eq!(a + (-a), Scalar::ZERO);
+    }
+
+    #[test]
+    fn nibble_extraction() {
+        let s = Scalar::from_u64(0xabcd);
+        assert_eq!(s.nibble(0), 0xd);
+        assert_eq!(s.nibble(1), 0xc);
+        assert_eq!(s.nibble(2), 0xb);
+        assert_eq!(s.nibble(3), 0xa);
+        assert_eq!(s.nibble(4), 0);
+        assert!(s.bit(0));
+        assert!(!s.bit(1));
+    }
+
+    #[test]
+    fn u256_reduction_roundtrip() {
+        let v = U256::from(123456789u64);
+        assert_eq!(Scalar::from_u256_reduced(v), Scalar::from_u64(123456789));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests on the cryptographic core: ECDSA round-trips, group
+//! laws on secp256k1, and hash stability.
+
+use parp_crypto::{
+    keccak256, recover, recover_address, sign, verify, AffinePoint, Scalar, SecretKey, Signature,
+};
+use proptest::prelude::*;
+
+fn arb_secret() -> impl Strategy<Value = SecretKey> {
+    proptest::collection::vec(any::<u8>(), 1..32)
+        .prop_map(|seed| SecretKey::from_seed(&seed))
+}
+
+fn arb_scalar() -> impl Strategy<Value = Scalar> {
+    any::<[u8; 32]>().prop_map(|b| Scalar::from_be_bytes_reduced(&b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sign_verify_recover_roundtrip(key in arb_secret(), message in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let digest = keccak256(&message);
+        let signature = sign(&key, &digest);
+        prop_assert!(verify(&key.public_key(), &digest, &signature));
+        prop_assert_eq!(recover(&digest, &signature).unwrap(), key.public_key());
+        prop_assert_eq!(recover_address(&digest, &signature).unwrap(), key.address());
+        // Serialized round-trip preserves everything.
+        let parsed = Signature::from_bytes(&signature.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, signature);
+    }
+
+    #[test]
+    fn signatures_do_not_cross_verify(a in arb_secret(), b in arb_secret(), message in any::<[u8; 16]>()) {
+        prop_assume!(a.address() != b.address());
+        let digest = keccak256(&message);
+        let sig_a = sign(&a, &digest);
+        prop_assert!(!verify(&b.public_key(), &digest, &sig_a));
+    }
+
+    #[test]
+    fn tampered_digest_fails(key in arb_secret(), message in any::<[u8; 16]>(), flip in 0usize..32) {
+        let digest = keccak256(&message);
+        let signature = sign(&key, &digest);
+        let mut tampered = digest.into_inner();
+        tampered[flip] ^= 0x01;
+        let tampered = parp_primitives::H256::new(tampered);
+        prop_assert!(!verify(&key.public_key(), &tampered, &signature));
+        prop_assert_ne!(recover_address(&tampered, &signature).ok(), Some(key.address()));
+    }
+
+    #[test]
+    fn scalar_mul_is_additive_homomorphism(a in arb_scalar(), b in arb_scalar()) {
+        // (a + b)G == aG + bG
+        let g = AffinePoint::generator();
+        let lhs = g.mul(&(a + b));
+        let rhs = g.mul(&a).to_jacobian().add(&g.mul(&b).to_jacobian()).to_affine();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn point_addition_commutes(a in arb_scalar(), b in arb_scalar()) {
+        let g = AffinePoint::generator();
+        let p = g.mul(&a);
+        let q = g.mul(&b);
+        let pq = p.to_jacobian().add(&q.to_jacobian()).to_affine();
+        let qp = q.to_jacobian().add(&p.to_jacobian()).to_affine();
+        prop_assert_eq!(pq, qp);
+        prop_assert!(pq.is_on_curve());
+    }
+
+    #[test]
+    fn scalar_field_laws(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a + b) * c, a * c + b * c);
+        prop_assert_eq!(a + (-a), Scalar::ZERO);
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.invert(), Scalar::ONE);
+        }
+    }
+
+    #[test]
+    fn keccak_has_no_trivial_collisions(a in proptest::collection::vec(any::<u8>(), 0..64), b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        if a != b {
+            prop_assert_ne!(keccak256(&a), keccak256(&b));
+        } else {
+            prop_assert_eq!(keccak256(&a), keccak256(&b));
+        }
+    }
+
+    #[test]
+    fn public_key_bytes_roundtrip(key in arb_secret()) {
+        let public = key.public_key();
+        let parsed = parp_crypto::PublicKey::from_bytes(&public.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, public);
+        prop_assert_eq!(parsed.address(), key.address());
+    }
+}

@@ -1,0 +1,37 @@
+//! A from-scratch JSON implementation plus the Ethereum JSON-RPC method
+//! encodings used as the *baseline* in the paper's message-size
+//! evaluation (Table II).
+//!
+//! PARP wraps a blockchain's base RPC protocol; to measure the wrapper's
+//! overhead one needs byte-accurate base messages. This crate produces
+//! exactly the compact JSON-RPC 2.0 documents a Web3 client exchanges
+//! with a Geth node (e.g. `eth_getBalance` ≈ 118 bytes, matching §VI-C).
+//!
+//! # Examples
+//!
+//! ```
+//! use parp_jsonrpc::{base_request, parse};
+//! use parp_contracts::RpcCall;
+//! use parp_primitives::Address;
+//!
+//! let call = RpcCall::GetBalance { address: Address::from_low_u64_be(1) };
+//! let request = base_request(&call, 1);
+//! let text = String::from_utf8(request.to_bytes()).unwrap();
+//! let doc = parse(&text)?;
+//! assert_eq!(doc.get("method").unwrap().as_str(), Some("eth_getBalance"));
+//! # Ok::<(), parp_jsonrpc::ParseError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod parse;
+mod rpc;
+mod value;
+
+pub use parse::{parse, ParseError};
+pub use rpc::{
+    base_request, base_response, data_bytes, data_h256, quantity, quantity_u64, JsonRpcRequest,
+    JsonRpcResponse,
+};
+pub use value::Json;

@@ -1,0 +1,243 @@
+//! JSON-RPC 2.0 framing and the Ethereum method encodings the paper's
+//! message-size evaluation (§VI-C, Table II) measures.
+
+use crate::value::Json;
+use parp_contracts::RpcCall;
+use parp_primitives::{to_hex_prefixed, H256, U256};
+
+/// A JSON-RPC 2.0 request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonRpcRequest {
+    /// Method name, e.g. `eth_getBalance`.
+    pub method: String,
+    /// Positional parameters.
+    pub params: Vec<Json>,
+    /// Request id.
+    pub id: u64,
+}
+
+impl JsonRpcRequest {
+    /// Creates a request.
+    pub fn new(method: impl Into<String>, params: Vec<Json>, id: u64) -> Self {
+        JsonRpcRequest {
+            method: method.into(),
+            params,
+            id,
+        }
+    }
+
+    /// The JSON document `{"jsonrpc":"2.0","method":...,"params":...,"id":...}`.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("jsonrpc", Json::String("2.0".into())),
+            ("method", Json::String(self.method.clone())),
+            ("params", Json::Array(self.params.clone())),
+            ("id", Json::Number(self.id as f64)),
+        ])
+    }
+
+    /// Compact wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_json().to_string_compact().into_bytes()
+    }
+
+    /// Wire size in bytes — the quantity Table II compares against.
+    pub fn wire_size(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+/// A JSON-RPC 2.0 response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonRpcResponse {
+    /// The `result` member.
+    pub result: Json,
+    /// Response id (mirrors the request).
+    pub id: u64,
+}
+
+impl JsonRpcResponse {
+    /// Creates a successful response.
+    pub fn new(result: Json, id: u64) -> Self {
+        JsonRpcResponse { result, id }
+    }
+
+    /// The JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("jsonrpc", Json::String("2.0".into())),
+            ("id", Json::Number(self.id as f64)),
+            ("result", self.result.clone()),
+        ])
+    }
+
+    /// Compact wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_json().to_string_compact().into_bytes()
+    }
+
+    /// Wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+/// Hex-quantity encoding per the Ethereum JSON-RPC spec (`0x0`, `0x1b4`,
+/// minimal digits, no leading zeros).
+pub fn quantity(value: &U256) -> Json {
+    if value.is_zero() {
+        return Json::String("0x0".into());
+    }
+    Json::String(format!("{value:#x}"))
+}
+
+/// Hex-quantity encoding of a `u64`.
+pub fn quantity_u64(value: u64) -> Json {
+    quantity(&U256::from(value))
+}
+
+/// 32-byte data encoding (`0x` + 64 hex digits).
+pub fn data_h256(value: &H256) -> Json {
+    Json::String(to_hex_prefixed(value.as_bytes()))
+}
+
+/// Arbitrary-length data encoding.
+pub fn data_bytes(value: &[u8]) -> Json {
+    Json::String(to_hex_prefixed(value))
+}
+
+/// Encodes a PARP [`RpcCall`] as the equivalent base-layer Ethereum
+/// JSON-RPC request — what a non-PARP client would send to a Geth node.
+///
+/// This is the baseline of Table II: PARP overhead is measured relative
+/// to these requests.
+pub fn base_request(call: &RpcCall, id: u64) -> JsonRpcRequest {
+    match call {
+        RpcCall::GetBalance { address } => JsonRpcRequest::new(
+            "eth_getBalance",
+            vec![
+                Json::String(to_hex_prefixed(address.as_bytes())),
+                Json::String("latest".into()),
+            ],
+            id,
+        ),
+        RpcCall::SendRawTransaction { raw } => {
+            JsonRpcRequest::new("eth_sendRawTransaction", vec![data_bytes(raw)], id)
+        }
+        RpcCall::GetTransactionByHash { hash } => {
+            JsonRpcRequest::new("eth_getTransactionByHash", vec![data_h256(hash)], id)
+        }
+        RpcCall::BlockNumber => JsonRpcRequest::new("eth_blockNumber", vec![], id),
+        RpcCall::GetHeader { number } => JsonRpcRequest::new(
+            "eth_getBlockByNumber",
+            vec![quantity_u64(*number), Json::Bool(false)],
+            id,
+        ),
+        RpcCall::GetChannelStatus { channel_id } => JsonRpcRequest::new(
+            "parp_getChannelStatus",
+            vec![quantity_u64(*channel_id)],
+            id,
+        ),
+        RpcCall::GetTransactionReceipt { hash } => {
+            JsonRpcRequest::new("eth_getTransactionReceipt", vec![data_h256(hash)], id)
+        }
+    }
+}
+
+/// Encodes the base-layer JSON-RPC *response* for a call, given the raw
+/// result payload the PARP server computed.
+pub fn base_response(call: &RpcCall, result: &[u8], id: u64) -> JsonRpcResponse {
+    let json = match call {
+        RpcCall::GetBalance { .. } => {
+            // The PARP result is the RLP account record; the base response
+            // is just the balance quantity.
+            match parp_chain::Account::decode(result) {
+                Ok(account) => quantity(&account.balance),
+                Err(_) => quantity(&U256::ZERO),
+            }
+        }
+        RpcCall::SendRawTransaction { raw } => {
+            data_h256(&parp_crypto::keccak256(raw))
+        }
+        RpcCall::GetTransactionByHash { .. }
+        | RpcCall::GetChannelStatus { .. }
+        | RpcCall::GetTransactionReceipt { .. } => data_bytes(result),
+        RpcCall::BlockNumber => match parp_rlp::decode(result).and_then(|i| i.as_u64()) {
+            Ok(n) => quantity_u64(n),
+            Err(_) => Json::Null,
+        },
+        RpcCall::GetHeader { .. } => data_bytes(result),
+    };
+    JsonRpcResponse::new(json, id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use parp_primitives::Address;
+
+    #[test]
+    fn get_balance_request_matches_paper_size() {
+        // §VI-C: "retrieving an account balance is 118 bytes".
+        let call = RpcCall::GetBalance {
+            address: Address::from_low_u64_be(0xabcdef),
+        };
+        let request = base_request(&call, 1);
+        let size = request.wire_size();
+        assert!(
+            (110..=126).contains(&size),
+            "eth_getBalance request is {size} bytes, paper says 118"
+        );
+    }
+
+    #[test]
+    fn raw_transaction_request_scale() {
+        // §VI-C: a raw transaction call is 422 bytes for the paper's
+        // channel-open transaction (~170 byte payload). With a payload of
+        // that size ours must land in the same range.
+        let call = RpcCall::SendRawTransaction {
+            raw: vec![0x5a; 170],
+        };
+        let size = base_request(&call, 1).wire_size();
+        assert!(
+            (400..=450).contains(&size),
+            "eth_sendRawTransaction request is {size} bytes, paper says 422"
+        );
+    }
+
+    #[test]
+    fn requests_parse_back() {
+        let call = RpcCall::BlockNumber;
+        let request = base_request(&call, 7);
+        let text = String::from_utf8(request.to_bytes()).unwrap();
+        let value = parse(&text).unwrap();
+        assert_eq!(value.get("method").and_then(Json::as_str), Some("eth_blockNumber"));
+        assert_eq!(value.get("id").and_then(Json::as_f64), Some(7.0));
+    }
+
+    #[test]
+    fn quantities_are_minimal_hex() {
+        assert_eq!(quantity(&U256::ZERO).as_str(), Some("0x0"));
+        assert_eq!(quantity(&U256::from(0x1b4u64)).as_str(), Some("0x1b4"));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let response = JsonRpcResponse::new(quantity_u64(5), 3);
+        assert_eq!(
+            String::from_utf8(response.to_bytes()).unwrap(),
+            r#"{"jsonrpc":"2.0","id":3,"result":"0x5"}"#
+        );
+    }
+
+    #[test]
+    fn balance_response_decodes_account() {
+        let account = parp_chain::Account::with_balance(U256::from(12_345u64));
+        let call = RpcCall::GetBalance {
+            address: Address::ZERO,
+        };
+        let response = base_response(&call, &account.encode(), 1);
+        assert_eq!(response.result.as_str(), Some("0x3039"));
+    }
+}

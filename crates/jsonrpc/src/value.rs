@@ -1,0 +1,189 @@
+//! A minimal JSON document model.
+//!
+//! Object member order is preserved (members are a `Vec`, not a map) so
+//! serialized requests are byte-stable — the property the message-size
+//! experiments rely on.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number. JSON-RPC quantities in Ethereum are hex *strings*, so a
+    /// double covers every numeric field we emit (ids, error codes).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with preserved member order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object values.
+    pub fn object(members: Vec<(&str, Json)>) -> Json {
+        Json::Object(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Looks up an object member by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes compactly (no whitespace), the standard wire form for
+    /// JSON-RPC requests.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::String(s) => write_escaped(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_serialization() {
+        let value = Json::object(vec![
+            ("jsonrpc", Json::String("2.0".into())),
+            ("id", Json::Number(1.0)),
+            ("params", Json::Array(vec![Json::Null, Json::Bool(true)])),
+        ]);
+        assert_eq!(
+            value.to_string_compact(),
+            r#"{"jsonrpc":"2.0","id":1,"params":[null,true]}"#
+        );
+    }
+
+    #[test]
+    fn string_escaping() {
+        let value = Json::String("a\"b\\c\nd\u{1}".into());
+        assert_eq!(value.to_string_compact(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn member_order_is_preserved() {
+        let value = Json::object(vec![("z", Json::Null), ("a", Json::Null)]);
+        assert_eq!(value.to_string_compact(), r#"{"z":null,"a":null}"#);
+    }
+
+    #[test]
+    fn accessors() {
+        let value = Json::object(vec![
+            ("s", Json::String("x".into())),
+            ("n", Json::Number(4.0)),
+            ("a", Json::Array(vec![Json::Number(1.0)])),
+        ]);
+        assert_eq!(value.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(value.get("n").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(value.get("a").and_then(Json::as_array).map(<[Json]>::len), Some(1));
+        assert_eq!(value.get("missing"), None);
+        assert_eq!(Json::Null.get("x"), None);
+    }
+
+    #[test]
+    fn integers_have_no_decimal_point() {
+        assert_eq!(Json::Number(42.0).to_string_compact(), "42");
+        assert_eq!(Json::Number(2.5).to_string_compact(), "2.5");
+    }
+}

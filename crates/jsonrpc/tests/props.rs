@@ -1,0 +1,44 @@
+//! Property tests: JSON serialize→parse round-trips.
+
+use parp_jsonrpc::{parse, Json};
+use proptest::prelude::*;
+
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Integers only: float round-trips through shortest-repr are fine
+        // but not bit-exact in general; our protocol never emits floats.
+        (-1_000_000_000i64..1_000_000_000).prop_map(|n| Json::Number(n as f64)),
+        "[a-zA-Z0-9 _\\-\"\\\\/\n\t]{0,20}".prop_map(Json::String),
+    ];
+    leaf.prop_recursive(3, 32, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            proptest::collection::vec(("[a-z]{1,8}", inner), 0..6).prop_map(|members| {
+                Json::Object(members)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn serialize_parse_roundtrip(value in arb_json()) {
+        let text = value.to_string_compact();
+        let parsed = parse(&text).unwrap();
+        prop_assert_eq!(parsed, value);
+    }
+
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,100}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn parsing_is_idempotent(value in arb_json()) {
+        let once = parse(&value.to_string_compact()).unwrap();
+        let twice = parse(&once.to_string_compact()).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+}

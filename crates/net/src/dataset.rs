@@ -1,0 +1,196 @@
+//! The node-provider survey data behind Table I and §II-B.
+//!
+//! The paper analyzes the wallet-address-leakage dataset of Torres et al.
+//! (USENIX Security '23): of 1572 dApps, 383 send JSON-RPC calls directly
+//! to node providers. The per-provider dApp counts and registration
+//! traits below are the aggregates printed in the paper; the analysis
+//! example recomputes the traffic shares from them.
+
+/// Total dApps in the underlying crawl.
+pub const TOTAL_DAPPS: u32 = 1572;
+/// dApps that call node providers directly from their frontend.
+pub const RPC_DAPPS: u32 = 383;
+
+/// One provider's Table I row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProviderRecord {
+    /// Provider name.
+    pub name: &'static str,
+    /// dApps observed sending JSON-RPC calls to this provider.
+    pub dapp_count: u32,
+    /// Offers unauthenticated public endpoints.
+    pub free_public_service: bool,
+    /// Supports wallet-based sign-in (no email).
+    pub wallet_login: bool,
+    /// Requires an email address to register.
+    pub email_required: bool,
+    /// Requires full / organization name.
+    pub name_required: bool,
+    /// Prices per call type ("call-based").
+    pub call_based_pricing: bool,
+    /// Number of plan tiers.
+    pub plan_tiers: u8,
+    /// Free-tier allowance as advertised.
+    pub free_usage: &'static str,
+    /// Accepts credit cards.
+    pub accepts_card: bool,
+    /// Accepts cryptocurrency payment.
+    pub accepts_crypto: bool,
+}
+
+/// The five providers examined in Table I (top providers by traffic,
+/// excluding network-specific ones), plus the remaining traffic buckets
+/// from §II-B.
+pub fn providers() -> Vec<ProviderRecord> {
+    vec![
+        ProviderRecord {
+            name: "Infura",
+            dapp_count: 182,
+            free_public_service: false,
+            wallet_login: false,
+            email_required: true,
+            name_required: false,
+            call_based_pricing: false,
+            plan_tiers: 5,
+            free_usage: "3 million credits (daily)",
+            accepts_card: true,
+            accepts_crypto: false,
+        },
+        ProviderRecord {
+            name: "Alchemy",
+            dapp_count: 119,
+            free_public_service: false,
+            wallet_login: false,
+            email_required: true,
+            name_required: false,
+            call_based_pricing: true,
+            plan_tiers: 4,
+            free_usage: "300 million compute units (monthly)",
+            accepts_card: true,
+            accepts_crypto: false,
+        },
+        ProviderRecord {
+            name: "Binance",
+            dapp_count: 46,
+            free_public_service: false,
+            wallet_login: false,
+            email_required: true,
+            name_required: true,
+            call_based_pricing: false,
+            plan_tiers: 0,
+            free_usage: "network-specific endpoints",
+            accepts_card: true,
+            accepts_crypto: true,
+        },
+        ProviderRecord {
+            name: "Ankr",
+            dapp_count: 36,
+            free_public_service: true,
+            wallet_login: true,
+            email_required: false,
+            name_required: false,
+            call_based_pricing: false,
+            plan_tiers: 4,
+            free_usage: "30 requests (per sec)",
+            accepts_card: true,
+            accepts_crypto: true,
+        },
+        ProviderRecord {
+            name: "Cloudflare",
+            dapp_count: 26,
+            free_public_service: true,
+            wallet_login: false,
+            email_required: true,
+            name_required: false,
+            call_based_pricing: false,
+            plan_tiers: 0,
+            free_usage: "rate-limited public gateway",
+            accepts_card: true,
+            accepts_crypto: false,
+        },
+        ProviderRecord {
+            name: "Quicknode",
+            dapp_count: 16,
+            free_public_service: false,
+            wallet_login: false,
+            email_required: true,
+            name_required: true,
+            call_based_pricing: true,
+            plan_tiers: 5,
+            free_usage: "10 million API credits (monthly)",
+            accepts_card: true,
+            accepts_crypto: false,
+        },
+        ProviderRecord {
+            name: "Chainstack",
+            dapp_count: 5,
+            free_public_service: false,
+            wallet_login: false,
+            email_required: true,
+            name_required: true,
+            call_based_pricing: true,
+            plan_tiers: 4,
+            free_usage: "3 million request units (monthly)",
+            accepts_card: true,
+            accepts_crypto: true,
+        },
+    ]
+}
+
+/// A provider's share of RPC-calling dApps, in percent (a dApp can use
+/// several providers, so shares do not sum to 100).
+pub fn traffic_share(record: &ProviderRecord) -> f64 {
+    100.0 * record.dapp_count as f64 / RPC_DAPPS as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_match_paper_section_2b() {
+        let providers = providers();
+        let share = |name: &str| {
+            traffic_share(
+                providers
+                    .iter()
+                    .find(|p| p.name == name)
+                    .unwrap_or_else(|| panic!("missing provider {name}")),
+            )
+        };
+        // §II-B: Infura 47.52%, Alchemy 31.07%, Binance 12.01%, Ankr 9.4%,
+        // Cloudflare 6.79%; Table I adds Quicknode 4.18%, Chainstack 1.31%.
+        assert!((share("Infura") - 47.52).abs() < 0.05);
+        assert!((share("Alchemy") - 31.07).abs() < 0.05);
+        assert!((share("Binance") - 12.01).abs() < 0.05);
+        assert!((share("Ankr") - 9.4).abs() < 0.05);
+        assert!((share("Cloudflare") - 6.79).abs() < 0.05);
+        assert!((share("Quicknode") - 4.18).abs() < 0.05);
+        assert!((share("Chainstack") - 1.31).abs() < 0.05);
+    }
+
+    #[test]
+    fn only_ankr_is_permissionless() {
+        let permissionless: Vec<&str> = providers()
+            .iter()
+            .filter(|p| p.wallet_login && !p.email_required)
+            .map(|p| p.name)
+            .collect();
+        assert_eq!(permissionless, vec!["Ankr"]);
+    }
+
+    #[test]
+    fn top_provider_dominates() {
+        let providers = providers();
+        let max = providers.iter().map(|p| p.dapp_count).max().unwrap();
+        assert_eq!(max, 182); // Infura
+        let sum_top2: u32 = {
+            let mut counts: Vec<u32> = providers.iter().map(|p| p.dapp_count).collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            counts[0] + counts[1]
+        };
+        // Top-2 centralization: over 75% of RPC dApps touch Infura or
+        // Alchemy.
+        assert!(sum_top2 as f64 / RPC_DAPPS as f64 > 0.75);
+    }
+}

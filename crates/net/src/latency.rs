@@ -1,0 +1,82 @@
+//! A deterministic latency model for the simulated network.
+//!
+//! PARP assumes strong synchrony — messages between honest parties arrive
+//! within a bounded delay (§IV-D). The model charges a fixed base delay
+//! plus a per-byte serialization cost, which is enough to study how PARP's
+//! larger messages translate into wall-clock overhead.
+
+/// Simulated link characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// One-way propagation delay in microseconds.
+    pub base_one_way_us: u64,
+    /// Bandwidth in bytes per microsecond (e.g. 12.5 = 100 Mbit/s).
+    pub bytes_per_us: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        // 1 ms one-way on a 100 Mbit/s LAN — the paper's local OpenStack
+        // deployment is in this regime.
+        LatencyModel {
+            base_one_way_us: 1_000,
+            bytes_per_us: 12.5,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A zero-latency model (pure processing measurements).
+    pub fn zero() -> Self {
+        LatencyModel {
+            base_one_way_us: 0,
+            bytes_per_us: f64::INFINITY,
+        }
+    }
+
+    /// One-way delivery time for a message of `bytes`.
+    pub fn one_way_us(&self, bytes: usize) -> u64 {
+        let transmit = if self.bytes_per_us.is_finite() && self.bytes_per_us > 0.0 {
+            (bytes as f64 / self.bytes_per_us) as u64
+        } else {
+            0
+        };
+        self.base_one_way_us + transmit
+    }
+
+    /// Round-trip time for a request of `up` bytes and a response of
+    /// `down` bytes.
+    pub fn round_trip_us(&self, up: usize, down: usize) -> u64 {
+        self.one_way_us(up) + self.one_way_us(down)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_is_free() {
+        let model = LatencyModel::zero();
+        assert_eq!(model.one_way_us(1_000_000), 0);
+        assert_eq!(model.round_trip_us(100, 100), 0);
+    }
+
+    #[test]
+    fn default_model_charges_size() {
+        let model = LatencyModel::default();
+        let small = model.one_way_us(100);
+        let large = model.one_way_us(100_000);
+        assert!(large > small);
+        assert!(small >= model.base_one_way_us);
+    }
+
+    #[test]
+    fn round_trip_is_sum_of_legs() {
+        let model = LatencyModel::default();
+        assert_eq!(
+            model.round_trip_us(500, 1500),
+            model.one_way_us(500) + model.one_way_us(1500)
+        );
+    }
+}

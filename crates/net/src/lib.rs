@@ -1,0 +1,45 @@
+//! Network simulation and experiment harnesses for the PARP reproduction.
+//!
+//! Provides the deterministic in-process [`Network`] (chain + on-chain
+//! modules + PARP full nodes + logical clock), seedable read/write
+//! [`Workload`] generators (§VI-A), the Figure 7 scalability harness, a
+//! bounded-delay [`LatencyModel`] (the §IV-D strong-synchrony
+//! assumption), and the Table I provider survey dataset.
+//!
+//! # Examples
+//!
+//! ```
+//! use parp_net::Network;
+//! use parp_contracts::RpcCall;
+//! use parp_core::ProcessOutcome;
+//! use parp_primitives::U256;
+//!
+//! let mut net = Network::new();
+//! let node = net.spawn_node(b"docs-node", U256::from(10u64));
+//! let mut client = net.spawn_client(b"docs-client", U256::from(10u64));
+//! net.connect(&mut client, node, U256::from(1_000_000u64)).unwrap();
+//!
+//! let me = client.address();
+//! let (outcome, stats) = net
+//!     .parp_call(&mut client, node, RpcCall::GetBalance { address: me })
+//!     .unwrap();
+//! assert!(matches!(outcome, ProcessOutcome::Valid { proven: true, .. }));
+//! assert!(stats.proof_bytes > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dataset;
+mod latency;
+mod scalability;
+mod sim;
+mod workload;
+
+pub use latency::LatencyModel;
+pub use scalability::{
+    run_scalability_point, run_scalability_sweep, BaseRpcServer, ScalabilityConfig,
+    ScalabilityPoint,
+};
+pub use sim::{ExchangeStats, Network, NodeId, SimError};
+pub use workload::{Workload, WorkloadKind};

@@ -1,0 +1,295 @@
+//! The Figure 7 scalability harness: one PARP full node serving N light
+//! clients, compared against a plain (non-PARP) RPC node on the same
+//! workload.
+//!
+//! The paper reports whole-VM CPU% and memory% for a Geth process; an
+//! in-process simulation has no VM to sample, so the harness measures the
+//! same *quantities* with explicit proxies and reports PARP/base ratios:
+//!
+//! * **CPU** — wall-clock time the server spends handling requests
+//!   (request verification + execution + proof + signing for PARP;
+//!   execution only for the base node).
+//! * **Memory** — bytes of per-client service state the node retains
+//!   (channel ledgers and signatures for PARP; a plain connection record
+//!   for the base node) plus the message buffers held per in-flight
+//!   request.
+
+use crate::sim::Network;
+use crate::workload::Workload;
+use parp_chain::{Blockchain, SignedTransaction};
+use parp_contracts::RpcCall;
+use parp_core::{LightClient, ProcessOutcome};
+use parp_crypto::{Signature, SecretKey};
+use parp_primitives::U256;
+use std::time::Instant;
+
+/// Result of one scalability run at a given client count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalabilityPoint {
+    /// Number of concurrently connected light clients.
+    pub clients: usize,
+    /// Requests served in total.
+    pub requests: u64,
+    /// Server CPU time for the PARP node (microseconds).
+    pub parp_cpu_us: u64,
+    /// Server CPU time for the plain RPC node on the same workload.
+    pub base_cpu_us: u64,
+    /// Retained service-state bytes for the PARP node.
+    pub parp_mem_bytes: usize,
+    /// Retained service-state bytes for the plain node.
+    pub base_mem_bytes: usize,
+}
+
+impl ScalabilityPoint {
+    /// CPU overhead ratio (paper: 3.43× at 20 clients).
+    pub fn cpu_ratio(&self) -> f64 {
+        self.parp_cpu_us as f64 / self.base_cpu_us.max(1) as f64
+    }
+
+    /// Memory overhead ratio (paper: 2.38× at 20 clients).
+    pub fn mem_ratio(&self) -> f64 {
+        self.parp_mem_bytes as f64 / self.base_mem_bytes.max(1) as f64
+    }
+}
+
+/// Per-client PARP service state: the channel ledger entry the node must
+/// keep (latest amount + signature + counters).
+const PARP_CLIENT_STATE_BYTES: usize = 8 + 32 + Signature::LEN + 8;
+/// Per-client state of a plain RPC node: a connection record.
+const BASE_CLIENT_STATE_BYTES: usize = 64;
+
+/// A plain (non-PARP) RPC server used as the Figure 7 baseline: executes
+/// the same calls with no signatures, payments or proofs.
+#[derive(Debug, Default)]
+pub struct BaseRpcServer {
+    requests_served: u64,
+}
+
+impl BaseRpcServer {
+    /// Creates a baseline server.
+    pub fn new() -> Self {
+        BaseRpcServer::default()
+    }
+
+    /// Requests served so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
+    /// Executes a call the way a standard node would: direct state reads
+    /// and transaction inclusion, no proof generation.
+    pub fn handle(
+        &mut self,
+        call: &RpcCall,
+        chain: &mut Blockchain,
+    ) -> Result<Vec<u8>, String> {
+        self.requests_served += 1;
+        match call {
+            RpcCall::GetBalance { address } => {
+                Ok(parp_rlp::encode_u256(&chain.balance(address)))
+            }
+            RpcCall::SendRawTransaction { raw } => {
+                let tx = SignedTransaction::decode(raw).map_err(|e| e.to_string())?;
+                let hash = tx.hash();
+                chain
+                    .produce_block(vec![tx], &mut parp_chain::TransferExecutor)
+                    .map_err(|e| e.to_string())?;
+                Ok(hash.as_bytes().to_vec())
+            }
+            RpcCall::GetTransactionByHash { hash } => Ok(chain
+                .transaction_location(hash)
+                .map(|(block, index)| {
+                    chain.block(block).expect("located").transactions[index].encode()
+                })
+                .unwrap_or_default()),
+            RpcCall::BlockNumber => Ok(parp_rlp::encode_u64(chain.height())),
+            RpcCall::GetHeader { number } => Ok(chain
+                .block(*number)
+                .map(|b| b.header.encode())
+                .unwrap_or_default()),
+            RpcCall::GetChannelStatus { .. } => Ok(vec![0xff]),
+            RpcCall::GetTransactionReceipt { hash } => Ok(chain
+                .transaction_location(hash)
+                .map(|(block, index)| chain.receipts(block).expect("located")[index].encode())
+                .unwrap_or_default()),
+        }
+    }
+}
+
+/// Configuration for a scalability run.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalabilityConfig {
+    /// Requests each client issues (paper: 2 req/s × 120 s = 240).
+    pub requests_per_client: usize,
+    /// Fraction of reads in the workload mix.
+    pub read_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScalabilityConfig {
+    fn default() -> Self {
+        ScalabilityConfig {
+            requests_per_client: 240,
+            read_fraction: 0.9,
+            seed: 0xF16_7,
+        }
+    }
+}
+
+/// Runs the Figure 7 experiment at one client count.
+///
+/// Interleaves clients round-robin (each "second" every client issues its
+/// next request), mirroring the paper's 2-requests-per-second pacing.
+pub fn run_scalability_point(clients: usize, config: &ScalabilityConfig) -> ScalabilityPoint {
+    assert!(clients > 0, "need at least one client");
+    // --- PARP node under load ---
+    let mut net = Network::with_latency(crate::latency::LatencyModel::zero());
+    let node = net.spawn_node(b"fig7-node", U256::from(10u64));
+    let mut lcs: Vec<LightClient> = Vec::with_capacity(clients);
+    let mut workloads: Vec<Workload> = Vec::with_capacity(clients);
+    for i in 0..clients {
+        let seed = format!("fig7-client-{i}");
+        let mut client = net.spawn_client(seed.as_bytes(), U256::from(10u64));
+        let budget = U256::from(1_000_000_000u64);
+        net.connect(&mut client, node, budget).expect("connect");
+        let key = SecretKey::from_seed(format!("fig7-sender-{i}").as_bytes());
+        net.fund(key.address());
+        let workload = Workload::new(config.seed + i as u64, key, 0);
+        lcs.push(client);
+        workloads.push(workload);
+    }
+    let mut parp_cpu_us = 0u64;
+    let mut requests = 0u64;
+    let mut inflight_bytes = 0usize;
+    for _round in 0..config.requests_per_client {
+        for (client, workload) in lcs.iter_mut().zip(workloads.iter_mut()) {
+            let call = workload.next_mixed(config.read_fraction);
+            let (outcome, stats) = net.parp_call(client, node, call).expect("parp call");
+            assert!(
+                matches!(outcome, ProcessOutcome::Valid { .. }),
+                "honest node must produce valid responses"
+            );
+            parp_cpu_us += stats.server_us;
+            inflight_bytes = inflight_bytes.max(stats.request_bytes + stats.response_bytes);
+            requests += 1;
+        }
+    }
+    let parp_mem_bytes = clients * (PARP_CLIENT_STATE_BYTES + inflight_bytes);
+
+    // --- Plain RPC node on the same workload ---
+    let faucet_supply = U256::ONE << 170;
+    let mut base_chain = {
+        let faucet = SecretKey::from_seed(b"base-faucet");
+        let mut chain = Blockchain::new(vec![(faucet.address(), faucet_supply)]);
+        // Fund the same senders.
+        for i in 0..clients {
+            let key = SecretKey::from_seed(format!("fig7-sender-{i}").as_bytes());
+            let tx = parp_chain::Transaction {
+                nonce: i as u64,
+                gas_price: U256::ZERO,
+                gas_limit: 21_000,
+                to: Some(key.address()),
+                value: U256::from(1u64) << 80,
+                data: Vec::new(),
+            }
+            .sign(&faucet);
+            chain
+                .produce_block(vec![tx], &mut parp_chain::TransferExecutor)
+                .expect("fund sender");
+        }
+        chain
+    };
+    let mut base_server = BaseRpcServer::new();
+    let mut base_workloads: Vec<Workload> = (0..clients)
+        .map(|i| {
+            let key = SecretKey::from_seed(format!("fig7-sender-{i}").as_bytes());
+            Workload::new(config.seed + i as u64, key, 0)
+        })
+        .collect();
+    let mut base_cpu_us = 0u64;
+    let mut base_inflight = 0usize;
+    for _round in 0..config.requests_per_client {
+        for workload in base_workloads.iter_mut() {
+            let call = workload.next_mixed(config.read_fraction);
+            let request_bytes = parp_jsonrpc::base_request(&call, 1).wire_size();
+            let started = Instant::now();
+            let result = base_server.handle(&call, &mut base_chain).expect("base call");
+            base_cpu_us += started.elapsed().as_micros() as u64;
+            base_inflight = base_inflight.max(request_bytes + result.len());
+        }
+    }
+    let base_mem_bytes = clients * (BASE_CLIENT_STATE_BYTES + base_inflight);
+
+    ScalabilityPoint {
+        clients,
+        requests,
+        parp_cpu_us,
+        base_cpu_us,
+        parp_mem_bytes,
+        base_mem_bytes,
+    }
+}
+
+/// Sweeps client counts, producing the Figure 7 series.
+pub fn run_scalability_sweep(
+    client_counts: &[usize],
+    config: &ScalabilityConfig,
+) -> Vec<ScalabilityPoint> {
+    client_counts
+        .iter()
+        .map(|&n| run_scalability_point(n, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_server_matches_chain_state() {
+        let key = SecretKey::from_seed(b"base-test");
+        let mut chain = Blockchain::new(vec![(key.address(), U256::from(1_000_000u64))]);
+        let mut server = BaseRpcServer::new();
+        let balance = server
+            .handle(
+                &RpcCall::GetBalance {
+                    address: key.address(),
+                },
+                &mut chain,
+            )
+            .unwrap();
+        assert_eq!(
+            parp_rlp::decode(&balance).unwrap().as_u256().unwrap(),
+            U256::from(1_000_000u64)
+        );
+        assert_eq!(server.requests_served(), 1);
+    }
+
+    #[test]
+    fn small_point_has_sane_shape() {
+        let config = ScalabilityConfig {
+            requests_per_client: 4,
+            read_fraction: 0.75,
+            seed: 1,
+        };
+        let point = run_scalability_point(2, &config);
+        assert_eq!(point.clients, 2);
+        assert_eq!(point.requests, 8);
+        assert!(point.parp_cpu_us > 0);
+        assert!(point.cpu_ratio() > 1.0, "PARP must cost more CPU than base");
+        assert!(point.mem_ratio() > 1.0, "PARP must retain more state");
+    }
+
+    #[test]
+    fn memory_grows_with_clients() {
+        let config = ScalabilityConfig {
+            requests_per_client: 2,
+            read_fraction: 1.0,
+            seed: 2,
+        };
+        let one = run_scalability_point(1, &config);
+        let three = run_scalability_point(3, &config);
+        assert!(three.parp_mem_bytes > one.parp_mem_bytes);
+    }
+}

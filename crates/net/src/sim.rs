@@ -1,0 +1,426 @@
+//! The deterministic in-process PARP network: one simulated chain, any
+//! number of PARP full nodes and light clients, and a logical clock.
+
+use crate::latency::LatencyModel;
+use parp_chain::{BlockError, Blockchain, SignedTransaction};
+use parp_contracts::{
+    build_module_call, ModuleCall, ParpExecutor, ParpRequest, ParpResponse, RpcCall,
+    DISPUTE_WINDOW_BLOCKS,
+};
+use parp_core::{FullNode, LightClient, ProcessOutcome, ServeError};
+use parp_crypto::SecretKey;
+use parp_primitives::{Address, U256};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+/// Identifier of a registered full node within the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// Aggregate traffic and timing statistics for one PARP exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExchangeStats {
+    /// PARP request size on the wire (bytes).
+    pub request_bytes: usize,
+    /// PARP response size on the wire (bytes).
+    pub response_bytes: usize,
+    /// Merkle proof portion of the response (bytes).
+    pub proof_bytes: usize,
+    /// Server-side processing time (steps B+C), measured.
+    pub server_us: u64,
+    /// Simulated network round-trip time.
+    pub network_us: u64,
+}
+
+/// Errors surfaced by the simulation driver.
+#[derive(Debug)]
+pub enum SimError {
+    /// The underlying chain rejected a block.
+    Chain(BlockError),
+    /// A full node refused to serve.
+    Serve(ServeError),
+    /// A client-side protocol error.
+    Client(parp_core::ClientError),
+    /// An on-chain module call reverted.
+    Reverted(String),
+    /// Unknown node id.
+    UnknownNode(usize),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Chain(e) => write!(f, "chain error: {e}"),
+            SimError::Serve(e) => write!(f, "serve error: {e}"),
+            SimError::Client(e) => write!(f, "client error: {e}"),
+            SimError::Reverted(e) => write!(f, "module call reverted: {e}"),
+            SimError::UnknownNode(id) => write!(f, "unknown node {id}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<BlockError> for SimError {
+    fn from(e: BlockError) -> Self {
+        SimError::Chain(e)
+    }
+}
+
+impl From<ServeError> for SimError {
+    fn from(e: ServeError) -> Self {
+        SimError::Serve(e)
+    }
+}
+
+impl From<parp_core::ClientError> for SimError {
+    fn from(e: parp_core::ClientError) -> Self {
+        SimError::Client(e)
+    }
+}
+
+/// The simulated PARP network.
+///
+/// # Examples
+///
+/// ```
+/// use parp_net::Network;
+/// use parp_contracts::RpcCall;
+/// use parp_core::ProcessOutcome;
+/// use parp_primitives::U256;
+///
+/// let mut net = Network::new();
+/// let node = net.spawn_node(b"node-1", U256::from(10u64));
+/// let mut client = net.spawn_client(b"client-1", U256::from(10u64));
+/// net.connect(&mut client, node, U256::from(100_000u64)).unwrap();
+/// let (outcome, stats) = net
+///     .parp_call(&mut client, node, RpcCall::BlockNumber)
+///     .unwrap();
+/// assert!(matches!(outcome, ProcessOutcome::Valid { .. }));
+/// assert!(stats.request_bytes > 0);
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    chain: Blockchain,
+    executor: ParpExecutor,
+    nodes: Vec<FullNode>,
+    nonces: HashMap<Address, u64>,
+    latency: LatencyModel,
+    faucet: SecretKey,
+    clock_us: u64,
+}
+
+/// Funds given to every spawned identity: 100 tokens.
+fn spawn_grant() -> U256 {
+    U256::from(100u64) * U256::from(1_000_000_000_000_000_000u64)
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Network {
+    /// Creates a network with a funded faucet and default LAN latency.
+    pub fn new() -> Self {
+        Self::with_latency(LatencyModel::default())
+    }
+
+    /// Creates a network with a custom latency model.
+    pub fn with_latency(latency: LatencyModel) -> Self {
+        let faucet = SecretKey::from_seed(b"network-faucet");
+        // Faucet holds 2^170-ish wei: enough for any experiment.
+        let supply = U256::ONE << 170;
+        let chain = Blockchain::new(vec![(faucet.address(), supply)]);
+        Network {
+            chain,
+            executor: ParpExecutor::new(),
+            nodes: Vec::new(),
+            nonces: HashMap::new(),
+            latency,
+            faucet,
+            clock_us: 0,
+        }
+    }
+
+    /// The simulated chain.
+    pub fn chain(&self) -> &Blockchain {
+        &self.chain
+    }
+
+    /// The on-chain module state.
+    pub fn executor(&self) -> &ParpExecutor {
+        &self.executor
+    }
+
+    /// A registered node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    pub fn node(&self, id: NodeId) -> &FullNode {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to a registered node (e.g. to inject misbehavior).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut FullNode {
+        &mut self.nodes[id.0]
+    }
+
+    /// Elapsed simulated time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.clock_us
+    }
+
+    /// Mines a block with the given transactions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chain validation failures.
+    pub fn mine(&mut self, txs: Vec<SignedTransaction>) -> Result<(), SimError> {
+        self.chain.produce_block(txs, &mut self.executor)?;
+        Ok(())
+    }
+
+    /// Mines `n` empty blocks (time passing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates chain validation failures.
+    pub fn advance_blocks(&mut self, n: u64) -> Result<(), SimError> {
+        for _ in 0..n {
+            self.mine(Vec::new())?;
+        }
+        Ok(())
+    }
+
+    fn next_nonce(&mut self, address: Address) -> u64 {
+        // Track nonces locally so queued transactions in one block don't
+        // collide; fall back to chain state for fresh accounts.
+        let chain_nonce = self.chain.nonce(&address);
+        let entry = self.nonces.entry(address).or_insert(chain_nonce);
+        if *entry < chain_nonce {
+            *entry = chain_nonce;
+        }
+        let nonce = *entry;
+        *entry += 1;
+        nonce
+    }
+
+    /// Submits a module call from `key`, mines it, and returns whether the
+    /// receipt reported success.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the chain rejects the transaction outright.
+    pub fn submit_module_call(
+        &mut self,
+        key: &SecretKey,
+        call: ModuleCall,
+        value: U256,
+    ) -> Result<bool, SimError> {
+        let nonce = self.next_nonce(key.address());
+        let tx = build_module_call(key, nonce, call, value);
+        self.mine(vec![tx])?;
+        let receipts = self.chain.receipts(self.chain.height()).expect("just mined");
+        Ok(receipts.last().map(|r| r.status == 1).unwrap_or(false))
+    }
+
+    /// Creates, funds, stakes and registers a PARP full node, returning
+    /// its id.
+    pub fn spawn_node(&mut self, seed: &[u8], price_per_call: U256) -> NodeId {
+        let key = SecretKey::from_seed(seed);
+        self.fund(key.address());
+        let stake = parp_contracts::min_deposit();
+        assert!(
+            self.submit_module_call(&key.clone(), ModuleCall::Deposit, stake)
+                .expect("deposit tx"),
+            "deposit must succeed"
+        );
+        assert!(
+            self.submit_module_call(&key, ModuleCall::SetServing { serving: true }, U256::ZERO)
+                .expect("serving tx"),
+            "serving registration must succeed"
+        );
+        let node = FullNode::new(key, price_per_call);
+        self.nodes.push(node);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Creates and funds a light client identity.
+    pub fn spawn_client(&mut self, seed: &[u8], price_per_call: U256) -> LightClient {
+        let key = SecretKey::from_seed(seed);
+        self.fund(key.address());
+        LightClient::new(key, price_per_call)
+    }
+
+    /// Sends 100 tokens from the faucet to `address`.
+    pub fn fund(&mut self, address: Address) {
+        let nonce = self.next_nonce(self.faucet.address());
+        let tx = parp_chain::Transaction {
+            nonce,
+            gas_price: U256::ZERO,
+            gas_limit: 21_000,
+            to: Some(address),
+            value: spawn_grant(),
+            data: Vec::new(),
+        }
+        .sign(&self.faucet.clone());
+        self.mine(vec![tx]).expect("faucet transfer");
+    }
+
+    /// The on-chain serving registry (how clients discover nodes, §IV-A).
+    pub fn registry(&self) -> Vec<Address> {
+        self.executor.fndm().registry()
+    }
+
+    /// Syncs a client's header store up to the chain head.
+    pub fn sync_client(&self, client: &mut LightClient) {
+        let from = client.tip().map(|h| h.number + 1).unwrap_or(0);
+        for n in from..=self.chain.height() {
+            client.sync_header(self.chain.block(n).expect("height bounded").header.clone());
+        }
+    }
+
+    /// Runs the full bootstrap + connection setup of §IV-E: header sync,
+    /// handshake, `OpenChannel` transaction, receipt. Returns the channel
+    /// id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handshake and chain failures.
+    pub fn connect(
+        &mut self,
+        client: &mut LightClient,
+        node_id: NodeId,
+        budget: U256,
+    ) -> Result<u64, SimError> {
+        self.sync_client(client);
+        let node = self
+            .nodes
+            .get(node_id.0)
+            .ok_or(SimError::UnknownNode(node_id.0))?;
+        client.start_handshake(node.address())?;
+        let now = self.chain.head().header.timestamp;
+        let confirm = node.confirm_handshake(client.address(), now);
+        self.clock_us += self.latency.round_trip_us(64, 128);
+        let nonce = self.next_nonce(client.address());
+        let open_tx = client.accept_confirmation(&confirm, budget, nonce)?;
+        self.mine(vec![open_tx])?;
+        let receipts = self.chain.receipts(self.chain.height()).expect("just mined");
+        if receipts.last().map(|r| r.status) != Some(1) {
+            client.abandon_connection();
+            return Err(SimError::Reverted("open channel reverted".into()));
+        }
+        let channel_id = self.executor.cmm().channel_count() as u64 - 1;
+        client.channel_opened(channel_id)?;
+        self.sync_client(client);
+        Ok(channel_id)
+    }
+
+    /// One full PARP exchange: the client builds a request, the node
+    /// serves it, the client verifies the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates client and server refusals (a *served but corrupt*
+    /// response is not an error — it comes back as the outcome).
+    pub fn parp_call(
+        &mut self,
+        client: &mut LightClient,
+        node_id: NodeId,
+        call: RpcCall,
+    ) -> Result<(ProcessOutcome, ExchangeStats), SimError> {
+        if self.nodes.get(node_id.0).is_none() {
+            return Err(SimError::UnknownNode(node_id.0));
+        }
+        let request = client.request(call)?;
+        let started = Instant::now();
+        let response = self.serve(node_id, &request)?;
+        let server_us = started.elapsed().as_micros() as u64;
+        // The client needs the header for res.m_B before verifying.
+        self.sync_client(client);
+        let request_bytes = request.encode().len();
+        let response_bytes = response.encode().len();
+        let proof_bytes = response.proof_bytes();
+        let network_us = self.latency.round_trip_us(request_bytes, response_bytes);
+        self.clock_us += network_us + server_us;
+        let outcome = client.process_response(&response)?;
+        Ok((
+            outcome,
+            ExchangeStats {
+                request_bytes,
+                response_bytes,
+                proof_bytes,
+                server_us,
+                network_us,
+            },
+        ))
+    }
+
+    /// Server-side handling only (used by the scalability harness).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the node's refusal.
+    pub fn serve(
+        &mut self,
+        node_id: NodeId,
+        request: &ParpRequest,
+    ) -> Result<ParpResponse, SimError> {
+        let node = self
+            .nodes
+            .get_mut(node_id.0)
+            .ok_or(SimError::UnknownNode(node_id.0))?;
+        Ok(node.handle_request(request, &mut self.chain, &mut self.executor)?)
+    }
+
+    /// Cooperative closure initiated by the client: close, wait out the
+    /// dispute window, confirm, settle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chain failures and reverted settlements.
+    pub fn close_cooperatively(
+        &mut self,
+        client: &mut LightClient,
+        _node_id: NodeId,
+    ) -> Result<(), SimError> {
+        let close = client.close_channel_call()?;
+        let client_key = client.secret().clone();
+        if !self.submit_module_call(&client_key, close, U256::ZERO)? {
+            return Err(SimError::Reverted("close channel reverted".into()));
+        }
+        self.advance_blocks(DISPUTE_WINDOW_BLOCKS)?;
+        let confirm = client.confirm_closure_call()?;
+        if !self.submit_module_call(&client_key, confirm, U256::ZERO)? {
+            return Err(SimError::Reverted("confirm closure reverted".into()));
+        }
+        client.channel_closed();
+        Ok(())
+    }
+
+    /// Relays a fraud proof through a witness node (§IV-F): the witness
+    /// submits the on-chain transaction on the client's behalf.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chain failures.
+    pub fn report_fraud(
+        &mut self,
+        evidence: &parp_core::FraudEvidence,
+        witness_id: NodeId,
+    ) -> Result<bool, SimError> {
+        let witness = self
+            .nodes
+            .get(witness_id.0)
+            .ok_or(SimError::UnknownNode(witness_id.0))?;
+        let witness_key = witness.secret().clone();
+        let witness_addr = witness.address();
+        let call = evidence.to_module_call(witness_addr);
+        self.submit_module_call(&witness_key, call, U256::ZERO)
+    }
+}

@@ -1,0 +1,186 @@
+//! Fixed-size byte array types: 32-byte hashes and 20-byte addresses.
+
+use crate::hex::{self, FromHexError};
+use std::fmt;
+use std::str::FromStr;
+
+macro_rules! fixed_bytes {
+    ($(#[$doc:meta])* $name:ident, $len:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub [u8; $len]);
+
+        impl $name {
+            /// Number of bytes in this type.
+            pub const LEN: usize = $len;
+
+            /// The all-zero value.
+            pub const ZERO: $name = $name([0u8; $len]);
+
+            /// Wraps a raw byte array.
+            pub const fn new(bytes: [u8; $len]) -> Self {
+                $name(bytes)
+            }
+
+            /// Returns a view of the underlying bytes.
+            pub fn as_bytes(&self) -> &[u8] {
+                &self.0
+            }
+
+            /// Extracts the underlying byte array.
+            pub fn into_inner(self) -> [u8; $len] {
+                self.0
+            }
+
+            /// Builds a value from a byte slice.
+            ///
+            /// Returns `None` when `slice.len() != Self::LEN`.
+            pub fn from_slice(slice: &[u8]) -> Option<Self> {
+                if slice.len() != $len {
+                    return None;
+                }
+                let mut bytes = [0u8; $len];
+                bytes.copy_from_slice(slice);
+                Some($name(bytes))
+            }
+
+            /// Returns `true` when every byte is zero.
+            pub fn is_zero(&self) -> bool {
+                self.0.iter().all(|&b| b == 0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}(0x{})", stringify!($name), hex::to_hex(&self.0))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "0x{}", hex::to_hex(&self.0))
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if f.alternate() {
+                    write!(f, "0x")?;
+                }
+                write!(f, "{}", hex::to_hex(&self.0))
+            }
+        }
+
+        impl FromStr for $name {
+            type Err = FromHexError;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                let bytes = hex::from_hex(s)?;
+                Self::from_slice(&bytes).ok_or(FromHexError::OddLength)
+            }
+        }
+
+        impl From<[u8; $len]> for $name {
+            fn from(bytes: [u8; $len]) -> Self {
+                $name(bytes)
+            }
+        }
+
+        impl AsRef<[u8]> for $name {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+    };
+}
+
+fixed_bytes!(
+    /// A 32-byte hash (block hashes, trie roots, message digests).
+    H256,
+    32
+);
+
+fixed_bytes!(
+    /// A 20-byte account address, derived from the Keccak-256 hash of a
+    /// public key as in Ethereum.
+    Address,
+    20
+);
+
+impl H256 {
+    /// Creates a hash whose last 8 bytes hold `value` big-endian; the rest
+    /// are zero. Mirrors the common Ethereum test helper.
+    pub fn from_low_u64_be(value: u64) -> Self {
+        let mut bytes = [0u8; 32];
+        bytes[24..].copy_from_slice(&value.to_be_bytes());
+        H256(bytes)
+    }
+
+    /// Interprets the last 8 bytes as a big-endian `u64`, ignoring the rest.
+    pub fn to_low_u64_be(&self) -> u64 {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&self.0[24..]);
+        u64::from_be_bytes(buf)
+    }
+}
+
+impl Address {
+    /// Creates an address whose last 8 bytes hold `value` big-endian.
+    pub fn from_low_u64_be(value: u64) -> Self {
+        let mut bytes = [0u8; 20];
+        bytes[12..].copy_from_slice(&value.to_be_bytes());
+        Address(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h256_parse_and_display_roundtrip() {
+        let h: H256 = "0x00000000000000000000000000000000000000000000000000000000000000ff"
+            .parse()
+            .unwrap();
+        assert_eq!(h.to_low_u64_be(), 0xff);
+        assert_eq!(h.to_string().parse::<H256>().unwrap(), h);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert!("0x0011".parse::<H256>().is_err());
+        assert!("0x0011".parse::<Address>().is_err());
+    }
+
+    #[test]
+    fn from_slice_checks_length() {
+        assert!(H256::from_slice(&[0u8; 31]).is_none());
+        assert!(H256::from_slice(&[0u8; 32]).is_some());
+        assert!(Address::from_slice(&[0u8; 20]).is_some());
+    }
+
+    #[test]
+    fn low_u64_roundtrip() {
+        let h = H256::from_low_u64_be(0xdead_beef_1234_5678);
+        assert_eq!(h.to_low_u64_be(), 0xdead_beef_1234_5678);
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(H256::ZERO.is_zero());
+        assert!(!H256::from_low_u64_be(1).is_zero());
+        assert!(Address::ZERO.is_zero());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(format!("{:?}", Address::ZERO).contains("Address"));
+    }
+
+    #[test]
+    fn ordering_is_bytewise() {
+        let a = H256::from_low_u64_be(1);
+        let b = H256::from_low_u64_be(2);
+        assert!(a < b);
+    }
+}

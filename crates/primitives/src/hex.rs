@@ -1,0 +1,167 @@
+//! Hex encoding and decoding helpers.
+//!
+//! Encoding always produces lowercase hex. Decoding accepts upper- and
+//! lowercase digits and an optional `0x` prefix.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when decoding an invalid hex string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FromHexError {
+    /// The input contained a character outside `[0-9a-fA-F]`.
+    InvalidDigit {
+        /// Byte offset of the offending character (after any `0x` prefix).
+        index: usize,
+        /// The offending character.
+        ch: char,
+    },
+    /// The input had an odd number of hex digits.
+    OddLength,
+}
+
+impl fmt::Display for FromHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FromHexError::InvalidDigit { index, ch } => {
+                write!(f, "invalid hex digit {ch:?} at index {index}")
+            }
+            FromHexError::OddLength => write!(f, "hex string has an odd number of digits"),
+        }
+    }
+}
+
+impl Error for FromHexError {}
+
+fn digit_value(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Decodes a hex string (with or without a `0x` prefix) into bytes.
+///
+/// # Errors
+///
+/// Returns [`FromHexError::OddLength`] if the digit count is odd and
+/// [`FromHexError::InvalidDigit`] on the first non-hex character.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), parp_primitives::FromHexError> {
+/// assert_eq!(parp_primitives::from_hex("0xdeadBEEF")?, vec![0xde, 0xad, 0xbe, 0xef]);
+/// assert_eq!(parp_primitives::from_hex("")?, Vec::<u8>::new());
+/// # Ok(())
+/// # }
+/// ```
+pub fn from_hex(s: &str) -> Result<Vec<u8>, FromHexError> {
+    let s = s.strip_prefix("0x").unwrap_or(s);
+    let bytes = s.as_bytes();
+    if bytes.len() % 2 != 0 {
+        return Err(FromHexError::OddLength);
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for (i, pair) in bytes.chunks_exact(2).enumerate() {
+        let hi = digit_value(pair[0]).ok_or(FromHexError::InvalidDigit {
+            index: 2 * i,
+            ch: pair[0] as char,
+        })?;
+        let lo = digit_value(pair[1]).ok_or(FromHexError::InvalidDigit {
+            index: 2 * i + 1,
+            ch: pair[1] as char,
+        })?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+const HEX_CHARS: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes bytes as lowercase hex without a prefix.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(parp_primitives::to_hex(&[0xde, 0xad]), "dead");
+/// ```
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        s.push(HEX_CHARS[(b >> 4) as usize] as char);
+        s.push(HEX_CHARS[(b & 0x0f) as usize] as char);
+    }
+    s
+}
+
+/// Encodes bytes as lowercase hex with a `0x` prefix.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(parp_primitives::to_hex_prefixed(&[0x01, 0x02]), "0x0102");
+/// ```
+pub fn to_hex_prefixed(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(2 + bytes.len() * 2);
+    s.push_str("0x");
+    s.push_str(&to_hex(bytes));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_empty() {
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+        assert_eq!(from_hex("0x").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn decode_mixed_case() {
+        assert_eq!(from_hex("aAbB").unwrap(), vec![0xaa, 0xbb]);
+    }
+
+    #[test]
+    fn decode_with_prefix() {
+        assert_eq!(from_hex("0x00ff").unwrap(), vec![0x00, 0xff]);
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        assert_eq!(from_hex("abc").unwrap_err(), FromHexError::OddLength);
+        assert_eq!(from_hex("0xf").unwrap_err(), FromHexError::OddLength);
+    }
+
+    #[test]
+    fn invalid_digit_rejected() {
+        assert_eq!(
+            from_hex("0xg0").unwrap_err(),
+            FromHexError::InvalidDigit { index: 0, ch: 'g' }
+        );
+        assert_eq!(
+            from_hex("a0 b").unwrap_err(),
+            FromHexError::InvalidDigit { index: 2, ch: ' ' }
+        );
+    }
+
+    #[test]
+    fn encode_roundtrip() {
+        let data = [0u8, 1, 15, 16, 127, 128, 255];
+        let encoded = to_hex(&data);
+        assert_eq!(from_hex(&encoded).unwrap(), data);
+        let prefixed = to_hex_prefixed(&data);
+        assert!(prefixed.starts_with("0x"));
+        assert_eq!(from_hex(&prefixed).unwrap(), data);
+    }
+
+    #[test]
+    fn error_display_is_lowercase_prose() {
+        let e = FromHexError::OddLength.to_string();
+        assert!(e.starts_with("hex string"));
+    }
+}

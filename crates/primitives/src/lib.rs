@@ -1,0 +1,33 @@
+//! Core primitive types shared by every crate in the PARP workspace.
+//!
+//! This crate provides the fixed-size byte types ([`H256`], [`Address`]), the
+//! 256-bit unsigned integer [`U256`] used for balances and payment amounts,
+//! and hex encoding/decoding helpers compatible with Ethereum's `0x`-prefixed
+//! conventions.
+//!
+//! # Examples
+//!
+//! ```
+//! use parp_primitives::{Address, H256, U256};
+//!
+//! let a = U256::from(1_000u64);
+//! let b = U256::from(234u64);
+//! assert_eq!(a + b, U256::from(1_234u64));
+//!
+//! let h = H256::from_low_u64_be(42);
+//! assert_eq!(h.as_bytes()[31], 42);
+//!
+//! let addr: Address = "0x00000000000000000000000000000000000000ff".parse().unwrap();
+//! assert_eq!(addr.as_bytes()[19], 0xff);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod hash;
+pub mod hex;
+mod uint;
+
+pub use hash::{Address, H256};
+pub use hex::{FromHexError, from_hex, to_hex, to_hex_prefixed};
+pub use uint::{ParseU256Error, U256};

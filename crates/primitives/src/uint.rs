@@ -1,0 +1,731 @@
+//! A 256-bit unsigned integer used for balances, payment amounts and gas
+//! arithmetic.
+//!
+//! The representation is four little-endian `u64` limbs. All arithmetic
+//! operators panic on overflow in debug terms — like the primitive integer
+//! types they wrap — while `checked_*`, `overflowing_*` and `saturating_*`
+//! variants are provided for explicit control.
+
+use crate::hex;
+use std::cmp::Ordering;
+use std::error::Error;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, BitAnd, BitOr, BitXor, Div, Mul, Not, Rem, Shl, Shr, Sub, SubAssign};
+use std::str::FromStr;
+
+/// A 256-bit unsigned integer.
+///
+/// # Examples
+///
+/// ```
+/// use parp_primitives::U256;
+///
+/// let gwei = U256::from(1_000_000_000u64);
+/// let fee = gwei * U256::from(21_000u64);
+/// assert_eq!(fee.to_string(), "21000000000000");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U256(pub [u64; 4]);
+
+/// Error returned when parsing a [`U256`] from a string fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseU256Error {
+    /// The string was empty.
+    Empty,
+    /// A character was not a valid digit for the radix.
+    InvalidDigit,
+    /// The value does not fit in 256 bits.
+    Overflow,
+}
+
+impl fmt::Display for ParseU256Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseU256Error::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseU256Error::InvalidDigit => write!(f, "invalid digit found in string"),
+            ParseU256Error::Overflow => write!(f, "number too large to fit in 256 bits"),
+        }
+    }
+}
+
+impl Error for ParseU256Error {}
+
+impl U256 {
+    /// The value `0`.
+    pub const ZERO: U256 = U256([0, 0, 0, 0]);
+    /// The value `1`.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+    /// The largest representable value, `2^256 - 1`.
+    pub const MAX: U256 = U256([u64::MAX; 4]);
+
+    /// Creates a value from four little-endian `u64` limbs.
+    pub const fn from_limbs(limbs: [u64; 4]) -> Self {
+        U256(limbs)
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0, 0, 0, 0]
+    }
+
+    /// Interprets 32 big-endian bytes as a `U256`.
+    pub fn from_be_bytes(bytes: [u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            limbs[3 - i] = u64::from_be_bytes(buf);
+        }
+        U256(limbs)
+    }
+
+    /// Returns the value as 32 big-endian bytes.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&self.0[3 - i].to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses a big-endian byte slice of at most 32 bytes.
+    ///
+    /// Shorter slices are zero-extended on the left, matching the
+    /// minimal-big-endian convention used by RLP integer encoding.
+    pub fn from_be_slice(slice: &[u8]) -> Option<Self> {
+        if slice.len() > 32 {
+            return None;
+        }
+        let mut bytes = [0u8; 32];
+        bytes[32 - slice.len()..].copy_from_slice(slice);
+        Some(Self::from_be_bytes(bytes))
+    }
+
+    /// Returns the minimal big-endian byte representation (no leading
+    /// zeroes; zero encodes to an empty vector) as used by RLP.
+    pub fn to_be_bytes_minimal(&self) -> Vec<u8> {
+        let bytes = self.to_be_bytes();
+        let first = bytes.iter().position(|&b| b != 0).unwrap_or(32);
+        bytes[first..].to_vec()
+    }
+
+    /// Number of bits required to represent the value (`0` for zero).
+    pub fn bits(&self) -> u32 {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return (i as u32) * 64 + (64 - self.0[i].leading_zeros());
+            }
+        }
+        0
+    }
+
+    /// Returns the low 64 bits, discarding higher limbs.
+    pub fn low_u64(&self) -> u64 {
+        self.0[0]
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.0[1] == 0 && self.0[2] == 0 && self.0[3] == 0 {
+            Some(self.0[0])
+        } else {
+            None
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.0[2] == 0 && self.0[3] == 0 {
+            Some((self.0[1] as u128) << 64 | self.0[0] as u128)
+        } else {
+            None
+        }
+    }
+
+    /// Addition returning the wrapped result and an overflow flag.
+    pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            out[i] = s2;
+            carry = c1 | c2;
+        }
+        (U256(out), carry)
+    }
+
+    /// Subtraction returning the wrapped result and a borrow flag.
+    pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            out[i] = d2;
+            borrow = b1 | b2;
+        }
+        (U256(out), borrow)
+    }
+
+    /// Multiplication returning the low 256 bits and an overflow flag.
+    pub fn overflowing_mul(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u64;
+            for j in 0..4 {
+                let wide = self.0[i] as u128 * rhs.0[j] as u128
+                    + out[i + j] as u128
+                    + carry as u128;
+                out[i + j] = wide as u64;
+                carry = (wide >> 64) as u64;
+            }
+            out[i + 4] = out[i + 4].wrapping_add(carry);
+        }
+        let overflow = out[4..].iter().any(|&l| l != 0);
+        (U256([out[0], out[1], out[2], out[3]]), overflow)
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, rhs: U256) -> Option<U256> {
+        match self.overflowing_add(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Checked subtraction; `None` on underflow.
+    pub fn checked_sub(self, rhs: U256) -> Option<U256> {
+        match self.overflowing_sub(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Checked multiplication; `None` on overflow.
+    pub fn checked_mul(self, rhs: U256) -> Option<U256> {
+        match self.overflowing_mul(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Checked division; `None` when `rhs` is zero.
+    pub fn checked_div(self, rhs: U256) -> Option<U256> {
+        if rhs.is_zero() {
+            None
+        } else {
+            Some(self.div_rem(rhs).0)
+        }
+    }
+
+    /// Checked remainder; `None` when `rhs` is zero.
+    pub fn checked_rem(self, rhs: U256) -> Option<U256> {
+        if rhs.is_zero() {
+            None
+        } else {
+            Some(self.div_rem(rhs).1)
+        }
+    }
+
+    /// Saturating addition, clamping at [`U256::MAX`].
+    pub fn saturating_add(self, rhs: U256) -> U256 {
+        self.checked_add(rhs).unwrap_or(U256::MAX)
+    }
+
+    /// Saturating subtraction, clamping at zero.
+    pub fn saturating_sub(self, rhs: U256) -> U256 {
+        self.checked_sub(rhs).unwrap_or(U256::ZERO)
+    }
+
+    /// Simultaneous quotient and remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `divisor` is zero.
+    pub fn div_rem(self, divisor: U256) -> (U256, U256) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (U256::ZERO, self);
+        }
+        if divisor.bits() <= 64 {
+            return self.div_rem_u64(divisor.0[0]);
+        }
+        // Bitwise long division: shift-subtract from the most significant bit.
+        let mut quotient = U256::ZERO;
+        let mut remainder = U256::ZERO;
+        let bits = self.bits();
+        for i in (0..bits).rev() {
+            remainder = remainder << 1;
+            if self.bit(i) {
+                remainder.0[0] |= 1;
+            }
+            if remainder >= divisor {
+                remainder = remainder.overflowing_sub(divisor).0;
+                quotient = quotient.set_bit(i);
+            }
+        }
+        (quotient, remainder)
+    }
+
+    fn div_rem_u64(self, divisor: u64) -> (U256, U256) {
+        let mut quotient = [0u64; 4];
+        let mut rem: u128 = 0;
+        for i in (0..4).rev() {
+            let acc = (rem << 64) | self.0[i] as u128;
+            quotient[i] = (acc / divisor as u128) as u64;
+            rem = acc % divisor as u128;
+        }
+        (U256(quotient), U256::from(rem as u64))
+    }
+
+    /// Returns bit `i` (0 = least significant).
+    pub fn bit(&self, i: u32) -> bool {
+        let limb = (i / 64) as usize;
+        limb < 4 && (self.0[limb] >> (i % 64)) & 1 == 1
+    }
+
+    fn set_bit(mut self, i: u32) -> U256 {
+        self.0[(i / 64) as usize] |= 1 << (i % 64);
+        self
+    }
+
+    /// Parses a decimal string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseU256Error`] on empty input, non-digit characters or
+    /// values larger than 2^256 - 1.
+    pub fn from_dec_str(s: &str) -> Result<Self, ParseU256Error> {
+        if s.is_empty() {
+            return Err(ParseU256Error::Empty);
+        }
+        let mut value = U256::ZERO;
+        let ten = U256::from(10u64);
+        for ch in s.bytes() {
+            let digit = match ch {
+                b'0'..=b'9' => ch - b'0',
+                _ => return Err(ParseU256Error::InvalidDigit),
+            };
+            value = value
+                .checked_mul(ten)
+                .and_then(|v| v.checked_add(U256::from(digit as u64)))
+                .ok_or(ParseU256Error::Overflow)?;
+        }
+        Ok(value)
+    }
+
+    /// Parses a hex string with or without a `0x` prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseU256Error`] on empty input, non-hex characters or more
+    /// than 64 hex digits.
+    pub fn from_hex_str(s: &str) -> Result<Self, ParseU256Error> {
+        let digits = s.strip_prefix("0x").unwrap_or(s);
+        if digits.is_empty() {
+            return Err(ParseU256Error::Empty);
+        }
+        if digits.len() > 64 {
+            return Err(ParseU256Error::Overflow);
+        }
+        let padded = if digits.len() % 2 == 1 {
+            format!("0{digits}")
+        } else {
+            digits.to_string()
+        };
+        let bytes = hex::from_hex(&padded).map_err(|_| ParseU256Error::InvalidDigit)?;
+        Ok(Self::from_be_slice(&bytes).expect("length checked above"))
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U256({self})")
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let mut value = *self;
+        while !value.is_zero() {
+            let (q, r) = value.div_rem_u64(10);
+            digits.push(b'0' + r.0[0] as u8);
+            value = q;
+        }
+        digits.reverse();
+        f.write_str(std::str::from_utf8(&digits).expect("ascii digits"))
+    }
+}
+
+impl fmt::LowerHex for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if f.alternate() {
+            write!(f, "0x")?;
+        }
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let bytes = self.to_be_bytes_minimal();
+        let s = hex::to_hex(&bytes);
+        write!(f, "{}", s.trim_start_matches('0'))
+    }
+}
+
+impl FromStr for U256 {
+    type Err = ParseU256Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(hex_digits) = s.strip_prefix("0x") {
+            U256::from_hex_str(hex_digits)
+        } else {
+            U256::from_dec_str(s)
+        }
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256([v, 0, 0, 0])
+    }
+}
+
+impl From<u32> for U256 {
+    fn from(v: u32) -> Self {
+        U256::from(v as u64)
+    }
+}
+
+impl From<u128> for U256 {
+    fn from(v: u128) -> Self {
+        U256([v as u64, (v >> 64) as u64, 0, 0])
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl Add for U256 {
+    type Output = U256;
+
+    fn add(self, rhs: U256) -> U256 {
+        let (v, overflow) = self.overflowing_add(rhs);
+        assert!(!overflow, "U256 addition overflow");
+        v
+    }
+}
+
+impl AddAssign for U256 {
+    fn add_assign(&mut self, rhs: U256) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for U256 {
+    type Output = U256;
+
+    fn sub(self, rhs: U256) -> U256 {
+        let (v, borrow) = self.overflowing_sub(rhs);
+        assert!(!borrow, "U256 subtraction underflow");
+        v
+    }
+}
+
+impl SubAssign for U256 {
+    fn sub_assign(&mut self, rhs: U256) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for U256 {
+    type Output = U256;
+
+    fn mul(self, rhs: U256) -> U256 {
+        let (v, overflow) = self.overflowing_mul(rhs);
+        assert!(!overflow, "U256 multiplication overflow");
+        v
+    }
+}
+
+impl Div for U256 {
+    type Output = U256;
+
+    fn div(self, rhs: U256) -> U256 {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for U256 {
+    type Output = U256;
+
+    fn rem(self, rhs: U256) -> U256 {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Not for U256 {
+    type Output = U256;
+
+    fn not(self) -> U256 {
+        U256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+}
+
+impl BitAnd for U256 {
+    type Output = U256;
+
+    fn bitand(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] & rhs.0[0],
+            self.0[1] & rhs.0[1],
+            self.0[2] & rhs.0[2],
+            self.0[3] & rhs.0[3],
+        ])
+    }
+}
+
+impl BitOr for U256 {
+    type Output = U256;
+
+    fn bitor(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] | rhs.0[0],
+            self.0[1] | rhs.0[1],
+            self.0[2] | rhs.0[2],
+            self.0[3] | rhs.0[3],
+        ])
+    }
+}
+
+impl BitXor for U256 {
+    type Output = U256;
+
+    fn bitxor(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] ^ rhs.0[0],
+            self.0[1] ^ rhs.0[1],
+            self.0[2] ^ rhs.0[2],
+            self.0[3] ^ rhs.0[3],
+        ])
+    }
+}
+
+impl Shl<u32> for U256 {
+    type Output = U256;
+
+    fn shl(self, shift: u32) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 4];
+        for i in (limb_shift..4).rev() {
+            out[i] = self.0[i - limb_shift] << bit_shift;
+            if bit_shift > 0 && i > limb_shift {
+                out[i] |= self.0[i - limb_shift - 1] >> (64 - bit_shift);
+            }
+        }
+        U256(out)
+    }
+}
+
+impl Shr<u32> for U256 {
+    type Output = U256;
+
+    fn shr(self, shift: u32) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 4];
+        for i in 0..4 - limb_shift {
+            out[i] = self.0[i + limb_shift] >> bit_shift;
+            if bit_shift > 0 && i + limb_shift + 1 < 4 {
+                out[i] |= self.0[i + limb_shift + 1] << (64 - bit_shift);
+            }
+        }
+        U256(out)
+    }
+}
+
+impl Sum for U256 {
+    fn sum<I: Iterator<Item = U256>>(iter: I) -> U256 {
+        iter.fold(U256::ZERO, |acc, v| acc + v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = U256::from(7u64);
+        let b = U256::from(3u64);
+        assert_eq!(a + b, U256::from(10u64));
+        assert_eq!(a - b, U256::from(4u64));
+        assert_eq!(a * b, U256::from(21u64));
+        assert_eq!(a / b, U256::from(2u64));
+        assert_eq!(a % b, U256::from(1u64));
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = U256::from(u64::MAX);
+        let b = U256::ONE;
+        assert_eq!(a + b, U256([0, 1, 0, 0]));
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        assert_eq!(U256::MAX.overflowing_add(U256::ONE), (U256::ZERO, true));
+        assert!(U256::MAX.checked_add(U256::ONE).is_none());
+        assert!(U256::ZERO.checked_sub(U256::ONE).is_none());
+        assert!(U256::MAX.checked_mul(U256::from(2u64)).is_none());
+        assert_eq!(U256::MAX.saturating_add(U256::ONE), U256::MAX);
+        assert_eq!(U256::ZERO.saturating_sub(U256::ONE), U256::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn add_panics_on_overflow() {
+        let _ = U256::MAX + U256::ONE;
+    }
+
+    #[test]
+    fn mul_wide_values() {
+        // (2^64)^2 = 2^128
+        let x = U256([0, 1, 0, 0]);
+        assert_eq!(x * x, U256([0, 0, 1, 0]));
+    }
+
+    #[test]
+    fn div_rem_large_divisor() {
+        let a = U256::from_hex_str("ffffffffffffffffffffffffffffffff").unwrap();
+        let b = U256::from_hex_str("10000000000000001").unwrap();
+        let (q, r) = a.div_rem(b);
+        assert_eq!(q * b + r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = U256::ONE.div_rem(U256::ZERO);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let v = U256::from_hex_str("0123456789abcdef0011223344556677").unwrap();
+        assert_eq!(U256::from_be_bytes(v.to_be_bytes()), v);
+    }
+
+    #[test]
+    fn minimal_bytes() {
+        assert_eq!(U256::ZERO.to_be_bytes_minimal(), Vec::<u8>::new());
+        assert_eq!(U256::from(0x1234u64).to_be_bytes_minimal(), vec![0x12, 0x34]);
+        assert_eq!(U256::from_be_slice(&[0x12, 0x34]).unwrap(), U256::from(0x1234u64));
+        assert!(U256::from_be_slice(&[0u8; 33]).is_none());
+    }
+
+    #[test]
+    fn decimal_display_and_parse() {
+        let v = U256::from_dec_str("340282366920938463463374607431768211456").unwrap(); // 2^128
+        assert_eq!(v, U256([0, 0, 1, 0]));
+        assert_eq!(v.to_string(), "340282366920938463463374607431768211456");
+        assert_eq!("123".parse::<U256>().unwrap(), U256::from(123u64));
+        assert_eq!("0x7b".parse::<U256>().unwrap(), U256::from(123u64));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(U256::from_dec_str(""), Err(ParseU256Error::Empty));
+        assert_eq!(U256::from_dec_str("12a"), Err(ParseU256Error::InvalidDigit));
+        let huge = "1".repeat(80);
+        assert_eq!(U256::from_dec_str(&huge), Err(ParseU256Error::Overflow));
+        assert_eq!(U256::from_hex_str(&"f".repeat(65)), Err(ParseU256Error::Overflow));
+    }
+
+    #[test]
+    fn max_decimal_parses_back() {
+        let max_str = U256::MAX.to_string();
+        assert_eq!(U256::from_dec_str(&max_str).unwrap(), U256::MAX);
+        assert_eq!(
+            U256::from_dec_str("115792089237316195423570985008687907853269984665640564039457584007913129639936"),
+            Err(ParseU256Error::Overflow)
+        );
+    }
+
+    #[test]
+    fn shifts() {
+        let one = U256::ONE;
+        assert_eq!(one << 64, U256([0, 1, 0, 0]));
+        assert_eq!(one << 255 >> 255, one);
+        assert_eq!(one << 256, U256::ZERO);
+        assert_eq!((U256([0, 0, 0, 1]) >> 192), U256::ONE);
+        assert_eq!(U256::MAX >> 256, U256::ZERO);
+    }
+
+    #[test]
+    fn bits_and_bit() {
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(U256::ONE.bits(), 1);
+        assert_eq!((U256::ONE << 200).bits(), 201);
+        assert!((U256::ONE << 200).bit(200));
+        assert!(!(U256::ONE << 200).bit(199));
+    }
+
+    #[test]
+    fn bit_ops() {
+        let a = U256::from(0b1100u64);
+        let b = U256::from(0b1010u64);
+        assert_eq!(a & b, U256::from(0b1000u64));
+        assert_eq!(a | b, U256::from(0b1110u64));
+        assert_eq!(a ^ b, U256::from(0b0110u64));
+        assert_eq!(!U256::ZERO, U256::MAX);
+    }
+
+    #[test]
+    fn hex_display() {
+        assert_eq!(format!("{:x}", U256::from(0x1f2eu64)), "1f2e");
+        assert_eq!(format!("{:#x}", U256::from(255u64)), "0xff");
+        assert_eq!(format!("{:x}", U256::ZERO), "0");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(U256::from(5u32).to_u64(), Some(5));
+        assert_eq!((U256::ONE << 64).to_u64(), None);
+        assert_eq!((U256::ONE << 64).to_u128(), Some(1u128 << 64));
+        assert_eq!((U256::ONE << 128).to_u128(), None);
+        assert_eq!(U256::from(7u64).low_u64(), 7);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: U256 = (1..=10u64).map(U256::from).sum();
+        assert_eq!(total, U256::from(55u64));
+    }
+}

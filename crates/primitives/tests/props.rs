@@ -1,0 +1,91 @@
+//! Property-based tests for U256 arithmetic laws and hex codecs.
+
+use parp_primitives::{from_hex, to_hex, H256, U256};
+use proptest::prelude::*;
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    any::<[u64; 4]>().prop_map(U256::from_limbs)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.overflowing_add(b), b.overflowing_add(a));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in arb_u256(), b in arb_u256()) {
+        let (sum, overflow) = a.overflowing_add(b);
+        if !overflow {
+            prop_assert_eq!(sum.checked_sub(b), Some(a));
+        }
+    }
+
+    #[test]
+    fn mul_commutes(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.overflowing_mul(b), b.overflowing_mul(a));
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in arb_u256(), b in arb_u256()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(b);
+        prop_assert!(r < b);
+        let (qb, overflow) = q.overflowing_mul(b);
+        prop_assert!(!overflow);
+        prop_assert_eq!(qb.checked_add(r), Some(a));
+    }
+
+    #[test]
+    fn distributive_small(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (a, b, c) = (U256::from(a), U256::from(b), U256::from(c));
+        let lhs = a.overflowing_mul(b.overflowing_add(c).0).0;
+        let rhs = a.overflowing_mul(b).0.overflowing_add(a.overflowing_mul(c).0).0;
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn byte_roundtrip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_be_bytes(a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn minimal_bytes_roundtrip(a in arb_u256()) {
+        let minimal = a.to_be_bytes_minimal();
+        if !minimal.is_empty() {
+            prop_assert_ne!(minimal[0], 0);
+        }
+        prop_assert_eq!(U256::from_be_slice(&minimal), Some(a));
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_dec_str(&a.to_string()), Ok(a));
+    }
+
+    #[test]
+    fn shift_inverse(a in arb_u256(), s in 0u32..256) {
+        // Shifting left then right clears only the bits shifted out the top.
+        let masked = (a << s) >> s;
+        let expected = if s == 0 { a } else { a & (U256::MAX >> s) };
+        prop_assert_eq!(masked, expected);
+    }
+
+    #[test]
+    fn ordering_consistent_with_sub(a in arb_u256(), b in arb_u256()) {
+        let (_, borrow) = a.overflowing_sub(b);
+        prop_assert_eq!(borrow, a < b);
+    }
+
+    #[test]
+    fn hex_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let encoded = to_hex(&bytes);
+        prop_assert_eq!(from_hex(&encoded).unwrap(), bytes);
+    }
+
+    #[test]
+    fn h256_parse_roundtrip(bytes in any::<[u8; 32]>()) {
+        let h = H256::new(bytes);
+        prop_assert_eq!(h.to_string().parse::<H256>().unwrap(), h);
+    }
+}

@@ -1,0 +1,511 @@
+//! Recursive Length Prefix (RLP) serialization, Ethereum's canonical wire
+//! and hashing encoding.
+//!
+//! Transactions, block headers and Merkle-Patricia-Trie nodes are all
+//! RLP-encoded before hashing, so a byte-exact RLP implementation is the
+//! foundation of every integrity check in PARP.
+//!
+//! The decoder is *strict*: it rejects non-minimal encodings (a single byte
+//! below `0x80` wrapped in a string header, length fields with leading
+//! zeros, trailing garbage), which matters because trie keys and fraud
+//! proofs must have exactly one valid encoding.
+//!
+//! # Examples
+//!
+//! ```
+//! use parp_rlp::{decode, encode_bytes, encode_list, Item};
+//!
+//! let dog = encode_bytes(b"dog");
+//! assert_eq!(dog, vec![0x83, b'd', b'o', b'g']);
+//!
+//! let list = encode_list(&[encode_bytes(b"cat"), encode_bytes(b"dog")]);
+//! let item = decode(&list).unwrap();
+//! assert_eq!(item, Item::List(vec![
+//!     Item::Bytes(b"cat".to_vec()),
+//!     Item::Bytes(b"dog".to_vec()),
+//! ]));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use parp_primitives::{Address, H256, U256};
+use std::error::Error;
+use std::fmt;
+
+/// A decoded RLP item: either a byte string or a list of items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A byte string (possibly empty).
+    Bytes(Vec<u8>),
+    /// A list of nested items (possibly empty).
+    List(Vec<Item>),
+}
+
+impl Item {
+    /// Encodes the item tree back to RLP bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Item::Bytes(bytes) => encode_bytes(bytes),
+            Item::List(items) => {
+                let encoded: Vec<Vec<u8>> = items.iter().map(Item::encode).collect();
+                encode_list(&encoded)
+            }
+        }
+    }
+
+    /// Borrows the payload if this is a byte string.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the item is a list.
+    pub fn as_bytes(&self) -> Result<&[u8], DecodeError> {
+        match self {
+            Item::Bytes(b) => Ok(b),
+            Item::List(_) => Err(DecodeError::ExpectedBytes),
+        }
+    }
+
+    /// Borrows the children if this is a list.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the item is a byte string.
+    pub fn as_list(&self) -> Result<&[Item], DecodeError> {
+        match self {
+            Item::List(items) => Ok(items),
+            Item::Bytes(_) => Err(DecodeError::ExpectedList),
+        }
+    }
+
+    /// Interprets a byte string as a minimal big-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on lists, leading zeros, or values wider than 8 bytes.
+    pub fn as_u64(&self) -> Result<u64, DecodeError> {
+        let bytes = self.as_bytes()?;
+        if bytes.len() > 8 {
+            return Err(DecodeError::IntegerOverflow);
+        }
+        if bytes.first() == Some(&0) {
+            return Err(DecodeError::NonMinimalInteger);
+        }
+        let mut buf = [0u8; 8];
+        buf[8 - bytes.len()..].copy_from_slice(bytes);
+        Ok(u64::from_be_bytes(buf))
+    }
+
+    /// Interprets a byte string as a minimal big-endian [`U256`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on lists, leading zeros, or values wider than 32 bytes.
+    pub fn as_u256(&self) -> Result<U256, DecodeError> {
+        let bytes = self.as_bytes()?;
+        if bytes.len() > 32 {
+            return Err(DecodeError::IntegerOverflow);
+        }
+        if bytes.first() == Some(&0) {
+            return Err(DecodeError::NonMinimalInteger);
+        }
+        Ok(U256::from_be_slice(bytes).expect("length checked"))
+    }
+
+    /// Interprets a byte string as a 32-byte hash.
+    ///
+    /// # Errors
+    ///
+    /// Fails on lists or byte strings that are not exactly 32 bytes.
+    pub fn as_h256(&self) -> Result<H256, DecodeError> {
+        let bytes = self.as_bytes()?;
+        H256::from_slice(bytes).ok_or(DecodeError::WrongLength {
+            expected: 32,
+            actual: bytes.len(),
+        })
+    }
+
+    /// Interprets a byte string as a 20-byte address.
+    ///
+    /// # Errors
+    ///
+    /// Fails on lists or byte strings that are not exactly 20 bytes.
+    pub fn as_address(&self) -> Result<Address, DecodeError> {
+        let bytes = self.as_bytes()?;
+        Address::from_slice(bytes).ok_or(DecodeError::WrongLength {
+            expected: 20,
+            actual: bytes.len(),
+        })
+    }
+}
+
+/// Errors produced by the strict RLP decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the announced payload length.
+    UnexpectedEof,
+    /// Bytes remained after the top-level item.
+    TrailingBytes,
+    /// A long-form length had leading zeros or encoded a short value.
+    NonMinimalLength,
+    /// A single byte below 0x80 was wrapped in a string header.
+    NonMinimalByte,
+    /// An integer field had leading zeros.
+    NonMinimalInteger,
+    /// An integer field was wider than the target type.
+    IntegerOverflow,
+    /// Expected a byte string, found a list.
+    ExpectedBytes,
+    /// Expected a list, found a byte string.
+    ExpectedList,
+    /// A fixed-size field had the wrong length.
+    WrongLength {
+        /// Required length in bytes.
+        expected: usize,
+        /// Length found in the input.
+        actual: usize,
+    },
+    /// A list had the wrong number of elements.
+    WrongArity {
+        /// Required element count.
+        expected: usize,
+        /// Count found in the input.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of rlp input"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after rlp item"),
+            DecodeError::NonMinimalLength => write!(f, "non-minimal rlp length encoding"),
+            DecodeError::NonMinimalByte => write!(f, "single byte encoded with a header"),
+            DecodeError::NonMinimalInteger => write!(f, "integer encoded with leading zeros"),
+            DecodeError::IntegerOverflow => write!(f, "integer does not fit the target type"),
+            DecodeError::ExpectedBytes => write!(f, "expected an rlp byte string, found a list"),
+            DecodeError::ExpectedList => write!(f, "expected an rlp list, found bytes"),
+            DecodeError::WrongLength { expected, actual } => {
+                write!(f, "expected {expected}-byte field, found {actual} bytes")
+            }
+            DecodeError::WrongArity { expected, actual } => {
+                write!(f, "expected list of {expected} items, found {actual}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+fn encode_length(len: usize, short_offset: u8, out: &mut Vec<u8>) {
+    if len <= 55 {
+        out.push(short_offset + len as u8);
+    } else {
+        let len_bytes = (len as u64).to_be_bytes();
+        let first = len_bytes.iter().position(|&b| b != 0).expect("len > 55");
+        let minimal = &len_bytes[first..];
+        out.push(short_offset + 55 + minimal.len() as u8);
+        out.extend_from_slice(minimal);
+    }
+}
+
+/// Encodes a byte string.
+pub fn encode_bytes(data: &[u8]) -> Vec<u8> {
+    if data.len() == 1 && data[0] < 0x80 {
+        return vec![data[0]];
+    }
+    let mut out = Vec::with_capacity(data.len() + 9);
+    encode_length(data.len(), 0x80, &mut out);
+    out.extend_from_slice(data);
+    out
+}
+
+/// Wraps already-encoded items in a list header.
+pub fn encode_list(encoded_items: &[Vec<u8>]) -> Vec<u8> {
+    let payload_len: usize = encoded_items.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(payload_len + 9);
+    encode_length(payload_len, 0xc0, &mut out);
+    for item in encoded_items {
+        out.extend_from_slice(item);
+    }
+    out
+}
+
+/// Encodes a `u64` as a minimal big-endian byte string (zero → empty).
+pub fn encode_u64(value: u64) -> Vec<u8> {
+    if value == 0 {
+        return encode_bytes(&[]);
+    }
+    let bytes = value.to_be_bytes();
+    let first = bytes.iter().position(|&b| b != 0).expect("nonzero");
+    encode_bytes(&bytes[first..])
+}
+
+/// Encodes a [`U256`] as a minimal big-endian byte string.
+pub fn encode_u256(value: &U256) -> Vec<u8> {
+    encode_bytes(&value.to_be_bytes_minimal())
+}
+
+/// Encodes a 32-byte hash as a byte string.
+pub fn encode_h256(value: &H256) -> Vec<u8> {
+    encode_bytes(value.as_bytes())
+}
+
+/// Encodes a 20-byte address as a byte string.
+pub fn encode_address(value: &Address) -> Vec<u8> {
+    encode_bytes(value.as_bytes())
+}
+
+/// Decodes a complete RLP item, rejecting trailing bytes.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed, truncated or non-minimal input.
+pub fn decode(input: &[u8]) -> Result<Item, DecodeError> {
+    let (item, consumed) = decode_prefix(input)?;
+    if consumed != input.len() {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(item)
+}
+
+/// Decodes the first RLP item of `input`, returning it with the number of
+/// bytes consumed.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed, truncated or non-minimal input.
+pub fn decode_prefix(input: &[u8]) -> Result<(Item, usize), DecodeError> {
+    let first = *input.first().ok_or(DecodeError::UnexpectedEof)?;
+    match first {
+        0x00..=0x7f => Ok((Item::Bytes(vec![first]), 1)),
+        0x80..=0xb7 => {
+            let len = (first - 0x80) as usize;
+            let payload = input.get(1..1 + len).ok_or(DecodeError::UnexpectedEof)?;
+            if len == 1 && payload[0] < 0x80 {
+                return Err(DecodeError::NonMinimalByte);
+            }
+            Ok((Item::Bytes(payload.to_vec()), 1 + len))
+        }
+        0xb8..=0xbf => {
+            let len_of_len = (first - 0xb7) as usize;
+            let len = read_long_length(input, len_of_len)?;
+            let start = 1 + len_of_len;
+            let payload = input
+                .get(start..start + len)
+                .ok_or(DecodeError::UnexpectedEof)?;
+            Ok((Item::Bytes(payload.to_vec()), start + len))
+        }
+        0xc0..=0xf7 => {
+            let len = (first - 0xc0) as usize;
+            let payload = input.get(1..1 + len).ok_or(DecodeError::UnexpectedEof)?;
+            Ok((Item::List(decode_list_payload(payload)?), 1 + len))
+        }
+        0xf8..=0xff => {
+            let len_of_len = (first - 0xf7) as usize;
+            let len = read_long_length(input, len_of_len)?;
+            let start = 1 + len_of_len;
+            let payload = input
+                .get(start..start + len)
+                .ok_or(DecodeError::UnexpectedEof)?;
+            Ok((Item::List(decode_list_payload(payload)?), start + len))
+        }
+    }
+}
+
+fn read_long_length(input: &[u8], len_of_len: usize) -> Result<usize, DecodeError> {
+    let len_bytes = input
+        .get(1..1 + len_of_len)
+        .ok_or(DecodeError::UnexpectedEof)?;
+    if len_bytes[0] == 0 {
+        return Err(DecodeError::NonMinimalLength);
+    }
+    if len_bytes.len() > 8 {
+        return Err(DecodeError::NonMinimalLength);
+    }
+    let mut buf = [0u8; 8];
+    buf[8 - len_bytes.len()..].copy_from_slice(len_bytes);
+    let len = u64::from_be_bytes(buf) as usize;
+    if len <= 55 {
+        return Err(DecodeError::NonMinimalLength);
+    }
+    Ok(len)
+}
+
+fn decode_list_payload(mut payload: &[u8]) -> Result<Vec<Item>, DecodeError> {
+    let mut items = Vec::new();
+    while !payload.is_empty() {
+        let (item, consumed) = decode_prefix(payload)?;
+        items.push(item);
+        payload = &payload[consumed..];
+    }
+    Ok(items)
+}
+
+/// Convenience: decodes a top-level list and checks its arity.
+///
+/// # Errors
+///
+/// Fails when the input is not a list of exactly `arity` items.
+pub fn decode_list_of(input: &[u8], arity: usize) -> Result<Vec<Item>, DecodeError> {
+    let item = decode(input)?;
+    match item {
+        Item::List(items) if items.len() == arity => Ok(items),
+        Item::List(items) => Err(DecodeError::WrongArity {
+            expected: arity,
+            actual: items.len(),
+        }),
+        Item::Bytes(_) => Err(DecodeError::ExpectedList),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Canonical examples from the Ethereum wiki / yellow paper appendix.
+    #[test]
+    fn canonical_vectors() {
+        assert_eq!(encode_bytes(b"dog"), vec![0x83, b'd', b'o', b'g']);
+        assert_eq!(
+            encode_list(&[encode_bytes(b"cat"), encode_bytes(b"dog")]),
+            vec![0xc8, 0x83, b'c', b'a', b't', 0x83, b'd', b'o', b'g']
+        );
+        assert_eq!(encode_bytes(b""), vec![0x80]);
+        assert_eq!(encode_list(&[]), vec![0xc0]);
+        assert_eq!(encode_u64(0), vec![0x80]);
+        assert_eq!(encode_u64(15), vec![0x0f]);
+        assert_eq!(encode_u64(1024), vec![0x82, 0x04, 0x00]);
+        // A 56-byte string gets a long header.
+        let lorem = b"Lorem ipsum dolor sit amet, consectetur adipisicing elit";
+        let encoded = encode_bytes(lorem);
+        assert_eq!(encoded[0], 0xb8);
+        assert_eq!(encoded[1], lorem.len() as u8);
+    }
+
+    #[test]
+    fn nested_list_vector() {
+        // [ [], [[]], [ [], [[]] ] ] — the set-theoretic representation of 3.
+        let empty = encode_list(&[]);
+        let one = encode_list(&[empty.clone()]);
+        let two = encode_list(&[empty.clone(), one.clone()]);
+        let three = encode_list(&[empty.clone(), one.clone(), two.clone()]);
+        assert_eq!(three, vec![0xc7, 0xc0, 0xc1, 0xc0, 0xc3, 0xc0, 0xc1, 0xc0]);
+        assert_eq!(decode(&three).unwrap().encode(), three);
+    }
+
+    #[test]
+    fn single_byte_passthrough() {
+        assert_eq!(encode_bytes(&[0x00]), vec![0x00]);
+        assert_eq!(encode_bytes(&[0x7f]), vec![0x7f]);
+        assert_eq!(encode_bytes(&[0x80]), vec![0x81, 0x80]);
+    }
+
+    #[test]
+    fn decode_rejects_non_minimal_byte() {
+        // [0x81, 0x05] wraps 0x05 needlessly.
+        assert_eq!(decode(&[0x81, 0x05]), Err(DecodeError::NonMinimalByte));
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        assert_eq!(decode(&[0x80, 0x00]), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        assert_eq!(decode(&[0x83, b'd', b'o']), Err(DecodeError::UnexpectedEof));
+        assert_eq!(decode(&[0xb8]), Err(DecodeError::UnexpectedEof));
+        assert_eq!(decode(&[]), Err(DecodeError::UnexpectedEof));
+    }
+
+    #[test]
+    fn decode_rejects_non_minimal_length() {
+        // Long form used for a short payload.
+        let mut bad = vec![0xb8, 3];
+        bad.extend_from_slice(b"dog");
+        assert_eq!(decode(&bad), Err(DecodeError::NonMinimalLength));
+        // Leading zero in the length.
+        let mut bad2 = vec![0xb9, 0, 56];
+        bad2.extend_from_slice(&[0u8; 56]);
+        assert_eq!(decode(&bad2), Err(DecodeError::NonMinimalLength));
+    }
+
+    #[test]
+    fn long_list_roundtrip() {
+        let items: Vec<Vec<u8>> = (0..40u64).map(encode_u64).collect();
+        let encoded = encode_list(&items);
+        let decoded = decode(&encoded).unwrap();
+        let children = decoded.as_list().unwrap();
+        assert_eq!(children.len(), 40);
+        for (i, child) in children.iter().enumerate() {
+            assert_eq!(child.as_u64().unwrap(), i as u64);
+        }
+    }
+
+    #[test]
+    fn integer_accessors() {
+        assert_eq!(decode(&encode_u64(0)).unwrap().as_u64().unwrap(), 0);
+        assert_eq!(
+            decode(&encode_u64(u64::MAX)).unwrap().as_u64().unwrap(),
+            u64::MAX
+        );
+        let big = U256::from(123456789u64) * U256::from(987654321u64);
+        assert_eq!(decode(&encode_u256(&big)).unwrap().as_u256().unwrap(), big);
+        // Leading-zero integers rejected.
+        let padded = encode_bytes(&[0x00, 0x01]);
+        assert_eq!(
+            decode(&padded).unwrap().as_u64(),
+            Err(DecodeError::NonMinimalInteger)
+        );
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let h = H256::from_low_u64_be(7);
+        assert_eq!(decode(&encode_h256(&h)).unwrap().as_h256().unwrap(), h);
+        let a = Address::from_low_u64_be(9);
+        assert_eq!(decode(&encode_address(&a)).unwrap().as_address().unwrap(), a);
+        assert!(matches!(
+            decode(&encode_bytes(&[1, 2, 3])).unwrap().as_h256(),
+            Err(DecodeError::WrongLength {
+                expected: 32,
+                actual: 3
+            })
+        ));
+        assert_eq!(
+            decode(&encode_list(&[])).unwrap().as_bytes(),
+            Err(DecodeError::ExpectedBytes)
+        );
+        assert_eq!(
+            decode(&encode_bytes(b"x")).unwrap().as_list(),
+            Err(DecodeError::ExpectedList)
+        );
+    }
+
+    #[test]
+    fn arity_checked_decode() {
+        let two = encode_list(&[encode_u64(1), encode_u64(2)]);
+        assert_eq!(decode_list_of(&two, 2).unwrap().len(), 2);
+        assert_eq!(
+            decode_list_of(&two, 3),
+            Err(DecodeError::WrongArity {
+                expected: 3,
+                actual: 2
+            })
+        );
+        assert_eq!(
+            decode_list_of(&encode_bytes(b"x"), 1),
+            Err(DecodeError::ExpectedList)
+        );
+    }
+
+    #[test]
+    fn large_payload_roundtrip() {
+        let blob = vec![0x42u8; 70_000];
+        let encoded = encode_bytes(&blob);
+        assert_eq!(encoded[0], 0xb7 + 3); // 3-byte length
+        let decoded = decode(&encoded).unwrap();
+        assert_eq!(decoded.as_bytes().unwrap(), blob.as_slice());
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests: RLP encode/decode round-trips for arbitrary item trees.
+
+use parp_rlp::{decode, decode_prefix, encode_bytes, encode_u256, encode_u64, Item};
+use parp_primitives::U256;
+use proptest::prelude::*;
+
+fn arb_item() -> impl Strategy<Value = Item> {
+    let leaf = proptest::collection::vec(any::<u8>(), 0..80).prop_map(Item::Bytes);
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        proptest::collection::vec(inner, 0..8).prop_map(Item::List)
+    })
+}
+
+proptest! {
+    #[test]
+    fn item_roundtrip(item in arb_item()) {
+        let encoded = item.encode();
+        prop_assert_eq!(decode(&encoded).unwrap(), item);
+    }
+
+    #[test]
+    fn bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..1000)) {
+        let encoded = encode_bytes(&data);
+        let decoded = decode(&encoded).unwrap();
+        prop_assert_eq!(decoded.as_bytes().unwrap(), data.as_slice());
+    }
+
+    #[test]
+    fn u64_roundtrip(v in any::<u64>()) {
+        prop_assert_eq!(decode(&encode_u64(v)).unwrap().as_u64().unwrap(), v);
+    }
+
+    #[test]
+    fn u256_roundtrip(limbs in any::<[u64; 4]>()) {
+        let v = U256::from_limbs(limbs);
+        prop_assert_eq!(decode(&encode_u256(&v)).unwrap().as_u256().unwrap(), v);
+    }
+
+    #[test]
+    fn truncation_always_fails(item in arb_item()) {
+        let encoded = item.encode();
+        if encoded.len() > 1 {
+            prop_assert!(decode(&encoded[..encoded.len() - 1]).is_err());
+        }
+    }
+
+    #[test]
+    fn prefix_decode_reports_exact_length(item in arb_item(), tail in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let mut encoded = item.encode();
+        let item_len = encoded.len();
+        encoded.extend_from_slice(&tail);
+        let (decoded, consumed) = decode_prefix(&encoded).unwrap();
+        prop_assert_eq!(consumed, item_len);
+        prop_assert_eq!(decoded, item);
+    }
+
+    #[test]
+    fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = decode(&data); // must not panic
+    }
+}

@@ -1,0 +1,57 @@
+//! A from-scratch Merkle Patricia Trie (MPT), byte-compatible with
+//! Ethereum's state, transaction and receipt tries.
+//!
+//! PARP's integrity story rests on this structure: full nodes commit to
+//! chain data through trie roots in block headers, serve Merkle proofs
+//! alongside RPC responses, and light clients (plus the on-chain Fraud
+//! Detection Module) verify those proofs statelessly with
+//! [`verify_proof`].
+//!
+//! # Examples
+//!
+//! ```
+//! use parp_trie::{Trie, verify_proof};
+//!
+//! let mut trie = Trie::new();
+//! trie.insert(b"account-1".to_vec(), b"balance: 100".to_vec());
+//! trie.insert(b"account-2".to_vec(), b"balance: 250".to_vec());
+//!
+//! let root = trie.root_hash();
+//! let proof = trie.prove(b"account-2");
+//! let verified = verify_proof(root, b"account-2", &proof)?;
+//! assert_eq!(verified, Some(b"balance: 250".to_vec()));
+//! # Ok::<(), parp_trie::ProofError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod nibbles;
+mod node;
+mod proof;
+mod trie;
+
+pub use node::{empty_root, Node};
+pub use proof::{verify_proof, ProofError};
+pub use trie::{Iter, Trie};
+
+/// Builds a transaction-trie-style trie from ordered values: key `i` is
+/// `rlp(i)` as in Ethereum's transaction and receipt tries.
+///
+/// # Examples
+///
+/// ```
+/// let txs: Vec<Vec<u8>> = (0..3).map(|i| vec![i as u8; 10]).collect();
+/// let trie = parp_trie::ordered_trie(txs.iter().map(|t| t.as_slice()));
+/// assert_eq!(trie.len(), 3);
+/// ```
+pub fn ordered_trie<'a, I>(values: I) -> Trie
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut trie = Trie::new();
+    for (index, value) in values.into_iter().enumerate() {
+        trie.insert(parp_rlp::encode_u64(index as u64), value.to_vec());
+    }
+    trie
+}

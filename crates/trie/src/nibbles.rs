@@ -1,0 +1,121 @@
+//! Nibble paths and the hex-prefix (HP) encoding from the Ethereum yellow
+//! paper, appendix C.
+
+/// Expands a byte key into its nibble path (two nibbles per byte, high
+/// nibble first).
+pub fn bytes_to_nibbles(key: &[u8]) -> Vec<u8> {
+    let mut nibbles = Vec::with_capacity(key.len() * 2);
+    for &b in key {
+        nibbles.push(b >> 4);
+        nibbles.push(b & 0x0f);
+    }
+    nibbles
+}
+
+/// Hex-prefix encodes a nibble path.
+///
+/// The first nibble of the output carries two flags: bit 1 marks a leaf
+/// node (vs. extension), bit 0 marks an odd-length path.
+pub fn hp_encode(nibbles: &[u8], is_leaf: bool) -> Vec<u8> {
+    let odd = nibbles.len() % 2 == 1;
+    let mut flag = if is_leaf { 0x20u8 } else { 0x00u8 };
+    let mut out = Vec::with_capacity(nibbles.len() / 2 + 1);
+    let mut rest = nibbles;
+    if odd {
+        flag |= 0x10;
+        out.push(flag | nibbles[0]);
+        rest = &nibbles[1..];
+    } else {
+        out.push(flag);
+    }
+    for pair in rest.chunks_exact(2) {
+        out.push((pair[0] << 4) | pair[1]);
+    }
+    out
+}
+
+/// Decodes a hex-prefix encoded path into `(nibbles, is_leaf)`.
+///
+/// Returns `None` on an empty input or invalid flag nibble.
+pub fn hp_decode(encoded: &[u8]) -> Option<(Vec<u8>, bool)> {
+    let first = *encoded.first()?;
+    let flag = first >> 4;
+    if flag > 3 {
+        return None;
+    }
+    let is_leaf = flag & 0x2 != 0;
+    let odd = flag & 0x1 != 0;
+    let mut nibbles = Vec::with_capacity(encoded.len() * 2);
+    if odd {
+        nibbles.push(first & 0x0f);
+    } else if first & 0x0f != 0 {
+        return None; // padding nibble must be zero for even paths
+    }
+    for &b in &encoded[1..] {
+        nibbles.push(b >> 4);
+        nibbles.push(b & 0x0f);
+    }
+    Some((nibbles, is_leaf))
+}
+
+/// Length of the longest common prefix of two nibble slices.
+pub fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_expand_high_nibble_first() {
+        assert_eq!(bytes_to_nibbles(&[0xab, 0x10]), vec![0xa, 0xb, 0x1, 0x0]);
+        assert_eq!(bytes_to_nibbles(&[]), Vec::<u8>::new());
+    }
+
+    // Yellow-paper appendix C examples.
+    #[test]
+    fn hp_yellow_paper_vectors() {
+        // [1, 2, 3, 4, 5] extension (odd) -> 0x11 0x23 0x45
+        assert_eq!(hp_encode(&[1, 2, 3, 4, 5], false), vec![0x11, 0x23, 0x45]);
+        // [0, 1, 2, 3, 4, 5] extension (even) -> 0x00 0x01 0x23 0x45
+        assert_eq!(
+            hp_encode(&[0, 1, 2, 3, 4, 5], false),
+            vec![0x00, 0x01, 0x23, 0x45]
+        );
+        // [0, f, 1, c, b, 8] leaf? No: [f, 1, c, b, 8, 10] in the paper uses
+        // the terminator; here: odd leaf [f, 1, c, b, 8] -> 0x3f 0x1c 0xb8
+        assert_eq!(hp_encode(&[0xf, 1, 0xc, 0xb, 8], true), vec![0x3f, 0x1c, 0xb8]);
+        // even leaf [0, f, 1, c, b, 8] -> 0x20 0x0f 0x1c 0xb8
+        assert_eq!(
+            hp_encode(&[0, 0xf, 1, 0xc, 0xb, 8], true),
+            vec![0x20, 0x0f, 0x1c, 0xb8]
+        );
+    }
+
+    #[test]
+    fn hp_roundtrip() {
+        for len in 0..8 {
+            for leaf in [false, true] {
+                let nibbles: Vec<u8> = (0..len).map(|i| (i * 3 % 16) as u8).collect();
+                let encoded = hp_encode(&nibbles, leaf);
+                assert_eq!(hp_decode(&encoded), Some((nibbles.clone(), leaf)));
+            }
+        }
+    }
+
+    #[test]
+    fn hp_decode_rejects_bad_flags() {
+        assert_eq!(hp_decode(&[]), None);
+        assert_eq!(hp_decode(&[0x40]), None); // flag nibble 4 is invalid
+        assert_eq!(hp_decode(&[0x01]), None); // even path with nonzero pad
+    }
+
+    #[test]
+    fn common_prefix() {
+        assert_eq!(common_prefix_len(&[1, 2, 3], &[1, 2, 4]), 2);
+        assert_eq!(common_prefix_len(&[1, 2], &[1, 2]), 2);
+        assert_eq!(common_prefix_len(&[], &[1]), 0);
+        assert_eq!(common_prefix_len(&[5], &[6]), 0);
+    }
+}

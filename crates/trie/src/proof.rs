@@ -1,0 +1,325 @@
+//! Stateless Merkle proof verification.
+//!
+//! This is the code path a PARP light client (and the on-chain Fraud
+//! Detection Module) runs: given only a trusted root hash from a block
+//! header and a list of RLP-encoded trie nodes, confirm what value — if
+//! any — the trie binds to a key.
+
+use crate::nibbles::{bytes_to_nibbles, hp_decode};
+use crate::node::empty_root;
+use parp_crypto::keccak256;
+use parp_primitives::H256;
+use parp_rlp::{decode, Item};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by [`verify_proof`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofError {
+    /// A referenced node was not supplied in the proof.
+    MissingNode(H256),
+    /// A proof node was not valid RLP or not a valid trie node.
+    MalformedNode,
+    /// The proof contained nodes that the walk never referenced.
+    UnusedNodes,
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProofError::MissingNode(hash) => write!(f, "proof is missing node {hash}"),
+            ProofError::MalformedNode => write!(f, "proof contains a malformed trie node"),
+            ProofError::UnusedNodes => write!(f, "proof contains unrelated nodes"),
+        }
+    }
+}
+
+impl Error for ProofError {}
+
+/// Verifies a Merkle proof against a trusted `root`.
+///
+/// Returns `Ok(Some(value))` when the proof shows `key` is bound to
+/// `value`, and `Ok(None)` when the proof shows `key` is absent
+/// (exclusion proof).
+///
+/// # Errors
+///
+/// Returns [`ProofError`] when the proof is incomplete, malformed, or
+/// contains nodes the walk never touches (which would let a malicious
+/// prover pad proofs arbitrarily).
+///
+/// # Examples
+///
+/// ```
+/// use parp_trie::{Trie, verify_proof};
+///
+/// let mut trie = Trie::new();
+/// trie.insert(b"key".to_vec(), b"value".to_vec());
+/// let proof = trie.prove(b"key");
+/// assert_eq!(
+///     verify_proof(trie.root_hash(), b"key", &proof).unwrap(),
+///     Some(b"value".to_vec()),
+/// );
+/// // The same trie proves absence of other keys:
+/// let absent = trie.prove(b"other");
+/// assert_eq!(verify_proof(trie.root_hash(), b"other", &absent).unwrap(), None);
+/// ```
+pub fn verify_proof(
+    root: H256,
+    key: &[u8],
+    proof: &[Vec<u8>],
+) -> Result<Option<Vec<u8>>, ProofError> {
+    if root == empty_root() {
+        return if proof.is_empty() {
+            Ok(None)
+        } else {
+            Err(ProofError::UnusedNodes)
+        };
+    }
+    let mut nodes: HashMap<H256, &[u8]> = HashMap::with_capacity(proof.len());
+    for encoded in proof {
+        nodes.insert(keccak256(encoded), encoded.as_slice());
+    }
+    let mut used = 0usize;
+    let nibbles = bytes_to_nibbles(key);
+    let mut remaining: &[u8] = &nibbles;
+    let mut current_hash = root;
+    // Resolve the root, then walk down, swapping between hash-referenced
+    // nodes (from the proof map) and inline nodes (embedded items).
+    let result = 'walk: loop {
+        let encoded = nodes
+            .get(&current_hash)
+            .ok_or(ProofError::MissingNode(current_hash))?;
+        used += 1;
+        let mut item = decode(encoded).map_err(|_| ProofError::MalformedNode)?;
+        // Inner loop: follow inline children without a map lookup.
+        loop {
+            let list = match &item {
+                Item::List(children) => children.as_slice(),
+                Item::Bytes(_) => return Err(ProofError::MalformedNode),
+            };
+            match list.len() {
+                2 => {
+                    let encoded_path = list[0].as_bytes().map_err(|_| ProofError::MalformedNode)?;
+                    let (path, is_leaf) =
+                        hp_decode(encoded_path).ok_or(ProofError::MalformedNode)?;
+                    if is_leaf {
+                        if path.as_slice() == remaining {
+                            let value = list[1]
+                                .as_bytes()
+                                .map_err(|_| ProofError::MalformedNode)?
+                                .to_vec();
+                            break 'walk Some(value);
+                        }
+                        break 'walk None; // diverged: key absent
+                    }
+                    // Extension node.
+                    if remaining.len() < path.len() || remaining[..path.len()] != path[..] {
+                        break 'walk None;
+                    }
+                    remaining = &remaining[path.len()..];
+                    match follow_child(&list[1])? {
+                        ChildRef::Hash(hash) => {
+                            current_hash = hash;
+                            continue 'walk;
+                        }
+                        ChildRef::Inline(child) => {
+                            item = child;
+                            continue;
+                        }
+                        ChildRef::Empty => return Err(ProofError::MalformedNode),
+                    }
+                }
+                17 => {
+                    if remaining.is_empty() {
+                        let value = list[16].as_bytes().map_err(|_| ProofError::MalformedNode)?;
+                        break 'walk if value.is_empty() {
+                            None
+                        } else {
+                            Some(value.to_vec())
+                        };
+                    }
+                    let idx = remaining[0] as usize;
+                    remaining = &remaining[1..];
+                    match follow_child(&list[idx])? {
+                        ChildRef::Hash(hash) => {
+                            current_hash = hash;
+                            continue 'walk;
+                        }
+                        ChildRef::Inline(child) => {
+                            item = child;
+                            continue;
+                        }
+                        ChildRef::Empty => break 'walk None,
+                    }
+                }
+                _ => return Err(ProofError::MalformedNode),
+            }
+        }
+    };
+    if used != proof.len() {
+        return Err(ProofError::UnusedNodes);
+    }
+    Ok(result)
+}
+
+enum ChildRef {
+    Empty,
+    Hash(H256),
+    Inline(Item),
+}
+
+fn follow_child(item: &Item) -> Result<ChildRef, ProofError> {
+    match item {
+        Item::Bytes(bytes) if bytes.is_empty() => Ok(ChildRef::Empty),
+        Item::Bytes(bytes) => {
+            let hash = H256::from_slice(bytes).ok_or(ProofError::MalformedNode)?;
+            Ok(ChildRef::Hash(hash))
+        }
+        Item::List(_) => Ok(ChildRef::Inline(item.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trie::Trie;
+
+    fn sample_trie(n: u32) -> Trie {
+        let mut trie = Trie::new();
+        for i in 0..n {
+            let key = keccak256(&i.to_be_bytes());
+            trie.insert(key.as_bytes().to_vec(), format!("value-{i}").into_bytes());
+        }
+        trie
+    }
+
+    #[test]
+    fn inclusion_proofs_verify() {
+        let trie = sample_trie(100);
+        let root = trie.root_hash();
+        for i in 0..100u32 {
+            let key = keccak256(&i.to_be_bytes());
+            let proof = trie.prove(key.as_bytes());
+            let value = verify_proof(root, key.as_bytes(), &proof).unwrap();
+            assert_eq!(value, Some(format!("value-{i}").into_bytes()));
+        }
+    }
+
+    #[test]
+    fn exclusion_proofs_verify() {
+        let trie = sample_trie(50);
+        let root = trie.root_hash();
+        for i in 1000..1020u32 {
+            let key = keccak256(&i.to_be_bytes());
+            let proof = trie.prove(key.as_bytes());
+            assert_eq!(verify_proof(root, key.as_bytes(), &proof).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn empty_trie_proves_absence() {
+        let trie = Trie::new();
+        assert_eq!(verify_proof(trie.root_hash(), b"any", &[]).unwrap(), None);
+        // ...but padding nodes onto an empty-trie proof is rejected.
+        assert_eq!(
+            verify_proof(trie.root_hash(), b"any", &[vec![0x80]]),
+            Err(ProofError::UnusedNodes)
+        );
+    }
+
+    #[test]
+    fn wrong_root_fails() {
+        let trie = sample_trie(10);
+        let key = keccak256(&0u32.to_be_bytes());
+        let proof = trie.prove(key.as_bytes());
+        let bogus_root = keccak256(b"bogus");
+        assert!(matches!(
+            verify_proof(bogus_root, key.as_bytes(), &proof),
+            Err(ProofError::MissingNode(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_proof_fails() {
+        let trie = sample_trie(100);
+        let key = keccak256(&7u32.to_be_bytes());
+        let mut proof = trie.prove(key.as_bytes());
+        assert!(proof.len() > 1, "need a multi-node proof");
+        proof.pop();
+        assert!(matches!(
+            verify_proof(trie.root_hash(), key.as_bytes(), &proof),
+            Err(ProofError::MissingNode(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_value_fails() {
+        let trie = sample_trie(100);
+        let key = keccak256(&7u32.to_be_bytes());
+        let mut proof = trie.prove(key.as_bytes());
+        // Flip a byte in the terminal node: its hash no longer matches the
+        // parent reference, so the node appears missing.
+        let last = proof.len() - 1;
+        let byte = proof[last].len() - 1;
+        proof[last][byte] ^= 0x01;
+        assert!(verify_proof(trie.root_hash(), key.as_bytes(), &proof).is_err());
+    }
+
+    #[test]
+    fn padded_proof_rejected() {
+        let trie = sample_trie(100);
+        let key = keccak256(&3u32.to_be_bytes());
+        let mut proof = trie.prove(key.as_bytes());
+        // Append a legitimate node for a different key.
+        let other = keccak256(&99u32.to_be_bytes());
+        let mut other_proof = trie.prove(other.as_bytes());
+        let extra = other_proof.pop().unwrap();
+        if !proof.contains(&extra) {
+            proof.push(extra);
+            assert_eq!(
+                verify_proof(trie.root_hash(), key.as_bytes(), &proof),
+                Err(ProofError::UnusedNodes)
+            );
+        }
+    }
+
+    #[test]
+    fn proof_for_wrong_key_is_exclusion_not_value() {
+        let trie = sample_trie(100);
+        let key_a = keccak256(&1u32.to_be_bytes());
+        let key_b = keccak256(&2u32.to_be_bytes());
+        let proof_a = trie.prove(key_a.as_bytes());
+        // Verifying key B against key A's proof either fails (missing
+        // nodes) or proves nothing about B's value; it must never return
+        // B's actual value bound to A's proof path.
+        match verify_proof(trie.root_hash(), key_b.as_bytes(), &proof_a) {
+            Ok(Some(value)) => {
+                assert_ne!(value, b"value-2".to_vec());
+            }
+            Ok(None) | Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn short_key_proofs() {
+        // Keys shorter than a hash exercise inline nodes (< 32 byte
+        // encodings embedded directly in parents).
+        let mut trie = Trie::new();
+        for i in 0..30u8 {
+            trie.insert(vec![i], vec![i, i]);
+        }
+        let root = trie.root_hash();
+        for i in 0..30u8 {
+            let proof = trie.prove(&[i]);
+            assert_eq!(
+                verify_proof(root, &[i], &proof).unwrap(),
+                Some(vec![i, i]),
+                "key {i}"
+            );
+        }
+        let absent_proof = trie.prove(&[200]);
+        assert_eq!(verify_proof(root, &[200], &absent_proof).unwrap(), None);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests: the trie against a BTreeMap model, root determinism,
+//! and proof soundness/completeness.
+
+use parp_trie::{verify_proof, Trie};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_pairs() -> impl Strategy<Value = Vec<(Vec<u8>, Vec<u8>)>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(any::<u8>(), 1..12),
+            proptest::collection::vec(any::<u8>(), 1..24),
+        ),
+        0..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trie_matches_btreemap(pairs in arb_pairs()) {
+        let mut trie = Trie::new();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for (k, v) in &pairs {
+            prop_assert_eq!(
+                trie.insert(k.clone(), v.clone()),
+                model.insert(k.clone(), v.clone())
+            );
+        }
+        prop_assert_eq!(trie.len(), model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(trie.get(k), Some(v.as_slice()));
+        }
+        let collected: Vec<(Vec<u8>, Vec<u8>)> =
+            trie.iter().map(|(k, v)| (k, v.to_vec())).collect();
+        let expected: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn root_is_insertion_order_independent(pairs in arb_pairs()) {
+        // Dedupe first: with duplicate keys the last write wins, so only
+        // unique-key sets are order independent.
+        let unique: BTreeMap<Vec<u8>, Vec<u8>> = pairs.into_iter().collect();
+        let forward: Trie = unique.clone().into_iter().collect();
+        let reverse: Trie = unique.into_iter().rev().collect();
+        prop_assert_eq!(forward.root_hash(), reverse.root_hash());
+    }
+
+    #[test]
+    fn every_key_proves(pairs in arb_pairs()) {
+        let trie: Trie = pairs.clone().into_iter().collect();
+        let root = trie.root_hash();
+        let model: BTreeMap<Vec<u8>, Vec<u8>> = pairs.into_iter().collect();
+        for (k, v) in &model {
+            let proof = trie.prove(k);
+            prop_assert_eq!(verify_proof(root, k, &proof).unwrap(), Some(v.clone()));
+        }
+    }
+
+    #[test]
+    fn absent_keys_prove_exclusion(pairs in arb_pairs(), probe in proptest::collection::vec(any::<u8>(), 1..12)) {
+        let trie: Trie = pairs.clone().into_iter().collect();
+        let model: BTreeMap<Vec<u8>, Vec<u8>> = pairs.into_iter().collect();
+        prop_assume!(!model.contains_key(&probe));
+        let proof = trie.prove(&probe);
+        prop_assert_eq!(verify_proof(trie.root_hash(), &probe, &proof).unwrap(), None);
+    }
+
+    #[test]
+    fn remove_then_reinsert_restores_root(pairs in arb_pairs(), victim_index in any::<prop::sample::Index>()) {
+        prop_assume!(!pairs.is_empty());
+        let mut trie: Trie = pairs.clone().into_iter().collect();
+        let root_before = trie.root_hash();
+        let model: BTreeMap<Vec<u8>, Vec<u8>> = pairs.into_iter().collect();
+        let keys: Vec<&Vec<u8>> = model.keys().collect();
+        let victim = keys[victim_index.index(keys.len())].clone();
+        let value = trie.remove(&victim).expect("key present in model");
+        prop_assert_eq!(trie.get(&victim), None);
+        trie.insert(victim, value);
+        prop_assert_eq!(trie.root_hash(), root_before);
+    }
+
+    #[test]
+    fn removals_match_model(pairs in arb_pairs()) {
+        let mut trie: Trie = pairs.clone().into_iter().collect();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = pairs.clone().into_iter().collect();
+        for (k, _) in pairs.iter().step_by(2) {
+            prop_assert_eq!(trie.remove(k), model.remove(k));
+        }
+        prop_assert_eq!(trie.len(), model.len());
+        let rebuilt: Trie = model.clone().into_iter().collect();
+        prop_assert_eq!(trie.root_hash(), rebuilt.root_hash());
+    }
+
+    #[test]
+    fn proofs_fail_against_tampered_roots(pairs in arb_pairs(), flip in any::<u8>()) {
+        prop_assume!(!pairs.is_empty());
+        let trie: Trie = pairs.clone().into_iter().collect();
+        let (key, value) = &pairs[0];
+        let proof = trie.prove(key);
+        let mut root_bytes = trie.root_hash().into_inner();
+        root_bytes[(flip % 32) as usize] ^= 1 | (flip >> 3);
+        let tampered = parp_primitives::H256::new(root_bytes);
+        prop_assume!(tampered != trie.root_hash());
+        match verify_proof(tampered, key, &proof) {
+            Ok(Some(v)) => prop_assert_ne!(&v, value),
+            Ok(None) | Err(_) => {}
+        }
+    }
+}

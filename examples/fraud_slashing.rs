@@ -1,0 +1,94 @@
+//! The accountability pipeline end to end (paper §IV-F): a full node
+//! serves provably wrong data, the light client builds a fraud proof,
+//! a witness node relays it on-chain, and the Fraud Detection Module
+//! slashes the offender's collateral — rewarding the client, the witness
+//! and the serving-layer pool.
+//!
+//! Run with: `cargo run --example fraud_slashing`
+
+use parp_suite::contracts::{min_deposit, RpcCall, SLASH_CLIENT_SHARE, SLASH_WITNESS_SHARE};
+use parp_suite::core::{Misbehavior, ProcessOutcome};
+use parp_suite::net::Network;
+use parp_suite::primitives::U256;
+
+fn main() {
+    let mut net = Network::new();
+    let rogue = net.spawn_node(b"slash-rogue", U256::from(10u64));
+    let witness = net.spawn_node(b"slash-witness", U256::from(10u64));
+    let mut client = net.spawn_client(b"slash-client", U256::from(10u64));
+
+    println!(
+        "rogue node {} stakes {} wei of collateral",
+        net.node(rogue).address(),
+        min_deposit()
+    );
+    net.connect(&mut client, rogue, U256::from(50_000u64))
+        .expect("connect");
+
+    // The rogue node answers with data from an old block — one of the
+    // three §V-D fraud conditions (timestamp check).
+    net.node_mut(rogue).set_misbehavior(Misbehavior::StaleHeight);
+    println!("rogue node now serves stale data\n");
+
+    let me = client.address();
+    let (outcome, _) = net
+        .parp_call(&mut client, rogue, RpcCall::GetBalance { address: me })
+        .expect("request served");
+    let ProcessOutcome::Fraud(evidence) = outcome else {
+        panic!("client must detect the fraud, got {outcome:?}");
+    };
+    println!(
+        "client detected fraud: {:?} (request hash {})",
+        evidence.verdict, evidence.request.request_hash
+    );
+
+    // The client cannot submit the proof through the offender; it resorts
+    // to a witness full node (§IV-F).
+    let client_before = net.chain().balance(&client.address());
+    let witness_before = net.chain().balance(&net.node(witness).address());
+    let accepted = net.report_fraud(&evidence, witness).expect("relay");
+    assert!(accepted, "the fraud proof must be accepted on-chain");
+    println!("witness {} relayed the proof on-chain", net.node(witness).address());
+
+    // Consequences.
+    let slashed = min_deposit();
+    println!("\non-chain consequences:");
+    println!(
+        "  offender collateral: {} -> {}",
+        slashed,
+        net.executor().fndm().deposit_of(&net.node(rogue).address())
+    );
+    println!(
+        "  client reward:  {} wei ({}% of the slash) plus its {} wei budget back",
+        slashed * U256::from(SLASH_CLIENT_SHARE) / U256::from(100u64),
+        SLASH_CLIENT_SHARE,
+        50_000,
+    );
+    println!(
+        "  witness reward: {} wei ({}%)",
+        net.chain().balance(&net.node(witness).address()) - witness_before,
+        SLASH_WITNESS_SHARE
+    );
+    println!(
+        "  serving pool:   {} wei retained by the deposit module",
+        net.executor().fndm().pool()
+    );
+    println!(
+        "  client balance delta: +{} wei",
+        net.chain().balance(&client.address()) - client_before
+    );
+    let record = net
+        .executor()
+        .fdm()
+        .record(&evidence.request.request_hash)
+        .expect("recorded");
+    println!(
+        "  fraud record: offender={} verdict={:?} block={}",
+        record.offender, record.verdict, record.block
+    );
+    assert!(
+        !net.registry().contains(&net.node(rogue).address()),
+        "slashed node must drop out of the serving registry"
+    );
+    println!("\nrogue node is out of the serving registry; the network healed");
+}

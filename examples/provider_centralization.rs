@@ -1,0 +1,57 @@
+//! Reproduces the paper's §II-B / Table I analysis: how centralized the
+//! Web3 serving layer is, and how permissioned access to it has become.
+//!
+//! Run with: `cargo run --example provider_centralization`
+
+use parp_suite::net::dataset::{providers, traffic_share, RPC_DAPPS, TOTAL_DAPPS};
+
+fn main() {
+    println!("dataset: {TOTAL_DAPPS} dApps crawled (Torres et al., USENIX Security '23);");
+    println!("{RPC_DAPPS} send JSON-RPC calls to node providers directly from their frontend\n");
+
+    println!(
+        "{:<12} {:>10} {:>8}   {:<26} {:>6} {:>7}",
+        "provider", "dApps", "share", "sign-up requirement", "tiers", "crypto"
+    );
+    let mut records = providers();
+    records.sort_by(|a, b| b.dapp_count.cmp(&a.dapp_count));
+    for p in &records {
+        let signup = if p.wallet_login && !p.email_required {
+            "wallet only (permissionless)"
+        } else if p.name_required {
+            "email + name"
+        } else if p.email_required {
+            "email"
+        } else {
+            "none"
+        };
+        println!(
+            "{:<12} {:>6}/{} {:>7.2}%   {:<26} {:>6} {:>7}",
+            p.name,
+            p.dapp_count,
+            RPC_DAPPS,
+            traffic_share(p),
+            signup,
+            p.plan_tiers,
+            if p.accepts_crypto { "yes" } else { "no" },
+        );
+    }
+
+    // The centralization headline numbers from §II-B.
+    let infura = records.iter().find(|p| p.name == "Infura").expect("infura");
+    let alchemy = records.iter().find(|p| p.name == "Alchemy").expect("alchemy");
+    println!(
+        "\nheadline: Infura alone serves {:.2}% of RPC dApps; Infura+Alchemy {:.2}%",
+        traffic_share(infura),
+        100.0 * (infura.dapp_count + alchemy.dapp_count) as f64 / RPC_DAPPS as f64
+    );
+    let permissionless = records
+        .iter()
+        .filter(|p| p.wallet_login && !p.email_required)
+        .count();
+    println!(
+        "only {permissionless} of {} surveyed providers can be used without handing over PII",
+        records.len()
+    );
+    println!("\nthis is the serving-layer gap PARP addresses: permissionless AND accountable");
+}

@@ -1,0 +1,60 @@
+//! Quickstart: the smallest end-to-end PARP session.
+//!
+//! Spins up a simulated network with one staked full node, connects a
+//! light client through the permissionless handshake, performs a
+//! Merkle-verified balance query, pays per request through the payment
+//! channel, and settles cooperatively.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use parp_suite::contracts::RpcCall;
+use parp_suite::core::ProcessOutcome;
+use parp_suite::net::Network;
+use parp_suite::primitives::U256;
+
+fn main() {
+    // A simulated chain with a PARP full node: the node stakes collateral
+    // in the deposit module and registers as serving.
+    let mut net = Network::new();
+    let node = net.spawn_node(b"quickstart-node", U256::from(10u64));
+    println!("full node {} is staked and serving", net.node(node).address());
+    println!("on-chain registry: {:?}", net.registry());
+
+    // A light client: just a key pair — no e-mail, no API key.
+    let mut client = net.spawn_client(b"quickstart-client", U256::from(10u64));
+    println!("light client {} (pseudonymous)", client.address());
+
+    // Connect: header sync, handshake, on-chain channel with a budget.
+    let budget = U256::from(10_000u64);
+    let channel = net
+        .connect(&mut client, node, budget)
+        .expect("connection setup");
+    println!("payment channel {channel} open with budget {budget} wei");
+
+    // A verified read: the response carries a Merkle proof against the
+    // state root in a block header the client already trusts.
+    let me = client.address();
+    let (outcome, stats) = net
+        .parp_call(&mut client, node, RpcCall::GetBalance { address: me })
+        .expect("balance query");
+    match outcome {
+        ProcessOutcome::Valid { result, proven } => {
+            let account = parp_suite::chain::Account::decode(&result).expect("account");
+            println!(
+                "verified balance: {} wei (Merkle-proven: {proven}, proof {} bytes)",
+                account.balance, stats.proof_bytes
+            );
+        }
+        other => panic!("unexpected outcome: {other:?}"),
+    }
+
+    // Every request carried a micropayment; the node holds the client's
+    // signed cumulative amount.
+    let served = net.node(node).served_channel(channel).expect("served");
+    let (earned, calls) = (served.latest_amount, served.calls_served);
+    println!("node receivable: {earned} wei over {calls} call(s)");
+
+    // Cooperative close: dispute window passes, funds settle.
+    net.close_cooperatively(&mut client, node).expect("settlement");
+    println!("channel settled; node balance includes its {earned} wei of earnings");
+}

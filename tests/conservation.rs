@@ -1,0 +1,101 @@
+//! Integration: value conservation across the entire protocol.
+//!
+//! Whatever happens — channels opening, payments flowing, disputes,
+//! fraud, slashing — the total wei supply of the simulated chain must
+//! stay constant (our simulated network uses zero gas prices, so no
+//! value is burned or minted).
+
+use parp_suite::contracts::RpcCall;
+use parp_suite::core::{Misbehavior, ProcessOutcome};
+use parp_suite::net::Network;
+use parp_suite::primitives::{Address, U256};
+
+/// Sums every account balance in the current state.
+fn total_supply(net: &Network) -> U256 {
+    net.chain()
+        .state()
+        .iter()
+        .fold(U256::ZERO, |acc, (_, account)| acc + account.balance)
+}
+
+#[test]
+fn supply_constant_through_happy_path() {
+    let mut net = Network::new();
+    let supply_genesis = total_supply(&net);
+    let node = net.spawn_node(b"cons-node", U256::from(10u64));
+    let mut client = net.spawn_client(b"cons-client", U256::from(10u64));
+    assert_eq!(total_supply(&net), supply_genesis, "funding moves, not mints");
+
+    net.connect(&mut client, node, U256::from(10_000u64)).unwrap();
+    assert_eq!(total_supply(&net), supply_genesis, "channel open escrows, not burns");
+
+    let me = client.address();
+    for _ in 0..4 {
+        let (outcome, _) = net
+            .parp_call(&mut client, node, RpcCall::GetBalance { address: me })
+            .unwrap();
+        assert!(matches!(outcome, ProcessOutcome::Valid { .. }));
+    }
+    net.close_cooperatively(&mut client, node).unwrap();
+    assert_eq!(total_supply(&net), supply_genesis, "settlement redistributes only");
+}
+
+#[test]
+fn supply_constant_through_fraud_and_slash() {
+    let mut net = Network::new();
+    let supply_genesis = total_supply(&net);
+    let rogue = net.spawn_node(b"cons-rogue", U256::from(10u64));
+    let witness = net.spawn_node(b"cons-witness", U256::from(10u64));
+    let mut client = net.spawn_client(b"cons-victim", U256::from(10u64));
+    net.connect(&mut client, rogue, U256::from(5_000u64)).unwrap();
+    net.node_mut(rogue).set_misbehavior(Misbehavior::WrongAmount);
+
+    let (outcome, _) = net
+        .parp_call(&mut client, rogue, RpcCall::BlockNumber)
+        .unwrap();
+    let ProcessOutcome::Fraud(evidence) = outcome else {
+        panic!("expected fraud");
+    };
+    assert!(net.report_fraud(&evidence, witness).unwrap());
+    // Slashing redistributes the stake between client, witness and the
+    // module's pool; nothing leaves the system.
+    assert_eq!(total_supply(&net), supply_genesis);
+    // The pool share sits on the FNDM's module account balance.
+    let module_balance = net
+        .chain()
+        .balance(&parp_suite::contracts::fndm_address());
+    assert!(module_balance >= net.executor().fndm().pool());
+}
+
+#[test]
+fn supply_constant_under_mixed_workload() {
+    let mut net = Network::new();
+    let supply_genesis = total_supply(&net);
+    let node = net.spawn_node(b"cons-mix-node", U256::from(10u64));
+    let mut client = net.spawn_client(b"cons-mix-client", U256::from(10u64));
+    net.connect(&mut client, node, U256::from(100_000u64)).unwrap();
+
+    let sender = parp_suite::crypto::SecretKey::from_seed(b"cons-sender");
+    net.fund(sender.address());
+    net.sync_client(&mut client);
+    for nonce in 0..3 {
+        let tx = parp_suite::chain::Transaction {
+            nonce,
+            gas_price: U256::ZERO,
+            gas_limit: 21_000,
+            to: Some(Address::from_low_u64_be(0xdede + nonce)),
+            value: U256::from(1_000u64),
+            data: Vec::new(),
+        }
+        .sign(&sender);
+        let (outcome, _) = net
+            .parp_call(
+                &mut client,
+                node,
+                RpcCall::SendRawTransaction { raw: tx.encode() },
+            )
+            .unwrap();
+        assert!(matches!(outcome, ProcessOutcome::Valid { .. }));
+        assert_eq!(total_supply(&net), supply_genesis, "after write {nonce}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Integration: the dispute path of §IV-E / §V-B at the network level —
+//! a party settles with a stale channel state, the counterparty answers
+//! with a newer signed state inside the window, and the chain honors the
+//! highest valid amount.
+
+use parp_suite::contracts::{payment_digest, ChannelStatus, ModuleCall, RpcCall, DISPUTE_WINDOW_BLOCKS};
+use parp_suite::core::ProcessOutcome;
+use parp_suite::net::Network;
+use parp_suite::primitives::U256;
+
+#[test]
+fn node_disputes_a_stale_client_close() {
+    let mut net = Network::new();
+    let node = net.spawn_node(b"disp-node", U256::from(100u64));
+    let mut client = net.spawn_client(b"disp-client", U256::from(100u64));
+    net.connect(&mut client, node, U256::from(10_000u64)).unwrap();
+
+    // Five paid calls: the node holds σ_a for a=500.
+    for _ in 0..5 {
+        let (outcome, _) = net
+            .parp_call(&mut client, node, RpcCall::BlockNumber)
+            .unwrap();
+        assert!(matches!(outcome, ProcessOutcome::Valid { .. }));
+    }
+    assert_eq!(
+        net.node(node).served_channel(0).unwrap().latest_amount,
+        U256::from(500u64)
+    );
+
+    // The client tries to settle with a stale state: a = 100 (signing a
+    // *lower* cumulative amount than it already authorized).
+    let stale = U256::from(100u64);
+    let stale_sig = parp_suite::crypto::sign(client.secret(), &payment_digest(0, &stale));
+    let client_key = *client.secret();
+    assert!(net
+        .submit_module_call(
+            &client_key,
+            ModuleCall::CloseChannel {
+                channel_id: 0,
+                amount: stale,
+                payment_sig: stale_sig,
+            },
+            U256::ZERO,
+        )
+        .unwrap());
+
+    // The node notices (it watches the chain) and submits its newest
+    // state within the dispute window.
+    let counter = net.node(node).close_channel_call(0).unwrap();
+    let ModuleCall::CloseChannel {
+        channel_id,
+        amount,
+        payment_sig,
+    } = counter
+    else {
+        panic!("expected close call");
+    };
+    let node_key = *net.node(node).secret();
+    assert!(net
+        .submit_module_call(
+            &node_key,
+            ModuleCall::SubmitState {
+                channel_id,
+                amount,
+                payment_sig,
+            },
+            U256::ZERO,
+        )
+        .unwrap());
+    assert_eq!(
+        net.executor().cmm().channel(0).unwrap().latest_amount,
+        U256::from(500u64),
+        "the higher signed state supersedes the stale one"
+    );
+
+    // Settlement after the (reset) window pays the node in full.
+    net.advance_blocks(DISPUTE_WINDOW_BLOCKS).unwrap();
+    let node_before = net.chain().balance(&net.node(node).address());
+    let client_before = net.chain().balance(&client.address());
+    assert!(net
+        .submit_module_call(
+            &node_key,
+            ModuleCall::ConfirmClosure { channel_id: 0 },
+            U256::ZERO,
+        )
+        .unwrap());
+    assert_eq!(
+        net.chain().balance(&net.node(node).address()) - node_before,
+        U256::from(500u64)
+    );
+    assert_eq!(
+        net.chain().balance(&client.address()) - client_before,
+        U256::from(9_500u64)
+    );
+    assert_eq!(
+        net.executor().cmm().channel(0).unwrap().status,
+        ChannelStatus::Closed
+    );
+}
+
+#[test]
+fn dispute_window_resets_on_each_newer_state() {
+    let mut net = Network::new();
+    let node = net.spawn_node(b"dw-node", U256::from(10u64));
+    let mut client = net.spawn_client(b"dw-client", U256::from(10u64));
+    net.connect(&mut client, node, U256::from(1_000u64)).unwrap();
+    for _ in 0..3 {
+        net.parp_call(&mut client, node, RpcCall::BlockNumber).unwrap();
+    }
+
+    // Client closes with a=10 (its first signed state).
+    let a1 = U256::from(10u64);
+    let sig1 = parp_suite::crypto::sign(client.secret(), &payment_digest(0, &a1));
+    let client_key = *client.secret();
+    assert!(net
+        .submit_module_call(
+            &client_key,
+            ModuleCall::CloseChannel {
+                channel_id: 0,
+                amount: a1,
+                payment_sig: sig1,
+            },
+            U256::ZERO,
+        )
+        .unwrap());
+    let ChannelStatus::Closing { deadline: d1 } =
+        net.executor().cmm().channel(0).unwrap().status
+    else {
+        panic!("closing expected");
+    };
+
+    // A few blocks later the node disputes; the deadline must move out.
+    net.advance_blocks(5).unwrap();
+    let counter = net.node(node).close_channel_call(0).unwrap();
+    let ModuleCall::CloseChannel {
+        amount, payment_sig, ..
+    } = counter
+    else {
+        panic!("close call expected");
+    };
+    let node_key = *net.node(node).secret();
+    assert!(net
+        .submit_module_call(
+            &node_key,
+            ModuleCall::SubmitState {
+                channel_id: 0,
+                amount,
+                payment_sig,
+            },
+            U256::ZERO,
+        )
+        .unwrap());
+    let ChannelStatus::Closing { deadline: d2 } =
+        net.executor().cmm().channel(0).unwrap().status
+    else {
+        panic!("still closing");
+    };
+    assert!(d2 > d1, "window must reset: {d1} -> {d2}");
+
+    // Early confirmation still fails after the reset.
+    net.advance_blocks(d1.saturating_sub(net.chain().height())).unwrap();
+    assert!(!net
+        .submit_module_call(
+            &node_key,
+            ModuleCall::ConfirmClosure { channel_id: 0 },
+            U256::ZERO,
+        )
+        .unwrap());
+}

@@ -1,0 +1,235 @@
+//! Integration: every misbehavior from §V-D, end to end.
+//!
+//! The protocol's core safety claims, exercised across all crates:
+//!
+//! * **completeness** — every slashable deviation is detected by the
+//!   client AND accepted by the on-chain Fraud Detection Module, costing
+//!   the node its whole collateral;
+//! * **soundness** — no honest response can be used to slash, and
+//!   non-provable deviations (invalid responses) never slash either.
+
+use parp_suite::contracts::{min_deposit, ChannelStatus, RpcCall};
+use parp_suite::core::{Misbehavior, ProcessOutcome};
+use parp_suite::net::Network;
+use parp_suite::primitives::U256;
+
+/// Builds a network with a serving node, a witness node, and a bonded
+/// client; returns the channel id.
+fn fraud_fixture(seed: &str) -> (Network, parp_suite::net::NodeId, parp_suite::net::NodeId, parp_suite::core::LightClient, u64) {
+    let mut net = Network::new();
+    let node = net.spawn_node(format!("{seed}-node").as_bytes(), U256::from(10u64));
+    let witness = net.spawn_node(format!("{seed}-witness").as_bytes(), U256::from(10u64));
+    let mut client = net.spawn_client(format!("{seed}-client").as_bytes(), U256::from(10u64));
+    let channel = net.connect(&mut client, node, U256::from(100_000u64)).unwrap();
+    (net, node, witness, client, channel)
+}
+
+#[test]
+fn every_slashable_misbehavior_ends_in_a_slash() {
+    for misbehavior in Misbehavior::all().into_iter().filter(Misbehavior::slashable) {
+        let seed = format!("slash-{misbehavior:?}");
+        let (mut net, node, witness, mut client, channel) = fraud_fixture(&seed);
+        net.node_mut(node).set_misbehavior(misbehavior);
+
+        // A proof-bearing read makes all three fraud conditions reachable.
+        let me = client.address();
+        let (outcome, _) = net
+            .parp_call(&mut client, node, RpcCall::GetBalance { address: me })
+            .unwrap_or_else(|e| panic!("{misbehavior:?}: serve failed: {e}"));
+        let ProcessOutcome::Fraud(evidence) = outcome else {
+            panic!("{misbehavior:?}: expected fraud, got {outcome:?}");
+        };
+
+        // The witness relays the proof on-chain (§IV-F).
+        let stake_before = net.executor().fndm().deposit_of(&net.node(node).address());
+        assert_eq!(stake_before, min_deposit());
+        let accepted = net.report_fraud(&evidence, witness).unwrap();
+        assert!(accepted, "{misbehavior:?}: fraud proof must be accepted");
+
+        // Slash: collateral gone, channel force-settled, witness paid.
+        assert_eq!(
+            net.executor().fndm().deposit_of(&net.node(node).address()),
+            U256::ZERO,
+            "{misbehavior:?}: offender keeps stake"
+        );
+        assert_eq!(
+            net.executor().cmm().channel(channel).unwrap().status,
+            ChannelStatus::Closed,
+            "{misbehavior:?}: channel not settled"
+        );
+        let record = net
+            .executor()
+            .fdm()
+            .record(&evidence.request.request_hash)
+            .unwrap_or_else(|| panic!("{misbehavior:?}: no fraud record"));
+        assert_eq!(record.offender, net.node(node).address());
+        assert!(
+            net.chain().balance(&net.node(witness).address()) > U256::ZERO,
+            "{misbehavior:?}: witness not rewarded"
+        );
+        // The node can no longer accept connections.
+        assert!(!net
+            .registry()
+            .contains(&net.node(node).address()));
+    }
+}
+
+#[test]
+fn invalid_misbehaviors_are_rejected_but_not_slashable() {
+    for misbehavior in Misbehavior::all()
+        .into_iter()
+        .filter(|m| !m.slashable())
+    {
+        let seed = format!("invalid-{misbehavior:?}");
+        let (mut net, node, _witness, mut client, _) = fraud_fixture(&seed);
+        net.node_mut(node).set_misbehavior(misbehavior);
+        let me = client.address();
+        let (outcome, _) = net
+            .parp_call(&mut client, node, RpcCall::GetBalance { address: me })
+            .unwrap();
+        assert!(
+            matches!(outcome, ProcessOutcome::Invalid(_)),
+            "{misbehavior:?}: expected invalid, got {outcome:?}"
+        );
+        // No fraud record, stake untouched.
+        assert_eq!(
+            net.executor().fndm().deposit_of(&net.node(node).address()),
+            min_deposit(),
+            "{misbehavior:?}"
+        );
+        // Client walks away and can reconnect elsewhere.
+        client.abandon_connection();
+        assert_eq!(client.state(), parp_suite::core::ClientState::Idle);
+    }
+}
+
+#[test]
+fn honest_node_cannot_be_framed_with_valid_response() {
+    let (mut net, node, witness, mut client, _) = fraud_fixture("frame");
+    let me = client.address();
+    let request = client.request(RpcCall::GetBalance { address: me }).unwrap();
+    let response = net.serve(node, &request).unwrap();
+    net.sync_client(&mut client);
+    let outcome = client.process_response(&response).unwrap();
+    let ProcessOutcome::Valid { .. } = outcome else {
+        panic!("honest response should be valid");
+    };
+    // Frame attempt: fabricate evidence from the honest exchange.
+    let header = net
+        .chain()
+        .block(response.block_number)
+        .unwrap()
+        .header
+        .clone();
+    let evidence = parp_suite::core::FraudEvidence {
+        request,
+        response,
+        header,
+        verdict: parp_suite::contracts::FraudVerdict::InvalidProof,
+    };
+    let accepted = net.report_fraud(&evidence, witness).unwrap();
+    assert!(!accepted, "framing must revert on-chain");
+    assert_eq!(
+        net.executor().fndm().deposit_of(&net.node(node).address()),
+        min_deposit()
+    );
+}
+
+#[test]
+fn client_cannot_forge_responses_to_slash() {
+    // A malicious *client* invents a response the node never signed.
+    let (mut net, node, witness, mut client, _) = fraud_fixture("forge");
+    let me = client.address();
+    let request = client.request(RpcCall::GetBalance { address: me }).unwrap();
+    let honest = net.serve(node, &request).unwrap();
+    net.sync_client(&mut client);
+    // Tamper the result but keep the node's (now wrong) signature.
+    let mut forged = honest.clone();
+    forged.amount = U256::ZERO;
+    let header = net
+        .chain()
+        .block(forged.block_number)
+        .unwrap()
+        .header
+        .clone();
+    let evidence = parp_suite::core::FraudEvidence {
+        request,
+        response: forged,
+        header,
+        verdict: parp_suite::contracts::FraudVerdict::AmountMismatch,
+    };
+    let accepted = net.report_fraud(&evidence, witness).unwrap();
+    assert!(
+        !accepted,
+        "a response with a broken signature must not slash"
+    );
+}
+
+#[test]
+fn fraud_on_write_workload_is_slashable() {
+    let (mut net, node, witness, mut client, _) = fraud_fixture("write-fraud");
+    net.node_mut(node).set_misbehavior(Misbehavior::CorruptProof);
+    let sender = parp_suite::crypto::SecretKey::from_seed(b"wf-sender");
+    net.fund(sender.address());
+    net.sync_client(&mut client);
+    let tx = parp_suite::chain::Transaction {
+        nonce: 0,
+        gas_price: U256::ZERO,
+        gas_limit: 21_000,
+        to: Some(parp_suite::primitives::Address::from_low_u64_be(1)),
+        value: U256::ONE,
+        data: Vec::new(),
+    }
+    .sign(&sender);
+    let (outcome, _) = net
+        .parp_call(
+            &mut client,
+            node,
+            RpcCall::SendRawTransaction { raw: tx.encode() },
+        )
+        .unwrap();
+    let ProcessOutcome::Fraud(evidence) = outcome else {
+        panic!("expected fraud, got {outcome:?}");
+    };
+    assert!(net.report_fraud(&evidence, witness).unwrap());
+    assert_eq!(
+        net.executor().fndm().deposit_of(&net.node(node).address()),
+        U256::ZERO
+    );
+}
+
+#[test]
+fn double_reporting_the_same_fraud_fails() {
+    let (mut net, node, witness, mut client, _) = fraud_fixture("double");
+    net.node_mut(node).set_misbehavior(Misbehavior::WrongAmount);
+    let (outcome, _) = net
+        .parp_call(&mut client, node, RpcCall::BlockNumber)
+        .unwrap();
+    let ProcessOutcome::Fraud(evidence) = outcome else {
+        panic!("expected fraud");
+    };
+    assert!(net.report_fraud(&evidence, witness).unwrap());
+    // Same evidence again: the case is already processed (and the channel
+    // closed), so the module reverts.
+    assert!(!net.report_fraud(&evidence, witness).unwrap());
+}
+
+#[test]
+fn reporter_reward_flows_to_the_defrauded_client() {
+    let (mut net, node, witness, mut client, _) = fraud_fixture("reward");
+    net.node_mut(node).set_misbehavior(Misbehavior::WrongAmount);
+    let before = net.chain().balance(&client.address());
+    let (outcome, _) = net
+        .parp_call(&mut client, node, RpcCall::BlockNumber)
+        .unwrap();
+    let ProcessOutcome::Fraud(evidence) = outcome else {
+        panic!("expected fraud");
+    };
+    net.report_fraud(&evidence, witness).unwrap();
+    let after = net.chain().balance(&client.address());
+    let client_share = min_deposit() * U256::from(parp_suite::contracts::SLASH_CLIENT_SHARE)
+        / U256::from(100u64);
+    // Client share plus the refunded channel budget (cs = 0 on-chain:
+    // the node never redeemed).
+    assert_eq!(after - before, client_share + U256::from(100_000u64));
+}

@@ -1,0 +1,113 @@
+//! Integration: the §VIII "Proof of Serving" extension — aggregating
+//! payment receipts into verifiable serving claims, including the Sybil
+//! caveat the paper raises.
+
+use parp_suite::contracts::RpcCall;
+use parp_suite::core::{
+    collect_serving_proof, verify_serving_proof, ProcessOutcome, ServingProofError,
+};
+use parp_suite::net::Network;
+use parp_suite::primitives::U256;
+
+#[test]
+fn serving_proof_totals_served_payments() {
+    let mut net = Network::new();
+    let node = net.spawn_node(b"sp-node", U256::from(10u64));
+    let mut clients: Vec<_> = (0..3)
+        .map(|i| {
+            let seed = format!("sp-client-{i}");
+            let mut c = net.spawn_client(seed.as_bytes(), U256::from(10u64));
+            net.connect(&mut c, node, U256::from(1_000u64)).unwrap();
+            c
+        })
+        .collect();
+    // Client i makes i+1 calls.
+    for (i, client) in clients.iter_mut().enumerate() {
+        for _ in 0..=i {
+            let (outcome, _) = net
+                .parp_call(client, node, RpcCall::BlockNumber)
+                .unwrap();
+            assert!(matches!(outcome, ProcessOutcome::Valid { .. }));
+        }
+    }
+    let proof = collect_serving_proof(net.node(node));
+    assert_eq!(proof.receipts.len(), 3);
+    let total = verify_serving_proof(&proof, net.executor().cmm()).unwrap();
+    // (1 + 2 + 3) * 10 wei.
+    assert_eq!(total, U256::from(60u64));
+    assert_eq!(proof.claimed_total(), total);
+}
+
+#[test]
+fn receipts_from_other_nodes_channels_rejected() {
+    let mut net = Network::new();
+    let node_a = net.spawn_node(b"spx-a", U256::from(10u64));
+    let node_b = net.spawn_node(b"spx-b", U256::from(10u64));
+    let mut client = net.spawn_client(b"spx-client", U256::from(10u64));
+    net.connect(&mut client, node_a, U256::from(1_000u64)).unwrap();
+    let (outcome, _) = net.parp_call(&mut client, node_a, RpcCall::BlockNumber).unwrap();
+    assert!(matches!(outcome, ProcessOutcome::Valid { .. }));
+
+    // Node B steals node A's receipts and claims them as its own.
+    let mut stolen = collect_serving_proof(net.node(node_a));
+    stolen.node = net.node(node_b).address();
+    assert_eq!(
+        verify_serving_proof(&stolen, net.executor().cmm()),
+        Err(ServingProofError::WrongNode(0))
+    );
+}
+
+#[test]
+fn duplicate_and_forged_receipts_rejected() {
+    let mut net = Network::new();
+    let node = net.spawn_node(b"spd-node", U256::from(10u64));
+    let mut client = net.spawn_client(b"spd-client", U256::from(10u64));
+    net.connect(&mut client, node, U256::from(1_000u64)).unwrap();
+    let (outcome, _) = net.parp_call(&mut client, node, RpcCall::BlockNumber).unwrap();
+    assert!(matches!(outcome, ProcessOutcome::Valid { .. }));
+
+    let mut proof = collect_serving_proof(net.node(node));
+    // Duplicate the only receipt: double counting must fail.
+    proof.receipts.push(proof.receipts[0].clone());
+    assert_eq!(
+        verify_serving_proof(&proof, net.executor().cmm()),
+        Err(ServingProofError::DuplicateChannel(0))
+    );
+    // Inflate the amount beyond what the client signed.
+    let mut inflated = collect_serving_proof(net.node(node));
+    inflated.receipts[0].amount = U256::from(999u64);
+    assert_eq!(
+        verify_serving_proof(&inflated, net.executor().cmm()),
+        Err(ServingProofError::BadReceipt(0))
+    );
+    // Claim more than the channel budget.
+    let mut overbudget = collect_serving_proof(net.node(node));
+    overbudget.receipts[0].amount = U256::from(10_000u64);
+    assert_eq!(
+        verify_serving_proof(&overbudget, net.executor().cmm()),
+        Err(ServingProofError::OverBudget(0))
+    );
+}
+
+#[test]
+fn sybil_receipts_cost_real_collateral() {
+    // The paper's §VIII caveat: a node CAN create fake light clients and
+    // serve itself. The mitigation it suggests (and we demonstrate) is
+    // that every sybil channel still requires a real on-chain budget
+    // deposit, so self-serving is capital-intensive, not free.
+    let mut net = Network::new();
+    let node = net.spawn_node(b"sy-node", U256::from(10u64));
+    let mut sybil = net.spawn_client(b"sy-sybil", U256::from(10u64));
+    let sybil_budget = U256::from(500u64);
+    let before = net.chain().balance(&sybil.address());
+    net.connect(&mut sybil, node, sybil_budget).unwrap();
+    let after = net.chain().balance(&sybil.address());
+    // The budget is genuinely locked on-chain for the channel's lifetime.
+    assert_eq!(before - after, sybil_budget);
+    let (outcome, _) = net.parp_call(&mut sybil, node, RpcCall::BlockNumber).unwrap();
+    assert!(matches!(outcome, ProcessOutcome::Valid { .. }));
+    let proof = collect_serving_proof(net.node(node));
+    let total = verify_serving_proof(&proof, net.executor().cmm()).unwrap();
+    // The claim verifies, but is bounded by the locked budget.
+    assert!(total <= sybil_budget);
+}
