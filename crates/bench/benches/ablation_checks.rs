@@ -98,9 +98,7 @@ fn bench_proof_size_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
             let key = parp_rlp::encode_u64(index as u64);
             b.iter(|| {
-                black_box(
-                    parp_trie::verify_proof(root, &key, &response.proof).expect("verifies"),
-                )
+                black_box(parp_trie::verify_proof(root, &key, &response.proof).expect("verifies"))
             })
         });
     }

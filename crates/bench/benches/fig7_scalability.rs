@@ -14,7 +14,7 @@ fn config() -> ScalabilityConfig {
     ScalabilityConfig {
         requests_per_client: 10,
         read_fraction: 0.9,
-        seed: 0xF16_7,
+        seed: 0xF167,
     }
 }
 

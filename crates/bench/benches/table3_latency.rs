@@ -44,7 +44,10 @@ fn bench_request_generation(c: &mut Criterion) {
                 }
                 .sign(&sender)
                 .encode();
-                black_box(lc.request(RpcCall::SendRawTransaction { raw }).expect("request"))
+                black_box(
+                    lc.request(RpcCall::SendRawTransaction { raw })
+                        .expect("request"),
+                )
             },
             BatchSize::SmallInput,
         )

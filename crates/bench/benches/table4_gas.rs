@@ -8,8 +8,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use parp_chain::Blockchain;
 use parp_contracts::{
-    build_module_call, confirmation_digest, min_deposit, payment_digest, ModuleCall,
-    ParpExecutor, ParpRequest, ParpResponse, RpcCall, DISPUTE_WINDOW_BLOCKS,
+    build_module_call, confirmation_digest, min_deposit, payment_digest, ModuleCall, ParpExecutor,
+    ParpRequest, ParpResponse, RpcCall, DISPUTE_WINDOW_BLOCKS,
 };
 use parp_crypto::{sign, SecretKey};
 use parp_primitives::{Address, U256};

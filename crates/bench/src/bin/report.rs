@@ -9,8 +9,8 @@
 use parp_bench::{chain_with_block_of, connected_fixture, read_call};
 use parp_chain::Blockchain;
 use parp_contracts::{
-    build_module_call, confirmation_digest, min_deposit, payment_digest, ModuleCall,
-    ParpExecutor, ParpRequest, ParpResponse, RpcCall, DISPUTE_WINDOW_BLOCKS,
+    build_module_call, confirmation_digest, min_deposit, payment_digest, ModuleCall, ParpExecutor,
+    ParpRequest, ParpResponse, RpcCall, DISPUTE_WINDOW_BLOCKS,
 };
 use parp_core::classify_response;
 use parp_crypto::{sign, SecretKey};
@@ -121,7 +121,8 @@ fn table3() {
         }
         .sign(&wallet)
         .encode();
-        lc.request(RpcCall::SendRawTransaction { raw }).expect("request");
+        lc.request(RpcCall::SendRawTransaction { raw })
+            .expect("request");
     });
     println!("  (A) request generation    write {write_a:>9.2?}  read {read_a:>9.2?}   (paper 10.91 ms / 4.82 ms)");
 
@@ -234,11 +235,11 @@ fn table4() {
     let mut node_nonce = 0u64;
     let mut client_nonce = 0u64;
     let run = |chain: &mut Blockchain,
-                   executor: &mut ParpExecutor,
-                   key: &SecretKey,
-                   nonce: &mut u64,
-                   call: ModuleCall,
-                   value: U256|
+               executor: &mut ParpExecutor,
+               key: &SecretKey,
+               nonce: &mut u64,
+               call: ModuleCall,
+               value: U256|
      -> u64 {
         let tx = build_module_call(key, *nonce, call, value);
         *nonce += 1;
@@ -297,7 +298,9 @@ fn table4() {
         U256::ZERO,
     );
     for _ in 0..DISPUTE_WINDOW_BLOCKS {
-        chain.produce_block(Vec::new(), &mut executor).expect("block");
+        chain
+            .produce_block(Vec::new(), &mut executor)
+            .expect("block");
     }
     let confirm_gas = run(
         &mut chain,
@@ -398,7 +401,7 @@ fn fig7(full: bool) {
     let config = ScalabilityConfig {
         requests_per_client: requests,
         read_fraction: 0.9,
-        seed: 0xF16_7,
+        seed: 0xF167,
     };
     println!("  clients  cpu_ratio  mem_ratio   (paper at 20: 3.43x cpu, 2.38x mem)");
     for point in run_scalability_sweep(&[1, 5, 10, 15, 20], &config) {

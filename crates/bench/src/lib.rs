@@ -35,7 +35,7 @@ pub fn chain_with_block_of(tx_count: usize) -> (Blockchain, SecretKey) {
     let sender = SecretKey::from_seed(b"block-filler");
     let supply = U256::ONE << 120;
     let mut chain = Blockchain::new(vec![(sender.address(), supply)]);
-    let mut workload = Workload::new(0xF16_6, sender, 0);
+    let mut workload = Workload::new(0xF166, sender, 0);
     let txs = workload.transfer_batch(tx_count);
     chain
         .produce_block(txs, &mut parp_chain::TransferExecutor)
@@ -46,6 +46,22 @@ pub fn chain_with_block_of(tx_count: usize) -> (Blockchain, SecretKey) {
 /// The read-workload call of §VI-A (`eth_getBalance`).
 pub fn read_call(target: Address) -> RpcCall {
     RpcCall::GetBalance { address: target }
+}
+
+/// A connected fixture whose chain also carries `accounts` funded
+/// accounts, so balance reads walk a populated state trie. Returns the
+/// funded addresses (the batch-vs-singles targets).
+pub fn populated_fixture(accounts: usize) -> (Network, NodeId, LightClient, Vec<Address>) {
+    let (mut net, node, client) = connected_fixture();
+    let addresses: Vec<Address> = (0..accounts)
+        .map(|i| Address::from_low_u64_be(0xA000_0000 + i as u64))
+        .collect();
+    for address in &addresses {
+        net.fund(*address);
+    }
+    let mut client = client;
+    net.sync_client(&mut client);
+    (net, node, client, addresses)
 }
 
 /// A ready-to-verify `(request, response, request_height)` triple served

@@ -29,7 +29,11 @@ impl Block {
 
     /// Builds the transaction trie: `rlp(index) → rlp(signed_tx)`.
     pub fn transactions_trie(&self) -> Trie {
-        let encoded: Vec<Vec<u8>> = self.transactions.iter().map(SignedTransaction::encode).collect();
+        let encoded: Vec<Vec<u8>> = self
+            .transactions
+            .iter()
+            .map(SignedTransaction::encode)
+            .collect();
         ordered_trie(encoded.iter().map(Vec::as_slice))
     }
 
@@ -78,7 +82,8 @@ mod tests {
             })
             .collect();
         let tx_root = {
-            let encoded: Vec<Vec<u8>> = transactions.iter().map(SignedTransaction::encode).collect();
+            let encoded: Vec<Vec<u8>> =
+                transactions.iter().map(SignedTransaction::encode).collect();
             ordered_trie(encoded.iter().map(Vec::as_slice)).root_hash()
         };
         Block {

@@ -381,7 +381,10 @@ mod tests {
             .unwrap();
         assert_eq!(chain.height(), 1);
         assert_eq!(chain.head().header.parent_hash, genesis_hash);
-        assert_eq!(chain.balance(&Address::from_low_u64_be(2)), U256::from(100u64));
+        assert_eq!(
+            chain.balance(&Address::from_low_u64_be(2)),
+            U256::from(100u64)
+        );
     }
 
     #[test]
@@ -404,7 +407,10 @@ mod tests {
         let err = chain
             .produce_block(vec![transfer(&key, 5, 2, 100)], &mut TransferExecutor)
             .unwrap_err();
-        assert!(matches!(err, BlockError::InvalidTransaction { index: 0, .. }));
+        assert!(matches!(
+            err,
+            BlockError::InvalidTransaction { index: 0, .. }
+        ));
         assert_eq!(chain.height(), 0, "chain unchanged after rejection");
     }
 
@@ -438,7 +444,9 @@ mod tests {
         let (mut chain, key) = funded_chain();
         let tx = transfer(&key, 0, 2, 7);
         let tx_hash = tx.hash();
-        chain.produce_block(vec![tx], &mut TransferExecutor).unwrap();
+        chain
+            .produce_block(vec![tx], &mut TransferExecutor)
+            .unwrap();
         let head_hash = chain.head().hash();
         assert_eq!(chain.block_by_hash(&head_hash).unwrap().number(), 1);
         assert_eq!(chain.transaction_location(&tx_hash), Some((1, 0)));
@@ -448,12 +456,10 @@ mod tests {
     #[test]
     fn recent_hash_window() {
         let (mut chain, key) = funded_chain();
-        let mut nonce = 0;
-        for _ in 0..300 {
+        for nonce in 0..300 {
             chain
                 .produce_block(vec![transfer(&key, nonce, 2, 1)], &mut TransferExecutor)
                 .unwrap();
-            nonce += 1;
         }
         assert_eq!(chain.height(), 300);
         assert!(chain.recent_block_hash(300).is_some());
@@ -480,8 +486,7 @@ mod tests {
     #[test]
     fn proofs_verify_against_headers() {
         let (mut chain, key) = funded_chain();
-        let txs: Vec<SignedTransaction> =
-            (0..10).map(|i| transfer(&key, i, 2, i + 1)).collect();
+        let txs: Vec<SignedTransaction> = (0..10).map(|i| transfer(&key, i, 2, i + 1)).collect();
         chain.produce_block(txs, &mut TransferExecutor).unwrap();
         let header = &chain.block(1).unwrap().header.clone();
 
@@ -497,18 +502,16 @@ mod tests {
         // Transaction proof against the transactions root.
         let tx_proof = chain.transaction_proof(1, 4).unwrap();
         let tx_key = parp_rlp::encode_u64(4);
-        let tx_value =
-            parp_trie::verify_proof(header.transactions_root, &tx_key, &tx_proof)
-                .unwrap()
-                .unwrap();
+        let tx_value = parp_trie::verify_proof(header.transactions_root, &tx_key, &tx_proof)
+            .unwrap()
+            .unwrap();
         assert_eq!(tx_value, chain.block(1).unwrap().transactions[4].encode());
 
         // Receipt proof against the receipts root.
         let receipt_proof = chain.receipt_proof(1, 4).unwrap();
-        let receipt_value =
-            parp_trie::verify_proof(header.receipts_root, &tx_key, &receipt_proof)
-                .unwrap()
-                .unwrap();
+        let receipt_value = parp_trie::verify_proof(header.receipts_root, &tx_key, &receipt_proof)
+            .unwrap()
+            .unwrap();
         let receipt = Receipt::decode(&receipt_value).unwrap();
         assert!(receipt.is_success());
     }

@@ -161,10 +161,12 @@ mod tests {
             data: Vec::new(),
         }
         .sign(&key);
-        let result =
-            TransferExecutor.execute(&mut state, &ctx(), &tx, key.address(), 21_000);
+        let result = TransferExecutor.execute(&mut state, &ctx(), &tx, key.address(), 21_000);
         assert!(result.success);
-        assert_eq!(state.balance(&Address::from_low_u64_be(2)), U256::from(400u64));
+        assert_eq!(
+            state.balance(&Address::from_low_u64_be(2)),
+            U256::from(400u64)
+        );
         assert_eq!(state.balance(&key.address()), U256::from(600u64));
     }
 
@@ -182,8 +184,7 @@ mod tests {
             data: Vec::new(),
         }
         .sign(&key);
-        let result =
-            TransferExecutor.execute(&mut state, &ctx(), &tx, key.address(), 21_000);
+        let result = TransferExecutor.execute(&mut state, &ctx(), &tx, key.address(), 21_000);
         assert!(!result.success);
         assert_eq!(result.gas_used, 21_000);
         assert_eq!(state.balance(&key.address()), U256::from(10u64));
@@ -202,8 +203,7 @@ mod tests {
             data: vec![1, 2, 3],
         }
         .sign(&key);
-        let result =
-            TransferExecutor.execute(&mut state, &ctx(), &tx, key.address(), 21_048);
+        let result = TransferExecutor.execute(&mut state, &ctx(), &tx, key.address(), 21_048);
         assert!(!result.success);
     }
 }

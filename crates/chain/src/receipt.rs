@@ -2,8 +2,7 @@
 
 use parp_primitives::{Address, H256};
 use parp_rlp::{
-    decode_list_of, encode_address, encode_bytes, encode_h256, encode_list, encode_u64,
-    DecodeError,
+    decode_list_of, encode_address, encode_bytes, encode_h256, encode_list, encode_u64, DecodeError,
 };
 
 /// An event log emitted during transaction execution.

@@ -37,7 +37,9 @@ impl State {
     pub fn with_alloc<I: IntoIterator<Item = (Address, U256)>>(alloc: I) -> Self {
         let mut state = State::new();
         for (address, balance) in alloc {
-            state.accounts.insert(address, Account::with_balance(balance));
+            state
+                .accounts
+                .insert(address, Account::with_balance(balance));
         }
         state
     }
@@ -135,7 +137,23 @@ impl State {
     /// Merkle proof for an account (inclusion or exclusion), verifiable
     /// against [`State::state_root`] with the key `keccak256(address)`.
     pub fn account_proof(&self, address: &Address) -> Vec<Vec<u8>> {
-        self.build_trie().prove(keccak256(address.as_bytes()).as_bytes())
+        self.build_trie()
+            .prove(keccak256(address.as_bytes()).as_bytes())
+    }
+
+    /// Deduplicated Merkle multiproof for many accounts at once,
+    /// verifiable against [`State::state_root`] with
+    /// [`parp_trie::verify_many`] and the keys `keccak256(address)`.
+    ///
+    /// Builds the state trie once for the whole set — the per-call trie
+    /// rebuild of [`State::account_proof`] is the dominant cost when
+    /// serving N reads, so batch serving must not repeat it.
+    pub fn account_multiproof(&self, addresses: &[Address]) -> Vec<Vec<u8>> {
+        self.build_trie().prove_many(
+            addresses
+                .iter()
+                .map(|address| keccak256(address.as_bytes()).as_bytes().to_vec()),
+        )
     }
 }
 

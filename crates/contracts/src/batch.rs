@@ -1,0 +1,564 @@
+//! Batched PARP wire messages: one ECDSA signature and one cumulative
+//! micropayment covering N RPC calls.
+//!
+//! The single-call protocol (Fig. 3) pays for its accountability with a
+//! signature check and a Merkle proof *per call* — the dominant server
+//! cost under heavy read traffic. A batch amortizes both: the light
+//! client signs the whole call vector once, the full node verifies one
+//! signature and serves every item against one state snapshot, and all
+//! state-trie proofs collapse into a single deduplicated multiproof
+//! (shared branch nodes cross the wire once; see
+//! [`parp_trie::verify_many`]).
+//!
+//! Accountability is preserved per item: the node's batch signature
+//! commits it to every `(result, proof)` pair, so one fraudulent item is
+//! enough for the client to hold fraud evidence against the whole signed
+//! response.
+
+use crate::fdm::FraudVerdict;
+use crate::message::{
+    decode_signature, encode_signature, payment_digest, MessageError, ProofKind, RpcCall,
+};
+use parp_chain::Header;
+use parp_crypto::{keccak256, recover_address, sign, SecretKey, Signature};
+use parp_primitives::{Address, H256, U256};
+use parp_rlp::{
+    decode_list_of, encode_bytes, encode_h256, encode_list, encode_u256, encode_u64, Item,
+};
+
+fn encode_calls(calls: &[RpcCall]) -> Vec<u8> {
+    let items: Vec<Vec<u8>> = calls.iter().map(|c| encode_bytes(&c.encode())).collect();
+    encode_list(&items)
+}
+
+fn encode_nodes(nodes: &[Vec<u8>]) -> Vec<u8> {
+    let items: Vec<Vec<u8>> = nodes.iter().map(|n| encode_bytes(n)).collect();
+    encode_list(&items)
+}
+
+fn decode_nodes(item: &Item) -> Result<Vec<Vec<u8>>, MessageError> {
+    Ok(item
+        .as_list()?
+        .iter()
+        .map(|n| n.as_bytes().map(<[u8]>::to_vec))
+        .collect::<Result<Vec<_>, _>>()?)
+}
+
+/// Computes the batch `h_req` over the request's signed fields.
+pub fn batch_request_hash(
+    channel_id: u64,
+    block_hash: &H256,
+    amount: &U256,
+    calls: &[RpcCall],
+) -> H256 {
+    keccak256(&encode_list(&[
+        encode_u64(channel_id),
+        encode_h256(block_hash),
+        encode_u256(amount),
+        encode_calls(calls),
+    ]))
+}
+
+/// A batched PARP request: the Fig. 3 request shape with γ generalized to
+/// a call vector. One `σ_req` covers every call; one `σ_a` covers the
+/// cumulative payment for all of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParpBatchRequest {
+    /// Channel identifier α.
+    pub channel_id: u64,
+    /// `h_B`: the most recent block hash known to the light client.
+    pub block_hash: H256,
+    /// `a`: cumulative payment amount authorized so far — this single
+    /// amount pays for the whole batch.
+    pub amount: U256,
+    /// The wrapped RPC calls γ₁..γₙ (read-only; see
+    /// [`RpcCall::batchable`]).
+    pub calls: Vec<RpcCall>,
+    /// `h_req = keccak256(rlp([α, h_B, a, [γ₁..γₙ]]))`.
+    pub request_hash: H256,
+    /// `σ_a = Sign(keccak256(rlp([α, a])))` — the detachable payment
+    /// proof, identical in form to the single-call one so the CMM redeems
+    /// batch payments unchanged.
+    pub payment_sig: Signature,
+    /// `σ_req = Sign(h_req)` — the batch's one request signature.
+    pub request_sig: Signature,
+}
+
+impl ParpBatchRequest {
+    /// Builds and signs a batch request with the light client's key.
+    pub fn build(
+        secret: &SecretKey,
+        channel_id: u64,
+        block_hash: H256,
+        amount: U256,
+        calls: Vec<RpcCall>,
+    ) -> Self {
+        let h_req = batch_request_hash(channel_id, &block_hash, &amount, &calls);
+        let payment_sig = sign(secret, &payment_digest(channel_id, &amount));
+        let request_sig = sign(secret, &h_req);
+        ParpBatchRequest {
+            channel_id,
+            block_hash,
+            amount,
+            calls,
+            request_hash: h_req,
+            payment_sig,
+            request_sig,
+        }
+    }
+
+    /// Number of calls in the batch.
+    pub fn len(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Whether the batch carries no calls (such requests are rejected by
+    /// every honest server: an empty batch still demands payment).
+    pub fn is_empty(&self) -> bool {
+        self.calls.is_empty()
+    }
+
+    /// Recomputes `h_req` from the request contents.
+    pub fn expected_hash(&self) -> H256 {
+        batch_request_hash(self.channel_id, &self.block_hash, &self.amount, &self.calls)
+    }
+
+    /// Recovers the request signer (the light client) from `σ_req`.
+    ///
+    /// Returns `None` when recovery fails or the hash is inconsistent.
+    pub fn signer(&self) -> Option<Address> {
+        if self.expected_hash() != self.request_hash {
+            return None;
+        }
+        recover_address(&self.request_hash, &self.request_sig).ok()
+    }
+
+    /// Recovers the payment signer from `σ_a`.
+    pub fn payment_signer(&self) -> Option<Address> {
+        recover_address(
+            &payment_digest(self.channel_id, &self.amount),
+            &self.payment_sig,
+        )
+        .ok()
+    }
+
+    /// Full RLP wire encoding (7 fields, as the single-call request).
+    pub fn encode(&self) -> Vec<u8> {
+        encode_list(&[
+            encode_u64(self.channel_id),
+            encode_h256(&self.block_hash),
+            encode_u256(&self.amount),
+            encode_calls(&self.calls),
+            encode_h256(&self.request_hash),
+            encode_signature(&self.payment_sig),
+            encode_signature(&self.request_sig),
+        ])
+    }
+
+    /// Decodes a batch request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageError`] on malformed structure or signatures.
+    pub fn decode(bytes: &[u8]) -> Result<Self, MessageError> {
+        let fields = decode_list_of(bytes, 7)?;
+        let calls = fields[3]
+            .as_list()?
+            .iter()
+            .map(|c| {
+                c.as_bytes()
+                    .map_err(MessageError::from)
+                    .and_then(|b| Ok(RpcCall::decode(b)?))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ParpBatchRequest {
+            channel_id: fields[0].as_u64()?,
+            block_hash: fields[1].as_h256()?,
+            amount: fields[2].as_u256()?,
+            calls,
+            request_hash: fields[4].as_h256()?,
+            payment_sig: decode_signature(&fields[5])?,
+            request_sig: decode_signature(&fields[6])?,
+        })
+    }
+
+    /// Byte size of the PARP metadata added on top of the bare RPC calls:
+    /// the per-batch equivalent of Table II's request overhead. Constant
+    /// in the batch size — that is the point.
+    pub fn overhead_bytes(&self) -> usize {
+        let calls: usize = self.calls.iter().map(|c| c.encode().len()).sum();
+        self.encode().len() - calls
+    }
+}
+
+/// A batched PARP response: per-item results, one shared deduplicated
+/// state multiproof, and one response signature over everything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParpBatchResponse {
+    /// Channel identifier α (must match the request).
+    pub channel_id: u64,
+    /// `m_B`: the single snapshot height every item was served at.
+    pub block_number: u64,
+    /// `a`: echo of the request's cumulative payment amount.
+    pub amount: U256,
+    /// `R(γᵢ)` per item, aligned with the request's call order.
+    pub results: Vec<Vec<u8>>,
+    /// The shared state-trie multiproof: the deduplicated union of every
+    /// state-proven item's path under the snapshot's `state_root`
+    /// (verified with [`parp_trie::verify_many`]).
+    pub multiproof: Vec<Vec<u8>>,
+    /// `h_req`: echo of the batch request hash.
+    pub request_hash: H256,
+    /// `σ_req`: echo of the batch request signature.
+    pub request_sig: Signature,
+    /// `σ_res = Sign(h_res)` by the full node — the batch's one response
+    /// signature, committing the node to every item.
+    pub response_sig: Signature,
+}
+
+/// Computes the batch `h_res` over all response fields before `σ_res`.
+#[allow(clippy::too_many_arguments)]
+pub fn batch_response_hash(
+    channel_id: u64,
+    block_number: u64,
+    amount: &U256,
+    results: &[Vec<u8>],
+    multiproof: &[Vec<u8>],
+    request_hash: &H256,
+    request_sig: &Signature,
+) -> H256 {
+    let result_items: Vec<Vec<u8>> = results.iter().map(|r| encode_bytes(r)).collect();
+    keccak256(&encode_list(&[
+        encode_u64(channel_id),
+        encode_u64(block_number),
+        encode_u256(amount),
+        encode_list(&result_items),
+        encode_nodes(multiproof),
+        encode_h256(request_hash),
+        encode_bytes(&request_sig.to_bytes()),
+    ]))
+}
+
+impl ParpBatchResponse {
+    /// Builds and signs a batch response with the full node's key.
+    pub fn build(
+        secret: &SecretKey,
+        request: &ParpBatchRequest,
+        block_number: u64,
+        results: Vec<Vec<u8>>,
+        multiproof: Vec<Vec<u8>>,
+    ) -> Self {
+        let h_res = batch_response_hash(
+            request.channel_id,
+            block_number,
+            &request.amount,
+            &results,
+            &multiproof,
+            &request.request_hash,
+            &request.request_sig,
+        );
+        ParpBatchResponse {
+            channel_id: request.channel_id,
+            block_number,
+            amount: request.amount,
+            results,
+            multiproof,
+            request_hash: request.request_hash,
+            request_sig: request.request_sig,
+            response_sig: sign(secret, &h_res),
+        }
+    }
+
+    /// Number of items in the response.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the response carries no items.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Recomputes `h_res` from the response contents.
+    pub fn expected_hash(&self) -> H256 {
+        batch_response_hash(
+            self.channel_id,
+            self.block_number,
+            &self.amount,
+            &self.results,
+            &self.multiproof,
+            &self.request_hash,
+            &self.request_sig,
+        )
+    }
+
+    /// Recovers the response signer (the full node) from `σ_res`.
+    pub fn signer(&self) -> Option<Address> {
+        recover_address(&self.expected_hash(), &self.response_sig).ok()
+    }
+
+    /// Full RLP wire encoding (8 fields, as the single-call response).
+    pub fn encode(&self) -> Vec<u8> {
+        let result_items: Vec<Vec<u8>> = self.results.iter().map(|r| encode_bytes(r)).collect();
+        encode_list(&[
+            encode_u64(self.channel_id),
+            encode_u64(self.block_number),
+            encode_u256(&self.amount),
+            encode_list(&result_items),
+            encode_nodes(&self.multiproof),
+            encode_h256(&self.request_hash),
+            encode_signature(&self.request_sig),
+            encode_signature(&self.response_sig),
+        ])
+    }
+
+    /// Decodes a batch response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageError`] on malformed structure or signatures.
+    pub fn decode(bytes: &[u8]) -> Result<Self, MessageError> {
+        let fields = decode_list_of(bytes, 8)?;
+        let results = fields[3]
+            .as_list()?
+            .iter()
+            .map(|r| r.as_bytes().map(<[u8]>::to_vec))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ParpBatchResponse {
+            channel_id: fields[0].as_u64()?,
+            block_number: fields[1].as_u64()?,
+            amount: fields[2].as_u256()?,
+            results,
+            multiproof: decode_nodes(&fields[4])?,
+            request_hash: fields[5].as_h256()?,
+            request_sig: decode_signature(&fields[6])?,
+            response_sig: decode_signature(&fields[7])?,
+        })
+    }
+
+    /// Total size of the shared multiproof nodes in bytes.
+    pub fn proof_bytes(&self) -> usize {
+        self.multiproof.iter().map(Vec::len).sum()
+    }
+
+    /// Byte size of the PARP metadata on top of the results and proofs:
+    /// the per-batch equivalent of Table II's response overhead.
+    pub fn overhead_bytes(&self) -> usize {
+        let results: usize = self.results.iter().map(Vec::len).sum();
+        self.encode().len() - results - self.proof_bytes()
+    }
+}
+
+/// How a batched response fails the fraud conditions, when it does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchFraud {
+    /// The whole response is condemned: payment echo mismatch, stale
+    /// snapshot, or a state multiproof that does not verify against the
+    /// trusted root.
+    Batch(FraudVerdict),
+    /// Individual items are condemned: `Some(verdict)` at an item's index
+    /// means that item's result/proof pair is provably wrong.
+    Items(Vec<Option<FraudVerdict>>),
+}
+
+/// Evaluates the fraud conditions of §V-D against a batched exchange: the
+/// batch-level payment and timestamp checks, then each state-proven
+/// item's value against the shared multiproof.
+///
+/// Returns `Ok(None)` when every item is consistent.
+///
+/// # Errors
+///
+/// Returns a description when the response is structurally unjudgeable
+/// (arity mismatch with the request, or an unbatchable call in the
+/// request) — such responses are *invalid* rather than fraudulent.
+pub fn batch_fraud_conditions(
+    req: &ParpBatchRequest,
+    res: &ParpBatchResponse,
+    header: &Header,
+    request_height: u64,
+) -> Result<Option<BatchFraud>, String> {
+    // Only snapshot-provable calls can be judged against the one header.
+    if let Some(call) = req.calls.iter().find(|c| !c.batchable()) {
+        return Err(format!("unbatchable call in batch: {call:?}"));
+    }
+    // Condition 1: payment amount mismatch.
+    if req.amount != res.amount {
+        return Ok(Some(BatchFraud::Batch(FraudVerdict::AmountMismatch)));
+    }
+    // Condition 2: stale snapshot. One snapshot answers every item, so a
+    // single fresh-height call in the batch pins the whole response.
+    if req.calls.iter().any(RpcCall::requires_fresh_height) && res.block_number < request_height {
+        return Ok(Some(BatchFraud::Batch(FraudVerdict::StaleBlockHeight)));
+    }
+    // Structural arity: the node must answer every call.
+    if res.results.len() != req.calls.len() {
+        return Err(format!(
+            "batch arity mismatch: {} calls, {} results",
+            req.calls.len(),
+            res.results.len(),
+        ));
+    }
+    // Condition 3a: the shared state multiproof. All state-proven items
+    // verify in one pass over the deduplicated node set. The key
+    // extraction matches on `proof_kind()` — the same predicate the
+    // per-item loop below pairs results with — so the two sides cannot
+    // desync if a new state-proven call variant appears.
+    let mut state_keys: Vec<Vec<u8>> = Vec::new();
+    for call in &req.calls {
+        if call.proof_kind() == ProofKind::State {
+            let RpcCall::GetBalance { address } = call else {
+                return Err(format!("state-proven call without a trie key: {call:?}"));
+            };
+            state_keys.push(keccak256(address.as_bytes()).as_bytes().to_vec());
+        }
+    }
+    let proven = match parp_trie::verify_many(header.state_root, &state_keys, &res.multiproof) {
+        Ok(proven) => proven,
+        // The node signed a multiproof that does not verify against the
+        // trusted root: provably wrong as a whole.
+        Err(_) => return Ok(Some(BatchFraud::Batch(FraudVerdict::InvalidProof))),
+    };
+    // Condition 3b: per-item value checks against the proven bindings.
+    let mut verdicts: Vec<Option<FraudVerdict>> = Vec::with_capacity(req.calls.len());
+    let mut any_fraud = false;
+    let mut proven_iter = proven.into_iter();
+    for (call, result) in req.calls.iter().zip(res.results.iter()) {
+        let verdict = match call.proof_kind() {
+            ProofKind::State => {
+                let proven_value = proven_iter.next().expect("one entry per state key");
+                if crate::fdm::state_claim_matches(result, &proven_value) {
+                    None
+                } else {
+                    Some(FraudVerdict::InvalidProof)
+                }
+            }
+            // Unproven items only need the batch-level checks above.
+            _ => None,
+        };
+        any_fraud |= verdict.is_some();
+        verdicts.push(verdict);
+    }
+    if any_fraud {
+        Ok(Some(BatchFraud::Items(verdicts)))
+    } else {
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lc_key() -> SecretKey {
+        SecretKey::from_seed(b"batch-light-client")
+    }
+
+    fn fn_key() -> SecretKey {
+        SecretKey::from_seed(b"batch-full-node")
+    }
+
+    fn sample_calls(n: u64) -> Vec<RpcCall> {
+        (0..n)
+            .map(|i| RpcCall::GetBalance {
+                address: Address::from_low_u64_be(0x1000 + i),
+            })
+            .collect()
+    }
+
+    fn sample_request(n: u64) -> ParpBatchRequest {
+        ParpBatchRequest::build(
+            &lc_key(),
+            7,
+            H256::from_low_u64_be(0xb10c),
+            U256::from(10 * n),
+            sample_calls(n),
+        )
+    }
+
+    #[test]
+    fn batch_request_roundtrip_and_signers() {
+        let request = sample_request(5);
+        let decoded = ParpBatchRequest::decode(&request.encode()).unwrap();
+        assert_eq!(decoded, request);
+        assert_eq!(decoded.len(), 5);
+        assert_eq!(decoded.signer(), Some(lc_key().address()));
+        assert_eq!(decoded.payment_signer(), Some(lc_key().address()));
+    }
+
+    #[test]
+    fn tampered_batch_request_breaks_signer() {
+        let mut request = sample_request(3);
+        request.calls.pop();
+        assert_eq!(request.signer(), None);
+    }
+
+    #[test]
+    fn empty_batch_encodes_but_reports_empty() {
+        let request = sample_request(0);
+        assert!(request.is_empty());
+        let decoded = ParpBatchRequest::decode(&request.encode()).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn batch_response_roundtrip_and_signer() {
+        let request = sample_request(3);
+        let response = ParpBatchResponse::build(
+            &fn_key(),
+            &request,
+            42,
+            vec![b"r0".to_vec(), b"r1".to_vec(), b"r2".to_vec()],
+            vec![vec![1, 2, 3], vec![4, 5]],
+        );
+        let decoded = ParpBatchResponse::decode(&response.encode()).unwrap();
+        assert_eq!(decoded, response);
+        assert_eq!(decoded.signer(), Some(fn_key().address()));
+        assert_eq!(decoded.proof_bytes(), 5);
+    }
+
+    #[test]
+    fn tampered_batch_response_changes_signer() {
+        let request = sample_request(2);
+        let mut response = ParpBatchResponse::build(
+            &fn_key(),
+            &request,
+            42,
+            vec![b"a".to_vec(), b"b".to_vec()],
+            Vec::new(),
+        );
+        response.results[1] = b"forged".to_vec();
+        assert_ne!(response.signer(), Some(fn_key().address()));
+    }
+
+    #[test]
+    fn batch_overhead_amortizes_signatures() {
+        // One signature pair serves any N: going from 1 to 64 calls may
+        // add per-call RLP framing (a length prefix per call) but no new
+        // signatures or hashes — unlike 64 single requests, which repeat
+        // the full ~226-byte overhead each time.
+        let small = sample_request(1).overhead_bytes();
+        let large = sample_request(64).overhead_bytes();
+        assert!(
+            large < small + 2 * 64,
+            "batch overhead grew from {small} to {large}"
+        );
+        let singles: usize = (0..64).map(|_| sample_request(1).overhead_bytes()).sum();
+        assert!(
+            large * 10 < singles,
+            "64-batch overhead {large} not ≪ 64 singles {singles}"
+        );
+    }
+
+    #[test]
+    fn payment_sig_redeems_like_single_calls() {
+        // The CMM accepts batch payment signatures unchanged: σ_a signs
+        // the same (α, a) digest as the single-call protocol.
+        let request = sample_request(8);
+        let digest = payment_digest(request.channel_id, &request.amount);
+        assert_eq!(
+            recover_address(&digest, &request.payment_sig).unwrap(),
+            lc_key().address()
+        );
+    }
+}

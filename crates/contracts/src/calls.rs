@@ -7,8 +7,7 @@
 use parp_crypto::Signature;
 use parp_primitives::{Address, U256};
 use parp_rlp::{
-    encode_address, encode_bytes, encode_list, encode_u256, encode_u64,
-    DecodeError, Item,
+    encode_address, encode_bytes, encode_list, encode_u256, encode_u64, DecodeError, Item,
 };
 
 /// Address of the Full Nodes Deposit Module.
@@ -87,6 +86,18 @@ pub enum ModuleCall {
         /// like the prototype's Solidity does — §VI).
         header: Vec<u8>,
     },
+    /// FDM: submit a fraud proof against a **batched** exchange — one
+    /// provably wrong item condemns the whole signed response.
+    SubmitBatchFraudProof {
+        /// Encoded [`crate::ParpBatchRequest`].
+        request: Vec<u8>,
+        /// Encoded [`crate::ParpBatchResponse`].
+        response: Vec<u8>,
+        /// The witness full node that relayed this proof.
+        witness: Address,
+        /// RLP-encoded header of block `res.m_B`.
+        header: Vec<u8>,
+    },
 }
 
 impl ModuleCall {
@@ -94,9 +105,7 @@ impl ModuleCall {
     pub fn encode(&self) -> Vec<u8> {
         match self {
             ModuleCall::Deposit => encode_list(&[encode_u64(0)]),
-            ModuleCall::Withdraw { amount } => {
-                encode_list(&[encode_u64(1), encode_u256(amount)])
-            }
+            ModuleCall::Withdraw { amount } => encode_list(&[encode_u64(1), encode_u256(amount)]),
             ModuleCall::SetServing { serving } => {
                 encode_list(&[encode_u64(2), encode_u64(*serving as u64)])
             }
@@ -140,6 +149,18 @@ impl ModuleCall {
                 header,
             } => encode_list(&[
                 encode_u64(7),
+                encode_bytes(request),
+                encode_bytes(response),
+                encode_address(witness),
+                encode_bytes(header),
+            ]),
+            ModuleCall::SubmitBatchFraudProof {
+                request,
+                response,
+                witness,
+                header,
+            } => encode_list(&[
+                encode_u64(8),
                 encode_bytes(request),
                 encode_bytes(response),
                 encode_address(witness),
@@ -229,6 +250,15 @@ impl ModuleCall {
                     header: fields[4].as_bytes()?.to_vec(),
                 })
             }
+            8 => {
+                arity(5)?;
+                Ok(ModuleCall::SubmitBatchFraudProof {
+                    request: fields[1].as_bytes()?.to_vec(),
+                    response: fields[2].as_bytes()?.to_vec(),
+                    witness: fields[3].as_address()?,
+                    header: fields[4].as_bytes()?.to_vec(),
+                })
+            }
             _ => Err(DecodeError::ExpectedList),
         }
     }
@@ -243,7 +273,9 @@ impl ModuleCall {
             | ModuleCall::CloseChannel { .. }
             | ModuleCall::SubmitState { .. }
             | ModuleCall::ConfirmClosure { .. } => cmm_address(),
-            ModuleCall::SubmitFraudProof { .. } => fdm_address(),
+            ModuleCall::SubmitFraudProof { .. } | ModuleCall::SubmitBatchFraudProof { .. } => {
+                fdm_address()
+            }
         }
     }
 }

@@ -147,10 +147,7 @@ impl ChannelsModule {
             crate::calls::cmm_address(),
             "ChannelOpened(uint64,address,address,uint256)",
             &[address_topic(&sender), address_topic(&full_node)],
-            &parp_rlp::encode_list(&[
-                parp_rlp::encode_u64(id),
-                parp_rlp::encode_u256(&value),
-            ]),
+            &parp_rlp::encode_list(&[parp_rlp::encode_u64(id), parp_rlp::encode_u256(&value)]),
         );
         meter.log(3, 40);
         Ok((parp_rlp::encode_u64(id), vec![log]))
@@ -400,18 +397,19 @@ mod tests {
 
     fn eligible_fndm() -> DepositModule {
         let mut fndm = DepositModule::new();
-        fndm.deposit(full_node().address(), crate::fndm::min_deposit(), &mut GasMeter::new())
-            .unwrap();
+        fndm.deposit(
+            full_node().address(),
+            crate::fndm::min_deposit(),
+            &mut GasMeter::new(),
+        )
+        .unwrap();
         fndm.set_serving(full_node().address(), true, &mut GasMeter::new())
             .unwrap();
         fndm
     }
 
     fn consent(expiry: u64) -> Signature {
-        sign(
-            &full_node(),
-            &confirmation_digest(&lc().address(), expiry),
-        )
+        sign(&full_node(), &confirmation_digest(&lc().address(), expiry))
     }
 
     fn open_test_channel(cmm: &mut ChannelsModule, budget: u64) -> u64 {

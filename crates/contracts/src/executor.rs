@@ -132,6 +132,22 @@ impl ParpExecutor {
                 state,
                 meter,
             ),
+            ModuleCall::SubmitBatchFraudProof {
+                request,
+                response,
+                witness,
+                header,
+            } => self.fdm.submit_batch_fraud_proof(
+                request,
+                response,
+                *witness,
+                header,
+                ctx,
+                &mut self.cmm,
+                &mut self.fndm,
+                state,
+                meter,
+            ),
         }
     }
 

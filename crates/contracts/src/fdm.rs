@@ -20,7 +20,7 @@ use crate::fndm::{address_topic, event_log, DepositModule, Revert};
 use crate::gas::GasMeter;
 use crate::message::{ParpRequest, ParpResponse, ProofKind, RpcCall};
 use parp_chain::{BlockContext, Header, Log, State};
-use parp_crypto::keccak256;
+use parp_crypto::{keccak256, recover_address, Signature};
 use parp_primitives::{Address, H256, U256};
 use parp_trie::verify_proof;
 use std::collections::BTreeMap;
@@ -79,53 +79,72 @@ pub fn fraud_conditions(
     if req.call.requires_fresh_height() && res.block_number < request_height {
         return Ok(Some(FraudVerdict::StaleBlockHeight));
     }
+    proof_condition(&req.call, &res.result, &res.proof, header)
+}
+
+/// Whether a claimed result equals the value a state proof binds (an
+/// empty result claims a proven absence). Shared between the single-call
+/// proof check and the batched multiproof's per-item checks so the two
+/// paths cannot drift.
+pub(crate) fn state_claim_matches(result: &[u8], proven: &Option<Vec<u8>>) -> bool {
+    match proven {
+        None => result.is_empty(),
+        Some(value) => result == value.as_slice(),
+    }
+}
+
+/// Condition 3 of the §V-D checks in isolation: does the call's Merkle
+/// proof authenticate the claimed result under the trusted `header`?
+///
+/// # Errors
+///
+/// Returns a description when the result payload is too malformed to
+/// judge (invalid rather than fraudulent in the §V-D classification).
+pub(crate) fn proof_condition(
+    call: &RpcCall,
+    result: &[u8],
+    proof: &[Vec<u8>],
+    header: &Header,
+) -> Result<Option<FraudVerdict>, String> {
     // An unproven empty result for an inclusion lookup means "not found"
     // — absence by hash is not provable in an index-keyed trie, so it is
     // unverifiable rather than fraudulent.
     if matches!(
-        req.call.proof_kind(),
+        call.proof_kind(),
         ProofKind::Transaction | ProofKind::Receipt
-    ) && res.result.is_empty()
-        && res.proof.is_empty()
+    ) && result.is_empty()
+        && proof.is_empty()
     {
         return Ok(None);
     }
-    // Condition 3: Merkle proof verification.
-    match req.call.proof_kind() {
+    match call.proof_kind() {
         ProofKind::None => Ok(None),
         ProofKind::State => {
-            let RpcCall::GetBalance { address } = &req.call else {
+            let RpcCall::GetBalance { address } = call else {
                 return Ok(None);
             };
             let key = keccak256(address.as_bytes());
-            match verify_proof(header.state_root, key.as_bytes(), &res.proof) {
+            match verify_proof(header.state_root, key.as_bytes(), proof) {
                 Err(_) => Ok(Some(FraudVerdict::InvalidProof)),
                 Ok(proven) => {
-                    // The claimed result must equal the proven account
-                    // record (empty result ⇔ proven absence).
-                    let claimed = if res.result.is_empty() {
-                        None
-                    } else {
-                        Some(res.result.clone())
-                    };
-                    if claimed != proven {
-                        Ok(Some(FraudVerdict::InvalidProof))
-                    } else {
+                    if state_claim_matches(result, &proven) {
                         Ok(None)
+                    } else {
+                        Ok(Some(FraudVerdict::InvalidProof))
                     }
                 }
             }
         }
         ProofKind::Transaction => {
             // result = rlp(index) of the included transaction.
-            let index = parp_rlp::decode(&res.result)
+            let index = parp_rlp::decode(result)
                 .and_then(|i| i.as_u64())
                 .map_err(|_| "malformed transaction index in result".to_string())?;
             let key = parp_rlp::encode_u64(index);
-            match verify_proof(header.transactions_root, &key, &res.proof) {
+            match verify_proof(header.transactions_root, &key, proof) {
                 Err(_) | Ok(None) => Ok(Some(FraudVerdict::InvalidProof)),
                 Ok(Some(proven_tx)) => {
-                    let consistent = match &req.call {
+                    let consistent = match call {
                         RpcCall::SendRawTransaction { raw } => proven_tx == *raw,
                         RpcCall::GetTransactionByHash { hash } => keccak256(&proven_tx) == *hash,
                         _ => true,
@@ -141,7 +160,7 @@ pub fn fraud_conditions(
         ProofKind::Receipt => {
             // result = rlp([index, receipt]): the claimed receipt and its
             // position, provable under the header's receipts_root.
-            let fields = parp_rlp::decode_list_of(&res.result, 2)
+            let fields = parp_rlp::decode_list_of(result, 2)
                 .map_err(|_| "malformed receipt result".to_string())?;
             let index = fields[0]
                 .as_u64()
@@ -150,7 +169,7 @@ pub fn fraud_conditions(
                 .as_bytes()
                 .map_err(|_| "malformed receipt payload".to_string())?;
             let key = parp_rlp::encode_u64(index);
-            match verify_proof(header.receipts_root, &key, &res.proof) {
+            match verify_proof(header.receipts_root, &key, proof) {
                 Err(_) | Ok(None) => Ok(Some(FraudVerdict::InvalidProof)),
                 Ok(Some(proven_receipt)) => {
                     if proven_receipt == claimed_receipt {
@@ -186,6 +205,22 @@ pub struct FraudRecord {
 pub struct FraudModule {
     /// Accepted proofs, keyed by `h_req` (one slash per request).
     records: BTreeMap<H256, FraudRecord>,
+}
+
+/// The cheaply extracted fields an exchange presents to Algorithm 2,
+/// identical between single and batched messages. The expensive values
+/// (hash recomputation, signature recoveries) are passed to
+/// [`FraudModule::authenticate_exchange`] as closures so submissions that
+/// fail the early channel guards never pay for them.
+struct ExchangeFields {
+    req_channel_id: u64,
+    res_channel_id: u64,
+    request_hash: H256,
+    res_request_hash: H256,
+    request_sig: Signature,
+    response_height: u64,
+    request_block_hash: H256,
+    amounts_equal: bool,
 }
 
 impl FraudModule {
@@ -235,46 +270,191 @@ impl FraudModule {
         let res = ParpResponse::decode(response_bytes)
             .map_err(|e| Revert::new(format!("malformed response: {e}")))?;
 
+        let exchange = ExchangeFields {
+            req_channel_id: req.channel_id,
+            res_channel_id: res.channel_id,
+            request_hash: req.request_hash,
+            res_request_hash: res.request_hash,
+            request_sig: req.request_sig,
+            response_height: res.block_number,
+            request_block_hash: req.block_hash,
+            amounts_equal: req.amount == res.amount,
+        };
+        let (channel, header, request_height) = self.authenticate_exchange(
+            &exchange,
+            || req.expected_hash(),
+            || res.signer(),
+            request_bytes,
+            response_bytes,
+            header_bytes,
+            ctx,
+            cmm,
+            meter,
+        )?;
+
+        // MPT walk cost: hash every proof node.
+        for node in &res.proof {
+            meter.keccak(node.len());
+        }
+        let verdict = fraud_conditions(&req, &res, &header, request_height).map_err(Revert::new)?;
+        let Some(verdict) = verdict else {
+            return Err(Revert::new("no fraud detected"));
+        };
+        self.slash_and_record(
+            req.request_hash,
+            verdict,
+            witness,
+            &channel,
+            ctx,
+            cmm,
+            fndm,
+            state,
+            meter,
+        )
+    }
+
+    /// `submitBatchFraudProof(req, res, addrWN, header)`: Algorithm 2
+    /// generalized to batched exchanges. The node's one signature covers
+    /// every item, so a single provably wrong item — or a batch-level
+    /// condition — condemns the whole response and slashes the node.
+    ///
+    /// Returns `[verdict_byte]` on success.
+    ///
+    /// # Errors
+    ///
+    /// Reverts under the same conditions as
+    /// [`FraudModule::submit_fraud_proof`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_batch_fraud_proof(
+        &mut self,
+        request_bytes: &[u8],
+        response_bytes: &[u8],
+        witness: Address,
+        header_bytes: &[u8],
+        ctx: &BlockContext,
+        cmm: &mut ChannelsModule,
+        fndm: &mut DepositModule,
+        state: &mut State,
+        meter: &mut GasMeter,
+    ) -> Result<(Vec<u8>, Vec<Log>), Revert> {
+        meter.process_bytes(request_bytes.len() + response_bytes.len() + header_bytes.len());
+        let req = crate::ParpBatchRequest::decode(request_bytes)
+            .map_err(|e| Revert::new(format!("malformed batch request: {e}")))?;
+        let res = crate::ParpBatchResponse::decode(response_bytes)
+            .map_err(|e| Revert::new(format!("malformed batch response: {e}")))?;
+
+        let exchange = ExchangeFields {
+            req_channel_id: req.channel_id,
+            res_channel_id: res.channel_id,
+            request_hash: req.request_hash,
+            res_request_hash: res.request_hash,
+            request_sig: req.request_sig,
+            response_height: res.block_number,
+            request_block_hash: req.block_hash,
+            amounts_equal: req.amount == res.amount,
+        };
+        let (channel, header, request_height) = self.authenticate_exchange(
+            &exchange,
+            || req.expected_hash(),
+            || res.signer(),
+            request_bytes,
+            response_bytes,
+            header_bytes,
+            ctx,
+            cmm,
+            meter,
+        )?;
+
+        // MPT walk cost: hash every multiproof node.
+        for node in &res.multiproof {
+            meter.keccak(node.len());
+        }
+        let fraud = crate::batch_fraud_conditions(&req, &res, &header, request_height)
+            .map_err(Revert::new)?;
+        let verdict = match fraud {
+            None => return Err(Revert::new("no fraud detected")),
+            Some(crate::BatchFraud::Batch(verdict)) => verdict,
+            Some(crate::BatchFraud::Items(verdicts)) => verdicts
+                .into_iter()
+                .flatten()
+                .next()
+                .expect("Items only returned when some item is condemned"),
+        };
+        self.slash_and_record(
+            req.request_hash,
+            verdict,
+            witness,
+            &channel,
+            ctx,
+            cmm,
+            fndm,
+            state,
+            meter,
+        )
+    }
+
+    /// The shared authentication sequence of Algorithm 2: channel lookup
+    /// and status, double-report guard, request-hash consistency, both
+    /// signature recoveries, header validation against the `BLOCKHASH`
+    /// window, and `req.h_B` height resolution. The hash recomputation
+    /// and response-signer recovery run only after the cheap guards pass.
+    #[allow(clippy::too_many_arguments)]
+    fn authenticate_exchange(
+        &self,
+        exchange: &ExchangeFields,
+        expected_request_hash: impl FnOnce() -> H256,
+        response_signer: impl FnOnce() -> Option<Address>,
+        request_bytes: &[u8],
+        response_bytes: &[u8],
+        header_bytes: &[u8],
+        ctx: &BlockContext,
+        cmm: &ChannelsModule,
+        meter: &mut GasMeter,
+    ) -> Result<(crate::cmm::Channel, Header, u64), Revert> {
         // The match of the identifier.
-        if req.channel_id != res.channel_id {
+        if exchange.req_channel_id != exchange.res_channel_id {
             return Err(Revert::new("channel identifier mismatch"));
         }
         meter.sload_n(6);
         let channel = cmm
-            .channel(req.channel_id)
+            .channel(exchange.req_channel_id)
             .ok_or_else(|| Revert::new("unknown channel"))?
             .clone();
         if channel.status == ChannelStatus::Closed {
             return Err(Revert::new("channel already closed"));
         }
-        if self.records.contains_key(&req.request_hash) {
+        if self.records.contains_key(&exchange.request_hash) {
             return Err(Revert::new("fraud case already processed"));
         }
 
-        // The origin of the request: recompute h_req, recover σ_req.
+        // The origin of the request: recompute h_req, recover σ_req. The
+        // hash equality just checked lets σ_req be recovered against the
+        // carried hash directly, without re-encoding the request again.
         meter.keccak(request_bytes.len());
-        if req.expected_hash() != req.request_hash {
+        if expected_request_hash() != exchange.request_hash {
             return Err(Revert::new("request hash does not match contents"));
         }
-        if res.request_hash != req.request_hash {
+        if exchange.res_request_hash != exchange.request_hash {
             return Err(Revert::new("response references a different request"));
         }
         meter.ecrecover();
-        let request_signer = req
-            .signer()
-            .ok_or_else(|| Revert::new("request signature invalid"))?;
+        let request_signer = recover_address(&exchange.request_hash, &exchange.request_sig)
+            .map_err(|_| Revert::new("request signature invalid"))?;
         if request_signer != channel.light_client {
-            return Err(Revert::new("request not signed by the channel's light client"));
+            return Err(Revert::new(
+                "request not signed by the channel's light client",
+            ));
         }
 
         // The origin of the response: recover σ_res.
         meter.keccak(response_bytes.len());
         meter.ecrecover();
-        let response_signer = res
-            .signer()
-            .ok_or_else(|| Revert::new("response signature invalid"))?;
+        let response_signer =
+            response_signer().ok_or_else(|| Revert::new("response signature invalid"))?;
         if response_signer != channel.full_node {
-            return Err(Revert::new("response not signed by the channel's full node"));
+            return Err(Revert::new(
+                "response not signed by the channel's full node",
+            ));
         }
 
         // Trusted root hash: the submitted header must hash to the stored
@@ -282,7 +462,7 @@ impl FraudModule {
         // 256-block window (paper §VI).
         let header = Header::decode(header_bytes)
             .map_err(|e| Revert::new(format!("malformed header: {e}")))?;
-        if header.number != res.block_number {
+        if header.number != exchange.response_height {
             return Err(Revert::new("header height does not match response"));
         }
         meter.keccak(header_bytes.len());
@@ -293,25 +473,31 @@ impl FraudModule {
             return Err(Revert::new("header hash does not match the chain"));
         }
 
-        // The three fraud conditions (shared with the light client's own
-        // §V-D checks). The height of req.h_B must be resolvable on-chain.
-        let request_height = if req.amount != res.amount {
-            0 // irrelevant: condition 1 already condemns
+        // The height of req.h_B must be resolvable on-chain (unless the
+        // amount condition already condemns and makes it irrelevant).
+        let request_height = if !exchange.amounts_equal {
+            0
         } else {
-            ctx.block_height_by_hash(&req.block_hash)
+            ctx.block_height_by_hash(&exchange.request_block_hash)
                 .ok_or_else(|| Revert::new("request block hash outside the window"))?
         };
-        // MPT walk cost: hash every proof node.
-        for node in &res.proof {
-            meter.keccak(node.len());
-        }
-        let verdict = fraud_conditions(&req, &res, &header, request_height)
-            .map_err(Revert::new)?;
-        let Some(verdict) = verdict else {
-            return Err(Revert::new("no fraud detected"));
-        };
+        Ok((channel, header, request_height))
+    }
 
-        // slashAndReward (Algorithm 2).
+    /// slashAndReward (Algorithm 2) plus the fraud record and event.
+    #[allow(clippy::too_many_arguments)]
+    fn slash_and_record(
+        &mut self,
+        request_hash: H256,
+        verdict: FraudVerdict,
+        witness: Address,
+        channel: &crate::cmm::Channel,
+        ctx: &BlockContext,
+        cmm: &mut ChannelsModule,
+        fndm: &mut DepositModule,
+        state: &mut State,
+        meter: &mut GasMeter,
+    ) -> Result<(Vec<u8>, Vec<Log>), Revert> {
         let slashed = fndm.slash(
             channel.full_node,
             channel.light_client,
@@ -321,7 +507,7 @@ impl FraudModule {
         )?;
         cmm.settle_for_fraud(channel.id, state, meter)?;
         self.records.insert(
-            req.request_hash,
+            request_hash,
             FraudRecord {
                 offender: channel.full_node,
                 reporter: channel.light_client,

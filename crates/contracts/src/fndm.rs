@@ -161,7 +161,10 @@ impl DepositModule {
 
     /// The collateral currently locked by a node.
     pub fn deposit_of(&self, node: &Address) -> U256 {
-        self.nodes.get(node).map(|r| r.deposit).unwrap_or(U256::ZERO)
+        self.nodes
+            .get(node)
+            .map(|r| r.deposit)
+            .unwrap_or(U256::ZERO)
     }
 
     /// A node's full record.
@@ -299,7 +302,8 @@ mod tests {
     #[test]
     fn serving_requires_minimum() {
         let mut fndm = DepositModule::new();
-        fndm.deposit(node(), U256::from(10u64), &mut meter()).unwrap();
+        fndm.deposit(node(), U256::from(10u64), &mut meter())
+            .unwrap();
         assert!(fndm.set_serving(node(), true, &mut meter()).is_err());
         fndm.deposit(node(), min_deposit(), &mut meter()).unwrap();
         fndm.set_serving(node(), true, &mut meter()).unwrap();
@@ -350,11 +354,24 @@ mod tests {
         let mut fndm = DepositModule::new();
         let mut state = State::new();
         state.credit(crate::calls::fndm_address(), U256::from(100u64));
-        fndm.deposit(node(), U256::from(100u64), &mut meter()).unwrap();
-        fndm.slash(node(), Address::ZERO, Address::ZERO, &mut state, &mut meter())
+        fndm.deposit(node(), U256::from(100u64), &mut meter())
             .unwrap();
+        fndm.slash(
+            node(),
+            Address::ZERO,
+            Address::ZERO,
+            &mut state,
+            &mut meter(),
+        )
+        .unwrap();
         assert!(fndm
-            .slash(node(), Address::ZERO, Address::ZERO, &mut state, &mut meter())
+            .slash(
+                node(),
+                Address::ZERO,
+                Address::ZERO,
+                &mut state,
+                &mut meter()
+            )
             .is_err());
     }
 

@@ -44,7 +44,13 @@ pub const BYTE_PROCESS: u64 = 200;
 /// Calldata gas for a payload.
 pub fn calldata_cost(data: &[u8]) -> u64 {
     data.iter()
-        .map(|&b| if b == 0 { CALLDATA_ZERO } else { CALLDATA_NONZERO })
+        .map(|&b| {
+            if b == 0 {
+                CALLDATA_ZERO
+            } else {
+                CALLDATA_NONZERO
+            }
+        })
         .sum()
 }
 

@@ -37,6 +37,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod batch;
 mod calls;
 mod cmm;
 mod executor;
@@ -45,10 +46,12 @@ mod fndm;
 pub mod gas;
 mod message;
 
-pub use calls::{cmm_address, fdm_address, fndm_address, ModuleCall};
-pub use cmm::{
-    confirmation_digest, Channel, ChannelStatus, ChannelsModule, DISPUTE_WINDOW_BLOCKS,
+pub use batch::{
+    batch_fraud_conditions, batch_request_hash, batch_response_hash, BatchFraud, ParpBatchRequest,
+    ParpBatchResponse,
 };
+pub use calls::{cmm_address, fdm_address, fndm_address, ModuleCall};
+pub use cmm::{confirmation_digest, Channel, ChannelStatus, ChannelsModule, DISPUTE_WINDOW_BLOCKS};
 pub use executor::ParpExecutor;
 pub use fdm::{fraud_conditions, FraudModule, FraudRecord, FraudVerdict};
 pub use fndm::{

@@ -86,13 +86,10 @@ impl RpcCall {
     /// RLP encoding `[selector, args...]`.
     pub fn encode(&self) -> Vec<u8> {
         match self {
-            RpcCall::GetBalance { address } => encode_list(&[
-                encode_u64(0),
-                parp_rlp::encode_address(address),
-            ]),
-            RpcCall::SendRawTransaction { raw } => {
-                encode_list(&[encode_u64(1), encode_bytes(raw)])
+            RpcCall::GetBalance { address } => {
+                encode_list(&[encode_u64(0), parp_rlp::encode_address(address)])
             }
+            RpcCall::SendRawTransaction { raw } => encode_list(&[encode_u64(1), encode_bytes(raw)]),
             RpcCall::GetTransactionByHash { hash } => {
                 encode_list(&[encode_u64(2), encode_h256(hash)])
             }
@@ -191,6 +188,19 @@ impl RpcCall {
         }
     }
 
+    /// Whether this call may ride inside a [`crate::ParpBatchRequest`].
+    ///
+    /// Batches are served against a single state snapshot and judged
+    /// against its one header, so a call qualifies only when its response
+    /// is provable from that snapshot: state-proven reads and unproven
+    /// chain queries. `eth_sendRawTransaction` mutates state (the serving
+    /// node mines the transaction), and transaction/receipt lookups are
+    /// proven against the trie of their *containing* block, whose root
+    /// the batch header does not commit to — all three travel alone.
+    pub fn batchable(&self) -> bool {
+        matches!(self.proof_kind(), ProofKind::State | ProofKind::None)
+    }
+
     /// Whether the §V-D timestamp check applies: calls that answer about
     /// the *current* chain state must respond at `m_B >= height(h_B)`.
     ///
@@ -233,15 +243,13 @@ impl From<DecodeError> for MessageError {
     }
 }
 
-fn encode_signature(sig: &Signature) -> Vec<u8> {
+pub(crate) fn encode_signature(sig: &Signature) -> Vec<u8> {
     encode_bytes(&sig.to_bytes())
 }
 
-fn decode_signature(item: &Item) -> Result<Signature, MessageError> {
+pub(crate) fn decode_signature(item: &Item) -> Result<Signature, MessageError> {
     let bytes = item.as_bytes()?;
-    let array: &[u8; 65] = bytes
-        .try_into()
-        .map_err(|_| MessageError::BadSignature)?;
+    let array: &[u8; 65] = bytes.try_into().map_err(|_| MessageError::BadSignature)?;
     Signature::from_bytes(array).map_err(|_| MessageError::BadSignature)
 }
 
@@ -320,7 +328,11 @@ impl ParpRequest {
 
     /// Recovers the payment signer from `σ_a`.
     pub fn payment_signer(&self) -> Option<Address> {
-        recover_address(&payment_digest(self.channel_id, &self.amount), &self.payment_sig).ok()
+        recover_address(
+            &payment_digest(self.channel_id, &self.amount),
+            &self.payment_sig,
+        )
+        .ok()
     }
 
     /// Full RLP wire encoding (7 fields).
@@ -609,8 +621,7 @@ mod tests {
     #[test]
     fn tampered_response_changes_signer() {
         let request = sample_request(100);
-        let mut response =
-            ParpResponse::build(&fn_key(), &request, 42, b"result".to_vec(), vec![]);
+        let mut response = ParpResponse::build(&fn_key(), &request, 42, b"result".to_vec(), vec![]);
         response.result = b"forged".to_vec();
         assert_ne!(response.signer(), Some(fn_key().address()));
     }

@@ -287,7 +287,13 @@ fn fraud_proof_stale_height_slashes_node() {
         parp_rlp::encode_u64(old.number),
         Vec::new(),
     );
-    submit_fraud(&mut env, &request, &response, Address::from_low_u64_be(1), &old);
+    submit_fraud(
+        &mut env,
+        &request,
+        &response,
+        Address::from_low_u64_be(1),
+        &old,
+    );
     assert_eq!(env.last_receipt_status(), 1);
     let record = env.executor.fdm().record(&request.request_hash).unwrap();
     assert_eq!(record.verdict, FraudVerdict::StaleBlockHeight);
@@ -310,10 +316,7 @@ fn fraud_proof_wrong_balance_slashes_node() {
         RpcCall::GetBalance { address: target },
     );
     // Honest proof, but a *forged* account payload as the result.
-    let proof = env
-        .chain
-        .account_proof_at(&target, head.number)
-        .unwrap();
+    let proof = env.chain.account_proof_at(&target, head.number).unwrap();
     let forged_account = parp_chain::Account {
         nonce: 0,
         balance: U256::from(999_999_999u64),
@@ -326,7 +329,13 @@ fn fraud_proof_wrong_balance_slashes_node() {
         forged_account.encode(),
         proof,
     );
-    submit_fraud(&mut env, &request, &response, Address::from_low_u64_be(2), &head);
+    submit_fraud(
+        &mut env,
+        &request,
+        &response,
+        Address::from_low_u64_be(2),
+        &head,
+    );
     assert_eq!(env.last_receipt_status(), 1);
     let record = env.executor.fdm().record(&request.request_hash).unwrap();
     assert_eq!(record.verdict, FraudVerdict::InvalidProof);
@@ -353,7 +362,13 @@ fn honest_response_cannot_be_proven_fraudulent() {
     let account = state.account(&target).unwrap().clone();
     let proof = state.account_proof(&target);
     let response = ParpResponse::build(&env.node, &request, head.number, account.encode(), proof);
-    submit_fraud(&mut env, &request, &response, Address::from_low_u64_be(3), &head);
+    submit_fraud(
+        &mut env,
+        &request,
+        &response,
+        Address::from_low_u64_be(3),
+        &head,
+    );
     assert_eq!(
         env.last_receipt_status(),
         0,
@@ -495,12 +510,20 @@ fn gas_costs_reproduce_table4_ordering() {
     let proof = state.account_proof(&env.client.address());
     let forged = parp_chain::Account::with_balance(U256::from(1u64));
     let response = ParpResponse::build(&env.node, &request, head.number, forged.encode(), proof);
-    submit_fraud(&mut env, &request, &response, Address::from_low_u64_be(7), &head);
+    submit_fraud(
+        &mut env,
+        &request,
+        &response,
+        Address::from_low_u64_be(7),
+        &head,
+    );
     assert_eq!(env.last_receipt_status(), 1);
     let fraud_gas = env.chain.head().header.gas_used;
 
     assert!(
-        fraud_gas > open_gas && open_gas > close_gas && close_gas > confirm_gas
+        fraud_gas > open_gas
+            && open_gas > close_gas
+            && close_gas > confirm_gas
             && confirm_gas > deposit_gas,
         "Table IV ordering violated: fraud={fraud_gas} open={open_gas} \
          close={close_gas} confirm={confirm_gas} deposit={deposit_gas}"

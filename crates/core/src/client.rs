@@ -3,11 +3,13 @@
 //! verification, and fraud-evidence collection.
 
 use crate::server::HandshakeConfirm;
-use crate::verify::{classify_response, Classification, InvalidReason};
+use crate::verify::{
+    classify_batch_response, classify_response, BatchClassification, Classification, InvalidReason,
+};
 use parp_chain::{Header, SignedTransaction, Transaction};
 use parp_contracts::{
-    ChannelStatus, FraudVerdict, ModuleCall, ParpRequest, ParpResponse, RpcCall,
-    MODULE_CALL_GAS_LIMIT,
+    ChannelStatus, FraudVerdict, ModuleCall, ParpBatchRequest, ParpBatchResponse, ParpRequest,
+    ParpResponse, RpcCall, MODULE_CALL_GAS_LIMIT,
 };
 use parp_crypto::{recover_address, sign, KeyPair, SecretKey};
 use parp_primitives::{Address, H256, U256};
@@ -49,18 +51,29 @@ pub enum ClientError {
     BudgetExhausted,
     /// No pending request matches this response.
     UnknownResponse,
+    /// A batch must carry at least one call.
+    EmptyBatch,
+    /// A call cannot ride in a batch (see [`RpcCall::batchable`]).
+    UnbatchableCall,
 }
 
 impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::WrongState { expected, actual } => {
-                write!(f, "operation requires {expected:?} state, client is {actual:?}")
+                write!(
+                    f,
+                    "operation requires {expected:?} state, client is {actual:?}"
+                )
             }
             ClientError::NoHeaders => write!(f, "no synced block headers"),
             ClientError::BadConfirmation(e) => write!(f, "handshake confirmation rejected: {e}"),
             ClientError::BudgetExhausted => write!(f, "channel budget exhausted"),
             ClientError::UnknownResponse => write!(f, "response matches no pending request"),
+            ClientError::EmptyBatch => write!(f, "batch must carry at least one call"),
+            ClientError::UnbatchableCall => {
+                write!(f, "call cannot be served from a single state snapshot")
+            }
         }
     }
 }
@@ -107,6 +120,66 @@ impl FraudEvidence {
     }
 }
 
+/// Everything the client holds when a batched response is provably
+/// wrong: the signed exchange, the header it was judged against, and
+/// which item (if any single one) carried the fraud.
+///
+/// The node's one batch signature commits it to every item, so evidence
+/// against a single item condemns the whole signed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchFraudEvidence {
+    /// The offending batch request.
+    pub request: ParpBatchRequest,
+    /// The fraudulent batch response.
+    pub response: ParpBatchResponse,
+    /// Header of block `res.m_B`.
+    pub header: Header,
+    /// What the client's checks concluded.
+    pub verdict: FraudVerdict,
+    /// Index of the first fraudulent item, or `None` when a batch-level
+    /// condition (payment echo, stale snapshot, unverifiable multiproof)
+    /// condemns the response as a whole.
+    pub item: Option<usize>,
+}
+
+impl BatchFraudEvidence {
+    /// Builds the `submitBatchFraudProof` module call, to be relayed
+    /// through a witness full node (§IV-F), exactly as
+    /// [`FraudEvidence::to_module_call`] does for single exchanges.
+    pub fn to_module_call(&self, witness: Address) -> ModuleCall {
+        ModuleCall::SubmitBatchFraudProof {
+            request: self.request.encode(),
+            response: self.response.encode(),
+            witness,
+            header: self.header.encode(),
+        }
+    }
+}
+
+/// Outcome of processing a batched response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcessBatchOutcome {
+    /// Every item verified; payloads returned in call order with a
+    /// per-item "was Merkle-proven" flag.
+    Valid {
+        /// The verified `R(γᵢ)` payloads.
+        results: Vec<Vec<u8>>,
+        /// Whether item `i` was backed by the state multiproof.
+        proven: Vec<bool>,
+    },
+    /// The envelope cannot be trusted (no per-item judgement possible);
+    /// the client should terminate the connection.
+    Invalid(InvalidReason),
+    /// At least one item is provably wrong: per-item classifications plus
+    /// evidence for the on-chain fraud proof.
+    Fraud {
+        /// The §V-D verdict for every item, in call order.
+        items: Vec<Classification>,
+        /// Evidence supporting a fraud proof.
+        evidence: Box<BatchFraudEvidence>,
+    },
+}
+
 /// Outcome of processing a response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProcessOutcome {
@@ -130,6 +203,12 @@ struct PendingRequest {
     request_height: u64,
 }
 
+#[derive(Debug, Clone)]
+struct PendingBatch {
+    request: ParpBatchRequest,
+    request_height: u64,
+}
+
 /// A PARP light client.
 ///
 /// Holds only block headers (never full blocks), a single payment channel,
@@ -143,6 +222,7 @@ pub struct LightClient {
     state: ClientState,
     channel: Option<ClientChannel>,
     pending: HashMap<H256, PendingRequest>,
+    pending_batches: HashMap<H256, PendingBatch>,
     valid_responses: u64,
 }
 
@@ -157,6 +237,7 @@ impl LightClient {
             state: ClientState::Idle,
             channel: None,
             pending: HashMap::new(),
+            pending_batches: HashMap::new(),
             valid_responses: 0,
         }
     }
@@ -255,8 +336,7 @@ impl LightClient {
             self.state = ClientState::Idle;
             return Err(ClientError::BadConfirmation("confirmation expired".into()));
         }
-        let digest =
-            parp_contracts::confirmation_digest(&self.address(), confirm.expiry);
+        let digest = parp_contracts::confirmation_digest(&self.address(), confirm.expiry);
         match recover_address(&digest, &confirm.signature) {
             Ok(addr) if addr == confirm.full_node => {}
             _ => {
@@ -321,13 +401,7 @@ impl LightClient {
         if amount > channel.budget {
             return Err(ClientError::BudgetExhausted);
         }
-        let request = ParpRequest::build(
-            self.key.secret(),
-            channel.id,
-            tip_hash,
-            amount,
-            call,
-        );
+        let request = ParpRequest::build(self.key.secret(), channel.id, tip_hash, amount, call);
         self.pending.insert(
             request.request_hash,
             PendingRequest {
@@ -336,6 +410,141 @@ impl LightClient {
             },
         );
         Ok(request)
+    }
+
+    /// Builds the next signed **batch** request: one signature and one
+    /// cumulative payment covering all of `calls`, bumping the committed
+    /// amount by `price_per_call × N`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when not bonded, headers are missing, the batch is empty or
+    /// carries an unbatchable call (see [`RpcCall::batchable`]), or the
+    /// budget cannot cover the batch.
+    pub fn request_batch(&mut self, calls: Vec<RpcCall>) -> Result<ParpBatchRequest, ClientError> {
+        self.require_state(ClientState::Bonded)?;
+        if calls.is_empty() {
+            return Err(ClientError::EmptyBatch);
+        }
+        if !calls.iter().all(RpcCall::batchable) {
+            return Err(ClientError::UnbatchableCall);
+        }
+        let tip = self.tip().ok_or(ClientError::NoHeaders)?;
+        let (tip_hash, tip_number) = (tip.hash(), tip.number);
+        let channel = self.channel.as_ref().expect("bonded implies channel");
+        let batch_price = self.price_per_call * U256::from(calls.len() as u64);
+        let amount = channel.spent.saturating_add(batch_price);
+        if amount > channel.budget {
+            return Err(ClientError::BudgetExhausted);
+        }
+        let request =
+            ParpBatchRequest::build(self.key.secret(), channel.id, tip_hash, amount, calls);
+        self.pending_batches.insert(
+            request.request_hash,
+            PendingBatch {
+                request: request.clone(),
+                request_height: tip_number,
+            },
+        );
+        Ok(request)
+    }
+
+    /// Verifies a batched response against its pending request and
+    /// updates the channel ledger: the batch analogue of
+    /// [`LightClient::process_response`], with per-item classification.
+    ///
+    /// One fraudulent item is enough to return
+    /// [`ProcessBatchOutcome::Fraud`] — the node signed the whole
+    /// response, so the evidence condemns it regardless of how many other
+    /// items were served honestly.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no pending batch matches the response.
+    pub fn process_batch_response(
+        &mut self,
+        response: &ParpBatchResponse,
+    ) -> Result<ProcessBatchOutcome, ClientError> {
+        let pending = match self.pending_batches.remove(&response.request_hash) {
+            Some(pending) => pending,
+            // Transport-level pairing when the echo is corrupted but
+            // exactly one batch is in flight (as with single requests).
+            None if self.pending_batches.len() == 1 => {
+                let key = *self.pending_batches.keys().next().expect("len checked");
+                self.pending_batches.remove(&key).expect("key just read")
+            }
+            None => return Err(ClientError::UnknownResponse),
+        };
+        let channel = self.channel.as_ref().expect("pending implies channel");
+        let classification = classify_batch_response(
+            &pending.request,
+            response,
+            channel.full_node,
+            pending.request_height,
+            |n| self.headers.get(&n).cloned(),
+        );
+        // The node holds σ_a either way: count the payment committed
+        // (defensively on invalid/fraudulent outcomes, as with singles).
+        if let Some(channel) = &mut self.channel {
+            channel.spent = channel.spent.max(pending.request.amount);
+        }
+        let first_fraud = classification.first_fraud();
+        let all_valid = classification.all_valid();
+        match classification {
+            BatchClassification::Invalid(reason) => Ok(ProcessBatchOutcome::Invalid(reason)),
+            BatchClassification::BatchFraud { verdict } => {
+                let header = self
+                    .headers
+                    .get(&response.block_number)
+                    .cloned()
+                    .expect("classification used this header");
+                let items = vec![Classification::Fraudulent(verdict); pending.request.calls.len()];
+                Ok(ProcessBatchOutcome::Fraud {
+                    evidence: Box::new(BatchFraudEvidence {
+                        request: pending.request,
+                        response: response.clone(),
+                        header,
+                        verdict,
+                        item: None,
+                    }),
+                    items,
+                })
+            }
+            BatchClassification::Items(items) => {
+                if let Some((index, verdict)) = first_fraud {
+                    let header = self
+                        .headers
+                        .get(&response.block_number)
+                        .cloned()
+                        .expect("classification used this header");
+                    Ok(ProcessBatchOutcome::Fraud {
+                        evidence: Box::new(BatchFraudEvidence {
+                            request: pending.request,
+                            response: response.clone(),
+                            header,
+                            verdict,
+                            item: Some(index),
+                        }),
+                        items,
+                    })
+                } else {
+                    // Items carry only Valid/Fraudulent verdicts; with no
+                    // fraud found, the batch is fully valid.
+                    debug_assert!(all_valid, "non-fraud items must all be valid");
+                    self.valid_responses += items.len() as u64;
+                    let proven = pending
+                        .request
+                        .calls
+                        .iter()
+                        .map(|c| c.proof_kind() == parp_contracts::ProofKind::State)
+                        .collect();
+                    Ok(ProcessBatchOutcome::Valid {
+                        results: response.results.clone(),
+                        proven,
+                    })
+                }
+            }
+        }
     }
 
     /// A liveness probe for the client's own channel (§V-C).
@@ -478,6 +687,7 @@ impl LightClient {
         self.state = ClientState::Idle;
         self.channel = None;
         self.pending.clear();
+        self.pending_batches.clear();
     }
 
     /// Abandons the current connection (fail-over after an invalid
@@ -488,6 +698,7 @@ impl LightClient {
         self.state = ClientState::Idle;
         self.channel = None;
         self.pending.clear();
+        self.pending_batches.clear();
     }
 
     fn require_state(&self, expected: ClientState) -> Result<(), ClientError> {

@@ -15,6 +15,12 @@
 //!   fraud experiments.
 //! * [`classify_response`] — the standalone check sequence, shared with
 //!   the on-chain Fraud Detection Module.
+//! * The **batched pipeline**: [`LightClient::request_batch`] signs N
+//!   calls with one signature and one cumulative payment,
+//!   [`FullNode::handle_batch`] serves them from a single state
+//!   snapshot with a deduplicated multiproof, and
+//!   [`classify_batch_response`] judges every item separately — one
+//!   fraudulent item still yields [`BatchFraudEvidence`].
 //! * [`collect_serving_proof`] / [`verify_serving_proof`] — the §VIII
 //!   "Proof of Serving" extension.
 //!
@@ -80,11 +86,14 @@ mod serving_proof;
 mod verify;
 
 pub use client::{
-    ClientChannel, ClientError, ClientState, FraudEvidence, LightClient, ProcessOutcome,
+    BatchFraudEvidence, ClientChannel, ClientError, ClientState, FraudEvidence, LightClient,
+    ProcessBatchOutcome, ProcessOutcome,
 };
 pub use misbehavior::Misbehavior;
 pub use server::{FullNode, HandshakeConfirm, ServeError, ServedChannel, HANDSHAKE_TTL_SECS};
 pub use serving_proof::{
     collect_serving_proof, verify_serving_proof, ServingProof, ServingProofError, ServingReceipt,
 };
-pub use verify::{classify_response, Classification, InvalidReason};
+pub use verify::{
+    classify_batch_response, classify_response, BatchClassification, Classification, InvalidReason,
+};

@@ -1,7 +1,7 @@
 //! Failure injection: the ways a malicious or buggy full node can deviate
 //! from the protocol. Drives the fraud tests and the fraud benches.
 
-use parp_contracts::{ParpRequest, ParpResponse};
+use parp_contracts::{ParpBatchRequest, ParpBatchResponse, ParpRequest, ParpResponse};
 use parp_crypto::{sign, SecretKey};
 use parp_primitives::U256;
 
@@ -103,8 +103,9 @@ impl Misbehavior {
                             parp_rlp::encode_bytes(&forged_receipt.encode()),
                         ])
                     }
-                    None => parp_chain::Account::with_balance(U256::from(123_456_789_000u64))
-                        .encode(),
+                    None => {
+                        parp_chain::Account::with_balance(U256::from(123_456_789_000u64)).encode()
+                    }
                 };
             }
             Misbehavior::CorruptProof => {
@@ -136,6 +137,62 @@ impl Misbehavior {
         }
         // Authentic signature over the corrupted contents: the node
         // commits to its own lie, which is what makes fraud provable.
+        let digest = response.expected_hash();
+        response.response_sig = sign(node_key, &digest);
+        response
+    }
+
+    /// Applies the deviation to an honest *batch* response. Item-level
+    /// attacks (forged result, corrupted/omitted proof) touch only the
+    /// **last** item, leaving the rest of the batch honest — exactly the
+    /// "one bad item inside a valid batch" case the per-item
+    /// classification must catch.
+    pub(crate) fn corrupt_batch(
+        &self,
+        request: &ParpBatchRequest,
+        mut response: ParpBatchResponse,
+        node_key: &SecretKey,
+        request_height: u64,
+    ) -> ParpBatchResponse {
+        match self {
+            Misbehavior::None => return response,
+            Misbehavior::WrongAmount => {
+                response.amount = request.amount.saturating_sub(U256::ONE);
+            }
+            Misbehavior::StaleHeight => {
+                response.block_number = request_height.saturating_sub(1);
+            }
+            Misbehavior::ForgedResult => {
+                if let Some(last) = response.results.last_mut() {
+                    *last =
+                        parp_chain::Account::with_balance(U256::from(123_456_789_000u64)).encode();
+                }
+            }
+            Misbehavior::CorruptProof => {
+                if let Some(node) = response.multiproof.last_mut() {
+                    if let Some(byte) = node.last_mut() {
+                        *byte ^= 0x01;
+                    }
+                } else if let Some(last) = response.results.last_mut() {
+                    *last = vec![0xde, 0xad];
+                }
+            }
+            Misbehavior::OmitProof => {
+                response.multiproof.clear();
+            }
+            Misbehavior::WrongChannelId => {
+                response.channel_id = response.channel_id.wrapping_add(1);
+            }
+            Misbehavior::WrongResponseKey => {
+                let rogue = SecretKey::from_seed(b"rogue-node-key");
+                let digest = response.expected_hash();
+                response.response_sig = sign(&rogue, &digest);
+                return response; // deliberately signed by the wrong key
+            }
+            Misbehavior::WrongRequestHash => {
+                response.request_hash = parp_crypto::keccak256(b"unrelated");
+            }
+        }
         let digest = response.expected_hash();
         response.response_sig = sign(node_key, &digest);
         response

@@ -5,14 +5,17 @@
 use crate::misbehavior::Misbehavior;
 use parp_chain::Blockchain;
 use parp_contracts::{
-    confirmation_digest, ChannelStatus, ModuleCall, ParpExecutor, ParpRequest, ParpResponse,
-    RpcCall,
+    confirmation_digest, ChannelStatus, ModuleCall, ParpBatchRequest, ParpBatchResponse,
+    ParpExecutor, ParpRequest, ParpResponse, RpcCall,
 };
 use parp_crypto::{sign, KeyPair, SecretKey, Signature};
 use parp_primitives::{Address, U256};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+
+/// `(m_B, R(γ), π_γ)`: the served height, result payload and proof nodes.
+type CallOutput = (u64, Vec<u8>, Vec<Vec<u8>>);
 
 /// How long a handshake confirmation stays valid, in seconds.
 pub const HANDSHAKE_TTL_SECS: u64 = 600;
@@ -51,6 +54,11 @@ pub enum ServeError {
     BudgetExceeded,
     /// The wrapped call could not be executed.
     Execution(String),
+    /// A batch request carried no calls (it would still demand payment).
+    EmptyBatch,
+    /// A batch request carried a call that cannot be served from a single
+    /// state snapshot (writes must travel as single requests).
+    UnbatchableCall,
 }
 
 impl fmt::Display for ServeError {
@@ -65,6 +73,10 @@ impl fmt::Display for ServeError {
             }
             ServeError::BudgetExceeded => write!(f, "cumulative amount exceeds channel budget"),
             ServeError::Execution(e) => write!(f, "execution failed: {e}"),
+            ServeError::EmptyBatch => write!(f, "batch request carries no calls"),
+            ServeError::UnbatchableCall => {
+                write!(f, "batch request carries a call that cannot be batched")
+            }
         }
     }
 }
@@ -163,9 +175,7 @@ impl FullNode {
         executor: &mut ParpExecutor,
     ) -> Result<ParpResponse, ServeError> {
         self.verify_request(request, executor)?;
-        let request_height = chain
-            .block_number_by_hash(&request.block_hash)
-            .unwrap_or(0);
+        let request_height = chain.block_number_by_hash(&request.block_hash).unwrap_or(0);
         let (block_number, result, proof) = self.execute_call(&request.call, chain, executor)?;
         // Record the payment before responding: the signed cumulative
         // amount is the node's receivable.
@@ -182,16 +192,97 @@ impl FullNode {
             },
         );
         self.requests_served += 1;
-        let honest = ParpResponse::build(
-            self.key.secret(),
-            request,
-            block_number,
-            result,
-            proof,
-        );
+        let honest = ParpResponse::build(self.key.secret(), request, block_number, result, proof);
         Ok(self
             .misbehavior
             .corrupt(request, honest, self.key.secret(), request_height))
+    }
+
+    /// Serves one batched PARP request: verifies the envelope **once**
+    /// (one channel lookup, two signature recoveries — the same cost as a
+    /// single call, amortized over N items), executes every read against
+    /// a single state snapshot, and collapses all state proofs into one
+    /// deduplicated multiproof. The state trie is built once for the
+    /// whole batch instead of once per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] when the batch is empty, carries a call
+    /// that cannot be served from a snapshot (writes, historical
+    /// inclusion lookups), or fails the channel/signature/payment checks;
+    /// the batch is then not served (and not charged).
+    pub fn handle_batch(
+        &mut self,
+        request: &ParpBatchRequest,
+        chain: &mut Blockchain,
+        executor: &mut ParpExecutor,
+    ) -> Result<ParpBatchResponse, ServeError> {
+        self.verify_batch_request(request, executor)?;
+        let request_height = chain.block_number_by_hash(&request.block_hash).unwrap_or(0);
+        // One snapshot serves every item.
+        let head = chain.height();
+        let state = chain.state_at(head).expect("head state exists");
+        let mut results = Vec::with_capacity(request.calls.len());
+        let mut state_addresses: Vec<Address> = Vec::new();
+        for call in &request.calls {
+            // verify_batch_request already rejected unbatchable calls.
+            results.push(Self::read_result(call, head, state, chain, executor));
+            if let RpcCall::GetBalance { address } = call {
+                state_addresses.push(*address);
+            }
+        }
+        // One trie build, one deduplicated proof for all state items.
+        let multiproof = state.account_multiproof(&state_addresses);
+        let served = request.calls.len() as u64;
+        let channel = self
+            .channels
+            .entry(request.channel_id)
+            .or_insert(ServedChannel {
+                latest_amount: U256::ZERO,
+                latest_payment_sig: request.payment_sig,
+                calls_served: 0,
+            });
+        channel.latest_amount = request.amount;
+        channel.latest_payment_sig = request.payment_sig;
+        channel.calls_served += served;
+        self.requests_served += served;
+        let honest =
+            ParpBatchResponse::build(self.key.secret(), request, head, results, multiproof);
+        Ok(self
+            .misbehavior
+            .corrupt_batch(request, honest, self.key.secret(), request_height))
+    }
+
+    /// Step (B) for a batch: the same envelope checks as
+    /// [`FullNode::verify_request`], run once for all N items, plus the
+    /// batch-specific structural checks. Payment must cover
+    /// `price_per_call × N` on top of the channel's running total.
+    pub fn verify_batch_request(
+        &self,
+        request: &ParpBatchRequest,
+        executor: &ParpExecutor,
+    ) -> Result<(), ServeError> {
+        if request.is_empty() {
+            return Err(ServeError::EmptyBatch);
+        }
+        if !request.calls.iter().all(RpcCall::batchable) {
+            return Err(ServeError::UnbatchableCall);
+        }
+        // A batch made purely of liveness probes keeps the §V-C
+        // Closing-channel allowance of the single-call path.
+        let is_liveness_probe = request
+            .calls
+            .iter()
+            .all(|call| matches!(call, RpcCall::GetChannelStatus { .. }));
+        self.verify_envelope(
+            executor,
+            request.channel_id,
+            request.signer(),
+            request.payment_signer(),
+            request.amount,
+            is_liveness_probe,
+            request.calls.len() as u64,
+        )
     }
 
     /// Step (B): request verification — channel lookup plus two signature
@@ -201,39 +292,62 @@ impl FullNode {
         request: &ParpRequest,
         executor: &ParpExecutor,
     ) -> Result<(), ServeError> {
+        let is_liveness_probe = matches!(request.call, RpcCall::GetChannelStatus { .. });
+        self.verify_envelope(
+            executor,
+            request.channel_id,
+            request.signer(),
+            request.payment_signer(),
+            request.amount,
+            is_liveness_probe,
+            1,
+        )
+    }
+
+    /// The envelope checks shared by single and batched requests: channel
+    /// lookup and status, signer attribution, budget, and cumulative
+    /// payment covering `price_per_call × calls`.
+    #[allow(clippy::too_many_arguments)]
+    fn verify_envelope(
+        &self,
+        executor: &ParpExecutor,
+        channel_id: u64,
+        signer: Option<Address>,
+        payment_signer: Option<Address>,
+        amount: U256,
+        is_liveness_probe: bool,
+        calls: u64,
+    ) -> Result<(), ServeError> {
         let channel = executor
             .cmm()
-            .channel(request.channel_id)
-            .ok_or(ServeError::UnknownChannel(request.channel_id))?;
+            .channel(channel_id)
+            .ok_or(ServeError::UnknownChannel(channel_id))?;
         // Liveness probes (§V-C) exist to detect a channel being closed
         // behind the client's back, so they are served while the channel
         // is Closing; everything else requires Open.
-        let is_liveness_probe = matches!(request.call, RpcCall::GetChannelStatus { .. });
         match channel.status {
             ChannelStatus::Open => {}
             ChannelStatus::Closing { .. } if is_liveness_probe => {}
-            _ => return Err(ServeError::ChannelNotOpen(request.channel_id)),
+            _ => return Err(ServeError::ChannelNotOpen(channel_id)),
         }
         if channel.full_node != self.address() {
             return Err(ServeError::NotOurChannel);
         }
-        if request.signer() != Some(channel.light_client)
-            || request.payment_signer() != Some(channel.light_client)
-        {
+        if signer != Some(channel.light_client) || payment_signer != Some(channel.light_client) {
             return Err(ServeError::WrongSigner);
         }
-        if request.amount > channel.budget {
+        if amount > channel.budget {
             return Err(ServeError::BudgetExceeded);
         }
         let prev = self
             .channels
-            .get(&request.channel_id)
+            .get(&channel_id)
             .map(|c| c.latest_amount)
             .unwrap_or(U256::ZERO);
-        let required = prev.saturating_add(self.price_per_call);
-        if request.amount < required {
+        let required = prev.saturating_add(self.price_per_call * U256::from(calls));
+        if amount < required {
             return Err(ServeError::InsufficientPayment {
-                offered: request.amount,
+                offered: amount,
                 required,
             });
         }
@@ -241,20 +355,56 @@ impl FullNode {
     }
 
     /// Executes γ against the chain, returning `(m_B, R(γ), π_γ)`.
+    /// The result payload of a snapshot-provable read, shared between
+    /// [`FullNode::execute_call`] and [`FullNode::handle_batch`] so the
+    /// single-call and batched encodings cannot drift (the fraud checks
+    /// require them to stay byte-identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics on calls that are not snapshot-provable (the callers route
+    /// those elsewhere or reject them up front).
+    fn read_result(
+        call: &RpcCall,
+        head: u64,
+        state: &parp_chain::State,
+        chain: &Blockchain,
+        executor: &ParpExecutor,
+    ) -> Vec<u8> {
+        match call {
+            RpcCall::GetBalance { address } => state
+                .account(address)
+                .map(parp_chain::Account::encode)
+                .unwrap_or_default(),
+            RpcCall::BlockNumber => parp_rlp::encode_u64(head),
+            RpcCall::GetHeader { number } => chain
+                .block(*number)
+                .map(|b| b.header.encode())
+                .unwrap_or_default(),
+            RpcCall::GetChannelStatus { channel_id } => vec![executor
+                .cmm()
+                .channel(*channel_id)
+                .map(|c| c.status.as_byte())
+                .unwrap_or(0xff)],
+            RpcCall::SendRawTransaction { .. }
+            | RpcCall::GetTransactionByHash { .. }
+            | RpcCall::GetTransactionReceipt { .. } => {
+                unreachable!("not a snapshot-provable read: {call:?}")
+            }
+        }
+    }
+
     fn execute_call(
         &self,
         call: &RpcCall,
         chain: &mut Blockchain,
         executor: &mut ParpExecutor,
-    ) -> Result<(u64, Vec<u8>, Vec<Vec<u8>>), ServeError> {
+    ) -> Result<CallOutput, ServeError> {
         match call {
             RpcCall::GetBalance { address } => {
                 let head = chain.height();
                 let state = chain.state_at(head).expect("head state exists");
-                let result = state
-                    .account(address)
-                    .map(parp_chain::Account::encode)
-                    .unwrap_or_default();
+                let result = Self::read_result(call, head, state, chain, executor);
                 let proof = state.account_proof(address);
                 Ok((head, result, proof))
             }
@@ -265,9 +415,7 @@ impl FullNode {
                 chain
                     .produce_block(vec![tx], executor)
                     .map_err(|e| ServeError::Execution(format!("inclusion failed: {e}")))?;
-                let (block, index) = chain
-                    .transaction_location(&hash)
-                    .expect("just included");
+                let (block, index) = chain.transaction_location(&hash).expect("just included");
                 let proof = chain
                     .transaction_proof(block, index)
                     .expect("proof for included tx");
@@ -287,41 +435,26 @@ impl FullNode {
                     None => Ok((chain.height(), Vec::new(), Vec::new())),
                 }
             }
-            RpcCall::BlockNumber => {
+            RpcCall::BlockNumber | RpcCall::GetHeader { .. } | RpcCall::GetChannelStatus { .. } => {
                 let head = chain.height();
-                Ok((head, parp_rlp::encode_u64(head), Vec::new()))
+                let state = chain.state_at(head).expect("head state exists");
+                let result = Self::read_result(call, head, state, chain, executor);
+                Ok((head, result, Vec::new()))
             }
-            RpcCall::GetHeader { number } => {
-                let header = chain
-                    .block(*number)
-                    .map(|b| b.header.encode())
-                    .unwrap_or_default();
-                Ok((chain.height(), header, Vec::new()))
-            }
-            RpcCall::GetChannelStatus { channel_id } => {
-                let status = executor
-                    .cmm()
-                    .channel(*channel_id)
-                    .map(|c| c.status.as_byte())
-                    .unwrap_or(0xff);
-                Ok((chain.height(), vec![status], Vec::new()))
-            }
-            RpcCall::GetTransactionReceipt { hash } => {
-                match chain.transaction_location(hash) {
-                    Some((block, index)) => {
-                        let receipt = chain.receipts(block).expect("located")[index].encode();
-                        let proof = chain
-                            .receipt_proof(block, index)
-                            .expect("proof for located receipt");
-                        let result = parp_rlp::encode_list(&[
-                            parp_rlp::encode_u64(index as u64),
-                            parp_rlp::encode_bytes(&receipt),
-                        ]);
-                        Ok((block, result, proof))
-                    }
-                    None => Ok((chain.height(), Vec::new(), Vec::new())),
+            RpcCall::GetTransactionReceipt { hash } => match chain.transaction_location(hash) {
+                Some((block, index)) => {
+                    let receipt = chain.receipts(block).expect("located")[index].encode();
+                    let proof = chain
+                        .receipt_proof(block, index)
+                        .expect("proof for located receipt");
+                    let result = parp_rlp::encode_list(&[
+                        parp_rlp::encode_u64(index as u64),
+                        parp_rlp::encode_bytes(&receipt),
+                    ]);
+                    Ok((block, result, proof))
                 }
-            }
+                None => Ok((chain.height(), Vec::new(), Vec::new())),
+            },
         }
     }
 
@@ -364,9 +497,12 @@ mod tests {
         let mut executor = ParpExecutor::new();
         chain
             .produce_block(
-                vec![
-                    build_module_call(&node_key, 0, ModuleCall::Deposit, min_deposit()),
-                ],
+                vec![build_module_call(
+                    &node_key,
+                    0,
+                    ModuleCall::Deposit,
+                    min_deposit(),
+                )],
                 &mut executor,
             )
             .unwrap();
@@ -442,7 +578,9 @@ mod tests {
                 address: client.address(),
             },
         );
-        let res = node.handle_request(&req, &mut chain, &mut executor).unwrap();
+        let res = node
+            .handle_request(&req, &mut chain, &mut executor)
+            .unwrap();
         assert_eq!(res.channel_id, channel);
         assert!(!res.proof.is_empty());
         // The proof verifies against the served header's state root.
@@ -477,7 +615,9 @@ mod tests {
                 raw: transfer.encode(),
             },
         );
-        let res = node.handle_request(&req, &mut chain, &mut executor).unwrap();
+        let res = node
+            .handle_request(&req, &mut chain, &mut executor)
+            .unwrap();
         assert_eq!(chain.height(), height_before + 1);
         assert_eq!(res.block_number, height_before + 1);
         // Proof binds the raw tx into the transactions root.
@@ -504,7 +644,8 @@ mod tests {
         ));
         // Pay 10, then try to reuse 10 (cumulative must grow).
         let first = request(&client, &chain, channel, 10, RpcCall::BlockNumber);
-        node.handle_request(&first, &mut chain, &mut executor).unwrap();
+        node.handle_request(&first, &mut chain, &mut executor)
+            .unwrap();
         let replay = request(&client, &chain, channel, 10, RpcCall::BlockNumber);
         assert!(matches!(
             node.handle_request(&replay, &mut chain, &mut executor),
@@ -549,7 +690,8 @@ mod tests {
         let (mut chain, mut executor, mut node, client, channel) = setup();
         for amount in [10u64, 20, 30] {
             let req = request(&client, &chain, channel, amount, RpcCall::BlockNumber);
-            node.handle_request(&req, &mut chain, &mut executor).unwrap();
+            node.handle_request(&req, &mut chain, &mut executor)
+                .unwrap();
         }
         let served = node.served_channel(channel).unwrap();
         assert_eq!(served.latest_amount, U256::from(30u64));
@@ -569,9 +711,13 @@ mod tests {
             &chain,
             channel,
             10,
-            RpcCall::GetChannelStatus { channel_id: channel },
+            RpcCall::GetChannelStatus {
+                channel_id: channel,
+            },
         );
-        let res = node.handle_request(&req, &mut chain, &mut executor).unwrap();
+        let res = node
+            .handle_request(&req, &mut chain, &mut executor)
+            .unwrap();
         assert_eq!(res.result, vec![ChannelStatus::Open.as_byte()]);
     }
 }

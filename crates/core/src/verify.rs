@@ -6,7 +6,10 @@
 //! client can slash the full node on-chain).
 
 use parp_chain::Header;
-use parp_contracts::{fraud_conditions, FraudVerdict, ParpRequest, ParpResponse};
+use parp_contracts::{
+    batch_fraud_conditions, fraud_conditions, BatchFraud, FraudVerdict, ParpBatchRequest,
+    ParpBatchResponse, ParpRequest, ParpResponse,
+};
 use parp_primitives::Address;
 use std::fmt;
 
@@ -93,6 +96,98 @@ pub fn classify_response(
         Err(e) => Classification::Invalid(InvalidReason::MalformedResult(e)),
         Ok(Some(verdict)) => Classification::Fraudulent(verdict),
         Ok(None) => Classification::Valid,
+    }
+}
+
+/// The §V-D trichotomy applied to a batched exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchClassification {
+    /// The envelope cannot be trusted (hash echo, signature, channel id
+    /// or missing header): nothing item-specific can be judged, and no
+    /// fraud proof is possible. The client should walk away.
+    Invalid(InvalidReason),
+    /// A batch-level fraud condition — payment echo mismatch, stale
+    /// snapshot, or a multiproof that does not verify — condemns the
+    /// whole signed response, and with it every item.
+    BatchFraud {
+        /// The condition that condemned the response.
+        verdict: FraudVerdict,
+    },
+    /// The envelope and batch-level conditions hold; each item carries
+    /// its own verdict.
+    Items(Vec<Classification>),
+}
+
+impl BatchClassification {
+    /// Whether every item in the batch verified.
+    pub fn all_valid(&self) -> bool {
+        match self {
+            BatchClassification::Items(items) => {
+                items.iter().all(|c| matches!(c, Classification::Valid))
+            }
+            _ => false,
+        }
+    }
+
+    /// The first fraudulent item, as `(index, verdict)`.
+    pub fn first_fraud(&self) -> Option<(usize, FraudVerdict)> {
+        match self {
+            BatchClassification::Items(items) => {
+                items.iter().enumerate().find_map(|(i, c)| match c {
+                    Classification::Fraudulent(verdict) => Some((i, *verdict)),
+                    _ => None,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Runs the §V-D check sequence on a batched response: the same envelope
+/// checks as [`classify_response`] (one signature recovery covers all N
+/// items), then the batch fraud conditions with per-item attribution.
+///
+/// Parameters mirror [`classify_response`].
+pub fn classify_batch_response(
+    req: &ParpBatchRequest,
+    res: &ParpBatchResponse,
+    full_node: Address,
+    request_height: u64,
+    header_for: impl Fn(u64) -> Option<Header>,
+) -> BatchClassification {
+    // 1. Request hash linkage (no fraud proof without it).
+    if res.request_hash != req.request_hash || req.expected_hash() != req.request_hash {
+        return BatchClassification::Invalid(InvalidReason::RequestHashMismatch);
+    }
+    if res.request_sig != req.request_sig {
+        return BatchClassification::Invalid(InvalidReason::RequestSigMismatch);
+    }
+    // 2. One response-signature recovery for the whole batch.
+    match res.signer() {
+        Some(signer) if signer == full_node => {}
+        _ => return BatchClassification::Invalid(InvalidReason::ResponseSignatureInvalid),
+    }
+    // 3. Channel identifier.
+    if res.channel_id != req.channel_id {
+        return BatchClassification::Invalid(InvalidReason::ChannelIdMismatch);
+    }
+    // 4-6. Payment, snapshot freshness, multiproof and per-item proofs.
+    let Some(header) = header_for(res.block_number) else {
+        return BatchClassification::Invalid(InvalidReason::MissingHeader(res.block_number));
+    };
+    match batch_fraud_conditions(req, res, &header, request_height) {
+        Err(e) => BatchClassification::Invalid(InvalidReason::MalformedResult(e)),
+        Ok(None) => BatchClassification::Items(vec![Classification::Valid; req.calls.len()]),
+        Ok(Some(BatchFraud::Batch(verdict))) => BatchClassification::BatchFraud { verdict },
+        Ok(Some(BatchFraud::Items(verdicts))) => BatchClassification::Items(
+            verdicts
+                .into_iter()
+                .map(|v| match v {
+                    Some(verdict) => Classification::Fraudulent(verdict),
+                    None => Classification::Valid,
+                })
+                .collect(),
+        ),
     }
 }
 
@@ -208,8 +303,7 @@ mod tests {
     #[test]
     fn missing_header_is_invalid_not_fraud() {
         let (req, res) = honest_pair();
-        let classification =
-            classify_response(&req, &res, node().address(), 10, |_| None);
+        let classification = classify_response(&req, &res, node().address(), 10, |_| None);
         assert_eq!(
             classification,
             Classification::Invalid(InvalidReason::MissingHeader(12))

@@ -27,11 +27,11 @@ fn arb_call() -> impl Strategy<Value = RpcCall> {
 
 fn arb_request() -> impl Strategy<Value = (ParpRequest, u64)> {
     (
-        any::<u64>(),          // channel id
-        any::<u64>(),          // block hash seed
-        any::<u64>(),          // amount
+        any::<u64>(), // channel id
+        any::<u64>(), // block hash seed
+        any::<u64>(), // amount
         arb_call(),
-        any::<u8>(),           // key seed
+        any::<u8>(), // key seed
     )
         .prop_map(|(channel, hb, amount, call, key_seed)| {
             let key = SecretKey::from_seed(&[key_seed, 0x17]);

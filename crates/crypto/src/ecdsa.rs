@@ -235,10 +235,8 @@ pub fn recover(digest: &H256, signature: &Signature) -> Result<PublicKey, Signat
     let r = signature.r_scalar();
     let s = signature.s_scalar();
     // R has x = r (the r >= p - n edge case is never produced by `sign`).
-    let x = FieldElement::from_be_bytes(&signature.r)
-        .ok_or(SignatureError::RecoveryFailed)?;
-    let r_point =
-        AffinePoint::from_x(x, signature.v == 1).ok_or(SignatureError::RecoveryFailed)?;
+    let x = FieldElement::from_be_bytes(&signature.r).ok_or(SignatureError::RecoveryFailed)?;
+    let r_point = AffinePoint::from_x(x, signature.v == 1).ok_or(SignatureError::RecoveryFailed)?;
     let z = Scalar::from_be_bytes_reduced(&digest.into_inner());
     let r_inv = r.invert();
     // Q = r^{-1} (s R - z G) = (-z r^{-1}) G + (s r^{-1}) R

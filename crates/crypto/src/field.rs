@@ -110,7 +110,6 @@ impl FieldElement {
             None
         }
     }
-
 }
 
 impl Add for FieldElement {

@@ -38,14 +38,12 @@ impl fmt::Debug for AffinePoint {
 
 /// The secp256k1 generator point coordinates.
 const GX: [u8; 32] = [
-    0x79, 0xbe, 0x66, 0x7e, 0xf9, 0xdc, 0xbb, 0xac, 0x55, 0xa0, 0x62, 0x95, 0xce, 0x87, 0x0b,
-    0x07, 0x02, 0x9b, 0xfc, 0xdb, 0x2d, 0xce, 0x28, 0xd9, 0x59, 0xf2, 0x81, 0x5b, 0x16, 0xf8,
-    0x17, 0x98,
+    0x79, 0xbe, 0x66, 0x7e, 0xf9, 0xdc, 0xbb, 0xac, 0x55, 0xa0, 0x62, 0x95, 0xce, 0x87, 0x0b, 0x07,
+    0x02, 0x9b, 0xfc, 0xdb, 0x2d, 0xce, 0x28, 0xd9, 0x59, 0xf2, 0x81, 0x5b, 0x16, 0xf8, 0x17, 0x98,
 ];
 const GY: [u8; 32] = [
-    0x48, 0x3a, 0xda, 0x77, 0x26, 0xa3, 0xc4, 0x65, 0x5d, 0xa4, 0xfb, 0xfc, 0x0e, 0x11, 0x08,
-    0xa8, 0xfd, 0x17, 0xb4, 0x48, 0xa6, 0x85, 0x54, 0x19, 0x9c, 0x47, 0xd0, 0x8f, 0xfb, 0x10,
-    0xd4, 0xb8,
+    0x48, 0x3a, 0xda, 0x77, 0x26, 0xa3, 0xc4, 0x65, 0x5d, 0xa4, 0xfb, 0xfc, 0x0e, 0x11, 0x08, 0xa8,
+    0xfd, 0x17, 0xb4, 0x48, 0xa6, 0x85, 0x54, 0x19, 0x9c, 0x47, 0xd0, 0x8f, 0xfb, 0x10, 0xd4, 0xb8,
 ];
 
 impl AffinePoint {
@@ -457,7 +455,11 @@ mod tests {
         let a = Scalar::from_be_bytes_reduced(&[0xa5; 32]);
         let b = Scalar::from_be_bytes_reduced(&[0x3c; 32]);
         let lhs = g().mul(&(a + b));
-        let rhs = g().mul(&a).to_jacobian().add(&g().mul(&b).to_jacobian()).to_affine();
+        let rhs = g()
+            .mul(&a)
+            .to_jacobian()
+            .add(&g().mul(&b).to_jacobian())
+            .to_affine();
         assert_eq!(lhs, rhs);
     }
 }

@@ -31,7 +31,11 @@ pub struct Scalar(Limbs);
 
 impl fmt::Debug for Scalar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Scalar(0x{})", parp_primitives::to_hex(&self.to_be_bytes()))
+        write!(
+            f,
+            "Scalar(0x{})",
+            parp_primitives::to_hex(&self.to_be_bytes())
+        )
     }
 }
 

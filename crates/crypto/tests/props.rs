@@ -7,8 +7,7 @@ use parp_crypto::{
 use proptest::prelude::*;
 
 fn arb_secret() -> impl Strategy<Value = SecretKey> {
-    proptest::collection::vec(any::<u8>(), 1..32)
-        .prop_map(|seed| SecretKey::from_seed(&seed))
+    proptest::collection::vec(any::<u8>(), 1..32).prop_map(|seed| SecretKey::from_seed(&seed))
 }
 
 fn arb_scalar() -> impl Strategy<Value = Scalar> {

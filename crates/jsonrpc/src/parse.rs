@@ -15,7 +15,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -183,8 +187,7 @@ impl<'a> Parser<'a> {
                             if !(0xdc00..0xe000).contains(&low) {
                                 return Err(self.error("invalid low surrogate"));
                             }
-                            let combined =
-                                0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                            let combined = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
                             out.push(
                                 char::from_u32(combined)
                                     .ok_or_else(|| self.error("invalid surrogate pair"))?,
@@ -198,9 +201,7 @@ impl<'a> Parser<'a> {
                     }
                     _ => return Err(self.error("invalid escape sequence")),
                 },
-                Some(byte) if byte < 0x20 => {
-                    return Err(self.error("control character in string"))
-                }
+                Some(byte) if byte < 0x20 => return Err(self.error("control character in string")),
                 Some(byte) => {
                     // Re-assemble UTF-8 multibyte sequences.
                     if byte < 0x80 {
@@ -213,8 +214,8 @@ impl<'a> Parser<'a> {
                             .bytes
                             .get(start..end)
                             .ok_or_else(|| self.error("truncated utf-8"))?;
-                        let s = std::str::from_utf8(slice)
-                            .map_err(|_| self.error("invalid utf-8"))?;
+                        let s =
+                            std::str::from_utf8(slice).map_err(|_| self.error("invalid utf-8"))?;
                         out.push_str(s);
                         self.pos = end;
                     }
@@ -226,7 +227,9 @@ impl<'a> Parser<'a> {
     fn parse_hex4(&mut self) -> Result<u32, ParseError> {
         let mut code = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.error("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.error("truncated \\u escape"))?;
             let digit = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.error("invalid hex digit in \\u escape"))?;
@@ -299,7 +302,8 @@ mod tests {
 
     #[test]
     fn roundtrips_compact_output() {
-        let source = r#"{"jsonrpc":"2.0","method":"eth_getBalance","params":["0xabc","latest"],"id":1}"#;
+        let source =
+            r#"{"jsonrpc":"2.0","method":"eth_getBalance","params":["0xabc","latest"],"id":1}"#;
         let value = parse(source).unwrap();
         assert_eq!(value.to_string_compact(), source);
     }
@@ -311,10 +315,7 @@ mod tests {
             Json::String("a\"b\\c\ndA".into())
         );
         // Surrogate pair for 😀 (U+1F600).
-        assert_eq!(
-            parse(r#""😀""#).unwrap(),
-            Json::String("😀".into())
-        );
+        assert_eq!(parse(r#""😀""#).unwrap(), Json::String("😀".into()));
         // Raw UTF-8 multibyte passthrough.
         assert_eq!(parse("\"héllo\"").unwrap(), Json::String("héllo".into()));
     }
@@ -322,7 +323,14 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         for bad in [
-            "", "{", "[1,", r#"{"a"}"#, "tru", "01x", r#""unterminated"#, "[1] garbage",
+            "",
+            "{",
+            "[1,",
+            r#"{"a"}"#,
+            "tru",
+            "01x",
+            r#""unterminated"#,
+            "[1] garbage",
             "\"\\q\"",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");

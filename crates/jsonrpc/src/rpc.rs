@@ -133,11 +133,9 @@ pub fn base_request(call: &RpcCall, id: u64) -> JsonRpcRequest {
             vec![quantity_u64(*number), Json::Bool(false)],
             id,
         ),
-        RpcCall::GetChannelStatus { channel_id } => JsonRpcRequest::new(
-            "parp_getChannelStatus",
-            vec![quantity_u64(*channel_id)],
-            id,
-        ),
+        RpcCall::GetChannelStatus { channel_id } => {
+            JsonRpcRequest::new("parp_getChannelStatus", vec![quantity_u64(*channel_id)], id)
+        }
         RpcCall::GetTransactionReceipt { hash } => {
             JsonRpcRequest::new("eth_getTransactionReceipt", vec![data_h256(hash)], id)
         }
@@ -156,9 +154,7 @@ pub fn base_response(call: &RpcCall, result: &[u8], id: u64) -> JsonRpcResponse 
                 Err(_) => quantity(&U256::ZERO),
             }
         }
-        RpcCall::SendRawTransaction { raw } => {
-            data_h256(&parp_crypto::keccak256(raw))
-        }
+        RpcCall::SendRawTransaction { raw } => data_h256(&parp_crypto::keccak256(raw)),
         RpcCall::GetTransactionByHash { .. }
         | RpcCall::GetChannelStatus { .. }
         | RpcCall::GetTransactionReceipt { .. } => data_bytes(result),
@@ -212,7 +208,10 @@ mod tests {
         let request = base_request(&call, 7);
         let text = String::from_utf8(request.to_bytes()).unwrap();
         let value = parse(&text).unwrap();
-        assert_eq!(value.get("method").and_then(Json::as_str), Some("eth_blockNumber"));
+        assert_eq!(
+            value.get("method").and_then(Json::as_str),
+            Some("eth_blockNumber")
+        );
         assert_eq!(value.get("id").and_then(Json::as_f64), Some(7.0));
     }
 

@@ -176,7 +176,10 @@ mod tests {
         ]);
         assert_eq!(value.get("s").and_then(Json::as_str), Some("x"));
         assert_eq!(value.get("n").and_then(Json::as_f64), Some(4.0));
-        assert_eq!(value.get("a").and_then(Json::as_array).map(<[Json]>::len), Some(1));
+        assert_eq!(
+            value.get("a").and_then(Json::as_array).map(<[Json]>::len),
+            Some(1)
+        );
         assert_eq!(value.get("missing"), None);
         assert_eq!(Json::Null.get("x"), None);
     }

@@ -15,9 +15,8 @@ fn arb_json() -> impl Strategy<Value = Json> {
     leaf.prop_recursive(3, 32, 6, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
-            proptest::collection::vec(("[a-z]{1,8}", inner), 0..6).prop_map(|members| {
-                Json::Object(members)
-            }),
+            proptest::collection::vec(("[a-z]{1,8}", inner), 0..6)
+                .prop_map(|members| { Json::Object(members) }),
         ]
     })
 }

@@ -19,7 +19,7 @@ use crate::workload::Workload;
 use parp_chain::{Blockchain, SignedTransaction};
 use parp_contracts::RpcCall;
 use parp_core::{LightClient, ProcessOutcome};
-use parp_crypto::{Signature, SecretKey};
+use parp_crypto::{SecretKey, Signature};
 use parp_primitives::U256;
 use std::time::Instant;
 
@@ -78,16 +78,10 @@ impl BaseRpcServer {
 
     /// Executes a call the way a standard node would: direct state reads
     /// and transaction inclusion, no proof generation.
-    pub fn handle(
-        &mut self,
-        call: &RpcCall,
-        chain: &mut Blockchain,
-    ) -> Result<Vec<u8>, String> {
+    pub fn handle(&mut self, call: &RpcCall, chain: &mut Blockchain) -> Result<Vec<u8>, String> {
         self.requests_served += 1;
         match call {
-            RpcCall::GetBalance { address } => {
-                Ok(parp_rlp::encode_u256(&chain.balance(address)))
-            }
+            RpcCall::GetBalance { address } => Ok(parp_rlp::encode_u256(&chain.balance(address))),
             RpcCall::SendRawTransaction { raw } => {
                 let tx = SignedTransaction::decode(raw).map_err(|e| e.to_string())?;
                 let hash = tx.hash();
@@ -132,7 +126,7 @@ impl Default for ScalabilityConfig {
         ScalabilityConfig {
             requests_per_client: 240,
             read_fraction: 0.9,
-            seed: 0xF16_7,
+            seed: 0xF167,
         }
     }
 }
@@ -214,7 +208,9 @@ pub fn run_scalability_point(clients: usize, config: &ScalabilityConfig) -> Scal
             let call = workload.next_mixed(config.read_fraction);
             let request_bytes = parp_jsonrpc::base_request(&call, 1).wire_size();
             let started = Instant::now();
-            let result = base_server.handle(&call, &mut base_chain).expect("base call");
+            let result = base_server
+                .handle(&call, &mut base_chain)
+                .expect("base call");
             base_cpu_us += started.elapsed().as_micros() as u64;
             base_inflight = base_inflight.max(request_bytes + result.len());
         }

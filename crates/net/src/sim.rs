@@ -4,10 +4,10 @@
 use crate::latency::LatencyModel;
 use parp_chain::{BlockError, Blockchain, SignedTransaction};
 use parp_contracts::{
-    build_module_call, ModuleCall, ParpExecutor, ParpRequest, ParpResponse, RpcCall,
-    DISPUTE_WINDOW_BLOCKS,
+    build_module_call, ModuleCall, ParpBatchRequest, ParpBatchResponse, ParpExecutor, ParpRequest,
+    ParpResponse, RpcCall, DISPUTE_WINDOW_BLOCKS,
 };
-use parp_core::{FullNode, LightClient, ProcessOutcome, ServeError};
+use parp_core::{FullNode, LightClient, ProcessBatchOutcome, ProcessOutcome, ServeError};
 use parp_crypto::SecretKey;
 use parp_primitives::{Address, U256};
 use std::collections::HashMap;
@@ -225,7 +225,10 @@ impl Network {
         let nonce = self.next_nonce(key.address());
         let tx = build_module_call(key, nonce, call, value);
         self.mine(vec![tx])?;
-        let receipts = self.chain.receipts(self.chain.height()).expect("just mined");
+        let receipts = self
+            .chain
+            .receipts(self.chain.height())
+            .expect("just mined");
         Ok(receipts.last().map(|r| r.status == 1).unwrap_or(false))
     }
 
@@ -310,7 +313,10 @@ impl Network {
         let nonce = self.next_nonce(client.address());
         let open_tx = client.accept_confirmation(&confirm, budget, nonce)?;
         self.mine(vec![open_tx])?;
-        let receipts = self.chain.receipts(self.chain.height()).expect("just mined");
+        let receipts = self
+            .chain
+            .receipts(self.chain.height())
+            .expect("just mined");
         if receipts.last().map(|r| r.status) != Some(1) {
             client.abandon_connection();
             return Err(SimError::Reverted("open channel reverted".into()));
@@ -361,6 +367,47 @@ impl Network {
         ))
     }
 
+    /// One full **batched** PARP exchange: the client signs N calls once,
+    /// the node serves them against a single snapshot with a deduplicated
+    /// multiproof, and the client classifies every item.
+    ///
+    /// # Errors
+    ///
+    /// Propagates client and server refusals (a *served but corrupt*
+    /// response is not an error — it comes back as the outcome).
+    pub fn parp_batch_call(
+        &mut self,
+        client: &mut LightClient,
+        node_id: NodeId,
+        calls: Vec<RpcCall>,
+    ) -> Result<(ProcessBatchOutcome, ExchangeStats), SimError> {
+        if self.nodes.get(node_id.0).is_none() {
+            return Err(SimError::UnknownNode(node_id.0));
+        }
+        let request = client.request_batch(calls)?;
+        let started = Instant::now();
+        let response = self.serve_batch(node_id, &request)?;
+        let server_us = started.elapsed().as_micros() as u64;
+        // The client needs the header for res.m_B before verifying.
+        self.sync_client(client);
+        let request_bytes = request.encode().len();
+        let response_bytes = response.encode().len();
+        let proof_bytes = response.proof_bytes();
+        let network_us = self.latency.round_trip_us(request_bytes, response_bytes);
+        self.clock_us += network_us + server_us;
+        let outcome = client.process_batch_response(&response)?;
+        Ok((
+            outcome,
+            ExchangeStats {
+                request_bytes,
+                response_bytes,
+                proof_bytes,
+                server_us,
+                network_us,
+            },
+        ))
+    }
+
     /// Server-side handling only (used by the scalability harness).
     ///
     /// # Errors
@@ -378,6 +425,23 @@ impl Network {
         Ok(node.handle_request(request, &mut self.chain, &mut self.executor)?)
     }
 
+    /// Server-side batch handling only (used by the benches).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the node's refusal.
+    pub fn serve_batch(
+        &mut self,
+        node_id: NodeId,
+        request: &ParpBatchRequest,
+    ) -> Result<ParpBatchResponse, SimError> {
+        let node = self
+            .nodes
+            .get_mut(node_id.0)
+            .ok_or(SimError::UnknownNode(node_id.0))?;
+        Ok(node.handle_batch(request, &mut self.chain, &mut self.executor)?)
+    }
+
     /// Cooperative closure initiated by the client: close, wait out the
     /// dispute window, confirm, settle.
     ///
@@ -390,7 +454,7 @@ impl Network {
         _node_id: NodeId,
     ) -> Result<(), SimError> {
         let close = client.close_channel_call()?;
-        let client_key = client.secret().clone();
+        let client_key = *client.secret();
         if !self.submit_module_call(&client_key, close, U256::ZERO)? {
             return Err(SimError::Reverted("close channel reverted".into()));
         }
@@ -418,7 +482,29 @@ impl Network {
             .nodes
             .get(witness_id.0)
             .ok_or(SimError::UnknownNode(witness_id.0))?;
-        let witness_key = witness.secret().clone();
+        let witness_key = *witness.secret();
+        let witness_addr = witness.address();
+        let call = evidence.to_module_call(witness_addr);
+        self.submit_module_call(&witness_key, call, U256::ZERO)
+    }
+
+    /// Relays a **batch** fraud proof through a witness node: one
+    /// provably wrong item in a signed batch slashes the offender exactly
+    /// like single-call fraud.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chain failures.
+    pub fn report_batch_fraud(
+        &mut self,
+        evidence: &parp_core::BatchFraudEvidence,
+        witness_id: NodeId,
+    ) -> Result<bool, SimError> {
+        let witness = self
+            .nodes
+            .get(witness_id.0)
+            .ok_or(SimError::UnknownNode(witness_id.0))?;
+        let witness_key = *witness.secret();
         let witness_addr = witness.address();
         let call = evidence.to_module_call(witness_addr);
         self.submit_module_call(&witness_key, call, U256::ZERO)

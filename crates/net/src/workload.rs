@@ -82,6 +82,23 @@ impl Workload {
         }
     }
 
+    /// A batch of `size` batchable read calls — the workload mode behind
+    /// the batched PARP pipeline. Mostly balance reads (the paper's read
+    /// workload), with an occasional unproven chain query mixed in so
+    /// batches exercise both proven and unproven items.
+    pub fn next_read_batch(&mut self, size: usize) -> Vec<RpcCall> {
+        (0..size)
+            .map(|_| {
+                if self.rng.gen_bool(0.9) {
+                    let address = self.accounts[self.rng.gen_range(0..self.accounts.len())];
+                    RpcCall::GetBalance { address }
+                } else {
+                    RpcCall::BlockNumber
+                }
+            })
+            .collect()
+    }
+
     /// A mixed call: `read_fraction` in \[0,1\] chooses reads vs writes.
     pub fn next_mixed(&mut self, read_fraction: f64) -> RpcCall {
         let kind = if self.rng.gen_bool(read_fraction.clamp(0.0, 1.0)) {
@@ -124,7 +141,10 @@ mod tests {
         let mut a = Workload::new(7, sender, 0);
         let mut b = Workload::new(7, sender, 0);
         for _ in 0..10 {
-            assert_eq!(a.next_call(WorkloadKind::Read), b.next_call(WorkloadKind::Read));
+            assert_eq!(
+                a.next_call(WorkloadKind::Read),
+                b.next_call(WorkloadKind::Read)
+            );
         }
     }
 

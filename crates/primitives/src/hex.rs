@@ -61,7 +61,7 @@ fn digit_value(b: u8) -> Option<u8> {
 pub fn from_hex(s: &str) -> Result<Vec<u8>, FromHexError> {
     let s = s.strip_prefix("0x").unwrap_or(s);
     let bytes = s.as_bytes();
-    if bytes.len() % 2 != 0 {
+    if !bytes.len().is_multiple_of(2) {
         return Err(FromHexError::OddLength);
     }
     let mut out = Vec::with_capacity(bytes.len() / 2);

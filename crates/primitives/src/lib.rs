@@ -29,5 +29,5 @@ pub mod hex;
 mod uint;
 
 pub use hash::{Address, H256};
-pub use hex::{FromHexError, from_hex, to_hex, to_hex_prefixed};
+pub use hex::{from_hex, to_hex, to_hex_prefixed, FromHexError};
 pub use uint::{ParseU256Error, U256};

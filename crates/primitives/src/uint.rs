@@ -11,7 +11,9 @@ use std::cmp::Ordering;
 use std::error::Error;
 use std::fmt;
 use std::iter::Sum;
-use std::ops::{Add, AddAssign, BitAnd, BitOr, BitXor, Div, Mul, Not, Rem, Shl, Shr, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, BitAnd, BitOr, BitXor, Div, Mul, Not, Rem, Shl, Shr, Sub, SubAssign,
+};
 use std::str::FromStr;
 
 /// A 256-bit unsigned integer.
@@ -144,6 +146,7 @@ impl U256 {
     }
 
     /// Addition returning the wrapped result and an overflow flag.
+    #[allow(clippy::needless_range_loop)]
     pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
@@ -157,6 +160,7 @@ impl U256 {
     }
 
     /// Subtraction returning the wrapped result and a borrow flag.
+    #[allow(clippy::needless_range_loop)]
     pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
@@ -175,9 +179,8 @@ impl U256 {
         for i in 0..4 {
             let mut carry = 0u64;
             for j in 0..4 {
-                let wide = self.0[i] as u128 * rhs.0[j] as u128
-                    + out[i + j] as u128
-                    + carry as u128;
+                let wide =
+                    self.0[i] as u128 * rhs.0[j] as u128 + out[i + j] as u128 + carry as u128;
                 out[i + j] = wide as u64;
                 carry = (wide >> 64) as u64;
             }
@@ -553,6 +556,7 @@ impl Shl<u32> for U256 {
 impl Shr<u32> for U256 {
     type Output = U256;
 
+    #[allow(clippy::needless_range_loop)]
     fn shr(self, shift: u32) -> U256 {
         if shift >= 256 {
             return U256::ZERO;
@@ -645,8 +649,14 @@ mod tests {
     #[test]
     fn minimal_bytes() {
         assert_eq!(U256::ZERO.to_be_bytes_minimal(), Vec::<u8>::new());
-        assert_eq!(U256::from(0x1234u64).to_be_bytes_minimal(), vec![0x12, 0x34]);
-        assert_eq!(U256::from_be_slice(&[0x12, 0x34]).unwrap(), U256::from(0x1234u64));
+        assert_eq!(
+            U256::from(0x1234u64).to_be_bytes_minimal(),
+            vec![0x12, 0x34]
+        );
+        assert_eq!(
+            U256::from_be_slice(&[0x12, 0x34]).unwrap(),
+            U256::from(0x1234u64)
+        );
         assert!(U256::from_be_slice(&[0u8; 33]).is_none());
     }
 
@@ -665,7 +675,10 @@ mod tests {
         assert_eq!(U256::from_dec_str("12a"), Err(ParseU256Error::InvalidDigit));
         let huge = "1".repeat(80);
         assert_eq!(U256::from_dec_str(&huge), Err(ParseU256Error::Overflow));
-        assert_eq!(U256::from_hex_str(&"f".repeat(65)), Err(ParseU256Error::Overflow));
+        assert_eq!(
+            U256::from_hex_str(&"f".repeat(65)),
+            Err(ParseU256Error::Overflow)
+        );
     }
 
     #[test]
@@ -673,7 +686,9 @@ mod tests {
         let max_str = U256::MAX.to_string();
         assert_eq!(U256::from_dec_str(&max_str).unwrap(), U256::MAX);
         assert_eq!(
-            U256::from_dec_str("115792089237316195423570985008687907853269984665640564039457584007913129639936"),
+            U256::from_dec_str(
+                "115792089237316195423570985008687907853269984665640564039457584007913129639936"
+            ),
             Err(ParseU256Error::Overflow)
         );
     }

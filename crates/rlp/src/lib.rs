@@ -387,7 +387,7 @@ mod tests {
     fn nested_list_vector() {
         // [ [], [[]], [ [], [[]] ] ] — the set-theoretic representation of 3.
         let empty = encode_list(&[]);
-        let one = encode_list(&[empty.clone()]);
+        let one = encode_list(std::slice::from_ref(&empty));
         let two = encode_list(&[empty.clone(), one.clone()]);
         let three = encode_list(&[empty.clone(), one.clone(), two.clone()]);
         assert_eq!(three, vec![0xc7, 0xc0, 0xc1, 0xc0, 0xc3, 0xc0, 0xc1, 0xc0]);
@@ -465,7 +465,10 @@ mod tests {
         let h = H256::from_low_u64_be(7);
         assert_eq!(decode(&encode_h256(&h)).unwrap().as_h256().unwrap(), h);
         let a = Address::from_low_u64_be(9);
-        assert_eq!(decode(&encode_address(&a)).unwrap().as_address().unwrap(), a);
+        assert_eq!(
+            decode(&encode_address(&a)).unwrap().as_address().unwrap(),
+            a
+        );
         assert!(matches!(
             decode(&encode_bytes(&[1, 2, 3])).unwrap().as_h256(),
             Err(DecodeError::WrongLength {

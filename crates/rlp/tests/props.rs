@@ -1,7 +1,7 @@
 //! Property tests: RLP encode/decode round-trips for arbitrary item trees.
 
-use parp_rlp::{decode, decode_prefix, encode_bytes, encode_u256, encode_u64, Item};
 use parp_primitives::U256;
+use parp_rlp::{decode, decode_prefix, encode_bytes, encode_u256, encode_u64, Item};
 use proptest::prelude::*;
 
 fn arb_item() -> impl Strategy<Value = Item> {

@@ -1,0 +1,272 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so this shim provides the
+//! API surface the workspace's benches use — `Criterion`, benchmark
+//! groups, `iter`/`iter_batched`, `BenchmarkId`, `BatchSize`, plus the
+//! `criterion_group!`/`criterion_main!` macros — with a straightforward
+//! measure-and-print implementation: a short warm-up, then `sample_size`
+//! timed samples, reporting the median per-iteration time. No statistical
+//! regression analysis, no HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// Setup output comparable to the routine cost.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, like `name/param`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { id: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Runs and times one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter`-family call.
+    last_estimate: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.record(|| {
+            let started = Instant::now();
+            black_box(routine());
+            started.elapsed()
+        });
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.record(|| {
+            let input = setup();
+            let started = Instant::now();
+            black_box(routine(input));
+            started.elapsed()
+        });
+    }
+
+    fn record<F: FnMut() -> Duration>(&mut self, mut one: F) {
+        // Warm-up: a few untimed runs so lazy initialisation and caches
+        // settle before sampling.
+        for _ in 0..2 {
+            let _ = one();
+        }
+        let mut times: Vec<Duration> = (0..self.samples).map(|_| one()).collect();
+        times.sort_unstable();
+        self.last_estimate = Some(times[times.len() / 2]);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<ID: Into<BenchmarkId>, F>(&mut self, id: ID, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            last_estimate: None,
+        };
+        f(&mut bencher);
+        self.criterion
+            .report(&self.name, &id.id, bencher.last_estimate);
+        self
+    }
+
+    /// Runs a parameterised benchmark in this group.
+    pub fn bench_with_input<ID: Into<BenchmarkId>, I, F>(
+        &mut self,
+        id: ID,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            last_estimate: None,
+        };
+        f(&mut bencher, input);
+        self.criterion
+            .report(&self.name, &id.id, bencher.last_estimate);
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 30,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: 30,
+            last_estimate: None,
+        };
+        f(&mut bencher);
+        self.report("", name, bencher.last_estimate);
+        self
+    }
+
+    /// Benchmarks executed so far.
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+
+    fn report(&mut self, group: &str, id: &str, estimate: Option<Duration>) {
+        self.benchmarks_run += 1;
+        let label = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        match estimate {
+            Some(t) => println!("{label:<60} time: {t:>12.3?}"),
+            None => println!("{label:<60} time: (no measurement)"),
+        }
+    }
+}
+
+/// Collects benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_report() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        let mut runs = 0usize;
+        group.bench_function("iter", |b| b.iter(|| runs += 1));
+        group.bench_function(BenchmarkId::new("batched", 3), |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+        drop(group);
+        assert!(runs >= 5, "routine ran {runs} times");
+        assert_eq!(c.benchmarks_run(), 2);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("input");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+    }
+}

@@ -1,0 +1,27 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::{Strategy, TestRng};
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates vectors of `element` values with lengths in `size`, mirroring
+/// `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.end.saturating_sub(self.size.start).max(1);
+        let len = self.size.start + rng.below(span as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,46 @@
+//! Sampling helpers, mirroring `proptest::sample`.
+
+use crate::{Arbitrary, TestRng};
+
+/// An index into a collection whose size is unknown at generation time,
+/// mirroring `proptest::sample::Index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects the raw draw onto `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` is zero, as the real crate does.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index into an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_always_in_range() {
+        let mut rng = TestRng::from_name("index");
+        for len in 1..50usize {
+            let idx = Index::arbitrary(&mut rng);
+            assert!(idx.index(len) < len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn empty_collection_panics() {
+        Index(3).index(0);
+    }
+}

@@ -1,0 +1,141 @@
+//! String generation from the tiny regex subset the workspace's property
+//! tests use: an optional character class (`[...]` with ranges and
+//! backslash escapes, or `\PC` for "any printable"), followed by a
+//! `{min,max}` repetition.
+
+use crate::TestRng;
+
+/// Generates a string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset, so an unsupported
+/// pattern fails loudly rather than generating garbage.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let (alphabet, rest) = parse_alphabet(pattern);
+    let (min, max) = parse_repetition(rest);
+    assert!(
+        !alphabet.is_empty(),
+        "string pattern {pattern:?} has an empty alphabet"
+    );
+    let len = min + rng.below((max - min + 1) as u64) as usize;
+    (0..len)
+        .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+        .collect()
+}
+
+fn parse_alphabet(pattern: &str) -> (Vec<char>, &str) {
+    if let Some(rest) = pattern.strip_prefix("\\PC") {
+        // "Not in Unicode category C (control)": generate ASCII printable,
+        // a valid subset for test-input purposes.
+        return ((' '..='~').collect(), rest);
+    }
+    let Some(body) = pattern.strip_prefix('[') else {
+        panic!("unsupported string pattern {pattern:?}: expected a character class");
+    };
+    // Find the closing `]`, skipping backslash-escaped characters.
+    let mut close = None;
+    let mut escaped = false;
+    for (idx, c) in body.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' => escaped = true,
+            ']' => {
+                close = Some(idx);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let close = close.unwrap_or_else(|| panic!("unterminated character class in {pattern:?}"));
+    let class: Vec<char> = body[..close].chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        match class[i] {
+            '\\' => {
+                let escaped = class
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                alphabet.push(match escaped {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => *other,
+                });
+                i += 2;
+            }
+            lo if i + 2 < class.len() && class[i + 1] == '-' => {
+                let hi = class[i + 2];
+                assert!(lo <= hi, "inverted range {lo}-{hi} in {pattern:?}");
+                alphabet.extend(lo..=hi);
+                i += 3;
+            }
+            single => {
+                alphabet.push(single);
+                i += 1;
+            }
+        }
+    }
+    (alphabet, &body[close + 1..])
+}
+
+fn parse_repetition(rest: &str) -> (usize, usize) {
+    if rest.is_empty() {
+        return (1, 1);
+    }
+    let body = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition suffix {rest:?}"));
+    match body.split_once(',') {
+        Some((min, max)) => (
+            min.trim().parse().expect("repetition minimum"),
+            max.trim().parse().expect("repetition maximum"),
+        ),
+        None => {
+            let n = body.trim().parse().expect("repetition count");
+            (n, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_class_with_range() {
+        let mut rng = TestRng::from_name("simple");
+        for _ in 0..100 {
+            let s = generate_matching("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn class_with_escapes() {
+        let allowed: Vec<char> = ('a'..='z')
+            .chain('A'..='Z')
+            .chain('0'..='9')
+            .chain([' ', '_', '-', '"', '\\', '/', '\n', '\t'])
+            .collect();
+        let mut rng = TestRng::from_name("escapes");
+        for _ in 0..100 {
+            let s = generate_matching("[a-zA-Z0-9 _\\-\"\\\\/\n\t]{0,20}", &mut rng);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| allowed.contains(&c)), "bad char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_any() {
+        let mut rng = TestRng::from_name("printable");
+        for _ in 0..100 {
+            let s = generate_matching("\\PC{0,100}", &mut rng);
+            assert!(s.len() <= 100);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no network access, so this shim provides the
+//! exact API surface the workspace uses — `StdRng`, `SeedableRng`,
+//! `Rng::gen_range` / `Rng::gen_bool` — backed by the SplitMix64 generator.
+//! It is deterministic and statistically adequate for workload generation;
+//! it is **not** cryptographic (nothing in the workspace needs it to be:
+//! protocol keys come from `parp_crypto`).
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Minimal core RNG interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling, mirroring `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u128;
+                // Modulo bias is ≤ span/2^64: negligible for simulation use.
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as u128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<i64> for Range<i64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> i64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = (self.end as i128 - self.start as i128) as u128;
+        let draw = (rng.next_u64() as u128) % span;
+        (self.start as i128 + draw as i128) as i64
+    }
+}
+
+/// Convenience methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform draw from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// A Bernoulli draw with success probability `p` (clamped to \[0,1\]).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let p = p.clamp(0.0, 1.0);
+        // 53 bits of mantissa: the same resolution the real crate offers.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Named RNG types, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64-backed stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood): passes BigCrush, one
+            // add + two xor-shift-multiplies per word.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(rng.gen_bool(1.0));
+            assert!(!rng.gen_bool(0.0));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&heads), "heads = {heads}");
+    }
+}

@@ -26,11 +26,13 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod multiproof;
 pub mod nibbles;
 mod node;
 mod proof;
 mod trie;
 
+pub use multiproof::verify_many;
 pub use node::{empty_root, Node};
 pub use proof::{verify_proof, ProofError};
 pub use trie::{Iter, Trie};

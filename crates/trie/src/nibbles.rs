@@ -85,7 +85,10 @@ mod tests {
         );
         // [0, f, 1, c, b, 8] leaf? No: [f, 1, c, b, 8, 10] in the paper uses
         // the terminator; here: odd leaf [f, 1, c, b, 8] -> 0x3f 0x1c 0xb8
-        assert_eq!(hp_encode(&[0xf, 1, 0xc, 0xb, 8], true), vec![0x3f, 0x1c, 0xb8]);
+        assert_eq!(
+            hp_encode(&[0xf, 1, 0xc, 0xb, 8], true),
+            vec![0x3f, 0x1c, 0xb8]
+        );
         // even leaf [0, f, 1, c, b, 8] -> 0x20 0x0f 0x1c 0xb8
         assert_eq!(
             hp_encode(&[0, 0xf, 1, 0xc, 0xb, 8], true),

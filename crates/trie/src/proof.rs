@@ -10,7 +10,7 @@ use crate::node::empty_root;
 use parp_crypto::keccak256;
 use parp_primitives::H256;
 use parp_rlp::{decode, Item};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
@@ -77,11 +77,34 @@ pub fn verify_proof(
             Err(ProofError::UnusedNodes)
         };
     }
+    let nodes = index_nodes(proof);
+    let mut used = HashSet::with_capacity(proof.len());
+    let result = walk(root, key, &nodes, &mut used)?;
+    // A path walk never revisits a node, so the used set counts exactly
+    // the touched proof entries.
+    if used.len() != proof.len() {
+        return Err(ProofError::UnusedNodes);
+    }
+    Ok(result)
+}
+
+/// Indexes RLP node encodings by their keccak hash.
+pub(crate) fn index_nodes(proof: &[Vec<u8>]) -> HashMap<H256, &[u8]> {
     let mut nodes: HashMap<H256, &[u8]> = HashMap::with_capacity(proof.len());
     for encoded in proof {
         nodes.insert(keccak256(encoded), encoded.as_slice());
     }
-    let mut used = 0usize;
+    nodes
+}
+
+/// Walks one key down the trie through `nodes`, recording every
+/// hash-referenced node the walk resolves into `used`.
+pub(crate) fn walk(
+    root: H256,
+    key: &[u8],
+    nodes: &HashMap<H256, &[u8]>,
+    used: &mut HashSet<H256>,
+) -> Result<Option<Vec<u8>>, ProofError> {
     let nibbles = bytes_to_nibbles(key);
     let mut remaining: &[u8] = &nibbles;
     let mut current_hash = root;
@@ -91,7 +114,7 @@ pub fn verify_proof(
         let encoded = nodes
             .get(&current_hash)
             .ok_or(ProofError::MissingNode(current_hash))?;
-        used += 1;
+        used.insert(current_hash);
         let mut item = decode(encoded).map_err(|_| ProofError::MalformedNode)?;
         // Inner loop: follow inline children without a map lookup.
         loop {
@@ -158,9 +181,6 @@ pub fn verify_proof(
             }
         }
     };
-    if used != proof.len() {
-        return Err(ProofError::UnusedNodes);
-    }
     Ok(result)
 }
 
@@ -294,11 +314,8 @@ mod tests {
         // Verifying key B against key A's proof either fails (missing
         // nodes) or proves nothing about B's value; it must never return
         // B's actual value bound to A's proof path.
-        match verify_proof(trie.root_hash(), key_b.as_bytes(), &proof_a) {
-            Ok(Some(value)) => {
-                assert_ne!(value, b"value-2".to_vec());
-            }
-            Ok(None) | Err(_) => {}
+        if let Ok(Some(value)) = verify_proof(trie.root_hash(), key_b.as_bytes(), &proof_a) {
+            assert_ne!(value, b"value-2".to_vec());
         }
     }
 

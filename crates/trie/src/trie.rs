@@ -119,8 +119,7 @@ impl Trie {
                 Node::Empty => break,
                 Node::Leaf { .. } => break,
                 Node::Extension { path, child } => {
-                    if remaining.len() < path.len() || &remaining[..path.len()] != path.as_slice()
-                    {
+                    if remaining.len() < path.len() || &remaining[..path.len()] != path.as_slice() {
                         break;
                     }
                     remaining = &remaining[path.len()..];
@@ -323,7 +322,13 @@ impl Trie {
                 if leaf_path.as_slice() == path {
                     (Node::Empty, Some(value))
                 } else {
-                    (Node::Leaf { path: leaf_path, value }, None)
+                    (
+                        Node::Leaf {
+                            path: leaf_path,
+                            value,
+                        },
+                        None,
+                    )
                 }
             }
             Node::Extension {
@@ -331,7 +336,13 @@ impl Trie {
                 child,
             } => {
                 if path.len() < ext_path.len() || &path[..ext_path.len()] != ext_path.as_slice() {
-                    return (Node::Extension { path: ext_path, child }, None);
+                    return (
+                        Node::Extension {
+                            path: ext_path,
+                            child,
+                        },
+                        None,
+                    );
                 }
                 let (new_child, removed) = Self::remove_node(*child, &path[ext_path.len()..]);
                 if removed.is_none() {
@@ -476,7 +487,7 @@ impl<'a> Iterator for Iter<'a> {
 }
 
 fn nibbles_to_bytes(nibbles: &[u8]) -> Vec<u8> {
-    debug_assert!(nibbles.len() % 2 == 0, "keys are whole bytes");
+    debug_assert!(nibbles.len().is_multiple_of(2), "keys are whole bytes");
     nibbles
         .chunks_exact(2)
         .map(|pair| (pair[0] << 4) | pair[1])
@@ -512,7 +523,10 @@ mod tests {
     fn insert_get_update() {
         let mut trie = Trie::new();
         assert_eq!(trie.insert(b"a".to_vec(), b"1".to_vec()), None);
-        assert_eq!(trie.insert(b"a".to_vec(), b"2".to_vec()), Some(b"1".to_vec()));
+        assert_eq!(
+            trie.insert(b"a".to_vec(), b"2".to_vec()),
+            Some(b"1".to_vec())
+        );
         assert_eq!(trie.get(b"a"), Some(&b"2"[..]));
         assert_eq!(trie.len(), 1);
     }
@@ -579,7 +593,9 @@ mod tests {
         let mut trie = Trie::new();
         let mut seed = 0x12345678u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             seed
         };
         for _ in 0..500 {
@@ -607,7 +623,9 @@ mod tests {
     #[test]
     fn iter_yields_sorted_pairs() {
         let mut trie = Trie::new();
-        let mut keys: Vec<Vec<u8>> = (0u16..40).map(|i| (i * 37).to_be_bytes().to_vec()).collect();
+        let mut keys: Vec<Vec<u8>> = (0u16..40)
+            .map(|i| (i * 37).to_be_bytes().to_vec())
+            .collect();
         for key in &keys {
             trie.insert(key.clone(), key.clone());
         }

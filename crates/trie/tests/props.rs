@@ -1,7 +1,7 @@
 //! Property tests: the trie against a BTreeMap model, root determinism,
 //! and proof soundness/completeness.
 
-use parp_trie::{verify_proof, Trie};
+use parp_trie::{verify_many, verify_proof, Trie};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -105,9 +105,51 @@ proptest! {
         root_bytes[(flip % 32) as usize] ^= 1 | (flip >> 3);
         let tampered = parp_primitives::H256::new(root_bytes);
         prop_assume!(tampered != trie.root_hash());
-        match verify_proof(tampered, key, &proof) {
-            Ok(Some(v)) => prop_assert_ne!(&v, value),
-            Ok(None) | Err(_) => {}
+        if let Ok(Some(v)) = verify_proof(tampered, key, &proof) { prop_assert_ne!(&v, value) }
+    }
+
+    #[test]
+    fn multiproof_agrees_with_single_proofs(
+        pairs in arb_pairs(),
+        probes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..12), 1..12),
+    ) {
+        // verify_many accepts exactly the key/value sets whose per-key
+        // single proofs verify against the same root: for an arbitrary
+        // mix of present, absent and duplicate keys, every per-key result
+        // must equal the single-proof verdict for that key.
+        let trie: Trie = pairs.clone().into_iter().collect();
+        let root = trie.root_hash();
+        let mut keys: Vec<Vec<u8>> = pairs.iter().map(|(k, _)| k.clone()).collect();
+        keys.extend(probes); // arbitrary probes: absent keys and duplicates
+        let proof = trie.prove_many(&keys);
+        let results = verify_many(root, &keys, &proof).unwrap();
+        prop_assert_eq!(results.len(), keys.len());
+        for (key, result) in keys.iter().zip(&results) {
+            let single = trie.prove(key);
+            prop_assert_eq!(result, &verify_proof(root, key, &single).unwrap());
         }
+        // And the deduplicated node set never exceeds the concatenation.
+        let multi_bytes: usize = proof.iter().map(Vec::len).sum();
+        let single_bytes: usize = keys
+            .iter()
+            .map(|k| trie.prove(k).iter().map(Vec::len).sum::<usize>())
+            .sum();
+        prop_assert!(multi_bytes <= single_bytes);
+    }
+
+    #[test]
+    fn multiproof_rejects_forgery(pairs in arb_pairs(), flip in any::<u16>()) {
+        // Soundness: corrupting any byte of any node changes that node's
+        // hash, so either a walk dead-ends (missing node) or the altered
+        // node goes unreferenced (padding) — verification must fail.
+        prop_assume!(!pairs.is_empty());
+        let trie: Trie = pairs.clone().into_iter().collect();
+        let root = trie.root_hash();
+        let keys: Vec<Vec<u8>> = pairs.iter().map(|(k, _)| k.clone()).collect();
+        let mut proof = trie.prove_many(&keys);
+        let node = (flip as usize / 8) % proof.len();
+        let byte = (flip as usize) % proof[node].len();
+        proof[node][byte] ^= 1 | ((flip >> 8) as u8);
+        prop_assert!(verify_many(root, &keys, &proof).is_err());
     }
 }

@@ -27,7 +27,8 @@ fn main() {
 
     // The rogue node answers with data from an old block — one of the
     // three §V-D fraud conditions (timestamp check).
-    net.node_mut(rogue).set_misbehavior(Misbehavior::StaleHeight);
+    net.node_mut(rogue)
+        .set_misbehavior(Misbehavior::StaleHeight);
     println!("rogue node now serves stale data\n");
 
     let me = client.address();
@@ -48,7 +49,10 @@ fn main() {
     let witness_before = net.chain().balance(&net.node(witness).address());
     let accepted = net.report_fraud(&evidence, witness).expect("relay");
     assert!(accepted, "the fraud proof must be accepted on-chain");
-    println!("witness {} relayed the proof on-chain", net.node(witness).address());
+    println!(
+        "witness {} relayed the proof on-chain",
+        net.node(witness).address()
+    );
 
     // Consequences.
     let slashed = min_deposit();

@@ -56,7 +56,7 @@ fn main() {
 
     // A doctored claim does not survive verification.
     let mut doctored = proof.clone();
-    doctored.receipts[0].amount = doctored.receipts[0].amount + U256::from(1_000u64);
+    doctored.receipts[0].amount += U256::from(1_000u64);
     match verify_serving_proof(&doctored, net.executor().cmm()) {
         Err(e) => println!("doctored claim rejected: {e}"),
         Ok(_) => panic!("inflated receipts must not verify"),

@@ -14,7 +14,7 @@ fn main() {
         "provider", "dApps", "share", "sign-up requirement", "tiers", "crypto"
     );
     let mut records = providers();
-    records.sort_by(|a, b| b.dapp_count.cmp(&a.dapp_count));
+    records.sort_by_key(|p| std::cmp::Reverse(p.dapp_count));
     for p in &records {
         let signup = if p.wallet_login && !p.email_required {
             "wallet only (permissionless)"
@@ -39,7 +39,10 @@ fn main() {
 
     // The centralization headline numbers from §II-B.
     let infura = records.iter().find(|p| p.name == "Infura").expect("infura");
-    let alchemy = records.iter().find(|p| p.name == "Alchemy").expect("alchemy");
+    let alchemy = records
+        .iter()
+        .find(|p| p.name == "Alchemy")
+        .expect("alchemy");
     println!(
         "\nheadline: Infura alone serves {:.2}% of RPC dApps; Infura+Alchemy {:.2}%",
         traffic_share(infura),

@@ -17,7 +17,10 @@ fn main() {
     // in the deposit module and registers as serving.
     let mut net = Network::new();
     let node = net.spawn_node(b"quickstart-node", U256::from(10u64));
-    println!("full node {} is staked and serving", net.node(node).address());
+    println!(
+        "full node {} is staked and serving",
+        net.node(node).address()
+    );
     println!("on-chain registry: {:?}", net.registry());
 
     // A light client: just a key pair — no e-mail, no API key.
@@ -55,6 +58,7 @@ fn main() {
     println!("node receivable: {earned} wei over {calls} call(s)");
 
     // Cooperative close: dispute window passes, funds settle.
-    net.close_cooperatively(&mut client, node).expect("settlement");
+    net.close_cooperatively(&mut client, node)
+        .expect("settlement");
     println!("channel settled; node balance includes its {earned} wei of earnings");
 }

@@ -67,7 +67,10 @@ fn main() {
         net.fund(address);
     }
 
-    println!("wallet connects to primary node {}", net.node(primary).address());
+    println!(
+        "wallet connects to primary node {}",
+        net.node(primary).address()
+    );
     net.connect(&mut wallet, primary, U256::from(100_000u64))
         .expect("connect primary");
 
@@ -76,7 +79,8 @@ fn main() {
 
     // The primary node turns malicious: it starts forging balances.
     println!("\nprimary node starts forging results...");
-    net.node_mut(primary).set_misbehavior(Misbehavior::ForgedResult);
+    net.node_mut(primary)
+        .set_misbehavior(Misbehavior::ForgedResult);
     match watch_once(&mut net, &mut wallet, primary) {
         Err(reason) => println!("balance sweep #2 aborted: {reason}"),
         Ok(()) => panic!("forged balances must not verify"),
@@ -84,7 +88,10 @@ fn main() {
 
     // Fail-over: permissionless means a new channel is one handshake away.
     wallet.abandon_connection();
-    println!("\nwallet fails over to backup node {}", net.node(backup).address());
+    println!(
+        "\nwallet fails over to backup node {}",
+        net.node(backup).address()
+    );
     net.connect(&mut wallet, backup, U256::from(100_000u64))
         .expect("connect backup");
     println!("balance sweep #3 (backup node):");

@@ -1,0 +1,514 @@
+//! End-to-end tests for the batched request pipeline: one signature, many
+//! calls, one deduplicated multiproof — with per-item fraud attribution
+//! and cumulative-payment monotonicity across mixed single/batch traffic.
+
+use parp_suite::contracts::{FraudVerdict, ParpBatchRequest, RpcCall};
+use parp_suite::core::{
+    Classification, Misbehavior, ProcessBatchOutcome, ProcessOutcome, ServeError,
+};
+use parp_suite::crypto::keccak256;
+use parp_suite::net::Network;
+use parp_suite::primitives::{Address, U256};
+use parp_suite::trie::verify_many;
+
+const PRICE: u64 = 10;
+
+fn connected() -> (
+    Network,
+    parp_suite::net::NodeId,
+    parp_suite::core::LightClient,
+) {
+    let mut net = Network::new();
+    let node = net.spawn_node(b"batch-node", U256::from(PRICE));
+    let mut client = net.spawn_client(b"batch-client", U256::from(PRICE));
+    net.connect(&mut client, node, U256::from(1_000_000u64))
+        .expect("connect");
+    (net, node, client)
+}
+
+fn funded_addresses(net: &mut Network, n: u64) -> Vec<Address> {
+    let addresses: Vec<Address> = (0..n)
+        .map(|i| Address::from_low_u64_be(0xB000 + i))
+        .collect();
+    for address in &addresses {
+        net.fund(*address);
+    }
+    addresses
+}
+
+#[test]
+fn batch_of_reads_verifies_end_to_end() {
+    let (mut net, node, mut client) = connected();
+    let addresses = funded_addresses(&mut net, 8);
+    net.sync_client(&mut client);
+    let calls: Vec<RpcCall> = addresses
+        .iter()
+        .map(|a| RpcCall::GetBalance { address: *a })
+        .chain([RpcCall::BlockNumber])
+        .collect();
+    let n = calls.len() as u64;
+    let (outcome, stats) = net
+        .parp_batch_call(&mut client, node, calls)
+        .expect("batch call");
+    let ProcessBatchOutcome::Valid { results, proven } = outcome else {
+        panic!("expected valid batch, got {outcome:?}");
+    };
+    assert_eq!(results.len(), n as usize);
+    // Balance reads are multiproof-backed; the chain-tip query is not.
+    assert_eq!(proven[..8], [true; 8]);
+    assert!(!proven[8]);
+    assert!(stats.proof_bytes > 0);
+    // One batch advanced the ledger by N × price.
+    assert_eq!(client.channel().unwrap().spent, U256::from(n * PRICE));
+    assert_eq!(client.valid_responses(), n);
+    assert_eq!(net.node(node).requests_served(), n);
+}
+
+#[test]
+fn empty_batch_rejected_by_client_and_server() {
+    let (mut net, node, mut client) = connected();
+    // Client refuses to build one.
+    assert_eq!(
+        client.request_batch(Vec::new()),
+        Err(parp_suite::core::ClientError::EmptyBatch)
+    );
+    // A hand-built empty batch is refused by the server.
+    let request = ParpBatchRequest::build(
+        client.secret(),
+        client.channel().unwrap().id,
+        client.tip().unwrap().hash(),
+        U256::from(PRICE),
+        Vec::new(),
+    );
+    assert!(matches!(
+        net.serve_batch(node, &request),
+        Err(parp_suite::net::SimError::Serve(ServeError::EmptyBatch))
+    ));
+}
+
+#[test]
+fn unbatchable_calls_rejected() {
+    let (mut net, node, mut client) = connected();
+    let write = RpcCall::SendRawTransaction { raw: vec![1, 2, 3] };
+    let lookup = RpcCall::GetTransactionByHash {
+        hash: keccak256(b"tx"),
+    };
+    for call in [write, lookup] {
+        assert_eq!(
+            client.request_batch(vec![RpcCall::BlockNumber, call.clone()]),
+            Err(parp_suite::core::ClientError::UnbatchableCall)
+        );
+        // The server refuses them too, independently of the client.
+        let request = ParpBatchRequest::build(
+            client.secret(),
+            client.channel().unwrap().id,
+            client.tip().unwrap().hash(),
+            U256::from(2 * PRICE),
+            vec![RpcCall::BlockNumber, call],
+        );
+        assert!(matches!(
+            net.serve_batch(node, &request),
+            Err(parp_suite::net::SimError::Serve(
+                ServeError::UnbatchableCall
+            ))
+        ));
+    }
+}
+
+#[test]
+fn duplicate_keys_deduplicated_in_multiproof() {
+    let (mut net, node, mut client) = connected();
+    let addresses = funded_addresses(&mut net, 2);
+    net.sync_client(&mut client);
+    let target = addresses[0];
+    // Five reads of the same account: the multiproof must carry that
+    // account's path once, not five times.
+    let repeated = client
+        .request_batch(vec![RpcCall::GetBalance { address: target }; 5])
+        .expect("batch request");
+    let repeated_response = net.serve_batch(node, &repeated).expect("serve");
+    net.sync_client(&mut client);
+    // The deduplicated proof verifies all five items.
+    let outcome = client
+        .process_batch_response(&repeated_response)
+        .expect("process");
+    let ProcessBatchOutcome::Valid { results, .. } = outcome else {
+        panic!("expected valid, got {outcome:?}");
+    };
+    assert_eq!(results.len(), 5);
+    assert!(results.iter().all(|r| r == &results[0]));
+    // A single read of the same account needs the identical node set:
+    // duplicate keys contributed nothing extra.
+    let distinct = client
+        .request_batch(vec![RpcCall::GetBalance { address: target }])
+        .expect("batch request");
+    let distinct_response = net.serve_batch(node, &distinct).expect("serve");
+    assert_eq!(
+        repeated_response.multiproof, distinct_response.multiproof,
+        "duplicate keys must not enlarge the multiproof"
+    );
+}
+
+#[test]
+fn one_forged_item_classified_per_item_and_yields_evidence() {
+    let (mut net, node, mut client) = connected();
+    let addresses = funded_addresses(&mut net, 4);
+    net.sync_client(&mut client);
+    // Forge only the last item's result; the other three stay honest.
+    net.node_mut(node)
+        .set_misbehavior(Misbehavior::ForgedResult);
+    let calls: Vec<RpcCall> = addresses
+        .iter()
+        .map(|a| RpcCall::GetBalance { address: *a })
+        .collect();
+    let (outcome, _) = net
+        .parp_batch_call(&mut client, node, calls)
+        .expect("batch call");
+    let ProcessBatchOutcome::Fraud { items, evidence } = outcome else {
+        panic!("expected fraud, got {outcome:?}");
+    };
+    assert_eq!(items.len(), 4);
+    assert_eq!(items[0], Classification::Valid);
+    assert_eq!(items[1], Classification::Valid);
+    assert_eq!(items[2], Classification::Valid);
+    assert_eq!(
+        items[3],
+        Classification::Fraudulent(FraudVerdict::InvalidProof)
+    );
+    assert_eq!(evidence.item, Some(3));
+    assert_eq!(evidence.verdict, FraudVerdict::InvalidProof);
+    // The evidence binds the node's own signature to the forged item.
+    assert_eq!(evidence.response.signer(), Some(net.node(node).address()));
+}
+
+#[test]
+fn batch_level_fraud_condemns_every_item() {
+    for (misbehavior, verdict) in [
+        (Misbehavior::WrongAmount, FraudVerdict::AmountMismatch),
+        (Misbehavior::StaleHeight, FraudVerdict::StaleBlockHeight),
+        (Misbehavior::CorruptProof, FraudVerdict::InvalidProof),
+        (Misbehavior::OmitProof, FraudVerdict::InvalidProof),
+    ] {
+        let (mut net, node, mut client) = connected();
+        let addresses = funded_addresses(&mut net, 3);
+        net.sync_client(&mut client);
+        net.node_mut(node).set_misbehavior(misbehavior);
+        let calls: Vec<RpcCall> = addresses
+            .iter()
+            .map(|a| RpcCall::GetBalance { address: *a })
+            .collect();
+        let (outcome, _) = net
+            .parp_batch_call(&mut client, node, calls)
+            .expect("batch call");
+        let ProcessBatchOutcome::Fraud { items, evidence } = outcome else {
+            panic!("{misbehavior:?}: expected fraud, got {outcome:?}");
+        };
+        assert_eq!(evidence.item, None, "{misbehavior:?} is batch-level");
+        assert_eq!(evidence.verdict, verdict, "{misbehavior:?}");
+        assert!(
+            items
+                .iter()
+                .all(|c| *c == Classification::Fraudulent(verdict)),
+            "{misbehavior:?}: every item condemned"
+        );
+    }
+}
+
+#[test]
+fn unprovable_batch_misbehavior_is_invalid_not_fraud() {
+    for misbehavior in [
+        Misbehavior::WrongChannelId,
+        Misbehavior::WrongResponseKey,
+        Misbehavior::WrongRequestHash,
+    ] {
+        let (mut net, node, mut client) = connected();
+        let addresses = funded_addresses(&mut net, 2);
+        net.sync_client(&mut client);
+        net.node_mut(node).set_misbehavior(misbehavior);
+        let calls: Vec<RpcCall> = addresses
+            .iter()
+            .map(|a| RpcCall::GetBalance { address: *a })
+            .collect();
+        let (outcome, _) = net
+            .parp_batch_call(&mut client, node, calls)
+            .expect("batch call");
+        assert!(
+            matches!(outcome, ProcessBatchOutcome::Invalid(_)),
+            "{misbehavior:?}: expected invalid, got {outcome:?}"
+        );
+    }
+}
+
+#[test]
+fn cumulative_payment_monotonic_across_mixed_traffic() {
+    let (mut net, node, mut client) = connected();
+    let addresses = funded_addresses(&mut net, 4);
+    net.sync_client(&mut client);
+    let me = client.address();
+
+    // Single call: spent 0 → 10.
+    let (outcome, _) = net
+        .parp_call(&mut client, node, RpcCall::GetBalance { address: me })
+        .expect("single");
+    assert!(matches!(outcome, ProcessOutcome::Valid { .. }));
+    assert_eq!(client.channel().unwrap().spent, U256::from(PRICE));
+
+    // Batch of 4: spent 10 → 50.
+    let calls: Vec<RpcCall> = addresses
+        .iter()
+        .map(|a| RpcCall::GetBalance { address: *a })
+        .collect();
+    let (outcome, _) = net
+        .parp_batch_call(&mut client, node, calls)
+        .expect("batch");
+    assert!(matches!(outcome, ProcessBatchOutcome::Valid { .. }));
+    assert_eq!(client.channel().unwrap().spent, U256::from(5 * PRICE));
+
+    // Another single: spent 50 → 60.
+    let (outcome, _) = net
+        .parp_call(&mut client, node, RpcCall::BlockNumber)
+        .expect("single");
+    assert!(matches!(outcome, ProcessOutcome::Valid { .. }));
+    assert_eq!(client.channel().unwrap().spent, U256::from(6 * PRICE));
+
+    // The node's receivable tracks the same cumulative amount, and its
+    // per-channel call count includes the batched items.
+    let channel_id = client.channel().unwrap().id;
+    let served = net.node(node).served_channel(channel_id).expect("served");
+    assert_eq!(served.latest_amount, U256::from(6 * PRICE));
+    assert_eq!(served.calls_served, 6);
+
+    // Replaying the committed amount (no increase) is refused: a batch
+    // paying only the current total offers nothing for its items.
+    let replay = ParpBatchRequest::build(
+        client.secret(),
+        channel_id,
+        client.tip().unwrap().hash(),
+        U256::from(6 * PRICE),
+        vec![RpcCall::BlockNumber],
+    );
+    assert!(matches!(
+        net.serve_batch(node, &replay),
+        Err(parp_suite::net::SimError::Serve(
+            ServeError::InsufficientPayment { .. }
+        ))
+    ));
+
+    // An underpaying batch (N items, fewer than N × price on top) too.
+    let underpay = ParpBatchRequest::build(
+        client.secret(),
+        channel_id,
+        client.tip().unwrap().hash(),
+        U256::from(6 * PRICE + PRICE), // one price for a two-item batch
+        vec![RpcCall::BlockNumber, RpcCall::BlockNumber],
+    );
+    assert!(matches!(
+        net.serve_batch(node, &underpay),
+        Err(parp_suite::net::SimError::Serve(
+            ServeError::InsufficientPayment { .. }
+        ))
+    ));
+}
+
+#[test]
+fn batch_beats_singles_on_proof_bytes_and_server_time() {
+    // The acceptance check: a 64-call GetBalance batch uses fewer total
+    // proof bytes and lower per-call server time than 64 single calls.
+    let (mut net, node, mut client) = connected();
+    let addresses = funded_addresses(&mut net, 64);
+    net.sync_client(&mut client);
+
+    let mut singles_proof_bytes = 0usize;
+    let mut singles_server_us = 0u64;
+    for address in &addresses {
+        let (outcome, stats) = net
+            .parp_call(&mut client, node, RpcCall::GetBalance { address: *address })
+            .expect("single");
+        assert!(matches!(outcome, ProcessOutcome::Valid { .. }));
+        singles_proof_bytes += stats.proof_bytes;
+        singles_server_us += stats.server_us;
+    }
+
+    let calls: Vec<RpcCall> = addresses
+        .iter()
+        .map(|a| RpcCall::GetBalance { address: *a })
+        .collect();
+    let (outcome, stats) = net
+        .parp_batch_call(&mut client, node, calls)
+        .expect("batch");
+    assert!(matches!(outcome, ProcessBatchOutcome::Valid { .. }));
+
+    assert!(
+        stats.proof_bytes < singles_proof_bytes,
+        "batch multiproof ({} B) must undercut 64 single proofs ({} B)",
+        stats.proof_bytes,
+        singles_proof_bytes
+    );
+    // Per-call server time: the batch's one signature check and one trie
+    // build amortize over all 64 items.
+    assert!(
+        stats.server_us < singles_server_us,
+        "batch server time ({} µs for 64 calls) must undercut 64 singles ({} µs)",
+        stats.server_us,
+        singles_server_us
+    );
+}
+
+#[test]
+fn batch_multiproof_verifies_against_header_root() {
+    // The served multiproof is a real trie multiproof: verify it directly
+    // against the header's state root with verify_many.
+    let (mut net, node, mut client) = connected();
+    let addresses = funded_addresses(&mut net, 6);
+    net.sync_client(&mut client);
+    let calls: Vec<RpcCall> = addresses
+        .iter()
+        .map(|a| RpcCall::GetBalance { address: *a })
+        .collect();
+    let request = client.request_batch(calls).expect("request");
+    let response = net.serve_batch(node, &request).expect("serve");
+    net.sync_client(&mut client);
+    let header = client.header(response.block_number).expect("header");
+    let keys: Vec<Vec<u8>> = addresses
+        .iter()
+        .map(|a| keccak256(a.as_bytes()).as_bytes().to_vec())
+        .collect();
+    let proven = verify_many(header.state_root, &keys, &response.multiproof).expect("verifies");
+    for (value, result) in proven.iter().zip(&response.results) {
+        assert_eq!(value.as_ref().expect("funded account"), result);
+    }
+}
+
+#[test]
+fn batch_fraud_evidence_slashes_on_chain() {
+    // The full accountability loop for batches: a forged item inside a
+    // signed batch → client evidence → witness relays the proof → the
+    // FDM condemns the node, slashes its deposit and rewards the client.
+    let mut net = Network::new();
+    let rogue = net.spawn_node(b"batch-rogue", U256::from(PRICE));
+    let witness = net.spawn_node(b"batch-witness", U256::from(PRICE));
+    let mut client = net.spawn_client(b"batch-victim", U256::from(PRICE));
+    net.connect(&mut client, rogue, U256::from(100_000u64))
+        .expect("connect");
+    let addresses = funded_addresses(&mut net, 4);
+    net.sync_client(&mut client);
+    net.node_mut(rogue)
+        .set_misbehavior(Misbehavior::ForgedResult);
+    let calls: Vec<RpcCall> = addresses
+        .iter()
+        .map(|a| RpcCall::GetBalance { address: *a })
+        .collect();
+    let (outcome, _) = net
+        .parp_batch_call(&mut client, rogue, calls)
+        .expect("batch call");
+    let ProcessBatchOutcome::Fraud { evidence, .. } = outcome else {
+        panic!("expected fraud, got {outcome:?}");
+    };
+    let offender = net.node(rogue).address();
+    let deposit_before = net.executor().fndm().deposit_of(&offender);
+    assert!(deposit_before > U256::ZERO);
+    assert!(
+        net.report_batch_fraud(&evidence, witness).expect("relay"),
+        "batch fraud proof must be accepted on-chain"
+    );
+    assert_eq!(net.executor().fndm().deposit_of(&offender), U256::ZERO);
+    let record = net
+        .executor()
+        .fdm()
+        .record(&evidence.request.request_hash)
+        .expect("fraud record");
+    assert_eq!(record.offender, offender);
+    assert_eq!(record.verdict, FraudVerdict::InvalidProof);
+    assert_eq!(record.slashed, deposit_before);
+    // Double reporting the same batch is refused.
+    assert!(!net.report_batch_fraud(&evidence, witness).expect("relay"));
+}
+
+#[test]
+fn honest_batch_cannot_be_framed() {
+    // Submitting a "fraud proof" against an honestly served batch must
+    // revert: the FDM finds no condition and the node keeps its deposit.
+    let mut net = Network::new();
+    let node = net.spawn_node(b"frame-node", U256::from(PRICE));
+    let witness = net.spawn_node(b"frame-witness", U256::from(PRICE));
+    let mut client = net.spawn_client(b"frame-client", U256::from(PRICE));
+    net.connect(&mut client, node, U256::from(100_000u64))
+        .expect("connect");
+    let addresses = funded_addresses(&mut net, 3);
+    net.sync_client(&mut client);
+    let calls: Vec<RpcCall> = addresses
+        .iter()
+        .map(|a| RpcCall::GetBalance { address: *a })
+        .collect();
+    let request = client.request_batch(calls).expect("request");
+    let response = net.serve_batch(node, &request).expect("serve");
+    net.sync_client(&mut client);
+    let header = client
+        .header(response.block_number)
+        .expect("header")
+        .clone();
+    let evidence = parp_suite::core::BatchFraudEvidence {
+        request,
+        response,
+        header,
+        verdict: FraudVerdict::InvalidProof,
+        item: Some(0),
+    };
+    let offender = net.node(node).address();
+    let deposit_before = net.executor().fndm().deposit_of(&offender);
+    assert!(
+        !net.report_batch_fraud(&evidence, witness).expect("relay"),
+        "framing an honest batch must revert"
+    );
+    assert_eq!(net.executor().fndm().deposit_of(&offender), deposit_before);
+}
+
+#[test]
+fn probe_batches_served_while_channel_is_closing() {
+    // The §V-C Closing-channel allowance applies to batches made purely
+    // of liveness probes, matching the single-call path; anything else
+    // in the batch requires an Open channel.
+    let (mut net, node, mut client) = connected();
+    let channel_id = client.channel().unwrap().id;
+    // The node secretly starts closing the channel with the zero state.
+    let node_key = *net.node(node).secret();
+    let close = parp_suite::contracts::ModuleCall::CloseChannel {
+        channel_id,
+        amount: U256::ZERO,
+        payment_sig: parp_suite::crypto::sign(
+            client.secret(),
+            &parp_suite::contracts::payment_digest(channel_id, &U256::ZERO),
+        ),
+    };
+    assert!(net
+        .submit_module_call(&node_key, close, U256::ZERO)
+        .unwrap());
+    net.sync_client(&mut client);
+    // A pure probe batch is still served...
+    let probes = vec![RpcCall::GetChannelStatus { channel_id }; 2];
+    let request = client.request_batch(probes).expect("probe batch");
+    let response = net
+        .serve_batch(node, &request)
+        .expect("served while closing");
+    assert!(response
+        .results
+        .iter()
+        .all(|r| !parp_suite::core::LightClient::channel_reported_open(r)));
+    // ...but a batch with any other call is refused.
+    let mixed = ParpBatchRequest::build(
+        client.secret(),
+        channel_id,
+        client.tip().unwrap().hash(),
+        U256::from(4 * PRICE),
+        vec![
+            RpcCall::GetChannelStatus { channel_id },
+            RpcCall::BlockNumber,
+        ],
+    );
+    assert!(matches!(
+        net.serve_batch(node, &mixed),
+        Err(parp_suite::net::SimError::Serve(
+            ServeError::ChannelNotOpen(_)
+        ))
+    ));
+}

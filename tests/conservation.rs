@@ -24,10 +24,19 @@ fn supply_constant_through_happy_path() {
     let supply_genesis = total_supply(&net);
     let node = net.spawn_node(b"cons-node", U256::from(10u64));
     let mut client = net.spawn_client(b"cons-client", U256::from(10u64));
-    assert_eq!(total_supply(&net), supply_genesis, "funding moves, not mints");
+    assert_eq!(
+        total_supply(&net),
+        supply_genesis,
+        "funding moves, not mints"
+    );
 
-    net.connect(&mut client, node, U256::from(10_000u64)).unwrap();
-    assert_eq!(total_supply(&net), supply_genesis, "channel open escrows, not burns");
+    net.connect(&mut client, node, U256::from(10_000u64))
+        .unwrap();
+    assert_eq!(
+        total_supply(&net),
+        supply_genesis,
+        "channel open escrows, not burns"
+    );
 
     let me = client.address();
     for _ in 0..4 {
@@ -37,7 +46,11 @@ fn supply_constant_through_happy_path() {
         assert!(matches!(outcome, ProcessOutcome::Valid { .. }));
     }
     net.close_cooperatively(&mut client, node).unwrap();
-    assert_eq!(total_supply(&net), supply_genesis, "settlement redistributes only");
+    assert_eq!(
+        total_supply(&net),
+        supply_genesis,
+        "settlement redistributes only"
+    );
 }
 
 #[test]
@@ -47,8 +60,10 @@ fn supply_constant_through_fraud_and_slash() {
     let rogue = net.spawn_node(b"cons-rogue", U256::from(10u64));
     let witness = net.spawn_node(b"cons-witness", U256::from(10u64));
     let mut client = net.spawn_client(b"cons-victim", U256::from(10u64));
-    net.connect(&mut client, rogue, U256::from(5_000u64)).unwrap();
-    net.node_mut(rogue).set_misbehavior(Misbehavior::WrongAmount);
+    net.connect(&mut client, rogue, U256::from(5_000u64))
+        .unwrap();
+    net.node_mut(rogue)
+        .set_misbehavior(Misbehavior::WrongAmount);
 
     let (outcome, _) = net
         .parp_call(&mut client, rogue, RpcCall::BlockNumber)
@@ -61,9 +76,7 @@ fn supply_constant_through_fraud_and_slash() {
     // module's pool; nothing leaves the system.
     assert_eq!(total_supply(&net), supply_genesis);
     // The pool share sits on the FNDM's module account balance.
-    let module_balance = net
-        .chain()
-        .balance(&parp_suite::contracts::fndm_address());
+    let module_balance = net.chain().balance(&parp_suite::contracts::fndm_address());
     assert!(module_balance >= net.executor().fndm().pool());
 }
 
@@ -73,7 +86,8 @@ fn supply_constant_under_mixed_workload() {
     let supply_genesis = total_supply(&net);
     let node = net.spawn_node(b"cons-mix-node", U256::from(10u64));
     let mut client = net.spawn_client(b"cons-mix-client", U256::from(10u64));
-    net.connect(&mut client, node, U256::from(100_000u64)).unwrap();
+    net.connect(&mut client, node, U256::from(100_000u64))
+        .unwrap();
 
     let sender = parp_suite::crypto::SecretKey::from_seed(b"cons-sender");
     net.fund(sender.address());

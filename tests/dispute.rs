@@ -3,7 +3,9 @@
 //! with a newer signed state inside the window, and the chain honors the
 //! highest valid amount.
 
-use parp_suite::contracts::{payment_digest, ChannelStatus, ModuleCall, RpcCall, DISPUTE_WINDOW_BLOCKS};
+use parp_suite::contracts::{
+    payment_digest, ChannelStatus, ModuleCall, RpcCall, DISPUTE_WINDOW_BLOCKS,
+};
 use parp_suite::core::ProcessOutcome;
 use parp_suite::net::Network;
 use parp_suite::primitives::U256;
@@ -13,7 +15,8 @@ fn node_disputes_a_stale_client_close() {
     let mut net = Network::new();
     let node = net.spawn_node(b"disp-node", U256::from(100u64));
     let mut client = net.spawn_client(b"disp-client", U256::from(100u64));
-    net.connect(&mut client, node, U256::from(10_000u64)).unwrap();
+    net.connect(&mut client, node, U256::from(10_000u64))
+        .unwrap();
 
     // Five paid calls: the node holds σ_a for a=500.
     for _ in 0..5 {
@@ -103,9 +106,11 @@ fn dispute_window_resets_on_each_newer_state() {
     let mut net = Network::new();
     let node = net.spawn_node(b"dw-node", U256::from(10u64));
     let mut client = net.spawn_client(b"dw-client", U256::from(10u64));
-    net.connect(&mut client, node, U256::from(1_000u64)).unwrap();
+    net.connect(&mut client, node, U256::from(1_000u64))
+        .unwrap();
     for _ in 0..3 {
-        net.parp_call(&mut client, node, RpcCall::BlockNumber).unwrap();
+        net.parp_call(&mut client, node, RpcCall::BlockNumber)
+            .unwrap();
     }
 
     // Client closes with a=10 (its first signed state).
@@ -123,8 +128,7 @@ fn dispute_window_resets_on_each_newer_state() {
             U256::ZERO,
         )
         .unwrap());
-    let ChannelStatus::Closing { deadline: d1 } =
-        net.executor().cmm().channel(0).unwrap().status
+    let ChannelStatus::Closing { deadline: d1 } = net.executor().cmm().channel(0).unwrap().status
     else {
         panic!("closing expected");
     };
@@ -133,7 +137,9 @@ fn dispute_window_resets_on_each_newer_state() {
     net.advance_blocks(5).unwrap();
     let counter = net.node(node).close_channel_call(0).unwrap();
     let ModuleCall::CloseChannel {
-        amount, payment_sig, ..
+        amount,
+        payment_sig,
+        ..
     } = counter
     else {
         panic!("close call expected");
@@ -150,15 +156,15 @@ fn dispute_window_resets_on_each_newer_state() {
             U256::ZERO,
         )
         .unwrap());
-    let ChannelStatus::Closing { deadline: d2 } =
-        net.executor().cmm().channel(0).unwrap().status
+    let ChannelStatus::Closing { deadline: d2 } = net.executor().cmm().channel(0).unwrap().status
     else {
         panic!("still closing");
     };
     assert!(d2 > d1, "window must reset: {d1} -> {d2}");
 
     // Early confirmation still fails after the reset.
-    net.advance_blocks(d1.saturating_sub(net.chain().height())).unwrap();
+    net.advance_blocks(d1.saturating_sub(net.chain().height()))
+        .unwrap();
     assert!(!net
         .submit_module_call(
             &node_key,

@@ -39,7 +39,9 @@ fn full_lifecycle_with_cooperative_close() {
         assert!(proven, "balance reads carry Merkle proofs");
         assert!(stats.request_bytes > 200);
     }
-    let (outcome, _) = net.parp_call(&mut client, node, RpcCall::BlockNumber).unwrap();
+    let (outcome, _) = net
+        .parp_call(&mut client, node, RpcCall::BlockNumber)
+        .unwrap();
     assert!(matches!(outcome, ProcessOutcome::Valid { .. }));
 
     // The client committed 6 calls x 10 wei.
@@ -70,7 +72,8 @@ fn node_redeems_with_clients_latest_signature() {
     let mut net = Network::new();
     let node = net.spawn_node(b"redeem-node", U256::from(10u64));
     let mut client = net.spawn_client(b"redeem-client", U256::from(10u64));
-    net.connect(&mut client, node, U256::from(1_000u64)).unwrap();
+    net.connect(&mut client, node, U256::from(1_000u64))
+        .unwrap();
 
     for _ in 0..3 {
         let (outcome, _) = net
@@ -122,7 +125,8 @@ fn write_workload_lands_on_chain_with_proof() {
     let mut net = Network::new();
     let node = net.spawn_node(b"write-node", U256::from(10u64));
     let mut client = net.spawn_client(b"write-client", U256::from(10u64));
-    net.connect(&mut client, node, U256::from(10_000u64)).unwrap();
+    net.connect(&mut client, node, U256::from(10_000u64))
+        .unwrap();
 
     let sender = parp_suite::crypto::SecretKey::from_seed(b"write-sender");
     net.fund(sender.address());
@@ -157,7 +161,8 @@ fn receipt_queries_are_proven_against_the_receipt_trie() {
     let mut net = Network::new();
     let node = net.spawn_node(b"rcpt-node", U256::from(10u64));
     let mut client = net.spawn_client(b"rcpt-client", U256::from(10u64));
-    net.connect(&mut client, node, U256::from(10_000u64)).unwrap();
+    net.connect(&mut client, node, U256::from(10_000u64))
+        .unwrap();
 
     // Include a transfer through the node, then query its receipt.
     let sender = parp_suite::crypto::SecretKey::from_seed(b"rcpt-sender");
@@ -196,8 +201,7 @@ fn receipt_queries_are_proven_against_the_receipt_trie() {
     assert!(stats.proof_bytes > 0);
     // The payload decodes to (index, receipt) and the receipt succeeded.
     let fields = parp_suite::rlp::decode_list_of(&result, 2).unwrap();
-    let receipt =
-        parp_suite::chain::Receipt::decode(fields[1].as_bytes().unwrap()).unwrap();
+    let receipt = parp_suite::chain::Receipt::decode(fields[1].as_bytes().unwrap()).unwrap();
     assert!(receipt.is_success());
 }
 
@@ -207,7 +211,8 @@ fn forged_receipt_is_slashable() {
     let node = net.spawn_node(b"rcptf-node", U256::from(10u64));
     let witness = net.spawn_node(b"rcptf-witness", U256::from(10u64));
     let mut client = net.spawn_client(b"rcptf-client", U256::from(10u64));
-    net.connect(&mut client, node, U256::from(10_000u64)).unwrap();
+    net.connect(&mut client, node, U256::from(10_000u64))
+        .unwrap();
     let sender = parp_suite::crypto::SecretKey::from_seed(b"rcptf-sender");
     net.fund(sender.address());
     net.sync_client(&mut client);
@@ -246,9 +251,7 @@ fn forged_receipt_is_slashable() {
     };
     assert!(net.report_fraud(&evidence, witness).unwrap());
     assert_eq!(
-        net.executor()
-            .fndm()
-            .deposit_of(&net.node(node).address()),
+        net.executor().fndm().deposit_of(&net.node(node).address()),
         U256::ZERO
     );
 }
@@ -261,7 +264,8 @@ fn historical_tx_lookup_is_valid_not_fraud() {
     let node = net.spawn_node(b"hist-node", U256::from(10u64));
     let witness = net.spawn_node(b"hist-witness", U256::from(10u64));
     let mut client = net.spawn_client(b"hist-client", U256::from(10u64));
-    net.connect(&mut client, node, U256::from(10_000u64)).unwrap();
+    net.connect(&mut client, node, U256::from(10_000u64))
+        .unwrap();
 
     // Include a transfer, then let the chain grow well past it.
     let sender = parp_suite::crypto::SecretKey::from_seed(b"hist-sender");
@@ -360,9 +364,7 @@ fn multiple_clients_share_one_node() {
     // node tracks each channel independently.
     for round in 0..3 {
         for client in clients.iter_mut() {
-            let (outcome, _) = net
-                .parp_call(client, node, RpcCall::BlockNumber)
-                .unwrap();
+            let (outcome, _) = net.parp_call(client, node, RpcCall::BlockNumber).unwrap();
             assert!(
                 matches!(outcome, ProcessOutcome::Valid { .. }),
                 "round {round}"

@@ -10,7 +10,8 @@ fn connected(seed: &str) -> (Network, NodeId, LightClient) {
     let mut net = Network::new();
     let node = net.spawn_node(format!("{seed}-node").as_bytes(), U256::from(10u64));
     let mut client = net.spawn_client(format!("{seed}-client").as_bytes(), U256::from(10u64));
-    net.connect(&mut client, node, U256::from(10_000u64)).unwrap();
+    net.connect(&mut client, node, U256::from(10_000u64))
+        .unwrap();
     (net, node, client)
 }
 
@@ -20,8 +21,7 @@ fn liveness_probe_reports_open_channel() {
     let probe = client.liveness_probe().unwrap();
     let response = net.serve(node, &probe).unwrap();
     net.sync_client(&mut client);
-    let ProcessOutcome::Valid { result, .. } = client.process_response(&response).unwrap()
-    else {
+    let ProcessOutcome::Valid { result, .. } = client.process_response(&response).unwrap() else {
         panic!("probe must be valid");
     };
     assert!(LightClient::channel_reported_open(&result));
@@ -41,7 +41,9 @@ fn secret_close_is_detected_by_liveness_probe() {
             &parp_suite::contracts::payment_digest(0, &U256::ZERO),
         ),
     };
-    assert!(net.submit_module_call(&node_key, close, U256::ZERO).unwrap());
+    assert!(net
+        .submit_module_call(&node_key, close, U256::ZERO)
+        .unwrap());
     assert!(matches!(
         net.executor().cmm().channel(0).unwrap().status,
         ChannelStatus::Closing { .. }
@@ -51,8 +53,7 @@ fn secret_close_is_detected_by_liveness_probe() {
     let probe = client.liveness_probe().unwrap();
     let response = net.serve(node, &probe).unwrap();
     net.sync_client(&mut client);
-    let ProcessOutcome::Valid { result, .. } = client.process_response(&response).unwrap()
-    else {
+    let ProcessOutcome::Valid { result, .. } = client.process_response(&response).unwrap() else {
         panic!("probe should verify");
     };
     assert!(
@@ -78,20 +79,18 @@ fn lying_about_channel_status_is_caught_via_witness() {
             &parp_suite::contracts::payment_digest(0, &U256::ZERO),
         ),
     };
-    assert!(net.submit_module_call(&node_key, close, U256::ZERO).unwrap());
+    assert!(net
+        .submit_module_call(&node_key, close, U256::ZERO)
+        .unwrap());
     // Cross-check through the witness's chain view instead of the
     // (possibly lying) serving node.
-    let status = net
-        .executor()
-        .cmm()
-        .channel(0)
-        .map(|c| c.status)
-        .unwrap();
+    let status = net.executor().cmm().channel(0).map(|c| c.status).unwrap();
     assert!(matches!(status, ChannelStatus::Closing { .. }));
     // The client reacts: abandon and fail over.
     client.abandon_connection();
     let mut client2 = client.clone();
-    net.connect(&mut client2, witness, U256::from(1_000u64)).unwrap();
+    net.connect(&mut client2, witness, U256::from(1_000u64))
+        .unwrap();
     assert_eq!(client2.state(), ClientState::Bonded);
 }
 
@@ -101,7 +100,8 @@ fn failover_after_invalid_response() {
     let bad_node = net.spawn_node(b"fo-bad", U256::from(10u64));
     let good_node = net.spawn_node(b"fo-good", U256::from(10u64));
     let mut client = net.spawn_client(b"fo-client", U256::from(10u64));
-    net.connect(&mut client, bad_node, U256::from(1_000u64)).unwrap();
+    net.connect(&mut client, bad_node, U256::from(1_000u64))
+        .unwrap();
 
     // The bad node serves garbage signatures (invalid, not slashable).
     net.node_mut(bad_node)
@@ -113,7 +113,8 @@ fn failover_after_invalid_response() {
 
     // §V-D: sensible to terminate. No sign-up means switching is trivial.
     client.abandon_connection();
-    net.connect(&mut client, good_node, U256::from(1_000u64)).unwrap();
+    net.connect(&mut client, good_node, U256::from(1_000u64))
+        .unwrap();
     let (outcome, _) = net
         .parp_call(&mut client, good_node, RpcCall::BlockNumber)
         .unwrap();
@@ -129,7 +130,8 @@ fn failover_after_proven_fraud_keeps_client_whole() {
     let budget = U256::from(5_000u64);
     let funds_before = net.chain().balance(&client.address());
     net.connect(&mut client, rogue, budget).unwrap();
-    net.node_mut(rogue).set_misbehavior(Misbehavior::WrongAmount);
+    net.node_mut(rogue)
+        .set_misbehavior(Misbehavior::WrongAmount);
     let (outcome, _) = net
         .parp_call(&mut client, rogue, RpcCall::BlockNumber)
         .unwrap();

@@ -15,18 +15,31 @@ use parp_suite::primitives::U256;
 
 /// Builds a network with a serving node, a witness node, and a bonded
 /// client; returns the channel id.
-fn fraud_fixture(seed: &str) -> (Network, parp_suite::net::NodeId, parp_suite::net::NodeId, parp_suite::core::LightClient, u64) {
+fn fraud_fixture(
+    seed: &str,
+) -> (
+    Network,
+    parp_suite::net::NodeId,
+    parp_suite::net::NodeId,
+    parp_suite::core::LightClient,
+    u64,
+) {
     let mut net = Network::new();
     let node = net.spawn_node(format!("{seed}-node").as_bytes(), U256::from(10u64));
     let witness = net.spawn_node(format!("{seed}-witness").as_bytes(), U256::from(10u64));
     let mut client = net.spawn_client(format!("{seed}-client").as_bytes(), U256::from(10u64));
-    let channel = net.connect(&mut client, node, U256::from(100_000u64)).unwrap();
+    let channel = net
+        .connect(&mut client, node, U256::from(100_000u64))
+        .unwrap();
     (net, node, witness, client, channel)
 }
 
 #[test]
 fn every_slashable_misbehavior_ends_in_a_slash() {
-    for misbehavior in Misbehavior::all().into_iter().filter(Misbehavior::slashable) {
+    for misbehavior in Misbehavior::all()
+        .into_iter()
+        .filter(Misbehavior::slashable)
+    {
         let seed = format!("slash-{misbehavior:?}");
         let (mut net, node, witness, mut client, channel) = fraud_fixture(&seed);
         net.node_mut(node).set_misbehavior(misbehavior);
@@ -68,18 +81,13 @@ fn every_slashable_misbehavior_ends_in_a_slash() {
             "{misbehavior:?}: witness not rewarded"
         );
         // The node can no longer accept connections.
-        assert!(!net
-            .registry()
-            .contains(&net.node(node).address()));
+        assert!(!net.registry().contains(&net.node(node).address()));
     }
 }
 
 #[test]
 fn invalid_misbehaviors_are_rejected_but_not_slashable() {
-    for misbehavior in Misbehavior::all()
-        .into_iter()
-        .filter(|m| !m.slashable())
-    {
+    for misbehavior in Misbehavior::all().into_iter().filter(|m| !m.slashable()) {
         let seed = format!("invalid-{misbehavior:?}");
         let (mut net, node, _witness, mut client, _) = fraud_fixture(&seed);
         net.node_mut(node).set_misbehavior(misbehavior);
@@ -168,7 +176,8 @@ fn client_cannot_forge_responses_to_slash() {
 #[test]
 fn fraud_on_write_workload_is_slashable() {
     let (mut net, node, witness, mut client, _) = fraud_fixture("write-fraud");
-    net.node_mut(node).set_misbehavior(Misbehavior::CorruptProof);
+    net.node_mut(node)
+        .set_misbehavior(Misbehavior::CorruptProof);
     let sender = parp_suite::crypto::SecretKey::from_seed(b"wf-sender");
     net.fund(sender.address());
     net.sync_client(&mut client);
@@ -227,8 +236,8 @@ fn reporter_reward_flows_to_the_defrauded_client() {
     };
     net.report_fraud(&evidence, witness).unwrap();
     let after = net.chain().balance(&client.address());
-    let client_share = min_deposit() * U256::from(parp_suite::contracts::SLASH_CLIENT_SHARE)
-        / U256::from(100u64);
+    let client_share =
+        min_deposit() * U256::from(parp_suite::contracts::SLASH_CLIENT_SHARE) / U256::from(100u64);
     // Client share plus the refunded channel budget (cs = 0 on-chain:
     // the node never redeemed).
     assert_eq!(after - before, client_share + U256::from(100_000u64));

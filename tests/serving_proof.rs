@@ -24,9 +24,7 @@ fn serving_proof_totals_served_payments() {
     // Client i makes i+1 calls.
     for (i, client) in clients.iter_mut().enumerate() {
         for _ in 0..=i {
-            let (outcome, _) = net
-                .parp_call(client, node, RpcCall::BlockNumber)
-                .unwrap();
+            let (outcome, _) = net.parp_call(client, node, RpcCall::BlockNumber).unwrap();
             assert!(matches!(outcome, ProcessOutcome::Valid { .. }));
         }
     }
@@ -44,8 +42,11 @@ fn receipts_from_other_nodes_channels_rejected() {
     let node_a = net.spawn_node(b"spx-a", U256::from(10u64));
     let node_b = net.spawn_node(b"spx-b", U256::from(10u64));
     let mut client = net.spawn_client(b"spx-client", U256::from(10u64));
-    net.connect(&mut client, node_a, U256::from(1_000u64)).unwrap();
-    let (outcome, _) = net.parp_call(&mut client, node_a, RpcCall::BlockNumber).unwrap();
+    net.connect(&mut client, node_a, U256::from(1_000u64))
+        .unwrap();
+    let (outcome, _) = net
+        .parp_call(&mut client, node_a, RpcCall::BlockNumber)
+        .unwrap();
     assert!(matches!(outcome, ProcessOutcome::Valid { .. }));
 
     // Node B steals node A's receipts and claims them as its own.
@@ -62,8 +63,11 @@ fn duplicate_and_forged_receipts_rejected() {
     let mut net = Network::new();
     let node = net.spawn_node(b"spd-node", U256::from(10u64));
     let mut client = net.spawn_client(b"spd-client", U256::from(10u64));
-    net.connect(&mut client, node, U256::from(1_000u64)).unwrap();
-    let (outcome, _) = net.parp_call(&mut client, node, RpcCall::BlockNumber).unwrap();
+    net.connect(&mut client, node, U256::from(1_000u64))
+        .unwrap();
+    let (outcome, _) = net
+        .parp_call(&mut client, node, RpcCall::BlockNumber)
+        .unwrap();
     assert!(matches!(outcome, ProcessOutcome::Valid { .. }));
 
     let mut proof = collect_serving_proof(net.node(node));
@@ -104,7 +108,9 @@ fn sybil_receipts_cost_real_collateral() {
     let after = net.chain().balance(&sybil.address());
     // The budget is genuinely locked on-chain for the channel's lifetime.
     assert_eq!(before - after, sybil_budget);
-    let (outcome, _) = net.parp_call(&mut sybil, node, RpcCall::BlockNumber).unwrap();
+    let (outcome, _) = net
+        .parp_call(&mut sybil, node, RpcCall::BlockNumber)
+        .unwrap();
     assert!(matches!(outcome, ProcessOutcome::Valid { .. }));
     let proof = collect_serving_proof(net.node(node));
     let total = verify_serving_proof(&proof, net.executor().cmm()).unwrap();
