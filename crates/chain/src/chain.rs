@@ -186,6 +186,12 @@ impl Blockchain {
         for (i, tx) in block.transactions.iter().enumerate() {
             self.tx_index.insert(tx.hash(), (number, i));
         }
+        // The outgoing head's memoized trie would otherwise be retained
+        // forever by the snapshot store (one full frozen trie per block);
+        // drop it — snapshot caches that still want it hold their own Arc.
+        if let Some(previous_head) = self.snapshots.last_mut() {
+            previous_head.release_trie();
+        }
         self.state = state.clone();
         self.snapshots.push(state);
         self.receipts.push(receipts);
@@ -514,6 +520,30 @@ mod tests {
             .unwrap();
         let receipt = Receipt::decode(&receipt_value).unwrap();
         assert!(receipt.is_success());
+    }
+
+    #[test]
+    fn only_head_snapshot_retains_built_trie() {
+        let (mut chain, key) = funded_chain();
+        for nonce in 0..5 {
+            chain
+                .produce_block(vec![transfer(&key, nonce, 2, 1)], &mut TransferExecutor)
+                .unwrap();
+        }
+        let head = chain.height();
+        assert!(
+            chain.state_at(head).unwrap().trie_is_built(),
+            "head snapshot keeps the trie built at block production"
+        );
+        for number in 0..head {
+            assert!(
+                !chain.state_at(number).unwrap().trie_is_built(),
+                "historical snapshot {number} must not pin a frozen trie"
+            );
+        }
+        // Historical proofs still work — they rebuild on demand.
+        let proof = chain.account_proof_at(&key.address(), 1).unwrap();
+        assert!(!proof.is_empty());
     }
 
     #[test]

@@ -4,10 +4,18 @@
 use crate::account::Account;
 use parp_crypto::keccak256;
 use parp_primitives::{Address, H256, U256};
-use parp_trie::Trie;
+use parp_trie::{FrozenTrie, Trie};
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 /// The world state at a point in time.
+///
+/// The secure state trie over the accounts is memoized: the first call to
+/// [`State::state_root`], [`State::account_proof`],
+/// [`State::account_multiproof`] or [`State::shared_trie`] builds it once,
+/// and every later call reuses the same [`Arc`]-shared trie until a write
+/// invalidates it. Clones share the built trie (the contents are equal),
+/// so chain snapshots inherit the trie built at block production for free.
 ///
 /// # Examples
 ///
@@ -20,16 +28,31 @@ use std::collections::BTreeMap;
 /// state.credit(alice, U256::from(100u64));
 /// assert_eq!(state.balance(&alice), U256::from(100u64));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct State {
     accounts: BTreeMap<Address, Account>,
+    /// Lazily built, frozen secure trie over `accounts` (structure plus
+    /// the O(depth)-proof encoding index); reset by every write.
+    /// `OnceLock` keeps `&State` shareable across threads (the sharded
+    /// proof executor walks one frozen trie from many workers).
+    trie: OnceLock<Arc<FrozenTrie>>,
 }
+
+impl PartialEq for State {
+    fn eq(&self, other: &Self) -> bool {
+        // The memoized trie is derived data; only the accounts count.
+        self.accounts == other.accounts
+    }
+}
+
+impl Eq for State {}
 
 impl State {
     /// Creates an empty state.
     pub fn new() -> Self {
         State {
             accounts: BTreeMap::new(),
+            trie: OnceLock::new(),
         }
     }
 
@@ -50,8 +73,10 @@ impl State {
     }
 
     /// Returns a mutable account record, creating a default one on first
-    /// touch.
+    /// touch. Invalidates the memoized trie (the caller holds a mutable
+    /// handle, so the account must be assumed changed).
     pub fn account_mut(&mut self, address: Address) -> &mut Account {
+        self.trie.take();
         self.accounts.entry(address).or_default()
     }
 
@@ -84,6 +109,7 @@ impl State {
             Some(account) => match account.balance.checked_sub(amount) {
                 Some(rest) => {
                     account.balance = rest;
+                    self.trie.take();
                     true
                 }
                 None => false,
@@ -117,7 +143,11 @@ impl State {
         self.accounts.iter()
     }
 
-    /// Builds the secure state trie: `keccak256(address) → rlp(account)`.
+    /// Builds the secure state trie from scratch:
+    /// `keccak256(address) → rlp(account)`.
+    ///
+    /// Bypasses the memo deliberately (cold-path baseline for the
+    /// runtime benches); normal callers want [`State::shared_trie`].
     pub fn build_trie(&self) -> Trie {
         let mut trie = Trie::new();
         for (address, account) in &self.accounts {
@@ -129,15 +159,43 @@ impl State {
         trie
     }
 
+    /// The memoized, frozen secure state trie, shared behind an [`Arc`]
+    /// so snapshot caches and shard workers can hold it without copying.
+    /// Built (and its proof index computed) at most once per write
+    /// generation.
+    pub fn shared_trie(&self) -> Arc<FrozenTrie> {
+        self.trie
+            .get_or_init(|| Arc::new(FrozenTrie::new(self.build_trie())))
+            .clone()
+    }
+
+    /// Whether the memoized trie is currently built (no rebuild would be
+    /// paid for a proof right now). Observability for cache tests.
+    pub fn trie_is_built(&self) -> bool {
+        self.trie.get().is_some()
+    }
+
+    /// Drops this state's memoized trie without touching the accounts.
+    ///
+    /// Retention control for long-lived snapshot stores: a frozen trie
+    /// (structure + encoding index) is several times the size of the
+    /// account map, so a chain that keeps every historical snapshot
+    /// releases the memo when a snapshot stops being the head — callers
+    /// that still need the build (the runtime's `SnapshotCache`) hold
+    /// their own `Arc` and control its lifetime via LRU eviction.
+    pub fn release_trie(&mut self) {
+        self.trie.take();
+    }
+
     /// The state root committed into block headers.
     pub fn state_root(&self) -> H256 {
-        self.build_trie().root_hash()
+        self.shared_trie().root_hash()
     }
 
     /// Merkle proof for an account (inclusion or exclusion), verifiable
     /// against [`State::state_root`] with the key `keccak256(address)`.
     pub fn account_proof(&self, address: &Address) -> Vec<Vec<u8>> {
-        self.build_trie()
+        self.shared_trie()
             .prove(keccak256(address.as_bytes()).as_bytes())
     }
 
@@ -145,11 +203,10 @@ impl State {
     /// verifiable against [`State::state_root`] with
     /// [`parp_trie::verify_many`] and the keys `keccak256(address)`.
     ///
-    /// Builds the state trie once for the whole set — the per-call trie
-    /// rebuild of [`State::account_proof`] is the dominant cost when
-    /// serving N reads, so batch serving must not repeat it.
+    /// Uses the memoized trie — back-to-back proofs within one block
+    /// generation pay for a single build.
     pub fn account_multiproof(&self, addresses: &[Address]) -> Vec<Vec<u8>> {
-        self.build_trie().prove_many(
+        self.shared_trie().prove_many(
             addresses
                 .iter()
                 .map(|address| keccak256(address.as_bytes()).as_bytes().to_vec()),
@@ -219,6 +276,42 @@ mod tests {
         let proof = state.account_proof(&addr(999));
         let key = keccak256(addr(999).as_bytes());
         assert_eq!(verify_proof(root, key.as_bytes(), &proof).unwrap(), None);
+    }
+
+    #[test]
+    fn trie_memoized_until_write() {
+        let mut state = State::new();
+        for i in 1..20u64 {
+            state.credit(addr(i), U256::from(i));
+        }
+        assert!(!state.trie_is_built());
+        let root = state.state_root();
+        assert!(state.trie_is_built());
+        // Back-to-back reads reuse the same built trie.
+        let first = state.shared_trie();
+        let _ = state.account_proof(&addr(7));
+        let _ = state.account_multiproof(&[addr(7), addr(8)]);
+        assert!(Arc::ptr_eq(&first, &state.shared_trie()));
+        // Clones share it too.
+        let snapshot = state.clone();
+        assert!(snapshot.trie_is_built());
+        assert!(Arc::ptr_eq(&first, &snapshot.shared_trie()));
+        // A write invalidates, and the rebuilt trie reflects it.
+        state.credit(addr(1), U256::ONE);
+        assert!(!state.trie_is_built());
+        assert_ne!(state.state_root(), root);
+        // The untouched clone keeps the old root.
+        assert_eq!(snapshot.state_root(), root);
+    }
+
+    #[test]
+    fn failed_debit_keeps_memo() {
+        let mut state = State::new();
+        state.credit(addr(1), U256::from(10u64));
+        let root = state.state_root();
+        assert!(!state.debit(&addr(1), U256::from(100u64)));
+        assert!(state.trie_is_built(), "no-op debit must not invalidate");
+        assert_eq!(state.state_root(), root);
     }
 
     #[test]

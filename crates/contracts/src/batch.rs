@@ -407,7 +407,7 @@ pub fn batch_fraud_conditions(
     let mut state_keys: Vec<Vec<u8>> = Vec::new();
     for call in &req.calls {
         if call.proof_kind() == ProofKind::State {
-            let RpcCall::GetBalance { address } = call else {
+            let Some(address) = call.state_address() else {
                 return Err(format!("state-proven call without a trie key: {call:?}"));
             };
             state_keys.push(keccak256(address.as_bytes()).as_bytes().to_vec());

@@ -120,7 +120,7 @@ pub(crate) fn proof_condition(
     match call.proof_kind() {
         ProofKind::None => Ok(None),
         ProofKind::State => {
-            let RpcCall::GetBalance { address } = call else {
+            let Some(address) = call.state_address() else {
                 return Ok(None);
             };
             let key = keccak256(address.as_bytes());

@@ -67,6 +67,16 @@ pub enum RpcCall {
         /// Transaction hash.
         hash: H256,
     },
+    /// `eth_getTransactionCount(address)` — the account nonce, proven
+    /// against the state trie with the **same** account record (and the
+    /// same multiproof path) as [`RpcCall::GetBalance`]: the response
+    /// payload is the full RLP account, and the client reads the nonce
+    /// out of it. Batches can therefore mix balance and nonce reads over
+    /// one snapshot at no extra proof cost.
+    GetTransactionCount {
+        /// Queried account.
+        address: Address,
+    },
 }
 
 /// Which Merkle trie (if any) authenticates the response to a call.
@@ -100,6 +110,9 @@ impl RpcCall {
             }
             RpcCall::GetTransactionReceipt { hash } => {
                 encode_list(&[encode_u64(6), encode_h256(hash)])
+            }
+            RpcCall::GetTransactionCount { address } => {
+                encode_list(&[encode_u64(7), parp_rlp::encode_address(address)])
             }
         }
     }
@@ -170,6 +183,12 @@ impl RpcCall {
                     hash: fields[1].as_h256()?,
                 })
             }
+            7 => {
+                arity(2)?;
+                Ok(RpcCall::GetTransactionCount {
+                    address: fields[1].as_address()?,
+                })
+            }
             _ => Err(DecodeError::ExpectedList),
         }
     }
@@ -177,7 +196,7 @@ impl RpcCall {
     /// The trie that authenticates this call's response.
     pub fn proof_kind(&self) -> ProofKind {
         match self {
-            RpcCall::GetBalance { .. } => ProofKind::State,
+            RpcCall::GetBalance { .. } | RpcCall::GetTransactionCount { .. } => ProofKind::State,
             RpcCall::SendRawTransaction { .. } | RpcCall::GetTransactionByHash { .. } => {
                 ProofKind::Transaction
             }
@@ -199,6 +218,23 @@ impl RpcCall {
     /// the batch header does not commit to — all three travel alone.
     pub fn batchable(&self) -> bool {
         matches!(self.proof_kind(), ProofKind::State | ProofKind::None)
+    }
+
+    /// The account a state-proven call reads, i.e. the address whose
+    /// `keccak256(address)` trie key its proof walks. `None` for calls
+    /// that are not state-proven.
+    ///
+    /// This is the single source of truth pairing state-proven calls
+    /// with their trie keys: the serving node, the batched multiproof
+    /// verifier and the on-chain FDM all extract keys through it, so a
+    /// new state-read variant cannot desync them.
+    pub fn state_address(&self) -> Option<&Address> {
+        match self {
+            RpcCall::GetBalance { address } | RpcCall::GetTransactionCount { address } => {
+                Some(address)
+            }
+            _ => None,
+        }
     }
 
     /// Whether the §V-D timestamp check applies: calls that answer about
@@ -557,10 +593,28 @@ mod tests {
             RpcCall::GetTransactionReceipt {
                 hash: H256::from_low_u64_be(4),
             },
+            RpcCall::GetTransactionCount {
+                address: Address::from_low_u64_be(5),
+            },
         ];
         for call in calls {
             assert_eq!(RpcCall::decode(&call.encode()).unwrap(), call);
         }
+    }
+
+    #[test]
+    fn nonce_reads_share_the_balance_read_proof_machinery() {
+        let address = Address::from_low_u64_be(0x77);
+        let call = RpcCall::GetTransactionCount { address };
+        assert_eq!(call.proof_kind(), ProofKind::State);
+        assert!(call.batchable());
+        assert!(call.requires_fresh_height());
+        assert_eq!(call.state_address(), Some(&address));
+        assert_eq!(
+            RpcCall::GetBalance { address }.state_address(),
+            Some(&address)
+        );
+        assert_eq!(RpcCall::BlockNumber.state_address(), None);
     }
 
     #[test]

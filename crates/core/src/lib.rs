@@ -90,7 +90,10 @@ pub use client::{
     ProcessBatchOutcome, ProcessOutcome,
 };
 pub use misbehavior::Misbehavior;
-pub use server::{FullNode, HandshakeConfirm, ServeError, ServedChannel, HANDSHAKE_TTL_SECS};
+pub use server::{
+    FullNode, HandshakeConfirm, ProofEngine, SequentialEngine, ServeError, ServedChannel,
+    HANDSHAKE_TTL_SECS,
+};
 pub use serving_proof::{
     collect_serving_proof, verify_serving_proof, ServingProof, ServingProofError, ServingReceipt,
 };

@@ -3,16 +3,50 @@
 //! §V, and the server half of Fig. 5's processing pipeline).
 
 use crate::misbehavior::Misbehavior;
-use parp_chain::Blockchain;
+use parp_chain::{Blockchain, State};
 use parp_contracts::{
     confirmation_digest, ChannelStatus, ModuleCall, ParpBatchRequest, ParpBatchResponse,
     ParpExecutor, ParpRequest, ParpResponse, RpcCall,
 };
 use parp_crypto::{sign, KeyPair, SecretKey, Signature};
-use parp_primitives::{Address, U256};
+use parp_primitives::{Address, H256, U256};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+
+/// Strategy that supplies state-trie proofs to the serving paths.
+///
+/// [`FullNode::handle_request`] and [`FullNode::handle_batch`] are
+/// parameterized over this trait so a serving runtime can slot in
+/// snapshot caching and sharded proof generation *without* the protocol
+/// layer depending on it — the engine only decides **how** proof nodes
+/// are produced, never **which** nodes, so responses stay byte-identical
+/// across engines (the fraud checks require it).
+pub trait ProofEngine {
+    /// Deduplicated multiproof for `addresses` under `state`'s root,
+    /// equivalent to [`State::account_multiproof`].
+    fn account_multiproof(&mut self, state: &State, addresses: &[Address]) -> Vec<Vec<u8>>;
+
+    /// Single-account proof under `state`'s root, equivalent to
+    /// [`State::account_proof`].
+    fn account_proof(&mut self, state: &State, address: &Address) -> Vec<Vec<u8>>;
+}
+
+/// The built-in engine: proofs straight off the state's memoized trie,
+/// generated sequentially. [`FullNode::handle_request`] and
+/// [`FullNode::handle_batch`] use it when no runtime is attached.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialEngine;
+
+impl ProofEngine for SequentialEngine {
+    fn account_multiproof(&mut self, state: &State, addresses: &[Address]) -> Vec<Vec<u8>> {
+        state.account_multiproof(addresses)
+    }
+
+    fn account_proof(&mut self, state: &State, address: &Address) -> Vec<Vec<u8>> {
+        state.account_proof(address)
+    }
+}
 
 /// `(m_B, R(γ), π_γ)`: the served height, result payload and proof nodes.
 type CallOutput = (u64, Vec<u8>, Vec<Vec<u8>>);
@@ -59,6 +93,11 @@ pub enum ServeError {
     /// A batch request carried a call that cannot be served from a single
     /// state snapshot (writes must travel as single requests).
     UnbatchableCall,
+    /// The request pinned `h_B` to a block hash this node does not know
+    /// (a stale fork, a typo, or a forged hash). Serving it would judge
+    /// the timestamp check against a fabricated height, so the node
+    /// refuses instead of silently mapping it to genesis.
+    UnknownBlockHash(H256),
 }
 
 impl fmt::Display for ServeError {
@@ -76,6 +115,9 @@ impl fmt::Display for ServeError {
             ServeError::EmptyBatch => write!(f, "batch request carries no calls"),
             ServeError::UnbatchableCall => {
                 write!(f, "batch request carries a call that cannot be batched")
+            }
+            ServeError::UnknownBlockHash(hash) => {
+                write!(f, "request pinned to unknown block hash {hash}")
             }
         }
     }
@@ -174,9 +216,29 @@ impl FullNode {
         chain: &mut Blockchain,
         executor: &mut ParpExecutor,
     ) -> Result<ParpResponse, ServeError> {
+        self.handle_request_with(request, chain, executor, &mut SequentialEngine)
+    }
+
+    /// [`FullNode::handle_request`] with an explicit [`ProofEngine`]
+    /// (how a serving runtime routes single calls through its snapshot
+    /// cache). The response is byte-identical for every engine.
+    ///
+    /// # Errors
+    ///
+    /// As [`FullNode::handle_request`].
+    pub fn handle_request_with(
+        &mut self,
+        request: &ParpRequest,
+        chain: &mut Blockchain,
+        executor: &mut ParpExecutor,
+        engine: &mut dyn ProofEngine,
+    ) -> Result<ParpResponse, ServeError> {
         self.verify_request(request, executor)?;
-        let request_height = chain.block_number_by_hash(&request.block_hash).unwrap_or(0);
-        let (block_number, result, proof) = self.execute_call(&request.call, chain, executor)?;
+        let request_height = chain
+            .block_number_by_hash(&request.block_hash)
+            .ok_or(ServeError::UnknownBlockHash(request.block_hash))?;
+        let (block_number, result, proof) =
+            self.execute_call(&request.call, chain, executor, engine)?;
         // Record the payment before responding: the signed cumulative
         // amount is the node's receivable.
         self.channels.insert(
@@ -217,8 +279,29 @@ impl FullNode {
         chain: &mut Blockchain,
         executor: &mut ParpExecutor,
     ) -> Result<ParpBatchResponse, ServeError> {
+        self.handle_batch_with(request, chain, executor, &mut SequentialEngine)
+    }
+
+    /// [`FullNode::handle_batch`] with an explicit [`ProofEngine`] — the
+    /// hook a serving runtime uses to reuse a cached snapshot trie and
+    /// generate the multiproof across shards. Engines only change *how*
+    /// the proof nodes are produced; the response bytes are identical to
+    /// the sequential path for any engine and any shard count.
+    ///
+    /// # Errors
+    ///
+    /// As [`FullNode::handle_batch`].
+    pub fn handle_batch_with(
+        &mut self,
+        request: &ParpBatchRequest,
+        chain: &mut Blockchain,
+        executor: &mut ParpExecutor,
+        engine: &mut dyn ProofEngine,
+    ) -> Result<ParpBatchResponse, ServeError> {
         self.verify_batch_request(request, executor)?;
-        let request_height = chain.block_number_by_hash(&request.block_hash).unwrap_or(0);
+        let request_height = chain
+            .block_number_by_hash(&request.block_hash)
+            .ok_or(ServeError::UnknownBlockHash(request.block_hash))?;
         // One snapshot serves every item.
         let head = chain.height();
         let state = chain.state_at(head).expect("head state exists");
@@ -227,12 +310,12 @@ impl FullNode {
         for call in &request.calls {
             // verify_batch_request already rejected unbatchable calls.
             results.push(Self::read_result(call, head, state, chain, executor));
-            if let RpcCall::GetBalance { address } = call {
+            if let Some(address) = call.state_address() {
                 state_addresses.push(*address);
             }
         }
         // One trie build, one deduplicated proof for all state items.
-        let multiproof = state.account_multiproof(&state_addresses);
+        let multiproof = engine.account_multiproof(state, &state_addresses);
         let served = request.calls.len() as u64;
         let channel = self
             .channels
@@ -372,7 +455,10 @@ impl FullNode {
         executor: &ParpExecutor,
     ) -> Vec<u8> {
         match call {
-            RpcCall::GetBalance { address } => state
+            // Balance and nonce reads both answer with the full RLP
+            // account record the state proof binds; the client reads the
+            // field it asked for out of it.
+            RpcCall::GetBalance { address } | RpcCall::GetTransactionCount { address } => state
                 .account(address)
                 .map(parp_chain::Account::encode)
                 .unwrap_or_default(),
@@ -399,13 +485,14 @@ impl FullNode {
         call: &RpcCall,
         chain: &mut Blockchain,
         executor: &mut ParpExecutor,
+        engine: &mut dyn ProofEngine,
     ) -> Result<CallOutput, ServeError> {
         match call {
-            RpcCall::GetBalance { address } => {
+            RpcCall::GetBalance { address } | RpcCall::GetTransactionCount { address } => {
                 let head = chain.height();
                 let state = chain.state_at(head).expect("head state exists");
                 let result = Self::read_result(call, head, state, chain, executor);
-                let proof = state.account_proof(address);
+                let proof = engine.account_proof(state, address);
                 Ok((head, result, proof))
             }
             RpcCall::SendRawTransaction { raw } => {

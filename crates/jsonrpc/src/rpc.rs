@@ -139,6 +139,14 @@ pub fn base_request(call: &RpcCall, id: u64) -> JsonRpcRequest {
         RpcCall::GetTransactionReceipt { hash } => {
             JsonRpcRequest::new("eth_getTransactionReceipt", vec![data_h256(hash)], id)
         }
+        RpcCall::GetTransactionCount { address } => JsonRpcRequest::new(
+            "eth_getTransactionCount",
+            vec![
+                Json::String(to_hex_prefixed(address.as_bytes())),
+                Json::String("latest".into()),
+            ],
+            id,
+        ),
     }
 }
 
@@ -163,6 +171,14 @@ pub fn base_response(call: &RpcCall, result: &[u8], id: u64) -> JsonRpcResponse 
             Err(_) => Json::Null,
         },
         RpcCall::GetHeader { .. } => data_bytes(result),
+        RpcCall::GetTransactionCount { .. } => {
+            // The PARP result is the RLP account record; the base
+            // response is just the nonce quantity.
+            match parp_chain::Account::decode(result) {
+                Ok(account) => quantity_u64(account.nonce),
+                Err(_) => quantity_u64(0),
+            }
+        }
     };
     JsonRpcResponse::new(json, id)
 }

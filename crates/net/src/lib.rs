@@ -1,10 +1,14 @@
 //! Network simulation and experiment harnesses for the PARP reproduction.
 //!
 //! Provides the deterministic in-process [`Network`] (chain + on-chain
-//! modules + PARP full nodes + logical clock), seedable read/write
-//! [`Workload`] generators (§VI-A), the Figure 7 scalability harness, a
-//! bounded-delay [`LatencyModel`] (the §IV-D strong-synchrony
-//! assumption), and the Table I provider survey dataset.
+//! modules + PARP full nodes + logical clock, serving through the
+//! `parp-runtime` snapshot cache), seedable read/write [`Workload`]
+//! generators (§VI-A), the Figure 7 scalability harness, the
+//! over-capacity contention scenario ([`run_contention`]: one flooding
+//! client against honest ones, bounded by per-client admission
+//! control), a bounded-delay [`LatencyModel`] (the §IV-D
+//! strong-synchrony assumption), and the Table I provider survey
+//! dataset.
 //!
 //! # Examples
 //!
@@ -30,12 +34,14 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod contention;
 pub mod dataset;
 mod latency;
 mod scalability;
 mod sim;
 mod workload;
 
+pub use contention::{run_contention, ClientOutcome, ContentionConfig, ContentionReport};
 pub use latency::LatencyModel;
 pub use scalability::{
     run_scalability_point, run_scalability_sweep, BaseRpcServer, ScalabilityConfig,

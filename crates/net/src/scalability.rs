@@ -82,6 +82,9 @@ impl BaseRpcServer {
         self.requests_served += 1;
         match call {
             RpcCall::GetBalance { address } => Ok(parp_rlp::encode_u256(&chain.balance(address))),
+            RpcCall::GetTransactionCount { address } => {
+                Ok(parp_rlp::encode_u64(chain.nonce(address)))
+            }
             RpcCall::SendRawTransaction { raw } => {
                 let tx = SignedTransaction::decode(raw).map_err(|e| e.to_string())?;
                 let hash = tx.hash();

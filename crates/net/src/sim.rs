@@ -10,6 +10,7 @@ use parp_contracts::{
 use parp_core::{FullNode, LightClient, ProcessBatchOutcome, ProcessOutcome, ServeError};
 use parp_crypto::SecretKey;
 use parp_primitives::{Address, U256};
+use parp_runtime::Runtime;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -110,6 +111,11 @@ pub struct Network {
     latency: LatencyModel,
     faucet: SecretKey,
     clock_us: u64,
+    /// The serving runtime every node's exchanges route through:
+    /// snapshot cache (invalidated by [`Network::mine`]), sharded proof
+    /// generation, and the admission controller the contention scenario
+    /// drives.
+    runtime: Runtime,
 }
 
 /// Funds given to every spawned identity: 100 tokens.
@@ -143,7 +149,25 @@ impl Network {
             latency,
             faucet,
             clock_us: 0,
+            runtime: Runtime::default(),
         }
+    }
+
+    /// Replaces the serving runtime (cache size, shard count, admission
+    /// limits). The existing cache is dropped with the old runtime.
+    pub fn set_runtime(&mut self, runtime: Runtime) {
+        self.runtime = runtime;
+    }
+
+    /// The serving runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// Mutable access to the serving runtime (admission checks, shard
+    /// reconfiguration).
+    pub fn runtime_mut(&mut self) -> &mut Runtime {
+        &mut self.runtime
     }
 
     /// The simulated chain.
@@ -182,6 +206,9 @@ impl Network {
     /// Propagates chain validation failures.
     pub fn mine(&mut self, txs: Vec<SignedTransaction>) -> Result<(), SimError> {
         self.chain.produce_block(txs, &mut self.executor)?;
+        // The head moved: evict unreachable snapshot tries and warm the
+        // new head so the next exchange is a cache hit.
+        self.runtime.note_new_head(&self.chain);
         Ok(())
     }
 
@@ -273,6 +300,34 @@ impl Network {
         }
         .sign(&self.faucet.clone());
         self.mine(vec![tx]).expect("faucet transfer");
+    }
+
+    /// Funds many addresses with as few blocks as possible (chunked to
+    /// stay under the block gas limit) — the way to populate a large
+    /// state for throughput experiments without mining one block per
+    /// account.
+    pub fn fund_many(&mut self, addresses: &[Address]) {
+        // 21k gas per transfer against a 30M block limit → stay well
+        // below with 1000 transfers per block.
+        for chunk in addresses.chunks(1000) {
+            let faucet = self.faucet;
+            let txs: Vec<SignedTransaction> = chunk
+                .iter()
+                .map(|address| {
+                    let nonce = self.next_nonce(faucet.address());
+                    parp_chain::Transaction {
+                        nonce,
+                        gas_price: U256::ZERO,
+                        gas_limit: 21_000,
+                        to: Some(*address),
+                        value: spawn_grant(),
+                        data: Vec::new(),
+                    }
+                    .sign(&faucet)
+                })
+                .collect();
+            self.mine(txs).expect("bulk faucet transfer");
+        }
     }
 
     /// The on-chain serving registry (how clients discover nodes, §IV-A).
@@ -409,6 +464,8 @@ impl Network {
     }
 
     /// Server-side handling only (used by the scalability harness).
+    /// Routes through the serving runtime's snapshot cache; responses
+    /// are byte-identical to the sequential path.
     ///
     /// # Errors
     ///
@@ -422,10 +479,14 @@ impl Network {
             .nodes
             .get_mut(node_id.0)
             .ok_or(SimError::UnknownNode(node_id.0))?;
-        Ok(node.handle_request(request, &mut self.chain, &mut self.executor)?)
+        Ok(self
+            .runtime
+            .serve_request(node, request, &mut self.chain, &mut self.executor)?)
     }
 
-    /// Server-side batch handling only (used by the benches).
+    /// Server-side batch handling only (used by the benches). Routes
+    /// through the serving runtime: cached snapshot trie, sharded
+    /// multiproof generation — byte-identical to the sequential path.
     ///
     /// # Errors
     ///
@@ -439,7 +500,9 @@ impl Network {
             .nodes
             .get_mut(node_id.0)
             .ok_or(SimError::UnknownNode(node_id.0))?;
-        Ok(node.handle_batch(request, &mut self.chain, &mut self.executor)?)
+        Ok(self
+            .runtime
+            .serve_batch(node, request, &mut self.chain, &mut self.executor)?)
     }
 
     /// Cooperative closure initiated by the client: close, wait out the

@@ -84,16 +84,17 @@ impl Workload {
 
     /// A batch of `size` batchable read calls — the workload mode behind
     /// the batched PARP pipeline. Mostly balance reads (the paper's read
-    /// workload), with an occasional unproven chain query mixed in so
-    /// batches exercise both proven and unproven items.
+    /// workload), mixed with nonce reads (served from the same account
+    /// multiproof) and an occasional unproven chain query, so batches
+    /// exercise proven and unproven items together.
     pub fn next_read_batch(&mut self, size: usize) -> Vec<RpcCall> {
         (0..size)
             .map(|_| {
-                if self.rng.gen_bool(0.9) {
-                    let address = self.accounts[self.rng.gen_range(0..self.accounts.len())];
-                    RpcCall::GetBalance { address }
-                } else {
-                    RpcCall::BlockNumber
+                let address = self.accounts[self.rng.gen_range(0..self.accounts.len())];
+                match self.rng.gen_range(0..10u32) {
+                    0..=6 => RpcCall::GetBalance { address },
+                    7 | 8 => RpcCall::GetTransactionCount { address },
+                    _ => RpcCall::BlockNumber,
                 }
             })
             .collect()

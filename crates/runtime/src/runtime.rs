@@ -1,0 +1,283 @@
+//! The serving runtime: snapshot cache + sharded proof executor +
+//! admission controller behind one [`parp_core::ProofEngine`].
+
+use crate::admission::{AdmissionController, AdmissionError, AdmissionStats};
+use crate::cache::SnapshotCache;
+use crate::shard::sharded_account_multiproof;
+use parp_chain::{Blockchain, State};
+use parp_contracts::{
+    ParpBatchRequest, ParpBatchResponse, ParpExecutor, ParpRequest, ParpResponse,
+};
+use parp_core::{FullNode, ProofEngine, ServeError};
+use parp_crypto::keccak256;
+use parp_primitives::Address;
+use std::collections::HashSet;
+
+/// Tuning knobs for a [`Runtime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Built tries kept in the snapshot cache (head + recent history).
+    pub snapshot_cache_capacity: usize,
+    /// Worker shards for multiproof generation.
+    pub shards: usize,
+    /// Per-client admission burst (calls).
+    pub burst_capacity: u64,
+    /// Per-client steady-state admission rate (calls per second).
+    pub rate_per_sec: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            snapshot_cache_capacity: 8,
+            shards: 4,
+            burst_capacity: 256,
+            rate_per_sec: 512,
+        }
+    }
+}
+
+/// Why the runtime refused to serve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The client's admission bucket is exhausted.
+    Throttled {
+        /// Microseconds until the rejected cost would be admissible.
+        retry_after_us: u64,
+    },
+    /// The underlying protocol layer refused the request.
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Throttled { retry_after_us } => {
+                write!(f, "rate limited; retry in {retry_after_us} µs")
+            }
+            RuntimeError::Serve(e) => write!(f, "serve error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<ServeError> for RuntimeError {
+    fn from(e: ServeError) -> Self {
+        RuntimeError::Serve(e)
+    }
+}
+
+/// The concurrent serving engine behind a PARP full node.
+///
+/// Combines the three runtime concerns:
+///
+/// * a [`SnapshotCache`] so exchanges served at an unchanged head reuse
+///   one `Arc`-shared trie instead of paying an O(accounts) rebuild;
+/// * [sharded multiproof generation](crate::sharded_account_multiproof),
+///   byte-identical to the sequential path for any shard count;
+/// * an [`AdmissionController`] so one aggressive client cannot starve
+///   the others ([`Runtime::admit`] + [`crate::FairQueue`]).
+///
+/// `FullNode::handle_request`/`handle_batch` route through a runtime by
+/// taking it as their [`ProofEngine`]; [`Runtime::serve_request`] and
+/// [`Runtime::serve_batch`] are the ready-made entry points.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    cache: SnapshotCache,
+    shards: usize,
+    admission: AdmissionController,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::new(RuntimeConfig::default())
+    }
+}
+
+impl ProofEngine for Runtime {
+    fn account_multiproof(&mut self, state: &State, addresses: &[Address]) -> Vec<Vec<u8>> {
+        let trie = self.cache.get_or_build(state);
+        sharded_account_multiproof(&trie, addresses, self.shards)
+    }
+
+    fn account_proof(&mut self, state: &State, address: &Address) -> Vec<Vec<u8>> {
+        let trie = self.cache.get_or_build(state);
+        trie.prove(keccak256(address.as_bytes()).as_bytes())
+    }
+}
+
+impl Runtime {
+    /// A runtime with the given tuning.
+    pub fn new(config: RuntimeConfig) -> Self {
+        Runtime {
+            cache: SnapshotCache::new(config.snapshot_cache_capacity),
+            shards: config.shards.max(1),
+            admission: AdmissionController::new(config.burst_capacity, config.rate_per_sec),
+        }
+    }
+
+    /// The snapshot cache (hit/miss counters, contents).
+    pub fn cache(&self) -> &SnapshotCache {
+        &self.cache
+    }
+
+    /// Current shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Changes the shard count (responses stay byte-identical).
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
+    }
+
+    /// Admission check for `calls` calls from `client` at `now_us`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Throttled`] when the client's token
+    /// bucket cannot cover the calls.
+    pub fn admit(&mut self, client: Address, calls: u64, now_us: u64) -> Result<(), RuntimeError> {
+        self.admission.admit(client, calls, now_us).map_err(
+            |AdmissionError::RateLimited { retry_after_us }| RuntimeError::Throttled {
+                retry_after_us,
+            },
+        )
+    }
+
+    /// Admission statistics for `client`.
+    pub fn admission_stats(&self, client: &Address) -> AdmissionStats {
+        self.admission.stats(client)
+    }
+
+    /// Serves one single-call exchange through the snapshot cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the node's [`ServeError`]s.
+    pub fn serve_request(
+        &mut self,
+        node: &mut FullNode,
+        request: &ParpRequest,
+        chain: &mut Blockchain,
+        executor: &mut ParpExecutor,
+    ) -> Result<ParpResponse, ServeError> {
+        node.handle_request_with(request, chain, executor, self)
+    }
+
+    /// Serves one batched exchange through the snapshot cache and the
+    /// shard pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the node's [`ServeError`]s.
+    pub fn serve_batch(
+        &mut self,
+        node: &mut FullNode,
+        request: &ParpBatchRequest,
+        chain: &mut Blockchain,
+        executor: &mut ParpExecutor,
+    ) -> Result<ParpBatchResponse, ServeError> {
+        node.handle_batch_with(request, chain, executor, self)
+    }
+
+    /// Invalidation hook for `Blockchain::mine` (and reorgs): drops
+    /// cached tries whose roots are no longer reachable from the
+    /// canonical chain's recent history, then warms the cache with the
+    /// new head so the next exchange is a hit.
+    pub fn note_new_head(&mut self, chain: &Blockchain) {
+        let head = chain.height();
+        let window = self.cache.capacity() as u64;
+        let recent: HashSet<_> = (head.saturating_sub(window.saturating_sub(1))..=head)
+            .filter_map(|number| chain.block(number))
+            .map(|block| block.header.state_root)
+            .collect();
+        self.cache.retain(|root| recent.contains(root));
+        if let Some(state) = chain.state_at(head) {
+            self.cache.get_or_build(state);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parp_primitives::U256;
+    use std::sync::Arc;
+
+    #[test]
+    fn engine_reuses_cached_trie() {
+        let mut runtime = Runtime::default();
+        let state =
+            State::with_alloc((1..=64u64).map(|i| (Address::from_low_u64_be(i), U256::from(i))));
+        let addresses: Vec<Address> = (1..=8).map(Address::from_low_u64_be).collect();
+        let multi = runtime.account_multiproof(&state, &addresses);
+        assert_eq!(multi, state.account_multiproof(&addresses));
+        assert_eq!(runtime.cache().misses(), 1);
+        let single = runtime.account_proof(&state, &addresses[0]);
+        assert_eq!(single, state.account_proof(&addresses[0]));
+        assert_eq!(runtime.cache().misses(), 1, "second proof hits the cache");
+        assert_eq!(runtime.cache().hits(), 1);
+    }
+
+    #[test]
+    fn note_new_head_evicts_unreachable_roots() {
+        let mut runtime = Runtime::new(RuntimeConfig {
+            snapshot_cache_capacity: 2,
+            ..RuntimeConfig::default()
+        });
+        let key = parp_crypto::SecretKey::from_seed(b"runtime-head");
+        let mut chain = Blockchain::new(vec![(key.address(), U256::from(1u64) << 64)]);
+        // A foreign root (an abandoned fork, say) sits in the cache.
+        let foreign = State::with_alloc([(Address::from_low_u64_be(9), U256::ONE)]);
+        let foreign_root = foreign.state_root();
+        runtime.cache.insert(foreign_root, foreign.shared_trie());
+        // Also warm an Arc for the genesis trie to check continuity.
+        let genesis_trie = runtime.cache.get_or_build(chain.state_at(0).unwrap());
+        chain
+            .produce_block(
+                vec![parp_chain::Transaction {
+                    nonce: 0,
+                    gas_price: U256::ZERO,
+                    gas_limit: 21_000,
+                    to: Some(Address::from_low_u64_be(2)),
+                    value: U256::ONE,
+                    data: Vec::new(),
+                }
+                .sign(&key)],
+                &mut parp_chain::TransferExecutor,
+            )
+            .unwrap();
+        runtime.note_new_head(&chain);
+        let head_root = chain.head().header.state_root;
+        assert!(runtime.cache().contains(&head_root), "head warmed");
+        assert!(
+            !runtime.cache().contains(&foreign_root),
+            "unreachable root evicted"
+        );
+        // The genesis root is still within the 2-block window: kept, and
+        // still the same shared build.
+        let genesis_root = chain.block(0).unwrap().header.state_root;
+        assert!(runtime.cache().contains(&genesis_root));
+        let again = runtime.cache.get(&genesis_root).unwrap();
+        assert!(Arc::ptr_eq(&genesis_trie, &again));
+    }
+
+    #[test]
+    fn throttle_surfaces_retry_hint() {
+        let mut runtime = Runtime::new(RuntimeConfig {
+            burst_capacity: 2,
+            rate_per_sec: 2,
+            ..RuntimeConfig::default()
+        });
+        let client = Address::from_low_u64_be(0xc1);
+        assert!(runtime.admit(client, 2, 0).is_ok());
+        let Err(RuntimeError::Throttled { retry_after_us }) = runtime.admit(client, 1, 0) else {
+            panic!("expected throttle");
+        };
+        assert_eq!(retry_after_us, 500_000);
+        assert_eq!(runtime.admission_stats(&client).admitted, 2);
+        assert_eq!(runtime.admission_stats(&client).throttled, 1);
+    }
+}

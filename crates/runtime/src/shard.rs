@@ -1,0 +1,196 @@
+//! Sharded multiproof generation: batch items partitioned across a
+//! `std::thread` worker pool by account trie key, per-shard proof paths
+//! generated in parallel, merged into the exact deduplicated multiproof
+//! the sequential path produces.
+//!
+//! Determinism is the contract: the merged node set is **byte-identical
+//! to [`parp_trie::Trie::prove_many`] for every shard count**, because each key's
+//! proof path is a pure function of the trie, and the merge replays the
+//! paths in the original call order with the same first-touch
+//! deduplication. Sharding only decides *which worker walks which key*,
+//! never what ends up on the wire — so a response served with 8 shards
+//! verifies (and hashes, and signs) exactly like one served with 1.
+
+use parp_crypto::keccak256;
+use parp_primitives::{Address, H256};
+use parp_trie::FrozenTrie;
+use std::collections::HashSet;
+
+/// Upper bound on worker threads per batch; more shards than this would
+/// only add scheduling noise on any realistic host.
+pub const MAX_SHARDS: usize = 64;
+
+/// Below this many keys the batch runs inline: against a frozen trie
+/// each proof walk is O(depth), so spawning workers costs more than the
+/// walks themselves.
+pub const INLINE_THRESHOLD: usize = 32;
+
+/// The shard a trie key lands on: its leading byte modulo the shard
+/// count. Keys are keccak256 outputs, so the leading byte is uniform and
+/// the partition is balanced without any coordination.
+pub fn shard_of(key: &[u8], shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    key.first().map(|b| *b as usize % shards).unwrap_or(0)
+}
+
+/// Deduplicated account multiproof for `addresses` under `trie`,
+/// generated across `shards` workers. Byte-identical to
+/// `trie.prove_many(keccak256(address) for address in addresses)` for
+/// every shard count (including 1, which runs inline without spawning).
+/// Takes a [`FrozenTrie`] so every per-key walk is O(depth) — the
+/// snapshot cache hands the same frozen trie to all workers.
+pub fn sharded_account_multiproof(
+    trie: &FrozenTrie,
+    addresses: &[Address],
+    shards: usize,
+) -> Vec<Vec<u8>> {
+    let keys: Vec<H256> = addresses
+        .iter()
+        .map(|address| keccak256(address.as_bytes()))
+        .collect();
+    let paths = prove_paths(trie, &keys, shards);
+    merge_paths(paths)
+}
+
+/// Per-key proof paths in call order, walked by `shards` scoped workers
+/// (spawned per batch — workers live exactly as long as the batch, so
+/// there is no idle pool to drain on shutdown).
+fn prove_paths(trie: &FrozenTrie, keys: &[H256], shards: usize) -> Vec<Vec<Vec<u8>>> {
+    let shards = shards.clamp(1, MAX_SHARDS);
+    if shards == 1 || keys.len() < INLINE_THRESHOLD {
+        return keys.iter().map(|key| trie.prove(key.as_bytes())).collect();
+    }
+    let mut paths: Vec<Option<Vec<Vec<u8>>>> = vec![None; keys.len()];
+    // Partition key indices by shard; each worker owns its slice of the
+    // key space and walks the shared trie read-only.
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); shards];
+    for (index, key) in keys.iter().enumerate() {
+        assignment[shard_of(key.as_bytes(), shards)].push(index);
+    }
+    let mut results: Vec<Vec<(usize, Vec<Vec<u8>>)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = assignment
+            .iter()
+            .filter(|indices| !indices.is_empty())
+            .map(|indices| {
+                scope.spawn(move || {
+                    indices
+                        .iter()
+                        .map(|&index| (index, trie.prove(keys[index].as_bytes())))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        results = workers
+            .into_iter()
+            .map(|worker| worker.join().expect("shard worker panicked"))
+            .collect();
+    });
+    for shard_paths in results {
+        for (index, path) in shard_paths {
+            paths[index] = Some(path);
+        }
+    }
+    paths
+        .into_iter()
+        .map(|path| path.expect("every key assigned to exactly one shard"))
+        .collect()
+}
+
+/// First-touch-order dedup merge — the same fold [`Trie::prove_many`]
+/// performs, applied to pre-walked paths.
+fn merge_paths(paths: Vec<Vec<Vec<u8>>>) -> Vec<Vec<u8>> {
+    let mut seen: HashSet<H256> = HashSet::new();
+    let mut nodes = Vec::new();
+    for path in paths {
+        for node in path {
+            if seen.insert(keccak256(&node)) {
+                nodes.push(node);
+            }
+        }
+    }
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parp_primitives::U256;
+
+    fn populated_trie(n: u64) -> (FrozenTrie, Vec<Address>) {
+        let state = parp_chain::State::with_alloc(
+            (1..=n).map(|i| (Address::from_low_u64_be(i * 31), U256::from(i))),
+        );
+        let addresses: Vec<Address> = (1..=n).map(|i| Address::from_low_u64_be(i * 31)).collect();
+        (FrozenTrie::new(state.build_trie()), addresses)
+    }
+
+    #[test]
+    fn byte_identical_across_shard_counts() {
+        let (trie, addresses) = populated_trie(300);
+        // The unfrozen trie's walk-and-encode path is the reference.
+        let sequential = trie.trie().prove_many(
+            addresses
+                .iter()
+                .map(|a| keccak256(a.as_bytes()).as_bytes().to_vec()),
+        );
+        for shards in [1, 2, 3, 8, 64] {
+            assert_eq!(
+                sharded_account_multiproof(&trie, &addresses, shards),
+                sequential,
+                "shard count {shards} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_absences_and_empty_inputs() {
+        let (trie, addresses) = populated_trie(50);
+        // Duplicate keys and absent accounts, shuffled across shards —
+        // enough of them to clear INLINE_THRESHOLD so the parallel
+        // merge path is the one under test.
+        let mut mixed = vec![
+            addresses[3],
+            Address::from_low_u64_be(0xdead),
+            addresses[3],
+            addresses[40],
+            Address::from_low_u64_be(0xbeef),
+        ];
+        for i in 0..INLINE_THRESHOLD {
+            mixed.push(addresses[i % addresses.len()]);
+        }
+        let sequential = trie.trie().prove_many(
+            mixed
+                .iter()
+                .map(|a| keccak256(a.as_bytes()).as_bytes().to_vec()),
+        );
+        for shards in [1, 2, 8] {
+            assert_eq!(
+                sharded_account_multiproof(&trie, &mixed, shards),
+                sequential
+            );
+        }
+        assert!(sharded_account_multiproof(&trie, &[], 8).is_empty());
+    }
+
+    #[test]
+    fn oversized_shard_count_clamped() {
+        let (trie, addresses) = populated_trie(INLINE_THRESHOLD as u64 + 10);
+        let reference = sharded_account_multiproof(&trie, &addresses, 1);
+        assert_eq!(
+            sharded_account_multiproof(&trie, &addresses, 10_000),
+            reference
+        );
+    }
+
+    #[test]
+    fn shard_partition_is_total() {
+        for shards in 1..=8 {
+            for byte in 0..=255u8 {
+                let shard = shard_of(&[byte, 1, 2], shards);
+                assert!(shard < shards);
+            }
+        }
+        assert_eq!(shard_of(&[], 4), 0);
+    }
+}

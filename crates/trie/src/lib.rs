@@ -26,12 +26,14 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod frozen;
 mod multiproof;
 pub mod nibbles;
 mod node;
 mod proof;
 mod trie;
 
+pub use frozen::FrozenTrie;
 pub use multiproof::verify_many;
 pub use node::{empty_root, Node};
 pub use proof::{verify_proof, ProofError};

@@ -145,6 +145,11 @@ impl Trie {
         }
     }
 
+    /// The root node (for the freezing pass in [`crate::FrozenTrie`]).
+    pub(crate) fn root_node(&self) -> &Node {
+        &self.root
+    }
+
     fn insert_node(node: Node, path: &[u8], value: Vec<u8>) -> (Node, Option<Vec<u8>>) {
         match node {
             Node::Empty => (

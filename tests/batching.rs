@@ -116,6 +116,115 @@ fn unbatchable_calls_rejected() {
 }
 
 #[test]
+fn unknown_block_hash_rejected_not_served_at_genesis() {
+    // A request pinned to a block hash the node has never seen must be
+    // refused outright — the old behaviour silently mapped it to height
+    // 0, which would have judged the timestamp check against a
+    // fabricated genesis-height view.
+    let (mut net, node, client) = connected();
+    let ghost_hash = keccak256(b"no-such-block");
+    let channel_id = client.channel().unwrap().id;
+    let batch = ParpBatchRequest::build(
+        client.secret(),
+        channel_id,
+        ghost_hash,
+        U256::from(PRICE),
+        vec![RpcCall::BlockNumber],
+    );
+    assert!(matches!(
+        net.serve_batch(node, &batch),
+        Err(parp_suite::net::SimError::Serve(
+            ServeError::UnknownBlockHash(h)
+        )) if h == ghost_hash
+    ));
+    let single = parp_suite::contracts::ParpRequest::build(
+        client.secret(),
+        channel_id,
+        ghost_hash,
+        U256::from(PRICE),
+        RpcCall::BlockNumber,
+    );
+    assert!(matches!(
+        net.serve(node, &single),
+        Err(parp_suite::net::SimError::Serve(
+            ServeError::UnknownBlockHash(h)
+        )) if h == ghost_hash
+    ));
+    // Nothing was served or charged.
+    assert_eq!(net.node(node).requests_served(), 0);
+}
+
+#[test]
+fn batches_mix_balance_and_nonce_reads_over_one_multiproof() {
+    let (mut net, node, mut client) = connected();
+    let addresses = funded_addresses(&mut net, 3);
+    net.sync_client(&mut client);
+    // Interleave balance and nonce reads of the same and different
+    // accounts; both are proven by the same account multiproof.
+    let calls = vec![
+        RpcCall::GetBalance {
+            address: addresses[0],
+        },
+        RpcCall::GetTransactionCount {
+            address: addresses[0],
+        },
+        RpcCall::GetTransactionCount {
+            address: addresses[1],
+        },
+        RpcCall::GetBalance {
+            address: addresses[2],
+        },
+        RpcCall::GetTransactionCount {
+            address: client.address(),
+        },
+    ];
+    let n = calls.len() as u64;
+    let (outcome, stats) = net
+        .parp_batch_call(&mut client, node, calls)
+        .expect("batch call");
+    let ProcessBatchOutcome::Valid { results, proven } = outcome else {
+        panic!("expected valid batch, got {outcome:?}");
+    };
+    assert!(proven.iter().all(|p| *p), "all five items are state-proven");
+    assert!(stats.proof_bytes > 0);
+    // Balance and nonce reads of the same account return the same
+    // proven account record; the client decodes the field it wants.
+    assert_eq!(results[0], results[1]);
+    let account = parp_suite::chain::Account::decode(&results[1]).expect("account record");
+    assert!(account.balance > U256::ZERO);
+    assert_eq!(account.nonce, 0, "freshly funded account has nonce 0");
+    // The client's own account opened the channel: nonce advanced.
+    let own = parp_suite::chain::Account::decode(&results[4]).expect("account record");
+    assert!(own.nonce > 0, "channel-open transaction bumped the nonce");
+    assert_eq!(client.channel().unwrap().spent, U256::from(n * PRICE));
+
+    // A *forged* nonce answer inside a batch is provable fraud, exactly
+    // like a forged balance.
+    net.node_mut(node)
+        .set_misbehavior(Misbehavior::ForgedResult);
+    let calls = vec![
+        RpcCall::GetTransactionCount {
+            address: addresses[0],
+        },
+        RpcCall::GetTransactionCount {
+            address: addresses[1],
+        },
+    ];
+    let (outcome, _) = net
+        .parp_batch_call(&mut client, node, calls)
+        .expect("batch call");
+    let ProcessBatchOutcome::Fraud { items, evidence } = outcome else {
+        panic!("expected fraud, got {outcome:?}");
+    };
+    assert_eq!(items[0], Classification::Valid);
+    assert_eq!(
+        items[1],
+        Classification::Fraudulent(FraudVerdict::InvalidProof)
+    );
+    assert_eq!(evidence.item, Some(1));
+}
+
+#[test]
 fn duplicate_keys_deduplicated_in_multiproof() {
     let (mut net, node, mut client) = connected();
     let addresses = funded_addresses(&mut net, 2);

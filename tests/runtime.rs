@@ -1,0 +1,213 @@
+//! End-to-end tests for the `parp-runtime` serving engine: sharded
+//! serving determinism, snapshot-cache behaviour across blocks, LRU
+//! bounds, and fairness under a flooding client.
+
+use parp_suite::contracts::RpcCall;
+use parp_suite::net::{run_contention, ContentionConfig, Network};
+use parp_suite::primitives::{Address, U256};
+use parp_suite::runtime::{Runtime, RuntimeConfig, SnapshotCache};
+
+const PRICE: u64 = 10;
+
+/// A connected network with `accounts` bulk-funded addresses and a
+/// runtime configured with `shards` shards.
+fn connected_with_shards(
+    shards: usize,
+    accounts: u64,
+) -> (
+    Network,
+    parp_suite::net::NodeId,
+    parp_suite::core::LightClient,
+    Vec<Address>,
+) {
+    let mut net = Network::new();
+    net.set_runtime(Runtime::new(RuntimeConfig {
+        shards,
+        ..RuntimeConfig::default()
+    }));
+    let node = net.spawn_node(b"runtime-node", U256::from(PRICE));
+    let mut client = net.spawn_client(b"runtime-client", U256::from(PRICE));
+    net.connect(&mut client, node, U256::from(1_000_000u64))
+        .expect("connect");
+    let addresses: Vec<Address> = (0..accounts)
+        .map(|i| Address::from_low_u64_be(0xD000 + i))
+        .collect();
+    net.fund_many(&addresses);
+    net.sync_client(&mut client);
+    (net, node, client, addresses)
+}
+
+#[test]
+fn sharded_batch_responses_are_byte_identical() {
+    // The same seeded network at shard counts 1, 2 and 8 must sign the
+    // exact same bytes for the same batch: sharding decides who walks
+    // which key, never what goes on the wire.
+    let mut encodings = Vec::new();
+    for shards in [1usize, 2, 8] {
+        let (mut net, node, mut client, addresses) = connected_with_shards(shards, 24);
+        let calls: Vec<RpcCall> = addresses
+            .iter()
+            .map(|a| RpcCall::GetBalance { address: *a })
+            .chain(
+                addresses
+                    .iter()
+                    .map(|a| RpcCall::GetTransactionCount { address: *a }),
+            )
+            .chain([RpcCall::BlockNumber])
+            .collect();
+        let request = client.request_batch(calls).expect("batch request");
+        let response = net.serve_batch(node, &request).expect("serve");
+        assert_eq!(net.runtime().shards(), shards);
+        encodings.push((shards, request.encode(), response.encode()));
+    }
+    let (_, ref request_reference, ref response_reference) = encodings[0];
+    for (shards, request, response) in &encodings {
+        assert_eq!(
+            request, request_reference,
+            "fixture drift at {shards} shards"
+        );
+        assert_eq!(
+            response, response_reference,
+            "response bytes diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn snapshot_cache_warms_and_invalidates_across_mine() {
+    let (mut net, node, mut client, addresses) = connected_with_shards(2, 8);
+    let calls: Vec<RpcCall> = addresses
+        .iter()
+        .map(|a| RpcCall::GetBalance { address: *a })
+        .collect();
+    // First serve at this head: the trie was already warmed by the mine
+    // hook, so serving hits the cache.
+    let head_root = net.chain().head().header.state_root;
+    assert!(net.runtime().cache().contains(&head_root));
+    let hits_before = net.runtime().cache().hits();
+    let request = client.request_batch(calls.clone()).expect("request");
+    let response = net.serve_batch(node, &request).expect("serve");
+    assert!(net.runtime().cache().hits() > hits_before);
+    assert_eq!(response.block_number, net.chain().height());
+    // Accept the response so the next request's payment advances.
+    net.sync_client(&mut client);
+    client.process_batch_response(&response).expect("process");
+
+    // Mining moves the head: the cache must pick up the new root and
+    // the next batch must be served (and proven) at the new height, not
+    // from a stale cached trie.
+    net.fund(Address::from_low_u64_be(0xFEED));
+    net.sync_client(&mut client);
+    let new_root = net.chain().head().header.state_root;
+    assert_ne!(new_root, head_root);
+    assert!(
+        net.runtime().cache().contains(&new_root),
+        "mine() must warm the new head"
+    );
+    let request = client.request_batch(calls).expect("request");
+    let response = net.serve_batch(node, &request).expect("serve");
+    assert_eq!(response.block_number, net.chain().height());
+    let header = net
+        .chain()
+        .block(response.block_number)
+        .expect("head block")
+        .header
+        .clone();
+    let keys: Vec<Vec<u8>> = addresses
+        .iter()
+        .map(|a| {
+            parp_suite::crypto::keccak256(a.as_bytes())
+                .as_bytes()
+                .to_vec()
+        })
+        .collect();
+    let proven = parp_suite::trie::verify_many(header.state_root, &keys, &response.multiproof)
+        .expect("multiproof verifies against the NEW root");
+    assert!(proven.iter().all(Option::is_some));
+}
+
+#[test]
+fn snapshot_cache_lru_stays_bounded() {
+    let mut cache = SnapshotCache::new(2);
+    let (net, _, _, _) = connected_with_shards(1, 4);
+    let heights: Vec<u64> = (0..=net.chain().height()).collect();
+    assert!(heights.len() > 2, "need more snapshots than capacity");
+    for height in &heights {
+        cache.get_or_build(net.chain().state_at(*height).expect("snapshot"));
+        assert!(cache.len() <= 2, "cache exceeded its bound");
+    }
+    assert_eq!(cache.len(), 2);
+    // Only the two most recent snapshot roots survive.
+    let last = net.chain().head().header.state_root;
+    assert!(cache.contains(&last));
+    let first = net.chain().block(0).expect("genesis").header.state_root;
+    assert!(!cache.contains(&first), "oldest snapshot evicted");
+}
+
+#[test]
+fn flooding_client_is_bounded_and_honest_share_preserved() {
+    let config = ContentionConfig::default();
+    let contended = run_contention(&config);
+    let baseline = run_contention(&ContentionConfig {
+        flood_rate_per_sec: 0,
+        ..config
+    });
+
+    // The flooder attempted far beyond its entitlement and was bounded
+    // to its token bucket: burst + rate × duration.
+    let bound = config.admission_burst + config.admission_rate_per_sec * config.duration_ms / 1_000;
+    assert!(
+        contended.flooder.attempted_calls > 4 * bound,
+        "flooder must actually flood (attempted {})",
+        contended.flooder.attempted_calls
+    );
+    assert!(
+        contended.flooder.admitted_calls <= bound,
+        "flooder admitted {} calls, bucket allows at most {bound}",
+        contended.flooder.admitted_calls
+    );
+    assert!(contended.flooder.throttled_calls > 0);
+
+    // Honest clients keep their full fair share: nothing throttled,
+    // every admitted batch served, same served volume as the
+    // uncontended baseline.
+    for outcome in &contended.honest {
+        assert_eq!(outcome.throttled_calls, 0, "honest client throttled");
+        assert_eq!(
+            outcome.served_batches * config.batch_size as u64,
+            outcome.admitted_calls,
+            "admitted but unserved honest calls"
+        );
+    }
+    assert_eq!(
+        contended.honest_served_calls(config.batch_size),
+        baseline.honest_served_calls(config.batch_size),
+        "flooding reduced honest throughput"
+    );
+
+    // And their latency stays within 2x of the uncontended case.
+    let contended_latency = contended.honest_mean_latency_us().max(1);
+    let baseline_latency = baseline.honest_mean_latency_us().max(1);
+    assert!(
+        contended_latency <= 2 * baseline_latency,
+        "honest latency {contended_latency} µs exceeds 2x uncontended {baseline_latency} µs"
+    );
+}
+
+#[test]
+fn admission_is_per_client_not_global() {
+    // Two clients exhausting one bucket each: the second client's calls
+    // are admitted even when the first is throttled.
+    let mut runtime = Runtime::new(RuntimeConfig {
+        burst_capacity: 4,
+        rate_per_sec: 1,
+        ..RuntimeConfig::default()
+    });
+    let first = Address::from_low_u64_be(1);
+    let second = Address::from_low_u64_be(2);
+    assert!(runtime.admit(first, 4, 0).is_ok());
+    assert!(runtime.admit(first, 1, 0).is_err());
+    assert!(runtime.admit(second, 4, 0).is_ok());
+    assert_eq!(runtime.admission_stats(&first).throttled, 1);
+    assert_eq!(runtime.admission_stats(&second).throttled, 0);
+}
