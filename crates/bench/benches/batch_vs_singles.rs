@@ -14,6 +14,7 @@ use parp_contracts::{ParpBatchRequest, ParpRequest, RpcCall};
 use parp_primitives::U256;
 use std::cell::Cell;
 use std::hint::black_box;
+use std::time::Instant;
 
 const ACCOUNTS: usize = 128;
 const BATCH_SIZES: [usize; 3] = [8, 16, 64];
@@ -157,10 +158,131 @@ fn bench_client_verification(c: &mut Criterion) {
     group.finish();
 }
 
+/// One measured batch shape for the `BENCH_batch.json` artifact.
+struct BatchSample {
+    n: usize,
+    distinct_blocks: usize,
+    proof_bytes: usize,
+    header_bytes: usize,
+    response_bytes: usize,
+    serve_us: u64,
+}
+
+impl BatchSample {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"n\":{},\"distinct_blocks\":{},\"proof_bytes\":{},\"header_bytes\":{},\
+             \"response_bytes\":{},\"serve_us\":{}}}",
+            self.n,
+            self.distinct_blocks,
+            self.proof_bytes,
+            self.header_bytes,
+            self.response_bytes,
+            self.serve_us
+        )
+    }
+}
+
+/// Serves `calls` as one batch a few times, recording proof/header bytes
+/// and the fastest server-side serve time.
+fn measure_batch(
+    net: &mut parp_net::Network,
+    node: parp_net::NodeId,
+    client: &parp_core::LightClient,
+    amount: &Cell<u64>,
+    calls: &[RpcCall],
+) -> BatchSample {
+    let mut serve_us = u64::MAX;
+    let mut last_response = None;
+    for _ in 0..5 {
+        let request = build_batch(client, amount, calls);
+        let started = Instant::now();
+        let response = net.serve_batch(node, &request).expect("batch serve");
+        serve_us = serve_us.min(started.elapsed().as_micros() as u64);
+        last_response = Some(response);
+    }
+    // Byte metrics are identical across iterations; compute them once.
+    let response = last_response.expect("at least one serve");
+    BatchSample {
+        n: calls.len(),
+        distinct_blocks: response.referenced_blocks().len(),
+        proof_bytes: response.proof_bytes(),
+        header_bytes: response.header_bytes(),
+        response_bytes: response.encode().len(),
+        serve_us,
+    }
+}
+
+/// Writes `BENCH_batch.json`: proof bytes + serve time for single-block
+/// (pure state reads) vs multi-block (state + historical inclusion)
+/// batches, so CI tracks the multi-header envelope's perf trajectory.
+fn emit_batch_artifact() {
+    let (mut net, node, client, addresses) = populated_fixture(ACCOUNTS);
+    // Funding mined one faucet transfer per account: a deep supply of
+    // historical inclusion targets across distinct blocks.
+    let lookups = net.transaction_locations();
+    let amount = Cell::new(0u64);
+    let mut single_block = Vec::new();
+    let mut multi_block = Vec::new();
+    for n in BATCH_SIZES {
+        // Single-block: N balance reads against the snapshot.
+        let state_calls: Vec<RpcCall> = addresses[..n].iter().map(|a| read_call(*a)).collect();
+        single_block.push(measure_batch(
+            &mut net,
+            node,
+            &client,
+            &amount,
+            &state_calls,
+        ));
+        // Multi-block: half state reads, half historical lookups spread
+        // over distinct containing blocks.
+        let mixed_calls: Vec<RpcCall> = addresses[..n / 2]
+            .iter()
+            .map(|a| read_call(*a))
+            .chain(
+                lookups
+                    .iter()
+                    .take(n - n / 2)
+                    .enumerate()
+                    .map(|(i, (hash, _))| match i % 2 {
+                        0 => RpcCall::GetTransactionByHash { hash: *hash },
+                        _ => RpcCall::GetTransactionReceipt { hash: *hash },
+                    }),
+            )
+            .collect();
+        multi_block.push(measure_batch(
+            &mut net,
+            node,
+            &client,
+            &amount,
+            &mixed_calls,
+        ));
+    }
+    let join = |samples: &[BatchSample]| {
+        samples
+            .iter()
+            .map(BatchSample::to_json)
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let json = format!(
+        "{{\"bench\":\"batch_vs_singles\",\"accounts\":{ACCOUNTS},\
+         \"single_block\":[{}],\"multi_block\":[{}]}}\n",
+        join(&single_block),
+        join(&multi_block),
+    );
+    // Cargo runs bench binaries with the package as cwd; anchor the
+    // artifact at the workspace root where CI picks it up.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
+    std::fs::write(path, &json).expect("write BENCH_batch.json");
+    println!("wrote BENCH_batch.json: {json}");
+}
+
 fn run_all(c: &mut Criterion) {
     // Touch bench_price so the shared fixture constants stay in sync.
     assert_eq!(bench_price(), U256::from(10u64));
     print_wire_comparison();
+    emit_batch_artifact();
     bench_server_time(c);
     bench_client_verification(c);
 }

@@ -1,19 +1,30 @@
 //! Batched PARP wire messages: one ECDSA signature and one cumulative
-//! micropayment covering N RPC calls.
+//! micropayment covering N RPC calls, with a **multi-header envelope**
+//! that lets historical inclusion lookups ride in the same batch as
+//! state reads.
 //!
 //! The single-call protocol (Fig. 3) pays for its accountability with a
 //! signature check and a Merkle proof *per call* — the dominant server
 //! cost under heavy read traffic. A batch amortizes both: the light
 //! client signs the whole call vector once, the full node verifies one
-//! signature and serves every item against one state snapshot, and all
-//! state-trie proofs collapse into a single deduplicated multiproof
-//! (shared branch nodes cross the wire once; see
-//! [`parp_trie::verify_many`]).
+//! signature and serves every item, and all state-trie proofs collapse
+//! into a single deduplicated multiproof (shared branch nodes cross the
+//! wire once; see [`parp_trie::verify_many`]).
+//!
+//! Where the first batched pipeline bound every item to **one** snapshot
+//! header, the envelope now carries a deduplicated set of block headers —
+//! one per distinct block any item's proof binds to — so transaction and
+//! receipt lookups (proven against the trie roots of their *containing*
+//! blocks) batch alongside balance and nonce reads. Each item names its
+//! block in [`ParpBatchResponse::item_blocks`]; inclusion items carry
+//! their own proof in [`ParpBatchResponse::item_proofs`]; state items
+//! keep sharing the snapshot multiproof. One `σ_res` still commits the
+//! node to everything, including the carried headers.
 //!
 //! Accountability is preserved per item: the node's batch signature
-//! commits it to every `(result, proof)` pair, so one fraudulent item is
-//! enough for the client to hold fraud evidence against the whole signed
-//! response.
+//! commits it to every `(result, block, proof)` triple, so one
+//! fraudulent item is enough for the client to hold fraud evidence
+//! against the whole signed response.
 
 use crate::fdm::FraudVerdict;
 use crate::message::{
@@ -25,6 +36,7 @@ use parp_primitives::{Address, H256, U256};
 use parp_rlp::{
     decode_list_of, encode_bytes, encode_h256, encode_list, encode_u256, encode_u64, Item,
 };
+use std::collections::BTreeMap;
 
 fn encode_calls(calls: &[RpcCall]) -> Vec<u8> {
     let items: Vec<Vec<u8>> = calls.iter().map(|c| encode_bytes(&c.encode())).collect();
@@ -42,6 +54,28 @@ fn decode_nodes(item: &Item) -> Result<Vec<Vec<u8>>, MessageError> {
         .iter()
         .map(|n| n.as_bytes().map(<[u8]>::to_vec))
         .collect::<Result<Vec<_>, _>>()?)
+}
+
+fn encode_u64_list(values: &[u64]) -> Vec<u8> {
+    let items: Vec<Vec<u8>> = values.iter().map(|v| encode_u64(*v)).collect();
+    encode_list(&items)
+}
+
+fn decode_u64_list(item: &Item) -> Result<Vec<u64>, MessageError> {
+    Ok(item
+        .as_list()?
+        .iter()
+        .map(Item::as_u64)
+        .collect::<Result<Vec<_>, _>>()?)
+}
+
+fn encode_proof_sets(proofs: &[Vec<Vec<u8>>]) -> Vec<u8> {
+    let items: Vec<Vec<u8>> = proofs.iter().map(|p| encode_nodes(p)).collect();
+    encode_list(&items)
+}
+
+fn decode_proof_sets(item: &Item) -> Result<Vec<Vec<Vec<u8>>>, MessageError> {
+    item.as_list()?.iter().map(decode_nodes).collect()
 }
 
 /// Computes the batch `h_req` over the request's signed fields.
@@ -191,13 +225,66 @@ impl ParpBatchRequest {
     }
 }
 
+/// Everything a full node produces when serving a batch: the served
+/// payloads, each item's binding block and (for inclusion lookups) its
+/// own proof, the shared state multiproof, and the deduplicated header
+/// set. [`ParpBatchResponse::build`] signs it as one response.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BatchOutput {
+    /// `m_B`: the state-snapshot height state-proven and unproven items
+    /// were served at.
+    pub block_number: u64,
+    /// `R(γᵢ)` per item, aligned with the request's call order.
+    pub results: Vec<Vec<u8>>,
+    /// The shared state-trie multiproof under the snapshot's
+    /// `state_root`.
+    pub multiproof: Vec<Vec<u8>>,
+    /// Per item: the block whose header roots the item's proof binds to
+    /// (`block_number` for state-proven and unproven items, the
+    /// containing block for inclusion lookups).
+    pub item_blocks: Vec<u64>,
+    /// Per item: the inclusion proof nodes for transaction/receipt
+    /// lookups; empty for state-proven (they share the multiproof) and
+    /// unproven items.
+    pub item_proofs: Vec<Vec<Vec<u8>>>,
+    /// The deduplicated header set: the RLP encoding of one header per
+    /// distinct block in `item_blocks` (plus the snapshot block),
+    /// ascending by height.
+    pub headers: Vec<Vec<u8>>,
+}
+
+impl BatchOutput {
+    /// A snapshot-only output: every item bound to `block_number`, no
+    /// per-item proofs, and `header` as the single carried header —
+    /// the shape the original one-snapshot pipeline produced.
+    pub fn snapshot(
+        block_number: u64,
+        results: Vec<Vec<u8>>,
+        multiproof: Vec<Vec<u8>>,
+        header: Vec<u8>,
+    ) -> Self {
+        let n = results.len();
+        BatchOutput {
+            block_number,
+            results,
+            multiproof,
+            item_blocks: vec![block_number; n],
+            item_proofs: vec![Vec::new(); n],
+            headers: vec![header],
+        }
+    }
+}
+
 /// A batched PARP response: per-item results, one shared deduplicated
-/// state multiproof, and one response signature over everything.
+/// state multiproof, per-item inclusion proofs bound to their own
+/// blocks' headers, the deduplicated header set, and one response
+/// signature over everything.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParpBatchResponse {
     /// Channel identifier α (must match the request).
     pub channel_id: u64,
-    /// `m_B`: the single snapshot height every item was served at.
+    /// `m_B`: the snapshot height state-proven and unproven items were
+    /// served at.
     pub block_number: u64,
     /// `a`: echo of the request's cumulative payment amount.
     pub amount: U256,
@@ -207,6 +294,18 @@ pub struct ParpBatchResponse {
     /// state-proven item's path under the snapshot's `state_root`
     /// (verified with [`parp_trie::verify_many`]).
     pub multiproof: Vec<Vec<u8>>,
+    /// Per item: the block whose header the item's proof binds to.
+    /// State-proven and unproven items carry `block_number`; inclusion
+    /// lookups carry their containing block.
+    pub item_blocks: Vec<u64>,
+    /// Per item: inclusion proof nodes under the item block's
+    /// transaction/receipt root; empty for state-proven and unproven
+    /// items.
+    pub item_proofs: Vec<Vec<Vec<u8>>>,
+    /// The deduplicated carried headers (RLP), one per distinct
+    /// referenced block, ascending by height. `σ_res` commits the node
+    /// to them: they are its claim of which roots it served against.
+    pub headers: Vec<Vec<u8>>,
     /// `h_req`: echo of the batch request hash.
     pub request_hash: H256,
     /// `σ_req`: echo of the batch request signature.
@@ -217,13 +316,40 @@ pub struct ParpBatchResponse {
 }
 
 /// Computes the batch `h_res` over all response fields before `σ_res`.
-#[allow(clippy::too_many_arguments)]
 pub fn batch_response_hash(
+    channel_id: u64,
+    amount: &U256,
+    output: &BatchOutput,
+    request_hash: &H256,
+    request_sig: &Signature,
+) -> H256 {
+    hash_response_parts(
+        channel_id,
+        output.block_number,
+        amount,
+        &output.results,
+        &output.multiproof,
+        &output.item_blocks,
+        &output.item_proofs,
+        &output.headers,
+        request_hash,
+        request_sig,
+    )
+}
+
+/// The shared `h_res` computation, by reference — [`batch_response_hash`]
+/// and [`ParpBatchResponse::expected_hash`] both borrow their payloads so
+/// neither copies proof or header bytes just to hash them.
+#[allow(clippy::too_many_arguments)]
+fn hash_response_parts(
     channel_id: u64,
     block_number: u64,
     amount: &U256,
     results: &[Vec<u8>],
     multiproof: &[Vec<u8>],
+    item_blocks: &[u64],
+    item_proofs: &[Vec<Vec<u8>>],
+    headers: &[Vec<u8>],
     request_hash: &H256,
     request_sig: &Signature,
 ) -> H256 {
@@ -234,6 +360,9 @@ pub fn batch_response_hash(
         encode_u256(amount),
         encode_list(&result_items),
         encode_nodes(multiproof),
+        encode_u64_list(item_blocks),
+        encode_proof_sets(item_proofs),
+        encode_nodes(headers),
         encode_h256(request_hash),
         encode_bytes(&request_sig.to_bytes()),
     ]))
@@ -241,28 +370,23 @@ pub fn batch_response_hash(
 
 impl ParpBatchResponse {
     /// Builds and signs a batch response with the full node's key.
-    pub fn build(
-        secret: &SecretKey,
-        request: &ParpBatchRequest,
-        block_number: u64,
-        results: Vec<Vec<u8>>,
-        multiproof: Vec<Vec<u8>>,
-    ) -> Self {
+    pub fn build(secret: &SecretKey, request: &ParpBatchRequest, output: BatchOutput) -> Self {
         let h_res = batch_response_hash(
             request.channel_id,
-            block_number,
             &request.amount,
-            &results,
-            &multiproof,
+            &output,
             &request.request_hash,
             &request.request_sig,
         );
         ParpBatchResponse {
             channel_id: request.channel_id,
-            block_number,
+            block_number: output.block_number,
             amount: request.amount,
-            results,
-            multiproof,
+            results: output.results,
+            multiproof: output.multiproof,
+            item_blocks: output.item_blocks,
+            item_proofs: output.item_proofs,
+            headers: output.headers,
             request_hash: request.request_hash,
             request_sig: request.request_sig,
             response_sig: sign(secret, &h_res),
@@ -281,12 +405,15 @@ impl ParpBatchResponse {
 
     /// Recomputes `h_res` from the response contents.
     pub fn expected_hash(&self) -> H256 {
-        batch_response_hash(
+        hash_response_parts(
             self.channel_id,
             self.block_number,
             &self.amount,
             &self.results,
             &self.multiproof,
+            &self.item_blocks,
+            &self.item_proofs,
+            &self.headers,
             &self.request_hash,
             &self.request_sig,
         )
@@ -297,7 +424,7 @@ impl ParpBatchResponse {
         recover_address(&self.expected_hash(), &self.response_sig).ok()
     }
 
-    /// Full RLP wire encoding (8 fields, as the single-call response).
+    /// Full RLP wire encoding (11 fields).
     pub fn encode(&self) -> Vec<u8> {
         let result_items: Vec<Vec<u8>> = self.results.iter().map(|r| encode_bytes(r)).collect();
         encode_list(&[
@@ -306,6 +433,9 @@ impl ParpBatchResponse {
             encode_u256(&self.amount),
             encode_list(&result_items),
             encode_nodes(&self.multiproof),
+            encode_u64_list(&self.item_blocks),
+            encode_proof_sets(&self.item_proofs),
+            encode_nodes(&self.headers),
             encode_h256(&self.request_hash),
             encode_signature(&self.request_sig),
             encode_signature(&self.response_sig),
@@ -318,7 +448,7 @@ impl ParpBatchResponse {
     ///
     /// Returns [`MessageError`] on malformed structure or signatures.
     pub fn decode(bytes: &[u8]) -> Result<Self, MessageError> {
-        let fields = decode_list_of(bytes, 8)?;
+        let fields = decode_list_of(bytes, 11)?;
         let results = fields[3]
             .as_list()?
             .iter()
@@ -330,23 +460,58 @@ impl ParpBatchResponse {
             amount: fields[2].as_u256()?,
             results,
             multiproof: decode_nodes(&fields[4])?,
-            request_hash: fields[5].as_h256()?,
-            request_sig: decode_signature(&fields[6])?,
-            response_sig: decode_signature(&fields[7])?,
+            item_blocks: decode_u64_list(&fields[5])?,
+            item_proofs: decode_proof_sets(&fields[6])?,
+            headers: decode_nodes(&fields[7])?,
+            request_hash: fields[8].as_h256()?,
+            request_sig: decode_signature(&fields[9])?,
+            response_sig: decode_signature(&fields[10])?,
         })
     }
 
-    /// Total size of the shared multiproof nodes in bytes.
+    /// Total proof bytes on the wire: the shared state multiproof plus
+    /// every per-item inclusion proof.
     pub fn proof_bytes(&self) -> usize {
-        self.multiproof.iter().map(Vec::len).sum()
+        let state: usize = self.multiproof.iter().map(Vec::len).sum();
+        let inclusion: usize = self
+            .item_proofs
+            .iter()
+            .flat_map(|p| p.iter().map(Vec::len))
+            .sum::<usize>();
+        state + inclusion
     }
 
-    /// Byte size of the PARP metadata on top of the results and proofs:
-    /// the per-batch equivalent of Table II's response overhead.
+    /// Total bytes of the carried header set.
+    pub fn header_bytes(&self) -> usize {
+        self.headers.iter().map(Vec::len).sum()
+    }
+
+    /// The distinct block heights this response binds proofs to: the
+    /// snapshot height plus every item's block, deduplicated ascending.
+    pub fn referenced_blocks(&self) -> Vec<u64> {
+        referenced_blocks(self.block_number, &self.item_blocks)
+    }
+
+    /// Byte size of the PARP metadata on top of the results, proofs and
+    /// headers: the per-batch equivalent of Table II's response overhead.
     pub fn overhead_bytes(&self) -> usize {
         let results: usize = self.results.iter().map(Vec::len).sum();
-        self.encode().len() - results - self.proof_bytes()
+        self.encode().len() - results - self.proof_bytes() - self.header_bytes()
     }
+}
+
+/// The distinct block heights a batch binds proofs to — the snapshot
+/// plus every item's block, deduplicated ascending. The serving node
+/// orders its carried header set with this exact function and the
+/// judge zips the carried headers against it, so the two sides can
+/// never drift.
+pub fn referenced_blocks(snapshot: u64, item_blocks: &[u64]) -> Vec<u64> {
+    let mut blocks: Vec<u64> = std::iter::once(snapshot)
+        .chain(item_blocks.iter().copied())
+        .collect();
+    blocks.sort_unstable();
+    blocks.dedup();
+    blocks
 }
 
 /// How a batched response fails the fraud conditions, when it does.
@@ -361,24 +526,114 @@ pub enum BatchFraud {
     Items(Vec<Option<FraudVerdict>>),
 }
 
-/// Evaluates the fraud conditions of §V-D against a batched exchange: the
-/// batch-level payment and timestamp checks, then each state-proven
-/// item's value against the shared multiproof.
+/// Structural consistency of the envelope before any fraud judgement:
+/// arity of the per-item vectors, snapshot binding of state/unproven
+/// items, and the carried header set matching the trusted headers.
+///
+/// Returns an error description when the response is unjudgeable —
+/// *invalid* rather than fraudulent in the §V-D trichotomy.
+fn check_envelope_structure(
+    req: &ParpBatchRequest,
+    res: &ParpBatchResponse,
+    trusted: &BTreeMap<u64, Header>,
+) -> Result<(), String> {
+    let n = req.calls.len();
+    if res.results.len() != n || res.item_blocks.len() != n || res.item_proofs.len() != n {
+        return Err(format!(
+            "batch arity mismatch: {n} calls, {} results, {} item blocks, {} item proofs",
+            res.results.len(),
+            res.item_blocks.len(),
+            res.item_proofs.len(),
+        ));
+    }
+    for (index, call) in req.calls.iter().enumerate() {
+        let snapshot_bound = match call.proof_kind() {
+            ProofKind::State | ProofKind::None => true,
+            // A "not found" inclusion answer (empty result, no proof)
+            // has no containing block; it binds to the snapshot.
+            ProofKind::Transaction | ProofKind::Receipt => {
+                res.results[index].is_empty() && res.item_proofs[index].is_empty()
+            }
+        };
+        if snapshot_bound {
+            if res.item_blocks[index] != res.block_number {
+                return Err(format!(
+                    "item {index} must bind to the snapshot block {}, claims {}",
+                    res.block_number, res.item_blocks[index],
+                ));
+            }
+            if !res.item_proofs[index].is_empty() {
+                return Err(format!(
+                    "item {index} carries a per-item proof but is snapshot-proven"
+                ));
+            }
+        }
+    }
+    // The carried header set must be exactly one header per referenced
+    // block, each matching the trusted (canonical) header by hash.
+    let referenced = res.referenced_blocks();
+    if res.headers.len() != referenced.len() {
+        return Err(format!(
+            "carried header set has {} entries for {} referenced blocks",
+            res.headers.len(),
+            referenced.len(),
+        ));
+    }
+    for (bytes, number) in res.headers.iter().zip(referenced.iter()) {
+        let carried =
+            Header::decode(bytes).map_err(|e| format!("malformed carried header: {e}"))?;
+        if carried.number != *number {
+            return Err(format!(
+                "carried headers must cover referenced blocks ascending: expected {number}, got {}",
+                carried.number,
+            ));
+        }
+        // Hash-check against the canonical header where one is
+        // available. A referenced block the judge has no trusted header
+        // for (outside the on-chain `BLOCKHASH` window) is tolerated
+        // here — items bound to it simply cannot be condemned — so an
+        // old honest lookup in the batch never blocks judging the
+        // fresh items next to it.
+        if let Some(trusted_header) = trusted.get(number) {
+            if carried.hash() != trusted_header.hash() {
+                return Err(format!(
+                    "carried header for block {number} does not match the canonical header"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates the fraud conditions of §V-D against a batched exchange:
+/// the batch-level payment and timestamp checks, each state-proven
+/// item's value against the shared multiproof under the snapshot header,
+/// and each inclusion item's proof against its own block's header.
+///
+/// `trusted` maps block heights to their canonical headers — the light
+/// client reads them from its header store, the on-chain FDM from
+/// witness-submitted headers validated against the `BLOCKHASH` window.
+/// The snapshot block's header is mandatory; for other referenced
+/// blocks the map is best-effort: an inclusion item whose block is
+/// missing (outside the judge's window) is simply not condemnable —
+/// the paper's §VI freshness bound — and never blocks judging the
+/// items next to it.
 ///
 /// Returns `Ok(None)` when every item is consistent.
 ///
 /// # Errors
 ///
 /// Returns a description when the response is structurally unjudgeable
-/// (arity mismatch with the request, or an unbatchable call in the
-/// request) — such responses are *invalid* rather than fraudulent.
+/// (arity mismatch, an unbatchable call, a carried header set that does
+/// not match the trusted headers, or a missing trusted header) — such
+/// responses are *invalid* rather than fraudulent.
 pub fn batch_fraud_conditions(
     req: &ParpBatchRequest,
     res: &ParpBatchResponse,
-    header: &Header,
+    trusted: &BTreeMap<u64, Header>,
     request_height: u64,
 ) -> Result<Option<BatchFraud>, String> {
-    // Only snapshot-provable calls can be judged against the one header.
+    // Writes cannot be judged against any header set: they mutate state.
     if let Some(call) = req.calls.iter().find(|c| !c.batchable()) {
         return Err(format!("unbatchable call in batch: {call:?}"));
     }
@@ -386,19 +641,17 @@ pub fn batch_fraud_conditions(
     if req.amount != res.amount {
         return Ok(Some(BatchFraud::Batch(FraudVerdict::AmountMismatch)));
     }
-    // Condition 2: stale snapshot. One snapshot answers every item, so a
-    // single fresh-height call in the batch pins the whole response.
+    // Condition 2: stale snapshot. One snapshot answers every
+    // fresh-height item, so a single fresh-height call in the batch pins
+    // the whole response; inclusion lookups are exempt (their proofs
+    // legitimately bind to older blocks).
     if req.calls.iter().any(RpcCall::requires_fresh_height) && res.block_number < request_height {
         return Ok(Some(BatchFraud::Batch(FraudVerdict::StaleBlockHeight)));
     }
-    // Structural arity: the node must answer every call.
-    if res.results.len() != req.calls.len() {
-        return Err(format!(
-            "batch arity mismatch: {} calls, {} results",
-            req.calls.len(),
-            res.results.len(),
-        ));
-    }
+    check_envelope_structure(req, res, trusted)?;
+    let snapshot_header = trusted
+        .get(&res.block_number)
+        .ok_or_else(|| format!("no trusted header for snapshot block {}", res.block_number))?;
     // Condition 3a: the shared state multiproof. All state-proven items
     // verify in one pass over the deduplicated node set. The key
     // extraction matches on `proof_kind()` — the same predicate the
@@ -413,17 +666,20 @@ pub fn batch_fraud_conditions(
             state_keys.push(keccak256(address.as_bytes()).as_bytes().to_vec());
         }
     }
-    let proven = match parp_trie::verify_many(header.state_root, &state_keys, &res.multiproof) {
-        Ok(proven) => proven,
-        // The node signed a multiproof that does not verify against the
-        // trusted root: provably wrong as a whole.
-        Err(_) => return Ok(Some(BatchFraud::Batch(FraudVerdict::InvalidProof))),
-    };
-    // Condition 3b: per-item value checks against the proven bindings.
+    let proven =
+        match parp_trie::verify_many(snapshot_header.state_root, &state_keys, &res.multiproof) {
+            Ok(proven) => proven,
+            // The node signed a multiproof that does not verify against the
+            // trusted root: provably wrong as a whole.
+            Err(_) => return Ok(Some(BatchFraud::Batch(FraudVerdict::InvalidProof))),
+        };
+    // Condition 3b: per-item value checks. State items against the
+    // proven multiproof bindings; inclusion items against their own
+    // block's transaction/receipt root via the single-call proof check.
     let mut verdicts: Vec<Option<FraudVerdict>> = Vec::with_capacity(req.calls.len());
     let mut any_fraud = false;
     let mut proven_iter = proven.into_iter();
-    for (call, result) in req.calls.iter().zip(res.results.iter()) {
+    for (index, (call, result)) in req.calls.iter().zip(res.results.iter()).enumerate() {
         let verdict = match call.proof_kind() {
             ProofKind::State => {
                 let proven_value = proven_iter.next().expect("one entry per state key");
@@ -433,8 +689,20 @@ pub fn batch_fraud_conditions(
                     Some(FraudVerdict::InvalidProof)
                 }
             }
+            ProofKind::Transaction | ProofKind::Receipt => {
+                match trusted.get(&res.item_blocks[index]) {
+                    Some(header) => {
+                        crate::fdm::proof_condition(call, result, &res.item_proofs[index], header)?
+                    }
+                    // No trusted header for the item's block (it fell
+                    // out of the `BLOCKHASH` window): the item cannot
+                    // be judged either way — the §VI freshness bound,
+                    // exactly as for single-call historical lookups.
+                    None => None,
+                }
+            }
             // Unproven items only need the batch-level checks above.
-            _ => None,
+            ProofKind::None => None,
         };
         any_fraud |= verdict.is_some();
         verdicts.push(verdict);
@@ -476,6 +744,10 @@ mod tests {
         )
     }
 
+    fn sample_header_bytes() -> Vec<u8> {
+        vec![0xc1, 0x80]
+    }
+
     #[test]
     fn batch_request_roundtrip_and_signers() {
         let request = sample_request(5);
@@ -507,14 +779,40 @@ mod tests {
         let response = ParpBatchResponse::build(
             &fn_key(),
             &request,
-            42,
-            vec![b"r0".to_vec(), b"r1".to_vec(), b"r2".to_vec()],
-            vec![vec![1, 2, 3], vec![4, 5]],
+            BatchOutput::snapshot(
+                42,
+                vec![b"r0".to_vec(), b"r1".to_vec(), b"r2".to_vec()],
+                vec![vec![1, 2, 3], vec![4, 5]],
+                sample_header_bytes(),
+            ),
         );
         let decoded = ParpBatchResponse::decode(&response.encode()).unwrap();
         assert_eq!(decoded, response);
         assert_eq!(decoded.signer(), Some(fn_key().address()));
         assert_eq!(decoded.proof_bytes(), 5);
+        assert_eq!(decoded.item_blocks, vec![42; 3]);
+        assert_eq!(decoded.referenced_blocks(), vec![42]);
+    }
+
+    #[test]
+    fn multi_block_response_roundtrips() {
+        let request = sample_request(2);
+        let output = BatchOutput {
+            block_number: 42,
+            results: vec![b"state".to_vec(), b"inclusion".to_vec()],
+            multiproof: vec![vec![1, 2]],
+            item_blocks: vec![42, 7],
+            item_proofs: vec![Vec::new(), vec![vec![9, 9], vec![8]]],
+            headers: vec![sample_header_bytes(), sample_header_bytes()],
+        };
+        let response = ParpBatchResponse::build(&fn_key(), &request, output);
+        let decoded = ParpBatchResponse::decode(&response.encode()).unwrap();
+        assert_eq!(decoded, response);
+        assert_eq!(decoded.signer(), Some(fn_key().address()));
+        assert_eq!(decoded.referenced_blocks(), vec![7, 42]);
+        // Proof bytes cover the multiproof and the inclusion proofs.
+        assert_eq!(decoded.proof_bytes(), 2 + 3);
+        assert_eq!(decoded.header_bytes(), 4);
     }
 
     #[test]
@@ -523,18 +821,36 @@ mod tests {
         let mut response = ParpBatchResponse::build(
             &fn_key(),
             &request,
-            42,
-            vec![b"a".to_vec(), b"b".to_vec()],
-            Vec::new(),
+            BatchOutput::snapshot(
+                42,
+                vec![b"a".to_vec(), b"b".to_vec()],
+                Vec::new(),
+                sample_header_bytes(),
+            ),
         );
         response.results[1] = b"forged".to_vec();
         assert_ne!(response.signer(), Some(fn_key().address()));
+        // The signature also commits the node to its item blocks and
+        // carried headers: re-binding an item is equally detectable.
+        let mut rebound = ParpBatchResponse::build(
+            &fn_key(),
+            &request,
+            BatchOutput::snapshot(
+                42,
+                vec![b"a".to_vec(), b"b".to_vec()],
+                Vec::new(),
+                sample_header_bytes(),
+            ),
+        );
+        rebound.item_blocks[0] = 41;
+        assert_ne!(rebound.signer(), Some(fn_key().address()));
     }
 
     #[test]
     fn batch_overhead_amortizes_signatures() {
         // One signature pair serves any N: going from 1 to 64 calls may
-        // add per-call RLP framing (a length prefix per call) but no new
+        // add per-call RLP framing (length prefixes for the result, the
+        // item block and the empty item-proof list) but no new
         // signatures or hashes — unlike 64 single requests, which repeat
         // the full ~226-byte overhead each time.
         let small = sample_request(1).overhead_bytes();

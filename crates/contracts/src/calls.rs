@@ -95,8 +95,12 @@ pub enum ModuleCall {
         response: Vec<u8>,
         /// The witness full node that relayed this proof.
         witness: Address,
-        /// RLP-encoded header of block `res.m_B`.
-        header: Vec<u8>,
+        /// RLP-encoded headers of every block the response binds proofs
+        /// to: the snapshot block `res.m_B` plus each inclusion item's
+        /// containing block. The contract recomputes every hash and
+        /// checks it against the `BLOCKHASH` window, exactly as for the
+        /// single-call proof.
+        headers: Vec<Vec<u8>>,
     },
 }
 
@@ -158,14 +162,17 @@ impl ModuleCall {
                 request,
                 response,
                 witness,
-                header,
-            } => encode_list(&[
-                encode_u64(8),
-                encode_bytes(request),
-                encode_bytes(response),
-                encode_address(witness),
-                encode_bytes(header),
-            ]),
+                headers,
+            } => {
+                let header_items: Vec<Vec<u8>> = headers.iter().map(|h| encode_bytes(h)).collect();
+                encode_list(&[
+                    encode_u64(8),
+                    encode_bytes(request),
+                    encode_bytes(response),
+                    encode_address(witness),
+                    encode_list(&header_items),
+                ])
+            }
         }
     }
 
@@ -252,11 +259,16 @@ impl ModuleCall {
             }
             8 => {
                 arity(5)?;
+                let headers = fields[4]
+                    .as_list()?
+                    .iter()
+                    .map(|h| h.as_bytes().map(<[u8]>::to_vec))
+                    .collect::<Result<Vec<_>, _>>()?;
                 Ok(ModuleCall::SubmitBatchFraudProof {
                     request: fields[1].as_bytes()?.to_vec(),
                     response: fields[2].as_bytes()?.to_vec(),
                     witness: fields[3].as_address()?,
-                    header: fields[4].as_bytes()?.to_vec(),
+                    headers,
                 })
             }
             _ => Err(DecodeError::ExpectedList),
@@ -327,6 +339,12 @@ mod tests {
                 response: vec![3, 4],
                 witness: Address::from_low_u64_be(9),
                 header: vec![5, 6],
+            },
+            ModuleCall::SubmitBatchFraudProof {
+                request: vec![1, 2],
+                response: vec![3, 4],
+                witness: Address::from_low_u64_be(9),
+                headers: vec![vec![5, 6], vec![7, 8]],
             },
         ];
         for call in calls {

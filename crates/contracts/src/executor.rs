@@ -136,12 +136,12 @@ impl ParpExecutor {
                 request,
                 response,
                 witness,
-                header,
+                headers,
             } => self.fdm.submit_batch_fraud_proof(
                 request,
                 response,
                 *witness,
-                header,
+                headers,
                 ctx,
                 &mut self.cmm,
                 &mut self.fndm,

@@ -218,7 +218,6 @@ struct ExchangeFields {
     request_hash: H256,
     res_request_hash: H256,
     request_sig: Signature,
-    response_height: u64,
     request_block_hash: H256,
     amounts_equal: bool,
 }
@@ -276,21 +275,23 @@ impl FraudModule {
             request_hash: req.request_hash,
             res_request_hash: res.request_hash,
             request_sig: req.request_sig,
-            response_height: res.block_number,
             request_block_hash: req.block_hash,
             amounts_equal: req.amount == res.amount,
         };
-        let (channel, header, request_height) = self.authenticate_exchange(
+        let (channel, request_height) = self.authenticate_exchange(
             &exchange,
             || req.expected_hash(),
             || res.signer(),
             request_bytes,
             response_bytes,
-            header_bytes,
             ctx,
             cmm,
             meter,
         )?;
+        let header = Self::validate_header(header_bytes, ctx, meter)?;
+        if header.number != res.block_number {
+            return Err(Revert::new("header height does not match response"));
+        }
 
         // MPT walk cost: hash every proof node.
         for node in &res.proof {
@@ -313,31 +314,46 @@ impl FraudModule {
         )
     }
 
-    /// `submitBatchFraudProof(req, res, addrWN, header)`: Algorithm 2
+    /// `submitBatchFraudProof(req, res, addrWN, headers)`: Algorithm 2
     /// generalized to batched exchanges. The node's one signature covers
     /// every item, so a single provably wrong item — or a batch-level
     /// condition — condemns the whole response and slashes the node.
+    ///
+    /// The witness submits one RLP header per block the response binds
+    /// proofs to (the snapshot block plus each inclusion item's
+    /// containing block); every submitted header inside the `BLOCKHASH`
+    /// window is validated before any item is judged. Headers whose
+    /// blocks fell out of the window are skipped — the items bound to
+    /// them go unjudged (§VI), but fraud in the rest of the batch stays
+    /// slashable. The snapshot block's header must validate.
     ///
     /// Returns `[verdict_byte]` on success.
     ///
     /// # Errors
     ///
     /// Reverts under the same conditions as
-    /// [`FraudModule::submit_fraud_proof`].
+    /// [`FraudModule::submit_fraud_proof`], plus when a submitted
+    /// in-window header fails validation, when no valid header covers
+    /// the snapshot block, or when no fraud condition holds on the
+    /// judgeable items. An in-window referenced header the witness
+    /// *omitted* leaves its item unjudged, so a proof resting on that
+    /// item alone reverts with "no fraud detected" — resubmit with the
+    /// missing header.
     #[allow(clippy::too_many_arguments)]
     pub fn submit_batch_fraud_proof(
         &mut self,
         request_bytes: &[u8],
         response_bytes: &[u8],
         witness: Address,
-        header_bytes: &[u8],
+        headers_bytes: &[Vec<u8>],
         ctx: &BlockContext,
         cmm: &mut ChannelsModule,
         fndm: &mut DepositModule,
         state: &mut State,
         meter: &mut GasMeter,
     ) -> Result<(Vec<u8>, Vec<Log>), Revert> {
-        meter.process_bytes(request_bytes.len() + response_bytes.len() + header_bytes.len());
+        let headers_len: usize = headers_bytes.iter().map(Vec::len).sum();
+        meter.process_bytes(request_bytes.len() + response_bytes.len() + headers_len);
         let req = crate::ParpBatchRequest::decode(request_bytes)
             .map_err(|e| Revert::new(format!("malformed batch request: {e}")))?;
         let res = crate::ParpBatchResponse::decode(response_bytes)
@@ -349,27 +365,59 @@ impl FraudModule {
             request_hash: req.request_hash,
             res_request_hash: res.request_hash,
             request_sig: req.request_sig,
-            response_height: res.block_number,
             request_block_hash: req.block_hash,
             amounts_equal: req.amount == res.amount,
         };
-        let (channel, header, request_height) = self.authenticate_exchange(
+        let (channel, request_height) = self.authenticate_exchange(
             &exchange,
             || req.expected_hash(),
             || res.signer(),
             request_bytes,
             response_bytes,
-            header_bytes,
             ctx,
             cmm,
             meter,
         )?;
+        // Every submitted header inside the `BLOCKHASH` window must
+        // hash to the chain's stored block hash; duplicates are
+        // padding. A header whose height fell out of the window is
+        // skipped rather than reverted on: it cannot be validated, so
+        // items bound to it go unjudged (§VI freshness bound) — but an
+        // old honest lookup never blocks condemning the fresh items
+        // (or batch-level conditions) next to it.
+        let mut trusted: BTreeMap<u64, Header> = BTreeMap::new();
+        for header_bytes in headers_bytes {
+            let header = Header::decode(header_bytes)
+                .map_err(|e| Revert::new(format!("malformed header: {e}")))?;
+            let Some(expected) = ctx.block_hash(header.number) else {
+                continue;
+            };
+            meter.keccak(header_bytes.len());
+            if keccak256(header_bytes) != expected {
+                return Err(Revert::new("header hash does not match the chain"));
+            }
+            if trusted.insert(header.number, header).is_some() {
+                return Err(Revert::new("duplicate header submitted"));
+            }
+        }
+        if !trusted.contains_key(&res.block_number) {
+            return Err(Revert::new("no valid header for the snapshot block"));
+        }
 
-        // MPT walk cost: hash every multiproof node.
+        // MPT walk cost: hash every multiproof and inclusion-proof
+        // node, plus the carried headers the structure check re-hashes.
         for node in &res.multiproof {
             meter.keccak(node.len());
         }
-        let fraud = crate::batch_fraud_conditions(&req, &res, &header, request_height)
+        for proof in &res.item_proofs {
+            for node in proof {
+                meter.keccak(node.len());
+            }
+        }
+        for header in &res.headers {
+            meter.keccak(header.len());
+        }
+        let fraud = crate::batch_fraud_conditions(&req, &res, &trusted, request_height)
             .map_err(Revert::new)?;
         let verdict = match fraud {
             None => return Err(Revert::new("no fraud detected")),
@@ -393,11 +441,34 @@ impl FraudModule {
         )
     }
 
+    /// Decodes a submitted header and validates it against the
+    /// `BLOCKHASH` window: the header must hash to the stored block hash
+    /// for its height, which is only visible inside the 256-block window
+    /// (paper §VI).
+    fn validate_header(
+        header_bytes: &[u8],
+        ctx: &BlockContext,
+        meter: &mut GasMeter,
+    ) -> Result<Header, Revert> {
+        let header = Header::decode(header_bytes)
+            .map_err(|e| Revert::new(format!("malformed header: {e}")))?;
+        meter.keccak(header_bytes.len());
+        let expected = ctx
+            .block_hash(header.number)
+            .ok_or_else(|| Revert::new("header outside the blockhash window"))?;
+        if keccak256(header_bytes) != expected {
+            return Err(Revert::new("header hash does not match the chain"));
+        }
+        Ok(header)
+    }
+
     /// The shared authentication sequence of Algorithm 2: channel lookup
     /// and status, double-report guard, request-hash consistency, both
-    /// signature recoveries, header validation against the `BLOCKHASH`
-    /// window, and `req.h_B` height resolution. The hash recomputation
-    /// and response-signer recovery run only after the cheap guards pass.
+    /// signature recoveries, and `req.h_B` height resolution. The hash
+    /// recomputation and response-signer recovery run only after the
+    /// cheap guards pass. Header validation is separate
+    /// ([`FraudModule::validate_header`]) because single and batched
+    /// submissions carry different header sets.
     #[allow(clippy::too_many_arguments)]
     fn authenticate_exchange(
         &self,
@@ -406,11 +477,10 @@ impl FraudModule {
         response_signer: impl FnOnce() -> Option<Address>,
         request_bytes: &[u8],
         response_bytes: &[u8],
-        header_bytes: &[u8],
         ctx: &BlockContext,
         cmm: &ChannelsModule,
         meter: &mut GasMeter,
-    ) -> Result<(crate::cmm::Channel, Header, u64), Revert> {
+    ) -> Result<(crate::cmm::Channel, u64), Revert> {
         // The match of the identifier.
         if exchange.req_channel_id != exchange.res_channel_id {
             return Err(Revert::new("channel identifier mismatch"));
@@ -457,22 +527,6 @@ impl FraudModule {
             ));
         }
 
-        // Trusted root hash: the submitted header must hash to the stored
-        // block hash for res.m_B, which is only visible inside the
-        // 256-block window (paper §VI).
-        let header = Header::decode(header_bytes)
-            .map_err(|e| Revert::new(format!("malformed header: {e}")))?;
-        if header.number != exchange.response_height {
-            return Err(Revert::new("header height does not match response"));
-        }
-        meter.keccak(header_bytes.len());
-        let expected = ctx
-            .block_hash(header.number)
-            .ok_or_else(|| Revert::new("header outside the blockhash window"))?;
-        if keccak256(header_bytes) != expected {
-            return Err(Revert::new("header hash does not match the chain"));
-        }
-
         // The height of req.h_B must be resolvable on-chain (unless the
         // amount condition already condemns and makes it irrelevant).
         let request_height = if !exchange.amounts_equal {
@@ -481,7 +535,7 @@ impl FraudModule {
             ctx.block_height_by_hash(&exchange.request_block_hash)
                 .ok_or_else(|| Revert::new("request block hash outside the window"))?
         };
-        Ok((channel, header, request_height))
+        Ok((channel, request_height))
     }
 
     /// slashAndReward (Algorithm 2) plus the fraud record and event.

@@ -209,15 +209,17 @@ impl RpcCall {
 
     /// Whether this call may ride inside a [`crate::ParpBatchRequest`].
     ///
-    /// Batches are served against a single state snapshot and judged
-    /// against its one header, so a call qualifies only when its response
-    /// is provable from that snapshot: state-proven reads and unproven
-    /// chain queries. `eth_sendRawTransaction` mutates state (the serving
-    /// node mines the transaction), and transaction/receipt lookups are
-    /// proven against the trie of their *containing* block, whose root
-    /// the batch header does not commit to — all three travel alone.
+    /// The multi-header batch envelope carries one header per distinct
+    /// block any item's proof binds to, so every *read* batches: state
+    /// reads and unproven chain queries verify against the snapshot
+    /// header, and historical inclusion lookups
+    /// (`eth_getTransactionByHash`, `eth_getTransactionReceipt`) verify
+    /// against the header of their containing block. Only
+    /// `eth_sendRawTransaction` travels alone: it mutates state (the
+    /// serving node mines the transaction), so it cannot share a batch's
+    /// read-only snapshot.
     pub fn batchable(&self) -> bool {
-        matches!(self.proof_kind(), ProofKind::State | ProofKind::None)
+        !matches!(self, RpcCall::SendRawTransaction { .. })
     }
 
     /// The account a state-proven call reads, i.e. the address whose

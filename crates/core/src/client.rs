@@ -132,8 +132,11 @@ pub struct BatchFraudEvidence {
     pub request: ParpBatchRequest,
     /// The fraudulent batch response.
     pub response: ParpBatchResponse,
-    /// Header of block `res.m_B`.
-    pub header: Header,
+    /// The trusted headers of every block the response binds proofs to
+    /// (the snapshot block `res.m_B` plus each inclusion item's
+    /// containing block), ascending by height — the header set the
+    /// on-chain module re-validates against the `BLOCKHASH` window.
+    pub headers: Vec<Header>,
     /// What the client's checks concluded.
     pub verdict: FraudVerdict,
     /// Index of the first fraudulent item, or `None` when a batch-level
@@ -151,7 +154,7 @@ impl BatchFraudEvidence {
             request: self.request.encode(),
             response: self.response.encode(),
             witness,
-            header: self.header.encode(),
+            headers: self.headers.iter().map(Header::encode).collect(),
         }
     }
 }
@@ -493,17 +496,13 @@ impl LightClient {
         match classification {
             BatchClassification::Invalid(reason) => Ok(ProcessBatchOutcome::Invalid(reason)),
             BatchClassification::BatchFraud { verdict } => {
-                let header = self
-                    .headers
-                    .get(&response.block_number)
-                    .cloned()
-                    .expect("classification used this header");
+                let headers = self.evidence_headers(response);
                 let items = vec![Classification::Fraudulent(verdict); pending.request.calls.len()];
                 Ok(ProcessBatchOutcome::Fraud {
                     evidence: Box::new(BatchFraudEvidence {
                         request: pending.request,
                         response: response.clone(),
-                        header,
+                        headers,
                         verdict,
                         item: None,
                     }),
@@ -512,16 +511,12 @@ impl LightClient {
             }
             BatchClassification::Items(items) => {
                 if let Some((index, verdict)) = first_fraud {
-                    let header = self
-                        .headers
-                        .get(&response.block_number)
-                        .cloned()
-                        .expect("classification used this header");
+                    let headers = self.evidence_headers(response);
                     Ok(ProcessBatchOutcome::Fraud {
                         evidence: Box::new(BatchFraudEvidence {
                             request: pending.request,
                             response: response.clone(),
-                            header,
+                            headers,
                             verdict,
                             item: Some(index),
                         }),
@@ -536,7 +531,15 @@ impl LightClient {
                         .request
                         .calls
                         .iter()
-                        .map(|c| c.proof_kind() == parp_contracts::ProofKind::State)
+                        .zip(response.item_proofs.iter())
+                        .map(|(call, item_proof)| match call.proof_kind() {
+                            parp_contracts::ProofKind::State => true,
+                            // Inclusion items are proven unless the node
+                            // answered "not found" (empty, unproven).
+                            parp_contracts::ProofKind::Transaction
+                            | parp_contracts::ProofKind::Receipt => !item_proof.is_empty(),
+                            parp_contracts::ProofKind::None => false,
+                        })
                         .collect();
                     Ok(ProcessBatchOutcome::Valid {
                         results: response.results.clone(),
@@ -545,6 +548,27 @@ impl LightClient {
                 }
             }
         }
+    }
+
+    /// The trusted headers of every block `response` binds proofs to,
+    /// ascending — the set a batch fraud proof submits on-chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a referenced header is missing from the store; the
+    /// classification that produced the fraud verdict already read every
+    /// one of them.
+    fn evidence_headers(&self, response: &ParpBatchResponse) -> Vec<Header> {
+        response
+            .referenced_blocks()
+            .into_iter()
+            .map(|number| {
+                self.headers
+                    .get(&number)
+                    .cloned()
+                    .expect("classification used this header")
+            })
+            .collect()
     }
 
     /// A liveness probe for the client's own channel (§V-C).

@@ -1,9 +1,48 @@
 //! Failure injection: the ways a malicious or buggy full node can deviate
 //! from the protocol. Drives the fraud tests and the fraud benches.
 
-use parp_contracts::{ParpBatchRequest, ParpBatchResponse, ParpRequest, ParpResponse};
+use parp_contracts::{
+    ParpBatchRequest, ParpBatchResponse, ParpRequest, ParpResponse, ProofKind, RpcCall,
+};
 use parp_crypto::{sign, SecretKey};
 use parp_primitives::U256;
+
+/// A forged result of the right *shape* for `call`, so the lie is
+/// well-formed and therefore provable fraud (a shapeless forgery would
+/// classify as merely *invalid*): receipt lookups keep their
+/// `[index, receipt]` envelope with doctored contents, transaction
+/// lookups claim a wrong inclusion index, everything else an inflated
+/// account record.
+fn forged_payload(call: &RpcCall, honest: &[u8]) -> Vec<u8> {
+    match call.proof_kind() {
+        ProofKind::Receipt => {
+            let index = parp_rlp::decode_list_of(honest, 2)
+                .ok()
+                .and_then(|fields| fields[0].as_u64().ok())
+                .unwrap_or(0);
+            let forged_receipt = parp_chain::Receipt {
+                status: 0, // claim the tx failed
+                cumulative_gas_used: 1,
+                logs: Vec::new(),
+            };
+            parp_rlp::encode_list(&[
+                parp_rlp::encode_u64(index),
+                parp_rlp::encode_bytes(&forged_receipt.encode()),
+            ])
+        }
+        ProofKind::Transaction => {
+            // rlp(index) with a doctored index: the honest proof then
+            // binds a different (or no) value than the claim.
+            let index = parp_rlp::decode(honest)
+                .and_then(|i| i.as_u64())
+                .unwrap_or(0);
+            parp_rlp::encode_u64(index.wrapping_add(1))
+        }
+        ProofKind::State | ProofKind::None => {
+            parp_chain::Account::with_balance(U256::from(123_456_789_000u64)).encode()
+        }
+    }
+}
 
 /// A deviation a full node can be configured to perform.
 ///
@@ -85,28 +124,7 @@ impl Misbehavior {
                 response.block_number = request_height.saturating_sub(1);
             }
             Misbehavior::ForgedResult => {
-                // Forge a payload of the right *shape* for the call, so
-                // the lie is well-formed and therefore provable: receipts
-                // keep their envelope with doctored contents; everything
-                // else claims an inflated account.
-                let receipt_envelope = parp_rlp::decode_list_of(&response.result, 2).ok();
-                response.result = match receipt_envelope {
-                    Some(fields) => {
-                        let index = fields[0].as_u64().unwrap_or(0);
-                        let forged_receipt = parp_chain::Receipt {
-                            status: 0, // claim the tx failed
-                            cumulative_gas_used: 1,
-                            logs: Vec::new(),
-                        };
-                        parp_rlp::encode_list(&[
-                            parp_rlp::encode_u64(index),
-                            parp_rlp::encode_bytes(&forged_receipt.encode()),
-                        ])
-                    }
-                    None => {
-                        parp_chain::Account::with_balance(U256::from(123_456_789_000u64)).encode()
-                    }
-                };
+                response.result = forged_payload(&request.call, &response.result);
             }
             Misbehavior::CorruptProof => {
                 if let Some(first) = response.proof.first_mut() {
@@ -163,9 +181,12 @@ impl Misbehavior {
                 response.block_number = request_height.saturating_sub(1);
             }
             Misbehavior::ForgedResult => {
-                if let Some(last) = response.results.last_mut() {
-                    *last =
-                        parp_chain::Account::with_balance(U256::from(123_456_789_000u64)).encode();
+                // Forge the last item with a payload of the right shape
+                // for its call, exactly as the single-call path does.
+                if let (Some(last), Some(call)) =
+                    (response.results.last_mut(), request.calls.last())
+                {
+                    *last = forged_payload(call, last);
                 }
             }
             Misbehavior::CorruptProof => {

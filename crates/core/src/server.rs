@@ -30,6 +30,34 @@ pub trait ProofEngine {
     /// Single-account proof under `state`'s root, equivalent to
     /// [`State::account_proof`].
     fn account_proof(&mut self, state: &State, address: &Address) -> Vec<Vec<u8>>;
+
+    /// Inclusion proof for transaction `index` of block `block`,
+    /// equivalent to [`Blockchain::transaction_proof`]. A runtime
+    /// overrides this to reuse a cached per-block transaction trie
+    /// instead of rebuilding it per lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the location does not exist (callers resolve it via
+    /// [`Blockchain::transaction_location`] first).
+    fn transaction_proof(&mut self, chain: &Blockchain, block: u64, index: usize) -> Vec<Vec<u8>> {
+        chain
+            .transaction_proof(block, index)
+            .expect("proof for located transaction")
+    }
+
+    /// Inclusion proof for receipt `index` of block `block`, equivalent
+    /// to [`Blockchain::receipt_proof`]. A runtime overrides this to
+    /// reuse a cached per-block receipt trie.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the location does not exist.
+    fn receipt_proof(&mut self, chain: &Blockchain, block: u64, index: usize) -> Vec<Vec<u8>> {
+        chain
+            .receipt_proof(block, index)
+            .expect("proof for located receipt")
+    }
 }
 
 /// The built-in engine: proofs straight off the state's memoized trie,
@@ -90,14 +118,20 @@ pub enum ServeError {
     Execution(String),
     /// A batch request carried no calls (it would still demand payment).
     EmptyBatch,
-    /// A batch request carried a call that cannot be served from a single
-    /// state snapshot (writes must travel as single requests).
+    /// A batch request carried a call that cannot ride in a batch
+    /// (writes mutate state mid-batch and must travel as single
+    /// requests).
     UnbatchableCall,
     /// The request pinned `h_B` to a block hash this node does not know
     /// (a stale fork, a typo, or a forged hash). Serving it would judge
     /// the timestamp check against a fabricated height, so the node
     /// refuses instead of silently mapping it to genesis.
     UnknownBlockHash(H256),
+    /// A `GetHeader` call named a block number this node does not have
+    /// (beyond the head, or pruned). The old behaviour served an empty
+    /// unproven payload indistinguishable from a real answer; the node
+    /// now refuses outright, mirroring [`ServeError::UnknownBlockHash`].
+    UnknownBlock(u64),
 }
 
 impl fmt::Display for ServeError {
@@ -118,6 +152,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::UnknownBlockHash(hash) => {
                 write!(f, "request pinned to unknown block hash {hash}")
+            }
+            ServeError::UnknownBlock(number) => {
+                write!(f, "no block at height {number} to serve")
             }
         }
     }
@@ -262,17 +299,19 @@ impl FullNode {
 
     /// Serves one batched PARP request: verifies the envelope **once**
     /// (one channel lookup, two signature recoveries — the same cost as a
-    /// single call, amortized over N items), executes every read against
-    /// a single state snapshot, and collapses all state proofs into one
-    /// deduplicated multiproof. The state trie is built once for the
-    /// whole batch instead of once per call.
+    /// single call, amortized over N items), executes state reads
+    /// against a single snapshot (collapsing their proofs into one
+    /// deduplicated multiproof), serves historical inclusion lookups
+    /// with per-item proofs bound to their containing blocks, and
+    /// carries the deduplicated header set for every referenced block —
+    /// the multi-header batch envelope.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError`] when the batch is empty, carries a call
-    /// that cannot be served from a snapshot (writes, historical
-    /// inclusion lookups), or fails the channel/signature/payment checks;
-    /// the batch is then not served (and not charged).
+    /// Returns [`ServeError`] when the batch is empty, carries a write
+    /// (the only unbatchable call), names an unknown block, or fails the
+    /// channel/signature/payment checks; the batch is then not served
+    /// (and not charged).
     pub fn handle_batch(
         &mut self,
         request: &ParpBatchRequest,
@@ -302,20 +341,56 @@ impl FullNode {
         let request_height = chain
             .block_number_by_hash(&request.block_hash)
             .ok_or(ServeError::UnknownBlockHash(request.block_hash))?;
-        // One snapshot serves every item.
+        // One snapshot serves every state-proven and unproven item;
+        // inclusion lookups bind to their own containing blocks.
         let head = chain.height();
         let state = chain.state_at(head).expect("head state exists");
-        let mut results = Vec::with_capacity(request.calls.len());
+        let n = request.calls.len();
+        let mut results = Vec::with_capacity(n);
+        let mut item_blocks = Vec::with_capacity(n);
+        let mut item_proofs = Vec::with_capacity(n);
         let mut state_addresses: Vec<Address> = Vec::new();
         for call in &request.calls {
             // verify_batch_request already rejected unbatchable calls.
-            results.push(Self::read_result(call, head, state, chain, executor));
-            if let Some(address) = call.state_address() {
-                state_addresses.push(*address);
+            match Self::inclusion_lookup(call, chain, engine) {
+                Some(Some((block, result, proof))) => {
+                    results.push(result);
+                    item_blocks.push(block);
+                    item_proofs.push(proof);
+                }
+                // Not found: an unproven empty answer bound to the
+                // snapshot, as on the single-call path.
+                Some(None) => {
+                    results.push(Vec::new());
+                    item_blocks.push(head);
+                    item_proofs.push(Vec::new());
+                }
+                // A snapshot-provable read.
+                None => {
+                    results.push(Self::read_result(call, head, state, chain, executor)?);
+                    item_blocks.push(head);
+                    item_proofs.push(Vec::new());
+                    if let Some(address) = call.state_address() {
+                        state_addresses.push(*address);
+                    }
+                }
             }
         }
         // One trie build, one deduplicated proof for all state items.
         let multiproof = engine.account_multiproof(state, &state_addresses);
+        // The deduplicated header set: one per distinct referenced
+        // block (the snapshot plus every inclusion item's block),
+        // ordered by the same function the judge zips headers against.
+        let headers: Vec<Vec<u8>> = parp_contracts::referenced_blocks(head, &item_blocks)
+            .iter()
+            .map(|number| {
+                chain
+                    .block(*number)
+                    .expect("served blocks exist")
+                    .header
+                    .encode()
+            })
+            .collect();
         let served = request.calls.len() as u64;
         let channel = self
             .channels
@@ -329,8 +404,15 @@ impl FullNode {
         channel.latest_payment_sig = request.payment_sig;
         channel.calls_served += served;
         self.requests_served += served;
-        let honest =
-            ParpBatchResponse::build(self.key.secret(), request, head, results, multiproof);
+        let output = parp_contracts::BatchOutput {
+            block_number: head,
+            results,
+            multiproof,
+            item_blocks,
+            item_proofs,
+            headers,
+        };
+        let honest = ParpBatchResponse::build(self.key.secret(), request, output);
         Ok(self
             .misbehavior
             .corrupt_batch(request, honest, self.key.secret(), request_height))
@@ -437,11 +519,16 @@ impl FullNode {
         Ok(())
     }
 
-    /// Executes γ against the chain, returning `(m_B, R(γ), π_γ)`.
     /// The result payload of a snapshot-provable read, shared between
     /// [`FullNode::execute_call`] and [`FullNode::handle_batch`] so the
     /// single-call and batched encodings cannot drift (the fraud checks
     /// require them to stay byte-identical).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownBlock`] for a `GetHeader` naming a
+    /// block this node does not have — an empty payload would be
+    /// indistinguishable from a real (unproven) answer.
     ///
     /// # Panics
     ///
@@ -453,30 +540,65 @@ impl FullNode {
         state: &parp_chain::State,
         chain: &Blockchain,
         executor: &ParpExecutor,
-    ) -> Vec<u8> {
+    ) -> Result<Vec<u8>, ServeError> {
         match call {
             // Balance and nonce reads both answer with the full RLP
             // account record the state proof binds; the client reads the
             // field it asked for out of it.
-            RpcCall::GetBalance { address } | RpcCall::GetTransactionCount { address } => state
+            RpcCall::GetBalance { address } | RpcCall::GetTransactionCount { address } => Ok(state
                 .account(address)
                 .map(parp_chain::Account::encode)
-                .unwrap_or_default(),
-            RpcCall::BlockNumber => parp_rlp::encode_u64(head),
+                .unwrap_or_default()),
+            RpcCall::BlockNumber => Ok(parp_rlp::encode_u64(head)),
             RpcCall::GetHeader { number } => chain
                 .block(*number)
                 .map(|b| b.header.encode())
-                .unwrap_or_default(),
-            RpcCall::GetChannelStatus { channel_id } => vec![executor
+                .ok_or(ServeError::UnknownBlock(*number)),
+            RpcCall::GetChannelStatus { channel_id } => Ok(vec![executor
                 .cmm()
                 .channel(*channel_id)
                 .map(|c| c.status.as_byte())
-                .unwrap_or(0xff)],
+                .unwrap_or(0xff)]),
             RpcCall::SendRawTransaction { .. }
             | RpcCall::GetTransactionByHash { .. }
             | RpcCall::GetTransactionReceipt { .. } => {
                 unreachable!("not a snapshot-provable read: {call:?}")
             }
+        }
+    }
+
+    /// Serves a historical inclusion lookup, shared between the single
+    /// and batched paths so their result/proof encodings cannot drift.
+    ///
+    /// Returns `None` for calls that are not inclusion lookups,
+    /// `Some(None)` when the queried transaction is unknown (absence by
+    /// hash is not provable in an index-keyed trie — the caller serves
+    /// an unproven empty answer), and `Some(Some((block, result,
+    /// proof)))` for a located item bound to its containing block.
+    fn inclusion_lookup(
+        call: &RpcCall,
+        chain: &Blockchain,
+        engine: &mut dyn ProofEngine,
+    ) -> Option<Option<CallOutput>> {
+        match call {
+            RpcCall::GetTransactionByHash { hash } => {
+                Some(chain.transaction_location(hash).map(|(block, index)| {
+                    let proof = engine.transaction_proof(chain, block, index);
+                    (block, parp_rlp::encode_u64(index as u64), proof)
+                }))
+            }
+            RpcCall::GetTransactionReceipt { hash } => {
+                Some(chain.transaction_location(hash).map(|(block, index)| {
+                    let receipt = chain.receipts(block).expect("located")[index].encode();
+                    let proof = engine.receipt_proof(chain, block, index);
+                    let result = parp_rlp::encode_list(&[
+                        parp_rlp::encode_u64(index as u64),
+                        parp_rlp::encode_bytes(&receipt),
+                    ]);
+                    (block, result, proof)
+                }))
+            }
+            _ => None,
         }
     }
 
@@ -491,7 +613,7 @@ impl FullNode {
             RpcCall::GetBalance { address } | RpcCall::GetTransactionCount { address } => {
                 let head = chain.height();
                 let state = chain.state_at(head).expect("head state exists");
-                let result = Self::read_result(call, head, state, chain, executor);
+                let result = Self::read_result(call, head, state, chain, executor)?;
                 let proof = engine.account_proof(state, address);
                 Ok((head, result, proof))
             }
@@ -503,19 +625,12 @@ impl FullNode {
                     .produce_block(vec![tx], executor)
                     .map_err(|e| ServeError::Execution(format!("inclusion failed: {e}")))?;
                 let (block, index) = chain.transaction_location(&hash).expect("just included");
-                let proof = chain
-                    .transaction_proof(block, index)
-                    .expect("proof for included tx");
+                let proof = engine.transaction_proof(chain, block, index);
                 Ok((block, parp_rlp::encode_u64(index as u64), proof))
             }
-            RpcCall::GetTransactionByHash { hash } => {
-                match chain.transaction_location(hash) {
-                    Some((block, index)) => {
-                        let proof = chain
-                            .transaction_proof(block, index)
-                            .expect("proof for located tx");
-                        Ok((block, parp_rlp::encode_u64(index as u64), proof))
-                    }
+            RpcCall::GetTransactionByHash { .. } | RpcCall::GetTransactionReceipt { .. } => {
+                match Self::inclusion_lookup(call, chain, engine).expect("inclusion call") {
+                    Some(output) => Ok(output),
                     // Absence of a transaction by hash is not provable in
                     // the transaction trie; serve an empty result at the
                     // head (the client treats it as unverified data).
@@ -525,23 +640,9 @@ impl FullNode {
             RpcCall::BlockNumber | RpcCall::GetHeader { .. } | RpcCall::GetChannelStatus { .. } => {
                 let head = chain.height();
                 let state = chain.state_at(head).expect("head state exists");
-                let result = Self::read_result(call, head, state, chain, executor);
+                let result = Self::read_result(call, head, state, chain, executor)?;
                 Ok((head, result, Vec::new()))
             }
-            RpcCall::GetTransactionReceipt { hash } => match chain.transaction_location(hash) {
-                Some((block, index)) => {
-                    let receipt = chain.receipts(block).expect("located")[index].encode();
-                    let proof = chain
-                        .receipt_proof(block, index)
-                        .expect("proof for located receipt");
-                    let result = parp_rlp::encode_list(&[
-                        parp_rlp::encode_u64(index as u64),
-                        parp_rlp::encode_bytes(&receipt),
-                    ]);
-                    Ok((block, result, proof))
-                }
-                None => Ok((chain.height(), Vec::new(), Vec::new())),
-            },
         }
     }
 

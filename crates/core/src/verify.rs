@@ -145,9 +145,12 @@ impl BatchClassification {
 
 /// Runs the §V-D check sequence on a batched response: the same envelope
 /// checks as [`classify_response`] (one signature recovery covers all N
-/// items), then the batch fraud conditions with per-item attribution.
+/// items), then the batch fraud conditions with per-item attribution —
+/// each item judged against the trusted header of **its own** block.
 ///
-/// Parameters mirror [`classify_response`].
+/// Parameters mirror [`classify_response`]; `header_for` is consulted
+/// once per distinct block the response binds proofs to (the snapshot
+/// plus every inclusion item's containing block).
 pub fn classify_batch_response(
     req: &ParpBatchRequest,
     res: &ParpBatchResponse,
@@ -171,11 +174,19 @@ pub fn classify_batch_response(
     if res.channel_id != req.channel_id {
         return BatchClassification::Invalid(InvalidReason::ChannelIdMismatch);
     }
-    // 4-6. Payment, snapshot freshness, multiproof and per-item proofs.
-    let Some(header) = header_for(res.block_number) else {
-        return BatchClassification::Invalid(InvalidReason::MissingHeader(res.block_number));
-    };
-    match batch_fraud_conditions(req, res, &header, request_height) {
+    // 4-6. Payment, snapshot freshness, multiproof and per-item proofs,
+    // judged against the client's own trusted headers for every block
+    // the response references (the carried header set must match them —
+    // a mismatch is unjudgeable, not fraud, because the node's proofs
+    // are checked against the canonical roots either way).
+    let mut trusted = std::collections::BTreeMap::new();
+    for number in res.referenced_blocks() {
+        let Some(header) = header_for(number) else {
+            return BatchClassification::Invalid(InvalidReason::MissingHeader(number));
+        };
+        trusted.insert(number, header);
+    }
+    match batch_fraud_conditions(req, res, &trusted, request_height) {
         Err(e) => BatchClassification::Invalid(InvalidReason::MalformedResult(e)),
         Ok(None) => BatchClassification::Items(vec![Classification::Valid; req.calls.len()]),
         Ok(Some(BatchFraud::Batch(verdict))) => BatchClassification::BatchFraud { verdict },

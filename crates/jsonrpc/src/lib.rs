@@ -29,7 +29,7 @@ mod parse;
 mod rpc;
 mod value;
 
-pub use parse::{parse, ParseError};
+pub use parse::{parse, ParseError, MAX_NESTING_DEPTH};
 pub use rpc::{
     base_request, base_response, data_bytes, data_h256, quantity, quantity_u64, JsonRpcRequest,
     JsonRpcResponse,

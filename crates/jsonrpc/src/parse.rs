@@ -4,6 +4,16 @@ use crate::value::Json;
 use std::error::Error;
 use std::fmt;
 
+/// Maximum container nesting depth accepted by [`parse`].
+///
+/// The parser descends once per open `[` or `{`, so without a cap a
+/// deeply nested array from an untrusted client overflows the stack and
+/// kills the server process — a remote denial of service against any
+/// endpoint that parses request bodies. 128 levels is far beyond any
+/// legitimate JSON-RPC payload and keeps the recursion well inside the
+/// default stack.
+pub const MAX_NESTING_DEPTH: usize = 128;
+
 /// Errors produced by [`parse`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -28,13 +38,15 @@ impl Error for ParseError {}
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 /// Parses a complete JSON document.
 ///
 /// # Errors
 ///
-/// Returns [`ParseError`] on malformed input or trailing content.
+/// Returns [`ParseError`] on malformed input, trailing content, or
+/// containers nested deeper than [`MAX_NESTING_DEPTH`].
 ///
 /// # Examples
 ///
@@ -49,6 +61,7 @@ pub fn parse(input: &str) -> Result<Json, ParseError> {
     let mut parser = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     parser.skip_whitespace();
     let value = parser.parse_value()?;
@@ -115,12 +128,25 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Counts one level of container nesting; errors past the cap
+    /// *before* recursing, so the stack never grows past
+    /// [`MAX_NESTING_DEPTH`] frames regardless of input size.
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(self.error("nesting depth limit exceeded"));
+        }
+        Ok(())
+    }
+
     fn parse_object(&mut self) -> Result<Json, ParseError> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut members = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Object(members));
         }
         loop {
@@ -134,7 +160,10 @@ impl<'a> Parser<'a> {
             self.skip_whitespace();
             match self.bump() {
                 Some(b',') => continue,
-                Some(b'}') => return Ok(Json::Object(members)),
+                Some(b'}') => {
+                    self.depth -= 1;
+                    return Ok(Json::Object(members));
+                }
                 _ => return Err(self.error("expected ',' or '}'")),
             }
         }
@@ -142,10 +171,12 @@ impl<'a> Parser<'a> {
 
     fn parse_array(&mut self) -> Result<Json, ParseError> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Array(items));
         }
         loop {
@@ -154,7 +185,10 @@ impl<'a> Parser<'a> {
             self.skip_whitespace();
             match self.bump() {
                 Some(b',') => continue,
-                Some(b']') => return Ok(Json::Array(items)),
+                Some(b']') => {
+                    self.depth -= 1;
+                    return Ok(Json::Array(items));
+                }
                 _ => return Err(self.error("expected ',' or ']'")),
             }
         }
@@ -340,5 +374,44 @@ mod tests {
     #[test]
     fn rejects_control_chars_in_strings() {
         assert!(parse("\"a\u{1}b\"").is_err());
+    }
+
+    #[test]
+    fn nesting_up_to_the_limit_parses() {
+        let depth = MAX_NESTING_DEPTH;
+        let input = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(parse(&input).is_ok());
+        // Mixed containers count the same budget.
+        let mixed = format!(
+            "{}{{\"k\":1}}{}",
+            "[".repeat(depth - 1),
+            "]".repeat(depth - 1)
+        );
+        assert!(parse(&mixed).is_ok());
+    }
+
+    #[test]
+    fn deep_nesting_rejected_not_stack_overflow() {
+        // Regression: a 100k-deep array from an untrusted client used to
+        // recurse once per bracket and kill the process with a stack
+        // overflow. It must now come back as an ordinary ParseError.
+        let depth = 100_000;
+        let unclosed = "[".repeat(depth);
+        let error = parse(&unclosed).unwrap_err();
+        assert!(error.message.contains("nesting depth"), "{error}");
+        assert_eq!(error.offset, MAX_NESTING_DEPTH + 1);
+        // Same for objects.
+        let objects = "{\"a\":".repeat(depth);
+        assert!(parse(&objects)
+            .unwrap_err()
+            .message
+            .contains("nesting depth"));
+        // One past the limit is rejected even when well-formed.
+        let closed = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(parse(&closed).is_err());
+        // Sibling containers do not accumulate depth: a long flat array
+        // of shallow objects is fine.
+        let flat = format!("[{}{{}}]", "{},".repeat(10_000));
+        assert!(parse(&flat).is_ok());
     }
 }

@@ -335,6 +335,25 @@ impl Network {
         self.executor.fndm().registry()
     }
 
+    /// Every mined transaction as `(hash, containing block)` in chain
+    /// order — the supply of historical inclusion-lookup targets for
+    /// mixed batched workloads and tests ([`Network::fund`] mines one
+    /// faucet transfer per call, so funding N addresses leaves N
+    /// targets spread over N distinct blocks).
+    pub fn transaction_locations(&self) -> Vec<(parp_primitives::H256, u64)> {
+        (1..=self.chain.height())
+            .flat_map(|number| {
+                self.chain
+                    .block(number)
+                    .expect("height bounded")
+                    .transactions
+                    .iter()
+                    .map(move |tx| (tx.hash(), number))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
     /// Syncs a client's header store up to the chain head.
     pub fn sync_client(&self, client: &mut LightClient) {
         let from = client.tip().map(|h| h.number + 1).unwrap_or(0);

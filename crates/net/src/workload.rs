@@ -7,7 +7,7 @@
 use parp_chain::Transaction;
 use parp_contracts::RpcCall;
 use parp_crypto::SecretKey;
-use parp_primitives::{Address, U256};
+use parp_primitives::{Address, H256, U256};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -100,6 +100,37 @@ impl Workload {
             .collect()
     }
 
+    /// A batch of `size` calls mixing **state reads and historical
+    /// inclusion lookups** — the wallet/indexer-shaped workload the
+    /// multi-header batch envelope exists for (Relay Mining's RPC relay
+    /// accounting assumes exactly this kind of mixed read session).
+    /// `lookups` supplies known transaction hashes (e.g. from
+    /// previously mined blocks); roughly a third of the batch becomes
+    /// `GetTransactionByHash`/`GetTransactionReceipt` over them, the
+    /// rest state reads and the occasional chain query. With no known
+    /// hashes the batch degenerates to [`Workload::next_read_batch`].
+    pub fn next_mixed_read_batch(&mut self, size: usize, lookups: &[H256]) -> Vec<RpcCall> {
+        if lookups.is_empty() {
+            return self.next_read_batch(size);
+        }
+        (0..size)
+            .map(|_| {
+                let address = self.accounts[self.rng.gen_range(0..self.accounts.len())];
+                match self.rng.gen_range(0..12u32) {
+                    0..=5 => RpcCall::GetBalance { address },
+                    6 | 7 => RpcCall::GetTransactionCount { address },
+                    8 | 9 => RpcCall::GetTransactionByHash {
+                        hash: lookups[self.rng.gen_range(0..lookups.len())],
+                    },
+                    10 => RpcCall::GetTransactionReceipt {
+                        hash: lookups[self.rng.gen_range(0..lookups.len())],
+                    },
+                    _ => RpcCall::BlockNumber,
+                }
+            })
+            .collect()
+    }
+
     /// A mixed call: `read_fraction` in \[0,1\] chooses reads vs writes.
     pub fn next_mixed(&mut self, read_fraction: f64) -> RpcCall {
         let kind = if self.rng.gen_bool(read_fraction.clamp(0.0, 1.0)) {
@@ -173,6 +204,31 @@ mod tests {
             assert_eq!(tx.tx().nonce, i as u64);
             assert_eq!(tx.sender().unwrap(), sender.address());
         }
+    }
+
+    #[test]
+    fn mixed_read_batch_spans_state_and_inclusion() {
+        let sender = SecretKey::from_seed(b"mixed-batch");
+        let mut workload = Workload::new(11, sender, 0);
+        let lookups: Vec<parp_primitives::H256> =
+            (0..4).map(|i| parp_crypto::keccak256(&[i as u8])).collect();
+        let batch = workload.next_mixed_read_batch(64, &lookups);
+        assert_eq!(batch.len(), 64);
+        // Every generated call is batchable, and both families appear.
+        assert!(batch.iter().all(RpcCall::batchable));
+        assert!(batch
+            .iter()
+            .any(|c| matches!(c, RpcCall::GetBalance { .. })));
+        assert!(batch.iter().any(|c| matches!(
+            c,
+            RpcCall::GetTransactionByHash { .. } | RpcCall::GetTransactionReceipt { .. }
+        )));
+        // Without known hashes it falls back to pure state reads.
+        let fallback = workload.next_mixed_read_batch(16, &[]);
+        assert!(fallback.iter().all(|c| !matches!(
+            c,
+            RpcCall::GetTransactionByHash { .. } | RpcCall::GetTransactionReceipt { .. }
+        )));
     }
 
     #[test]

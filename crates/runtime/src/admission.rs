@@ -166,9 +166,17 @@ impl AdmissionController {
 /// Round-robin queues, one per client: each [`FairQueue::pop`] serves
 /// the next client in rotation, so a deep backlog on one channel delays
 /// other channels by at most one service each per round.
+///
+/// A client's entry lives exactly as long as it has backlog: popping a
+/// queue's last item drops the queue from the rotation, and a later
+/// [`FairQueue::push`] re-registers the client at the rotation's tail.
+/// (The original implementation kept drained queues forever — unbounded
+/// memory growth and O(total-clients-ever-seen) `pop` scans under churn
+/// of one-shot clients.)
 #[derive(Debug, Clone)]
 pub struct FairQueue<T> {
-    /// Per-client queues in rotation order; `cursor` points at the next
+    /// Per-client queues in rotation order; every queue is non-empty
+    /// (emptied queues are removed on pop). `cursor` points at the next
     /// client to serve.
     queues: Vec<(Address, VecDeque<T>)>,
     cursor: usize,
@@ -201,6 +209,13 @@ impl<T> FairQueue<T> {
         self.len == 0
     }
 
+    /// Number of clients currently holding backlog — the rotation's
+    /// size, and the upper bound on how many services any one client
+    /// waits between its turns.
+    pub fn active_clients(&self) -> usize {
+        self.queues.len()
+    }
+
     /// Queued items for one client.
     pub fn backlog(&self, client: &Address) -> usize {
         self.queues
@@ -210,31 +225,44 @@ impl<T> FairQueue<T> {
             .unwrap_or(0)
     }
 
-    /// Enqueues an item for `client` (registering the client at the end
-    /// of the rotation on first sight).
+    /// Enqueues an item for `client`, registering the client at the end
+    /// of the rotation when it has no backlog.
     pub fn push(&mut self, client: Address, item: T) {
         self.len += 1;
         match self.queues.iter_mut().find(|(c, _)| *c == client) {
             Some((_, queue)) => queue.push_back(item),
-            None => self.queues.push((client, VecDeque::from([item]))),
+            None => {
+                // Insert at the rotation's tail: every client that
+                // already has backlog is served once before the
+                // newcomer, exactly as if it had always been last.
+                let at = self.cursor.min(self.queues.len());
+                self.queues.insert(at, (client, VecDeque::from([item])));
+                self.cursor = at + 1;
+            }
         }
     }
 
     /// Dequeues the next item round-robin across clients with backlog.
+    /// O(1) scan: every registered queue is non-empty by invariant.
     pub fn pop(&mut self) -> Option<(Address, T)> {
         if self.len == 0 {
             return None;
         }
-        for _ in 0..self.queues.len() {
-            let index = self.cursor % self.queues.len();
-            self.cursor = (self.cursor + 1) % self.queues.len();
-            let (client, queue) = &mut self.queues[index];
-            if let Some(item) = queue.pop_front() {
-                self.len -= 1;
-                return Some((*client, item));
-            }
+        if self.cursor >= self.queues.len() {
+            self.cursor = 0;
         }
-        None
+        let (client, queue) = &mut self.queues[self.cursor];
+        let client = *client;
+        let item = queue.pop_front().expect("queues in rotation are non-empty");
+        self.len -= 1;
+        if queue.is_empty() {
+            // Drop the drained queue; the element after it shifts into
+            // `cursor`, which is exactly the next client in rotation.
+            self.queues.remove(self.cursor);
+        } else {
+            self.cursor += 1;
+        }
+        Some((client, item))
     }
 }
 

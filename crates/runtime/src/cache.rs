@@ -103,11 +103,25 @@ impl SnapshotCache {
     /// (via the state's own memo) and cached otherwise.
     pub fn get_or_build(&mut self, state: &State) -> Arc<FrozenTrie> {
         let root = state.state_root();
+        self.get_or_insert_with(root, || state.shared_trie())
+    }
+
+    /// The trie for `root`, from cache when present, built by `build`
+    /// and cached otherwise (counting a miss). Content addressing makes
+    /// this correct for *any* trie family — state, transaction or
+    /// receipt — as long as `build` returns the trie whose root is
+    /// `root`.
+    pub fn get_or_insert_with(
+        &mut self,
+        root: H256,
+        build: impl FnOnce() -> Arc<FrozenTrie>,
+    ) -> Arc<FrozenTrie> {
         if let Some(trie) = self.get(&root) {
             return trie;
         }
         self.misses += 1;
-        let trie = state.shared_trie();
+        let trie = build();
+        debug_assert_eq!(trie.root_hash(), root, "cached trie must match its key");
         self.insert(root, trie.clone());
         trie
     }

@@ -11,13 +11,19 @@ use parp_contracts::{
 use parp_core::{FullNode, ProofEngine, ServeError};
 use parp_crypto::keccak256;
 use parp_primitives::Address;
+use parp_trie::FrozenTrie;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Tuning knobs for a [`Runtime`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuntimeConfig {
     /// Built tries kept in the snapshot cache (head + recent history).
     pub snapshot_cache_capacity: usize,
+    /// Built per-block transaction and receipt tries kept for serving
+    /// batched inclusion lookups (each block contributes up to two
+    /// tries, so this covers roughly half as many hot blocks).
+    pub inclusion_cache_capacity: usize,
     /// Worker shards for multiproof generation.
     pub shards: usize,
     /// Per-client admission burst (calls).
@@ -30,6 +36,7 @@ impl Default for RuntimeConfig {
     fn default() -> Self {
         RuntimeConfig {
             snapshot_cache_capacity: 8,
+            inclusion_cache_capacity: 16,
             shards: 4,
             burst_capacity: 256,
             rate_per_sec: 512,
@@ -70,10 +77,14 @@ impl From<ServeError> for RuntimeError {
 
 /// The concurrent serving engine behind a PARP full node.
 ///
-/// Combines the three runtime concerns:
+/// Combines the runtime concerns:
 ///
 /// * a [`SnapshotCache`] so exchanges served at an unchanged head reuse
 ///   one `Arc`-shared trie instead of paying an O(accounts) rebuild;
+/// * a second cache of per-block **transaction and receipt tries**
+///   (content-addressed by their roots, exactly like state tries), so
+///   batched historical inclusion lookups against a hot block reuse one
+///   frozen trie instead of rebuilding it per proof;
 /// * [sharded multiproof generation](crate::sharded_account_multiproof),
 ///   byte-identical to the sequential path for any shard count;
 /// * an [`AdmissionController`] so one aggressive client cannot starve
@@ -85,6 +96,10 @@ impl From<ServeError> for RuntimeError {
 #[derive(Debug, Clone)]
 pub struct Runtime {
     cache: SnapshotCache,
+    /// Frozen transaction/receipt tries keyed by their trie roots.
+    /// Content addressing makes entries reusable across forks and
+    /// immune to invalidation: a block's transaction set never changes.
+    inclusion_cache: SnapshotCache,
     shards: usize,
     admission: AdmissionController,
 }
@@ -105,6 +120,35 @@ impl ProofEngine for Runtime {
         let trie = self.cache.get_or_build(state);
         trie.prove(keccak256(address.as_bytes()).as_bytes())
     }
+
+    fn transaction_proof(&mut self, chain: &Blockchain, block: u64, index: usize) -> Vec<Vec<u8>> {
+        let located = chain.block(block).expect("located block exists");
+        let root = located.header.transactions_root;
+        let trie = self.inclusion_cache.get_or_insert_with(root, || {
+            let encoded: Vec<Vec<u8>> = located
+                .transactions
+                .iter()
+                .map(parp_chain::SignedTransaction::encode)
+                .collect();
+            Arc::new(FrozenTrie::new(parp_trie::ordered_trie(
+                encoded.iter().map(Vec::as_slice),
+            )))
+        });
+        trie.prove(&parp_rlp::encode_u64(index as u64))
+    }
+
+    fn receipt_proof(&mut self, chain: &Blockchain, block: u64, index: usize) -> Vec<Vec<u8>> {
+        let root = chain
+            .block(block)
+            .expect("located block exists")
+            .header
+            .receipts_root;
+        let trie = self.inclusion_cache.get_or_insert_with(root, || {
+            let receipts = chain.receipts(block).expect("located block has receipts");
+            Arc::new(FrozenTrie::new(parp_chain::receipts_trie(receipts)))
+        });
+        trie.prove(&parp_rlp::encode_u64(index as u64))
+    }
 }
 
 impl Runtime {
@@ -112,6 +156,7 @@ impl Runtime {
     pub fn new(config: RuntimeConfig) -> Self {
         Runtime {
             cache: SnapshotCache::new(config.snapshot_cache_capacity),
+            inclusion_cache: SnapshotCache::new(config.inclusion_cache_capacity),
             shards: config.shards.max(1),
             admission: AdmissionController::new(config.burst_capacity, config.rate_per_sec),
         }
@@ -120,6 +165,12 @@ impl Runtime {
     /// The snapshot cache (hit/miss counters, contents).
     pub fn cache(&self) -> &SnapshotCache {
         &self.cache
+    }
+
+    /// The per-block transaction/receipt trie cache (hit/miss counters,
+    /// contents), keyed by transaction- or receipt-trie root.
+    pub fn inclusion_cache(&self) -> &SnapshotCache {
+        &self.inclusion_cache
     }
 
     /// Current shard count.

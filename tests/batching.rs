@@ -8,8 +8,8 @@ use parp_suite::core::{
 };
 use parp_suite::crypto::keccak256;
 use parp_suite::net::Network;
-use parp_suite::primitives::{Address, U256};
-use parp_suite::trie::verify_many;
+use parp_suite::primitives::{Address, H256, U256};
+use parp_suite::trie::{verify_many, verify_proof};
 
 const PRICE: u64 = 10;
 
@@ -88,31 +88,37 @@ fn empty_batch_rejected_by_client_and_server() {
 
 #[test]
 fn unbatchable_calls_rejected() {
+    // With the multi-header envelope, every *read* batches — including
+    // historical inclusion lookups. Only writes travel alone.
     let (mut net, node, mut client) = connected();
     let write = RpcCall::SendRawTransaction { raw: vec![1, 2, 3] };
-    let lookup = RpcCall::GetTransactionByHash {
+    assert!(RpcCall::GetTransactionByHash {
         hash: keccak256(b"tx"),
-    };
-    for call in [write, lookup] {
-        assert_eq!(
-            client.request_batch(vec![RpcCall::BlockNumber, call.clone()]),
-            Err(parp_suite::core::ClientError::UnbatchableCall)
-        );
-        // The server refuses them too, independently of the client.
-        let request = ParpBatchRequest::build(
-            client.secret(),
-            client.channel().unwrap().id,
-            client.tip().unwrap().hash(),
-            U256::from(2 * PRICE),
-            vec![RpcCall::BlockNumber, call],
-        );
-        assert!(matches!(
-            net.serve_batch(node, &request),
-            Err(parp_suite::net::SimError::Serve(
-                ServeError::UnbatchableCall
-            ))
-        ));
     }
+    .batchable());
+    assert!(RpcCall::GetTransactionReceipt {
+        hash: keccak256(b"tx"),
+    }
+    .batchable());
+    assert!(!write.batchable());
+    assert_eq!(
+        client.request_batch(vec![RpcCall::BlockNumber, write.clone()]),
+        Err(parp_suite::core::ClientError::UnbatchableCall)
+    );
+    // The server refuses them too, independently of the client.
+    let request = ParpBatchRequest::build(
+        client.secret(),
+        client.channel().unwrap().id,
+        client.tip().unwrap().hash(),
+        U256::from(2 * PRICE),
+        vec![RpcCall::BlockNumber, write],
+    );
+    assert!(matches!(
+        net.serve_batch(node, &request),
+        Err(parp_suite::net::SimError::Serve(
+            ServeError::UnbatchableCall
+        ))
+    ));
 }
 
 #[test]
@@ -559,7 +565,7 @@ fn honest_batch_cannot_be_framed() {
     let evidence = parp_suite::core::BatchFraudEvidence {
         request,
         response,
-        header,
+        headers: vec![header],
         verdict: FraudVerdict::InvalidProof,
         item: Some(0),
     };
@@ -620,4 +626,336 @@ fn probe_batches_served_while_channel_is_closing() {
             ServeError::ChannelNotOpen(_)
         ))
     ));
+}
+
+#[test]
+fn multi_block_mixed_batch_round_trips() {
+    // The acceptance scenario: one signed batch mixing GetBalance,
+    // GetTransactionByHash and GetTransactionReceipt across ≥ 3 distinct
+    // blocks, every item verified through the multi-header envelope.
+    let (mut net, node, mut client) = connected();
+    let addresses = funded_addresses(&mut net, 3);
+    net.sync_client(&mut client);
+    // The last three mined blocks each hold one faucet transfer.
+    let transactions = net.transaction_locations();
+    let lookups: Vec<(H256, u64)> = transactions[transactions.len() - 3..].to_vec();
+    let inclusion_blocks: std::collections::BTreeSet<u64> =
+        lookups.iter().map(|(_, block)| *block).collect();
+    assert_eq!(
+        inclusion_blocks.len(),
+        3,
+        "three distinct containing blocks"
+    );
+
+    let calls = vec![
+        RpcCall::GetBalance {
+            address: addresses[0],
+        },
+        RpcCall::GetTransactionByHash { hash: lookups[0].0 },
+        RpcCall::GetTransactionCount {
+            address: addresses[1],
+        },
+        RpcCall::GetTransactionReceipt { hash: lookups[1].0 },
+        RpcCall::GetTransactionByHash { hash: lookups[2].0 },
+        RpcCall::BlockNumber,
+        // Unknown hash: served as an unproven "not found".
+        RpcCall::GetTransactionByHash {
+            hash: keccak256(b"no-such-tx"),
+        },
+    ];
+    let n = calls.len() as u64;
+    let (outcome, stats) = net
+        .parp_batch_call(&mut client, node, calls)
+        .expect("batch call");
+    let ProcessBatchOutcome::Valid { results, proven } = outcome else {
+        panic!("expected valid batch, got {outcome:?}");
+    };
+    assert_eq!(results.len(), n as usize);
+    assert_eq!(
+        proven,
+        vec![true, true, true, true, true, false, false],
+        "state + found-inclusion items proven, chain query and not-found unproven"
+    );
+    assert!(results[6].is_empty(), "unknown lookup answers empty");
+    assert!(stats.proof_bytes > 0);
+    assert_eq!(client.channel().unwrap().spent, U256::from(n * PRICE));
+    assert_eq!(client.valid_responses(), n);
+}
+
+#[test]
+fn multi_block_batch_headers_and_proofs_bind_per_block() {
+    // The served envelope itself: deduplicated headers cover exactly the
+    // referenced blocks, and each inclusion proof verifies against its
+    // own block's transaction/receipt root — not the snapshot's.
+    let (mut net, node, mut client) = connected();
+    funded_addresses(&mut net, 3);
+    // One empty block on top: the snapshot head is distinct from every
+    // lookup's containing block, so the envelope carries 4 headers.
+    net.advance_blocks(1).expect("empty block");
+    net.sync_client(&mut client);
+    let transactions = net.transaction_locations();
+    let lookups: Vec<(H256, u64)> = transactions[transactions.len() - 3..].to_vec();
+    let calls = vec![
+        RpcCall::GetTransactionByHash { hash: lookups[0].0 },
+        RpcCall::GetTransactionReceipt { hash: lookups[1].0 },
+        RpcCall::GetTransactionByHash { hash: lookups[2].0 },
+    ];
+    let request = client.request_batch(calls).expect("request");
+    let response = net.serve_batch(node, &request).expect("serve");
+    net.sync_client(&mut client);
+
+    // Items bind to their containing blocks, not the snapshot.
+    assert_eq!(response.block_number, net.chain().height());
+    assert_eq!(
+        response.item_blocks,
+        vec![lookups[0].1, lookups[1].1, lookups[2].1]
+    );
+    // One carried header per referenced block (3 inclusion + snapshot),
+    // ascending, each matching the client's own trusted header.
+    let referenced = response.referenced_blocks();
+    assert_eq!(referenced.len(), 4);
+    assert_eq!(response.headers.len(), referenced.len());
+    for (bytes, number) in response.headers.iter().zip(&referenced) {
+        let carried = parp_suite::chain::Header::decode(bytes).expect("carried header");
+        assert_eq!(carried.number, *number);
+        assert_eq!(
+            carried.hash(),
+            client.header(*number).expect("synced").hash()
+        );
+    }
+
+    // Each inclusion proof verifies against its own block's root.
+    let tx_header = client.header(lookups[0].1).expect("synced");
+    let index = parp_suite::rlp::decode(&response.results[0])
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    let proven_tx = verify_proof(
+        tx_header.transactions_root,
+        &parp_suite::rlp::encode_u64(index),
+        &response.item_proofs[0],
+    )
+    .expect("walks")
+    .expect("included");
+    assert_eq!(keccak256(&proven_tx), lookups[0].0);
+
+    let receipt_header = client.header(lookups[1].1).expect("synced");
+    let fields = parp_suite::rlp::decode_list_of(&response.results[1], 2).expect("receipt result");
+    let receipt_index = fields[0].as_u64().unwrap();
+    let claimed_receipt = fields[1].as_bytes().unwrap();
+    let proven_receipt = verify_proof(
+        receipt_header.receipts_root,
+        &parp_suite::rlp::encode_u64(receipt_index),
+        &response.item_proofs[1],
+    )
+    .expect("walks")
+    .expect("included");
+    assert_eq!(proven_receipt, claimed_receipt);
+
+    // And the client classifies the whole thing Valid.
+    let outcome = client.process_batch_response(&response).expect("process");
+    assert!(matches!(outcome, ProcessBatchOutcome::Valid { .. }));
+}
+
+#[test]
+fn forged_inclusion_item_in_multi_block_batch_slashed() {
+    // The acceptance fraud case: a forged receipt inside a multi-block
+    // batch is caught per item, and the evidence (with its multi-header
+    // set) slashes the node through submitBatchFraudProof.
+    let mut net = Network::new();
+    let rogue = net.spawn_node(b"mh-rogue", U256::from(PRICE));
+    let witness = net.spawn_node(b"mh-witness", U256::from(PRICE));
+    let mut client = net.spawn_client(b"mh-victim", U256::from(PRICE));
+    net.connect(&mut client, rogue, U256::from(100_000u64))
+        .expect("connect");
+    let addresses = funded_addresses(&mut net, 2);
+    // The lookup target must live strictly below the serving snapshot.
+    net.advance_blocks(1).expect("empty block");
+    net.sync_client(&mut client);
+    let transactions = net.transaction_locations();
+    let (target_hash, target_block) = *transactions.last().expect("mined");
+    assert!(target_block < net.chain().height(), "historical block");
+
+    net.node_mut(rogue)
+        .set_misbehavior(Misbehavior::ForgedResult);
+    // Last item is the receipt lookup: the forgery doctors its contents
+    // while keeping the [index, receipt] envelope well-formed.
+    let calls = vec![
+        RpcCall::GetBalance {
+            address: addresses[0],
+        },
+        RpcCall::GetTransactionByHash { hash: target_hash },
+        RpcCall::GetTransactionReceipt { hash: target_hash },
+    ];
+    let (outcome, _) = net
+        .parp_batch_call(&mut client, rogue, calls)
+        .expect("batch call");
+    let ProcessBatchOutcome::Fraud { items, evidence } = outcome else {
+        panic!("expected fraud, got {outcome:?}");
+    };
+    assert_eq!(items[0], Classification::Valid);
+    assert_eq!(items[1], Classification::Valid);
+    assert_eq!(
+        items[2],
+        Classification::Fraudulent(FraudVerdict::InvalidProof)
+    );
+    assert_eq!(evidence.item, Some(2));
+    // The evidence carries the full multi-header set: snapshot block +
+    // the lookup's containing block.
+    assert!(evidence.headers.iter().any(|h| h.number == target_block));
+    assert!(evidence
+        .headers
+        .iter()
+        .any(|h| h.number == evidence.response.block_number));
+
+    let offender = net.node(rogue).address();
+    let deposit_before = net.executor().fndm().deposit_of(&offender);
+    assert!(deposit_before > U256::ZERO);
+    assert!(
+        net.report_batch_fraud(&evidence, witness).expect("relay"),
+        "multi-header batch fraud proof must be accepted on-chain"
+    );
+    assert_eq!(net.executor().fndm().deposit_of(&offender), U256::ZERO);
+    let record = net
+        .executor()
+        .fdm()
+        .record(&evidence.request.request_hash)
+        .expect("fraud record");
+    assert_eq!(record.offender, offender);
+    assert_eq!(record.verdict, FraudVerdict::InvalidProof);
+    // Double reporting the same batch is refused.
+    assert!(!net.report_batch_fraud(&evidence, witness).expect("relay"));
+}
+
+#[test]
+fn unknown_get_header_rejected_not_served_empty() {
+    // Regression for the silent-empty-header bug: GetHeader for a block
+    // this node does not have used to answer an empty unproven payload
+    // indistinguishable from a real header. It must now refuse, on the
+    // single and the batched path, without charging.
+    let (mut net, node, mut client) = connected();
+    net.sync_client(&mut client);
+    let beyond = net.chain().height() + 100;
+    let channel_id = client.channel().unwrap().id;
+
+    let single = parp_suite::contracts::ParpRequest::build(
+        client.secret(),
+        channel_id,
+        client.tip().unwrap().hash(),
+        U256::from(PRICE),
+        RpcCall::GetHeader { number: beyond },
+    );
+    assert!(matches!(
+        net.serve(node, &single),
+        Err(parp_suite::net::SimError::Serve(ServeError::UnknownBlock(n))) if n == beyond
+    ));
+
+    let batch = ParpBatchRequest::build(
+        client.secret(),
+        channel_id,
+        client.tip().unwrap().hash(),
+        U256::from(2 * PRICE),
+        vec![RpcCall::BlockNumber, RpcCall::GetHeader { number: beyond }],
+    );
+    assert!(matches!(
+        net.serve_batch(node, &batch),
+        Err(parp_suite::net::SimError::Serve(ServeError::UnknownBlock(n))) if n == beyond
+    ));
+    assert_eq!(net.node(node).requests_served(), 0, "nothing charged");
+
+    // A known header is still served, and its payload is the real one.
+    let (outcome, _) = net
+        .parp_call(&mut client, node, RpcCall::GetHeader { number: 0 })
+        .expect("known header");
+    let ProcessOutcome::Valid { result, .. } = outcome else {
+        panic!("expected valid, got {outcome:?}");
+    };
+    assert_eq!(
+        result,
+        net.chain().block(0).unwrap().header.encode(),
+        "served header payload is the genesis header"
+    );
+}
+
+#[test]
+fn fresh_item_fraud_slashable_despite_out_of_window_lookup() {
+    // An honest historical lookup whose containing block fell out of
+    // the 256-block BLOCKHASH window must not shield fraud in the fresh
+    // items next to it: the FDM skips the unvalidatable header and
+    // still condemns the forged state item against the snapshot root.
+    let mut net = Network::new();
+    let rogue = net.spawn_node(b"window-rogue", U256::from(PRICE));
+    let witness = net.spawn_node(b"window-witness", U256::from(PRICE));
+    let mut client = net.spawn_client(b"window-victim", U256::from(PRICE));
+    net.connect(&mut client, rogue, U256::from(100_000u64))
+        .expect("connect");
+    let addresses = funded_addresses(&mut net, 1);
+    let (old_hash, old_block) = *net.transaction_locations().last().expect("mined");
+    // Push the lookup's block far outside the BLOCKHASH window.
+    net.advance_blocks(parp_suite::chain::BLOCK_HASH_WINDOW + 5)
+        .expect("advance");
+    net.sync_client(&mut client);
+    assert!(net.chain().height() - old_block > parp_suite::chain::BLOCK_HASH_WINDOW);
+
+    // Last item is the state read: ForgedResult forges it; the old
+    // lookup stays honest.
+    net.node_mut(rogue)
+        .set_misbehavior(Misbehavior::ForgedResult);
+    let calls = vec![
+        RpcCall::GetTransactionByHash { hash: old_hash },
+        RpcCall::GetBalance {
+            address: addresses[0],
+        },
+    ];
+    let (outcome, _) = net
+        .parp_batch_call(&mut client, rogue, calls)
+        .expect("batch call");
+    let ProcessBatchOutcome::Fraud { items, evidence } = outcome else {
+        panic!("expected fraud, got {outcome:?}");
+    };
+    // The client (which holds every header) judges both items.
+    assert_eq!(items[0], Classification::Valid);
+    assert_eq!(
+        items[1],
+        Classification::Fraudulent(FraudVerdict::InvalidProof)
+    );
+    // The evidence carries the old header too; the FDM skips it (it
+    // cannot validate it) and slashes on the fresh item regardless.
+    let offender = net.node(rogue).address();
+    assert!(net.executor().fndm().deposit_of(&offender) > U256::ZERO);
+    assert!(
+        net.report_batch_fraud(&evidence, witness).expect("relay"),
+        "out-of-window honest lookup must not block the slash"
+    );
+    assert_eq!(net.executor().fndm().deposit_of(&offender), U256::ZERO);
+}
+
+#[test]
+fn forged_transaction_lookup_in_batch_is_provable_fraud() {
+    // A doctored transaction-index answer keeps its rlp(index) shape,
+    // so the per-item check proves it wrong (fraud) rather than merely
+    // failing to parse it (invalid).
+    let (mut net, node, mut client) = connected();
+    funded_addresses(&mut net, 2);
+    net.advance_blocks(1).expect("empty block");
+    net.sync_client(&mut client);
+    let (tx_hash, _) = *net.transaction_locations().last().expect("mined");
+    net.node_mut(node)
+        .set_misbehavior(Misbehavior::ForgedResult);
+    let calls = vec![
+        RpcCall::BlockNumber,
+        RpcCall::GetTransactionByHash { hash: tx_hash },
+    ];
+    let (outcome, _) = net
+        .parp_batch_call(&mut client, node, calls)
+        .expect("batch call");
+    let ProcessBatchOutcome::Fraud { items, evidence } = outcome else {
+        panic!("expected fraud, got {outcome:?}");
+    };
+    assert_eq!(items[0], Classification::Valid);
+    assert_eq!(
+        items[1],
+        Classification::Fraudulent(FraudVerdict::InvalidProof)
+    );
+    assert_eq!(evidence.item, Some(1));
 }

@@ -211,3 +211,163 @@ fn admission_is_per_client_not_global() {
     assert_eq!(runtime.admission_stats(&first).throttled, 1);
     assert_eq!(runtime.admission_stats(&second).throttled, 0);
 }
+
+#[test]
+fn inclusion_trie_cache_reuses_per_block_tries() {
+    // Batched historical lookups against the same block must build its
+    // transaction/receipt tries once and serve every later proof from
+    // the cache — with bytes identical to the uncached chain path.
+    let (mut net, node, mut client, _) = connected_with_shards(1, 4);
+    net.advance_blocks(1).expect("empty block");
+    net.sync_client(&mut client);
+    // Pick a historical faucet transfer.
+    let (tx_hash, tx_block) = *net
+        .transaction_locations()
+        .last()
+        .expect("mined transactions");
+    assert!(tx_block < net.chain().height());
+
+    assert!(net.runtime().inclusion_cache().is_empty());
+    let calls = vec![
+        RpcCall::GetTransactionByHash { hash: tx_hash },
+        RpcCall::GetTransactionReceipt { hash: tx_hash },
+    ];
+    let request = client.request_batch(calls.clone()).expect("request");
+    let response = net.serve_batch(node, &request).expect("serve");
+    // Two tries built (tx + receipt), both now cached.
+    assert_eq!(net.runtime().inclusion_cache().misses(), 2);
+    assert_eq!(net.runtime().inclusion_cache().len(), 2);
+
+    // The cached proofs are byte-identical to the uncached chain path.
+    let (_, tx_index) = net.chain().transaction_location(&tx_hash).expect("located");
+    let expected_tx_proof = net
+        .chain()
+        .transaction_proof(tx_block, tx_index)
+        .expect("tx proof");
+    assert_eq!(response.item_proofs[0], expected_tx_proof);
+    let expected_receipt_proof = net
+        .chain()
+        .receipt_proof(tx_block, tx_index)
+        .expect("receipt proof");
+    assert_eq!(response.item_proofs[1], expected_receipt_proof);
+
+    // A second batch over the same block is served from the cache.
+    net.sync_client(&mut client);
+    client.process_batch_response(&response).expect("process");
+    let request = client.request_batch(calls).expect("request");
+    let again = net.serve_batch(node, &request).expect("serve");
+    assert_eq!(net.runtime().inclusion_cache().misses(), 2, "no rebuild");
+    assert!(net.runtime().inclusion_cache().hits() >= 2);
+    assert_eq!(again.item_proofs, response.item_proofs);
+}
+
+mod fair_queue_churn {
+    use parp_suite::primitives::Address;
+    use parp_suite::runtime::FairQueue;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+    use std::collections::VecDeque;
+
+    fn client(n: u64) -> Address {
+        Address::from_low_u64_be(n + 1)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn fairness_invariants_under_join_drain_churn(
+            ops in proptest::collection::vec((0u64..3, 0u64..6), 1..120)
+        ) {
+            let mut queue: FairQueue<u64> = FairQueue::new();
+            // Reference model: per-client FIFO queues.
+            let mut model: HashMap<Address, VecDeque<u64>> = HashMap::new();
+            let mut ticket = 0u64;
+            for (op, who) in ops {
+                match op {
+                    // Two pushes for every pop on average keeps backlog.
+                    0 | 1 => {
+                        queue.push(client(who), ticket);
+                        model.entry(client(who)).or_default().push_back(ticket);
+                        ticket += 1;
+                    }
+                    _ => {
+                        match queue.pop() {
+                            None => prop_assert!(model.values().all(VecDeque::is_empty)),
+                            Some((served, item)) => {
+                                let backlog = model.get_mut(&served).expect("known client");
+                                // Per-client FIFO order.
+                                prop_assert_eq!(backlog.pop_front(), Some(item));
+                            }
+                        }
+                    }
+                }
+                // Invariants after every operation:
+                let live = model.values().filter(|q| !q.is_empty()).count();
+                // 1. Drained clients do not linger in the rotation —
+                //    memory is bounded by clients *with backlog*, not by
+                //    clients ever seen (the leak this fixes).
+                prop_assert_eq!(queue.active_clients(), live);
+                let total: usize = model.values().map(VecDeque::len).sum();
+                prop_assert_eq!(queue.len(), total);
+                for (address, backlog) in &model {
+                    prop_assert_eq!(queue.backlog(address), backlog.len());
+                }
+            }
+            // 2. Round-robin fairness at drain time: with k clients
+            //    holding backlog, the next k pops serve k distinct
+            //    clients — no client waits more than one full rotation.
+            let live = queue.active_clients();
+            let mut first_round = Vec::new();
+            for _ in 0..live {
+                first_round.push(queue.pop().expect("backlog remains").0);
+            }
+            let distinct: std::collections::HashSet<_> = first_round.iter().collect();
+            prop_assert_eq!(distinct.len(), live, "one service per client per round");
+            // Drain fully: every queued item comes out.
+            while queue.pop().is_some() {}
+            prop_assert!(queue.is_empty());
+            prop_assert_eq!(queue.active_clients(), 0);
+        }
+    }
+
+    #[test]
+    fn one_shot_client_churn_does_not_accumulate() {
+        // Regression for the unbounded-growth bug: 10k one-shot clients
+        // pushing one item each and draining immediately must leave no
+        // trace in the rotation (the old implementation kept one empty
+        // queue per client forever, degrading every pop to an
+        // O(total-clients) scan).
+        let mut queue: FairQueue<u64> = FairQueue::new();
+        for i in 0..10_000u64 {
+            queue.push(client(i), i);
+            assert_eq!(queue.active_clients(), 1);
+            let (served, item) = queue.pop().expect("just pushed");
+            assert_eq!(served, client(i));
+            assert_eq!(item, i);
+            assert_eq!(queue.active_clients(), 0, "drained client lingered");
+        }
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn rejoining_client_goes_to_the_rotation_tail() {
+        // A client that drains and rejoins must not cut the line: the
+        // clients already holding backlog are each served once first.
+        let mut queue: FairQueue<u64> = FairQueue::new();
+        queue.push(client(0), 0);
+        queue.push(client(1), 1);
+        queue.push(client(1), 2);
+        queue.push(client(2), 3);
+        // Serve client 0 fully; it leaves the rotation.
+        let (served, _) = queue.pop().expect("backlog");
+        assert_eq!(served, client(0));
+        // It rejoins behind clients 1 and 2.
+        queue.push(client(0), 4);
+        let order: Vec<Address> = std::iter::from_fn(|| queue.pop().map(|(c, _)| c)).collect();
+        assert_eq!(
+            order,
+            vec![client(1), client(2), client(0), client(1)],
+            "rejoined client served after the standing rotation"
+        );
+    }
+}
