@@ -1,0 +1,188 @@
+//! Gateway failover + quorum-overhead bench.
+//!
+//! Measures (a) time-to-recover after a provider failure — the
+//! simulated-clock gap between a §V-D fraud/invalid detection and the
+//! next verified response through the replacement provider — and (b)
+//! the overhead of `QuorumRead` fan-out versus single verified reads,
+//! in simulated exchange time and in wall-clock serve time. Emits
+//! `BENCH_gateway.json` (a CI artifact alongside `BENCH_batch.json`)
+//! so both trajectories are tracked per commit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parp_contracts::RpcCall;
+use parp_gateway::{run_marketplace, Gateway, GatewayConfig, MarketplaceConfig, SelectionPolicy};
+use parp_net::Network;
+use parp_primitives::{Address, U256};
+use std::hint::black_box;
+use std::time::Instant;
+
+const QUORUM: usize = 3;
+const READS: usize = 16;
+
+/// A network of `n` honest providers with funded read targets and a
+/// connected gateway.
+fn gateway_fixture(n: usize, policy: SelectionPolicy) -> (Network, Gateway, Vec<Address>) {
+    let mut net = Network::with_latency(parp_net::LatencyModel::default());
+    for i in 0..n {
+        net.spawn_node(
+            format!("gwb-node-{i}").as_bytes(),
+            U256::from(10 * (i as u64 + 1)),
+        );
+    }
+    let targets: Vec<Address> = (0..8)
+        .map(|i| Address::from_low_u64_be(0xBE9C + i))
+        .collect();
+    net.fund_many(&targets);
+    let client = net.spawn_client(b"gwb-client", U256::from(10u64));
+    let gateway = Gateway::new(
+        client,
+        GatewayConfig {
+            policy,
+            ..GatewayConfig::default()
+        },
+    );
+    (net, gateway, targets)
+}
+
+/// Runs `reads` single verified reads; returns (simulated µs, wall µs).
+fn run_single_reads(
+    net: &mut Network,
+    gateway: &mut Gateway,
+    targets: &[Address],
+    reads: usize,
+) -> (u64, u64) {
+    let sim_start = net.now_us();
+    let wall_start = Instant::now();
+    for i in 0..reads {
+        let call = RpcCall::GetBalance {
+            address: targets[i % targets.len()],
+        };
+        black_box(gateway.call(net, call).expect("single read"));
+    }
+    (
+        net.now_us() - sim_start,
+        wall_start.elapsed().as_micros() as u64,
+    )
+}
+
+/// Runs `reads` quorum reads of width `k`; returns (simulated µs, wall µs).
+fn run_quorum_reads(
+    net: &mut Network,
+    gateway: &mut Gateway,
+    targets: &[Address],
+    reads: usize,
+    k: usize,
+) -> (u64, u64) {
+    let sim_start = net.now_us();
+    let wall_start = Instant::now();
+    for i in 0..reads {
+        let call = RpcCall::GetBalance {
+            address: targets[i % targets.len()],
+        };
+        let outcome = gateway.quorum_call(net, call, k).expect("quorum read");
+        assert!(outcome.agreed, "honest quorum must agree");
+        black_box(outcome);
+    }
+    (
+        net.now_us() - sim_start,
+        wall_start.elapsed().as_micros() as u64,
+    )
+}
+
+/// Emits `BENCH_gateway.json`: recovery times from the marketplace
+/// scenario plus the quorum-vs-single overhead figures.
+fn emit_gateway_artifact() {
+    // Time-to-recover: the default marketplace (cheapest provider
+    // fraudulent, churn on) plus a no-churn variant for a clean signal.
+    let churned = run_marketplace(&MarketplaceConfig::default());
+    let clean = run_marketplace(&MarketplaceConfig {
+        churn: false,
+        quorum_every: 0,
+        ..MarketplaceConfig::default()
+    });
+    assert!(churned.cheapest_slashed && clean.cheapest_slashed);
+    let mut recoveries: Vec<u64> = churned
+        .recoveries_us
+        .iter()
+        .chain(clean.recoveries_us.iter())
+        .copied()
+        .collect();
+    recoveries.sort_unstable();
+    let recover_p50 = recoveries[recoveries.len() / 2];
+
+    // Quorum overhead vs single reads, same provider pool, fresh
+    // gateways (so channel-opening cost amortizes identically: both
+    // paths connect lazily on first use).
+    let (mut net, mut gateway, targets) = gateway_fixture(QUORUM, SelectionPolicy::RoundRobin);
+    let (single_sim_us, single_wall_us) = run_single_reads(&mut net, &mut gateway, &targets, READS);
+    let (mut net, mut gateway, targets) = gateway_fixture(QUORUM, SelectionPolicy::RoundRobin);
+    let (quorum_sim_us, quorum_wall_us) =
+        run_quorum_reads(&mut net, &mut gateway, &targets, READS, QUORUM);
+    let overhead = quorum_sim_us as f64 / single_sim_us.max(1) as f64;
+
+    let recoveries_json = recoveries
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let json = format!(
+        "{{\"bench\":\"gateway_failover\",\"recoveries_us\":[{recoveries_json}],\
+         \"recover_p50_us\":{recover_p50},\"reads\":{READS},\"quorum\":{QUORUM},\
+         \"single_sim_us\":{single_sim_us},\"quorum_sim_us\":{quorum_sim_us},\
+         \"single_wall_us\":{single_wall_us},\"quorum_wall_us\":{quorum_wall_us},\
+         \"quorum_overhead\":{overhead:.3}}}\n"
+    );
+    // Cargo runs bench binaries with the package as cwd; anchor the
+    // artifact at the workspace root where CI picks it up.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gateway.json");
+    std::fs::write(path, &json).expect("write BENCH_gateway.json");
+    println!("wrote BENCH_gateway.json: {json}");
+    println!(
+        "time-to-recover after provider failure: p50 {recover_p50} µs over {} events",
+        recoveries.len()
+    );
+    println!(
+        "quorum-read overhead (k={QUORUM}): {overhead:.2}× simulated exchange time \
+         ({quorum_sim_us} µs vs {single_sim_us} µs for {READS} reads)"
+    );
+}
+
+fn bench_gateway_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gateway_failover");
+    group.sample_size(10);
+    // Steady-state single read through the gateway (channels warm).
+    let (mut net, mut gateway, targets) = gateway_fixture(QUORUM, SelectionPolicy::Cheapest);
+    run_single_reads(&mut net, &mut gateway, &targets, 2); // warm channels
+    let mut i = 0usize;
+    group.bench_function("verified_read", |b| {
+        b.iter(|| {
+            let call = RpcCall::GetBalance {
+                address: targets[i % targets.len()],
+            };
+            i += 1;
+            black_box(gateway.call(&mut net, call).expect("read"))
+        })
+    });
+    // Steady-state quorum read (k channels warm).
+    let (mut net, mut gateway, targets) = gateway_fixture(QUORUM, SelectionPolicy::RoundRobin);
+    run_quorum_reads(&mut net, &mut gateway, &targets, 1, QUORUM); // warm channels
+    let mut j = 0usize;
+    group.bench_function("quorum_read", |b| {
+        b.iter(|| {
+            let call = RpcCall::GetBalance {
+                address: targets[j % targets.len()],
+            };
+            j += 1;
+            black_box(gateway.quorum_call(&mut net, call, QUORUM).expect("quorum"))
+        })
+    });
+    group.finish();
+}
+
+fn run_all(c: &mut Criterion) {
+    emit_gateway_artifact();
+    bench_gateway_paths(c);
+}
+
+criterion_group!(benches, run_all);
+criterion_main!(benches);

@@ -26,7 +26,48 @@ fn main() {
     table4();
     fig6();
     fig7(full);
+    marketplace_section();
     println!("\nreport complete — see EXPERIMENTS.md for interpretation");
+}
+
+/// Beyond the paper: the gateway marketplace scenario — fraud detected
+/// and slashed mid-run, live failover, per-provider exchange
+/// aggregates (the accounting the reputation scorer feeds on).
+fn marketplace_section() {
+    println!("\n== gateway marketplace (beyond the paper) ==");
+    let report = parp_gateway::run_marketplace(&parp_gateway::MarketplaceConfig::default());
+    println!(
+        "{} verified results, {} wrong payloads, {} failover(s), \
+         fraud proofs accepted: {}, cheapest slashed: {}",
+        report.results,
+        report.wrong_payloads,
+        report.failovers,
+        report.fraud_proofs_accepted,
+        report.cheapest_slashed,
+    );
+    println!(
+        "time-to-recover after provider failure: {:?} µs; quorum reads {} \
+         (disagreements {}); payments monotone: {}",
+        report.recoveries_us,
+        report.quorum_reads,
+        report.quorum_disagreements,
+        report.payments_monotone,
+    );
+    println!("per-provider aggregates:");
+    println!(
+        "  {:<44} {:>6} {:>9} {:>9} {:>9}",
+        "provider", "calls", "failures", "p50 µs", "p99 µs"
+    );
+    for (address, stats) in &report.provider_stats {
+        println!(
+            "  {:<44} {:>6} {:>9} {:>9} {:>9}",
+            address.to_string(),
+            stats.calls,
+            stats.failures,
+            stats.latency_p50_us(),
+            stats.latency_p99_us(),
+        );
+    }
 }
 
 fn section_2b_table1() {

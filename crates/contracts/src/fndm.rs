@@ -174,11 +174,27 @@ impl DepositModule {
 
     /// The on-chain registry of serving full nodes (paper §IV-A:
     /// "discoverable via an on-chain registry").
+    ///
+    /// Backed by an address-keyed map, so the returned list is sorted
+    /// and duplicate-free by construction.
     pub fn registry(&self) -> Vec<Address> {
         self.nodes
             .iter()
             .filter(|(_, r)| r.serving && r.deposit >= min_deposit())
             .map(|(a, _)| *a)
+            .collect()
+    }
+
+    /// The registry with each serving node's full standing (deposit,
+    /// slash count) — the read surface a registry-driven client
+    /// directory consumes in one call instead of N `record` lookups.
+    /// Sorted by address, duplicate-free (same backing map as
+    /// [`DepositModule::registry`]).
+    pub fn registry_records(&self) -> Vec<(Address, NodeRecord)> {
+        self.nodes
+            .iter()
+            .filter(|(_, r)| r.serving && r.deposit >= min_deposit())
+            .map(|(a, r)| (*a, r.clone()))
             .collect()
     }
 

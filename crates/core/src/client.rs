@@ -55,6 +55,8 @@ pub enum ClientError {
     EmptyBatch,
     /// A call cannot ride in a batch (see [`RpcCall::batchable`]).
     UnbatchableCall,
+    /// The client has no session with this provider.
+    UnknownProvider(Address),
 }
 
 impl fmt::Display for ClientError {
@@ -73,6 +75,9 @@ impl fmt::Display for ClientError {
             ClientError::EmptyBatch => write!(f, "batch must carry at least one call"),
             ClientError::UnbatchableCall => {
                 write!(f, "call cannot be served from a single state snapshot")
+            }
+            ClientError::UnknownProvider(p) => {
+                write!(f, "no session with provider {p}")
             }
         }
     }
@@ -212,20 +217,42 @@ struct PendingBatch {
     request_height: u64,
 }
 
+/// One provider's connection state: the Fig. 4 state machine, the
+/// payment channel, and the in-flight requests bound to that channel.
+///
+/// A multi-provider client (the gateway's orchestration layer) runs one
+/// of these per full node it talks to; the single-channel API of the
+/// paper operates on the *active* session.
+#[derive(Debug, Clone, Default)]
+struct ProviderSession {
+    state: ClientState,
+    channel: Option<ClientChannel>,
+    pending: HashMap<H256, PendingRequest>,
+    pending_batches: HashMap<H256, PendingBatch>,
+}
+
 /// A PARP light client.
 ///
-/// Holds only block headers (never full blocks), a single payment channel,
-/// and the key pair that pseudonymously identifies it.
+/// Holds only block headers (never full blocks), one payment channel
+/// **per provider** it is connected to, and the key pair that
+/// pseudonymously identifies it. The original single-channel API
+/// (`request`, `channel`, `state`, …) operates on the *active*
+/// provider — the one most recently handshaken — so single-provider
+/// code keeps working unchanged, while a gateway can hold several
+/// bonded channels at once and route per provider with
+/// [`LightClient::request_from`] / [`LightClient::request_batch_from`].
 #[derive(Debug, Clone)]
 pub struct LightClient {
     key: KeyPair,
     price_per_call: U256,
     headers: BTreeMap<u64, Header>,
     hash_index: HashMap<H256, u64>,
-    state: ClientState,
-    channel: Option<ClientChannel>,
-    pending: HashMap<H256, PendingRequest>,
-    pending_batches: HashMap<H256, PendingBatch>,
+    sessions: HashMap<Address, ProviderSession>,
+    /// The provider the single-channel API routes to.
+    active: Option<Address>,
+    /// Per-provider agreed prices (a marketplace advertises different
+    /// rates); providers absent here pay the default `price_per_call`.
+    prices: HashMap<Address, U256>,
     valid_responses: u64,
 }
 
@@ -237,12 +264,26 @@ impl LightClient {
             price_per_call,
             headers: BTreeMap::new(),
             hash_index: HashMap::new(),
-            state: ClientState::Idle,
-            channel: None,
-            pending: HashMap::new(),
-            pending_batches: HashMap::new(),
+            sessions: HashMap::new(),
+            active: None,
+            prices: HashMap::new(),
             valid_responses: 0,
         }
+    }
+
+    /// Records the price agreed with one provider (e.g. its advertised
+    /// registry rate). Subsequent requests on that provider's channel
+    /// pay this instead of the client's default `price_per_call`.
+    pub fn set_price_for(&mut self, provider: Address, price: U256) {
+        self.prices.insert(provider, price);
+    }
+
+    /// The per-call price paid on `provider`'s channel.
+    pub fn price_for(&self, provider: &Address) -> U256 {
+        self.prices
+            .get(provider)
+            .copied()
+            .unwrap_or(self.price_per_call)
     }
 
     /// The client's (pseudonymous) address.
@@ -255,14 +296,62 @@ impl LightClient {
         self.key.secret()
     }
 
-    /// Current protocol state.
+    /// Current protocol state **with the active provider** (Idle when no
+    /// provider is active).
     pub fn state(&self) -> ClientState {
-        self.state
+        self.active_session()
+            .map(|s| s.state)
+            .unwrap_or(ClientState::Idle)
     }
 
-    /// The client's channel view, if connected.
+    /// The active provider's channel view, if connected.
     pub fn channel(&self) -> Option<&ClientChannel> {
-        self.channel.as_ref()
+        self.active_session().and_then(|s| s.channel.as_ref())
+    }
+
+    /// The provider the single-channel API currently routes to.
+    pub fn active_provider(&self) -> Option<Address> {
+        self.active
+    }
+
+    /// Routes the single-channel API to `provider`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the client has no session with `provider`.
+    pub fn set_active_provider(&mut self, provider: Address) -> Result<(), ClientError> {
+        if !self.sessions.contains_key(&provider) {
+            return Err(ClientError::UnknownProvider(provider));
+        }
+        self.active = Some(provider);
+        Ok(())
+    }
+
+    /// Protocol state of the session with `provider` (Idle when none).
+    pub fn state_with(&self, provider: &Address) -> ClientState {
+        self.sessions
+            .get(provider)
+            .map(|s| s.state)
+            .unwrap_or(ClientState::Idle)
+    }
+
+    /// The channel with `provider`, if one is open.
+    pub fn channel_with(&self, provider: &Address) -> Option<&ClientChannel> {
+        self.sessions.get(provider).and_then(|s| s.channel.as_ref())
+    }
+
+    /// Every provider the client is currently **bonded** to, in
+    /// unspecified order.
+    pub fn bonded_providers(&self) -> Vec<Address> {
+        self.sessions
+            .iter()
+            .filter(|(_, s)| s.state == ClientState::Bonded)
+            .map(|(a, _)| *a)
+            .collect()
+    }
+
+    fn active_session(&self) -> Option<&ProviderSession> {
+        self.active.and_then(|a| self.sessions.get(&a))
     }
 
     /// Number of responses accepted as valid.
@@ -307,17 +396,31 @@ impl LightClient {
         self.headers.len()
     }
 
-    /// Starts a handshake with a full node (Algorithm 1, `HANDSHAKE`).
+    /// Starts a handshake with a full node (Algorithm 1, `HANDSHAKE`)
+    /// and makes it the active provider.
+    ///
+    /// The session **with that provider** must be Idle; channels with
+    /// other providers are untouched, so a multi-provider client can
+    /// hold several bonded channels at once.
     ///
     /// # Errors
     ///
-    /// Fails when not [`ClientState::Idle`] or no headers are synced.
-    pub fn start_handshake(&mut self, _full_node: Address) -> Result<Address, ClientError> {
-        self.require_state(ClientState::Idle)?;
+    /// Fails when the session with `full_node` is not
+    /// [`ClientState::Idle`] or no headers are synced.
+    pub fn start_handshake(&mut self, full_node: Address) -> Result<Address, ClientError> {
+        let state = self.state_with(&full_node);
+        if state != ClientState::Idle {
+            return Err(ClientError::WrongState {
+                expected: ClientState::Idle,
+                actual: state,
+            });
+        }
         if self.headers.is_empty() {
             return Err(ClientError::NoHeaders);
         }
-        self.state = ClientState::Handshaking;
+        let session = self.sessions.entry(full_node).or_default();
+        session.state = ClientState::Handshaking;
+        self.active = Some(full_node);
         Ok(self.address())
     }
 
@@ -333,17 +436,17 @@ impl LightClient {
         budget: U256,
         nonce: u64,
     ) -> Result<SignedTransaction, ClientError> {
-        self.require_state(ClientState::Handshaking)?;
+        let active = self.require_active(ClientState::Handshaking)?;
         let now = self.tip().map(|h| h.timestamp).unwrap_or(0);
         if confirm.expiry < now {
-            self.state = ClientState::Idle;
+            self.reset_session(active);
             return Err(ClientError::BadConfirmation("confirmation expired".into()));
         }
         let digest = parp_contracts::confirmation_digest(&self.address(), confirm.expiry);
         match recover_address(&digest, &confirm.signature) {
             Ok(addr) if addr == confirm.full_node => {}
             _ => {
-                self.state = ClientState::Idle;
+                self.reset_session(active);
                 return Err(ClientError::BadConfirmation(
                     "signature does not recover to the full node".into(),
                 ));
@@ -363,14 +466,37 @@ impl LightClient {
             data: call.encode(),
         }
         .sign(self.key.secret());
-        self.channel = Some(ClientChannel {
+        // The channel binds to the *confirming* node; re-key the session
+        // if the handshake was started under a different address — but
+        // never on top of a live session with the confirming node (that
+        // would zero its committed spend and orphan its pending set).
+        if active != confirm.full_node {
+            if self.state_with(&confirm.full_node) != ClientState::Idle {
+                self.reset_session(active);
+                return Err(ClientError::BadConfirmation(
+                    "confirming node already has an open session".into(),
+                ));
+            }
+            self.sessions.remove(&active);
+        }
+        let session = self.sessions.entry(confirm.full_node).or_default();
+        session.channel = Some(ClientChannel {
             id: u64::MAX, // assigned on receipt
             full_node: confirm.full_node,
             budget,
             spent: U256::ZERO,
         });
-        self.state = ClientState::Unbonded;
+        session.state = ClientState::Unbonded;
+        self.active = Some(confirm.full_node);
         Ok(tx)
+    }
+
+    /// Drops a failed session so the provider can be re-handshaken.
+    fn reset_session(&mut self, provider: Address) {
+        self.sessions.remove(&provider);
+        if self.active == Some(provider) {
+            self.active = None;
+        }
     }
 
     /// Records the `OpenChannel` receipt: the channel id is known and the
@@ -380,11 +506,12 @@ impl LightClient {
     ///
     /// Fails when not [`ClientState::Unbonded`].
     pub fn channel_opened(&mut self, channel_id: u64) -> Result<(), ClientError> {
-        self.require_state(ClientState::Unbonded)?;
-        if let Some(channel) = &mut self.channel {
+        let active = self.require_active(ClientState::Unbonded)?;
+        let session = self.sessions.get_mut(&active).expect("active exists");
+        if let Some(channel) = &mut session.channel {
             channel.id = channel_id;
         }
-        self.state = ClientState::Bonded;
+        session.state = ClientState::Bonded;
         Ok(())
     }
 
@@ -396,16 +523,43 @@ impl LightClient {
     /// Fails when not bonded, headers are missing, or the budget cannot
     /// cover the next payment.
     pub fn request(&mut self, call: RpcCall) -> Result<ParpRequest, ClientError> {
-        self.require_state(ClientState::Bonded)?;
+        let active = self.require_active(ClientState::Bonded)?;
+        self.request_from(active, call)
+    }
+
+    /// Builds the next signed request **on the channel with `provider`**
+    /// — the per-provider entry point a multi-channel gateway routes
+    /// through. Identical to [`LightClient::request`] when `provider`
+    /// is the active one.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LightClient::request`], judged against the
+    /// session with `provider`.
+    pub fn request_from(
+        &mut self,
+        provider: Address,
+        call: RpcCall,
+    ) -> Result<ParpRequest, ClientError> {
+        let state = self.state_with(&provider);
+        if state != ClientState::Bonded {
+            return Err(ClientError::WrongState {
+                expected: ClientState::Bonded,
+                actual: state,
+            });
+        }
         let tip = self.tip().ok_or(ClientError::NoHeaders)?;
         let (tip_hash, tip_number) = (tip.hash(), tip.number);
-        let channel = self.channel.as_ref().expect("bonded implies channel");
-        let amount = channel.spent.saturating_add(self.price_per_call);
+        let price = self.price_for(&provider);
+        let secret = *self.key.secret();
+        let session = self.sessions.get_mut(&provider).expect("bonded session");
+        let channel = session.channel.as_ref().expect("bonded implies channel");
+        let amount = channel.spent.saturating_add(price);
         if amount > channel.budget {
             return Err(ClientError::BudgetExhausted);
         }
-        let request = ParpRequest::build(self.key.secret(), channel.id, tip_hash, amount, call);
-        self.pending.insert(
+        let request = ParpRequest::build(&secret, channel.id, tip_hash, amount, call);
+        session.pending.insert(
             request.request_hash,
             PendingRequest {
                 request: request.clone(),
@@ -425,7 +579,30 @@ impl LightClient {
     /// carries an unbatchable call (see [`RpcCall::batchable`]), or the
     /// budget cannot cover the batch.
     pub fn request_batch(&mut self, calls: Vec<RpcCall>) -> Result<ParpBatchRequest, ClientError> {
-        self.require_state(ClientState::Bonded)?;
+        let active = self.require_active(ClientState::Bonded)?;
+        self.request_batch_from(active, calls)
+    }
+
+    /// Builds the next signed batch request **on the channel with
+    /// `provider`** — the per-provider analogue of
+    /// [`LightClient::request_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LightClient::request_batch`], judged against
+    /// the session with `provider`.
+    pub fn request_batch_from(
+        &mut self,
+        provider: Address,
+        calls: Vec<RpcCall>,
+    ) -> Result<ParpBatchRequest, ClientError> {
+        let state = self.state_with(&provider);
+        if state != ClientState::Bonded {
+            return Err(ClientError::WrongState {
+                expected: ClientState::Bonded,
+                actual: state,
+            });
+        }
         if calls.is_empty() {
             return Err(ClientError::EmptyBatch);
         }
@@ -434,15 +611,17 @@ impl LightClient {
         }
         let tip = self.tip().ok_or(ClientError::NoHeaders)?;
         let (tip_hash, tip_number) = (tip.hash(), tip.number);
-        let channel = self.channel.as_ref().expect("bonded implies channel");
-        let batch_price = self.price_per_call * U256::from(calls.len() as u64);
+        let price = self.price_for(&provider);
+        let secret = *self.key.secret();
+        let session = self.sessions.get_mut(&provider).expect("bonded session");
+        let channel = session.channel.as_ref().expect("bonded implies channel");
+        let batch_price = price * U256::from(calls.len() as u64);
         let amount = channel.spent.saturating_add(batch_price);
         if amount > channel.budget {
             return Err(ClientError::BudgetExhausted);
         }
-        let request =
-            ParpBatchRequest::build(self.key.secret(), channel.id, tip_hash, amount, calls);
-        self.pending_batches.insert(
+        let request = ParpBatchRequest::build(&secret, channel.id, tip_hash, amount, calls);
+        session.pending_batches.insert(
             request.request_hash,
             PendingBatch {
                 request: request.clone(),
@@ -468,29 +647,47 @@ impl LightClient {
         &mut self,
         response: &ParpBatchResponse,
     ) -> Result<ProcessBatchOutcome, ClientError> {
-        let pending = match self.pending_batches.remove(&response.request_hash) {
-            Some(pending) => pending,
-            // Transport-level pairing when the echo is corrupted but
-            // exactly one batch is in flight (as with single requests).
-            None if self.pending_batches.len() == 1 => {
-                let key = *self.pending_batches.keys().next().expect("len checked");
-                self.pending_batches.remove(&key).expect("key just read")
-            }
-            None => return Err(ClientError::UnknownResponse),
-        };
-        let channel = self.channel.as_ref().expect("pending implies channel");
+        self.process_batch_response_scoped(response, None)
+    }
+
+    /// [`LightClient::process_batch_response`] for a response that
+    /// arrived over `provider`'s connection: the corrupted-echo pairing
+    /// fallback is confined to that provider's in-flight batches, so a
+    /// response can never be (mis)attributed to another provider's
+    /// channel.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no pending batch matches the response.
+    pub fn process_batch_response_from(
+        &mut self,
+        provider: Address,
+        response: &ParpBatchResponse,
+    ) -> Result<ProcessBatchOutcome, ClientError> {
+        self.process_batch_response_scoped(response, Some(provider))
+    }
+
+    fn process_batch_response_scoped(
+        &mut self,
+        response: &ParpBatchResponse,
+        scope: Option<Address>,
+    ) -> Result<ProcessBatchOutcome, ClientError> {
+        let (provider, pending) = self
+            .take_pending_batch(&response.request_hash, scope)
+            .ok_or(ClientError::UnknownResponse)?;
+        let session = self.sessions.get(&provider).expect("pending session");
+        let channel = session.channel.as_ref().expect("pending implies channel");
+        let full_node = channel.full_node;
         let classification = classify_batch_response(
             &pending.request,
             response,
-            channel.full_node,
+            full_node,
             pending.request_height,
             |n| self.headers.get(&n).cloned(),
         );
         // The node holds σ_a either way: count the payment committed
         // (defensively on invalid/fraudulent outcomes, as with singles).
-        if let Some(channel) = &mut self.channel {
-            channel.spent = channel.spent.max(pending.request.amount);
-        }
+        self.commit_payment(provider, pending.request.amount);
         let first_fraud = classification.first_fraud();
         let all_valid = classification.all_valid();
         match classification {
@@ -550,6 +747,87 @@ impl LightClient {
         }
     }
 
+    /// Removes the pending single request matching `hash` from whichever
+    /// session holds it (the hash pairing is provider-agnostic: hashes
+    /// are unforgeable). When the echoed hash matches nothing —
+    /// a corrupted echo — falls back to transport-level pairing, but
+    /// **only within one session**: the `scope` provider's when given
+    /// (the connection the response arrived over), else the sole
+    /// session when the client has exactly one (the original
+    /// single-channel behaviour). The fallback never crosses sessions —
+    /// a garbage response from one provider must not consume, and
+    /// condemn, another provider's in-flight request.
+    fn take_pending(
+        &mut self,
+        hash: &H256,
+        scope: Option<Address>,
+    ) -> Option<(Address, PendingRequest)> {
+        for (provider, session) in self.sessions.iter_mut() {
+            if let Some(pending) = session.pending.remove(hash) {
+                return Some((*provider, pending));
+            }
+        }
+        let (provider, session) = self.fallback_session(scope)?;
+        if session.pending.len() == 1 {
+            let key = *session.pending.keys().next().expect("len checked");
+            let pending = session.pending.remove(&key).expect("key just read");
+            return Some((provider, pending));
+        }
+        None
+    }
+
+    /// Batch analogue of [`LightClient::take_pending`].
+    fn take_pending_batch(
+        &mut self,
+        hash: &H256,
+        scope: Option<Address>,
+    ) -> Option<(Address, PendingBatch)> {
+        for (provider, session) in self.sessions.iter_mut() {
+            if let Some(pending) = session.pending_batches.remove(hash) {
+                return Some((*provider, pending));
+            }
+        }
+        let (provider, session) = self.fallback_session(scope)?;
+        if session.pending_batches.len() == 1 {
+            let key = *session.pending_batches.keys().next().expect("len checked");
+            let pending = session.pending_batches.remove(&key).expect("key just read");
+            return Some((provider, pending));
+        }
+        None
+    }
+
+    /// The one session corrupted-echo pairing may fall back to: the
+    /// scoped provider's, or the client's sole session when unscoped.
+    fn fallback_session(
+        &mut self,
+        scope: Option<Address>,
+    ) -> Option<(Address, &mut ProviderSession)> {
+        match scope {
+            Some(provider) => self
+                .sessions
+                .get_mut(&provider)
+                .map(|session| (provider, session)),
+            None if self.sessions.len() == 1 => self
+                .sessions
+                .iter_mut()
+                .next()
+                .map(|(provider, session)| (*provider, session)),
+            None => None,
+        }
+    }
+
+    /// Advances a session's committed spend to `amount` (never
+    /// backwards: the channel ledger is monotone).
+    fn commit_payment(&mut self, provider: Address, amount: U256) {
+        if let Some(channel) = self
+            .sessions
+            .get_mut(&provider)
+            .and_then(|s| s.channel.as_mut())
+        {
+            channel.spent = channel.spent.max(amount);
+        }
+    }
+
     /// The trusted headers of every block `response` binds proofs to,
     /// ascending — the set a batch fraud proof submits on-chain.
     ///
@@ -578,12 +856,11 @@ impl LightClient {
     /// Same conditions as [`LightClient::request`].
     pub fn liveness_probe(&mut self) -> Result<ParpRequest, ClientError> {
         let channel_id = self
-            .channel
-            .as_ref()
+            .channel()
             .map(|c| c.id)
             .ok_or(ClientError::WrongState {
                 expected: ClientState::Bonded,
-                actual: self.state,
+                actual: self.state(),
             })?;
         self.request(RpcCall::GetChannelStatus { channel_id })
     }
@@ -603,22 +880,48 @@ impl LightClient {
         &mut self,
         response: &ParpResponse,
     ) -> Result<ProcessOutcome, ClientError> {
+        self.process_response_scoped(response, None)
+    }
+
+    /// [`LightClient::process_response`] for a response that arrived
+    /// over `provider`'s connection: the corrupted-echo pairing
+    /// fallback is confined to that provider's in-flight requests, so a
+    /// response can never be (mis)attributed to another provider's
+    /// channel.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no pending request matches the response.
+    pub fn process_response_from(
+        &mut self,
+        provider: Address,
+        response: &ParpResponse,
+    ) -> Result<ProcessOutcome, ClientError> {
+        self.process_response_scoped(response, Some(provider))
+    }
+
+    fn process_response_scoped(
+        &mut self,
+        response: &ParpResponse,
+        scope: Option<Address>,
+    ) -> Result<ProcessOutcome, ClientError> {
         // Pair by the echoed hash; when the echo is corrupted but exactly
-        // one request is in flight, transport-level pairing still
-        // identifies it (and the §V-D hash check will flag the response).
-        let pending = match self.pending.remove(&response.request_hash) {
-            Some(pending) => pending,
-            None if self.pending.len() == 1 => {
-                let key = *self.pending.keys().next().expect("len checked");
-                self.pending.remove(&key).expect("key just read")
-            }
-            None => return Err(ClientError::UnknownResponse),
-        };
-        let channel = self.channel.as_ref().expect("pending implies channel");
+        // one request is in flight on the response's connection,
+        // transport-level pairing still identifies it (and the §V-D hash
+        // check will flag the response).
+        let (provider, pending) = self
+            .take_pending(&response.request_hash, scope)
+            .ok_or(ClientError::UnknownResponse)?;
+        let session = self.sessions.get(&provider).expect("pending session");
+        let full_node = session
+            .channel
+            .as_ref()
+            .expect("pending implies channel")
+            .full_node;
         let classification = classify_response(
             &pending.request,
             response,
-            channel.full_node,
+            full_node,
             pending.request_height,
             |n| self.headers.get(&n).cloned(),
         );
@@ -626,9 +929,7 @@ impl LightClient {
             Classification::Valid => {
                 let proven = !response.proof.is_empty();
                 self.valid_responses += 1;
-                if let Some(channel) = &mut self.channel {
-                    channel.spent = channel.spent.max(pending.request.amount);
-                }
+                self.commit_payment(provider, pending.request.amount);
                 Ok(ProcessOutcome::Valid {
                     result: response.result.clone(),
                     proven,
@@ -639,15 +940,11 @@ impl LightClient {
                 // redeem it without returning a verifiable response, but
                 // the client still counts it spent defensively (the node
                 // holds σ_a). Terminate per §V-D.
-                if let Some(channel) = &mut self.channel {
-                    channel.spent = channel.spent.max(pending.request.amount);
-                }
+                self.commit_payment(provider, pending.request.amount);
                 Ok(ProcessOutcome::Invalid(reason))
             }
             Classification::Fraudulent(verdict) => {
-                if let Some(channel) = &mut self.channel {
-                    channel.spent = channel.spent.max(pending.request.amount);
-                }
+                self.commit_payment(provider, pending.request.amount);
                 let header = self
                     .headers
                     .get(&response.block_number)
@@ -676,64 +973,69 @@ impl LightClient {
     ///
     /// Fails when not bonded.
     pub fn close_channel_call(&mut self) -> Result<ModuleCall, ClientError> {
-        self.require_state(ClientState::Bonded)?;
-        let channel = self.channel.as_ref().expect("bonded implies channel");
-        let amount = channel.spent;
+        let active = self.require_active(ClientState::Bonded)?;
+        let session = self.sessions.get_mut(&active).expect("active exists");
+        let channel = session.channel.as_ref().expect("bonded implies channel");
+        let (channel_id, amount) = (channel.id, channel.spent);
         let payment_sig = sign(
             self.key.secret(),
-            &parp_contracts::payment_digest(channel.id, &amount),
+            &parp_contracts::payment_digest(channel_id, &amount),
         );
-        self.state = ClientState::Unbonding;
+        session.state = ClientState::Unbonding;
         Ok(ModuleCall::CloseChannel {
-            channel_id: channel.id,
+            channel_id,
             amount,
             payment_sig,
         })
     }
 
-    /// Builds the `confirmClosure` call for the client's channel.
+    /// Builds the `confirmClosure` call for the active channel.
     ///
     /// # Errors
     ///
     /// Fails when the client has no channel.
     pub fn confirm_closure_call(&self) -> Result<ModuleCall, ClientError> {
-        let channel = self.channel.as_ref().ok_or(ClientError::WrongState {
+        let channel = self.channel().ok_or(ClientError::WrongState {
             expected: ClientState::Unbonding,
-            actual: self.state,
+            actual: self.state(),
         })?;
         Ok(ModuleCall::ConfirmClosure {
             channel_id: channel.id,
         })
     }
 
-    /// Records final settlement: back to *Idle* with no channel.
+    /// Records final settlement of the active channel: that session is
+    /// dropped and the provider can be re-handshaken.
     pub fn channel_closed(&mut self) {
-        self.state = ClientState::Idle;
-        self.channel = None;
-        self.pending.clear();
-        self.pending_batches.clear();
-    }
-
-    /// Abandons the current connection (fail-over after an invalid
-    /// response or detected fraud): the client returns to *Idle* and can
-    /// immediately handshake with another node, since PARP needs no
-    /// sign-up (§IV-A "enhanced availability").
-    pub fn abandon_connection(&mut self) {
-        self.state = ClientState::Idle;
-        self.channel = None;
-        self.pending.clear();
-        self.pending_batches.clear();
-    }
-
-    fn require_state(&self, expected: ClientState) -> Result<(), ClientError> {
-        if self.state == expected {
-            Ok(())
-        } else {
-            Err(ClientError::WrongState {
-                expected,
-                actual: self.state,
-            })
+        if let Some(active) = self.active {
+            self.reset_session(active);
         }
+    }
+
+    /// Abandons the active connection (fail-over after an invalid
+    /// response or detected fraud): that session returns to *Idle* and
+    /// the client can immediately handshake with another node, since
+    /// PARP needs no sign-up (§IV-A "enhanced availability"). Channels
+    /// with other providers are untouched.
+    pub fn abandon_connection(&mut self) {
+        if let Some(active) = self.active {
+            self.reset_session(active);
+        }
+    }
+
+    /// Abandons the session with one specific provider (the gateway's
+    /// per-provider fail-over), leaving every other channel open.
+    pub fn abandon_provider(&mut self, provider: Address) {
+        self.reset_session(provider);
+    }
+
+    /// The active provider, checked to be in `expected` state.
+    fn require_active(&self, expected: ClientState) -> Result<Address, ClientError> {
+        let actual = self.state();
+        if actual != expected {
+            return Err(ClientError::WrongState { expected, actual });
+        }
+        Ok(self.active.expect("non-Idle state implies active"))
     }
 }
 
@@ -854,7 +1156,7 @@ mod tests {
         client.channel_opened(0).unwrap();
         let r = client.request(RpcCall::BlockNumber).unwrap();
         // Simulate acceptance to advance spent.
-        client.channel.as_mut().unwrap().spent = r.amount;
+        client.commit_payment(node.address(), r.amount);
         assert_eq!(
             client.request(RpcCall::BlockNumber),
             Err(ClientError::BudgetExhausted)
@@ -964,6 +1266,170 @@ mod tests {
         assert!(!LightClient::channel_reported_open(&[
             ChannelStatus::Closed.as_byte()
         ]));
+    }
+
+    #[test]
+    fn concurrent_channels_to_two_providers() {
+        let node_a = FullNode::new(SecretKey::from_seed(b"multi-a"), U256::from(10u64));
+        let node_b = FullNode::new(SecretKey::from_seed(b"multi-b"), U256::from(10u64));
+        let mut client = LightClient::new(SecretKey::from_seed(b"multi-client"), U256::from(10u64));
+        client.sync_headers((0..5).map(header_at));
+        for (node, id) in [(&node_a, 1u64), (&node_b, 2u64)] {
+            client.start_handshake(node.address()).unwrap();
+            let confirm = node.confirm_handshake(client.address(), 1_700_000_000);
+            client
+                .accept_confirmation(&confirm, U256::from(1_000u64), 0)
+                .unwrap();
+            client.channel_opened(id).unwrap();
+        }
+        // Both sessions bonded, each with its own channel.
+        assert_eq!(client.state_with(&node_a.address()), ClientState::Bonded);
+        assert_eq!(client.state_with(&node_b.address()), ClientState::Bonded);
+        assert_eq!(client.channel_with(&node_a.address()).unwrap().id, 1);
+        assert_eq!(client.channel_with(&node_b.address()).unwrap().id, 2);
+        assert_eq!(client.bonded_providers().len(), 2);
+        // Per-provider requests pay on their own channels and pair back
+        // to them even when responses interleave.
+        let req_a = client
+            .request_from(node_a.address(), RpcCall::BlockNumber)
+            .unwrap();
+        let req_b = client
+            .request_from(node_b.address(), RpcCall::BlockNumber)
+            .unwrap();
+        assert_eq!(req_a.channel_id, 1);
+        assert_eq!(req_b.channel_id, 2);
+        let res_b = ParpResponse::build(
+            node_b.secret(),
+            &req_b,
+            4,
+            parp_rlp::encode_u64(4),
+            Vec::new(),
+        );
+        let res_a = ParpResponse::build(
+            node_a.secret(),
+            &req_a,
+            4,
+            parp_rlp::encode_u64(4),
+            Vec::new(),
+        );
+        assert!(matches!(
+            client.process_response(&res_b).unwrap(),
+            ProcessOutcome::Valid { .. }
+        ));
+        assert!(matches!(
+            client.process_response(&res_a).unwrap(),
+            ProcessOutcome::Valid { .. }
+        ));
+        assert_eq!(
+            client.channel_with(&node_a.address()).unwrap().spent,
+            U256::from(10u64)
+        );
+        assert_eq!(
+            client.channel_with(&node_b.address()).unwrap().spent,
+            U256::from(10u64)
+        );
+        // Abandoning one provider leaves the other bonded.
+        client.abandon_provider(node_a.address());
+        assert_eq!(client.state_with(&node_a.address()), ClientState::Idle);
+        assert_eq!(client.state_with(&node_b.address()), ClientState::Bonded);
+    }
+
+    #[test]
+    fn corrupted_echo_pairing_never_crosses_sessions() {
+        let node_a = FullNode::new(SecretKey::from_seed(b"scope-a"), U256::from(10u64));
+        let node_b = FullNode::new(SecretKey::from_seed(b"scope-b"), U256::from(10u64));
+        let mut client = LightClient::new(SecretKey::from_seed(b"scope-client"), U256::from(10u64));
+        client.sync_headers((0..5).map(header_at));
+        for (node, id) in [(&node_a, 1u64), (&node_b, 2u64)] {
+            client.start_handshake(node.address()).unwrap();
+            let confirm = node.confirm_handshake(client.address(), 1_700_000_000);
+            client
+                .accept_confirmation(&confirm, U256::from(1_000u64), 0)
+                .unwrap();
+            client.channel_opened(id).unwrap();
+        }
+        // Exactly one request in flight, on A's channel.
+        let req_a = client
+            .request_from(node_a.address(), RpcCall::BlockNumber)
+            .unwrap();
+        // A response with a corrupted (unmatchable) echo arrives.
+        let mut garbage = ParpResponse::build(
+            node_b.secret(),
+            &req_a,
+            4,
+            parp_rlp::encode_u64(4),
+            Vec::new(),
+        );
+        garbage.request_hash = parp_crypto::keccak256(b"corrupted echo");
+        // Unscoped (two sessions): no fallback, the response is rejected
+        // rather than misattributed to A's channel.
+        assert_eq!(
+            client.process_response(&garbage),
+            Err(ClientError::UnknownResponse)
+        );
+        // Scoped to B's connection: B has nothing in flight — rejected.
+        assert_eq!(
+            client.process_response_from(node_b.address(), &garbage),
+            Err(ClientError::UnknownResponse)
+        );
+        // A's pending request is still alive and pairs with the honest
+        // response when it arrives.
+        let honest = ParpResponse::build(
+            node_a.secret(),
+            &req_a,
+            4,
+            parp_rlp::encode_u64(4),
+            Vec::new(),
+        );
+        assert!(matches!(
+            client
+                .process_response_from(node_a.address(), &honest)
+                .unwrap(),
+            ProcessOutcome::Valid { .. }
+        ));
+    }
+
+    #[test]
+    fn confirmation_cannot_clobber_a_bonded_session() {
+        let node_a = FullNode::new(SecretKey::from_seed(b"clobber-a"), U256::from(10u64));
+        let node_b = FullNode::new(SecretKey::from_seed(b"clobber-b"), U256::from(10u64));
+        let mut client =
+            LightClient::new(SecretKey::from_seed(b"clobber-client"), U256::from(10u64));
+        client.sync_headers((0..5).map(header_at));
+        // Bond to B and advance its committed spend.
+        client.start_handshake(node_b.address()).unwrap();
+        let confirm_b = node_b.confirm_handshake(client.address(), 1_700_000_000);
+        client
+            .accept_confirmation(&confirm_b, U256::from(1_000u64), 0)
+            .unwrap();
+        client.channel_opened(2).unwrap();
+        let req = client
+            .request_from(node_b.address(), RpcCall::BlockNumber)
+            .unwrap();
+        let res = ParpResponse::build(
+            node_b.secret(),
+            &req,
+            4,
+            parp_rlp::encode_u64(4),
+            Vec::new(),
+        );
+        client.process_response(&res).unwrap();
+        let spent_before = client.channel_with(&node_b.address()).unwrap().spent;
+        assert!(spent_before > U256::ZERO);
+        // Handshake with A, but a (colluding/replayed) confirmation from
+        // B arrives: accepting it must not reset B's live channel.
+        client.start_handshake(node_a.address()).unwrap();
+        let replayed = node_b.confirm_handshake(client.address(), 1_700_000_000);
+        assert!(matches!(
+            client.accept_confirmation(&replayed, U256::from(1_000u64), 1),
+            Err(ClientError::BadConfirmation(_))
+        ));
+        assert_eq!(client.state_with(&node_b.address()), ClientState::Bonded);
+        assert_eq!(
+            client.channel_with(&node_b.address()).unwrap().spent,
+            spent_before,
+            "B's committed spend survives"
+        );
     }
 
     #[test]

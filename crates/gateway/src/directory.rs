@@ -1,0 +1,131 @@
+//! Registry-driven provider discovery: the client-side mirror of the
+//! on-chain FNDM serving registry (paper §IV-A), annotated with each
+//! provider's advertised price.
+
+use parp_net::{Network, NodeId};
+use parp_primitives::{Address, U256};
+
+/// One serving provider as the client sees it: the on-chain standing
+/// (deposit, slash history) plus the off-chain advertisement (price per
+/// call) and the simulation endpoint to reach it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProviderInfo {
+    /// The provider's registry address (its on-chain identity).
+    pub address: Address,
+    /// The simulation endpoint serving for this address.
+    pub node_id: NodeId,
+    /// Collateral currently locked in the FNDM.
+    pub deposit: U256,
+    /// Advertised price per call in wei.
+    pub price_per_call: U256,
+    /// Times this identity has been slashed (ever).
+    pub slash_count: u64,
+}
+
+/// The client's view of the serving marketplace, refreshed from the
+/// on-chain registry.
+///
+/// Entries are sorted by address (the registry's own order) and
+/// duplicate-free — the FNDM keys records by address and the network
+/// refuses address collisions at spawn, so each entry is one distinct
+/// identity. Registry addresses with no reachable serving endpoint are
+/// skipped: a deposit alone does not serve traffic.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    providers: Vec<ProviderInfo>,
+}
+
+impl Directory {
+    /// An empty directory (call [`Directory::refresh`] to populate).
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Discovers the current serving set from `net`'s on-chain registry.
+    pub fn discover(net: &Network) -> Self {
+        let mut directory = Directory::new();
+        directory.refresh(net);
+        directory
+    }
+
+    /// Re-reads the registry: providers that joined appear, providers
+    /// that exited (voluntarily or by slashing) disappear.
+    pub fn refresh(&mut self, net: &Network) {
+        self.providers = net
+            .executor()
+            .fndm()
+            .registry_records()
+            .into_iter()
+            .filter_map(|(address, record)| {
+                let node_id = net.node_id_by_address(&address)?;
+                Some(ProviderInfo {
+                    address,
+                    node_id,
+                    deposit: record.deposit,
+                    price_per_call: net.node(node_id).price_per_call(),
+                    slash_count: record.slash_count,
+                })
+            })
+            .collect();
+    }
+
+    /// The discovered providers, sorted by address.
+    pub fn providers(&self) -> &[ProviderInfo] {
+        &self.providers
+    }
+
+    /// Lookup by registry address.
+    pub fn get(&self, address: &Address) -> Option<&ProviderInfo> {
+        self.providers.iter().find(|p| p.address == *address)
+    }
+
+    /// Number of discovered providers.
+    pub fn len(&self) -> usize {
+        self.providers.len()
+    }
+
+    /// Whether the registry listed no reachable provider.
+    pub fn is_empty(&self) -> bool {
+        self.providers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parp_contracts::ModuleCall;
+
+    #[test]
+    fn discovers_and_tracks_churn() {
+        let mut net = Network::new();
+        let a = net.spawn_node(b"dir-a", U256::from(10u64));
+        let _b = net.spawn_node(b"dir-b", U256::from(20u64));
+        let mut directory = Directory::discover(&net);
+        assert_eq!(directory.len(), 2);
+        let a_addr = net.node(a).address();
+        assert_eq!(
+            directory.get(&a_addr).unwrap().price_per_call,
+            U256::from(10u64)
+        );
+        assert_eq!(directory.get(&a_addr).unwrap().node_id, a);
+        assert!(directory.get(&a_addr).unwrap().deposit >= parp_contracts::min_deposit());
+
+        // A voluntary exit disappears on refresh.
+        let a_key = *net.node(a).secret();
+        assert!(net
+            .submit_module_call(
+                &a_key,
+                ModuleCall::SetServing { serving: false },
+                U256::ZERO
+            )
+            .unwrap());
+        directory.refresh(&net);
+        assert_eq!(directory.len(), 1);
+        assert!(directory.get(&a_addr).is_none());
+
+        // A join appears on refresh.
+        net.spawn_node(b"dir-c", U256::from(30u64));
+        directory.refresh(&net);
+        assert_eq!(directory.len(), 2);
+    }
+}

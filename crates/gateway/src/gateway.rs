@@ -1,0 +1,660 @@
+//! The gateway orchestrator: N concurrent channels, policy-driven
+//! routing, live failover with fraud submission, and quorum reads.
+
+use crate::directory::{Directory, ProviderInfo};
+use crate::policy::SelectionPolicy;
+use crate::reputation::ReputationBook;
+use parp_contracts::{FraudVerdict, RpcCall};
+use parp_core::{ClientState, InvalidReason, LightClient, ProcessBatchOutcome, ProcessOutcome};
+use parp_net::{Network, NodeId, SimError};
+use parp_primitives::{Address, U256};
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// Tuning for a [`Gateway`].
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayConfig {
+    /// How the next provider is chosen.
+    pub policy: SelectionPolicy,
+    /// Budget locked into each per-provider channel on connect.
+    pub channel_budget: U256,
+    /// Providers a single logical call may burn through before the
+    /// gateway gives up.
+    pub max_failovers: usize,
+    /// Fan-out width [`Gateway::quorum_call`] uses when called with
+    /// `k = 0`.
+    pub quorum: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            policy: SelectionPolicy::default(),
+            channel_budget: U256::from(1u64) << 40,
+            max_failovers: 8,
+            quorum: 3,
+        }
+    }
+}
+
+/// Why a failover fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailoverCause {
+    /// The provider refused to serve (or the exchange failed locally).
+    Refused,
+    /// The response was classified invalid (§V-D: walk away).
+    Invalid(InvalidReason),
+    /// The response was provably fraudulent.
+    Fraud(FraudVerdict),
+}
+
+/// One recorded failover: which provider failed, why, whether the fraud
+/// evidence stuck on-chain, and how long until service resumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverEvent {
+    /// The abandoned provider.
+    pub failed_provider: Address,
+    /// What triggered the switch.
+    pub cause: FailoverCause,
+    /// Whether a fraud proof was submitted and accepted on-chain.
+    pub slashed: bool,
+    /// Simulated clock when the failure was detected (µs).
+    pub detected_at_us: u64,
+    /// Simulated clock when the next valid response completed (µs);
+    /// `None` while recovery is still in progress.
+    pub recovered_at_us: Option<u64>,
+}
+
+impl FailoverEvent {
+    /// Time from failure detection to the next verified response (µs).
+    pub fn time_to_recover_us(&self) -> Option<u64> {
+        self.recovered_at_us
+            .map(|r| r.saturating_sub(self.detected_at_us))
+    }
+}
+
+/// One provider's vote in a quorum read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuorumVote {
+    /// The provider that answered.
+    pub provider: Address,
+    /// Its verified `R(γ)` payload.
+    pub result: Vec<u8>,
+}
+
+/// Outcome of a quorum read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuorumOutcome {
+    /// The majority payload (every verified vote agrees when `agreed`).
+    pub result: Vec<u8>,
+    /// Whether all verified votes were byte-identical.
+    pub agreed: bool,
+    /// Every verified vote, in the order the providers were queried.
+    pub votes: Vec<QuorumVote>,
+}
+
+/// Gateway-level failures.
+#[derive(Debug)]
+pub enum GatewayError {
+    /// The registry lists no eligible provider.
+    NoProviders,
+    /// Every eligible provider failed for this call.
+    FailoversExhausted {
+        /// Providers tried before giving up.
+        attempts: usize,
+    },
+    /// A quorum read could not reach `needed` distinct providers.
+    QuorumUnreachable {
+        /// Fan-out width requested.
+        needed: usize,
+        /// Verified votes actually collected.
+        collected: usize,
+    },
+    /// An unrecoverable simulation error.
+    Sim(SimError),
+}
+
+impl fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatewayError::NoProviders => write!(f, "no eligible serving provider in the registry"),
+            GatewayError::FailoversExhausted { attempts } => {
+                write!(f, "all {attempts} tried providers failed")
+            }
+            GatewayError::QuorumUnreachable { needed, collected } => {
+                write!(
+                    f,
+                    "quorum of {needed} unreachable ({collected} verified votes)"
+                )
+            }
+            GatewayError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl Error for GatewayError {}
+
+impl From<SimError> for GatewayError {
+    fn from(e: SimError) -> Self {
+        GatewayError::Sim(e)
+    }
+}
+
+/// A multi-provider PARP client: one [`LightClient`] identity, one
+/// payment channel per provider, and the orchestration the paper's
+/// accountability model makes safe — spread traffic over permissionless
+/// providers, score them, and switch the moment one misbehaves.
+///
+/// The flow per logical call:
+///
+/// 1. refresh the [`Directory`] from the on-chain registry and the
+///    [`ReputationBook`] from observed slash events;
+/// 2. pick a provider via the configured [`SelectionPolicy`];
+/// 3. open (or reuse) the channel with it and run the exchange;
+/// 4. on a §V-D *fraud* classification: submit the evidence through a
+///    witness (slashing the provider on-chain), abandon the channel,
+///    re-select, and replay the call; on *invalid* or a refusal: abandon
+///    and replay without the on-chain step.
+///
+/// Only verified results are ever returned — an invalid or fraudulent
+/// response is never surfaced as data.
+#[derive(Debug)]
+pub struct Gateway {
+    client: LightClient,
+    config: GatewayConfig,
+    directory: Directory,
+    reputation: ReputationBook,
+    rr_cursor: usize,
+    banned: HashSet<Address>,
+    failovers: Vec<FailoverEvent>,
+    /// Index into `failovers` of the event still awaiting recovery.
+    pending_recovery: Option<usize>,
+    /// Per-provider committed-payment trajectory (monotonicity witness).
+    payments: HashMap<Address, Vec<U256>>,
+    payments_monotone: bool,
+    calls_served: u64,
+    fraud_proofs_submitted: u64,
+}
+
+impl Gateway {
+    /// Wraps a (typically fresh) client identity.
+    pub fn new(client: LightClient, config: GatewayConfig) -> Self {
+        Gateway {
+            client,
+            config,
+            directory: Directory::new(),
+            reputation: ReputationBook::new(),
+            rr_cursor: 0,
+            banned: HashSet::new(),
+            failovers: Vec::new(),
+            pending_recovery: None,
+            payments: HashMap::new(),
+            payments_monotone: true,
+            calls_served: 0,
+            fraud_proofs_submitted: 0,
+        }
+    }
+
+    /// The wrapped client.
+    pub fn client(&self) -> &LightClient {
+        &self.client
+    }
+
+    /// The current provider directory.
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// The reputation book.
+    pub fn reputation(&self) -> &ReputationBook {
+        &self.reputation
+    }
+
+    /// Every failover recorded so far.
+    pub fn failovers(&self) -> &[FailoverEvent] {
+        &self.failovers
+    }
+
+    /// Verified results returned to the caller.
+    pub fn calls_served(&self) -> u64 {
+        self.calls_served
+    }
+
+    /// Fraud proofs submitted and accepted on-chain.
+    pub fn fraud_proofs_submitted(&self) -> u64 {
+        self.fraud_proofs_submitted
+    }
+
+    /// Whether every per-provider committed payment sequence has been
+    /// non-decreasing across the gateway's whole life — including
+    /// across channel switches (each new channel starts a fresh
+    /// sequence; no sequence ever regressed).
+    pub fn payments_monotone(&self) -> bool {
+        self.payments_monotone
+    }
+
+    /// Per-provider committed-payment trajectories (final committed
+    /// amount is the last element).
+    pub fn payment_trajectories(&self) -> &HashMap<Address, Vec<U256>> {
+        &self.payments
+    }
+
+    /// Re-reads the registry and on-chain slash state.
+    pub fn refresh(&mut self, net: &Network) {
+        self.directory.refresh(net);
+        let addresses: Vec<Address> = self
+            .directory
+            .providers()
+            .iter()
+            .map(|p| p.address)
+            .collect();
+        self.reputation
+            .observe_chain(net.executor(), addresses.iter());
+    }
+
+    /// The currently selectable provider set: discovered, not banned by
+    /// this gateway, never slashed on-chain, and trusted by the book.
+    fn eligible(&self) -> Vec<&ProviderInfo> {
+        self.directory
+            .providers()
+            .iter()
+            .filter(|p| {
+                !self.banned.contains(&p.address)
+                    && p.slash_count == 0
+                    && self.reputation.get(&p.address).trustworthy()
+            })
+            .collect()
+    }
+
+    /// Picks the next provider under the configured policy, excluding
+    /// `skip`.
+    fn select_excluding(&mut self, skip: &HashSet<Address>) -> Option<Address> {
+        let candidates: Vec<ProviderInfo> = self
+            .eligible()
+            .into_iter()
+            .filter(|p| !skip.contains(&p.address))
+            .cloned()
+            .collect();
+        let refs: Vec<&ProviderInfo> = candidates.iter().collect();
+        self.config
+            .policy
+            .select(&refs, &self.reputation, &mut self.rr_cursor)
+    }
+
+    /// Ensures a bonded channel with `provider`, connecting if needed.
+    fn ensure_connected(
+        &mut self,
+        net: &mut Network,
+        provider: Address,
+    ) -> Result<NodeId, SimError> {
+        let node_id = net
+            .node_id_by_address(&provider)
+            .ok_or(SimError::UnknownNode(usize::MAX))?;
+        // Pay the provider's advertised registry rate on this channel.
+        if let Some(info) = self.directory.get(&provider) {
+            self.client.set_price_for(provider, info.price_per_call);
+        }
+        if self.client.state_with(&provider) == ClientState::Bonded {
+            return Ok(node_id);
+        }
+        // Clear any half-open session left by an earlier failure.
+        if self.client.state_with(&provider) != ClientState::Idle {
+            self.client.abandon_provider(provider);
+        }
+        net.connect(&mut self.client, node_id, self.config.channel_budget)?;
+        Ok(node_id)
+    }
+
+    /// Snapshots the channel's committed amount into the monotonicity
+    /// trail (called after every exchange, before any abandon).
+    fn note_payment(&mut self, provider: Address) {
+        if let Some(channel) = self.client.channel_with(&provider) {
+            let spent = channel.spent;
+            let trail = self.payments.entry(provider).or_default();
+            if let Some(last) = trail.last() {
+                if spent < *last {
+                    self.payments_monotone = false;
+                }
+            }
+            trail.push(spent);
+        }
+    }
+
+    /// Records a failover and abandons the provider's channel.
+    fn fail_over(&mut self, net: &Network, provider: Address, cause: FailoverCause, slashed: bool) {
+        self.client.abandon_provider(provider);
+        self.banned.insert(provider);
+        // Only the first failure of an outage window starts the
+        // recovery stopwatch; later failures during the same outage
+        // keep the original detection time.
+        let event = FailoverEvent {
+            failed_provider: provider,
+            cause,
+            slashed,
+            detected_at_us: net.now_us(),
+            recovered_at_us: None,
+        };
+        self.failovers.push(event);
+        if self.pending_recovery.is_none() {
+            self.pending_recovery = Some(self.failovers.len() - 1);
+        }
+    }
+
+    /// Stamps the pending failover (if any) as recovered now.
+    fn mark_recovered(&mut self, now_us: u64) {
+        if let Some(index) = self.pending_recovery.take() {
+            self.failovers[index].recovered_at_us = Some(now_us);
+        }
+    }
+
+    /// Submits fraud evidence through a witness node (§IV-F). Returns
+    /// whether the proof was accepted on-chain.
+    fn submit_fraud(
+        &mut self,
+        net: &mut Network,
+        offender: Address,
+        evidence: &parp_core::FraudEvidence,
+    ) -> bool {
+        let Some(witness_id) = self.pick_witness(net, offender) else {
+            return false;
+        };
+        let accepted = net.report_fraud(evidence, witness_id).unwrap_or(false);
+        if accepted {
+            self.fraud_proofs_submitted += 1;
+        }
+        accepted
+    }
+
+    /// Batch analogue of [`Gateway::submit_fraud`].
+    fn submit_batch_fraud(
+        &mut self,
+        net: &mut Network,
+        offender: Address,
+        evidence: &parp_core::BatchFraudEvidence,
+    ) -> bool {
+        let Some(witness_id) = self.pick_witness(net, offender) else {
+            return false;
+        };
+        let accepted = net
+            .report_batch_fraud(evidence, witness_id)
+            .unwrap_or(false);
+        if accepted {
+            self.fraud_proofs_submitted += 1;
+        }
+        accepted
+    }
+
+    /// Any reachable registered node other than the offender — fraud
+    /// proofs are relayed through a witness full node.
+    fn pick_witness(&self, net: &Network, offender: Address) -> Option<NodeId> {
+        self.directory
+            .providers()
+            .iter()
+            .find(|p| p.address != offender)
+            .map(|p| p.node_id)
+            .or_else(|| {
+                net.registry()
+                    .into_iter()
+                    .filter(|a| *a != offender)
+                    .find_map(|a| net.node_id_by_address(&a))
+            })
+    }
+
+    /// One verified read through the marketplace: select, exchange,
+    /// and — on fraud, an invalid response, or a refusal — slash (when
+    /// provable), fail over, and replay until a provider answers
+    /// honestly.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no eligible provider remains or the failover budget is
+    /// exhausted. Never returns an unverified payload.
+    pub fn call(&mut self, net: &mut Network, call: RpcCall) -> Result<Vec<u8>, GatewayError> {
+        self.refresh(net);
+        let mut attempts = 0usize;
+        loop {
+            let provider = self
+                .select_excluding(&HashSet::new())
+                .ok_or(GatewayError::NoProviders)?;
+            match self.try_call_on(net, provider, call.clone()) {
+                Ok(Some(result)) => return Ok(result),
+                Ok(None) => {
+                    attempts += 1;
+                    if attempts > self.config.max_failovers {
+                        return Err(GatewayError::FailoversExhausted { attempts });
+                    }
+                    self.refresh(net);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One exchange attempt against `provider`. `Ok(Some)` is a
+    /// verified result; `Ok(None)` means the provider failed and a
+    /// failover was recorded; `Err` is unrecoverable.
+    fn try_call_on(
+        &mut self,
+        net: &mut Network,
+        provider: Address,
+        call: RpcCall,
+    ) -> Result<Option<Vec<u8>>, GatewayError> {
+        if let Err(e) = self.ensure_connected(net, provider) {
+            match e {
+                SimError::Chain(_) => return Err(GatewayError::Sim(e)),
+                _ => {
+                    self.reputation.entry(provider).record_refused();
+                    self.fail_over(net, provider, FailoverCause::Refused, false);
+                    return Ok(None);
+                }
+            }
+        }
+        let node_id = net.node_id_by_address(&provider).expect("connected");
+        match net.parp_call(&mut self.client, node_id, call) {
+            Ok((ProcessOutcome::Valid { result, .. }, stats)) => {
+                self.reputation
+                    .entry(provider)
+                    .record_valid(stats.latency_us());
+                self.note_payment(provider);
+                self.mark_recovered(net.now_us());
+                self.calls_served += 1;
+                Ok(Some(result))
+            }
+            Ok((ProcessOutcome::Invalid(reason), _)) => {
+                self.reputation.entry(provider).record_invalid();
+                self.note_payment(provider);
+                self.fail_over(net, provider, FailoverCause::Invalid(reason), false);
+                Ok(None)
+            }
+            Ok((ProcessOutcome::Fraud(evidence), _)) => {
+                self.reputation.entry(provider).record_fraud();
+                self.note_payment(provider);
+                let verdict = evidence.verdict;
+                let slashed = self.submit_fraud(net, provider, &evidence);
+                self.fail_over(net, provider, FailoverCause::Fraud(verdict), slashed);
+                Ok(None)
+            }
+            Err(SimError::Serve(_)) | Err(SimError::Client(_)) => {
+                self.reputation.entry(provider).record_refused();
+                self.fail_over(net, provider, FailoverCause::Refused, false);
+                Ok(None)
+            }
+            Err(e) => Err(GatewayError::Sim(e)),
+        }
+    }
+
+    /// One verified **batched** read (the whole batch is the unit of
+    /// failover: a batch with even one provably bad item is replayed in
+    /// full against the next provider, so no partial results leak).
+    ///
+    /// # Errors
+    ///
+    /// As [`Gateway::call`].
+    pub fn call_batch(
+        &mut self,
+        net: &mut Network,
+        calls: Vec<RpcCall>,
+    ) -> Result<Vec<Vec<u8>>, GatewayError> {
+        self.refresh(net);
+        let mut attempts = 0usize;
+        loop {
+            let provider = self
+                .select_excluding(&HashSet::new())
+                .ok_or(GatewayError::NoProviders)?;
+            if let Err(e) = self.ensure_connected(net, provider) {
+                match e {
+                    SimError::Chain(_) => return Err(GatewayError::Sim(e)),
+                    _ => {
+                        self.reputation.entry(provider).record_refused();
+                        self.fail_over(net, provider, FailoverCause::Refused, false);
+                        attempts += 1;
+                        if attempts > self.config.max_failovers {
+                            return Err(GatewayError::FailoversExhausted { attempts });
+                        }
+                        self.refresh(net);
+                        continue;
+                    }
+                }
+            }
+            let node_id = net.node_id_by_address(&provider).expect("connected");
+            let outcome = net.parp_batch_call(&mut self.client, node_id, calls.clone());
+            match outcome {
+                Ok((ProcessBatchOutcome::Valid { results, .. }, stats)) => {
+                    self.reputation
+                        .entry(provider)
+                        .record_valid(stats.latency_us());
+                    self.note_payment(provider);
+                    self.mark_recovered(net.now_us());
+                    self.calls_served += results.len() as u64;
+                    return Ok(results);
+                }
+                Ok((ProcessBatchOutcome::Invalid(reason), _)) => {
+                    self.reputation.entry(provider).record_invalid();
+                    self.note_payment(provider);
+                    self.fail_over(net, provider, FailoverCause::Invalid(reason), false);
+                }
+                Ok((ProcessBatchOutcome::Fraud { evidence, .. }, _)) => {
+                    self.reputation.entry(provider).record_fraud();
+                    self.note_payment(provider);
+                    let verdict = evidence.verdict;
+                    let slashed = self.submit_batch_fraud(net, provider, &evidence);
+                    self.fail_over(net, provider, FailoverCause::Fraud(verdict), slashed);
+                }
+                Err(SimError::Serve(_)) | Err(SimError::Client(_)) => {
+                    self.reputation.entry(provider).record_refused();
+                    self.fail_over(net, provider, FailoverCause::Refused, false);
+                }
+                Err(e) => return Err(GatewayError::Sim(e)),
+            }
+            attempts += 1;
+            if attempts > self.config.max_failovers {
+                return Err(GatewayError::FailoversExhausted { attempts });
+            }
+            self.refresh(net);
+        }
+    }
+
+    /// Fans one call out to `k` distinct providers and cross-checks the
+    /// verified results byte-for-byte.
+    ///
+    /// All `k` channels are opened **before** the first exchange, so
+    /// every leg is served at the same chain height and honest verified
+    /// results must be byte-identical. A leg that fails verification
+    /// goes through the normal failover path (including fraud
+    /// submission) and a replacement provider is drafted when one is
+    /// available.
+    ///
+    /// Quorum reads are the belt-and-suspenders mode: Merkle-proven
+    /// calls are already individually verified, but *unproven* results
+    /// (e.g. `BlockNumber`) and the residual risk of an equivocating
+    /// header source are caught by cross-provider agreement.
+    ///
+    /// Pass `k = 0` to use the configured default width
+    /// ([`GatewayConfig::quorum`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when fewer than `k` verified votes could be collected.
+    pub fn quorum_call(
+        &mut self,
+        net: &mut Network,
+        call: RpcCall,
+        k: usize,
+    ) -> Result<QuorumOutcome, GatewayError> {
+        let k = if k == 0 { self.config.quorum } else { k }.max(1);
+        self.refresh(net);
+        // Phase 1: draft k distinct providers, channels open, before any
+        // exchange (keeps all legs at one chain height).
+        let mut drafted: Vec<Address> = Vec::new();
+        let mut skip: HashSet<Address> = HashSet::new();
+        while drafted.len() < k {
+            let Some(provider) = self.select_excluding(&skip) else {
+                break;
+            };
+            skip.insert(provider);
+            match self.ensure_connected(net, provider) {
+                Ok(_) => drafted.push(provider),
+                Err(SimError::Chain(e)) => return Err(GatewayError::Sim(SimError::Chain(e))),
+                Err(_) => {
+                    self.reputation.entry(provider).record_refused();
+                    self.fail_over(net, provider, FailoverCause::Refused, false);
+                }
+            }
+        }
+        if drafted.len() < k {
+            return Err(GatewayError::QuorumUnreachable {
+                needed: k,
+                collected: 0,
+            });
+        }
+        // Phase 2: fan out, drafting replacements for failed legs.
+        let mut votes: Vec<QuorumVote> = Vec::new();
+        let mut queue: Vec<Address> = drafted;
+        while votes.len() < k {
+            let provider = match queue.pop() {
+                Some(p) => p,
+                None => match self.select_excluding(&skip) {
+                    Some(p) => {
+                        skip.insert(p);
+                        p
+                    }
+                    None => break,
+                },
+            };
+            match self.try_call_on(net, provider, call.clone())? {
+                Some(result) => votes.push(QuorumVote { provider, result }),
+                None => self.refresh(net),
+            }
+        }
+        if votes.len() < k {
+            return Err(GatewayError::QuorumUnreachable {
+                needed: k,
+                collected: votes.len(),
+            });
+        }
+        // Majority payload (deterministic: ties broken by first seen —
+        // `counts` is in first-seen order and only a strictly greater
+        // count displaces the current best).
+        let mut counts: Vec<(&Vec<u8>, usize)> = Vec::new();
+        for vote in &votes {
+            match counts.iter_mut().find(|(r, _)| *r == &vote.result) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((&vote.result, 1)),
+            }
+        }
+        let agreed = counts.len() == 1;
+        let mut best = 0usize;
+        for (i, (_, n)) in counts.iter().enumerate().skip(1) {
+            if *n > counts[best].1 {
+                best = i;
+            }
+        }
+        let result = counts[best].0.clone();
+        Ok(QuorumOutcome {
+            result,
+            agreed,
+            votes,
+        })
+    }
+}

@@ -1,0 +1,72 @@
+//! `parp-gateway`: client-side multi-provider orchestration for PARP.
+//!
+//! The paper's accountability machinery (collateral, Merkle-proven
+//! responses, on-chain fraud proofs) makes *any* permissionless
+//! provider safe to consume — but a client wired to a single full node
+//! still reproduces the §VIII single-node-dependence risk: one outage
+//! or one liar and service stops until a human intervenes. This crate
+//! is the layer that turns one-channel accountability into an actual
+//! marketplace, the way Relay Mining assumes a priced market of RPC
+//! nodes and "Time Tells All" argues against pinning a request stream
+//! to one endpoint:
+//!
+//! * [`Directory`] — registry-driven discovery: the FNDM's on-chain
+//!   serving set (address, deposit, slash history) joined with each
+//!   provider's advertised price, refreshed across joins, voluntary
+//!   exits and slashes.
+//! * [`Reputation`] / [`ReputationBook`] — per-provider measurement
+//!   from *verified* outcomes only (valid/invalid/refused/fraud counts,
+//!   latency EWMA + p50/p99, slash events observed on-chain), so a
+//!   provider cannot inflate its own score.
+//! * [`SelectionPolicy`] — pluggable routing: cheapest, fastest,
+//!   reputation-weighted, or round-robin (the profiling
+//!   countermeasure).
+//! * [`Gateway`] — N concurrent payment channels (one per provider,
+//!   over the multi-session [`parp_core::LightClient`]), live failover
+//!   — a §V-D fraud classification submits the proof through a witness,
+//!   abandons the channel, re-selects and replays the in-flight call —
+//!   and [`Gateway::quorum_call`] fan-out reads cross-checking `k`
+//!   providers' verified results byte-for-byte.
+//! * [`run_marketplace`] — the end-to-end churn scenario: a
+//!   cheapest-but-fraudulent provider slashed mid-run, a join and a
+//!   voluntary exit, zero invalid results accepted.
+//!
+//! ```
+//! use parp_gateway::{Gateway, GatewayConfig, SelectionPolicy};
+//! use parp_contracts::RpcCall;
+//! use parp_net::Network;
+//! use parp_primitives::U256;
+//!
+//! let mut net = Network::new();
+//! for (seed, price) in [(b"gw-a", 10u64), (b"gw-b", 20u64)] {
+//!     net.spawn_node(seed, U256::from(price));
+//! }
+//! let client = net.spawn_client(b"gw-client", U256::from(10u64));
+//! let mut gateway = Gateway::new(client, GatewayConfig {
+//!     policy: SelectionPolicy::Cheapest,
+//!     ..GatewayConfig::default()
+//! });
+//! let me = gateway.client().address();
+//! let result = gateway
+//!     .call(&mut net, RpcCall::GetBalance { address: me })
+//!     .unwrap();
+//! assert!(!result.is_empty());
+//! assert_eq!(gateway.directory().len(), 2);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod directory;
+mod gateway;
+mod marketplace;
+mod policy;
+mod reputation;
+
+pub use directory::{Directory, ProviderInfo};
+pub use gateway::{
+    FailoverCause, FailoverEvent, Gateway, GatewayConfig, GatewayError, QuorumOutcome, QuorumVote,
+};
+pub use marketplace::{run_marketplace, MarketplaceConfig, MarketplaceReport};
+pub use policy::SelectionPolicy;
+pub use reputation::{Reputation, ReputationBook};

@@ -1,0 +1,326 @@
+//! The marketplace scenario: provider churn (joins, voluntary exits),
+//! a cheapest-but-fraudulent provider that gets slashed mid-run, and a
+//! gateway-driven client that must finish its workload with zero
+//! invalid results accepted.
+//!
+//! This is the end-to-end exercise of everything the gateway exists
+//! for: registry discovery over a changing serving set, price-driven
+//! selection walking straight into the fraudster's trap, §V-D
+//! classification catching the forgery, on-chain slashing through a
+//! witness, live failover with replay, and periodic quorum reads
+//! cross-checking the surviving providers.
+
+use crate::gateway::{FailoverCause, Gateway, GatewayConfig};
+use crate::policy::SelectionPolicy;
+use parp_contracts::{ModuleCall, RpcCall};
+use parp_core::Misbehavior;
+use parp_net::{Network, ProviderAggregate};
+use parp_primitives::{Address, U256};
+
+/// Tuning for [`run_marketplace`].
+#[derive(Debug, Clone, Copy)]
+pub struct MarketplaceConfig {
+    /// Initial providers (price ladder: provider *i* advertises
+    /// `10·(i+1)` wei per call, so provider 0 is the cheapest).
+    pub providers: usize,
+    /// Whether the cheapest provider forges results (the trap a
+    /// price-driven policy walks into).
+    pub fraudulent_cheapest: bool,
+    /// Single-read workload length.
+    pub calls: usize,
+    /// Batched reads appended after the single-read workload.
+    pub batches: usize,
+    /// Calls per appended batch.
+    pub batch_size: usize,
+    /// Every `quorum_every`-th single read goes out as a quorum read
+    /// (0 disables quorum reads).
+    pub quorum_every: usize,
+    /// Quorum fan-out width.
+    pub quorum: usize,
+    /// Provider-selection policy under test.
+    pub policy: SelectionPolicy,
+    /// Mid-run churn: one provider joins, the most expensive initial
+    /// provider voluntarily exits.
+    pub churn: bool,
+}
+
+impl Default for MarketplaceConfig {
+    fn default() -> Self {
+        MarketplaceConfig {
+            providers: 4,
+            fraudulent_cheapest: true,
+            calls: 24,
+            batches: 2,
+            batch_size: 8,
+            quorum_every: 8,
+            quorum: 3,
+            policy: SelectionPolicy::Cheapest,
+            churn: true,
+        }
+    }
+}
+
+/// What a marketplace run produced.
+#[derive(Debug, Clone)]
+pub struct MarketplaceReport {
+    /// Verified payloads returned to the application.
+    pub results: usize,
+    /// Returned payloads that did **not** match the chain's ground
+    /// truth — must be 0: the gateway only surfaces verified results.
+    pub wrong_payloads: usize,
+    /// Workload items that could not be completed at all.
+    pub errors: usize,
+    /// Failovers triggered by a §V-D fraud classification.
+    pub fraud_detected: usize,
+    /// Fraud proofs accepted on-chain.
+    pub fraud_proofs_accepted: u64,
+    /// Whether the cheapest provider ended the run slashed on-chain.
+    pub cheapest_slashed: bool,
+    /// Total failovers (fraud + invalid + refusals).
+    pub failovers: usize,
+    /// Time-to-recover for each completed failover (µs of simulated
+    /// clock between failure detection and the next verified response).
+    pub recoveries_us: Vec<u64>,
+    /// Quorum reads completed.
+    pub quorum_reads: usize,
+    /// Quorum reads whose verified votes disagreed.
+    pub quorum_disagreements: usize,
+    /// Whether every per-channel committed-payment sequence stayed
+    /// monotone across the whole run, channel switches included.
+    pub payments_monotone: bool,
+    /// Providers that joined mid-run.
+    pub providers_joined: usize,
+    /// Providers that voluntarily exited mid-run.
+    pub providers_exited: usize,
+    /// Serving-registry size at the end of the run.
+    pub final_registry_len: usize,
+    /// Per-provider exchange aggregates (calls, failures, p50/p99).
+    pub provider_stats: Vec<(Address, ProviderAggregate)>,
+}
+
+/// Runs the marketplace scenario and reports what happened.
+///
+/// # Panics
+///
+/// Panics when the simulation itself fails (chain errors); workload
+/// failures are reported, not panicked.
+pub fn run_marketplace(config: &MarketplaceConfig) -> MarketplaceReport {
+    let mut net = Network::new();
+    let providers = config.providers.max(2);
+    let mut ids = Vec::with_capacity(providers);
+    for i in 0..providers {
+        let price = U256::from(10 * (i as u64 + 1));
+        ids.push(net.spawn_node(format!("mkt-node-{i}").as_bytes(), price));
+    }
+    let cheapest_addr = net.node(ids[0]).address();
+    if config.fraudulent_cheapest {
+        net.node_mut(ids[0])
+            .set_misbehavior(Misbehavior::ForgedResult);
+    }
+
+    // A funded account set for the read workload; their balances never
+    // change after funding, so the chain is its own ground truth.
+    let targets: Vec<Address> = (0..16)
+        .map(|i| Address::from_low_u64_be(0xFEED_0000 + i))
+        .collect();
+    net.fund_many(&targets);
+    let expected: Vec<Vec<u8>> = targets
+        .iter()
+        .map(|t| {
+            net.chain()
+                .state()
+                .account(t)
+                .map(parp_chain::Account::encode)
+                .unwrap_or_default()
+        })
+        .collect();
+
+    let client = net.spawn_client(b"mkt-client", U256::from(10u64));
+    let mut gateway = Gateway::new(
+        client,
+        GatewayConfig {
+            policy: config.policy,
+            quorum: config.quorum,
+            ..GatewayConfig::default()
+        },
+    );
+
+    let mut report = MarketplaceReport {
+        results: 0,
+        wrong_payloads: 0,
+        errors: 0,
+        fraud_detected: 0,
+        fraud_proofs_accepted: 0,
+        cheapest_slashed: false,
+        failovers: 0,
+        recoveries_us: Vec::new(),
+        quorum_reads: 0,
+        quorum_disagreements: 0,
+        payments_monotone: true,
+        providers_joined: 0,
+        providers_exited: 0,
+        final_registry_len: 0,
+        provider_stats: Vec::new(),
+    };
+
+    for i in 0..config.calls {
+        // Mid-run churn: a joiner undercuts most of the ladder, the most
+        // expensive initial provider bows out. The gateway notices both
+        // on its next directory refresh — no client restart.
+        if config.churn && i == config.calls / 2 {
+            net.spawn_node(b"mkt-node-joiner", U256::from(15u64));
+            report.providers_joined += 1;
+            let exiting = ids[providers - 1];
+            let key = *net.node(exiting).secret();
+            if net
+                .submit_module_call(&key, ModuleCall::SetServing { serving: false }, U256::ZERO)
+                .unwrap_or(false)
+            {
+                report.providers_exited += 1;
+            }
+        }
+        let index = i % targets.len();
+        let call = RpcCall::GetBalance {
+            address: targets[index],
+        };
+        let quorum_turn =
+            config.quorum_every > 0 && i % config.quorum_every == config.quorum_every - 1;
+        let payload = if quorum_turn {
+            // k = 0: use the gateway's configured quorum width.
+            match gateway.quorum_call(&mut net, call, 0) {
+                Ok(outcome) => {
+                    report.quorum_reads += 1;
+                    if !outcome.agreed {
+                        report.quorum_disagreements += 1;
+                    }
+                    Some(outcome.result)
+                }
+                Err(_) => None,
+            }
+        } else {
+            gateway.call(&mut net, call).ok()
+        };
+        match payload {
+            Some(bytes) => {
+                report.results += 1;
+                if bytes != expected[index] {
+                    report.wrong_payloads += 1;
+                }
+            }
+            None => report.errors += 1,
+        }
+    }
+
+    // Batched tail: the same marketplace guarantees hold for the batch
+    // pipeline (a bad item condemns the batch; the batch replays whole).
+    for _ in 0..config.batches {
+        let calls: Vec<RpcCall> = (0..config.batch_size)
+            .map(|j| RpcCall::GetBalance {
+                address: targets[j % targets.len()],
+            })
+            .collect();
+        match gateway.call_batch(&mut net, calls) {
+            Ok(results) => {
+                for (j, bytes) in results.iter().enumerate() {
+                    report.results += 1;
+                    if bytes != &expected[j % targets.len()] {
+                        report.wrong_payloads += 1;
+                    }
+                }
+            }
+            Err(_) => report.errors += 1,
+        }
+    }
+
+    report.fraud_detected = gateway
+        .failovers()
+        .iter()
+        .filter(|f| matches!(f.cause, FailoverCause::Fraud(_)))
+        .count();
+    report.fraud_proofs_accepted = gateway.fraud_proofs_submitted();
+    report.cheapest_slashed = net
+        .executor()
+        .fndm()
+        .record(&cheapest_addr)
+        .map(|r| r.slash_count > 0)
+        .unwrap_or(false);
+    report.failovers = gateway.failovers().len();
+    report.recoveries_us = gateway
+        .failovers()
+        .iter()
+        .filter_map(|f| f.time_to_recover_us())
+        .collect();
+    report.payments_monotone = gateway.payments_monotone();
+    report.final_registry_len = net.registry().len();
+    report.provider_stats = net.provider_stats_all();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_marketplace_survives_the_fraudulent_cheapest() {
+        let config = MarketplaceConfig::default();
+        let report = run_marketplace(&config);
+        // The whole workload finished, and nothing unverified leaked.
+        let expected_results = config.calls + config.batches * config.batch_size;
+        assert_eq!(report.results, expected_results);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.wrong_payloads, 0, "only verified payloads surface");
+        // The cheapest provider's forgery was §V-D-classified, proven,
+        // and slashed; the gateway recovered.
+        assert!(report.fraud_detected >= 1);
+        assert!(report.fraud_proofs_accepted >= 1);
+        assert!(report.cheapest_slashed);
+        assert!(report.failovers >= 1);
+        assert!(!report.recoveries_us.is_empty());
+        assert!(report.recoveries_us.iter().all(|&us| us > 0));
+        // Payments stayed monotone across the channel switch.
+        assert!(report.payments_monotone);
+        // Churn happened and the registry reflects it: +1 joiner,
+        // -1 voluntary exit, -1 slashed.
+        assert_eq!(report.providers_joined, 1);
+        assert_eq!(report.providers_exited, 1);
+        assert_eq!(report.final_registry_len, config.providers - 1);
+        assert!(report.quorum_reads > 0);
+        assert_eq!(report.quorum_disagreements, 0);
+    }
+
+    #[test]
+    fn honest_marketplace_never_fails_over() {
+        let report = run_marketplace(&MarketplaceConfig {
+            fraudulent_cheapest: false,
+            churn: false,
+            quorum_every: 4,
+            ..MarketplaceConfig::default()
+        });
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.failovers, 0);
+        assert_eq!(report.fraud_detected, 0);
+        assert_eq!(report.wrong_payloads, 0);
+        assert!(report.payments_monotone);
+        assert_eq!(report.quorum_disagreements, 0);
+    }
+
+    #[test]
+    fn all_policies_complete_the_workload() {
+        for policy in [
+            SelectionPolicy::Cheapest,
+            SelectionPolicy::Fastest,
+            SelectionPolicy::ReputationWeighted,
+            SelectionPolicy::RoundRobin,
+        ] {
+            let report = run_marketplace(&MarketplaceConfig {
+                policy,
+                calls: 12,
+                batches: 1,
+                ..MarketplaceConfig::default()
+            });
+            assert_eq!(report.errors, 0, "{policy:?} must finish");
+            assert_eq!(report.wrong_payloads, 0, "{policy:?} must stay honest");
+            assert!(report.payments_monotone, "{policy:?} payments monotone");
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Per-provider reputation: outcome counts, latency EWMA and
+//! percentiles, and on-chain slash observation — the signal the
+//! selection policies rank providers by.
+//!
+//! "Time Tells All" (Wang et al.) shows that pinning traffic to one RPC
+//! endpoint both concentrates trust and leaks the client's behaviour to
+//! that endpoint; Relay Mining prices a marketplace of providers per
+//! relay. Both need the client to *measure* providers. This module is
+//! that measurement: purely local, updated from verified exchange
+//! outcomes (§V-D classifications, so a provider cannot inflate its own
+//! score) plus slash events read from the chain.
+
+use parp_contracts::ParpExecutor;
+use parp_primitives::Address;
+use std::collections::HashMap;
+
+/// One provider's measured standing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Reputation {
+    /// Exchanges whose responses verified (§V-D *valid*).
+    pub valid: u64,
+    /// Exchanges classified *invalid* (untrusted, unprovable).
+    pub invalid: u64,
+    /// Exchanges the provider refused or failed to complete.
+    pub refused: u64,
+    /// Exchanges classified *fraudulent* (provable on-chain).
+    pub fraud: u64,
+    /// Slash events observed on-chain against this identity.
+    pub slash_events: u64,
+    /// Exponentially weighted moving average of exchange latency (µs),
+    /// α = 1/4 in integer arithmetic; 0 until the first valid exchange.
+    pub latency_ewma_us: u64,
+    /// Every valid-exchange latency sample (µs), for percentiles.
+    latencies_us: Vec<u64>,
+}
+
+impl Reputation {
+    /// Records a verified exchange and its end-to-end latency.
+    pub fn record_valid(&mut self, latency_us: u64) {
+        self.valid += 1;
+        self.latency_ewma_us = if self.latencies_us.is_empty() {
+            latency_us
+        } else {
+            (3 * self.latency_ewma_us + latency_us) / 4
+        };
+        self.latencies_us.push(latency_us);
+    }
+
+    /// Records an invalid (untrusted but unprovable) response.
+    pub fn record_invalid(&mut self) {
+        self.invalid += 1;
+    }
+
+    /// Records a refusal / failed exchange.
+    pub fn record_refused(&mut self) {
+        self.refused += 1;
+    }
+
+    /// Records a provably fraudulent response.
+    pub fn record_fraud(&mut self) {
+        self.fraud += 1;
+    }
+
+    /// Median latency over valid exchanges (µs, nearest-rank — the
+    /// same definition as the network's per-provider aggregates).
+    pub fn latency_p50_us(&self) -> u64 {
+        parp_net::latency_quantile_us(&self.latencies_us, 0.50)
+    }
+
+    /// 99th-percentile latency over valid exchanges (µs, nearest-rank).
+    pub fn latency_p99_us(&self) -> u64 {
+        parp_net::latency_quantile_us(&self.latencies_us, 0.99)
+    }
+
+    /// Whether this provider may be selected at all. Fraud and slashes
+    /// are disqualifying — accountability means never going back to a
+    /// provider that provably lied.
+    pub fn trustworthy(&self) -> bool {
+        self.fraud == 0 && self.slash_events == 0
+    }
+
+    /// A score in (0, 1]: the smoothed success ratio, discounted by
+    /// latency (1 per second of EWMA). Untried providers score the
+    /// optimistic prior 0.5 so exploration happens naturally; provably
+    /// misbehaving providers score 0.
+    pub fn score(&self) -> f64 {
+        if !self.trustworthy() {
+            return 0.0;
+        }
+        let success =
+            (self.valid + 1) as f64 / (self.valid + 4 * self.invalid + 2 * self.refused + 2) as f64;
+        success / (1.0 + self.latency_ewma_us as f64 / 1_000_000.0)
+    }
+}
+
+/// The reputation book: one [`Reputation`] per provider ever observed.
+#[derive(Debug, Clone, Default)]
+pub struct ReputationBook {
+    entries: HashMap<Address, Reputation>,
+}
+
+impl ReputationBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        ReputationBook::default()
+    }
+
+    /// The entry for `provider` (default when never observed).
+    pub fn get(&self, provider: &Address) -> Reputation {
+        self.entries.get(provider).cloned().unwrap_or_default()
+    }
+
+    /// Mutable entry, created on first touch.
+    pub fn entry(&mut self, provider: Address) -> &mut Reputation {
+        self.entries.entry(provider).or_default()
+    }
+
+    /// Convenience: the provider's current score.
+    pub fn score(&self, provider: &Address) -> f64 {
+        self.entries
+            .get(provider)
+            .map(Reputation::score)
+            .unwrap_or_else(|| Reputation::default().score())
+    }
+
+    /// Reads slash counts for `providers` off the chain's deposit
+    /// module — the on-chain signal that condemns a provider even when
+    /// *this* client never exchanged with it (someone else proved the
+    /// fraud).
+    pub fn observe_chain<'a, I: IntoIterator<Item = &'a Address>>(
+        &mut self,
+        executor: &ParpExecutor,
+        providers: I,
+    ) {
+        for provider in providers {
+            let slashes = executor
+                .fndm()
+                .record(provider)
+                .map(|r| r.slash_count)
+                .unwrap_or(0);
+            if slashes > 0 {
+                self.entry(*provider).slash_events = slashes;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_orders_sanely() {
+        let mut good = Reputation::default();
+        for _ in 0..10 {
+            good.record_valid(1_000);
+        }
+        let mut flaky = Reputation::default();
+        for _ in 0..5 {
+            flaky.record_valid(1_000);
+        }
+        for _ in 0..5 {
+            flaky.record_refused();
+        }
+        let untried = Reputation::default();
+        assert!(good.score() > flaky.score());
+        assert!(good.score() > untried.score());
+        assert!(untried.score() > 0.0);
+
+        let mut fraudster = Reputation::default();
+        fraudster.record_valid(10);
+        fraudster.record_fraud();
+        assert_eq!(fraudster.score(), 0.0);
+        assert!(!fraudster.trustworthy());
+    }
+
+    #[test]
+    fn latency_tracking() {
+        let mut r = Reputation::default();
+        for us in [100u64, 200, 300, 400, 10_000] {
+            r.record_valid(us);
+        }
+        assert_eq!(r.latency_p50_us(), 300);
+        assert_eq!(r.latency_p99_us(), 10_000);
+        assert!(r.latency_ewma_us > 0);
+        // A slow provider scores below an equally reliable fast one.
+        let mut fast = Reputation::default();
+        for _ in 0..5 {
+            fast.record_valid(100);
+        }
+        assert!(fast.score() > r.score());
+    }
+}

@@ -47,5 +47,5 @@ pub use scalability::{
     run_scalability_point, run_scalability_sweep, BaseRpcServer, ScalabilityConfig,
     ScalabilityPoint,
 };
-pub use sim::{ExchangeStats, Network, NodeId, SimError};
+pub use sim::{latency_quantile_us, ExchangeStats, Network, NodeId, ProviderAggregate, SimError};
 pub use workload::{Workload, WorkloadKind};

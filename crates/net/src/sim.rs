@@ -35,6 +35,65 @@ pub struct ExchangeStats {
     pub network_us: u64,
 }
 
+impl ExchangeStats {
+    /// End-to-end latency of the exchange: server time + network time.
+    pub fn latency_us(&self) -> u64 {
+        self.server_us + self.network_us
+    }
+}
+
+/// Nearest-rank `q`-quantile of unsorted latency samples (0 when
+/// empty). Shared by the network's per-provider aggregates and the
+/// gateway's reputation book, so both report the same percentile
+/// definition.
+pub fn latency_quantile_us(samples: &[u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Rolling per-provider accounting the network maintains across every
+/// exchange it carries: call and failure counts plus the full latency
+/// sample set, from which the gateway's reputation scorer and the bench
+/// report read p50/p99. One exchange (single or batched) counts once.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProviderAggregate {
+    /// Exchanges attempted against this provider.
+    pub calls: u64,
+    /// Exchanges that ended in a refusal, an invalid response, or
+    /// detected fraud.
+    pub failures: u64,
+    /// End-to-end latency (server + network µs) of every completed
+    /// exchange, in arrival order.
+    latencies_us: Vec<u64>,
+}
+
+impl ProviderAggregate {
+    /// Records a completed exchange.
+    pub fn record_latency(&mut self, latency_us: u64) {
+        self.latencies_us.push(latency_us);
+    }
+
+    /// Number of latency samples recorded.
+    pub fn samples(&self) -> usize {
+        self.latencies_us.len()
+    }
+
+    /// Median exchange latency (µs, nearest-rank).
+    pub fn latency_p50_us(&self) -> u64 {
+        latency_quantile_us(&self.latencies_us, 0.50)
+    }
+
+    /// 99th-percentile exchange latency (µs, nearest-rank).
+    pub fn latency_p99_us(&self) -> u64 {
+        latency_quantile_us(&self.latencies_us, 0.99)
+    }
+}
+
 /// Errors surfaced by the simulation driver.
 #[derive(Debug)]
 pub enum SimError {
@@ -48,6 +107,9 @@ pub enum SimError {
     Reverted(String),
     /// Unknown node id.
     UnknownNode(usize),
+    /// A node with this registry address already exists in the
+    /// simulation (same seed spawned twice).
+    DuplicateNode(Address),
 }
 
 impl fmt::Display for SimError {
@@ -58,6 +120,13 @@ impl fmt::Display for SimError {
             SimError::Client(e) => write!(f, "client error: {e}"),
             SimError::Reverted(e) => write!(f, "module call reverted: {e}"),
             SimError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            SimError::DuplicateNode(address) => {
+                write!(
+                    f,
+                    "a full node with registry address {address} already exists \
+                     (duplicate spawn seed?)"
+                )
+            }
         }
     }
 }
@@ -116,6 +185,8 @@ pub struct Network {
     /// generation, and the admission controller the contention scenario
     /// drives.
     runtime: Runtime,
+    /// Per-provider exchange accounting (see [`ProviderAggregate`]).
+    provider_stats: HashMap<Address, ProviderAggregate>,
 }
 
 /// Funds given to every spawned identity: 100 tokens.
@@ -150,6 +221,7 @@ impl Network {
             faucet,
             clock_us: 0,
             runtime: Runtime::default(),
+            provider_stats: HashMap::new(),
         }
     }
 
@@ -261,8 +333,38 @@ impl Network {
 
     /// Creates, funds, stakes and registers a PARP full node, returning
     /// its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a node with the same registry address already exists
+    /// (a duplicate seed would otherwise silently create a second
+    /// `FullNode` behind one on-chain identity — the second `Deposit`
+    /// just tops up the first, and every registry-keyed view would
+    /// conflate the two). Use [`Network::try_spawn_node`] to handle the
+    /// collision as a value.
     pub fn spawn_node(&mut self, seed: &[u8], price_per_call: U256) -> NodeId {
+        match self.try_spawn_node(seed, price_per_call) {
+            Ok(id) => id,
+            Err(e) => panic!("spawn_node: {e}"),
+        }
+    }
+
+    /// Fallible [`Network::spawn_node`]: detects registry-address
+    /// collisions instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DuplicateNode`] when a node with the same
+    /// address is already registered.
+    pub fn try_spawn_node(
+        &mut self,
+        seed: &[u8],
+        price_per_call: U256,
+    ) -> Result<NodeId, SimError> {
         let key = SecretKey::from_seed(seed);
+        if self.nodes.iter().any(|n| n.address() == key.address()) {
+            return Err(SimError::DuplicateNode(key.address()));
+        }
         self.fund(key.address());
         let stake = parp_contracts::min_deposit();
         assert!(
@@ -277,7 +379,17 @@ impl Network {
         );
         let node = FullNode::new(key, price_per_call);
         self.nodes.push(node);
-        NodeId(self.nodes.len() - 1)
+        Ok(NodeId(self.nodes.len() - 1))
+    }
+
+    /// Looks up a registered node's simulation id by its registry
+    /// address — how a registry-driven client maps on-chain discovery
+    /// onto a serving endpoint.
+    pub fn node_id_by_address(&self, address: &Address) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.address() == *address)
+            .map(NodeId)
     }
 
     /// Creates and funds a light client identity.
@@ -331,6 +443,10 @@ impl Network {
     }
 
     /// The on-chain serving registry (how clients discover nodes, §IV-A).
+    ///
+    /// Duplicate-free by construction: the FNDM keys records by address
+    /// and [`Network::spawn_node`] refuses address collisions, so one
+    /// entry here is one distinct serving identity.
     pub fn registry(&self) -> Vec<Address> {
         self.executor.fndm().registry()
     }
@@ -414,12 +530,22 @@ impl Network {
         node_id: NodeId,
         call: RpcCall,
     ) -> Result<(ProcessOutcome, ExchangeStats), SimError> {
-        if self.nodes.get(node_id.0).is_none() {
-            return Err(SimError::UnknownNode(node_id.0));
-        }
-        let request = client.request(call)?;
+        let provider = self
+            .nodes
+            .get(node_id.0)
+            .ok_or(SimError::UnknownNode(node_id.0))?
+            .address();
+        let request = client.request_from(provider, call)?;
+        let entry = self.provider_stats.entry(provider).or_default();
+        entry.calls += 1;
         let started = Instant::now();
-        let response = self.serve(node_id, &request)?;
+        let response = match self.serve(node_id, &request) {
+            Ok(response) => response,
+            Err(e) => {
+                self.note_provider_failure(provider);
+                return Err(e);
+            }
+        };
         let server_us = started.elapsed().as_micros() as u64;
         // The client needs the header for res.m_B before verifying.
         self.sync_client(client);
@@ -428,17 +554,28 @@ impl Network {
         let proof_bytes = response.proof_bytes();
         let network_us = self.latency.round_trip_us(request_bytes, response_bytes);
         self.clock_us += network_us + server_us;
-        let outcome = client.process_response(&response)?;
-        Ok((
-            outcome,
-            ExchangeStats {
-                request_bytes,
-                response_bytes,
-                proof_bytes,
-                server_us,
-                network_us,
-            },
-        ))
+        // Scoped processing: the response arrived over this provider's
+        // connection, so pairing can never cross onto another channel.
+        let outcome = match client.process_response_from(provider, &response) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.note_provider_failure(provider);
+                return Err(e.into());
+            }
+        };
+        let stats = ExchangeStats {
+            request_bytes,
+            response_bytes,
+            proof_bytes,
+            server_us,
+            network_us,
+        };
+        self.note_provider_outcome(
+            provider,
+            matches!(outcome, ProcessOutcome::Valid { .. }),
+            stats.latency_us(),
+        );
+        Ok((outcome, stats))
     }
 
     /// One full **batched** PARP exchange: the client signs N calls once,
@@ -455,12 +592,22 @@ impl Network {
         node_id: NodeId,
         calls: Vec<RpcCall>,
     ) -> Result<(ProcessBatchOutcome, ExchangeStats), SimError> {
-        if self.nodes.get(node_id.0).is_none() {
-            return Err(SimError::UnknownNode(node_id.0));
-        }
-        let request = client.request_batch(calls)?;
+        let provider = self
+            .nodes
+            .get(node_id.0)
+            .ok_or(SimError::UnknownNode(node_id.0))?
+            .address();
+        let request = client.request_batch_from(provider, calls)?;
+        let entry = self.provider_stats.entry(provider).or_default();
+        entry.calls += 1;
         let started = Instant::now();
-        let response = self.serve_batch(node_id, &request)?;
+        let response = match self.serve_batch(node_id, &request) {
+            Ok(response) => response,
+            Err(e) => {
+                self.note_provider_failure(provider);
+                return Err(e);
+            }
+        };
         let server_us = started.elapsed().as_micros() as u64;
         // The client needs the header for res.m_B before verifying.
         self.sync_client(client);
@@ -469,17 +616,63 @@ impl Network {
         let proof_bytes = response.proof_bytes();
         let network_us = self.latency.round_trip_us(request_bytes, response_bytes);
         self.clock_us += network_us + server_us;
-        let outcome = client.process_batch_response(&response)?;
-        Ok((
-            outcome,
-            ExchangeStats {
-                request_bytes,
-                response_bytes,
-                proof_bytes,
-                server_us,
-                network_us,
-            },
-        ))
+        // Scoped processing: the response arrived over this provider's
+        // connection, so pairing can never cross onto another channel.
+        let outcome = match client.process_batch_response_from(provider, &response) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.note_provider_failure(provider);
+                return Err(e.into());
+            }
+        };
+        let stats = ExchangeStats {
+            request_bytes,
+            response_bytes,
+            proof_bytes,
+            server_us,
+            network_us,
+        };
+        self.note_provider_outcome(
+            provider,
+            matches!(outcome, ProcessBatchOutcome::Valid { .. }),
+            stats.latency_us(),
+        );
+        Ok((outcome, stats))
+    }
+
+    /// Records a completed exchange in the provider's aggregate.
+    fn note_provider_outcome(&mut self, provider: Address, valid: bool, latency_us: u64) {
+        let entry = self.provider_stats.entry(provider).or_default();
+        entry.record_latency(latency_us);
+        if !valid {
+            entry.failures += 1;
+        }
+    }
+
+    /// Records a refusal (the exchange never completed).
+    fn note_provider_failure(&mut self, provider: Address) {
+        self.provider_stats.entry(provider).or_default().failures += 1;
+    }
+
+    /// The rolling exchange aggregate for one provider (empty default
+    /// when the provider has served nothing).
+    pub fn provider_stats(&self, provider: &Address) -> ProviderAggregate {
+        self.provider_stats
+            .get(provider)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Every provider aggregate recorded so far, sorted by address for
+    /// deterministic reporting.
+    pub fn provider_stats_all(&self) -> Vec<(Address, ProviderAggregate)> {
+        let mut all: Vec<_> = self
+            .provider_stats
+            .iter()
+            .map(|(a, s)| (*a, s.clone()))
+            .collect();
+        all.sort_by_key(|(a, _)| *a);
+        all
     }
 
     /// Server-side handling only (used by the scalability harness).
@@ -590,5 +783,97 @@ impl Network {
         let witness_addr = witness.address();
         let call = evidence.to_module_call(witness_addr);
         self.submit_module_call(&witness_key, call, U256::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn duplicate_spawn_seed_is_detected() {
+        let mut net = Network::new();
+        let first = net.try_spawn_node(b"dup-seed", U256::from(10u64)).unwrap();
+        let err = net
+            .try_spawn_node(b"dup-seed", U256::from(99u64))
+            .unwrap_err();
+        let SimError::DuplicateNode(address) = err else {
+            panic!("expected DuplicateNode, got {err:?}");
+        };
+        assert_eq!(address, net.node(first).address());
+        // The collision left no second node and no registry duplicate.
+        assert_eq!(net.node_id_by_address(&address), Some(first));
+        assert_eq!(net.registry().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_spawn_seed_panics_in_infallible_path() {
+        let mut net = Network::new();
+        net.spawn_node(b"dup-panic", U256::from(10u64));
+        net.spawn_node(b"dup-panic", U256::from(10u64));
+    }
+
+    #[test]
+    fn registry_is_duplicate_free_and_sorted() {
+        let mut net = Network::new();
+        for i in 0..6u64 {
+            net.spawn_node(format!("reg-{i}").as_bytes(), U256::from(10 + i));
+        }
+        let registry = net.registry();
+        assert_eq!(registry.len(), 6);
+        let unique: HashSet<_> = registry.iter().collect();
+        assert_eq!(
+            unique.len(),
+            registry.len(),
+            "registry must be duplicate-free"
+        );
+        let mut sorted = registry.clone();
+        sorted.sort();
+        assert_eq!(registry, sorted, "registry is address-sorted");
+        // The records surface agrees with the address list.
+        let records = net.executor().fndm().registry_records();
+        assert_eq!(
+            records.iter().map(|(a, _)| *a).collect::<Vec<_>>(),
+            registry
+        );
+        assert!(records
+            .iter()
+            .all(|(_, r)| r.serving && r.deposit >= parp_contracts::min_deposit()));
+    }
+
+    #[test]
+    fn provider_aggregates_track_exchanges() {
+        let mut net = Network::new();
+        let good = net.spawn_node(b"agg-good", U256::from(10u64));
+        let bad = net.spawn_node(b"agg-bad", U256::from(10u64));
+        let mut client = net.spawn_client(b"agg-client", U256::from(10u64));
+        net.connect(&mut client, good, U256::from(10_000u64))
+            .unwrap();
+        net.connect(&mut client, bad, U256::from(10_000u64))
+            .unwrap();
+        net.node_mut(bad)
+            .set_misbehavior(parp_core::Misbehavior::WrongAmount);
+        for _ in 0..4 {
+            let (outcome, _) = net
+                .parp_call(&mut client, good, RpcCall::BlockNumber)
+                .unwrap();
+            assert!(matches!(outcome, ProcessOutcome::Valid { .. }));
+        }
+        let (outcome, _) = net
+            .parp_call(&mut client, bad, RpcCall::BlockNumber)
+            .unwrap();
+        assert!(!matches!(outcome, ProcessOutcome::Valid { .. }));
+        let good_stats = net.provider_stats(&net.node(good).address());
+        assert_eq!(good_stats.calls, 4);
+        assert_eq!(good_stats.failures, 0);
+        assert_eq!(good_stats.samples(), 4);
+        assert!(good_stats.latency_p50_us() > 0);
+        assert!(good_stats.latency_p99_us() >= good_stats.latency_p50_us());
+        let bad_stats = net.provider_stats(&net.node(bad).address());
+        assert_eq!(bad_stats.calls, 1);
+        assert_eq!(bad_stats.failures, 1);
+        assert_eq!(net.provider_stats_all().len(), 2);
     }
 }

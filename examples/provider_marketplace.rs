@@ -1,0 +1,124 @@
+//! The provider marketplace end to end: a gateway-driven client
+//! discovers serving providers from the on-chain registry, routes to
+//! the cheapest one — which happens to be a fraudster undercutting the
+//! market to attract traffic — detects the forgery under §V-D, gets the
+//! provider slashed through a witness, fails over live, and finishes
+//! its workload without ever surfacing an unverified byte.
+//!
+//! Run with: `cargo run --example provider_marketplace`
+
+use parp_suite::contracts::RpcCall;
+use parp_suite::core::Misbehavior;
+use parp_suite::gateway::{
+    run_marketplace, FailoverCause, Gateway, GatewayConfig, MarketplaceConfig, SelectionPolicy,
+};
+use parp_suite::net::Network;
+use parp_suite::primitives::{Address, U256};
+
+fn main() {
+    // ── Part 1: the fraud + failover path, step by step ──────────────
+    let mut net = Network::new();
+    for (i, price) in [10u64, 20, 30, 40].into_iter().enumerate() {
+        net.spawn_node(format!("market-node-{i}").as_bytes(), U256::from(price));
+    }
+    println!("registry lists {} serving providers:", net.registry().len());
+
+    let client = net.spawn_client(b"market-client", U256::from(10u64));
+    let mut gateway = Gateway::new(
+        client,
+        GatewayConfig {
+            policy: SelectionPolicy::Cheapest,
+            ..GatewayConfig::default()
+        },
+    );
+    gateway.refresh(&net);
+    for provider in gateway.directory().providers() {
+        println!(
+            "  {} — {} wei/call, deposit {} wei",
+            provider.address, provider.price_per_call, provider.deposit
+        );
+    }
+
+    // The cheapest provider forges account records.
+    let cheapest = gateway.directory().providers()[..]
+        .iter()
+        .min_by_key(|p| p.price_per_call)
+        .unwrap()
+        .address;
+    let cheapest_id = net.node_id_by_address(&cheapest).unwrap();
+    net.node_mut(cheapest_id)
+        .set_misbehavior(Misbehavior::ForgedResult);
+    println!("\ncheapest provider {cheapest} now forges results\n");
+
+    let target = Address::from_low_u64_be(0xCAFE);
+    net.fund(target);
+    let result = gateway
+        .call(&mut net, RpcCall::GetBalance { address: target })
+        .expect("the gateway must survive the fraudster");
+    println!("verified balance read returned {} bytes", result.len());
+
+    for event in gateway.failovers() {
+        let FailoverCause::Fraud(verdict) = &event.cause else {
+            continue;
+        };
+        println!(
+            "failover: provider {} committed {:?}; proof submitted: {}; \
+             recovered in {} µs of simulated time",
+            event.failed_provider,
+            verdict,
+            event.slashed,
+            event.time_to_recover_us().unwrap_or(0),
+        );
+    }
+    let record = net.executor().fndm().record(&cheapest).unwrap();
+    println!(
+        "offender on-chain: deposit {} wei, slash count {}, registry now {} providers\n",
+        record.deposit,
+        record.slash_count,
+        net.registry().len()
+    );
+
+    // A quorum read cross-checks the survivors byte-for-byte.
+    let outcome = gateway
+        .quorum_call(&mut net, RpcCall::GetBalance { address: target }, 3)
+        .expect("three honest providers remain");
+    println!(
+        "quorum read over {} providers: agreed = {}",
+        outcome.votes.len(),
+        outcome.agreed
+    );
+
+    // ── Part 2: the full churn scenario in one call ──────────────────
+    println!("\nrunning the full marketplace scenario (joins, exits, fraud)...");
+    let report = run_marketplace(&MarketplaceConfig::default());
+    println!(
+        "  {} verified results, {} wrong payloads, {} errors",
+        report.results, report.wrong_payloads, report.errors
+    );
+    println!(
+        "  fraud detected {} time(s), cheapest slashed: {}, {} failover(s)",
+        report.fraud_detected, report.cheapest_slashed, report.failovers
+    );
+    println!(
+        "  time-to-recover: {:?} µs, payments monotone: {}",
+        report.recoveries_us, report.payments_monotone
+    );
+    println!(
+        "  churn: +{} joined, -{} exited; final registry size {}",
+        report.providers_joined, report.providers_exited, report.final_registry_len
+    );
+    println!("  per-provider aggregates (calls / failures / p50 / p99 µs):");
+    for (address, stats) in &report.provider_stats {
+        println!(
+            "    {address}: {} / {} / {} / {}",
+            stats.calls,
+            stats.failures,
+            stats.latency_p50_us(),
+            stats.latency_p99_us()
+        );
+    }
+
+    assert_eq!(report.wrong_payloads, 0);
+    assert!(report.cheapest_slashed);
+    println!("\nthe marketplace absorbed the fraud; the client never noticed.");
+}

@@ -8,6 +8,7 @@ pub use parp_chain as chain;
 pub use parp_contracts as contracts;
 pub use parp_core as core;
 pub use parp_crypto as crypto;
+pub use parp_gateway as gateway;
 pub use parp_jsonrpc as jsonrpc;
 pub use parp_net as net;
 pub use parp_primitives as primitives;
