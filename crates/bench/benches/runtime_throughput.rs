@@ -220,6 +220,57 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
     group.finish();
 }
 
+/// Where does a warm-cache batch serve spend its time — envelope crypto
+/// (two signature recoveries) or trie work (snapshot multiproof)? The
+/// split tells future PRs which side of the pipeline is the bottleneck.
+fn report_crypto_vs_trie_split() {
+    let (mut chain, mut executor, mut node, client, channel, addresses) = serving_fixture(ACCOUNTS);
+    let targets = &addresses[..BATCH];
+    let amount = Cell::new(0u64);
+    let mut runtime = Runtime::new(RuntimeConfig::default());
+    // Warm the snapshot cache, then measure steady state.
+    let warm = build_batch(&client, &chain, channel, &amount, targets);
+    node.handle_batch_with(&warm, &mut chain, &mut executor, &mut runtime)
+        .expect("warm serve");
+    const ROUNDS: u32 = 10;
+    // Crypto share: the envelope checks (request + payment signature
+    // recoveries) — the same request re-verifies cheaply because
+    // verification does not consume channel state.
+    let request = build_batch(&client, &chain, channel, &amount, targets);
+    let started = Instant::now();
+    for _ in 0..ROUNDS {
+        black_box(node.verify_batch_request(&request, &executor)).expect("verify");
+    }
+    let crypto = started.elapsed() / ROUNDS;
+    // Trie share: the deduplicated multiproof off the cached snapshot.
+    let state = chain.state_at(chain.height()).expect("head state");
+    let started = Instant::now();
+    for _ in 0..ROUNDS {
+        black_box(runtime.account_multiproof(state, targets));
+    }
+    let trie = started.elapsed() / ROUNDS;
+    // Whole serve (verify + execute + multiproof + response signing).
+    let started = Instant::now();
+    for _ in 0..ROUNDS {
+        let request = build_batch(&client, &chain, channel, &amount, targets);
+        black_box(
+            node.handle_batch_with(&request, &mut chain, &mut executor, &mut runtime)
+                .expect("serve"),
+        );
+    }
+    let total = started.elapsed() / ROUNDS;
+    let share =
+        |part: std::time::Duration| 100.0 * part.as_secs_f64() / total.as_secs_f64().max(1e-12);
+    println!(
+        "runtime_throughput/crypto_vs_trie | warm {BATCH}-call batch: total {total:?} | \
+         envelope crypto {crypto:?} ({:.0}%)  snapshot multiproof {trie:?} ({:.0}%)  \
+         other (execute + response sign + build) {:.0}%",
+        share(crypto),
+        share(trie),
+        100.0 - share(crypto) - share(trie),
+    );
+}
+
 fn bench_shard_sweep(c: &mut Criterion) {
     let (chain, _executor, _node, _client, _channel, addresses) = serving_fixture(ACCOUNTS);
     let state = chain.state_at(chain.height()).expect("head state");
@@ -272,6 +323,7 @@ fn report_contention() {
 
 fn run_all(c: &mut Criterion) {
     bench_cold_vs_warm(c);
+    report_crypto_vs_trie_split();
     bench_shard_sweep(c);
     report_contention();
 }

@@ -27,7 +27,63 @@ fn main() {
     fig6();
     fig7(full);
     marketplace_section();
+    crypto_section();
     println!("\nreport complete — see EXPERIMENTS.md for interpretation");
+}
+
+/// Beyond the paper: the crypto hot path after the fixed-base /
+/// wNAF+GLV overhaul, against the retained pre-optimization loop.
+fn crypto_section() {
+    println!("\n== crypto hot path (beyond the paper) ==");
+    const N: u32 = 60;
+    let key = SecretKey::from_seed(b"report-crypto");
+    let digests: Vec<_> = (0..N)
+        .map(|i| parp_crypto::keccak256(&i.to_be_bytes()))
+        .collect();
+    let signatures: Vec<_> = digests.iter().map(|d| sign(&key, d)).collect();
+    let mut cursor = digests.iter().cycle();
+    let sign_new = time_avg(N, || {
+        sign(&key, cursor.next().expect("cycle"));
+    });
+    let mut cursor = digests.iter().cycle();
+    let sign_ref = time_avg(N, || {
+        parp_crypto::baseline::sign_reference(&key, cursor.next().expect("cycle"));
+    });
+    let mut cursor = digests.iter().zip(&signatures).cycle();
+    let rec_new = time_avg(N, || {
+        let (d, s) = cursor.next().expect("cycle");
+        parp_crypto::recover_address(d, s).expect("recovers");
+    });
+    let mut cursor = digests.iter().zip(&signatures).cycle();
+    let rec_ref = time_avg(N, || {
+        let (d, s) = cursor.next().expect("cycle");
+        parp_crypto::baseline::recover_address_reference(d, s).expect("recovers");
+    });
+    let pairs: Vec<_> = digests
+        .iter()
+        .zip(&signatures)
+        .map(|(d, s)| (*d, *s))
+        .collect();
+    let batch = time_avg(4, || {
+        parp_crypto::recover_addresses_parallel(&pairs);
+    });
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    println!(
+        "  sign            {sign_new:>10.2?}  (pre-PR loop {sign_ref:>10.2?}, {:.1}x)",
+        sign_ref.as_secs_f64() / sign_new.as_secs_f64().max(1e-12)
+    );
+    println!(
+        "  recover         {rec_new:>10.2?}  (pre-PR loop {rec_ref:>10.2?}, {:.1}x)",
+        rec_ref.as_secs_f64() / rec_new.as_secs_f64().max(1e-12)
+    );
+    println!(
+        "  batch recover   {:>10.2?}/op across {} items on {cores} core(s) \
+         (scoped-worker fan-out)",
+        batch / N,
+        pairs.len(),
+    );
 }
 
 /// Beyond the paper: the gateway marketplace scenario — fraud detected

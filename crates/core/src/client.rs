@@ -900,6 +900,113 @@ impl LightClient {
         self.process_response_scoped(response, Some(provider))
     }
 
+    /// Verifies many responses that arrived concurrently, one per
+    /// provider — the gateway's quorum fan-in. Pairing and ledger
+    /// updates stay sequential (they mutate the session map), but the
+    /// §V-D classifications — a signature recovery plus a Merkle proof
+    /// check each — are **independent pure functions** of the paired
+    /// exchanges and the header store, so they fan out across scoped
+    /// worker threads (the `parp-runtime` shard idiom, via
+    /// [`parp_crypto::par_map`]). Outcomes come back in leg order.
+    pub fn process_responses_from(
+        &mut self,
+        legs: &[(Address, ParpResponse)],
+    ) -> Vec<Result<ProcessOutcome, ClientError>> {
+        // Phase 1 (sequential, &mut self): pair each response with its
+        // pending request, scoped to the connection it arrived over.
+        let paired: Vec<Result<(Address, PendingRequest), ClientError>> = legs
+            .iter()
+            .map(|(provider, response)| {
+                let (provider, pending) = self
+                    .take_pending(&response.request_hash, Some(*provider))
+                    .ok_or(ClientError::UnknownResponse)?;
+                Ok((provider, pending))
+            })
+            .collect();
+        // Phase 2 (parallel, &self): classify every paired exchange.
+        let work: Vec<(Address, &PendingRequest, &ParpResponse)> = paired
+            .iter()
+            .zip(legs.iter())
+            .filter_map(|(paired, (_, response))| {
+                paired.as_ref().ok().map(|(provider, pending)| {
+                    let full_node = self
+                        .sessions
+                        .get(provider)
+                        .and_then(|s| s.channel.as_ref())
+                        .expect("pending implies channel")
+                        .full_node;
+                    (full_node, pending, response)
+                })
+            })
+            .collect();
+        let mut classifications = parp_crypto::par_map(&work, |(full_node, pending, response)| {
+            classify_response(
+                &pending.request,
+                response,
+                *full_node,
+                pending.request_height,
+                |n| self.headers.get(&n).cloned(),
+            )
+        })
+        .into_iter();
+        // Phase 3 (sequential, &mut self): apply ledger updates and
+        // build outcomes in leg order.
+        paired
+            .into_iter()
+            .zip(legs.iter())
+            .map(|(paired, (_, response))| {
+                let (provider, pending) = paired?;
+                let classification = classifications.next().expect("one per paired leg");
+                Ok(self.apply_classification(provider, pending, response, classification))
+            })
+            .collect()
+    }
+
+    /// Applies a §V-D classification to the channel ledger and shapes
+    /// the outcome — shared by the single-response path and the parallel
+    /// quorum fan-in.
+    fn apply_classification(
+        &mut self,
+        provider: Address,
+        pending: PendingRequest,
+        response: &ParpResponse,
+        classification: Classification,
+    ) -> ProcessOutcome {
+        match classification {
+            Classification::Valid => {
+                let proven = !response.proof.is_empty();
+                self.valid_responses += 1;
+                self.commit_payment(provider, pending.request.amount);
+                ProcessOutcome::Valid {
+                    result: response.result.clone(),
+                    proven,
+                }
+            }
+            Classification::Invalid(reason) => {
+                // Keep the pending payment un-committed; the node cannot
+                // redeem it without returning a verifiable response, but
+                // the client still counts it spent defensively (the node
+                // holds σ_a). Terminate per §V-D.
+                self.commit_payment(provider, pending.request.amount);
+                ProcessOutcome::Invalid(reason)
+            }
+            Classification::Fraudulent(verdict) => {
+                self.commit_payment(provider, pending.request.amount);
+                let header = self
+                    .headers
+                    .get(&response.block_number)
+                    .cloned()
+                    .expect("classification used this header");
+                ProcessOutcome::Fraud(Box::new(FraudEvidence {
+                    request: pending.request,
+                    response: response.clone(),
+                    header,
+                    verdict,
+                }))
+            }
+        }
+    }
+
     fn process_response_scoped(
         &mut self,
         response: &ParpResponse,
@@ -912,10 +1019,10 @@ impl LightClient {
         let (provider, pending) = self
             .take_pending(&response.request_hash, scope)
             .ok_or(ClientError::UnknownResponse)?;
-        let session = self.sessions.get(&provider).expect("pending session");
-        let full_node = session
-            .channel
-            .as_ref()
+        let full_node = self
+            .sessions
+            .get(&provider)
+            .and_then(|s| s.channel.as_ref())
             .expect("pending implies channel")
             .full_node;
         let classification = classify_response(
@@ -925,39 +1032,7 @@ impl LightClient {
             pending.request_height,
             |n| self.headers.get(&n).cloned(),
         );
-        match classification {
-            Classification::Valid => {
-                let proven = !response.proof.is_empty();
-                self.valid_responses += 1;
-                self.commit_payment(provider, pending.request.amount);
-                Ok(ProcessOutcome::Valid {
-                    result: response.result.clone(),
-                    proven,
-                })
-            }
-            Classification::Invalid(reason) => {
-                // Keep the pending payment un-committed; the node cannot
-                // redeem it without returning a verifiable response, but
-                // the client still counts it spent defensively (the node
-                // holds σ_a). Terminate per §V-D.
-                self.commit_payment(provider, pending.request.amount);
-                Ok(ProcessOutcome::Invalid(reason))
-            }
-            Classification::Fraudulent(verdict) => {
-                self.commit_payment(provider, pending.request.amount);
-                let header = self
-                    .headers
-                    .get(&response.block_number)
-                    .cloned()
-                    .expect("classification used this header");
-                Ok(ProcessOutcome::Fraud(Box::new(FraudEvidence {
-                    request: pending.request,
-                    response: response.clone(),
-                    header,
-                    verdict,
-                })))
-            }
-        }
+        Ok(self.apply_classification(provider, pending, response, classification))
     }
 
     /// Interprets a liveness-probe result: `true` when the channel is

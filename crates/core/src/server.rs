@@ -270,12 +270,60 @@ impl FullNode {
         executor: &mut ParpExecutor,
         engine: &mut dyn ProofEngine,
     ) -> Result<ParpResponse, ServeError> {
+        if let RpcCall::SendRawTransaction { .. } = request.call {
+            // The only mutating call: verify, mine, prove inclusion.
+            self.verify_request(request, executor)?;
+            let request_height = chain
+                .block_number_by_hash(&request.block_hash)
+                .ok_or(ServeError::UnknownBlockHash(request.block_hash))?;
+            let (block_number, result, proof) =
+                self.execute_write(&request.call, chain, executor, engine)?;
+            return Ok(self.finish_response(request, request_height, block_number, result, proof));
+        }
+        self.handle_read_request(request, chain, executor, engine)
+    }
+
+    /// Serves a **read-only** request against a shared chain reference —
+    /// the entry point that lets a fan-out (e.g. a gateway quorum) serve
+    /// several nodes' exchanges concurrently over one `&Blockchain`:
+    /// nothing here mutates chain state, so legs only need disjoint
+    /// `&mut FullNode`s. Byte-identical to [`FullNode::handle_request`]
+    /// for every non-write call.
+    ///
+    /// # Errors
+    ///
+    /// As [`FullNode::handle_request`], plus
+    /// [`ServeError::UnbatchableCall`] when handed the write call this
+    /// path cannot serve.
+    pub fn handle_read_request(
+        &mut self,
+        request: &ParpRequest,
+        chain: &Blockchain,
+        executor: &ParpExecutor,
+        engine: &mut dyn ProofEngine,
+    ) -> Result<ParpResponse, ServeError> {
+        if let RpcCall::SendRawTransaction { .. } = request.call {
+            return Err(ServeError::UnbatchableCall);
+        }
         self.verify_request(request, executor)?;
         let request_height = chain
             .block_number_by_hash(&request.block_hash)
             .ok_or(ServeError::UnknownBlockHash(request.block_hash))?;
         let (block_number, result, proof) =
-            self.execute_call(&request.call, chain, executor, engine)?;
+            self.execute_read(&request.call, chain, executor, engine)?;
+        Ok(self.finish_response(request, request_height, block_number, result, proof))
+    }
+
+    /// Payment bookkeeping + response signing, shared by the write and
+    /// read serving paths.
+    fn finish_response(
+        &mut self,
+        request: &ParpRequest,
+        request_height: u64,
+        block_number: u64,
+        result: Vec<u8>,
+        proof: Vec<Vec<u8>>,
+    ) -> ParpResponse {
         // Record the payment before responding: the signed cumulative
         // amount is the node's receivable.
         self.channels.insert(
@@ -292,9 +340,8 @@ impl FullNode {
         );
         self.requests_served += 1;
         let honest = ParpResponse::build(self.key.secret(), request, block_number, result, proof);
-        Ok(self
-            .misbehavior
-            .corrupt(request, honest, self.key.secret(), request_height))
+        self.misbehavior
+            .corrupt(request, honest, self.key.secret(), request_height)
     }
 
     /// Serves one batched PARP request: verifies the envelope **once**
@@ -439,11 +486,16 @@ impl FullNode {
             .calls
             .iter()
             .all(|call| matches!(call, RpcCall::GetChannelStatus { .. }));
+        // The two envelope recoveries (request signature, payment
+        // signature) are independent ECDSA operations — recover them
+        // concurrently when a second core is available.
+        let (signer, payment_signer) =
+            parp_crypto::par_join(|| request.signer(), || request.payment_signer());
         self.verify_envelope(
             executor,
             request.channel_id,
-            request.signer(),
-            request.payment_signer(),
+            signer,
+            payment_signer,
             request.amount,
             is_liveness_probe,
             request.calls.len() as u64,
@@ -458,11 +510,14 @@ impl FullNode {
         executor: &ParpExecutor,
     ) -> Result<(), ServeError> {
         let is_liveness_probe = matches!(request.call, RpcCall::GetChannelStatus { .. });
+        // As in batch verification: the two recoveries are independent.
+        let (signer, payment_signer) =
+            parp_crypto::par_join(|| request.signer(), || request.payment_signer());
         self.verify_envelope(
             executor,
             request.channel_id,
-            request.signer(),
-            request.payment_signer(),
+            signer,
+            payment_signer,
             request.amount,
             is_liveness_probe,
             1,
@@ -602,11 +657,35 @@ impl FullNode {
         }
     }
 
-    fn execute_call(
+    /// Serves [`RpcCall::SendRawTransaction`]: mine the transaction,
+    /// prove its inclusion.
+    fn execute_write(
         &self,
         call: &RpcCall,
         chain: &mut Blockchain,
         executor: &mut ParpExecutor,
+        engine: &mut dyn ProofEngine,
+    ) -> Result<CallOutput, ServeError> {
+        let RpcCall::SendRawTransaction { raw } = call else {
+            unreachable!("execute_write only handles SendRawTransaction");
+        };
+        let tx = parp_chain::SignedTransaction::decode(raw)
+            .map_err(|e| ServeError::Execution(format!("bad transaction: {e}")))?;
+        let hash = tx.hash();
+        chain
+            .produce_block(vec![tx], executor)
+            .map_err(|e| ServeError::Execution(format!("inclusion failed: {e}")))?;
+        let (block, index) = chain.transaction_location(&hash).expect("just included");
+        let proof = engine.transaction_proof(chain, block, index);
+        Ok((block, parp_rlp::encode_u64(index as u64), proof))
+    }
+
+    /// Serves every non-mutating call against a shared chain reference.
+    fn execute_read(
+        &self,
+        call: &RpcCall,
+        chain: &Blockchain,
+        executor: &ParpExecutor,
         engine: &mut dyn ProofEngine,
     ) -> Result<CallOutput, ServeError> {
         match call {
@@ -617,16 +696,8 @@ impl FullNode {
                 let proof = engine.account_proof(state, address);
                 Ok((head, result, proof))
             }
-            RpcCall::SendRawTransaction { raw } => {
-                let tx = parp_chain::SignedTransaction::decode(raw)
-                    .map_err(|e| ServeError::Execution(format!("bad transaction: {e}")))?;
-                let hash = tx.hash();
-                chain
-                    .produce_block(vec![tx], executor)
-                    .map_err(|e| ServeError::Execution(format!("inclusion failed: {e}")))?;
-                let (block, index) = chain.transaction_location(&hash).expect("just included");
-                let proof = engine.transaction_proof(chain, block, index);
-                Ok((block, parp_rlp::encode_u64(index as u64), proof))
+            RpcCall::SendRawTransaction { .. } => {
+                unreachable!("writes route through execute_write")
             }
             RpcCall::GetTransactionByHash { .. } | RpcCall::GetTransactionReceipt { .. } => {
                 match Self::inclusion_lookup(call, chain, engine).expect("inclusion call") {

@@ -14,7 +14,7 @@
 use crate::field::FieldElement;
 use crate::keccak::hmac_keccak256;
 use crate::keys::{PublicKey, SecretKey};
-use crate::point::{double_scalar_mul, AffinePoint};
+use crate::point::{double_scalar_mul, mul_generator, AffinePoint};
 use crate::scalar::Scalar;
 use parp_primitives::{Address, H256};
 use std::error::Error;
@@ -127,8 +127,10 @@ impl Signature {
 }
 
 /// Derives a deterministic nonce for `(secret, digest)` following the
-/// RFC 6979 HMAC-DRBG construction with Keccak-256.
-fn deterministic_nonce(secret: &SecretKey, digest: &H256, extra: u32) -> Scalar {
+/// RFC 6979 HMAC-DRBG construction with Keccak-256. Shared with
+/// [`crate::baseline`] so the retained reference produces byte-identical
+/// signatures (the derivation itself is untouched by the hot-path work).
+pub(crate) fn deterministic_nonce(secret: &SecretKey, digest: &H256, extra: u32) -> Scalar {
     let sk_bytes = secret.to_bytes();
     let mut v = [0x01u8; 32];
     let mut k = [0x00u8; 32];
@@ -177,7 +179,9 @@ pub fn sign(secret: &SecretKey, digest: &H256) -> Signature {
     loop {
         let k = deterministic_nonce(secret, digest, extra);
         extra = extra.wrapping_add(1);
-        let r_point = AffinePoint::generator().mul(&k);
+        // Fixed-base comb: ≤32 mixed additions off the shared table
+        // instead of rebuilding a 16-entry window table of G per call.
+        let r_point = mul_generator(&k).to_affine();
         let (rx, ry_odd) = match r_point {
             AffinePoint::Infinity => continue,
             AffinePoint::Point { x, y } => (x, y.is_odd()),

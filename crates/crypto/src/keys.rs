@@ -67,9 +67,10 @@ impl SecretKey {
         self.0.to_be_bytes()
     }
 
-    /// Computes the corresponding public key `sk * G`.
+    /// Computes the corresponding public key `sk * G` (off the shared
+    /// fixed-base table).
     pub fn public_key(&self) -> PublicKey {
-        PublicKey(AffinePoint::generator().mul(&self.0))
+        PublicKey(crate::point::mul_generator(&self.0).to_affine())
     }
 
     /// Shorthand for `self.public_key().address()`.

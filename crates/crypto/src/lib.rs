@@ -25,11 +25,13 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 mod ecdsa;
 mod field;
 mod keccak;
 mod keys;
 mod modarith;
+mod parallel;
 mod point;
 mod scalar;
 
@@ -37,5 +39,6 @@ pub use ecdsa::{recover, recover_address, sign, verify, Signature, SignatureErro
 pub use field::FieldElement;
 pub use keccak::{hmac_keccak256, keccak256, keccak256_concat, Keccak256};
 pub use keys::{InvalidSecretKey, KeyPair, PublicKey, SecretKey};
-pub use point::{double_scalar_mul, AffinePoint, JacobianPoint};
+pub use parallel::{par_join, par_map, recover_addresses_parallel};
+pub use point::{batch_to_affine, double_scalar_mul, mul_generator, AffinePoint, JacobianPoint};
 pub use scalar::Scalar;

@@ -4,10 +4,28 @@
 //! The curve is `y^2 = x^3 + 7` over `F_p`. Jacobian coordinates
 //! `(X, Y, Z)` represent the affine point `(X/Z^2, Y/Z^3)`; `Z = 0` is the
 //! point at infinity.
+//!
+//! # The fixed-base hot path
+//!
+//! Every PARP exchange multiplies the generator several times (one per
+//! signature, one per recovery), so `G` gets two precomputed tables, both
+//! built once behind `OnceLock` and normalized to affine with a single
+//! shared field inversion ([`batch_to_affine`]):
+//!
+//! * an 8-bit **comb table** (`windows[i][j] = (j+1)·2^(8i)·G`, 32 × 255
+//!   entries): [`mul_generator`] is ≤ 32 mixed additions with **zero**
+//!   doublings, replacing the 256-doubling generic ladder;
+//! * an odd-multiples **wNAF table** (`1G, 3G, …, 255G`), the `a·G` half
+//!   of the interleaved [`double_scalar_mul`] used by recovery.
+//!
+//! Arbitrary points (`Q` in verification/recovery) get a per-call
+//! odd-multiples table (`1Q, 3Q, …, 15Q`), batch-normalized so the main
+//! loop uses cheap mixed additions.
 
 use crate::field::FieldElement;
 use crate::scalar::Scalar;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// An affine point on secp256k1, or the point at infinity.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -46,13 +64,19 @@ const GY: [u8; 32] = [
     0xfd, 0x17, 0xb4, 0x48, 0xa6, 0x85, 0x54, 0x19, 0x9c, 0x47, 0xd0, 0x8f, 0xfb, 0x10, 0xd4, 0xb8,
 ];
 
+/// The generator, parsed once (callers used to re-parse and re-validate
+/// the coordinates on every `generator()` call — a measurable cost inside
+/// the old per-signature loop).
+static GENERATOR: OnceLock<AffinePoint> = OnceLock::new();
+
 impl AffinePoint {
-    /// The group generator `G`.
+    /// The group generator `G` (cached; the byte parse runs once per
+    /// process).
     pub fn generator() -> Self {
-        AffinePoint::Point {
+        *GENERATOR.get_or_init(|| AffinePoint::Point {
             x: FieldElement::from_be_bytes(&GX).expect("generator x below p"),
             y: FieldElement::from_be_bytes(&GY).expect("generator y below p"),
-        }
+        })
     }
 
     /// Returns `true` for the point at infinity.
@@ -287,7 +311,23 @@ impl JacobianPoint {
         acc
     }
 
+    /// Mixed addition with the sign of the affine operand chosen at the
+    /// call site — wNAF loops add or subtract table entries, and negating
+    /// an affine point is one field negation.
+    fn add_affine_signed(&self, other: &AffinePoint, negate: bool) -> JacobianPoint {
+        match other {
+            AffinePoint::Infinity => *self,
+            AffinePoint::Point { x, y } if negate => {
+                self.add_affine(&AffinePoint::Point { x: *x, y: -*y })
+            }
+            point => self.add_affine(point),
+        }
+    }
+
     /// Converts back to affine coordinates (one field inversion).
+    ///
+    /// Converting **many** points should go through [`batch_to_affine`],
+    /// which amortizes the inversion across the whole set.
     pub fn to_affine(&self) -> AffinePoint {
         if self.is_infinity() {
             return AffinePoint::Infinity;
@@ -302,25 +342,163 @@ impl JacobianPoint {
     }
 }
 
-/// Computes `a * G + b * Q` (Shamir's trick), the core of ECDSA
-/// verification and recovery.
-pub fn double_scalar_mul(a: &Scalar, b: &Scalar, q: &AffinePoint) -> AffinePoint {
-    let g = AffinePoint::generator().to_jacobian();
-    let qj = q.to_jacobian();
-    let gq = g.add(&qj); // G + Q for the combined window
+/// Converts many Jacobian points to affine with **one** field inversion
+/// (Montgomery batch inversion over the `Z` coordinates): `3(N−1)`
+/// multiplications plus a single inversion instead of `N` inversions.
+/// Points at infinity map to [`AffinePoint::Infinity`].
+pub fn batch_to_affine(points: &[JacobianPoint]) -> Vec<AffinePoint> {
+    let mut zs: Vec<FieldElement> = points.iter().map(|p| p.z).collect();
+    FieldElement::batch_invert(&mut zs);
+    points
+        .iter()
+        .zip(&zs)
+        .map(|(p, z_inv)| {
+            if p.is_infinity() {
+                AffinePoint::Infinity
+            } else {
+                let z_inv2 = z_inv.square();
+                let z_inv3 = z_inv2 * *z_inv;
+                AffinePoint::Point {
+                    x: p.x * z_inv2,
+                    y: p.y * z_inv3,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Comb window width in bits; the table is indexed by scalar bytes.
+const COMB_WINDOW_BITS: usize = 8;
+/// Number of byte windows covering a 256-bit scalar.
+const COMB_WINDOWS: usize = 256 / COMB_WINDOW_BITS;
+/// Entries per comb window (every non-zero byte value).
+const COMB_ENTRIES: usize = (1 << COMB_WINDOW_BITS) - 1;
+
+/// wNAF window width for the per-call point `Q` (8 odd multiples — the
+/// table is rebuilt for every recovery, so it must stay small).
+const WNAF_Q_WIDTH: u32 = 5;
+
+/// The precomputed fixed-base comb: `windows[i][j] = (j+1) · 2^(8i) · G`.
+/// ~8k affine points (≈0.5 MB), built once and shared by every signature
+/// and recovery in the process.
+static G_COMB: OnceLock<Vec<Vec<AffinePoint>>> = OnceLock::new();
+
+fn g_comb() -> &'static Vec<Vec<AffinePoint>> {
+    G_COMB.get_or_init(|| {
+        let mut jacobians: Vec<JacobianPoint> = Vec::with_capacity(COMB_WINDOWS * COMB_ENTRIES);
+        let mut base = AffinePoint::generator().to_jacobian();
+        for _ in 0..COMB_WINDOWS {
+            let mut multiple = base;
+            for _ in 0..COMB_ENTRIES {
+                jacobians.push(multiple);
+                multiple = multiple.add(&base);
+            }
+            // After pushing j·base for j = 1..=255, `multiple` is
+            // 256·base — exactly the next window's base.
+            base = multiple;
+        }
+        let affine = batch_to_affine(&jacobians);
+        affine
+            .chunks(COMB_ENTRIES)
+            .map(|chunk| chunk.to_vec())
+            .collect()
+    })
+}
+
+/// Fixed-base multiplication `k · G` off the precomputed comb: at most 32
+/// mixed additions and **no doublings** (the old path rebuilt a 16-entry
+/// window table of `G` and ran 256 doublings per call).
+pub fn mul_generator(k: &Scalar) -> JacobianPoint {
+    let table = g_comb();
     let mut acc = JacobianPoint::INFINITY;
-    for i in (0..256).rev() {
+    for (window, entries) in table.iter().enumerate() {
+        let byte = k.byte(window);
+        if byte != 0 {
+            acc = acc.add_affine(&entries[byte as usize - 1]);
+        }
+    }
+    acc
+}
+
+/// Batch-normalized odd multiples `1Q, 3Q, …, (2^(w−1)−1)Q`.
+fn odd_multiples(q: &AffinePoint, width: u32) -> Vec<AffinePoint> {
+    let qj = q.to_jacobian();
+    let q2 = qj.double();
+    let mut jacobians = Vec::with_capacity(1 << (width - 2));
+    let mut current = qj;
+    for _ in 0..(1usize << (width - 2)) {
+        jacobians.push(current);
+        current = current.add(&q2);
+    }
+    batch_to_affine(&jacobians)
+}
+
+/// `β`: the cube root of unity in the base field realizing the GLV
+/// endomorphism `λ·(x, y) = (β·x, y)`.
+fn beta() -> FieldElement {
+    const BETA_BYTES: [u8; 32] = [
+        0x7a, 0xe9, 0x6a, 0x2b, 0x65, 0x7c, 0x07, 0x10, 0x6e, 0x64, 0x47, 0x9e, 0xac, 0x34, 0x34,
+        0xe9, 0x9c, 0xf0, 0x49, 0x75, 0x12, 0xf5, 0x89, 0x95, 0xc1, 0x39, 0x6c, 0x28, 0x71, 0x95,
+        0x01, 0xee,
+    ];
+    static BETA: OnceLock<FieldElement> = OnceLock::new();
+    *BETA.get_or_init(|| FieldElement::from_be_bytes(&BETA_BYTES).expect("beta below p"))
+}
+
+/// Applies the endomorphism to an affine point: `λ·(x, y) = (β·x, y)` —
+/// one field multiplication instead of a scalar multiplication.
+fn endo_map(p: &AffinePoint) -> AffinePoint {
+    match p {
+        AffinePoint::Infinity => AffinePoint::Infinity,
+        AffinePoint::Point { x, y } => AffinePoint::Point {
+            x: beta() * *x,
+            y: *y,
+        },
+    }
+}
+
+/// Upper bound on the wNAF digit positions of a sign-normalized GLV half
+/// (≤129 bits, plus the window's carry slack).
+const GLV_DIGITS: usize = 136;
+
+/// Computes `a * G + b * Q` — the core of ECDSA verification and
+/// recovery.
+///
+/// The `G` half rides the precomputed fixed-base comb (≤32 mixed
+/// additions, zero doublings). The `Q` half is GLV-split into two ≤129-bit
+/// scalars whose wNAF forms (w = 5) interleave over **one** half-length
+/// doubling chain, adding from `Q`'s batch-normalized odd-multiples table
+/// and its endomorphism image (`x → β·x`, free per entry). Net cost:
+/// ~130 doublings plus ~75 mixed additions — the old path ran a 256-bit
+/// 2-bit Shamir loop with only `{G, Q, G+Q}` precomputed, paying 256
+/// doublings and ~192 full Jacobian additions.
+pub fn double_scalar_mul(a: &Scalar, b: &Scalar, q: &AffinePoint) -> AffinePoint {
+    let (b1, neg1, b2, neg2) = b.split_glv();
+    let naf1 = b1.wnaf(WNAF_Q_WIDTH);
+    let naf2 = b2.wnaf(WNAF_Q_WIDTH);
+    debug_assert!(
+        naf1[GLV_DIGITS..].iter().all(|&d| d == 0) && naf2[GLV_DIGITS..].iter().all(|&d| d == 0),
+        "GLV halves must stay short"
+    );
+    let q_table = odd_multiples(q, WNAF_Q_WIDTH);
+    let endo_table: Vec<AffinePoint> = q_table.iter().map(endo_map).collect();
+    let mut acc = JacobianPoint::INFINITY;
+    for i in (0..GLV_DIGITS).rev() {
         if !acc.is_infinity() {
             acc = acc.double();
         }
-        match (a.bit(i), b.bit(i)) {
-            (true, true) => acc = acc.add(&gq),
-            (true, false) => acc = acc.add(&g),
-            (false, true) => acc = acc.add(&qj),
-            (false, false) => {}
+        let d1 = naf1[i];
+        if d1 != 0 {
+            let entry = &q_table[(d1.unsigned_abs() as usize - 1) / 2];
+            acc = acc.add_affine_signed(entry, (d1 < 0) ^ neg1);
+        }
+        let d2 = naf2[i];
+        if d2 != 0 {
+            let entry = &endo_table[(d2.unsigned_abs() as usize - 1) / 2];
+            acc = acc.add_affine_signed(entry, (d2 < 0) ^ neg2);
         }
     }
-    acc.to_affine()
+    acc.add(&mul_generator(a)).to_affine()
 }
 
 #[cfg(test)]

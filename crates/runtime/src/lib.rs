@@ -53,5 +53,5 @@ mod shard;
 
 pub use admission::{AdmissionController, AdmissionError, AdmissionStats, FairQueue, TokenBucket};
 pub use cache::SnapshotCache;
-pub use runtime::{Runtime, RuntimeConfig, RuntimeError};
+pub use runtime::{FrozenReadEngine, Runtime, RuntimeConfig, RuntimeError};
 pub use shard::{shard_of, sharded_account_multiproof, INLINE_THRESHOLD, MAX_SHARDS};

@@ -200,6 +200,31 @@ fn marketplace_acceptance_scenario() {
     assert!(total_calls as usize >= config.calls);
 }
 
+/// §Satellite bugfix: an unreachable quorum reports how many providers
+/// were actually drafted, not a hard-coded zero. With 2 providers and
+/// k = 3, both drafts succeed and the error must say `collected: 2`.
+#[test]
+fn unreachable_quorum_reports_drafted_count() {
+    let (mut net, targets, _) = marketplace_net(2, "short");
+    let mut gateway = gateway_for(&mut net, b"gwt-short-client", SelectionPolicy::RoundRobin);
+    let err = gateway
+        .quorum_call(
+            &mut net,
+            RpcCall::GetBalance {
+                address: targets[0],
+            },
+            3,
+        )
+        .expect_err("2 providers cannot fill a quorum of 3");
+    match err {
+        parp_suite::gateway::GatewayError::QuorumUnreachable { needed, collected } => {
+            assert_eq!(needed, 3);
+            assert_eq!(collected, 2, "both drafted providers must be reported");
+        }
+        other => panic!("expected QuorumUnreachable, got {other:?}"),
+    }
+}
+
 /// Quorum reads also cover unproven chain queries (`BlockNumber` has no
 /// Merkle proof — cross-provider agreement is its only check).
 #[test]
