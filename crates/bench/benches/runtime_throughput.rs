@@ -223,6 +223,8 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
 /// Where does a warm-cache batch serve spend its time — envelope crypto
 /// (two signature recoveries) or trie work (snapshot multiproof)? The
 /// split tells future PRs which side of the pipeline is the bottleneck.
+/// Before the arena-flattened `FrozenTrie` the multiproof leg held ~42%
+/// of a warm serve; the walk-by-ids path must keep it under 35%.
 fn report_crypto_vs_trie_split() {
     let (mut chain, mut executor, mut node, client, channel, addresses) = serving_fixture(ACCOUNTS);
     let targets = &addresses[..BATCH];
@@ -268,6 +270,12 @@ fn report_crypto_vs_trie_split() {
         share(crypto),
         share(trie),
         100.0 - share(crypto) - share(trie),
+    );
+    assert!(
+        share(trie) < 35.0,
+        "snapshot multiproof share {:.0}% regressed past the 35% ceiling \
+         (pre-arena it held ~42% of a warm serve)",
+        share(trie)
     );
 }
 

@@ -28,7 +28,62 @@ fn main() {
     fig7(full);
     marketplace_section();
     crypto_section();
+    trie_section();
     println!("\nreport complete — see EXPERIMENTS.md for interpretation");
+}
+
+/// Beyond the paper: the trie hot path after the arena-flattening
+/// overhaul, against the retained pre-optimization frozen index.
+fn trie_section() {
+    println!("\n== trie hot path (beyond the paper) ==");
+    const ACCOUNTS: u64 = 2_000;
+    const BATCH: usize = 64;
+    let state = parp_chain::State::with_alloc(
+        (1..=ACCOUNTS).map(|i| (Address::from_low_u64_be(i * 17), U256::from(i))),
+    );
+    let trie = state.build_trie();
+    let keys: Vec<Vec<u8>> = (0..BATCH)
+        .map(|i| {
+            let address = Address::from_low_u64_be(((i as u64 * 131) % ACCOUNTS + 1) * 17);
+            parp_crypto::keccak256(address.as_bytes())
+                .as_bytes()
+                .to_vec()
+        })
+        .collect();
+    let arena = parp_trie::FrozenTrie::new(trie.clone());
+    let base = parp_trie::baseline::FrozenTrie::new(trie.clone());
+    let reference = base.prove_many(&keys);
+    assert_eq!(arena.prove_many(&keys), reference, "arena diverged");
+    let multi_new = time_avg(30, || {
+        arena.prove_many(&keys);
+    });
+    let multi_ref = time_avg(30, || {
+        base.prove_many(&keys);
+    });
+    let mut buf = parp_trie::ProofBuf::new();
+    let multi_into = time_avg(30, || {
+        arena.multiproof_into(&keys, &mut buf);
+    });
+    let freeze_new = time_avg(5, || {
+        parp_trie::FrozenTrie::new(trie.clone());
+    });
+    let freeze_ref = time_avg(5, || {
+        parp_trie::baseline::FrozenTrie::new(trie.clone());
+    });
+    println!(
+        "  {BATCH}-key multiproof  {multi_new:>10.2?}  (pre-PR frozen index {multi_ref:>10.2?}, {:.1}x)",
+        multi_ref.as_secs_f64() / multi_new.as_secs_f64().max(1e-12)
+    );
+    println!(
+        "  zero-copy into buf {multi_into:>10.2?}  ({:.1}x; {} nodes, {} B, one allocation)",
+        multi_ref.as_secs_f64() / multi_into.as_secs_f64().max(1e-12),
+        reference.len(),
+        reference.iter().map(Vec::len).sum::<usize>(),
+    );
+    println!(
+        "  freeze ({ACCOUNTS} accts) {freeze_new:>10.2?}  (pre-PR index pass {freeze_ref:>10.2?}, \
+         level-batched keccak)",
+    );
 }
 
 /// Beyond the paper: the crypto hot path after the fixed-base /

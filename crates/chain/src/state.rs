@@ -212,6 +212,17 @@ impl State {
                 .map(|address| keccak256(address.as_bytes()).as_bytes().to_vec()),
         )
     }
+
+    /// [`State::account_multiproof`] into a reusable
+    /// [`parp_trie::ProofBuf`]: byte-identical node set, serialized
+    /// zero-copy into one contiguous allocation.
+    pub fn account_multiproof_into(&self, addresses: &[Address], out: &mut parp_trie::ProofBuf) {
+        let keys: Vec<H256> = addresses
+            .iter()
+            .map(|address| keccak256(address.as_bytes()))
+            .collect();
+        self.shared_trie().multiproof_into(&keys, out);
+    }
 }
 
 #[cfg(test)]

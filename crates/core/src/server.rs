@@ -10,6 +10,7 @@ use parp_contracts::{
 };
 use parp_crypto::{sign, KeyPair, SecretKey, Signature};
 use parp_primitives::{Address, H256, U256};
+use parp_trie::ProofBuf;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -26,6 +27,24 @@ pub trait ProofEngine {
     /// Deduplicated multiproof for `addresses` under `state`'s root,
     /// equivalent to [`State::account_multiproof`].
     fn account_multiproof(&mut self, state: &State, addresses: &[Address]) -> Vec<Vec<u8>>;
+
+    /// [`ProofEngine::account_multiproof`] serialized into a reusable
+    /// [`ProofBuf`]: the same node set, written zero-copy into one
+    /// contiguous allocation the serving loop carries across batches.
+    /// The default copies through the allocating path; engines backed
+    /// by an arena-frozen trie override it to skip the per-node `Vec`s
+    /// entirely.
+    fn account_multiproof_into(
+        &mut self,
+        state: &State,
+        addresses: &[Address],
+        out: &mut ProofBuf,
+    ) {
+        out.clear();
+        for node in self.account_multiproof(state, addresses) {
+            out.push(&node);
+        }
+    }
 
     /// Single-account proof under `state`'s root, equivalent to
     /// [`State::account_proof`].
@@ -69,6 +88,15 @@ pub struct SequentialEngine;
 impl ProofEngine for SequentialEngine {
     fn account_multiproof(&mut self, state: &State, addresses: &[Address]) -> Vec<Vec<u8>> {
         state.account_multiproof(addresses)
+    }
+
+    fn account_multiproof_into(
+        &mut self,
+        state: &State,
+        addresses: &[Address],
+        out: &mut ProofBuf,
+    ) {
+        state.account_multiproof_into(addresses, out);
     }
 
     fn account_proof(&mut self, state: &State, address: &Address) -> Vec<Vec<u8>> {
@@ -185,6 +213,9 @@ pub struct FullNode {
     channels: HashMap<u64, ServedChannel>,
     misbehavior: Misbehavior,
     requests_served: u64,
+    /// Reused multiproof scratch: a warm batch loop serializes every
+    /// multiproof into the same two allocations.
+    proof_scratch: ProofBuf,
 }
 
 impl FullNode {
@@ -196,6 +227,7 @@ impl FullNode {
             channels: HashMap::new(),
             misbehavior: Misbehavior::None,
             requests_served: 0,
+            proof_scratch: ProofBuf::new(),
         }
     }
 
@@ -423,8 +455,13 @@ impl FullNode {
                 }
             }
         }
-        // One trie build, one deduplicated proof for all state items.
-        let multiproof = engine.account_multiproof(state, &state_addresses);
+        // One trie build, one deduplicated proof for all state items —
+        // serialized zero-copy into the node's reused scratch buffer
+        // and materialized as the wire shape exactly once.
+        let mut scratch = std::mem::take(&mut self.proof_scratch);
+        engine.account_multiproof_into(state, &state_addresses, &mut scratch);
+        let multiproof = scratch.to_vecs();
+        self.proof_scratch = scratch;
         // The deduplicated header set: one per distinct referenced
         // block (the snapshot plus every inclusion item's block),
         // ordered by the same function the judge zips headers against.

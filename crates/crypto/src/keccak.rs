@@ -81,6 +81,42 @@ fn keccak_f1600(state: &mut [u64; 25]) {
     }
 }
 
+/// XORs one rate-sized block into the sponge state. `block` must be
+/// exactly [`RATE`] bytes; reading lanes straight off the input slice
+/// avoids the buffer copy the incremental path pays per block.
+fn xor_block(state: &mut [u64; 25], block: &[u8]) {
+    debug_assert_eq!(block.len(), RATE);
+    for (lane, chunk) in state.iter_mut().zip(block.chunks_exact(8)) {
+        *lane ^= u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+    }
+}
+
+/// Absorbs a complete message (including padding) into `state`.
+fn absorb_all(state: &mut [u64; 25], data: &[u8]) {
+    let mut chunks = data.chunks_exact(RATE);
+    for block in chunks.by_ref() {
+        xor_block(state, block);
+        keccak_f1600(state);
+    }
+    // Original Keccak multi-rate padding: 0x01 .. 0x80 (0x81 if one byte).
+    let rem = chunks.remainder();
+    let mut last = [0u8; RATE];
+    last[..rem.len()].copy_from_slice(rem);
+    last[rem.len()] ^= 0x01;
+    last[RATE - 1] ^= 0x80;
+    xor_block(state, &last);
+    keccak_f1600(state);
+}
+
+/// Squeezes the 32-byte digest out of an absorbed state.
+fn squeeze(state: &[u64; 25]) -> H256 {
+    let mut out = [0u8; 32];
+    for i in 0..4 {
+        out[i * 8..(i + 1) * 8].copy_from_slice(&state[i].to_le_bytes());
+    }
+    H256::new(out)
+}
+
 /// Incremental Keccak-256 hasher.
 ///
 /// # Examples
@@ -140,9 +176,8 @@ impl Keccak256 {
         }
         while input.len() >= RATE {
             let (block, rest) = input.split_at(RATE);
-            let mut buf = [0u8; RATE];
-            buf.copy_from_slice(block);
-            self.absorb_block(&buf);
+            xor_block(&mut self.state, block);
+            keccak_f1600(&mut self.state);
             input = rest;
         }
         if !input.is_empty() {
@@ -152,11 +187,7 @@ impl Keccak256 {
     }
 
     fn absorb_block(&mut self, block: &[u8; RATE]) {
-        for (i, chunk) in block.chunks_exact(8).enumerate() {
-            let mut lane = [0u8; 8];
-            lane.copy_from_slice(chunk);
-            self.state[i] ^= u64::from_le_bytes(lane);
-        }
+        xor_block(&mut self.state, block);
         keccak_f1600(&mut self.state);
     }
 
@@ -168,11 +199,7 @@ impl Keccak256 {
         block[self.buffered] ^= 0x01;
         block[RATE - 1] ^= 0x80;
         self.absorb_block(&block);
-        let mut out = [0u8; 32];
-        for i in 0..4 {
-            out[i * 8..(i + 1) * 8].copy_from_slice(&self.state[i].to_le_bytes());
-        }
-        H256::new(out)
+        squeeze(&self.state)
     }
 }
 
@@ -188,9 +215,38 @@ impl Keccak256 {
 /// );
 /// ```
 pub fn keccak256(data: &[u8]) -> H256 {
-    let mut hasher = Keccak256::new();
-    hasher.update(data);
-    hasher.finalize()
+    // One-shot absorb: full blocks are XORed straight off `data`, skipping
+    // the incremental hasher's per-block buffer copies.
+    let mut state = [0u64; 25];
+    absorb_all(&mut state, data);
+    squeeze(&state)
+}
+
+/// Keccak-256 over many independent inputs in one call.
+///
+/// The hot paths that hash whole levels of trie node encodings (the
+/// frozen-trie freeze pass) hand the hasher every encoding at once
+/// instead of paying a hasher setup per node. Each digest equals
+/// [`keccak256`] of the corresponding input; the batch shape is what a
+/// future multi-lane implementation accelerates without callers
+/// changing.
+///
+/// # Examples
+///
+/// ```
+/// use parp_crypto::{keccak256, keccak256_batch};
+///
+/// let digests = keccak256_batch(&[b"abc".as_slice(), b"".as_slice()]);
+/// assert_eq!(digests, vec![keccak256(b"abc"), keccak256(b"")]);
+/// ```
+pub fn keccak256_batch(inputs: &[&[u8]]) -> Vec<H256> {
+    let mut out = Vec::with_capacity(inputs.len());
+    for input in inputs {
+        let mut state = [0u64; 25];
+        absorb_all(&mut state, input);
+        out.push(squeeze(&state));
+    }
+    out
 }
 
 /// Keccak-256 over the concatenation of several byte slices, without
@@ -300,6 +356,19 @@ mod tests {
             hasher.update(&data[split..]);
             assert_eq!(hasher.finalize(), keccak256(&data));
         }
+    }
+
+    #[test]
+    fn batch_matches_oneshot() {
+        let inputs: Vec<Vec<u8>> = (0..10usize)
+            .map(|i| vec![i as u8; i * 41]) // crosses the rate boundary
+            .collect();
+        let slices: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        let digests = keccak256_batch(&slices);
+        for (input, digest) in inputs.iter().zip(&digests) {
+            assert_eq!(*digest, keccak256(input));
+        }
+        assert!(keccak256_batch(&[]).is_empty());
     }
 
     #[test]

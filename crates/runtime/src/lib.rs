@@ -12,11 +12,13 @@
 //!   head reuses one trie instead of paying an O(accounts) rebuild;
 //!   [`Runtime::note_new_head`] is the invalidation hook block
 //!   production (and reorgs) drive.
-//! * [`sharded_account_multiproof`] — batch items partitioned across a
-//!   `std::thread` worker pool by account trie key, with per-shard
-//!   proof paths merged into the *same* deduplicated multiproof the
-//!   sequential path produces: byte-identical output for every shard
-//!   count, so sharding can never change what the client verifies.
+//! * [`sharded_account_multiproof`] — batch items split across a
+//!   `std::thread` worker pool in equal contiguous chunks (balanced for
+//!   any key skew), workers exchanging arena witness ids rather than
+//!   proof bytes, with per-shard paths merged into the *same*
+//!   deduplicated multiproof the sequential path produces:
+//!   byte-identical output for every shard count, so sharding can never
+//!   change what the client verifies.
 //! * [`AdmissionController`] + [`FairQueue`] — per-client token-bucket
 //!   rate limiting and fair round-robin dequeueing across open
 //!   channels, so one flooding client is bounded to its paid-for rate
@@ -54,4 +56,7 @@ mod shard;
 pub use admission::{AdmissionController, AdmissionError, AdmissionStats, FairQueue, TokenBucket};
 pub use cache::SnapshotCache;
 pub use runtime::{FrozenReadEngine, Runtime, RuntimeConfig, RuntimeError};
-pub use shard::{shard_of, sharded_account_multiproof, INLINE_THRESHOLD, MAX_SHARDS};
+pub use shard::{
+    shard_of, sharded_account_multiproof, sharded_account_multiproof_into, INLINE_THRESHOLD,
+    MAX_SHARDS,
+};

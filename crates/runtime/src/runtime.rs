@@ -3,7 +3,7 @@
 
 use crate::admission::{AdmissionController, AdmissionError, AdmissionStats};
 use crate::cache::SnapshotCache;
-use crate::shard::sharded_account_multiproof;
+use crate::shard::{sharded_account_multiproof, sharded_account_multiproof_into};
 use parp_chain::{Blockchain, State};
 use parp_contracts::{
     ParpBatchRequest, ParpBatchResponse, ParpExecutor, ParpRequest, ParpResponse,
@@ -11,7 +11,7 @@ use parp_contracts::{
 use parp_core::{FullNode, ProofEngine, ServeError};
 use parp_crypto::keccak256;
 use parp_primitives::Address;
-use parp_trie::FrozenTrie;
+use parp_trie::{FrozenTrie, ProofBuf};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -114,6 +114,16 @@ impl ProofEngine for Runtime {
     fn account_multiproof(&mut self, state: &State, addresses: &[Address]) -> Vec<Vec<u8>> {
         let trie = self.cache.get_or_build(state);
         sharded_account_multiproof(&trie, addresses, self.shards)
+    }
+
+    fn account_multiproof_into(
+        &mut self,
+        state: &State,
+        addresses: &[Address],
+        out: &mut ProofBuf,
+    ) {
+        let trie = self.cache.get_or_build(state);
+        sharded_account_multiproof_into(&trie, addresses, self.shards, out);
     }
 
     fn account_proof(&mut self, state: &State, address: &Address) -> Vec<Vec<u8>> {
@@ -278,6 +288,15 @@ pub struct FrozenReadEngine {
 impl ProofEngine for FrozenReadEngine {
     fn account_multiproof(&mut self, _state: &State, addresses: &[Address]) -> Vec<Vec<u8>> {
         sharded_account_multiproof(&self.trie, addresses, 1)
+    }
+
+    fn account_multiproof_into(
+        &mut self,
+        _state: &State,
+        addresses: &[Address],
+        out: &mut ProofBuf,
+    ) {
+        sharded_account_multiproof_into(&self.trie, addresses, 1, out);
     }
 
     fn account_proof(&mut self, _state: &State, address: &Address) -> Vec<Vec<u8>> {

@@ -1,7 +1,7 @@
 //! Sharded multiproof generation: batch items partitioned across a
-//! `std::thread` worker pool by account trie key, per-shard proof paths
-//! generated in parallel, merged into the exact deduplicated multiproof
-//! the sequential path produces.
+//! `std::thread` worker pool, per-shard proof paths walked in parallel
+//! as **arena witness ids**, merged into the exact deduplicated
+//! multiproof the sequential path produces.
 //!
 //! Determinism is the contract: the merged node set is **byte-identical
 //! to [`parp_trie::Trie::prove_many`] for every shard count**, because each key's
@@ -10,11 +10,22 @@
 //! deduplication. Sharding only decides *which worker walks which key*,
 //! never what ends up on the wire — so a response served with 8 shards
 //! verifies (and hashes, and signs) exactly like one served with 1.
+//!
+//! Workers never touch proof bytes: each walks its keys over the shared
+//! [`FrozenTrie`] arena and returns `u32` witness ids. The merge dedups
+//! them through a bitset (no hashing) and materializes each surviving
+//! node exactly once — straight into the caller's [`ProofBuf`] on the
+//! zero-copy path.
+//!
+//! Work is split into **equal-size contiguous index chunks**, not by key
+//! bytes: a byte-keyed partition (the previous leading-byte scheme)
+//! collapses under Zipf-skewed hot-account workloads, where most keys of
+//! a batch can share a prefix or simply repeat. Chunking balances worker
+//! load for any key distribution, including all-duplicates.
 
 use parp_crypto::keccak256;
 use parp_primitives::{Address, H256};
-use parp_trie::FrozenTrie;
-use std::collections::HashSet;
+use parp_trie::{FrozenTrie, ProofBuf};
 
 /// Upper bound on worker threads per batch; more shards than this would
 /// only add scheduling noise on any realistic host.
@@ -25,12 +36,26 @@ pub const MAX_SHARDS: usize = 64;
 /// walks themselves.
 pub const INLINE_THRESHOLD: usize = 32;
 
-/// The shard a trie key lands on: its leading byte modulo the shard
-/// count. Keys are keccak256 outputs, so the leading byte is uniform and
-/// the partition is balanced without any coordination.
+/// The shard a trie key lands on: a splitmix64 mix of the key's first
+/// eight bytes, reduced modulo the shard count.
+///
+/// Mixing (rather than taking the leading byte, as this function once
+/// did) keeps the partition balanced even when keys share a prefix —
+/// the Zipf-skew failure mode of hot-account workloads. The proof
+/// workers themselves no longer partition by key at all (see the module
+/// docs); this remains the key-affine partitioner for callers that need
+/// a stable key → shard mapping (e.g. cache sharding).
 pub fn shard_of(key: &[u8], shards: usize) -> usize {
     debug_assert!(shards > 0);
-    key.first().map(|b| *b as usize % shards).unwrap_or(0)
+    let mut acc = 0u64;
+    for &byte in key.iter().take(8) {
+        acc = (acc << 8) | u64::from(byte);
+    }
+    let mut z = acc.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z % shards as u64) as usize
 }
 
 /// Deduplicated account multiproof for `addresses` under `trie`,
@@ -44,72 +69,80 @@ pub fn sharded_account_multiproof(
     addresses: &[Address],
     shards: usize,
 ) -> Vec<Vec<u8>> {
+    let paths = account_id_paths(trie, addresses, shards);
+    let mut nodes = Vec::new();
+    merge_id_paths(trie, &paths, |bytes| nodes.push(bytes.to_vec()));
+    nodes
+}
+
+/// [`sharded_account_multiproof`] serialized into a reusable
+/// [`ProofBuf`]: the same node set, written zero-copy into one
+/// contiguous allocation. Clears `out` first; capacity is retained
+/// across batches.
+pub fn sharded_account_multiproof_into(
+    trie: &FrozenTrie,
+    addresses: &[Address],
+    shards: usize,
+    out: &mut ProofBuf,
+) {
+    out.clear();
+    let paths = account_id_paths(trie, addresses, shards);
+    merge_id_paths(trie, &paths, |bytes| out.push(bytes));
+}
+
+/// Per-key witness-id paths for the account keys, in call order.
+fn account_id_paths(trie: &FrozenTrie, addresses: &[Address], shards: usize) -> Vec<Vec<u32>> {
     let keys: Vec<H256> = addresses
         .iter()
         .map(|address| keccak256(address.as_bytes()))
         .collect();
-    let paths = prove_paths(trie, &keys, shards);
-    merge_paths(paths)
+    prove_id_paths(trie, &keys, shards)
 }
 
-/// Per-key proof paths in call order, walked by `shards` scoped workers
-/// (spawned per batch — workers live exactly as long as the batch, so
-/// there is no idle pool to drain on shutdown).
-fn prove_paths(trie: &FrozenTrie, keys: &[H256], shards: usize) -> Vec<Vec<Vec<u8>>> {
+/// Per-key witness-id paths in call order, walked by up to `shards`
+/// scoped workers (spawned per batch — workers live exactly as long as
+/// the batch, so there is no idle pool to drain on shutdown). Keys are
+/// split into equal-size contiguous chunks, so worker load stays
+/// balanced for arbitrarily skewed (or duplicate-heavy) key sets.
+fn prove_id_paths(trie: &FrozenTrie, keys: &[H256], shards: usize) -> Vec<Vec<u32>> {
     let shards = shards.clamp(1, MAX_SHARDS);
+    let walk = |key: &H256| {
+        let mut ids = Vec::new();
+        trie.prove_ids(key.as_bytes(), &mut ids);
+        ids
+    };
     if shards == 1 || keys.len() < INLINE_THRESHOLD {
-        return keys.iter().map(|key| trie.prove(key.as_bytes())).collect();
+        return keys.iter().map(walk).collect();
     }
-    let mut paths: Vec<Option<Vec<Vec<u8>>>> = vec![None; keys.len()];
-    // Partition key indices by shard; each worker owns its slice of the
-    // key space and walks the shared trie read-only.
-    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); shards];
-    for (index, key) in keys.iter().enumerate() {
-        assignment[shard_of(key.as_bytes(), shards)].push(index);
-    }
-    let mut results: Vec<Vec<(usize, Vec<Vec<u8>>)>> = Vec::new();
+    let chunk = keys.len().div_ceil(shards);
+    let mut results: Vec<Vec<Vec<u32>>> = Vec::new();
     std::thread::scope(|scope| {
-        let workers: Vec<_> = assignment
-            .iter()
-            .filter(|indices| !indices.is_empty())
-            .map(|indices| {
-                scope.spawn(move || {
-                    indices
-                        .iter()
-                        .map(|&index| (index, trie.prove(keys[index].as_bytes())))
-                        .collect::<Vec<_>>()
-                })
-            })
+        let workers: Vec<_> = keys
+            .chunks(chunk)
+            .map(|chunk_keys| scope.spawn(move || chunk_keys.iter().map(walk).collect::<Vec<_>>()))
             .collect();
         results = workers
             .into_iter()
             .map(|worker| worker.join().expect("shard worker panicked"))
             .collect();
     });
-    for shard_paths in results {
-        for (index, path) in shard_paths {
-            paths[index] = Some(path);
-        }
-    }
-    paths
-        .into_iter()
-        .map(|path| path.expect("every key assigned to exactly one shard"))
-        .collect()
+    // Chunks are contiguous in call order, so flattening restores it.
+    results.into_iter().flatten().collect()
 }
 
-/// First-touch-order dedup merge — the same fold [`Trie::prove_many`]
-/// performs, applied to pre-walked paths.
-fn merge_paths(paths: Vec<Vec<Vec<u8>>>) -> Vec<Vec<u8>> {
-    let mut seen: HashSet<H256> = HashSet::new();
-    let mut nodes = Vec::new();
+/// First-touch-order dedup merge — the same fold
+/// [`parp_trie::Trie::prove_many`] performs, applied to pre-walked
+/// witness ids: a bitset probe per id, one byte materialization per
+/// surviving node, zero hashing.
+fn merge_id_paths<F: FnMut(&[u8])>(trie: &FrozenTrie, paths: &[Vec<u32>], mut emit: F) {
+    let mut seen = vec![false; trie.node_count()];
     for path in paths {
-        for node in path {
-            if seen.insert(keccak256(&node)) {
-                nodes.push(node);
+        for &id in path {
+            if !std::mem::replace(&mut seen[id as usize], true) {
+                emit(trie.node_bytes(id));
             }
         }
     }
-    nodes
 }
 
 #[cfg(test)]
@@ -144,6 +177,21 @@ mod tests {
     }
 
     #[test]
+    fn zero_copy_path_matches_allocating_path() {
+        let (trie, addresses) = populated_trie(200);
+        let mut buf = ProofBuf::new();
+        for shards in [1, 4] {
+            sharded_account_multiproof_into(&trie, &addresses, shards, &mut buf);
+            assert_eq!(
+                buf.to_vecs(),
+                sharded_account_multiproof(&trie, &addresses, shards)
+            );
+        }
+        sharded_account_multiproof_into(&trie, &[], 4, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
     fn duplicates_absences_and_empty_inputs() {
         let (trie, addresses) = populated_trie(50);
         // Duplicate keys and absent accounts, shuffled across shards —
@@ -174,6 +222,37 @@ mod tests {
     }
 
     #[test]
+    fn skewed_key_sets_stay_byte_identical() {
+        // A Zipf-flavoured workload: a handful of hot accounts dominate
+        // the batch. Under the old leading-byte partition, every copy of
+        // a hot key landed on one worker; chunking splits them evenly —
+        // and the output must not change either way.
+        let (trie, addresses) = populated_trie(100);
+        let mut skewed = Vec::new();
+        for i in 0..128usize {
+            // ~70% of calls hit 4 hot accounts, the rest spread out.
+            let address = if i % 10 < 7 {
+                addresses[i % 4]
+            } else {
+                addresses[(i * 13) % addresses.len()]
+            };
+            skewed.push(address);
+        }
+        let sequential = trie.trie().prove_many(
+            skewed
+                .iter()
+                .map(|a| keccak256(a.as_bytes()).as_bytes().to_vec()),
+        );
+        for shards in [1, 2, 8] {
+            assert_eq!(
+                sharded_account_multiproof(&trie, &skewed, shards),
+                sequential,
+                "shard count {shards} diverged on the skewed set"
+            );
+        }
+    }
+
+    #[test]
     fn oversized_shard_count_clamped() {
         let (trie, addresses) = populated_trie(INLINE_THRESHOLD as u64 + 10);
         let reference = sharded_account_multiproof(&trie, &addresses, 1);
@@ -190,7 +269,24 @@ mod tests {
                 let shard = shard_of(&[byte, 1, 2], shards);
                 assert!(shard < shards);
             }
+            assert!(shard_of(&[], shards) < shards);
         }
-        assert_eq!(shard_of(&[], 4), 0);
+    }
+
+    #[test]
+    fn shard_of_spreads_shared_prefixes() {
+        // Every key shares the same leading byte — the case the old
+        // `key[0] % shards` partition mapped onto a single shard.
+        for shards in [2usize, 4, 8] {
+            let mut hit = vec![0usize; shards];
+            for i in 0..=255u8 {
+                let key = [0xaa, i, 3, 4, 5, 6, 7, 8];
+                hit[shard_of(&key, shards)] += 1;
+            }
+            assert!(
+                hit.iter().all(|&count| count > 0),
+                "shared-prefix keys collapsed onto a subset of {shards} shards: {hit:?}"
+            );
+        }
     }
 }

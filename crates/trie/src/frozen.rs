@@ -1,32 +1,83 @@
-//! A trie frozen for serving: node encodings precomputed once, proofs in
-//! O(depth).
+//! An arena-flattened trie frozen for serving: node encodings laid out
+//! contiguously, proofs in O(depth) with zero hashing.
 //!
 //! [`crate::Trie::prove`] re-encodes every node it records, and encoding
 //! an interior node recursively encodes (and hashes) its whole subtree —
-//! a proof walk from the root therefore costs O(total trie bytes), and a
-//! 64-key multiproof over a 10k-account state spends hundreds of
-//! milliseconds redoing identical Keccak work. A [`FrozenTrie`] pays
-//! that cost exactly once: a single bottom-up pass computes every node's
-//! canonical encoding (each node encoded from its children's *cached*
-//! references, so the pass is linear), and stores it keyed by the nibble
-//! prefix at which a proof walk reaches the node. Every subsequent
-//! [`FrozenTrie::prove`] is a structural walk plus O(depth) lookups.
+//! a proof walk from the root therefore costs O(total trie bytes). The
+//! previous frozen layout fixed that with a `HashMap` of encodings keyed
+//! by cloned nibble-prefix vectors (retained verbatim as
+//! [`crate::baseline::FrozenTrie`]), but every walk step still paid a
+//! `Vec` key clone plus a hash-map probe, every recorded node was cloned
+//! per key, and multiproof dedup re-keccaked every recorded node.
 //!
-//! The proof bytes are **identical** to [`crate::Trie::prove`] — the
-//! freeze changes where encodings come from, never what they are — so
-//! frozen proofs verify (and fraud-check) interchangeably with unfrozen
-//! ones. This is the shape the serving runtime's snapshot cache shares
-//! across batches and shard workers.
+//! A [`FrozenTrie`] flattens the trie into an arena instead:
+//!
+//! * one contiguous node table ([`ArenaNode`] is a few words; children
+//!   are `u32` arena ids, not boxes), so a proof walk is index chasing
+//!   through one allocation;
+//! * one contiguous encoding buffer, with each node holding an
+//!   `(offset, len)` range — recorded proof nodes are slices, copied at
+//!   most once into the caller's [`ProofBuf`];
+//! * a freeze pass that encodes bottom-up level by level and hashes
+//!   each level's encodings through [`parp_crypto::keccak256_batch`],
+//!   then precomputes every node's **witness id** — the canonical arena
+//!   id among nodes with byte-identical encodings — so
+//!   [`FrozenTrie::prove_many`]'s cross-key dedup is a bitset probe
+//!   instead of a keccak per recorded node per key.
+//!
+//! The proof bytes are **identical** to [`crate::Trie::prove`] and to
+//! the retained baseline — the freeze changes where encodings come
+//! from, never what they are — so frozen proofs verify (and
+//! fraud-check) interchangeably with unfrozen ones. This is the shape
+//! the serving runtime's snapshot cache shares across batches and shard
+//! workers: workers walk arena ids and only the final merge touches
+//! bytes.
 
-use crate::nibbles::{bytes_to_nibbles, hp_encode};
 use crate::node::{empty_root, Node};
+use crate::proofbuf::ProofBuf;
 use crate::trie::Trie;
-use parp_crypto::keccak256;
+use parp_crypto::keccak256_batch;
 use parp_primitives::H256;
 use parp_rlp::{encode_bytes, encode_list};
 use std::collections::HashMap;
 
-/// A [`Trie`] plus a one-pass index of every node's encoding.
+/// Sentinel arena id marking an absent branch child.
+const NO_NODE: u32 = u32::MAX;
+
+/// What a flattened node is; the walk only needs the shape, never the
+/// boxed tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Leaf,
+    Extension,
+    Branch,
+}
+
+/// One flattened trie node: encoding range, children ids and walk
+/// metadata, all as indices into the arena's shared pools.
+#[derive(Debug, Clone, Copy)]
+struct ArenaNode {
+    kind: Kind,
+    /// Range of this node's canonical RLP encoding in the shared
+    /// encoding buffer.
+    enc_off: u32,
+    enc_len: u32,
+    /// Extension: one slot in the children pool; branch: 16 slots
+    /// (absent children hold [`NO_NODE`]); leaf: unused.
+    child_off: u32,
+    /// Extension: nibble-path range in the path pool; leaf/branch:
+    /// unused (a proof walk never compares a leaf's path).
+    path_off: u32,
+    path_len: u32,
+    /// Witness id: the smallest arena id whose encoding is
+    /// byte-identical to this node's. Structurally repeated subtrees
+    /// collapse to one witness, exactly like the baseline's
+    /// hash-keyed dedup — but precomputed at freeze time.
+    dedup: u32,
+}
+
+/// A [`Trie`] flattened into a contiguous arena for O(depth),
+/// allocation-light proof serving.
 ///
 /// # Examples
 ///
@@ -47,28 +98,38 @@ use std::collections::HashMap;
 pub struct FrozenTrie {
     trie: Trie,
     root: H256,
-    /// Canonical encoding of each node, keyed by the nibble prefix a
-    /// proof walk has consumed when it reaches the node.
-    encodings: HashMap<Vec<u8>, Vec<u8>>,
+    nodes: Vec<ArenaNode>,
+    /// Child-id pool: 16 slots per branch, 1 per extension.
+    children: Vec<u32>,
+    /// Nibble-path pool for extension nodes.
+    paths: Vec<u8>,
+    /// Every node's canonical RLP encoding, back to back.
+    buf: Vec<u8>,
 }
 
 impl FrozenTrie {
-    /// Freezes `trie`, computing every node encoding bottom-up in one
-    /// linear pass.
+    /// Freezes `trie`: flattens it into the arena and computes every
+    /// node encoding bottom-up, hashing each level's encodings in one
+    /// batched keccak pass.
     pub fn new(trie: Trie) -> Self {
-        let mut encodings = HashMap::new();
-        let mut prefix = Vec::new();
-        let root = match trie.root_node() {
-            Node::Empty => empty_root(),
+        let (root, nodes, children, paths, buf) = match trie.root_node() {
+            Node::Empty => (empty_root(), Vec::new(), Vec::new(), Vec::new(), Vec::new()),
             node => {
-                index_node(node, &mut prefix, &mut encodings);
-                keccak256(&encodings[&Vec::new()])
+                let mut arena = Arena::default();
+                arena.flatten(node, 0);
+                let root = arena.encode_levels();
+                // `srcs` (which borrows the trie) stays behind; only the
+                // owned pools move into the frozen value.
+                (root, arena.nodes, arena.children, arena.paths, arena.buf)
             }
         };
         FrozenTrie {
             trie,
             root,
-            encodings,
+            nodes,
+            children,
+            paths,
+            buf,
         }
     }
 
@@ -92,63 +153,131 @@ impl FrozenTrie {
         self.root
     }
 
-    /// Merkle proof for `key`: byte-identical to [`Trie::prove`], with
-    /// every node encoding looked up instead of recomputed.
-    pub fn prove(&self, key: &[u8]) -> Vec<Vec<u8>> {
-        let nibbles = bytes_to_nibbles(key);
-        let mut proof = Vec::new();
-        let mut node = self.trie.root_node();
+    /// Number of arena nodes. Witness ids from [`FrozenTrie::prove_ids`]
+    /// are always below this bound, so a `node_count()`-sized bitset
+    /// dedups any set of id paths.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The canonical encoding of arena node `id`, as a slice into the
+    /// shared buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not a valid arena id (ids come from
+    /// [`FrozenTrie::prove_ids`] on the same trie).
+    pub fn node_bytes(&self, id: u32) -> &[u8] {
+        let node = &self.nodes[id as usize];
+        &self.buf[node.enc_off as usize..(node.enc_off + node.enc_len) as usize]
+    }
+
+    /// Appends the witness ids of the proof nodes [`Trie::prove`] would
+    /// record for `key`, in walk order.
+    ///
+    /// Mapping each id through [`FrozenTrie::node_bytes`] reproduces
+    /// [`FrozenTrie::prove`] exactly; first-touch deduplication over the
+    /// ids reproduces [`FrozenTrie::prove_many`]. This is the shard
+    /// workers' interface: they exchange ids, never bytes.
+    pub fn prove_ids(&self, key: &[u8], out: &mut Vec<u32>) {
+        if self.nodes.is_empty() {
+            return;
+        }
+        let nib_len = key.len() * 2;
+        let mut id = 0u32;
         let mut consumed = 0usize;
         let mut is_root = true;
         loop {
-            if node.is_empty() {
-                break;
-            }
-            let encoded = &self.encodings[&nibbles[..consumed]];
-            if encoded.len() >= 32 || is_root {
-                proof.push(encoded.clone());
+            let node = self.nodes[id as usize];
+            if node.enc_len >= 32 || is_root {
+                out.push(node.dedup);
             }
             is_root = false;
-            match node {
-                Node::Empty | Node::Leaf { .. } => break,
-                Node::Extension { path, child } => {
-                    let remaining = &nibbles[consumed..];
-                    if remaining.len() < path.len() || &remaining[..path.len()] != path.as_slice() {
+            match node.kind {
+                Kind::Leaf => break,
+                Kind::Extension => {
+                    let path = &self.paths
+                        [node.path_off as usize..(node.path_off + node.path_len) as usize];
+                    if nib_len - consumed < path.len()
+                        || !path
+                            .iter()
+                            .enumerate()
+                            .all(|(i, &p)| nibble_at(key, consumed + i) == p)
+                    {
                         break;
                     }
                     consumed += path.len();
-                    node = child;
+                    id = self.children[node.child_off as usize];
                 }
-                Node::Branch { children, .. } => {
-                    if consumed == nibbles.len() {
+                Kind::Branch => {
+                    if consumed == nib_len {
                         break;
                     }
-                    let idx = nibbles[consumed] as usize;
+                    let idx = nibble_at(key, consumed) as usize;
                     consumed += 1;
-                    node = &children[idx];
+                    let child = self.children[node.child_off as usize + idx];
+                    if child == NO_NODE {
+                        break;
+                    }
+                    id = child;
                 }
             }
         }
-        proof
+    }
+
+    /// Merkle proof for `key`: byte-identical to [`Trie::prove`], with
+    /// every node a slice copy out of the arena's encoding buffer.
+    pub fn prove(&self, key: &[u8]) -> Vec<Vec<u8>> {
+        let mut ids = Vec::new();
+        self.prove_ids(key, &mut ids);
+        ids.iter().map(|&id| self.node_bytes(id).to_vec()).collect()
     }
 
     /// Deduplicated multiproof for `keys`: byte-identical to
-    /// [`Trie::prove_many`].
+    /// [`Trie::prove_many`]. Cross-key dedup is a bitset over
+    /// precomputed witness ids — no hashing, no hash map.
     pub fn prove_many<I, K>(&self, keys: I) -> Vec<Vec<u8>>
     where
         I: IntoIterator<Item = K>,
         K: AsRef<[u8]>,
     {
-        let mut seen: std::collections::HashSet<H256> = std::collections::HashSet::new();
         let mut nodes = Vec::new();
+        self.for_each_multiproof_node(keys, |bytes| nodes.push(bytes.to_vec()));
+        nodes
+    }
+
+    /// [`FrozenTrie::prove_many`] into a reusable [`ProofBuf`]: the
+    /// whole multiproof lands in one contiguous allocation, each shared
+    /// node materialized exactly once across all keys. Clears `out`
+    /// first; capacity is retained across batches.
+    pub fn multiproof_into<I, K>(&self, keys: I, out: &mut ProofBuf)
+    where
+        I: IntoIterator<Item = K>,
+        K: AsRef<[u8]>,
+    {
+        out.clear();
+        self.for_each_multiproof_node(keys, |bytes| out.push(bytes));
+    }
+
+    /// Walks every key and emits each first-touched witness node once,
+    /// in the exact order [`Trie::prove_many`] produces.
+    fn for_each_multiproof_node<I, K, F>(&self, keys: I, mut emit: F)
+    where
+        I: IntoIterator<Item = K>,
+        K: AsRef<[u8]>,
+        F: FnMut(&[u8]),
+    {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut ids = Vec::new();
         for key in keys {
-            for node in self.prove(key.as_ref()) {
-                if seen.insert(keccak256(&node)) {
-                    nodes.push(node);
+            ids.clear();
+            self.prove_ids(key.as_ref(), &mut ids);
+            for &id in &ids {
+                if !std::mem::replace(&mut seen[id as usize], true) {
+                    emit(self.node_bytes(id));
                 }
             }
         }
-        nodes
     }
 }
 
@@ -158,55 +287,193 @@ impl From<Trie> for FrozenTrie {
     }
 }
 
-/// Encodes `node` (reached after consuming `prefix` nibbles) from its
-/// children's cached references, records it, and returns the node's
-/// parent-embedded reference. Mirrors [`Node::encode`]/[`Node::reference`]
-/// byte for byte, but linear over the whole trie instead of quadratic.
-fn index_node(
-    node: &Node,
-    prefix: &mut Vec<u8>,
-    encodings: &mut HashMap<Vec<u8>, Vec<u8>>,
-) -> Vec<u8> {
-    let encoded = match node {
-        Node::Empty => return encode_bytes(&[]),
-        Node::Leaf { path, value } => {
-            encode_list(&[encode_bytes(&hp_encode(path, true)), encode_bytes(value)])
-        }
-        Node::Extension { path, child } => {
-            let base = prefix.len();
-            prefix.extend_from_slice(path);
-            let child_ref = index_node(child, prefix, encodings);
-            prefix.truncate(base);
-            encode_list(&[encode_bytes(&hp_encode(path, false)), child_ref])
-        }
-        Node::Branch { children, value } => {
-            let mut items: Vec<Vec<u8>> = Vec::with_capacity(17);
-            for (i, child) in children.iter().enumerate() {
-                prefix.push(i as u8);
-                let child_ref = index_node(child, prefix, encodings);
-                prefix.pop();
-                items.push(child_ref);
-            }
-            items.push(match value {
-                Some(v) => encode_bytes(v),
-                None => encode_bytes(&[]),
-            });
-            encode_list(&items)
-        }
-    };
-    let reference = if encoded.len() < 32 {
-        encoded.clone()
+/// The nibble at position `i` of `key`'s nibble expansion, without
+/// materializing the expansion.
+fn nibble_at(key: &[u8], i: usize) -> u8 {
+    let byte = key[i / 2];
+    if i.is_multiple_of(2) {
+        byte >> 4
     } else {
-        encode_bytes(keccak256(&encoded).as_bytes())
-    };
-    encodings.insert(prefix.clone(), encoded);
-    reference
+        byte & 0x0f
+    }
+}
+
+/// Freeze-pass scratch: flattens the boxed tree, then encodes and
+/// hashes it level by level.
+#[derive(Default)]
+struct Arena<'a> {
+    nodes: Vec<ArenaNode>,
+    children: Vec<u32>,
+    paths: Vec<u8>,
+    buf: Vec<u8>,
+    /// Source nodes, parallel to `nodes` (branch values are read at
+    /// encode time instead of being copied into a pool).
+    srcs: Vec<&'a Node>,
+    depths: Vec<u32>,
+}
+
+impl<'a> Arena<'a> {
+    /// Pass 1: assigns arena ids in pre-order (the root is id 0),
+    /// records structure, and encodes leaves (which have no
+    /// dependencies) immediately.
+    fn flatten(&mut self, node: &'a Node, depth: u32) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(ArenaNode {
+            kind: Kind::Leaf,
+            enc_off: 0,
+            enc_len: 0,
+            child_off: 0,
+            path_off: 0,
+            path_len: 0,
+            dedup: id,
+        });
+        self.srcs.push(node);
+        self.depths.push(depth);
+        match node {
+            Node::Empty => unreachable!("flatten is never called on an empty node"),
+            Node::Leaf { path, value } => {
+                let encoded = encode_list(&[
+                    encode_bytes(&crate::nibbles::hp_encode(path, true)),
+                    encode_bytes(value),
+                ]);
+                self.set_encoding(id, &encoded);
+            }
+            Node::Extension { path, child } => {
+                let path_off = self.paths.len() as u32;
+                self.paths.extend_from_slice(path);
+                let child_off = self.children.len() as u32;
+                self.children.push(NO_NODE);
+                {
+                    let slot = &mut self.nodes[id as usize];
+                    slot.kind = Kind::Extension;
+                    slot.child_off = child_off;
+                    slot.path_off = path_off;
+                    slot.path_len = path.len() as u32;
+                }
+                let child_id = self.flatten(child, depth + 1);
+                self.children[child_off as usize] = child_id;
+            }
+            Node::Branch { children, .. } => {
+                let child_off = self.children.len() as u32;
+                self.children.extend_from_slice(&[NO_NODE; 16]);
+                {
+                    let slot = &mut self.nodes[id as usize];
+                    slot.kind = Kind::Branch;
+                    slot.child_off = child_off;
+                }
+                for (i, child) in children.iter().enumerate() {
+                    if !child.is_empty() {
+                        let child_id = self.flatten(child, depth + 1);
+                        self.children[child_off as usize + i] = child_id;
+                    }
+                }
+            }
+        }
+        id
+    }
+
+    /// Pass 2: deepest level first, encodes interior nodes from their
+    /// children's cached references, batch-hashes each level's
+    /// recordable encodings, and derives witness ids. Returns the root
+    /// hash.
+    fn encode_levels(&mut self) -> H256 {
+        let count = self.nodes.len();
+        let mut hashes: Vec<H256> = vec![H256::default(); count];
+        let max_depth = *self.depths.iter().max().expect("non-empty arena") as usize;
+        let mut by_depth: Vec<Vec<u32>> = vec![Vec::new(); max_depth + 1];
+        for (id, &depth) in self.depths.iter().enumerate() {
+            by_depth[depth as usize].push(id as u32);
+        }
+        for level in by_depth.iter().rev() {
+            for &id in level {
+                let node = self.nodes[id as usize];
+                let encoded = match node.kind {
+                    Kind::Leaf => continue, // encoded during flatten
+                    Kind::Extension => {
+                        let path = &self.paths
+                            [node.path_off as usize..(node.path_off + node.path_len) as usize];
+                        let child = self.children[node.child_off as usize];
+                        encode_list(&[
+                            encode_bytes(&crate::nibbles::hp_encode(path, false)),
+                            self.reference(child, &hashes),
+                        ])
+                    }
+                    Kind::Branch => {
+                        let mut items: Vec<Vec<u8>> = Vec::with_capacity(17);
+                        for i in 0..16 {
+                            let child = self.children[node.child_off as usize + i];
+                            items.push(if child == NO_NODE {
+                                encode_bytes(&[])
+                            } else {
+                                self.reference(child, &hashes)
+                            });
+                        }
+                        items.push(match self.srcs[id as usize] {
+                            Node::Branch { value: Some(v), .. } => encode_bytes(v),
+                            _ => encode_bytes(&[]),
+                        });
+                        encode_list(&items)
+                    }
+                };
+                self.set_encoding(id, &encoded);
+            }
+            // One batched keccak over the level's recordable encodings:
+            // nodes referenced by hash, plus the root (hashed even when
+            // its encoding is short).
+            let to_hash: Vec<u32> = level
+                .iter()
+                .copied()
+                .filter(|&id| self.nodes[id as usize].enc_len >= 32 || id == 0)
+                .collect();
+            let slices: Vec<&[u8]> = to_hash.iter().map(|&id| self.encoding(id)).collect();
+            for (&id, digest) in to_hash.iter().zip(keccak256_batch(&slices)) {
+                hashes[id as usize] = digest;
+            }
+        }
+        // Witness ids: among recordable nodes, byte-identical encodings
+        // share the first id carrying them, mirroring the baseline's
+        // first-touch hash dedup without any hashing at prove time.
+        let mut first: HashMap<H256, u32> = HashMap::new();
+        for id in 0..count as u32 {
+            if self.nodes[id as usize].enc_len >= 32 || id == 0 {
+                let canonical = *first.entry(hashes[id as usize]).or_insert(id);
+                self.nodes[id as usize].dedup = canonical;
+            }
+        }
+        hashes[0]
+    }
+
+    /// Appends `encoded` to the shared buffer and records its range.
+    fn set_encoding(&mut self, id: u32, encoded: &[u8]) {
+        let slot = &mut self.nodes[id as usize];
+        slot.enc_off = self.buf.len() as u32;
+        slot.enc_len = encoded.len() as u32;
+        self.buf.extend_from_slice(encoded);
+    }
+
+    fn encoding(&self, id: u32) -> &[u8] {
+        let node = &self.nodes[id as usize];
+        &self.buf[node.enc_off as usize..(node.enc_off + node.enc_len) as usize]
+    }
+
+    /// The parent-embedded reference of node `id`: the raw encoding
+    /// when shorter than 32 bytes, otherwise the RLP-wrapped hash
+    /// cached by the level pass.
+    fn reference(&self, id: u32, hashes: &[H256]) -> Vec<u8> {
+        if self.nodes[id as usize].enc_len < 32 {
+            self.encoding(id).to_vec()
+        } else {
+            encode_bytes(hashes[id as usize].as_bytes())
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::baseline;
     use crate::proof::verify_proof;
+    use parp_crypto::keccak256;
 
     fn sample_trie(n: u32) -> Trie {
         let mut trie = Trie::new();
@@ -247,11 +514,71 @@ mod tests {
     }
 
     #[test]
+    fn arena_matches_baseline_byte_for_byte() {
+        let trie = sample_trie(400);
+        let arena = FrozenTrie::new(trie.clone());
+        let base = baseline::FrozenTrie::new(trie);
+        assert_eq!(arena.root_hash(), base.root_hash());
+        let keys: Vec<Vec<u8>> = (0..96u32)
+            .map(|i| keccak256(&(i * 7).to_be_bytes()).as_bytes().to_vec())
+            .collect();
+        for key in &keys {
+            assert_eq!(arena.prove(key), base.prove(key));
+        }
+        assert_eq!(arena.prove_many(&keys), base.prove_many(&keys));
+    }
+
+    #[test]
+    fn repeated_subtrees_share_one_witness() {
+        // Two keys diverging at the first nibble but with identical
+        // (≥ 32 byte) tails produce byte-identical leaf encodings at
+        // different arena positions. The baseline's hash dedup collapses
+        // them in a multiproof; witness ids must do the same.
+        let mut trie = Trie::new();
+        let tail = [0xabu8; 20];
+        let mut key_a = vec![0x10];
+        key_a.extend_from_slice(&tail);
+        let mut key_b = vec![0x20];
+        key_b.extend_from_slice(&tail);
+        trie.insert(key_a.clone(), vec![0xcd; 40]);
+        trie.insert(key_b.clone(), vec![0xcd; 40]);
+        let arena = FrozenTrie::new(trie.clone());
+        let base = baseline::FrozenTrie::new(trie);
+        let keys = [key_a, key_b];
+        let arena_proof = arena.prove_many(&keys);
+        assert_eq!(arena_proof, base.prove_many(&keys));
+        // Root branch + one shared leaf encoding: the duplicate leaf
+        // must not appear twice.
+        assert_eq!(arena_proof.len(), 2);
+        let results = crate::verify_many(arena.root_hash(), &keys, &arena_proof).unwrap();
+        assert!(results.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn multiproof_into_reuses_buffer() {
+        let trie = sample_trie(200);
+        let frozen = FrozenTrie::new(trie);
+        let keys: Vec<Vec<u8>> = (0..48u32)
+            .map(|i| keccak256(&i.to_be_bytes()).as_bytes().to_vec())
+            .collect();
+        let mut buf = ProofBuf::new();
+        frozen.multiproof_into(&keys, &mut buf);
+        assert_eq!(buf.to_vecs(), frozen.prove_many(&keys));
+        // Reuse with a different key set: cleared, then refilled.
+        let other: Vec<Vec<u8>> = (100..120u32)
+            .map(|i| keccak256(&i.to_be_bytes()).as_bytes().to_vec())
+            .collect();
+        frozen.multiproof_into(&other, &mut buf);
+        assert_eq!(buf.to_vecs(), frozen.prove_many(&other));
+    }
+
+    #[test]
     fn small_and_empty_tries() {
         let empty = FrozenTrie::new(Trie::new());
         assert!(empty.is_empty());
         assert_eq!(empty.root_hash(), empty_root());
         assert!(empty.prove(b"anything").is_empty());
+        assert_eq!(empty.node_count(), 0);
 
         let mut one = Trie::new();
         one.insert(b"dog".to_vec(), b"puppy".to_vec());
@@ -265,9 +592,9 @@ mod tests {
     #[test]
     fn frozen_proof_is_much_cheaper_than_walking() {
         // Structural sanity rather than a timing assertion: the frozen
-        // walk performs O(depth) map lookups, so proving every key in a
+        // walk performs O(depth) index chases, so proving every key in a
         // large trie stays well under the quadratic re-encoding cost.
-        // (The runtime_throughput bench measures the actual speedup.)
+        // (The trie_hotpath bench measures the actual speedup.)
         let trie = sample_trie(2_000);
         let frozen = FrozenTrie::new(trie);
         let keys: Vec<Vec<u8>> = (0..2_000u32)
@@ -275,5 +602,6 @@ mod tests {
             .collect();
         let proof = frozen.prove_many(&keys);
         assert!(!proof.is_empty());
+        assert!(frozen.node_count() >= 2_000);
     }
 }

@@ -26,17 +26,20 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 mod frozen;
 mod multiproof;
 pub mod nibbles;
 mod node;
 mod proof;
+mod proofbuf;
 mod trie;
 
 pub use frozen::FrozenTrie;
 pub use multiproof::verify_many;
 pub use node::{empty_root, Node};
 pub use proof::{verify_proof, ProofError};
+pub use proofbuf::ProofBuf;
 pub use trie::{Iter, Trie};
 
 /// Builds a transaction-trie-style trie from ordered values: key `i` is

@@ -72,10 +72,14 @@ impl Trie {
 /// Returns [`ProofError`] when any key's walk hits a missing or malformed
 /// node, when the proof repeats a node, or when it contains nodes no
 /// key's walk touches (anti-padding, as with single proofs).
-pub fn verify_many<K: AsRef<[u8]>>(
+///
+/// The proof parameter accepts any node representation (`Vec<u8>` from
+/// the wire, `&[u8]` slices out of a [`crate::ProofBuf`]): verification
+/// only ever reads the bytes.
+pub fn verify_many<K: AsRef<[u8]>, P: AsRef<[u8]>>(
     root: H256,
     keys: &[K],
-    proof: &[Vec<u8>],
+    proof: &[P],
 ) -> Result<Vec<Option<Vec<u8>>>, ProofError> {
     if root == empty_root() || keys.is_empty() {
         // Nothing can be proven: the whole node set would be unused.
@@ -235,11 +239,11 @@ mod tests {
         let trie = sample_trie(10);
         // No keys: only the empty proof verifies.
         assert_eq!(
-            verify_many::<Vec<u8>>(trie.root_hash(), &[], &[]).unwrap(),
+            verify_many::<Vec<u8>, Vec<u8>>(trie.root_hash(), &[], &[]).unwrap(),
             Vec::<Option<Vec<u8>>>::new()
         );
         assert_eq!(
-            verify_many::<Vec<u8>>(trie.root_hash(), &[], &[vec![0x80]]),
+            verify_many::<Vec<u8>, Vec<u8>>(trie.root_hash(), &[], &[vec![0x80]]),
             Err(ProofError::UnusedNodes)
         );
         // Empty trie: every key is absent, the proof must be empty.
@@ -247,7 +251,7 @@ mod tests {
         let keys = sample_keys(&[1, 2]);
         assert_eq!(empty.prove_many(&keys), Vec::<Vec<u8>>::new());
         assert_eq!(
-            verify_many(empty.root_hash(), &keys, &[]).unwrap(),
+            verify_many::<_, Vec<u8>>(empty.root_hash(), &keys, &[]).unwrap(),
             vec![None, None]
         );
     }

@@ -65,10 +65,10 @@ impl Error for ProofError {}
 /// let absent = trie.prove(b"other");
 /// assert_eq!(verify_proof(trie.root_hash(), b"other", &absent).unwrap(), None);
 /// ```
-pub fn verify_proof(
+pub fn verify_proof<P: AsRef<[u8]>>(
     root: H256,
     key: &[u8],
-    proof: &[Vec<u8>],
+    proof: &[P],
 ) -> Result<Option<Vec<u8>>, ProofError> {
     if root == empty_root() {
         return if proof.is_empty() {
@@ -89,10 +89,10 @@ pub fn verify_proof(
 }
 
 /// Indexes RLP node encodings by their keccak hash.
-pub(crate) fn index_nodes(proof: &[Vec<u8>]) -> HashMap<H256, &[u8]> {
+pub(crate) fn index_nodes<P: AsRef<[u8]>>(proof: &[P]) -> HashMap<H256, &[u8]> {
     let mut nodes: HashMap<H256, &[u8]> = HashMap::with_capacity(proof.len());
     for encoded in proof {
-        nodes.insert(keccak256(encoded), encoded.as_slice());
+        nodes.insert(keccak256(encoded.as_ref()), encoded.as_ref());
     }
     nodes
 }
@@ -241,7 +241,10 @@ mod tests {
     #[test]
     fn empty_trie_proves_absence() {
         let trie = Trie::new();
-        assert_eq!(verify_proof(trie.root_hash(), b"any", &[]).unwrap(), None);
+        assert_eq!(
+            verify_proof::<Vec<u8>>(trie.root_hash(), b"any", &[]).unwrap(),
+            None
+        );
         // ...but padding nodes onto an empty-trie proof is rejected.
         assert_eq!(
             verify_proof(trie.root_hash(), b"any", &[vec![0x80]]),

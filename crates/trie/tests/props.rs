@@ -1,7 +1,8 @@
 //! Property tests: the trie against a BTreeMap model, root determinism,
-//! and proof soundness/completeness.
+//! proof soundness/completeness, and the arena-frozen serving path
+//! pinned byte-identical to the retained baseline.
 
-use parp_trie::{verify_many, verify_proof, Trie};
+use parp_trie::{baseline, verify_many, verify_proof, FrozenTrie, ProofBuf, Trie};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -13,6 +14,69 @@ fn arb_pairs() -> impl Strategy<Value = Vec<(Vec<u8>, Vec<u8>)>> {
         ),
         0..40,
     )
+}
+
+/// Key sets drawn from a two-byte alphabet behind a shared prefix:
+/// long extension chains, dense branch fan-in, and byte-identical
+/// repeated subtrees — the shapes that stress witness-id dedup.
+fn arb_shared_prefix_pairs() -> impl Strategy<Value = Vec<(Vec<u8>, Vec<u8>)>> {
+    (
+        proptest::collection::vec(any::<u8>(), 0..5),
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(prop_oneof![Just(0x11u8), Just(0xee)], 1..4),
+                proptest::collection::vec(any::<u8>(), 1..40),
+            ),
+            1..24,
+        ),
+    )
+        .prop_map(|(prefix, tails)| {
+            tails
+                .into_iter()
+                .map(|(suffix, value)| {
+                    let mut key = prefix.clone();
+                    key.extend_from_slice(&suffix);
+                    (key, value)
+                })
+                .collect()
+        })
+}
+
+/// Asserts the arena path equals the retained baseline byte for byte on
+/// `root_hash`, `prove`, `prove_many` and the zero-copy serialization,
+/// and that the arena multiproof still verifies.
+fn assert_arena_matches_baseline(
+    pairs: &[(Vec<u8>, Vec<u8>)],
+    probes: &[Vec<u8>],
+) -> Result<(), TestCaseError> {
+    let trie: Trie = pairs.iter().cloned().collect();
+    let arena = FrozenTrie::new(trie.clone());
+    let base = baseline::FrozenTrie::new(trie.clone());
+    prop_assert_eq!(arena.root_hash(), base.root_hash());
+    prop_assert_eq!(arena.root_hash(), trie.root_hash());
+    // Present keys, absent probes, and duplicates all walk identically.
+    let mut keys: Vec<Vec<u8>> = pairs.iter().map(|(k, _)| k.clone()).collect();
+    keys.extend(probes.iter().cloned());
+    keys.extend(pairs.iter().take(3).map(|(k, _)| k.clone()));
+    for key in &keys {
+        prop_assert_eq!(arena.prove(key), base.prove(key));
+    }
+    let arena_multi = arena.prove_many(&keys);
+    prop_assert_eq!(&arena_multi, &base.prove_many(&keys));
+    prop_assert_eq!(&arena_multi, &trie.prove_many(&keys));
+    // Zero-copy serialization carries the same bytes...
+    let mut buf = ProofBuf::new();
+    arena.multiproof_into(&keys, &mut buf);
+    prop_assert_eq!(buf.to_vecs(), arena_multi.clone());
+    // ...and verifies straight out of the buffer, matching per-key
+    // single-proof verdicts.
+    let results = verify_many(arena.root_hash(), &keys, &buf.as_slices());
+    let results = results.map_err(|e| TestCaseError::fail(e.to_string()))?;
+    for (key, result) in keys.iter().zip(&results) {
+        let single = verify_proof(arena.root_hash(), key, &arena.prove(key));
+        prop_assert_eq!(result, &single.unwrap());
+    }
+    Ok(())
 }
 
 proptest! {
@@ -138,6 +202,25 @@ proptest! {
     }
 
     #[test]
+    fn arena_frozen_matches_baseline(
+        pairs in arb_pairs(),
+        probes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..12), 0..8),
+    ) {
+        assert_arena_matches_baseline(&pairs, &probes)?;
+    }
+
+    #[test]
+    fn arena_frozen_matches_baseline_on_shared_prefixes(
+        pairs in arb_shared_prefix_pairs(),
+        probes in proptest::collection::vec(
+            proptest::collection::vec(prop_oneof![Just(0x11u8), Just(0xee)], 1..6),
+            0..6,
+        ),
+    ) {
+        assert_arena_matches_baseline(&pairs, &probes)?;
+    }
+
+    #[test]
     fn multiproof_rejects_forgery(pairs in arb_pairs(), flip in any::<u16>()) {
         // Soundness: corrupting any byte of any node changes that node's
         // hash, so either a walk dead-ends (missing node) or the altered
@@ -152,4 +235,19 @@ proptest! {
         proof[node][byte] ^= 1 | ((flip >> 8) as u8);
         prop_assert!(verify_many(root, &keys, &proof).is_err());
     }
+}
+
+#[test]
+fn arena_matches_baseline_on_degenerate_tries() {
+    // Empty trie and single-key trie: the edge cases the proptest
+    // strategies reach rarely, pinned explicitly.
+    assert_arena_matches_baseline(&[], &[b"probe".to_vec()]).unwrap();
+    assert_arena_matches_baseline(
+        &[(b"solo".to_vec(), vec![0x5a; 40])],
+        &[b"solo".to_vec(), b"absent".to_vec()],
+    )
+    .unwrap();
+    // A single short key whose root encoding is < 32 bytes (root is
+    // still recorded and hashed).
+    assert_arena_matches_baseline(&[(vec![7], vec![1, 2])], &[vec![8]]).unwrap();
 }

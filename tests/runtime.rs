@@ -74,6 +74,71 @@ fn sharded_batch_responses_are_byte_identical() {
 }
 
 #[test]
+fn skewed_batch_byte_identical_and_passes_fraud_conditions() {
+    // A Zipf-flavoured batch — most calls hammer a few hot accounts —
+    // served off the arena-frozen trie at shard counts 1, 2 and 8 must
+    // sign the same bytes. And the honest arena-served response must
+    // pass the on-chain fraud conditions: a framing attempt against it
+    // reverts, so the zero-copy serving path interoperates with the
+    // accountability machinery unchanged.
+    let mut encodings = Vec::new();
+    for shards in [1usize, 2, 8] {
+        let (mut net, node, mut client, addresses) = connected_with_shards(shards, 16);
+        let witness = net.spawn_node(b"runtime-witness", U256::from(PRICE));
+        let calls: Vec<RpcCall> = (0..96usize)
+            .map(|i| {
+                // ~70% of calls hit 3 hot accounts; the rest spread out.
+                let address = if i % 10 < 7 {
+                    addresses[i % 3]
+                } else {
+                    addresses[(i * 7) % addresses.len()]
+                };
+                RpcCall::GetBalance { address }
+            })
+            .collect();
+        let request = client.request_batch(calls).expect("batch request");
+        let response = net.serve_batch(node, &request).expect("serve");
+        net.sync_client(&mut client);
+        let outcome = client.process_batch_response(&response).expect("process");
+        assert!(
+            matches!(outcome, parp_suite::core::ProcessBatchOutcome::Valid { .. }),
+            "arena-served skewed batch must classify Valid at {shards} shards"
+        );
+        // Framing the honest batch must find no fraud condition.
+        let header = client
+            .header(response.block_number)
+            .expect("header")
+            .clone();
+        let evidence = parp_suite::core::BatchFraudEvidence {
+            request: request.clone(),
+            response: response.clone(),
+            headers: vec![header],
+            verdict: parp_suite::contracts::FraudVerdict::InvalidProof,
+            item: Some(0),
+        };
+        let offender = net.node(node).address();
+        let deposit_before = net.executor().fndm().deposit_of(&offender);
+        assert!(
+            !net.report_batch_fraud(&evidence, witness).expect("relay"),
+            "framing an arena-served honest batch must revert at {shards} shards"
+        );
+        assert_eq!(net.executor().fndm().deposit_of(&offender), deposit_before);
+        encodings.push((shards, request.encode(), response.encode()));
+    }
+    let (_, ref request_reference, ref response_reference) = encodings[0];
+    for (shards, request, response) in &encodings {
+        assert_eq!(
+            request, request_reference,
+            "fixture drift at {shards} shards"
+        );
+        assert_eq!(
+            response, response_reference,
+            "skewed-batch response bytes diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
 fn snapshot_cache_warms_and_invalidates_across_mine() {
     let (mut net, node, mut client, addresses) = connected_with_shards(2, 8);
     let calls: Vec<RpcCall> = addresses
