@@ -27,9 +27,21 @@ fn main() {
     fig6();
     fig7(full);
     marketplace_section();
+    contention_section();
     crypto_section();
     trie_section();
     println!("\nreport complete — see EXPERIMENTS.md for interpretation");
+}
+
+/// Renders one histogram row from a telemetry snapshot.
+fn histogram_row(metrics: &parp_telemetry::MetricsSnapshot, label: &str, name: &str) {
+    match metrics.histogram(name, &[]) {
+        Some(h) => println!(
+            "  {label:<28} n={:<6} p50={:<8} p99={:<8} max={}",
+            h.count, h.p50, h.p99, h.max
+        ),
+        None => println!("  {label:<28} (no samples)"),
+    }
 }
 
 /// Beyond the paper: the trie hot path after the arena-flattening
@@ -173,12 +185,77 @@ fn marketplace_section() {
         println!(
             "  {:<44} {:>6} {:>9} {:>9} {:>9}",
             address.to_string(),
-            stats.calls,
-            stats.failures,
+            stats.calls(),
+            stats.failures(),
             stats.latency_p50_us(),
             stats.latency_p99_us(),
         );
     }
+    // The same run seen through the unified telemetry registry: the
+    // counters below are the very cells the gateway/net/runtime
+    // incremented, snapshotted at end of run.
+    let m = &report.metrics;
+    println!("telemetry snapshot ({} series):", m.entries.len());
+    for (label, name) in [
+        ("gateway calls served", "parp_gateway_calls_served_total"),
+        ("gateway failovers", "parp_gateway_failovers_total"),
+        ("gateway fraud proofs", "parp_gateway_fraud_proofs_total"),
+        ("gateway quorum reads", "parp_gateway_quorum_reads_total"),
+        ("net exchanges", "parp_net_exchanges_total"),
+        ("net failures", "parp_net_failures_total"),
+        (
+            "runtime cache hits",
+            "parp_runtime_snapshot_cache_hits_total",
+        ),
+    ] {
+        println!("  {label:<28} {}", m.counter(name, &[]).unwrap_or(0));
+    }
+    histogram_row(m, "exchange latency µs", "parp_net_exchange_latency_us");
+    histogram_row(m, "multiproof build µs", "parp_runtime_multiproof_us");
+    println!(
+        "captured request-lifecycle trace: {} events (Chrome trace-event \
+         JSON via Tracer::export_chrome_json — see TRACE_sample.json)",
+        report.telemetry.tracer.len()
+    );
+}
+
+/// Beyond the paper: the over-capacity serving scenario, rendered from
+/// the run's telemetry snapshot — admission verdicts and serve-path
+/// latency distributions come from the registry, not ad-hoc fields.
+fn contention_section() {
+    println!("\n== runtime contention (beyond the paper) ==");
+    let config = parp_net::ContentionConfig::default();
+    let report = parp_net::run_contention(&config);
+    println!(
+        "{} honest client(s) at {}/s vs flooder at {}/s for {} ms \
+         (batch size {})",
+        config.honest_clients,
+        config.honest_rate_per_sec,
+        config.flood_rate_per_sec,
+        config.duration_ms,
+        config.batch_size,
+    );
+    println!(
+        "honest: mean latency {} µs over {} served calls; flooder: {} \
+         admitted, {} throttled",
+        report.honest_mean_latency_us(),
+        report.honest_served_calls(config.batch_size),
+        report.flooder.admitted_calls,
+        report.flooder.throttled_calls,
+    );
+    let m = &report.metrics;
+    println!("telemetry snapshot ({} series):", m.entries.len());
+    for (label, name) in [
+        ("admitted calls", "parp_runtime_admitted_calls_total"),
+        ("throttled calls", "parp_runtime_throttled_calls_total"),
+        ("cache hits", "parp_runtime_snapshot_cache_hits_total"),
+        ("cache misses", "parp_runtime_snapshot_cache_misses_total"),
+    ] {
+        println!("  {label:<28} {}", m.counter(name, &[]).unwrap_or(0));
+    }
+    histogram_row(m, "serve_batch µs", "parp_runtime_serve_batch_us");
+    histogram_row(m, "multiproof µs", "parp_runtime_multiproof_us");
+    histogram_row(m, "batch size (calls)", "parp_runtime_batch_calls");
 }
 
 fn section_2b_table1() {

@@ -200,11 +200,36 @@ pub struct FraudRecord {
     pub block: u64,
 }
 
+/// One slash in the order it was accepted — the observability view of
+/// the fraud records. The keyed [`FraudRecord`] map answers "was this
+/// request's case processed?"; this log answers "what happened, in
+/// what order?" (the question telemetry and the report binary ask).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlashEvent {
+    /// `h_req` of the condemned exchange.
+    pub request_hash: H256,
+    /// The slashed full node.
+    pub offender: Address,
+    /// The witness that relayed the proof.
+    pub witness: Address,
+    /// Which fraud condition held.
+    pub verdict: FraudVerdict,
+    /// Collateral taken.
+    pub slashed: U256,
+    /// Block at which the proof was accepted.
+    pub block: u64,
+}
+
 /// The fraud detection module state.
 #[derive(Debug, Clone, Default)]
 pub struct FraudModule {
     /// Accepted proofs, keyed by `h_req` (one slash per request).
     records: BTreeMap<H256, FraudRecord>,
+    /// The same accepted proofs in acceptance order. Deliberately
+    /// excluded from [`FraudModule::commitment`]: it carries no
+    /// information beyond the keyed records (which are committed), and
+    /// keeping it out preserves every existing commitment value.
+    slash_log: Vec<SlashEvent>,
 }
 
 /// The cheaply extracted fields an exchange presents to Algorithm 2,
@@ -236,6 +261,11 @@ impl FraudModule {
     /// Looks up the fraud record for a request hash.
     pub fn record(&self, request_hash: &H256) -> Option<&FraudRecord> {
         self.records.get(request_hash)
+    }
+
+    /// Every accepted slash, in chronological acceptance order.
+    pub fn slash_events(&self) -> &[SlashEvent] {
+        &self.slash_log
     }
 
     /// `submitFraudProof(req, res, addrWN, header)` — Algorithm 2.
@@ -571,6 +601,14 @@ impl FraudModule {
                 block: ctx.number,
             },
         );
+        self.slash_log.push(SlashEvent {
+            request_hash,
+            offender: channel.full_node,
+            witness,
+            verdict,
+            slashed,
+            block: ctx.number,
+        });
         meter.sstore_set_n(3);
         let log = event_log(
             crate::calls::fdm_address(),

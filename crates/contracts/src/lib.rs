@@ -53,7 +53,7 @@ pub use batch::{
 pub use calls::{cmm_address, fdm_address, fndm_address, ModuleCall};
 pub use cmm::{confirmation_digest, Channel, ChannelStatus, ChannelsModule, DISPUTE_WINDOW_BLOCKS};
 pub use executor::ParpExecutor;
-pub use fdm::{fraud_conditions, FraudModule, FraudRecord, FraudVerdict};
+pub use fdm::{fraud_conditions, FraudModule, FraudRecord, FraudVerdict, SlashEvent};
 pub use fndm::{
     min_deposit, DepositModule, NodeRecord, Revert, SLASH_CLIENT_SHARE, SLASH_WITNESS_SHARE,
 };

@@ -10,10 +10,12 @@ use parp_contracts::{
 };
 use parp_crypto::{sign, KeyPair, SecretKey, Signature};
 use parp_primitives::{Address, H256, U256};
+use parp_telemetry::StageRecorder;
 use parp_trie::ProofBuf;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 /// Strategy that supplies state-trie proofs to the serving paths.
 ///
@@ -216,6 +218,10 @@ pub struct FullNode {
     /// Reused multiproof scratch: a warm batch loop serializes every
     /// multiproof into the same two allocations.
     proof_scratch: ProofBuf,
+    /// Optional per-stage timing scratch (crypto verify / proof build /
+    /// response sign), drained by the simulator to emit trace
+    /// sub-spans. `None` keeps the uninstrumented path at one branch.
+    stages: Option<StageRecorder>,
 }
 
 impl FullNode {
@@ -228,6 +234,42 @@ impl FullNode {
             misbehavior: Misbehavior::None,
             requests_served: 0,
             proof_scratch: ProofBuf::new(),
+            stages: None,
+        }
+    }
+
+    /// Attaches (or with `None`, detaches) a [`StageRecorder`] the node
+    /// stamps with wall-clock microseconds per serve stage — signature
+    /// verification, proof construction, response signing. The recorder
+    /// is shared atomics, so the simulator drains it after each
+    /// exchange without any protocol API change.
+    pub fn set_stage_recorder(&mut self, stages: Option<StageRecorder>) {
+        self.stages = stages;
+    }
+
+    #[inline]
+    fn stage_start(&self) -> Option<Instant> {
+        self.stages.is_some().then(Instant::now)
+    }
+
+    #[inline]
+    fn stage_verify(&self, start: Option<Instant>) {
+        if let (Some(stages), Some(start)) = (&self.stages, start) {
+            stages.add_verify_us(start.elapsed().as_micros() as u64);
+        }
+    }
+
+    #[inline]
+    fn stage_proof(&self, start: Option<Instant>) {
+        if let (Some(stages), Some(start)) = (&self.stages, start) {
+            stages.add_proof_us(start.elapsed().as_micros() as u64);
+        }
+    }
+
+    #[inline]
+    fn stage_sign(&self, start: Option<Instant>) {
+        if let (Some(stages), Some(start)) = (&self.stages, start) {
+            stages.add_sign_us(start.elapsed().as_micros() as u64);
         }
     }
 
@@ -304,7 +346,9 @@ impl FullNode {
     ) -> Result<ParpResponse, ServeError> {
         if let RpcCall::SendRawTransaction { .. } = request.call {
             // The only mutating call: verify, mine, prove inclusion.
+            let verify_start = self.stage_start();
             self.verify_request(request, executor)?;
+            self.stage_verify(verify_start);
             let request_height = chain
                 .block_number_by_hash(&request.block_hash)
                 .ok_or(ServeError::UnknownBlockHash(request.block_hash))?;
@@ -337,12 +381,16 @@ impl FullNode {
         if let RpcCall::SendRawTransaction { .. } = request.call {
             return Err(ServeError::UnbatchableCall);
         }
+        let verify_start = self.stage_start();
         self.verify_request(request, executor)?;
+        self.stage_verify(verify_start);
         let request_height = chain
             .block_number_by_hash(&request.block_hash)
             .ok_or(ServeError::UnknownBlockHash(request.block_hash))?;
+        let proof_start = self.stage_start();
         let (block_number, result, proof) =
             self.execute_read(&request.call, chain, executor, engine)?;
+        self.stage_proof(proof_start);
         Ok(self.finish_response(request, request_height, block_number, result, proof))
     }
 
@@ -371,7 +419,9 @@ impl FullNode {
             },
         );
         self.requests_served += 1;
+        let sign_start = self.stage_start();
         let honest = ParpResponse::build(self.key.secret(), request, block_number, result, proof);
+        self.stage_sign(sign_start);
         self.misbehavior
             .corrupt(request, honest, self.key.secret(), request_height)
     }
@@ -416,7 +466,9 @@ impl FullNode {
         executor: &mut ParpExecutor,
         engine: &mut dyn ProofEngine,
     ) -> Result<ParpBatchResponse, ServeError> {
+        let verify_start = self.stage_start();
         self.verify_batch_request(request, executor)?;
+        self.stage_verify(verify_start);
         let request_height = chain
             .block_number_by_hash(&request.block_hash)
             .ok_or(ServeError::UnknownBlockHash(request.block_hash))?;
@@ -459,8 +511,10 @@ impl FullNode {
         // serialized zero-copy into the node's reused scratch buffer
         // and materialized as the wire shape exactly once.
         let mut scratch = std::mem::take(&mut self.proof_scratch);
+        let proof_start = self.stage_start();
         engine.account_multiproof_into(state, &state_addresses, &mut scratch);
         let multiproof = scratch.to_vecs();
+        self.stage_proof(proof_start);
         self.proof_scratch = scratch;
         // The deduplicated header set: one per distinct referenced
         // block (the snapshot plus every inclusion item's block),
@@ -496,7 +550,9 @@ impl FullNode {
             item_proofs,
             headers,
         };
+        let sign_start = self.stage_start();
         let honest = ParpBatchResponse::build(self.key.secret(), request, output);
+        self.stage_sign(sign_start);
         Ok(self
             .misbehavior
             .corrupt_batch(request, honest, self.key.secret(), request_height))

@@ -8,6 +8,7 @@ use parp_contracts::{FraudVerdict, RpcCall};
 use parp_core::{ClientState, InvalidReason, LightClient, ProcessBatchOutcome, ProcessOutcome};
 use parp_net::{Network, NodeId, SimError};
 use parp_primitives::{Address, U256};
+use parp_telemetry::{ArgValue, Counter, Telemetry, Tracer};
 use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
@@ -175,6 +176,17 @@ pub struct Gateway {
     payments_monotone: bool,
     calls_served: u64,
     fraud_proofs_submitted: u64,
+    telemetry: Option<Telemetry>,
+    metrics: Option<GatewayMetrics>,
+}
+
+/// Registry-backed counters for the gateway's own lifecycle events.
+#[derive(Debug, Clone)]
+struct GatewayMetrics {
+    calls_served: Counter,
+    failovers: Counter,
+    fraud_proofs: Counter,
+    quorum_reads: Counter,
 }
 
 impl Gateway {
@@ -193,7 +205,35 @@ impl Gateway {
             payments_monotone: true,
             calls_served: 0,
             fraud_proofs_submitted: 0,
+            telemetry: None,
+            metrics: None,
         }
+    }
+
+    /// Wires the gateway's lifecycle counters into `telemetry`'s
+    /// registry and its failover machinery into the tracer: every
+    /// failover becomes `fraud_detected` → `slash` → `failover` →
+    /// `reselect` → `replay` instants on the client track, and each
+    /// completed [`FailoverEvent`] is emitted as a `failover_recovery`
+    /// span whose duration is exactly
+    /// [`FailoverEvent::time_to_recover_us`].
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        let registry = &telemetry.registry;
+        self.metrics = Some(GatewayMetrics {
+            calls_served: registry.counter("parp_gateway_calls_served_total", &[]),
+            failovers: registry.counter("parp_gateway_failovers_total", &[]),
+            fraud_proofs: registry.counter("parp_gateway_fraud_proofs_total", &[]),
+            quorum_reads: registry.counter("parp_gateway_quorum_reads_total", &[]),
+        });
+        self.telemetry = Some(telemetry.clone());
+    }
+
+    /// The tracer, only when attached *and* live.
+    fn tracer(&self) -> Option<&Tracer> {
+        self.telemetry
+            .as_ref()
+            .map(|t| &t.tracer)
+            .filter(|t| t.enabled())
     }
 
     /// The wrapped client.
@@ -325,6 +365,35 @@ impl Gateway {
     fn fail_over(&mut self, net: &Network, provider: Address, cause: FailoverCause, slashed: bool) {
         self.client.abandon_provider(provider);
         self.banned.insert(provider);
+        let now_us = net.now_us();
+        if let Some(tracer) = self.tracer() {
+            let provider_arg = || ("provider".to_string(), ArgValue::Str(provider.to_string()));
+            if matches!(cause, FailoverCause::Fraud(_)) {
+                tracer.instant("fraud_detected", "gateway", now_us, 0, vec![provider_arg()]);
+            }
+            if slashed {
+                tracer.instant("slash", "gateway", now_us, 0, vec![provider_arg()]);
+            }
+            let cause_label = match &cause {
+                FailoverCause::Refused => "refused",
+                FailoverCause::Invalid(_) => "invalid",
+                FailoverCause::Fraud(_) => "fraud",
+            };
+            tracer.instant(
+                "failover",
+                "gateway",
+                now_us,
+                0,
+                vec![
+                    provider_arg(),
+                    ("cause".to_string(), cause_label.into()),
+                    ("slashed".to_string(), ArgValue::U64(slashed as u64)),
+                ],
+            );
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.failovers.inc();
+        }
         // Only the first failure of an outage window starts the
         // recovery stopwatch; later failures during the same outage
         // keep the original detection time.
@@ -332,7 +401,7 @@ impl Gateway {
             failed_provider: provider,
             cause,
             slashed,
-            detected_at_us: net.now_us(),
+            detected_at_us: now_us,
             recovered_at_us: None,
         };
         self.failovers.push(event);
@@ -341,10 +410,44 @@ impl Gateway {
         }
     }
 
-    /// Stamps the pending failover (if any) as recovered now.
+    /// Stamps the pending failover (if any) as recovered now, emitting
+    /// the outage window as a `failover_recovery` span.
     fn mark_recovered(&mut self, now_us: u64) {
         if let Some(index) = self.pending_recovery.take() {
             self.failovers[index].recovered_at_us = Some(now_us);
+            if let Some(tracer) = self.tracer() {
+                let event = &self.failovers[index];
+                tracer.span(
+                    "failover_recovery",
+                    "gateway",
+                    event.detected_at_us,
+                    now_us.saturating_sub(event.detected_at_us),
+                    0,
+                    vec![
+                        (
+                            "failed_provider".to_string(),
+                            ArgValue::Str(event.failed_provider.to_string()),
+                        ),
+                        ("slashed".to_string(), ArgValue::U64(event.slashed as u64)),
+                    ],
+                );
+            }
+        }
+    }
+
+    /// Emits the re-selection instants of a failover replay: the
+    /// gateway picked `provider` to retry a call a previous provider
+    /// failed.
+    fn trace_reselect(&self, now_us: u64, provider: Address) {
+        if let Some(tracer) = self.tracer() {
+            tracer.instant(
+                "reselect",
+                "gateway",
+                now_us,
+                0,
+                vec![("provider".to_string(), ArgValue::Str(provider.to_string()))],
+            );
+            tracer.instant("replay", "gateway", now_us, 0, vec![]);
         }
     }
 
@@ -362,6 +465,9 @@ impl Gateway {
         let accepted = net.report_fraud(evidence, witness_id).unwrap_or(false);
         if accepted {
             self.fraud_proofs_submitted += 1;
+            if let Some(metrics) = &self.metrics {
+                metrics.fraud_proofs.inc();
+            }
         }
         accepted
     }
@@ -381,6 +487,9 @@ impl Gateway {
             .unwrap_or(false);
         if accepted {
             self.fraud_proofs_submitted += 1;
+            if let Some(metrics) = &self.metrics {
+                metrics.fraud_proofs.inc();
+            }
         }
         accepted
     }
@@ -417,6 +526,9 @@ impl Gateway {
             let provider = self
                 .select_excluding(&HashSet::new())
                 .ok_or(GatewayError::NoProviders)?;
+            if attempts > 0 {
+                self.trace_reselect(net.now_us(), provider);
+            }
             match self.try_call_on(net, provider, call.clone()) {
                 Ok(Some(result)) => return Ok(result),
                 Ok(None) => {
@@ -473,6 +585,9 @@ impl Gateway {
                 self.note_payment(provider);
                 self.mark_recovered(net.now_us());
                 self.calls_served += 1;
+                if let Some(metrics) = &self.metrics {
+                    metrics.calls_served.inc();
+                }
                 Ok(Some(result))
             }
             Ok((ProcessOutcome::Invalid(reason), _)) => {
@@ -516,6 +631,9 @@ impl Gateway {
             let provider = self
                 .select_excluding(&HashSet::new())
                 .ok_or(GatewayError::NoProviders)?;
+            if attempts > 0 {
+                self.trace_reselect(net.now_us(), provider);
+            }
             if let Err(e) = self.ensure_connected(net, provider) {
                 match e {
                     SimError::Chain(_) => return Err(GatewayError::Sim(e)),
@@ -541,6 +659,9 @@ impl Gateway {
                     self.note_payment(provider);
                     self.mark_recovered(net.now_us());
                     self.calls_served += results.len() as u64;
+                    if let Some(metrics) = &self.metrics {
+                        metrics.calls_served.add(results.len() as u64);
+                    }
                     return Ok(results);
                 }
                 Ok((ProcessBatchOutcome::Invalid(reason), _)) => {
@@ -597,6 +718,9 @@ impl Gateway {
         k: usize,
     ) -> Result<QuorumOutcome, GatewayError> {
         let k = if k == 0 { self.config.quorum } else { k }.max(1);
+        if let Some(metrics) = &self.metrics {
+            metrics.quorum_reads.inc();
+        }
         self.refresh(net);
         // Phase 1: draft k distinct providers, channels open, before any
         // exchange (keeps all legs at one chain height).

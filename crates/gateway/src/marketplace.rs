@@ -16,6 +16,7 @@ use parp_contracts::{ModuleCall, RpcCall};
 use parp_core::Misbehavior;
 use parp_net::{Network, ProviderAggregate};
 use parp_primitives::{Address, U256};
+use parp_telemetry::{MetricsSnapshot, Telemetry};
 
 /// Tuning for [`run_marketplace`].
 #[derive(Debug, Clone, Copy)]
@@ -96,6 +97,14 @@ pub struct MarketplaceReport {
     pub final_registry_len: usize,
     /// Per-provider exchange aggregates (calls, failures, p50/p99).
     pub provider_stats: Vec<(Address, ProviderAggregate)>,
+    /// End-of-run metrics snapshot from the run's unified telemetry
+    /// registry (net, runtime and gateway series together).
+    pub metrics: MetricsSnapshot,
+    /// The run's telemetry handle: its tracer holds the full
+    /// request-lifecycle trace (exchange spans, quorum legs, and the
+    /// fraud → slash → reselect → replay failover sequence), ready for
+    /// [`parp_telemetry::Tracer::export_chrome_json`].
+    pub telemetry: Telemetry,
 }
 
 /// Runs the marketplace scenario and reports what happened.
@@ -105,7 +114,9 @@ pub struct MarketplaceReport {
 /// Panics when the simulation itself fails (chain errors); workload
 /// failures are reported, not panicked.
 pub fn run_marketplace(config: &MarketplaceConfig) -> MarketplaceReport {
+    let telemetry = Telemetry::with_tracing();
     let mut net = Network::new();
+    net.attach_telemetry(&telemetry);
     let providers = config.providers.max(2);
     let mut ids = Vec::with_capacity(providers);
     for i in 0..providers {
@@ -144,6 +155,7 @@ pub fn run_marketplace(config: &MarketplaceConfig) -> MarketplaceReport {
             ..GatewayConfig::default()
         },
     );
+    gateway.attach_telemetry(&telemetry);
 
     let mut report = MarketplaceReport {
         results: 0,
@@ -161,6 +173,8 @@ pub fn run_marketplace(config: &MarketplaceConfig) -> MarketplaceReport {
         providers_exited: 0,
         final_registry_len: 0,
         provider_stats: Vec::new(),
+        metrics: MetricsSnapshot::default(),
+        telemetry: telemetry.clone(),
     };
 
     for i in 0..config.calls {
@@ -253,6 +267,7 @@ pub fn run_marketplace(config: &MarketplaceConfig) -> MarketplaceReport {
     report.payments_monotone = gateway.payments_monotone();
     report.final_registry_len = net.registry().len();
     report.provider_stats = net.provider_stats_all();
+    report.metrics = telemetry.registry.snapshot();
     report
 }
 
@@ -286,6 +301,29 @@ mod tests {
         assert_eq!(report.final_registry_len, config.providers - 1);
         assert!(report.quorum_reads > 0);
         assert_eq!(report.quorum_disagreements, 0);
+        // The unified registry saw the run: gateway lifecycle counters
+        // and the net exchange series are both present and non-zero.
+        let served = report
+            .metrics
+            .counter("parp_gateway_calls_served_total", &[])
+            .expect("gateway counter registered");
+        assert!(served >= report.results as u64);
+        assert!(
+            report
+                .metrics
+                .counter("parp_gateway_fraud_proofs_total", &[])
+                .unwrap_or(0)
+                >= 1
+        );
+        // The tracer captured the failover lifecycle on the sim clock.
+        let events = report.telemetry.tracer.events();
+        for name in ["fraud_detected", "slash", "failover", "reselect", "replay"] {
+            assert!(
+                events.iter().any(|e| e.name == name),
+                "trace must contain a {name:?} instant"
+            );
+        }
+        assert!(events.iter().any(|e| e.name == "failover_recovery"));
     }
 
     #[test]

@@ -12,9 +12,18 @@
 
 use parp_contracts::ParpExecutor;
 use parp_primitives::Address;
+use parp_telemetry::Histogram;
 use std::collections::HashMap;
 
 /// One provider's measured standing.
+///
+/// Latency percentiles come from a fixed-memory log-linear
+/// [`Histogram`] (~30 KiB once touched, constant in the sample count)
+/// rather than a retained `Vec` of every sample — a gateway that runs
+/// for weeks against a hot provider must not grow its reputation book
+/// without bound. Quantiles carry the histogram's documented one-sided
+/// relative error ([`parp_telemetry::RELATIVE_ERROR`], 2⁻⁶ ≈ 1.56%,
+/// never *above* the exact nearest-rank value).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Reputation {
     /// Exchanges whose responses verified (§V-D *valid*).
@@ -30,20 +39,20 @@ pub struct Reputation {
     /// Exponentially weighted moving average of exchange latency (µs),
     /// α = 1/4 in integer arithmetic; 0 until the first valid exchange.
     pub latency_ewma_us: u64,
-    /// Every valid-exchange latency sample (µs), for percentiles.
-    latencies_us: Vec<u64>,
+    /// Valid-exchange latency distribution (µs), fixed memory.
+    latency: Histogram,
 }
 
 impl Reputation {
     /// Records a verified exchange and its end-to-end latency.
     pub fn record_valid(&mut self, latency_us: u64) {
         self.valid += 1;
-        self.latency_ewma_us = if self.latencies_us.is_empty() {
+        self.latency_ewma_us = if self.latency.count() == 0 {
             latency_us
         } else {
             (3 * self.latency_ewma_us + latency_us) / 4
         };
-        self.latencies_us.push(latency_us);
+        self.latency.record(latency_us);
     }
 
     /// Records an invalid (untrusted but unprovable) response.
@@ -61,15 +70,32 @@ impl Reputation {
         self.fraud += 1;
     }
 
-    /// Median latency over valid exchanges (µs, nearest-rank — the
-    /// same definition as the network's per-provider aggregates).
+    /// Median latency over valid exchanges (µs), within the histogram's
+    /// documented relative error of the exact nearest-rank median.
     pub fn latency_p50_us(&self) -> u64 {
-        parp_net::latency_quantile_us(&self.latencies_us, 0.50)
+        self.latency.quantile(0.50)
     }
 
-    /// 99th-percentile latency over valid exchanges (µs, nearest-rank).
+    /// 99th-percentile latency over valid exchanges (µs), within the
+    /// histogram's documented relative error of exact nearest-rank.
     pub fn latency_p99_us(&self) -> u64 {
-        parp_net::latency_quantile_us(&self.latencies_us, 0.99)
+        self.latency.quantile(0.99)
+    }
+
+    /// Arbitrary latency quantile over valid exchanges (µs).
+    pub fn latency_quantile(&self, q: f64) -> u64 {
+        self.latency.quantile(q)
+    }
+
+    /// Number of latency samples recorded (equals `valid`).
+    pub fn latency_samples(&self) -> u64 {
+        self.latency.count()
+    }
+
+    /// Memory footprint of this entry in bytes — constant in the
+    /// number of recorded exchanges (the regression tests assert this).
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() - std::mem::size_of::<Histogram>() + self.latency.mem_bytes()
     }
 
     /// Whether this provider may be selected at all. Fraud and slashes
@@ -180,8 +206,15 @@ mod tests {
         for us in [100u64, 200, 300, 400, 10_000] {
             r.record_valid(us);
         }
+        assert_eq!(r.latency_samples(), 5);
+        // p50 falls in the exact linear region of small bucket widths
+        // relative to the value, and 300's bucket lower bound is 300.
         assert_eq!(r.latency_p50_us(), 300);
-        assert_eq!(r.latency_p99_us(), 10_000);
+        // p99 carries the histogram's one-sided relative error: at or
+        // below the exact nearest-rank value (10_000), within 2⁻⁶ of it.
+        let p99 = r.latency_p99_us();
+        assert!(p99 <= 10_000);
+        assert!(p99 as f64 >= 10_000.0 * (1.0 - parp_telemetry::RELATIVE_ERROR));
         assert!(r.latency_ewma_us > 0);
         // A slow provider scores below an equally reliable fast one.
         let mut fast = Reputation::default();
@@ -189,5 +222,11 @@ mod tests {
             fast.record_valid(100);
         }
         assert!(fast.score() > r.score());
+        // Fixed memory: the footprint does not grow with more samples.
+        let before = r.mem_bytes();
+        for _ in 0..10_000 {
+            r.record_valid(123);
+        }
+        assert_eq!(r.mem_bytes(), before);
     }
 }

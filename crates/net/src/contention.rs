@@ -17,6 +17,7 @@ use parp_contracts::{ParpBatchRequest, RpcCall};
 use parp_crypto::SecretKey;
 use parp_primitives::{Address, U256};
 use parp_runtime::{FairQueue, Runtime, RuntimeConfig};
+use parp_telemetry::{MetricsSnapshot, Telemetry};
 
 /// Tuning for the contention scenario.
 #[derive(Debug, Clone, Copy)]
@@ -85,6 +86,9 @@ pub struct ContentionReport {
     pub cache_hits: u64,
     /// Snapshot-cache misses across the run.
     pub cache_misses: u64,
+    /// End-of-run snapshot of the run's telemetry registry (runtime
+    /// admission/cache counters, serve-path histograms, net series).
+    pub metrics: MetricsSnapshot,
 }
 
 impl ContentionReport {
@@ -158,12 +162,14 @@ impl Contender {
 /// (signed, proven) through the snapshot cache at the pinned head.
 pub fn run_contention(config: &ContentionConfig) -> ContentionReport {
     let price = U256::from(10u64);
+    let telemetry = Telemetry::new();
     let mut net = Network::with_latency(crate::latency::LatencyModel::zero());
     net.set_runtime(Runtime::new(RuntimeConfig {
         burst_capacity: config.admission_burst,
         rate_per_sec: config.admission_rate_per_sec,
         ..RuntimeConfig::default()
     }));
+    net.attach_telemetry(&telemetry);
     let node = net.spawn_node(b"contended-node", price);
 
     // Some funded accounts for the read workload to target.
@@ -304,6 +310,7 @@ pub fn run_contention(config: &ContentionConfig) -> ContentionReport {
         flooder,
         cache_hits: runtime.cache().hits(),
         cache_misses: runtime.cache().misses(),
+        metrics: telemetry.registry.snapshot(),
     }
 }
 
@@ -331,6 +338,21 @@ mod tests {
         assert_eq!(report.flooder.admitted_calls, 0);
         // Same head for every exchange: one cold build, all hits after.
         assert!(report.cache_hits > report.cache_misses);
+        // The telemetry registry adopted the very counters the runtime
+        // increments, so the snapshot agrees with the report exactly.
+        assert_eq!(
+            report
+                .metrics
+                .counter("parp_runtime_snapshot_cache_hits_total", &[]),
+            Some(report.cache_hits)
+        );
+        let admitted: u64 = report.honest.iter().map(|o| o.admitted_calls).sum();
+        assert_eq!(
+            report
+                .metrics
+                .counter("parp_runtime_admitted_calls_total", &[]),
+            Some(admitted)
+        );
     }
 
     #[test]

@@ -34,10 +34,14 @@ impl LatencyModel {
         }
     }
 
-    /// One-way delivery time for a message of `bytes`.
+    /// One-way delivery time for a message of `bytes`, rounded to the
+    /// nearest microsecond. Rounding (rather than the truncation this
+    /// used to do) keeps sub-microsecond transmit times from silently
+    /// costing zero: at the default 12.5 B/µs, a 7-byte frame is
+    /// 0.56 µs on the wire and must charge 1 µs, not 0.
     pub fn one_way_us(&self, bytes: usize) -> u64 {
         let transmit = if self.bytes_per_us.is_finite() && self.bytes_per_us > 0.0 {
-            (bytes as f64 / self.bytes_per_us) as u64
+            (bytes as f64 / self.bytes_per_us).round() as u64
         } else {
             0
         };
@@ -69,6 +73,26 @@ mod tests {
         let large = model.one_way_us(100_000);
         assert!(large > small);
         assert!(small >= model.base_one_way_us);
+    }
+
+    #[test]
+    fn fractional_transmit_time_rounds_instead_of_truncating() {
+        // 12.5 B/µs: 7 bytes is 0.56 µs on the wire. Truncation used
+        // to charge 0 here — byte-size changes near bucket edges were
+        // silently free.
+        let model = LatencyModel {
+            base_one_way_us: 0,
+            bytes_per_us: 12.5,
+        };
+        assert_eq!(model.one_way_us(7), 1, "0.56 µs rounds up to 1");
+        assert_eq!(model.one_way_us(5), 0, "0.4 µs rounds down to 0");
+        assert_eq!(model.one_way_us(25), 2, "exact multiples unchanged");
+        // The base delay rides on top of the rounded transmit time.
+        let with_base = LatencyModel {
+            base_one_way_us: 1_000,
+            bytes_per_us: 12.5,
+        };
+        assert_eq!(with_base.one_way_us(7), 1_001);
     }
 
     #[test]

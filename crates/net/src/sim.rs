@@ -11,9 +11,11 @@ use parp_core::{FullNode, LightClient, ProcessBatchOutcome, ProcessOutcome, Serv
 use parp_crypto::SecretKey;
 use parp_primitives::{Address, U256};
 use parp_runtime::Runtime;
+use parp_telemetry::{ArgValue, Counter, Histogram, StageRecorder, StageSample, Telemetry};
 use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Identifier of a registered full node within the simulation.
@@ -43,9 +45,16 @@ impl ExchangeStats {
 }
 
 /// Nearest-rank `q`-quantile of unsorted latency samples (0 when
-/// empty). Shared by the network's per-provider aggregates and the
-/// gateway's reputation book, so both report the same percentile
-/// definition.
+/// empty): the **exact** percentile definition the fixed-memory
+/// histograms approximate.
+///
+/// Production accounting ([`ProviderAggregate`], the gateway's
+/// reputation book) now lives in [`parp_telemetry::Histogram`]s, whose
+/// quantiles agree with this function within the histogram's
+/// documented one-sided relative error
+/// ([`parp_telemetry::RELATIVE_ERROR`] = 2⁻⁶ ≈ 1.56%, never *above*
+/// the exact value). This O(n log n) full-sort form is kept as the
+/// reference for tests and offline analysis of raw sample sets.
 pub fn latency_quantile_us(samples: &[u64], q: f64) -> u64 {
     if samples.is_empty() {
         return 0;
@@ -57,42 +66,118 @@ pub fn latency_quantile_us(samples: &[u64], q: f64) -> u64 {
 }
 
 /// Rolling per-provider accounting the network maintains across every
-/// exchange it carries: call and failure counts plus the full latency
-/// sample set, from which the gateway's reputation scorer and the bench
-/// report read p50/p99. One exchange (single or batched) counts once.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// exchange it carries: call and failure counts plus a **fixed-memory**
+/// latency histogram, from which the gateway's reputation scorer and
+/// the bench report read p50/p99. One exchange (single or batched)
+/// counts once.
+///
+/// The aggregate used to retain every latency sample in an unbounded
+/// `Vec<u64>` and re-sort it on each quantile query — memory and CPU
+/// both scaling with exchange count, a wall for population-scale runs.
+/// It now records into a [`parp_telemetry::Histogram`] (~30 KiB flat,
+/// O(buckets) quantiles within the documented
+/// [`parp_telemetry::RELATIVE_ERROR`]), and its counters are live
+/// [`Counter`] cells a telemetry registry adopts per provider.
+#[derive(Debug, Default)]
 pub struct ProviderAggregate {
-    /// Exchanges attempted against this provider.
-    pub calls: u64,
-    /// Exchanges that ended in a refusal, an invalid response, or
-    /// detected fraud.
-    pub failures: u64,
-    /// End-to-end latency (server + network µs) of every completed
-    /// exchange, in arrival order.
-    latencies_us: Vec<u64>,
+    calls: Counter,
+    failures: Counter,
+    latency: Arc<Histogram>,
 }
 
 impl ProviderAggregate {
-    /// Records a completed exchange.
-    pub fn record_latency(&mut self, latency_us: u64) {
-        self.latencies_us.push(latency_us);
+    /// Exchanges attempted against this provider.
+    pub fn calls(&self) -> u64 {
+        self.calls.get()
+    }
+
+    /// Exchanges that ended in a refusal, an invalid response, or
+    /// detected fraud.
+    pub fn failures(&self) -> u64 {
+        self.failures.get()
+    }
+
+    /// Counts one attempted exchange.
+    pub fn record_call(&self) {
+        self.calls.inc();
+    }
+
+    /// Counts one failed exchange.
+    pub fn record_failure(&self) {
+        self.failures.inc();
+    }
+
+    /// Records a completed exchange's end-to-end latency.
+    pub fn record_latency(&self, latency_us: u64) {
+        self.latency.record(latency_us);
     }
 
     /// Number of latency samples recorded.
-    pub fn samples(&self) -> usize {
-        self.latencies_us.len()
+    pub fn samples(&self) -> u64 {
+        self.latency.count()
     }
 
-    /// Median exchange latency (µs, nearest-rank).
+    /// Median exchange latency (µs; histogram quantile, within
+    /// [`parp_telemetry::RELATIVE_ERROR`] below the exact
+    /// nearest-rank value).
     pub fn latency_p50_us(&self) -> u64 {
-        latency_quantile_us(&self.latencies_us, 0.50)
+        self.latency.quantile(0.50)
     }
 
-    /// 99th-percentile exchange latency (µs, nearest-rank).
+    /// 99th-percentile exchange latency (µs; same error bound).
     pub fn latency_p99_us(&self) -> u64 {
-        latency_quantile_us(&self.latencies_us, 0.99)
+        self.latency.quantile(0.99)
+    }
+
+    /// Arbitrary latency quantile (µs; same error bound).
+    pub fn latency_quantile(&self, q: f64) -> u64 {
+        self.latency.quantile(q)
+    }
+
+    /// Live counter handle for registry adoption.
+    pub fn calls_counter(&self) -> Counter {
+        self.calls.clone()
+    }
+
+    /// Live counter handle for registry adoption.
+    pub fn failures_counter(&self) -> Counter {
+        self.failures.clone()
+    }
+
+    /// Shared latency histogram for registry adoption.
+    pub fn latency_histogram(&self) -> &Arc<Histogram> {
+        &self.latency
+    }
+
+    /// Current memory footprint in bytes — constant in the number of
+    /// recorded exchanges (the regression the telemetry tests assert).
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.latency.mem_bytes()
     }
 }
+
+impl Clone for ProviderAggregate {
+    /// Deep snapshot: the clone owns fresh cells holding the source's
+    /// current readings (how scenario reports freeze per-provider
+    /// stats without aliasing the live network accounting).
+    fn clone(&self) -> Self {
+        ProviderAggregate {
+            calls: Counter::with_value(self.calls.get()),
+            failures: Counter::with_value(self.failures.get()),
+            latency: Arc::new(Histogram::clone(&self.latency)),
+        }
+    }
+}
+
+impl PartialEq for ProviderAggregate {
+    fn eq(&self, other: &Self) -> bool {
+        self.calls == other.calls
+            && self.failures == other.failures
+            && self.latency == other.latency
+    }
+}
+
+impl Eq for ProviderAggregate {}
 
 /// Errors surfaced by the simulation driver.
 #[derive(Debug)]
@@ -187,6 +272,22 @@ pub struct Network {
     runtime: Runtime,
     /// Per-provider exchange accounting (see [`ProviderAggregate`]).
     provider_stats: HashMap<Address, ProviderAggregate>,
+    /// The attached observability hub, if any (see
+    /// [`Network::attach_telemetry`]).
+    telemetry: Option<Telemetry>,
+    /// Network-wide metric handles, present with `telemetry`.
+    metrics: Option<NetMetrics>,
+    /// Shared per-stage serve-timing scratch every node reports into
+    /// (drained per exchange to emit trace sub-spans).
+    stages: StageRecorder,
+}
+
+/// The network's registered global metric handles.
+#[derive(Debug, Clone)]
+struct NetMetrics {
+    exchanges_total: Counter,
+    failures_total: Counter,
+    exchange_latency_us: Arc<Histogram>,
 }
 
 /// Funds given to every spawned identity: 100 tokens.
@@ -222,7 +323,80 @@ impl Network {
             clock_us: 0,
             runtime: Runtime::default(),
             provider_stats: HashMap::new(),
+            telemetry: None,
+            metrics: None,
+            stages: StageRecorder::new(),
         }
+    }
+
+    /// Attaches an observability hub: registers the runtime's and the
+    /// network's metrics with `telemetry.registry` (adopting every
+    /// live counter and per-provider aggregate, so attaching late
+    /// loses no counts), wires a shared [`StageRecorder`] into every
+    /// node, and — when `telemetry.tracer` is enabled — starts
+    /// emitting per-exchange request-lifecycle spans stamped with the
+    /// simulated clock (sign → flight → serve with verify / multiproof
+    /// / sign-response sub-spans → flight → classify).
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.runtime.attach_telemetry(telemetry);
+        let r = &telemetry.registry;
+        self.metrics = Some(NetMetrics {
+            exchanges_total: r.counter("parp_net_exchanges_total", &[]),
+            failures_total: r.counter("parp_net_failures_total", &[]),
+            exchange_latency_us: r.histogram("parp_net_exchange_latency_us", &[]),
+        });
+        for (provider, aggregate) in &self.provider_stats {
+            Self::register_provider(telemetry, *provider, aggregate);
+        }
+        telemetry.tracer.name_track(0, "client");
+        for (index, node) in self.nodes.iter_mut().enumerate() {
+            node.set_stage_recorder(Some(self.stages.clone()));
+            telemetry
+                .tracer
+                .name_track(index as u32 + 1, &format!("provider {}", node.address()));
+        }
+        self.telemetry = Some(telemetry.clone());
+    }
+
+    /// The attached observability hub, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    fn register_provider(telemetry: &Telemetry, provider: Address, aggregate: &ProviderAggregate) {
+        let address = provider.to_string();
+        let labels = [("provider", address.as_str())];
+        let r = &telemetry.registry;
+        r.adopt_counter(
+            "parp_net_provider_calls_total",
+            &labels,
+            &aggregate.calls_counter(),
+        );
+        r.adopt_counter(
+            "parp_net_provider_failures_total",
+            &labels,
+            &aggregate.failures_counter(),
+        );
+        r.adopt_histogram(
+            "parp_net_provider_latency_us",
+            &labels,
+            aggregate.latency_histogram(),
+        );
+    }
+
+    /// The aggregate for `provider`, created (and, with telemetry
+    /// attached, registered under per-provider labels) on first touch.
+    fn provider_entry(&mut self, provider: Address) -> &mut ProviderAggregate {
+        if !self.provider_stats.contains_key(&provider) {
+            let aggregate = ProviderAggregate::default();
+            if let Some(telemetry) = &self.telemetry {
+                Self::register_provider(telemetry, provider, &aggregate);
+            }
+            self.provider_stats.insert(provider, aggregate);
+        }
+        self.provider_stats
+            .get_mut(&provider)
+            .expect("just inserted")
     }
 
     /// Replaces the serving runtime (cache size, shard count, admission
@@ -377,7 +551,14 @@ impl Network {
                 .expect("serving tx"),
             "serving registration must succeed"
         );
-        let node = FullNode::new(key, price_per_call);
+        let mut node = FullNode::new(key, price_per_call);
+        if let Some(telemetry) = &self.telemetry {
+            node.set_stage_recorder(Some(self.stages.clone()));
+            telemetry.tracer.name_track(
+                self.nodes.len() as u32 + 1,
+                &format!("provider {}", node.address()),
+            );
+        }
         self.nodes.push(node);
         Ok(NodeId(self.nodes.len() - 1))
     }
@@ -536,8 +717,8 @@ impl Network {
             .ok_or(SimError::UnknownNode(node_id.0))?
             .address();
         let request = client.request_from(provider, call)?;
-        let entry = self.provider_stats.entry(provider).or_default();
-        entry.calls += 1;
+        self.provider_entry(provider).record_call();
+        let trace_t0 = self.exchange_trace_start();
         let started = Instant::now();
         let response = match self.serve(node_id, &request) {
             Ok(response) => response,
@@ -570,6 +751,14 @@ impl Network {
             server_us,
             network_us,
         };
+        if let Some(t0) = trace_t0 {
+            let verdict = match &outcome {
+                ProcessOutcome::Valid { .. } => "valid",
+                ProcessOutcome::Invalid(_) => "invalid",
+                ProcessOutcome::Fraud(_) => "fraud",
+            };
+            self.trace_exchange(node_id, "call", 1, t0, &stats, verdict);
+        }
         self.note_provider_outcome(
             provider,
             matches!(outcome, ProcessOutcome::Valid { .. }),
@@ -597,9 +786,10 @@ impl Network {
             .get(node_id.0)
             .ok_or(SimError::UnknownNode(node_id.0))?
             .address();
+        let batch_size = calls.len() as u64;
         let request = client.request_batch_from(provider, calls)?;
-        let entry = self.provider_stats.entry(provider).or_default();
-        entry.calls += 1;
+        self.provider_entry(provider).record_call();
+        let trace_t0 = self.exchange_trace_start();
         let started = Instant::now();
         let response = match self.serve_batch(node_id, &request) {
             Ok(response) => response,
@@ -632,6 +822,14 @@ impl Network {
             server_us,
             network_us,
         };
+        if let Some(t0) = trace_t0 {
+            let verdict = match &outcome {
+                ProcessBatchOutcome::Valid { .. } => "valid",
+                ProcessBatchOutcome::Invalid(_) => "invalid",
+                ProcessBatchOutcome::Fraud { .. } => "fraud",
+            };
+            self.trace_exchange(node_id, "batch", batch_size, t0, &stats, verdict);
+        }
         self.note_provider_outcome(
             provider,
             matches!(outcome, ProcessBatchOutcome::Valid { .. }),
@@ -670,6 +868,7 @@ impl Network {
         client: &mut LightClient,
         legs: &[(NodeId, RpcCall)],
     ) -> Vec<Result<(ProcessOutcome, ExchangeStats), SimError>> {
+        let trace_t0 = self.exchange_trace_start();
         // Phase 1 (sequential): build one signed request per leg.
         let mut requests: Vec<Result<(Address, ParpRequest), SimError>> = Vec::new();
         for (node_id, call) in legs {
@@ -677,7 +876,7 @@ impl Network {
                 None => Err(SimError::UnknownNode(node_id.0)),
                 Some(node) => {
                     let provider = node.address();
-                    self.provider_stats.entry(provider).or_default().calls += 1;
+                    self.provider_entry(provider).record_call();
                     match client.request_from(provider, call.clone()) {
                         Ok(request) => Ok((provider, request)),
                         Err(e) => {
@@ -813,6 +1012,37 @@ impl Network {
                                 Err(e.into())
                             }
                             Ok(outcome) => {
+                                if let (Some(t0), Some(telemetry)) = (trace_t0, &self.telemetry) {
+                                    // Concurrent legs share the window
+                                    // [t0, t0 + slowest]; each leg's
+                                    // span lives on its provider track.
+                                    let verdict = match &outcome {
+                                        ProcessOutcome::Valid { .. } => "valid",
+                                        ProcessOutcome::Invalid(_) => "invalid",
+                                        ProcessOutcome::Fraud(_) => "fraud",
+                                    };
+                                    telemetry.tracer.span(
+                                        "quorum_leg",
+                                        "net",
+                                        t0,
+                                        stats.latency_us(),
+                                        legs[index].0 .0 as u32 + 1,
+                                        vec![
+                                            (
+                                                "server_us".to_string(),
+                                                ArgValue::U64(stats.server_us),
+                                            ),
+                                            (
+                                                "network_us".to_string(),
+                                                ArgValue::U64(stats.network_us),
+                                            ),
+                                            (
+                                                "verdict".to_string(),
+                                                ArgValue::Str(verdict.to_string()),
+                                            ),
+                                        ],
+                                    );
+                                }
                                 self.note_provider_outcome(
                                     provider,
                                     matches!(outcome, ProcessOutcome::Valid { .. }),
@@ -830,18 +1060,157 @@ impl Network {
         results
     }
 
-    /// Records a completed exchange in the provider's aggregate.
+    /// When tracing is live, drains stale stage timings (so the coming
+    /// exchange's sub-spans are its own) and returns the sim-clock
+    /// timestamp the exchange starts at.
+    fn exchange_trace_start(&self) -> Option<u64> {
+        let telemetry = self.telemetry.as_ref()?;
+        if !telemetry.tracer.enabled() {
+            return None;
+        }
+        self.stages.take();
+        Some(self.clock_us)
+    }
+
+    /// Emits the request-lifecycle spans of one completed exchange on
+    /// the simulated-clock timeline `[t0, t0 + network + server]` —
+    /// exactly the interval the exchange advanced `clock_us` by, so
+    /// consecutive exchanges' spans never overlap and always sort in
+    /// sim-clock order:
+    ///
+    /// ```text
+    /// client track:   sign ▸ [request_flight] ............ [response_flight] ▸ classify
+    /// provider track:                [serve: verify|multiproof|sign_response]
+    /// ```
+    ///
+    /// Stage sub-spans come from the shared [`StageRecorder`] the
+    /// node stamped while serving (wall-clock µs, clamped to the
+    /// serve interval).
+    fn trace_exchange(
+        &self,
+        node_id: NodeId,
+        kind: &str,
+        calls: u64,
+        t0: u64,
+        stats: &ExchangeStats,
+        verdict: &str,
+    ) {
+        let Some(telemetry) = &self.telemetry else {
+            return;
+        };
+        let tracer = &telemetry.tracer;
+        let stages = self.stages.take();
+        let tid = node_id.0 as u32 + 1;
+        let up_us = self.latency.one_way_us(stats.request_bytes);
+        let down_us = stats.network_us.saturating_sub(up_us);
+        let t_end = t0 + stats.network_us + stats.server_us;
+        tracer.span(
+            "exchange",
+            "net",
+            t0,
+            t_end - t0,
+            0,
+            vec![
+                ("kind".to_string(), ArgValue::Str(kind.to_string())),
+                ("calls".to_string(), ArgValue::U64(calls)),
+                ("verdict".to_string(), ArgValue::Str(verdict.to_string())),
+            ],
+        );
+        tracer.instant(
+            "sign_request",
+            "client",
+            t0,
+            0,
+            vec![(
+                "request_bytes".to_string(),
+                ArgValue::U64(stats.request_bytes as u64),
+            )],
+        );
+        tracer.span("request_flight", "net", t0, up_us, 0, Vec::new());
+        let serve_ts = t0 + up_us;
+        tracer.span(
+            "serve",
+            "serve",
+            serve_ts,
+            stats.server_us,
+            tid,
+            vec![
+                ("calls".to_string(), ArgValue::U64(calls)),
+                (
+                    "proof_bytes".to_string(),
+                    ArgValue::U64(stats.proof_bytes as u64),
+                ),
+            ],
+        );
+        self.trace_serve_stages(serve_ts, stats.server_us, tid, &stages);
+        tracer.span(
+            "response_flight",
+            "net",
+            serve_ts + stats.server_us,
+            down_us,
+            0,
+            vec![(
+                "response_bytes".to_string(),
+                ArgValue::U64(stats.response_bytes as u64),
+            )],
+        );
+        tracer.instant(
+            "classify",
+            "client",
+            t_end,
+            0,
+            vec![("verdict".to_string(), ArgValue::Str(verdict.to_string()))],
+        );
+    }
+
+    /// Lays the measured serve stages out as sequential sub-spans of
+    /// `[serve_ts, serve_ts + server_us]`, clamped so they never
+    /// escape the serve span (stage and serve times are measured by
+    /// different wall-clock reads).
+    fn trace_serve_stages(&self, serve_ts: u64, server_us: u64, tid: u32, stages: &StageSample) {
+        let Some(telemetry) = &self.telemetry else {
+            return;
+        };
+        let mut offset = 0u64;
+        for (name, dur) in [
+            ("verify", stages.verify_us),
+            ("multiproof", stages.proof_us),
+            ("sign_response", stages.sign_us),
+        ] {
+            let dur = dur.min(server_us.saturating_sub(offset));
+            if dur > 0 {
+                telemetry
+                    .tracer
+                    .span(name, "serve", serve_ts + offset, dur, tid, Vec::new());
+            }
+            offset += dur;
+        }
+    }
+
+    /// Records a completed exchange in the provider's aggregate and
+    /// the network-wide metrics.
     fn note_provider_outcome(&mut self, provider: Address, valid: bool, latency_us: u64) {
-        let entry = self.provider_stats.entry(provider).or_default();
+        let entry = self.provider_entry(provider);
         entry.record_latency(latency_us);
         if !valid {
-            entry.failures += 1;
+            entry.record_failure();
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.exchanges_total.inc();
+            metrics.exchange_latency_us.record(latency_us);
+            if !valid {
+                metrics.failures_total.inc();
+            }
         }
     }
 
     /// Records a refusal (the exchange never completed).
     fn note_provider_failure(&mut self, provider: Address) {
-        self.provider_stats.entry(provider).or_default().failures += 1;
+        self.provider_entry(provider).record_failure();
+        if let Some(metrics) = &self.metrics {
+            metrics.exchanges_total.inc();
+            metrics.failures_total.inc();
+        }
     }
 
     /// The rolling exchange aggregate for one provider (empty default
@@ -1056,14 +1425,14 @@ mod tests {
             .unwrap();
         assert!(!matches!(outcome, ProcessOutcome::Valid { .. }));
         let good_stats = net.provider_stats(&net.node(good).address());
-        assert_eq!(good_stats.calls, 4);
-        assert_eq!(good_stats.failures, 0);
+        assert_eq!(good_stats.calls(), 4);
+        assert_eq!(good_stats.failures(), 0);
         assert_eq!(good_stats.samples(), 4);
         assert!(good_stats.latency_p50_us() > 0);
         assert!(good_stats.latency_p99_us() >= good_stats.latency_p50_us());
         let bad_stats = net.provider_stats(&net.node(bad).address());
-        assert_eq!(bad_stats.calls, 1);
-        assert_eq!(bad_stats.failures, 1);
+        assert_eq!(bad_stats.calls(), 1);
+        assert_eq!(bad_stats.failures(), 1);
         assert_eq!(net.provider_stats_all().len(), 2);
     }
 }

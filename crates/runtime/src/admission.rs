@@ -14,6 +14,7 @@
 //! deterministic and tests never sleep.
 
 use parp_primitives::Address;
+use parp_telemetry::Counter;
 use std::collections::{HashMap, VecDeque};
 
 /// Micro-tokens per token: buckets refill with integer math only.
@@ -106,12 +107,19 @@ pub struct AdmissionStats {
 }
 
 /// Token buckets for every client a node serves.
+///
+/// Besides the per-client [`AdmissionStats`], the controller keeps two
+/// live global [`Counter`]s (total admitted / throttled calls) that a
+/// telemetry registry can adopt, so fleet-wide admission pressure is
+/// one exported metric instead of a walk over every client.
 #[derive(Debug, Clone)]
 pub struct AdmissionController {
     burst_capacity: u64,
     rate_per_sec: u64,
     buckets: HashMap<Address, TokenBucket>,
     stats: HashMap<Address, AdmissionStats>,
+    admitted_total: Counter,
+    throttled_total: Counter,
 }
 
 impl AdmissionController {
@@ -123,6 +131,8 @@ impl AdmissionController {
             rate_per_sec,
             buckets: HashMap::new(),
             stats: HashMap::new(),
+            admitted_total: Counter::new(),
+            throttled_total: Counter::new(),
         }
     }
 
@@ -148,10 +158,12 @@ impl AdmissionController {
         match bucket.try_take(calls, now_us) {
             Ok(()) => {
                 stats.admitted += calls;
+                self.admitted_total.add(calls);
                 Ok(())
             }
             Err(retry_after_us) => {
                 stats.throttled += calls;
+                self.throttled_total.add(calls);
                 Err(AdmissionError::RateLimited { retry_after_us })
             }
         }
@@ -160,6 +172,18 @@ impl AdmissionController {
     /// Admission statistics for `client`.
     pub fn stats(&self, client: &Address) -> AdmissionStats {
         self.stats.get(client).copied().unwrap_or_default()
+    }
+
+    /// Live handle to the global admitted-calls counter, for registry
+    /// adoption.
+    pub fn admitted_counter(&self) -> Counter {
+        self.admitted_total.clone()
+    }
+
+    /// Live handle to the global throttled-calls counter, for registry
+    /// adoption.
+    pub fn throttled_counter(&self) -> Counter {
+        self.throttled_total.clone()
     }
 }
 

@@ -17,17 +17,24 @@
 
 use parp_chain::State;
 use parp_primitives::H256;
+use parp_telemetry::Counter;
 use parp_trie::FrozenTrie;
 use std::sync::Arc;
 
 /// An LRU of built state tries keyed by their root hash.
+///
+/// Hit/miss accounting lives in live [`Counter`] handles so a
+/// telemetry [`Registry`](parp_telemetry::Registry) can adopt them
+/// (via [`SnapshotCache::hit_counter`] / [`SnapshotCache::miss_counter`])
+/// and export the very cells the cache increments — no polling, no
+/// count transfer. Clones share those cells.
 #[derive(Debug, Clone)]
 pub struct SnapshotCache {
     /// `(root, trie)` pairs, least recently used first.
     entries: Vec<(H256, Arc<FrozenTrie>)>,
     capacity: usize,
-    hits: u64,
-    misses: u64,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl SnapshotCache {
@@ -42,8 +49,8 @@ impl SnapshotCache {
         SnapshotCache {
             entries: Vec::with_capacity(capacity),
             capacity,
-            hits: 0,
-            misses: 0,
+            hits: Counter::new(),
+            misses: Counter::new(),
         }
     }
 
@@ -64,12 +71,22 @@ impl SnapshotCache {
 
     /// Lookups served from the cache so far.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.get()
     }
 
     /// Lookups that had to build (or import) a trie.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.get()
+    }
+
+    /// Live handle to the hit counter, for registry adoption.
+    pub fn hit_counter(&self) -> Counter {
+        self.hits.clone()
+    }
+
+    /// Live handle to the miss counter, for registry adoption.
+    pub fn miss_counter(&self) -> Counter {
+        self.misses.clone()
     }
 
     /// Whether a trie for `root` is cached (does not touch LRU order or
@@ -84,7 +101,7 @@ impl SnapshotCache {
         let entry = self.entries.remove(index);
         let trie = entry.1.clone();
         self.entries.push(entry);
-        self.hits += 1;
+        self.hits.inc();
         Some(trie)
     }
 
@@ -119,7 +136,7 @@ impl SnapshotCache {
         if let Some(trie) = self.get(&root) {
             return trie;
         }
-        self.misses += 1;
+        self.misses.inc();
         let trie = build();
         debug_assert_eq!(trie.root_hash(), root, "cached trie must match its key");
         self.insert(root, trie.clone());

@@ -11,9 +11,11 @@ use parp_contracts::{
 use parp_core::{FullNode, ProofEngine, ServeError};
 use parp_crypto::keccak256;
 use parp_primitives::Address;
+use parp_telemetry::{Histogram, Telemetry};
 use parp_trie::{FrozenTrie, ProofBuf};
 use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Tuning knobs for a [`Runtime`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +104,18 @@ pub struct Runtime {
     inclusion_cache: SnapshotCache,
     shards: usize,
     admission: AdmissionController,
+    /// Serve-path histograms, present once a telemetry registry is
+    /// attached. `None` keeps the uninstrumented path at one branch.
+    metrics: Option<RuntimeMetrics>,
+}
+
+/// The runtime's registered histograms (fixed-memory, lock-free).
+#[derive(Debug, Clone)]
+struct RuntimeMetrics {
+    multiproof_us: Arc<Histogram>,
+    serve_single_us: Arc<Histogram>,
+    serve_batch_us: Arc<Histogram>,
+    batch_calls: Arc<Histogram>,
 }
 
 impl Default for Runtime {
@@ -113,7 +127,12 @@ impl Default for Runtime {
 impl ProofEngine for Runtime {
     fn account_multiproof(&mut self, state: &State, addresses: &[Address]) -> Vec<Vec<u8>> {
         let trie = self.cache.get_or_build(state);
-        sharded_account_multiproof(&trie, addresses, self.shards)
+        let start = self.metrics.is_some().then(Instant::now);
+        let proof = sharded_account_multiproof(&trie, addresses, self.shards);
+        if let (Some(m), Some(t)) = (&self.metrics, start) {
+            m.multiproof_us.record(t.elapsed().as_micros() as u64);
+        }
+        proof
     }
 
     fn account_multiproof_into(
@@ -123,7 +142,11 @@ impl ProofEngine for Runtime {
         out: &mut ProofBuf,
     ) {
         let trie = self.cache.get_or_build(state);
+        let start = self.metrics.is_some().then(Instant::now);
         sharded_account_multiproof_into(&trie, addresses, self.shards, out);
+        if let (Some(m), Some(t)) = (&self.metrics, start) {
+            m.multiproof_us.record(t.elapsed().as_micros() as u64);
+        }
     }
 
     fn account_proof(&mut self, state: &State, address: &Address) -> Vec<Vec<u8>> {
@@ -169,7 +192,63 @@ impl Runtime {
             inclusion_cache: SnapshotCache::new(config.inclusion_cache_capacity),
             shards: config.shards.max(1),
             admission: AdmissionController::new(config.burst_capacity, config.rate_per_sec),
+            metrics: None,
         }
+    }
+
+    /// Registers the runtime's counters and histograms with
+    /// `telemetry` and turns on serve-path latency recording.
+    ///
+    /// The caches' and admission controller's live counters are
+    /// *adopted* (the registry exports the same atomic cells the hot
+    /// path already increments), so attaching late loses no counts.
+    /// Metric names follow the `parp_<subsystem>_<name>_<unit>`
+    /// convention.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        let r = &telemetry.registry;
+        r.adopt_counter(
+            "parp_runtime_snapshot_cache_hits_total",
+            &[],
+            &self.cache.hit_counter(),
+        );
+        r.adopt_counter(
+            "parp_runtime_snapshot_cache_misses_total",
+            &[],
+            &self.cache.miss_counter(),
+        );
+        r.adopt_counter(
+            "parp_runtime_inclusion_cache_hits_total",
+            &[],
+            &self.inclusion_cache.hit_counter(),
+        );
+        r.adopt_counter(
+            "parp_runtime_inclusion_cache_misses_total",
+            &[],
+            &self.inclusion_cache.miss_counter(),
+        );
+        r.adopt_counter(
+            "parp_runtime_admitted_calls_total",
+            &[],
+            &self.admission.admitted_counter(),
+        );
+        r.adopt_counter(
+            "parp_runtime_throttled_calls_total",
+            &[],
+            &self.admission.throttled_counter(),
+        );
+        self.metrics = Some(RuntimeMetrics {
+            multiproof_us: r.histogram("parp_runtime_multiproof_us", &[]),
+            serve_single_us: r.histogram("parp_runtime_serve_single_us", &[]),
+            serve_batch_us: r.histogram("parp_runtime_serve_batch_us", &[]),
+            batch_calls: r.histogram("parp_runtime_batch_calls", &[]),
+        });
+    }
+
+    /// Builder form of [`Runtime::attach_telemetry`].
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.attach_telemetry(telemetry);
+        self
     }
 
     /// The snapshot cache (hit/miss counters, contents).
@@ -224,7 +303,12 @@ impl Runtime {
         chain: &mut Blockchain,
         executor: &mut ParpExecutor,
     ) -> Result<ParpResponse, ServeError> {
-        node.handle_request_with(request, chain, executor, self)
+        let start = self.metrics.is_some().then(Instant::now);
+        let response = node.handle_request_with(request, chain, executor, self);
+        if let (Some(m), Some(t)) = (&self.metrics, start) {
+            m.serve_single_us.record(t.elapsed().as_micros() as u64);
+        }
+        response
     }
 
     /// Serves one batched exchange through the snapshot cache and the
@@ -240,7 +324,13 @@ impl Runtime {
         chain: &mut Blockchain,
         executor: &mut ParpExecutor,
     ) -> Result<ParpBatchResponse, ServeError> {
-        node.handle_batch_with(request, chain, executor, self)
+        let start = self.metrics.is_some().then(Instant::now);
+        let response = node.handle_batch_with(request, chain, executor, self);
+        if let (Some(m), Some(t)) = (&self.metrics, start) {
+            m.serve_batch_us.record(t.elapsed().as_micros() as u64);
+            m.batch_calls.record(request.calls.len() as u64);
+        }
+        response
     }
 
     /// A self-contained **read-only** proof engine over the cached head

@@ -1,0 +1,373 @@
+//! Fixed-memory log-linear histogram (HdrHistogram-style).
+//!
+//! Values are `u64` (the workspace uses microseconds everywhere). The
+//! bucket layout is *log-linear*: values below 64 get one bucket each
+//! (exact), and every power-of-two octave above that is split into 64
+//! linear sub-buckets. A recorded value therefore lands in a bucket
+//! whose lower bound is at most `2⁻⁶` (1.5625%) below it — roughly two
+//! significant decimal digits — and quantile queries return that lower
+//! bound, so:
+//!
+//! > for any quantile `q`, `hist.quantile(q)` ∈
+//! > `(exact · (1 − 2⁻⁶), exact]` where `exact` is the nearest-rank
+//! > quantile of the recorded samples.
+//!
+//! The error is one-sided (never above the exact value) and *relative*,
+//! so it is bounded at every magnitude from single microseconds to
+//! full-range `u64` (`u64::MAX` saturates into the last bucket).
+//!
+//! Memory is fixed: 59 octaves × 64 sub-buckets + the 64-value linear
+//! region = [`BUCKETS`] = 3776 `AtomicU64` cells ≈ 30 KiB, lazily
+//! allocated on the first `record` so an empty histogram costs a few
+//! machine words. Recording is one relaxed `fetch_add` plus min/max
+//! maintenance; quantiles are an O(buckets) walk with no sorting and
+//! no allocation — this is what replaces the unbounded
+//! `Vec<u64>`-retaining, sort-per-query aggregates in `parp-net` and
+//! `parp-gateway`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// log2 of the number of linear sub-buckets per octave.
+const SUB_BITS: u32 = 6;
+/// Linear sub-buckets per octave (and size of the exact region).
+const SUB: usize = 1 << SUB_BITS;
+/// Number of octaves above the linear region for `u64` values:
+/// highest set bit 6..=63.
+const OCTAVES: usize = 58;
+/// Total bucket count: the exact linear region plus every octave.
+pub const BUCKETS: usize = SUB + OCTAVES * SUB;
+/// Documented one-sided relative error bound of bucket lower bounds
+/// (and therefore of [`Histogram::quantile`]): `2⁻⁶`.
+pub const RELATIVE_ERROR: f64 = 1.0 / SUB as f64;
+
+/// Map a value to its bucket index. Total order preserving.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        // Highest set bit h >= 6; the 6 bits below it select the
+        // linear sub-bucket inside octave h-6.
+        let h = 63 - v.leading_zeros();
+        let octave = (h - SUB_BITS) as usize;
+        let sub = ((v >> (h - SUB_BITS)) as usize) & (SUB - 1);
+        SUB + octave * SUB + sub
+    }
+}
+
+/// Lower bound of the value range covered by bucket `i` — what
+/// quantile queries report.
+#[inline]
+fn bucket_low(i: usize) -> u64 {
+    if i < SUB {
+        i as u64
+    } else {
+        let octave = (i / SUB - 1) as u32;
+        let sub = (i % SUB) as u64;
+        (SUB as u64 + sub) << octave
+    }
+}
+
+/// A fixed-memory log-linear histogram of `u64` values.
+///
+/// Thread-safe: recording takes `&self` and is lock-free. See the
+/// [module docs](self) for the bucket layout and the documented
+/// relative-error bound.
+pub struct Histogram {
+    buckets: OnceLock<Box<[AtomicU64]>>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// New empty histogram. Buckets are not allocated until the first
+    /// `record`, so this is a few machine words.
+    pub fn new() -> Self {
+        Self {
+            buckets: OnceLock::new(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn cells(&self) -> &[AtomicU64] {
+        self.buckets
+            .get_or_init(|| (0..BUCKETS).map(|_| AtomicU64::new(0)).collect())
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` occurrences of `v` at the cost of one.
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.cells()[bucket_index(v)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Saturating sum of recorded values (exact until it saturates).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded value (exact), or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Largest recorded value (exact), or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+
+    /// Nearest-rank quantile over the bucketed distribution, reported
+    /// as the holding bucket's lower bound — within the documented
+    /// one-sided [`RELATIVE_ERROR`] of the exact nearest-rank
+    /// quantile. `q` is clamped to `[0, 1]`; an empty histogram
+    /// returns 0. O(buckets), no allocation.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let Some(cells) = self.buckets.get() else {
+            return 0;
+        };
+        let q = q.clamp(0.0, 1.0);
+        // Same nearest-rank convention as `parp_net::latency_quantile_us`.
+        let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in cells.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_low(i);
+            }
+        }
+        self.max()
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&self, other: &Histogram) {
+        let Some(theirs) = other.buckets.get() else {
+            return;
+        };
+        let cells = self.cells();
+        for (mine, theirs) in cells.iter().zip(theirs.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        if other.count() != 0 {
+            self.min
+                .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.max.fetch_max(other.max(), Ordering::Relaxed);
+        }
+    }
+
+    /// Heap + inline footprint in bytes. Constant once the bucket
+    /// array is allocated — it never grows with sample count, which is
+    /// the memory-regression property the simulator tests assert.
+    pub fn mem_bytes(&self) -> usize {
+        let heap = if self.buckets.get().is_some() {
+            BUCKETS * std::mem::size_of::<AtomicU64>()
+        } else {
+            0
+        };
+        std::mem::size_of::<Self>() + heap
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for Histogram {
+    /// Deep copy: the clone gets its own cells holding a snapshot of
+    /// the source's current counts (concurrent writers may land on
+    /// either side of the snapshot, bucket by bucket).
+    fn clone(&self) -> Self {
+        let out = Histogram::new();
+        out.merge(self);
+        // merge() recomputes count/sum but min comes from the raw cell
+        // so an empty source stays u64::MAX — already handled there.
+        out
+    }
+}
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        if self.count() != other.count() || self.sum() != other.sum() {
+            return false;
+        }
+        match (self.buckets.get(), other.buckets.get()) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a
+                .iter()
+                .zip(b.iter())
+                .all(|(x, y)| x.load(Ordering::Relaxed) == y.load(Ordering::Relaxed)),
+            // One side allocated but recorded nothing: equal to an
+            // unallocated empty histogram (counts already matched).
+            (Some(_), None) | (None, Some(_)) => self.count() == 0,
+        }
+    }
+}
+
+impl Eq for Histogram {}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("min", &self.min())
+            .field("p50", &self.quantile(0.50))
+            .field("p99", &self.quantile(0.99))
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        let h = Histogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 63);
+        // Every value below 64 has its own bucket.
+        for v in 0..64u64 {
+            assert_eq!(bucket_low(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        // The lower bound of a value's bucket never exceeds the value,
+        // and is within the documented relative error below it.
+        for &v in &[
+            1u64,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1000,
+            10_000,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let low = bucket_low(bucket_index(v));
+            assert!(low <= v, "low {low} > v {v}");
+            assert!(
+                (v - low) as f64 <= v as f64 * RELATIVE_ERROR,
+                "v={v} low={low}"
+            );
+        }
+        // Bucket lower bounds are monotone in the index.
+        for i in 1..BUCKETS {
+            assert!(bucket_low(i) > bucket_low(i - 1));
+        }
+        // u64::MAX maps inside the table.
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn empty_and_single_sample() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        h.record(300);
+        assert_eq!(h.quantile(0.0), 300);
+        assert_eq!(h.quantile(0.5), 300);
+        assert_eq!(h.quantile(1.0), 300);
+        assert_eq!(h.min(), 300);
+        assert_eq!(h.max(), 300);
+    }
+
+    #[test]
+    fn saturating_value() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        let p99 = h.quantile(0.99);
+        assert!((u64::MAX - p99) as f64 <= u64::MAX as f64 * RELATIVE_ERROR);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn memory_is_fixed() {
+        let h = Histogram::new();
+        let empty = h.mem_bytes();
+        h.record(1);
+        let one = h.mem_bytes();
+        for v in 0..1_000_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.mem_bytes(), one);
+        assert!(one > empty); // lazily allocated on first record
+        assert!(one < 64 * 1024, "footprint {one} B should stay ~30 KiB");
+    }
+
+    #[test]
+    fn merge_and_eq() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [5u64, 100, 10_000] {
+            a.record(v);
+            b.record(v);
+        }
+        assert_eq!(a, b);
+        let c = a.clone();
+        assert_eq!(c, a);
+        b.record(7);
+        assert_ne!(a, b);
+        a.merge(&b);
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.min(), 5);
+    }
+}

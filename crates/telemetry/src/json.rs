@@ -1,0 +1,36 @@
+//! Minimal JSON string emission shared by the exporters. The crate is
+//! zero-dependency, so the few JSON documents it produces (metrics
+//! snapshots, Chrome trace events) are written by hand through these
+//! helpers.
+
+/// Append `s` to `out` as a JSON string literal (with quotes),
+/// escaping the characters RFC 8259 requires.
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,446 @@
+//! Labeled metric registry and its exporters.
+//!
+//! A [`Registry`] maps `(name, labels)` keys to live metric handles.
+//! Registration takes a lock; the returned handles are lock-free, so
+//! the hot path never touches the registry again. The `adopt_*` methods
+//! lets a subsystem that created its own handle (e.g. a cache built
+//! before telemetry was attached) expose it without transferring
+//! counts.
+//!
+//! [`Registry::snapshot`] produces an owned point-in-time
+//! [`MetricsSnapshot`] — a plain data structure that report structs
+//! can embed — exportable as JSON ([`MetricsSnapshot::to_json`]) or
+//! Prometheus text exposition ([`MetricsSnapshot::to_prometheus`],
+//! histograms rendered summary-style with `quantile` labels).
+
+use crate::histogram::Histogram;
+use crate::json::push_json_string;
+use crate::metrics::{Counter, Gauge};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Sorted `(key, value)` label pairs.
+pub type Labels = Vec<(String, String)>;
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Labels,
+}
+
+fn key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+    let mut labels: Labels = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    labels.sort();
+    MetricKey {
+        name: name.to_string(),
+        labels,
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<Histogram>),
+}
+
+/// A labeled metric registry. Cheap to clone (all clones share state).
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<MetricKey, Metric>>>,
+}
+
+impl Registry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter registered under `(name, labels)`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(key(name, labels))
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or create the gauge registered under `(name, labels)`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(key(name, labels))
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or create the histogram registered under `(name, labels)`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(key(name, labels))
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Expose an existing live counter handle under `(name, labels)`.
+    /// The handle keeps its accumulated count; the registry snapshot
+    /// will read the same cell the owner increments.
+    pub fn adopt_counter(&self, name: &str, labels: &[(&str, &str)], handle: &Counter) {
+        self.inner
+            .lock()
+            .unwrap()
+            .insert(key(name, labels), Metric::Counter(handle.clone()));
+    }
+
+    /// Expose an existing live gauge handle under `(name, labels)`.
+    pub fn adopt_gauge(&self, name: &str, labels: &[(&str, &str)], handle: &Gauge) {
+        self.inner
+            .lock()
+            .unwrap()
+            .insert(key(name, labels), Metric::Gauge(handle.clone()));
+    }
+
+    /// Expose an existing shared histogram under `(name, labels)`.
+    pub fn adopt_histogram(&self, name: &str, labels: &[(&str, &str)], handle: &Arc<Histogram>) {
+        self.inner
+            .lock()
+            .unwrap()
+            .insert(key(name, labels), Metric::Histogram(Arc::clone(handle)));
+    }
+
+    /// Owned point-in-time snapshot of every registered metric,
+    /// sorted by `(name, labels)`.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.inner.lock().unwrap();
+        let entries = map
+            .iter()
+            .map(|(k, m)| MetricEntry {
+                name: k.name.clone(),
+                labels: k.labels.clone(),
+                value: match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(HistogramSnapshot::of(h)),
+                },
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+}
+
+/// Point-in-time value of one histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Saturating sum of recorded values.
+    pub sum: u64,
+    /// Exact minimum (0 when empty).
+    pub min: u64,
+    /// Exact maximum (0 when empty).
+    pub max: u64,
+    /// Median, within the histogram's documented relative error.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+impl HistogramSnapshot {
+    /// Snapshot a live histogram.
+    pub fn of(h: &Histogram) -> Self {
+        Self {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.quantile(0.50),
+            p90: h.quantile(0.90),
+            p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
+        }
+    }
+}
+
+/// One `(name, labels, value)` entry of a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricEntry {
+    /// Metric name (`parp_<subsystem>_<name>_<unit>` by convention).
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Labels,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// Snapshot value of one metric.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// An owned point-in-time snapshot of a [`Registry`] — plain data,
+/// safe to embed in scenario reports and compare across runs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// All entries, sorted by `(name, labels)`.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl MetricsSnapshot {
+    fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricEntry> {
+        let mut want: Labels = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        want.sort();
+        self.entries
+            .iter()
+            .find(|e| e.name == name && e.labels == want)
+    }
+
+    /// Counter reading under `(name, labels)`, if present.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.find(name, labels)?.value {
+            MetricValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Gauge reading under `(name, labels)`, if present.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        match self.find(name, labels)?.value {
+            MetricValue::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Histogram summary under `(name, labels)`, if present.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        match &self.find(name, labels)?.value {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Every entry sharing `name` (all label sets), in label order.
+    pub fn with_name<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a MetricEntry> {
+        self.entries.iter().filter(move |e| e.name == name)
+    }
+
+    /// Export as a JSON object:
+    /// `{"metrics":[{"name":...,"labels":{...},"type":...,...}]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_string(&mut out, &e.name);
+            out.push_str(",\"labels\":{");
+            for (j, (k, v)) in e.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_json_string(&mut out, k);
+                out.push(':');
+                push_json_string(&mut out, v);
+            }
+            out.push('}');
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!(",\"type\":\"counter\",\"value\":{v}}}"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!(",\"type\":\"gauge\",\"value\":{v}}}"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        ",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\
+                         \"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+                        h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99, h.p999
+                    ));
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Export in Prometheus text exposition format. Histograms are
+    /// rendered summary-style: `name{quantile="0.5"}` lines plus
+    /// `name_sum` / `name_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_typed: Option<(&str, &str)> = None;
+        for e in &self.entries {
+            let ty = match e.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "summary",
+            };
+            if last_typed != Some((e.name.as_str(), ty)) {
+                out.push_str(&format!("# TYPE {} {}\n", e.name, ty));
+                last_typed = Some((e.name.as_str(), ty));
+            }
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&prom_line(&e.name, &e.labels, &[], &v.to_string()));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&prom_line(&e.name, &e.labels, &[], &v.to_string()));
+                }
+                MetricValue::Histogram(h) => {
+                    for (q, v) in [
+                        ("0.5", h.p50),
+                        ("0.9", h.p90),
+                        ("0.99", h.p99),
+                        ("0.999", h.p999),
+                    ] {
+                        out.push_str(&prom_line(
+                            &e.name,
+                            &e.labels,
+                            &[("quantile", q)],
+                            &v.to_string(),
+                        ));
+                    }
+                    out.push_str(&prom_line(
+                        &format!("{}_sum", e.name),
+                        &e.labels,
+                        &[],
+                        &h.sum.to_string(),
+                    ));
+                    out.push_str(&prom_line(
+                        &format!("{}_count", e.name),
+                        &e.labels,
+                        &[],
+                        &h.count.to_string(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn prom_line(name: &str, labels: &Labels, extra: &[(&str, &str)], value: &str) -> String {
+    let mut out = String::new();
+    out.push_str(name);
+    if !labels.is_empty() || !extra.is_empty() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .chain(extra.iter().copied())
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            // Prometheus label escaping: backslash, quote, newline.
+            for ch in v.chars() {
+                match ch {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_read_back_and_export() {
+        let r = Registry::new();
+        let c = r.counter("parp_test_calls_total", &[("provider", "0xabc")]);
+        c.add(3);
+        let g = r.gauge("parp_test_depth", &[]);
+        g.set(-4);
+        let h = r.histogram("parp_test_latency_us", &[]);
+        h.record(100);
+        h.record(200);
+
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counter("parp_test_calls_total", &[("provider", "0xabc")]),
+            Some(3)
+        );
+        assert_eq!(snap.gauge("parp_test_depth", &[]), Some(-4));
+        let hs = snap.histogram("parp_test_latency_us", &[]).unwrap();
+        assert_eq!(hs.count, 2);
+        assert_eq!(hs.min, 100);
+        assert_eq!(hs.max, 200);
+
+        let json = snap.to_json();
+        assert!(json.contains("\"name\":\"parp_test_calls_total\""));
+        assert!(json.contains("\"provider\":\"0xabc\""));
+        assert!(json.contains("\"type\":\"histogram\""));
+
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE parp_test_calls_total counter"));
+        assert!(prom.contains("parp_test_calls_total{provider=\"0xabc\"} 3"));
+        assert!(prom.contains("parp_test_latency_us{quantile=\"0.5\"}"));
+        assert!(prom.contains("parp_test_latency_us_count 2"));
+        assert!(prom.contains("parp_test_depth -4"));
+    }
+
+    #[test]
+    fn adoption_preserves_live_counts() {
+        let r = Registry::new();
+        let live = Counter::new();
+        live.add(7);
+        r.adopt_counter("parp_test_adopted_total", &[], &live);
+        live.inc();
+        assert_eq!(
+            r.snapshot().counter("parp_test_adopted_total", &[]),
+            Some(8)
+        );
+    }
+
+    #[test]
+    fn same_key_returns_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("parp_test_x_total", &[("a", "1"), ("b", "2")]);
+        // Label order must not matter.
+        let b = r.counter("parp_test_x_total", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert!(a.same_cell(&b));
+    }
+}

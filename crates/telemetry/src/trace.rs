@@ -1,0 +1,322 @@
+//! Request-lifecycle tracing on the simulated clock.
+//!
+//! The simulator advances a deterministic microsecond clock
+//! (`Network::now_us`); the tracer stamps spans and instants with that
+//! clock so a captured trace lays every exchange out on the same
+//! timeline the latency figures are computed on. Export is Chrome
+//! trace-event JSON (the `{"traceEvents":[...]}` object form): drop
+//! the file on `ui.perfetto.dev` (or `chrome://tracing`) and each
+//! provider renders as a named track with sign → flight → serve
+//! (verify / multiproof / respond) → flight → classify per exchange,
+//! and fraud → slash → re-select → replay instants where a failover
+//! happened.
+//!
+//! The tracer starts *disabled*: recording against a disabled tracer
+//! is one relaxed atomic load and nothing else, which is what keeps
+//! the instrumented-but-idle serve path inside the overhead budget the
+//! `telemetry_overhead` bench asserts. Event storage is bounded
+//! ([`Tracer::MAX_EVENTS`]); past the cap events are counted as
+//! dropped rather than accumulated, preserving the crate's
+//! fixed-memory discipline.
+
+use crate::json::push_json_string;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Chrome trace-event phase of one [`TraceEvent`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TracePhase {
+    /// A complete span (`"ph":"X"`): has `ts` and `dur`.
+    Complete,
+    /// An instant event (`"ph":"i"`, thread scope).
+    Instant,
+    /// Metadata (`"ph":"M"`), e.g. `thread_name`.
+    Metadata,
+}
+
+/// One argument value attached to an event's `args` object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// One recorded trace event (Chrome trace-event model).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (span or instant label).
+    pub name: String,
+    /// Category, used by trace viewers for filtering (e.g. `net`,
+    /// `serve`, `gateway`).
+    pub cat: String,
+    /// Phase: complete span, instant, or metadata.
+    pub ph: TracePhase,
+    /// Start timestamp in simulated microseconds.
+    pub ts_us: u64,
+    /// Duration in simulated microseconds (complete spans only).
+    pub dur_us: u64,
+    /// Track id — the simulator uses one per provider/actor.
+    pub tid: u32,
+    /// Key/value arguments shown in the viewer's detail pane.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+#[derive(Debug, Default)]
+struct TracerInner {
+    enabled: AtomicBool,
+    events: Mutex<Vec<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+/// Sim-clock span/event recorder. Cheap to clone (shared state).
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Tracer {
+    /// Hard cap on retained events; recording past it increments the
+    /// dropped counter instead of growing memory.
+    pub const MAX_EVENTS: usize = 1 << 20;
+
+    /// New tracer, disabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether recording is live.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable recording. Disabled recording is a single
+    /// atomic load per call site.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        let mut events = self.inner.events.lock().unwrap();
+        if events.len() >= Self::MAX_EVENTS {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            events.push(ev);
+        }
+    }
+
+    /// Record a complete span `[ts_us, ts_us + dur_us)` on track
+    /// `tid`. No-op while disabled.
+    pub fn span(
+        &self,
+        name: &str,
+        cat: &str,
+        ts_us: u64,
+        dur_us: u64,
+        tid: u32,
+        args: Vec<(String, ArgValue)>,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.push(TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: TracePhase::Complete,
+            ts_us,
+            dur_us,
+            tid,
+            args,
+        });
+    }
+
+    /// Record an instant event at `ts_us` on track `tid`. No-op while
+    /// disabled.
+    pub fn instant(
+        &self,
+        name: &str,
+        cat: &str,
+        ts_us: u64,
+        tid: u32,
+        args: Vec<(String, ArgValue)>,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.push(TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: TracePhase::Instant,
+            ts_us,
+            dur_us: 0,
+            tid,
+            args,
+        });
+    }
+
+    /// Name track `tid` in the viewer (emits a `thread_name` metadata
+    /// event). Recorded even while disabled — metadata is bounded by
+    /// actor count, and a trace enabled mid-run still needs its track
+    /// names.
+    pub fn name_track(&self, tid: u32, name: &str) {
+        self.push(TraceEvent {
+            name: "thread_name".to_string(),
+            cat: String::new(),
+            ph: TracePhase::Metadata,
+            ts_us: 0,
+            dur_us: 0,
+            tid,
+            args: vec![("name".to_string(), ArgValue::Str(name.to_string()))],
+        });
+    }
+
+    /// Copy of all retained events, in recording order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.events.lock().unwrap().clone()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner.events.lock().unwrap().len()
+    }
+
+    /// Whether no events have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events rejected by the [`Tracer::MAX_EVENTS`] cap.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Drop all retained events (the dropped counter is kept).
+    pub fn clear(&self) {
+        self.inner.events.lock().unwrap().clear();
+    }
+
+    /// Export every retained event as Chrome trace-event JSON
+    /// (object form, `ts`/`dur` in microseconds as the format
+    /// specifies). Loadable directly in Perfetto.
+    pub fn export_chrome_json(&self) -> String {
+        let events = self.inner.events.lock().unwrap();
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_string(&mut out, &e.name);
+            if !e.cat.is_empty() {
+                out.push_str(",\"cat\":");
+                push_json_string(&mut out, &e.cat);
+            }
+            let ph = match e.ph {
+                TracePhase::Complete => "X",
+                TracePhase::Instant => "i",
+                TracePhase::Metadata => "M",
+            };
+            out.push_str(&format!(",\"ph\":\"{ph}\""));
+            if e.ph == TracePhase::Instant {
+                out.push_str(",\"s\":\"t\"");
+            }
+            out.push_str(&format!(",\"ts\":{},\"pid\":1,\"tid\":{}", e.ts_us, e.tid));
+            if e.ph == TracePhase::Complete {
+                out.push_str(&format!(",\"dur\":{}", e.dur_us));
+            }
+            if !e.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (j, (k, v)) in e.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    push_json_string(&mut out, k);
+                    out.push(':');
+                    match v {
+                        ArgValue::U64(n) => out.push_str(&n.to_string()),
+                        ArgValue::I64(n) => out.push_str(&n.to_string()),
+                        ArgValue::Str(s) => push_json_string(&mut out, s),
+                    }
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new();
+        t.span("x", "test", 0, 10, 1, vec![]);
+        t.instant("y", "test", 5, 1, vec![]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        t.name_track(3, "provider 0xabc");
+        t.span(
+            "serve",
+            "net",
+            100,
+            40,
+            3,
+            vec![("calls".to_string(), ArgValue::U64(64))],
+        );
+        t.instant(
+            "classify",
+            "net",
+            140,
+            3,
+            vec![("verdict".to_string(), ArgValue::Str("valid".into()))],
+        );
+        let json = t.export_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"ph\":\"X\",\"ts\":100,\"pid\":1,\"tid\":3,\"dur\":40"));
+        assert!(json.contains("\"ph\":\"i\",\"s\":\"t\",\"ts\":140"));
+        assert!(json.contains("\"args\":{\"calls\":64}"));
+        assert!(json.contains("\"verdict\":\"valid\""));
+        assert!(json.ends_with("]}"));
+        assert_eq!(t.events().len(), 3);
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

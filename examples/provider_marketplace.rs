@@ -111,8 +111,8 @@ fn main() {
     for (address, stats) in &report.provider_stats {
         println!(
             "    {address}: {} / {} / {} / {}",
-            stats.calls,
-            stats.failures,
+            stats.calls(),
+            stats.failures(),
             stats.latency_p50_us(),
             stats.latency_p99_us()
         );

@@ -14,4 +14,5 @@ pub use parp_net as net;
 pub use parp_primitives as primitives;
 pub use parp_rlp as rlp;
 pub use parp_runtime as runtime;
+pub use parp_telemetry as telemetry;
 pub use parp_trie as trie;

@@ -196,7 +196,7 @@ fn marketplace_acceptance_scenario() {
     assert!(!report.recoveries_us.is_empty(), "time-to-recover measured");
     // The per-provider aggregates drove the run and are reportable.
     assert!(!report.provider_stats.is_empty());
-    let total_calls: u64 = report.provider_stats.iter().map(|(_, s)| s.calls).sum();
+    let total_calls: u64 = report.provider_stats.iter().map(|(_, s)| s.calls()).sum();
     assert!(total_calls as usize >= config.calls);
 }
 

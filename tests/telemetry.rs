@@ -1,0 +1,213 @@
+//! Cross-crate telemetry properties: histogram quantiles against the
+//! exact nearest-rank reference, fixed-memory regression for the
+//! accounting that used to retain every sample, and the captured
+//! failover trace round-tripping through the Chrome trace-event
+//! exporter.
+
+use parp_suite::gateway::{run_marketplace, MarketplaceConfig, Reputation};
+use parp_suite::net::{latency_quantile_us, ProviderAggregate};
+use parp_suite::telemetry::{Histogram, TracePhase, RELATIVE_ERROR};
+use proptest::prelude::*;
+
+/// The tentpole's accuracy contract: for any sample set and any
+/// quantile, the histogram answers within its documented one-sided
+/// relative error of the exact nearest-rank quantile (never above it).
+fn assert_quantile_contract(samples: &[u64], q: f64) {
+    let hist = Histogram::new();
+    for &v in samples {
+        hist.record(v);
+    }
+    let exact = latency_quantile_us(samples, q);
+    let approx = hist.quantile(q);
+    assert!(
+        approx <= exact,
+        "q={q}: histogram {approx} above exact {exact}"
+    );
+    assert!(
+        approx as f64 >= exact as f64 * (1.0 - RELATIVE_ERROR),
+        "q={q}: histogram {approx} more than {RELATIVE_ERROR} below exact {exact}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_matches_nearest_rank_on_random_samples(
+        samples in proptest::collection::vec(any::<u64>(), 1..200),
+        q_mil in 0u64..1001,
+    ) {
+        assert_quantile_contract(&samples, q_mil as f64 / 1000.0);
+    }
+
+    #[test]
+    fn histogram_matches_nearest_rank_on_zipf_samples(
+        ranks in proptest::collection::vec(1u64..500, 1..200),
+        scale in 1u64..10_000_000,
+    ) {
+        // Zipf-shaped latencies (scale/rank): a heavy head and a long
+        // tail, the distribution real exchange latencies resemble.
+        let samples: Vec<u64> = ranks.iter().map(|r| scale / r).collect();
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_quantile_contract(&samples, q);
+        }
+    }
+}
+
+#[test]
+fn histogram_edge_cases_match_the_reference() {
+    // Empty: both conventions answer 0.
+    assert_quantile_contract(&[], 0.5);
+    // Single sample: every quantile is that sample (within error).
+    assert_quantile_contract(&[7_777], 0.0);
+    assert_quantile_contract(&[7_777], 0.5);
+    assert_quantile_contract(&[7_777], 1.0);
+    // Saturating values stay inside the table and the error bound.
+    assert_quantile_contract(&[u64::MAX, u64::MAX, 1], 0.99);
+    assert_quantile_contract(&[0, u64::MAX], 0.5);
+}
+
+/// The satellite fix: per-provider accounting must not grow with the
+/// number of exchanges. Before this change `ProviderAggregate` and the
+/// gateway's `Reputation` both pushed every latency sample into a
+/// `Vec<u64>` — a simulator (or gateway) serving millions of exchanges
+/// grew without bound.
+#[test]
+fn provider_accounting_memory_is_fixed() {
+    let aggregate = ProviderAggregate::default();
+    let reputation_probe = {
+        let mut r = Reputation::default();
+        r.record_valid(1); // allocate the bucket array once
+        r
+    };
+    let mut reputation = reputation_probe.clone();
+    aggregate.record_latency(1);
+    let aggregate_bytes = aggregate.mem_bytes();
+    let reputation_bytes = reputation.mem_bytes();
+    for i in 0..200_000u64 {
+        aggregate.record_call();
+        aggregate.record_latency(i % 50_000);
+        reputation.record_valid(i % 50_000);
+    }
+    assert_eq!(
+        aggregate.mem_bytes(),
+        aggregate_bytes,
+        "ProviderAggregate must not grow with sample count"
+    );
+    assert_eq!(
+        reputation.mem_bytes(),
+        reputation_bytes,
+        "Reputation must not grow with sample count"
+    );
+    assert_eq!(aggregate.samples(), 200_001);
+    assert_eq!(reputation.latency_samples(), 200_001);
+    // And the figures still work at that scale.
+    assert!(aggregate.latency_p99_us() > 0);
+    assert!(reputation.latency_p99_us() > 0);
+}
+
+/// The acceptance scenario: a marketplace run with a fraudulent
+/// provider, captured through the tracer, exported as Chrome
+/// trace-event JSON, parsed back, and checked for the failover
+/// lifecycle (fraud → slash → re-select → replay) with every event on
+/// the simulated clock in order.
+#[test]
+fn failover_trace_round_trips_through_chrome_export() {
+    let report = run_marketplace(&MarketplaceConfig::default());
+    assert!(report.fraud_detected >= 1);
+
+    // Instants are emitted at their sim time, so recorded order is
+    // sim-clock order (the network clock only advances). Spans may be
+    // recorded after they open (`failover_recovery` opens at the
+    // detection instant but is emitted at recovery), so for those we
+    // assert timeline containment instead of recording order.
+    let events = report.telemetry.tracer.events();
+    let instants: Vec<_> = events
+        .iter()
+        .filter(|e| e.ph == TracePhase::Instant)
+        .collect();
+    for pair in instants.windows(2) {
+        assert!(
+            pair[0].ts_us <= pair[1].ts_us,
+            "instants must be recorded in sim-clock order: {} ({}) then {} ({})",
+            pair[0].name,
+            pair[0].ts_us,
+            pair[1].name,
+            pair[1].ts_us
+        );
+    }
+    let horizon = events
+        .iter()
+        .map(|e| e.ts_us + e.dur_us)
+        .max()
+        .expect("trace is non-empty");
+    let spans: Vec<_> = events
+        .iter()
+        .filter(|e| e.ph == TracePhase::Complete)
+        .collect();
+    assert!(!spans.is_empty());
+    for span in &spans {
+        assert!(
+            span.ts_us + span.dur_us <= horizon,
+            "span {} leaks past the sim-clock horizon",
+            span.name
+        );
+    }
+
+    // Round-trip: export, then parse with the workspace's own JSON
+    // parser and re-find the lifecycle in the parsed document.
+    let json = report.telemetry.tracer.export_chrome_json();
+    let doc = parp_suite::jsonrpc::parse(&json).expect("exporter emits valid JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(|v| v.as_str()),
+        Some("ms")
+    );
+    let trace_events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert_eq!(trace_events.len(), events.len());
+
+    let ts_of = |wanted: &str| -> f64 {
+        trace_events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some(wanted))
+            .unwrap_or_else(|| panic!("parsed trace must contain {wanted:?}"))
+            .get("ts")
+            .and_then(|t| t.as_f64())
+            .expect("ts is a number")
+    };
+    let fraud = ts_of("fraud_detected");
+    let slash = ts_of("slash");
+    let reselect = ts_of("reselect");
+    let replay = ts_of("replay");
+    assert!(fraud <= slash && slash <= reselect && reselect <= replay);
+
+    // The recovery span opens at detection and closes at the next
+    // verified response — its parsed duration matches the report's
+    // time-to-recover figure.
+    let recovery = trace_events
+        .iter()
+        .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("failover_recovery"))
+        .expect("failover_recovery span");
+    assert_eq!(recovery.get("ph").and_then(|p| p.as_str()), Some("X"));
+    assert_eq!(
+        recovery.get("ts").and_then(|t| t.as_f64()),
+        Some(fraud),
+        "recovery span opens at the fraud detection instant"
+    );
+    let dur = recovery
+        .get("dur")
+        .and_then(|d| d.as_f64())
+        .expect("complete span has dur");
+    assert!(report.recoveries_us.iter().any(|&us| us as f64 == dur));
+
+    // Both metric exporters cover every registered series.
+    let snapshot = &report.metrics;
+    let json_export = snapshot.to_json();
+    let prometheus = snapshot.to_prometheus();
+    for entry in &snapshot.entries {
+        assert!(json_export.contains(&entry.name));
+        assert!(prometheus.contains(&entry.name));
+    }
+}
