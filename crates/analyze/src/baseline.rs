@@ -1,0 +1,248 @@
+//! The CI ratchet: a checked-in per-(lint, file) count baseline.
+//!
+//! The baseline grandfathers findings that predate the analyzer so CI
+//! can be strict from day one without a flag-day cleanup: a run fails
+//! only when some (lint, file) pair has *more* findings than the
+//! baseline records (or appears with none recorded). Counts can only
+//! go down — when they do, `--write-baseline` re-freezes the smaller
+//! numbers and the ratchet tightens.
+//!
+//! The file is parsed with `parp_jsonrpc`'s JSON parser — the
+//! workspace's own, keeping this crate free of external dependencies.
+
+use crate::{Analysis, Finding};
+use parp_jsonrpc::Json;
+use std::collections::BTreeMap;
+
+/// Schema tag written into (and required from) the baseline file.
+pub const SCHEMA: &str = "parp-analyze-baseline/1";
+
+/// Finding counts keyed by lint id, then repo-relative file.
+pub type Counts = BTreeMap<String, BTreeMap<String, u64>>;
+
+/// Tallies an analysis's unsuppressed findings into baseline form.
+pub fn counts(analysis: &Analysis) -> Counts {
+    let mut out = Counts::new();
+    for f in &analysis.findings {
+        *out.entry(f.lint.clone())
+            .or_default()
+            .entry(f.file.clone())
+            .or_default() += 1;
+    }
+    out
+}
+
+/// Serializes counts as pretty-printed JSON with a stable key order
+/// (BTreeMap iteration), so the checked-in file diffs cleanly.
+pub fn to_json(counts: &Counts) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str("  \"counts\": {");
+    let mut first_lint = true;
+    for (lint, files) in counts {
+        if !first_lint {
+            out.push(',');
+        }
+        first_lint = false;
+        out.push_str(&format!("\n    \"{lint}\": {{"));
+        let mut first_file = true;
+        for (file, n) in files {
+            if !first_file {
+                out.push(',');
+            }
+            first_file = false;
+            out.push_str(&format!("\n      \"{file}\": {n}"));
+        }
+        out.push_str("\n    }");
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Parses a baseline file produced by [`to_json`].
+pub fn parse(src: &str) -> Result<Counts, String> {
+    let doc = parp_jsonrpc::parse(src).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SCHEMA) => {}
+        Some(other) => return Err(format!("unsupported baseline schema {other:?}")),
+        None => return Err("baseline is missing its \"schema\" field".to_string()),
+    }
+    let Some(Json::Object(lints)) = doc.get("counts") else {
+        return Err("baseline is missing its \"counts\" object".to_string());
+    };
+    let mut out = Counts::new();
+    for (lint, files) in lints {
+        let Json::Object(files) = files else {
+            return Err(format!("baseline counts for {lint} are not an object"));
+        };
+        let per_file = out.entry(lint.clone()).or_default();
+        for (file, n) in files {
+            let Some(n) = n.as_f64().filter(|n| *n >= 0.0 && n.fract() == 0.0) else {
+                return Err(format!("baseline count for {lint} / {file} is not a count"));
+            };
+            per_file.insert(file.clone(), n as u64);
+        }
+    }
+    Ok(out)
+}
+
+/// Outcome of comparing a run against the baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Findings beyond the baseline — these fail CI. Each entry is a
+    /// concrete new finding (the ones past the grandfathered count,
+    /// in file order).
+    pub regressions: Vec<Finding>,
+    /// (lint, file) pairs that improved on the baseline; informational.
+    pub improvements: Vec<(String, String, u64, u64)>,
+}
+
+impl Comparison {
+    /// True when the run is at or below the baseline everywhere.
+    pub fn passes(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares current findings against the baseline. For a (lint, file)
+/// pair with baseline count `b` and current count `c > b`, the last
+/// `c - b` findings in line order are reported as regressions: the
+/// grandfathered allowance covers the first `b`, so the report points
+/// at roughly the code that was added last.
+pub fn compare(analysis: &Analysis, baseline: &Counts) -> Comparison {
+    let current = counts(analysis);
+    let mut cmp = Comparison::default();
+    for (lint, files) in &current {
+        for (file, &c) in files {
+            let b = baseline
+                .get(lint)
+                .and_then(|f| f.get(file))
+                .copied()
+                .unwrap_or(0);
+            if c > b {
+                let mut over: Vec<Finding> = analysis
+                    .findings
+                    .iter()
+                    .filter(|f| &f.lint == lint && &f.file == file)
+                    .cloned()
+                    .collect();
+                over.sort_by_key(|f| f.line);
+                cmp.regressions.extend(over.split_off(b as usize));
+            } else if c < b {
+                cmp.improvements.push((lint.clone(), file.clone(), b, c));
+            }
+        }
+    }
+    // Pairs that vanished entirely are improvements too.
+    for (lint, files) in baseline {
+        for (file, &b) in files {
+            let gone = current
+                .get(lint)
+                .and_then(|f| f.get(file))
+                .copied()
+                .unwrap_or(0)
+                == 0
+                && b > 0;
+            if gone {
+                cmp.improvements.push((lint.clone(), file.clone(), b, 0));
+            }
+        }
+    }
+    cmp.regressions
+        .sort_by_key(|f| (f.file.clone(), f.line, f.lint.clone()));
+    cmp.improvements.sort();
+    cmp.improvements.dedup();
+    Comparison {
+        regressions: cmp.regressions,
+        improvements: cmp.improvements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: &str, file: &str, line: u32) -> Finding {
+        Finding {
+            lint: lint.to_string(),
+            file: file.to_string(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    fn analysis(findings: Vec<Finding>) -> Analysis {
+        Analysis {
+            files_scanned: 1,
+            findings,
+            suppressed: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let run = analysis(vec![
+            finding("W001", "crates/a/src/x.rs", 3),
+            finding("W001", "crates/a/src/x.rs", 9),
+            finding("W004", "crates/b/src/y.rs", 1),
+        ]);
+        let tallied = counts(&run);
+        let parsed = parse(&to_json(&tallied)).unwrap();
+        assert_eq!(parsed, tallied);
+    }
+
+    #[test]
+    fn regression_reports_findings_past_the_allowance() {
+        let base = counts(&analysis(vec![finding("W001", "f.rs", 3)]));
+        let run = analysis(vec![
+            finding("W001", "f.rs", 3),
+            finding("W001", "f.rs", 40),
+        ]);
+        let cmp = compare(&run, &base);
+        assert!(!cmp.passes());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].line, 40);
+    }
+
+    #[test]
+    fn new_pair_is_a_regression_and_fewer_is_an_improvement() {
+        let base = counts(&analysis(vec![
+            finding("W004", "old.rs", 1),
+            finding("W004", "old.rs", 2),
+        ]));
+        let run = analysis(vec![
+            finding("W004", "old.rs", 1),
+            finding("W005", "new.rs", 7),
+        ]);
+        let cmp = compare(&run, &base);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].file, "new.rs");
+        assert_eq!(
+            cmp.improvements,
+            vec![("W004".into(), "old.rs".into(), 2, 1)]
+        );
+    }
+
+    #[test]
+    fn vanished_pair_counts_as_improvement() {
+        let base = counts(&analysis(vec![finding("W002", "gone.rs", 5)]));
+        let cmp = compare(&analysis(Vec::new()), &base);
+        assert!(cmp.passes());
+        assert_eq!(
+            cmp.improvements,
+            vec![("W002".into(), "gone.rs".into(), 1, 0)]
+        );
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(parse("{}").is_err());
+        assert!(parse("{\"schema\": \"other/9\", \"counts\": {}}").is_err());
+        assert!(parse(
+            "{\"schema\": \"parp-analyze-baseline/1\", \"counts\": {\"W001\": {\"f.rs\": 1.5}}}"
+        )
+        .is_err());
+        assert!(parse("not json").is_err());
+    }
+}

@@ -1,0 +1,500 @@
+//! A hand-rolled Rust lexer (house style: no external crates, like
+//! `parp-jsonrpc`'s JSON parser).
+//!
+//! The lints downstream match *token* patterns, so the lexer's one job
+//! is to never confuse code with text: `"panic!"` inside a string
+//! literal, `unwrap()` inside a doc comment, and `Instant::now` inside
+//! a raw string must all come out as single literal/comment tokens,
+//! not as identifiers. It is deliberately tolerant — unknown bytes
+//! lex as one-character punctuation and unterminated literals run to
+//! end of input — because a linter must never panic on the source it
+//! reads (its own lint W001 would be poetic justice).
+//!
+//! Invariant (property-tested): token spans are strictly increasing,
+//! non-overlapping byte ranges into the source, and slicing the source
+//! at a token's span reproduces the token text exactly — offsets
+//! round-trip.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers `r#type`).
+    Ident,
+    /// A lifetime such as `'a` (disambiguated from char literals).
+    Lifetime,
+    /// Any string-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#` — one token, contents never re-lexed.
+    Str,
+    /// A character or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A numeric literal (integers, floats, hex/oct/bin, suffixes).
+    Number,
+    /// One punctuation character (`.`, `:`, `{`, `#`, …).
+    Punct,
+    /// A `//`-style comment (including `///` and `//!` doc comments),
+    /// excluding the trailing newline.
+    LineComment,
+    /// A `/* … */` comment, nesting respected.
+    BlockComment,
+}
+
+/// One lexed token: kind plus the byte span it occupies in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexes `src` completely. Infallible: every byte of input is either
+/// inside exactly one token or is whitespace.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        let mut tokens = Vec::new();
+        while let Some(c) = self.peek_char() {
+            let start = self.pos;
+            let kind = self.next_token(c);
+            match kind {
+                None => {} // whitespace
+                Some(kind) => tokens.push(Token {
+                    kind,
+                    start,
+                    end: self.pos,
+                }),
+            }
+            // Defensive: guarantee forward progress even on input the
+            // cases above failed to consume (cannot happen, but an
+            // infinite loop in a CI gate would be worse than a bad
+            // token).
+            if self.pos == start {
+                self.pos += self.char_len(start);
+            }
+        }
+        tokens
+    }
+
+    fn char_len(&self, at: usize) -> usize {
+        self.src[at..].chars().next().map_or(1, char::len_utf8)
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_char_at(&self, at: usize) -> Option<char> {
+        self.src.get(at..).and_then(|s| s.chars().next())
+    }
+
+    fn byte_at(&self, at: usize) -> Option<u8> {
+        self.bytes.get(at).copied()
+    }
+
+    /// Consumes one token starting with `c`; returns `None` for
+    /// whitespace. Leaves `self.pos` one past the token.
+    fn next_token(&mut self, c: char) -> Option<TokenKind> {
+        if c.is_whitespace() {
+            self.pos += c.len_utf8();
+            return None;
+        }
+        if c == '/' {
+            match self.byte_at(self.pos + 1) {
+                Some(b'/') => return Some(self.line_comment()),
+                Some(b'*') => return Some(self.block_comment()),
+                _ => {
+                    self.pos += 1;
+                    return Some(TokenKind::Punct);
+                }
+            }
+        }
+        if c == 'r' || c == 'b' {
+            if let Some(kind) = self.raw_or_byte_prefixed() {
+                return Some(kind);
+            }
+        }
+        if c == '"' {
+            return Some(self.string_literal());
+        }
+        if c == '\'' {
+            return Some(self.lifetime_or_char());
+        }
+        if c.is_ascii_digit() {
+            return Some(self.number());
+        }
+        if is_ident_start(c) {
+            self.ident_run();
+            return Some(TokenKind::Ident);
+        }
+        self.pos += c.len_utf8();
+        Some(TokenKind::Punct)
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while let Some(b) = self.byte_at(self.pos) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += self.char_len(self.pos);
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.pos += 2; // consume "/*"
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.byte_at(self.pos), self.byte_at(self.pos + 1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(_), _) => self.pos += self.char_len(self.pos),
+                (None, _) => break, // unterminated: runs to EOF
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// Handles the `r` / `b` prefixed families: raw strings `r"`/`r#"`,
+    /// byte strings `b"`, byte chars `b'`, raw byte strings `br#"`,
+    /// and raw identifiers `r#ident`. Returns `None` when the prefix
+    /// turns out to start a plain identifier (`radius`, `bytes`, …).
+    fn raw_or_byte_prefixed(&mut self) -> Option<TokenKind> {
+        let start = self.pos;
+        let first = self.byte_at(start)?;
+        let mut at = start + 1;
+        if first == b'b' && self.byte_at(at) == Some(b'r') {
+            at += 1; // br…
+        }
+        if first == b'b' && self.byte_at(start + 1) == Some(b'\'') {
+            // Byte char literal b'x'.
+            self.pos = start + 1;
+            let kind = self.lifetime_or_char();
+            debug_assert!(matches!(kind, TokenKind::Char | TokenKind::Lifetime));
+            return Some(TokenKind::Char);
+        }
+        let mut hashes = 0usize;
+        while self.byte_at(at) == Some(b'#') {
+            hashes += 1;
+            at += 1;
+        }
+        if self.byte_at(at) == Some(b'"') {
+            // Raw-string family needs the r prefix; a bare b"…" is a
+            // plain (escaped) byte string.
+            let raw = first == b'r' || (first == b'b' && self.byte_at(start + 1) == Some(b'r'));
+            if raw {
+                self.pos = at + 1;
+                self.raw_string_body(hashes);
+                return Some(TokenKind::Str);
+            }
+            if hashes == 0 {
+                // b"…": escaped string with a b prefix.
+                self.pos = at;
+                return Some(self.string_literal());
+            }
+        }
+        if first == b'r' && hashes == 1 {
+            // Raw identifier r#type.
+            if self.peek_char_at(at).is_some_and(is_ident_start) {
+                self.pos = at;
+                self.ident_run();
+                return Some(TokenKind::Ident);
+            }
+        }
+        // Just an identifier starting with r/b.
+        self.pos = start;
+        self.ident_run();
+        Some(TokenKind::Ident)
+    }
+
+    /// Body of a raw string after the opening quote: runs to a `"`
+    /// followed by `hashes` hash marks (or EOF when unterminated).
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(b) = self.byte_at(self.pos) {
+            if b == b'"' {
+                let mut tail = self.pos + 1;
+                let mut matched = 0usize;
+                while matched < hashes && self.byte_at(tail) == Some(b'#') {
+                    matched += 1;
+                    tail += 1;
+                }
+                if matched == hashes {
+                    self.pos = tail;
+                    return;
+                }
+            }
+            self.pos += self.char_len(self.pos);
+        }
+    }
+
+    /// An escaped string literal starting at the opening quote.
+    fn string_literal(&mut self) -> TokenKind {
+        self.pos += 1; // opening quote
+        while let Some(b) = self.byte_at(self.pos) {
+            match b {
+                b'\\' => {
+                    self.pos += 1;
+                    if self.byte_at(self.pos).is_some() {
+                        self.pos += self.char_len(self.pos);
+                    }
+                }
+                b'"' => {
+                    self.pos += 1;
+                    return TokenKind::Str;
+                }
+                _ => self.pos += self.char_len(self.pos),
+            }
+        }
+        TokenKind::Str // unterminated: runs to EOF
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` (char literal) at an
+    /// opening single quote.
+    fn lifetime_or_char(&mut self) -> TokenKind {
+        let quote = self.pos;
+        self.pos += 1;
+        match self.peek_char() {
+            Some('\\') => {
+                // Escaped char literal '\n', '\u{1F600}', '\''.
+                self.pos += 1;
+                if self.byte_at(self.pos).is_some() {
+                    self.pos += self.char_len(self.pos);
+                }
+                if self.byte_at(self.pos) == Some(b'{') {
+                    // \u{…}
+                    while let Some(b) = self.byte_at(self.pos) {
+                        self.pos += 1;
+                        if b == b'}' {
+                            break;
+                        }
+                    }
+                }
+                if self.byte_at(self.pos) == Some(b'\'') {
+                    self.pos += 1;
+                }
+                TokenKind::Char
+            }
+            Some(c) if is_ident_start(c) => {
+                // Ident run: 'static (lifetime) vs 'a' (char).
+                let run_start = self.pos;
+                self.ident_run();
+                if self.byte_at(self.pos) == Some(b'\'') {
+                    self.pos += 1;
+                    TokenKind::Char
+                } else {
+                    debug_assert!(self.pos > run_start);
+                    TokenKind::Lifetime
+                }
+            }
+            Some(c) if c != '\'' => {
+                // Non-ident char literal: '1', '{', ' '. Close on the
+                // next quote before a newline; bare quote otherwise.
+                let c_len = c.len_utf8();
+                if self.byte_at(self.pos + c_len) == Some(b'\'') {
+                    self.pos += c_len + 1;
+                    TokenKind::Char
+                } else {
+                    self.pos = quote + 1;
+                    TokenKind::Punct
+                }
+            }
+            _ => TokenKind::Punct, // lone quote or EOF
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        let hex = self.byte_at(self.pos) == Some(b'0')
+            && matches!(self.byte_at(self.pos + 1), Some(b'x' | b'X' | b'o' | b'b'));
+        self.pos += 1;
+        while let Some(c) = self.peek_char() {
+            if is_ident_continue(c) {
+                let at_exponent = !hex && matches!(c, 'e' | 'E');
+                self.pos += c.len_utf8();
+                // 1e-5 / 1E+9: the sign is part of the literal.
+                if at_exponent
+                    && matches!(self.byte_at(self.pos), Some(b'+' | b'-'))
+                    && self
+                        .peek_char_at(self.pos + 1)
+                        .is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.pos += 1;
+                }
+            } else if c == '.' {
+                // Field access (`0.to_string()`) and ranges (`0..4`)
+                // end the number; a fractional part continues it.
+                if self
+                    .peek_char_at(self.pos + 1)
+                    .is_some_and(|d| d.is_ascii_digit())
+                    && !hex
+                {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        TokenKind::Number
+    }
+
+    fn ident_run(&mut self) {
+        while let Some(c) = self.peek_char() {
+            if is_ident_continue(c) {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Byte-offset → 1-based line number lookup table.
+#[derive(Debug)]
+pub struct LineIndex {
+    /// Byte offsets of each line start (line_starts[0] == 0).
+    line_starts: Vec<usize>,
+}
+
+impl LineIndex {
+    /// Builds the table for `src`.
+    pub fn new(src: &str) -> Self {
+        let mut line_starts = vec![0usize];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        LineIndex { line_starts }
+    }
+
+    /// 1-based line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> u32 {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i as u32 + 1,
+            Err(i) => i as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_swallow_panics() {
+        let src = r##"let s = "panic!(\"no\")"; // unwrap() here
+let r = r#"x.unwrap()"#; /* Instant::now() */"##;
+        for (kind, text) in kinds(src) {
+            if kind == TokenKind::Ident {
+                assert!(
+                    !matches!(text.as_str(), "panic" | "unwrap" | "Instant"),
+                    "identifier {text:?} leaked out of a literal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokenKind::Char, "'x'".into())));
+        let toks = kinds(r"let c = '\n'; let s: &'static str;");
+        assert!(toks.contains(&(TokenKind::Char, r"'\n'".into())));
+        assert!(toks.contains(&(TokenKind::Lifetime, "'static".into())));
+    }
+
+    #[test]
+    fn byte_and_raw_families() {
+        let toks = kinds(r###"let a = b"by"; let b = b'x'; let c = br#"r"#; let d = r#type;"###);
+        assert!(toks.contains(&(TokenKind::Str, "b\"by\"".into())));
+        assert!(toks.contains(&(TokenKind::Char, "b'x'".into())));
+        assert!(toks.contains(&(TokenKind::Str, "br#\"r\"#".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "r#type".into())));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = kinds("for i in 0..4 { 1.0e-5; 0xff_u64; 2.pow(3); }");
+        assert!(toks.contains(&(TokenKind::Number, "0".into())));
+        assert!(toks.contains(&(TokenKind::Number, "4".into())));
+        assert!(toks.contains(&(TokenKind::Number, "1.0e-5".into())));
+        assert!(toks.contains(&(TokenKind::Number, "0xff_u64".into())));
+        assert!(toks.contains(&(TokenKind::Number, "2".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "pow".into())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ code");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "code".into()));
+    }
+
+    #[test]
+    fn spans_tile_the_source() {
+        let src = "fn main() { let x = \"s\"; // c\n}";
+        let toks = lex(src);
+        let mut last_end = 0;
+        for t in &toks {
+            assert!(t.start >= last_end, "overlap at {t:?}");
+            assert!(t.end > t.start);
+            assert!(src[last_end..t.start].chars().all(char::is_whitespace));
+            last_end = t.end;
+        }
+    }
+
+    #[test]
+    fn line_index() {
+        let idx = LineIndex::new("a\nbc\n\nd");
+        assert_eq!(idx.line_of(0), 1);
+        assert_eq!(idx.line_of(2), 2);
+        assert_eq!(idx.line_of(3), 2);
+        assert_eq!(idx.line_of(5), 3);
+        assert_eq!(idx.line_of(6), 4);
+    }
+}

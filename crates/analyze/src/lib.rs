@@ -1,0 +1,362 @@
+//! # parp-analyze — workspace invariants as a lint pass
+//!
+//! PARP's correctness argument leans on three properties the type
+//! system cannot see:
+//!
+//! 1. **Determinism** — fraud proofs adjudicate *exact response
+//!    bytes*, so anything feeding a commitment (RLP encoding, channel
+//!    state, misbehavior records) must be bit-reproducible across
+//!    processes, and the simulator must never read host time.
+//! 2. **Panic-freedom on serving paths** — servers face untrusted
+//!    callers; a reachable panic is a one-request denial of service.
+//! 3. **Bounded memory** — long-lived structs that grow per request
+//!    are slow leaks (PR 7 removed exactly one of these from the
+//!    provider aggregates).
+//!
+//! This crate enforces them with a hand-rolled Rust lexer (no false
+//! positives on `"panic!"` inside a string literal) and a token-tree
+//! walker, in the same zero-dependency house style as
+//! `parp-jsonrpc`'s parser. Findings can be suppressed with a
+//! justified marker:
+//!
+//! ```text
+//! // parp-allow(W002): anchor for the wall clock itself
+//! ```
+//!
+//! An empty justification is itself a finding (W000). A checked-in
+//! baseline (`ANALYSIS_baseline.json`) grandfathers pre-existing
+//! findings per (lint, file); CI fails on any *new* finding, so the
+//! count can only ratchet down.
+
+pub mod baseline;
+pub mod lexer;
+pub mod lints;
+pub mod output;
+pub mod walker;
+
+use lexer::LineIndex;
+use lints::FileContext;
+use std::path::{Path, PathBuf};
+
+/// All lint identifiers, in report order. W000 is the meta-lint for
+/// malformed/unjustified suppressions and can never be suppressed.
+pub const LINT_IDS: [&str; 6] = ["W000", "W001", "W002", "W003", "W004", "W005"];
+
+/// One diagnostic: lint id, repo-relative file, 1-based line, and a
+/// rationale that says why the pattern is a hazard *here*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint identifier (`"W001"` … `"W005"`, or `"W000"`).
+    pub lint: String,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human rationale.
+    pub message: String,
+}
+
+/// Result of analyzing one file.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Findings that survived suppression.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a justified `parp-allow`.
+    pub suppressed: Vec<Finding>,
+}
+
+/// Result of analyzing a file set.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Unsuppressed findings, sorted by (file, line, lint).
+    pub findings: Vec<Finding>,
+    /// Suppressed findings (kept for reporting honesty: the JSON
+    /// output records how much is being waved through).
+    pub suppressed: Vec<Finding>,
+}
+
+/// Which lints apply to a repo-relative path. Scope is deliberately
+/// explicit rather than configurable: the point of the tool is that
+/// the invariants are *workspace policy*, not per-run options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintScope {
+    /// W001 panic-in-serving-path.
+    pub w001: bool,
+    /// W002 wall-clock-in-sim.
+    pub w002: bool,
+    /// W003 nondeterministic-iteration.
+    pub w003: bool,
+    /// W004 unbounded-growth.
+    pub w004: bool,
+    /// W005 nested-lock discipline.
+    pub w005: bool,
+}
+
+/// Crates whose non-test code faces untrusted input or serves
+/// requests: a reachable panic there is an availability bug.
+const W001_SERVING_CRATES: [&str; 7] = [
+    "crates/core/src/",
+    "crates/net/src/",
+    "crates/runtime/src/",
+    "crates/gateway/src/",
+    "crates/contracts/src/",
+    "crates/jsonrpc/src/",
+    "crates/analyze/src/",
+];
+
+/// Modules whose bytes end up under a commitment or in fraud
+/// adjudication: iteration order must be deterministic.
+const W003_COMMITMENT_PREFIXES: [&str; 1] = ["crates/rlp/src/"];
+const W003_COMMITMENT_FILES: [&str; 10] = [
+    "crates/core/src/serving_proof.rs",
+    "crates/core/src/verify.rs",
+    "crates/core/src/misbehavior.rs",
+    "crates/contracts/src/cmm.rs",
+    "crates/contracts/src/fdm.rs",
+    "crates/contracts/src/fndm.rs",
+    "crates/contracts/src/batch.rs",
+    "crates/contracts/src/message.rs",
+    "crates/contracts/src/calls.rs",
+    "crates/contracts/src/gas.rs",
+];
+
+/// Crates with long-lived structs (nodes, networks, aggregates) where
+/// an unbounded buffer is a leak rather than a scratch allocation.
+const W004_LONG_LIVED_CRATES: [&str; 7] = [
+    "crates/core/src/",
+    "crates/net/src/",
+    "crates/runtime/src/",
+    "crates/gateway/src/",
+    "crates/contracts/src/",
+    "crates/telemetry/src/",
+    "crates/chain/src/",
+];
+
+/// Paths never scanned: the dependency shims are API mirrors of
+/// external crates (their style is not ours to lint), and the bench
+/// crate measures hardware by design, so wall-clock use is its job.
+const SKIP_PREFIXES: [&str; 2] = ["crates/shims/", "crates/bench/"];
+
+/// Decides which lints apply to `rel` (repo-relative, forward
+/// slashes). Returns `None` when the file is out of scope entirely.
+pub fn lints_for_file(rel: &str) -> Option<LintScope> {
+    if SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+        return None;
+    }
+    let has_prefix = |list: &[&str]| list.iter().any(|p| rel.starts_with(p));
+    Some(LintScope {
+        w001: has_prefix(&W001_SERVING_CRATES),
+        w002: true,
+        w003: has_prefix(&W003_COMMITMENT_PREFIXES) || W003_COMMITMENT_FILES.contains(&rel),
+        w004: has_prefix(&W004_LONG_LIVED_CRATES),
+        w005: true,
+    })
+}
+
+/// Analyzes one file's source under the given scope.
+pub fn analyze_source(rel: &str, src: &str, scope: LintScope) -> FileAnalysis {
+    let all_tokens = lexer::lex(src);
+    let tokens = walker::significant(&all_tokens);
+    let tests = walker::test_regions(&tokens, src);
+    let lines = LineIndex::new(src);
+    let ctx = FileContext {
+        path: rel,
+        src,
+        tokens: &tokens,
+        tests: &tests,
+        lines: &lines,
+    };
+
+    let mut raw: Vec<Finding> = Vec::new();
+    if scope.w001 {
+        lints::w001_panic(&ctx, &mut raw);
+    }
+    if scope.w002 {
+        lints::w002_wall_clock(&ctx, &mut raw);
+    }
+    if scope.w003 {
+        lints::w003_nondeterministic_iteration(&ctx, &mut raw);
+    }
+    if scope.w004 {
+        let fields = walker::growable_fields(&tokens, src);
+        lints::w004_unbounded_growth(&ctx, &fields, &mut raw);
+    }
+    if scope.w005 {
+        let extents = walker::fn_extents(&tokens, src);
+        lints::w005_nested_locks(&ctx, &extents, &mut raw);
+    }
+
+    let allows = walker::allows(&all_tokens, src, &lines);
+    // W000: a suppression without a justification, or naming an
+    // unknown lint, is itself a finding — and can never be allowed.
+    for a in &allows {
+        if !LINT_IDS.contains(&a.lint.as_str()) {
+            raw.push(Finding {
+                lint: "W000".to_string(),
+                file: rel.to_string(),
+                line: a.line,
+                message: format!(
+                    "`parp-allow({})` names an unknown lint — known ids are W001..W005",
+                    a.lint
+                ),
+            });
+        } else if a.reason.is_empty() {
+            raw.push(Finding {
+                lint: "W000".to_string(),
+                file: rel.to_string(),
+                line: a.line,
+                message: format!(
+                    "`parp-allow({})` has no justification — suppressions must say why the pattern is safe here",
+                    a.lint
+                ),
+            });
+        }
+    }
+
+    let mut out = FileAnalysis::default();
+    for f in raw {
+        let suppressed = f.lint != "W000"
+            && allows.iter().any(|a| {
+                a.lint == f.lint
+                    && !a.reason.is_empty()
+                    && (f.line == a.line || f.line == a.end_line + 1)
+            });
+        if suppressed {
+            out.suppressed.push(f);
+        } else {
+            out.findings.push(f);
+        }
+    }
+    out
+}
+
+/// Recursively collects `.rs` files under `dir`, repo-relative to
+/// `root`, sorted for deterministic output.
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(root, &path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, path));
+        }
+    }
+}
+
+/// Discovers the workspace file set: `src/` at the root plus every
+/// `crates/*/src/` tree, minus the skip list. Test directories are
+/// not scanned (only `src/` trees are walked), and `#[cfg(test)]`
+/// code inside them is excluded by the walker.
+pub fn workspace_files(root: &Path) -> Vec<(String, PathBuf)> {
+    let mut out = Vec::new();
+    collect_rs(root, &root.join("src"), &mut out);
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            collect_rs(root, &dir.join("src"), &mut out);
+        }
+    }
+    out.retain(|(rel, _)| lints_for_file(rel).is_some());
+    out.sort();
+    out
+}
+
+/// Runs the full pass over the workspace rooted at `root`.
+pub fn analyze_workspace(root: &Path) -> Analysis {
+    let files = workspace_files(root);
+    let mut analysis = Analysis {
+        files_scanned: files.len(),
+        ..Analysis::default()
+    };
+    for (rel, path) in &files {
+        let Ok(src) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let Some(scope) = lints_for_file(rel) else {
+            continue;
+        };
+        let fa = analyze_source(rel, &src, scope);
+        analysis.findings.extend(fa.findings);
+        analysis.suppressed.extend(fa.suppressed);
+    }
+    let key = |f: &Finding| (f.file.clone(), f.line, f.lint.clone());
+    analysis.findings.sort_by_key(key);
+    analysis.suppressed.sort_by_key(key);
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scope_all() -> LintScope {
+        LintScope {
+            w001: true,
+            w002: true,
+            w003: true,
+            w004: true,
+            w005: true,
+        }
+    }
+
+    #[test]
+    fn justified_allow_suppresses_same_and_next_line() {
+        let src = "fn f() {\n    // parp-allow(W001): test fixture demonstrating suppression\n    x.unwrap();\n}";
+        let fa = analyze_source("crates/core/src/x.rs", src, scope_all());
+        assert!(fa.findings.is_empty(), "{:?}", fa.findings);
+        assert_eq!(fa.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn reasonless_allow_is_w000_and_does_not_suppress() {
+        let src = "fn f() {\n    // parp-allow(W001)\n    x.unwrap();\n}";
+        let fa = analyze_source("crates/core/src/x.rs", src, scope_all());
+        let ids: Vec<_> = fa.findings.iter().map(|f| f.lint.as_str()).collect();
+        assert!(ids.contains(&"W000"), "{ids:?}");
+        assert!(ids.contains(&"W001"), "{ids:?}");
+        assert!(fa.suppressed.is_empty());
+    }
+
+    #[test]
+    fn unknown_lint_id_is_w000() {
+        let src = "// parp-allow(W999): bogus\nfn f() {}";
+        let fa = analyze_source("crates/core/src/x.rs", src, scope_all());
+        assert_eq!(fa.findings.len(), 1);
+        assert_eq!(fa.findings[0].lint, "W000");
+    }
+
+    #[test]
+    fn allow_for_wrong_lint_does_not_suppress() {
+        let src = "fn f() {\n    // parp-allow(W002): wrong lint named\n    x.unwrap();\n}";
+        let fa = analyze_source("crates/core/src/x.rs", src, scope_all());
+        assert_eq!(fa.findings.len(), 1);
+        assert_eq!(fa.findings[0].lint, "W001");
+    }
+
+    #[test]
+    fn scope_gates_lints_by_path() {
+        let shim = lints_for_file("crates/shims/rand/src/lib.rs");
+        assert!(shim.is_none());
+        let bench = lints_for_file("crates/bench/src/main.rs");
+        assert!(bench.is_none());
+        let rlp = lints_for_file("crates/rlp/src/encode.rs").unwrap();
+        assert!(rlp.w003 && rlp.w002 && !rlp.w001);
+        let net = lints_for_file("crates/net/src/sim.rs").unwrap();
+        assert!(net.w001 && net.w004 && !net.w003);
+        let primitives = lints_for_file("crates/primitives/src/u256.rs").unwrap();
+        assert!(!primitives.w001 && primitives.w002 && primitives.w005);
+    }
+}

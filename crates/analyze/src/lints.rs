@@ -1,0 +1,356 @@
+//! The five workspace lints. Each is a token-pattern pass over one
+//! file's significant tokens, scoped by [`crate::lints_for_file`] and
+//! filtered through test regions and `parp-allow` suppressions by the
+//! caller.
+
+use crate::lexer::{LineIndex, Token, TokenKind};
+use crate::walker::{self, FnExtent, GrowableField, TestRegions};
+use crate::Finding;
+
+/// Everything a lint pass needs to know about one file.
+pub struct FileContext<'a> {
+    /// Repo-relative path (forward slashes).
+    pub path: &'a str,
+    /// File contents.
+    pub src: &'a str,
+    /// Significant (non-comment) tokens.
+    pub tokens: &'a [Token],
+    /// Test/bench code ranges.
+    pub tests: &'a TestRegions,
+    /// Offset → line lookup.
+    pub lines: &'a LineIndex,
+}
+
+impl<'a> FileContext<'a> {
+    fn ident_at(&self, i: usize, name: &str) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text(self.src) == name)
+    }
+
+    fn any_ident_at(&self, i: usize, names: &[&str]) -> Option<&'a str> {
+        self.tokens
+            .get(i)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(self.src))
+            .filter(|text| names.contains(text))
+    }
+
+    fn punct_at(&self, i: usize, c: &str) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text(self.src) == c)
+    }
+
+    fn finding(&self, lint: &str, at: &Token, message: String) -> Finding {
+        Finding {
+            lint: lint.to_string(),
+            file: self.path.to_string(),
+            line: self.lines.line_of(at.start),
+            message,
+        }
+    }
+}
+
+/// **W001 — panic-in-serving-path.** `panic!`, `unreachable!`,
+/// `todo!`, `unimplemented!`, `.unwrap()` and `.expect("…")` in
+/// non-test code of a permissionless serving path: with untrusted
+/// callers a reachable panic is a denial-of-service primitive (one
+/// malformed request kills the process for every connected client).
+///
+/// Heuristic note: `.expect(` only counts when its first argument is a
+/// string literal — that is the `Option`/`Result` message idiom, and
+/// requiring it avoids false positives on domain methods that happen
+/// to be called `expect` (e.g. the JSON parser's `expect(b'{')`).
+pub fn w001_panic(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+    for i in 0..ctx.tokens.len() {
+        let t = &ctx.tokens[i];
+        if ctx.tests.contains(t.start) {
+            continue;
+        }
+        if let Some(name) = ctx.any_ident_at(i, &PANIC_MACROS) {
+            if ctx.punct_at(i + 1, "!") {
+                out.push(ctx.finding(
+                    "W001",
+                    t,
+                    format!("`{name}!` reachable in serving-path code: a panic here is a DoS primitive against every connected client"),
+                ));
+            }
+        }
+        if ctx.punct_at(i, ".") {
+            if ctx.ident_at(i + 1, "unwrap") && ctx.punct_at(i + 2, "(") {
+                out.push(ctx.finding(
+                    "W001",
+                    &ctx.tokens[i + 1],
+                    "`.unwrap()` in serving-path code: return an error instead — adversarial input must never be able to panic the server".to_string(),
+                ));
+            }
+            if ctx.ident_at(i + 1, "expect")
+                && ctx.punct_at(i + 2, "(")
+                && ctx
+                    .tokens
+                    .get(i + 3)
+                    .is_some_and(|a| a.kind == TokenKind::Str)
+            {
+                out.push(ctx.finding(
+                    "W001",
+                    &ctx.tokens[i + 1],
+                    "`.expect(\"…\")` in serving-path code: return an error instead — adversarial input must never be able to panic the server".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// **W002 — wall-clock-in-sim.** `Instant::now()` or any `SystemTime`
+/// use outside the one injected-clock boundary
+/// (`parp_telemetry::time`): the simulator is deterministic by
+/// contract — fraud proofs adjudicate exact response bytes and
+/// provider aggregates feed reputation — so host time anywhere in a
+/// sim-ruled crate silently couples results to scheduling noise.
+/// Measure through an injected `TimeSource` instead.
+pub fn w002_wall_clock(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    for i in 0..ctx.tokens.len() {
+        let t = &ctx.tokens[i];
+        if ctx.tests.contains(t.start) {
+            continue;
+        }
+        if ctx.ident_at(i, "Instant")
+            && ctx.punct_at(i + 1, ":")
+            && ctx.punct_at(i + 2, ":")
+            && ctx.ident_at(i + 3, "now")
+        {
+            out.push(ctx.finding(
+                "W002",
+                t,
+                "`Instant::now()` in sim-ruled code: inject a `parp_telemetry::TimeSource` so the measurement is deterministic under the simulated clock".to_string(),
+            ));
+        }
+        if ctx.ident_at(i, "SystemTime") {
+            out.push(ctx.finding(
+                "W002",
+                t,
+                "`SystemTime` in sim-ruled code: wall time must come through an injected `parp_telemetry::TimeSource`".to_string(),
+            ));
+        }
+    }
+}
+
+/// **W003 — nondeterministic-iteration.** `HashMap`/`HashSet` in a
+/// module whose output is committed to bytes (RLP encoding, channel
+/// commitments, fraud adjudication): iteration order is randomized
+/// per process, so any order-dependent path through one of these maps
+/// can produce byte-different commitments for identical state. Use
+/// `BTreeMap`/`BTreeSet`, or sort before iterating — presence alone
+/// is flagged because a type-blind pass cannot prove which maps are
+/// iterated, and in these modules the conservative answer is the
+/// right one.
+pub fn w003_nondeterministic_iteration(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if ctx.tests.contains(t.start) {
+            continue;
+        }
+        if let Some(name) = ctx.any_ident_at(i, &["HashMap", "HashSet"]) {
+            out.push(ctx.finding(
+                "W003",
+                t,
+                format!("`{name}` in a byte-commitment module: iteration order is per-process random and can leak into committed bytes — use the BTree equivalent or sort explicitly"),
+            ));
+        }
+    }
+}
+
+/// **W004 — unbounded-growth.** A `Vec`/`VecDeque` field on a struct
+/// that is pushed to somewhere in the file but never visibly bounded
+/// (no pop/truncate/drain/clear/len-check anywhere): on a long-lived
+/// struct this is the slow memory leak PR 7 removed from
+/// `ProviderAggregate` by hand — every exchange appended a latency
+/// sample forever. Either bound the buffer or justify the growth.
+pub fn w004_unbounded_growth(
+    ctx: &FileContext<'_>,
+    fields: &[GrowableField],
+    out: &mut Vec<Finding>,
+) {
+    const PUSH: [&str; 3] = ["push", "push_back", "push_front"];
+    const BOUND: [&str; 12] = [
+        "pop",
+        "pop_front",
+        "pop_back",
+        "truncate",
+        "drain",
+        "clear",
+        "remove",
+        "swap_remove",
+        "split_off",
+        "retain",
+        "dedup",
+        "len",
+    ];
+    for field in fields {
+        let mut push_sites: Vec<(usize, &str)> = Vec::new();
+        let mut bounded = false;
+        for i in 0..ctx.tokens.len() {
+            // self . <field> . <method> (
+            if ctx.ident_at(i, "self")
+                && ctx.punct_at(i + 1, ".")
+                && ctx.ident_at(i + 2, &field.field_name)
+                && ctx.punct_at(i + 3, ".")
+            {
+                if let Some(method) = ctx.any_ident_at(i + 4, &PUSH) {
+                    if !ctx.tests.contains(ctx.tokens[i].start) {
+                        push_sites.push((i + 4, method));
+                    }
+                }
+                if ctx.any_ident_at(i + 4, &BOUND).is_some() {
+                    bounded = true;
+                }
+            }
+        }
+        if !bounded {
+            for (site, method) in push_sites {
+                out.push(ctx.finding(
+                    "W004",
+                    &ctx.tokens[site],
+                    format!(
+                        "`self.{field}.{method}(…)` grows `{strukt}.{field}` without any visible bound (no pop/truncate/drain/clear/len-check in this file): on a long-lived struct this is a slow memory leak",
+                        field = field.field_name,
+                        strukt = field.struct_name,
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// **W005 — nested-lock discipline.** Two or more `.lock()`
+/// acquisitions inside one function body: if any pair can be held
+/// simultaneously (or re-entered via a callee) this is a deadlock or
+/// poisoned-lock hazard, and even when safe today it is fragile under
+/// refactoring. Split the function, drop the first guard explicitly,
+/// or justify why the acquisition order is fixed. (`RwLock`
+/// `.read()`/`.write()` are not tracked — the names collide with
+/// `std::io` — so keep RwLock use single-acquisition per function
+/// too.)
+pub fn w005_nested_locks(ctx: &FileContext<'_>, extents: &[FnExtent], out: &mut Vec<Finding>) {
+    let mut sites: Vec<usize> = Vec::new();
+    for i in 0..ctx.tokens.len() {
+        if ctx.punct_at(i, ".") && ctx.ident_at(i + 1, "lock") && ctx.punct_at(i + 2, "(") {
+            let at = ctx.tokens[i + 1].start;
+            if !ctx.tests.contains(at) {
+                sites.push(i + 1);
+            }
+        }
+    }
+    // Group by innermost enclosing function; flag every acquisition
+    // after the first within one body.
+    let mut seen: Vec<(String, usize, usize)> = Vec::new(); // (name, start, count)
+    for site in sites {
+        let offset = ctx.tokens[site].start;
+        let Some(extent) = walker::innermost_fn(extents, offset) else {
+            continue;
+        };
+        let entry = seen
+            .iter_mut()
+            .find(|(name, start, _)| *start == extent.body_start && name == &extent.name);
+        let count = match entry {
+            Some((_, _, count)) => {
+                *count += 1;
+                *count
+            }
+            None => {
+                seen.push((extent.name.clone(), extent.body_start, 1));
+                1
+            }
+        };
+        if count > 1 {
+            out.push(ctx.finding(
+                "W005",
+                &ctx.tokens[site],
+                format!(
+                    "lock acquisition #{count} inside `fn {}`: multiple `.lock()` calls in one function risk nested guards and deadlock — split the function, drop the first guard, or justify the ordering",
+                    extent.name
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, LineIndex};
+    use crate::walker::{fn_extents, growable_fields, significant, test_regions};
+
+    fn run_all(src: &str) -> Vec<Finding> {
+        let tokens = significant(&lex(src));
+        let tests = test_regions(&tokens, src);
+        let lines = LineIndex::new(src);
+        let ctx = FileContext {
+            path: "test.rs",
+            src,
+            tokens: &tokens,
+            tests: &tests,
+            lines: &lines,
+        };
+        let mut out = Vec::new();
+        w001_panic(&ctx, &mut out);
+        w002_wall_clock(&ctx, &mut out);
+        w003_nondeterministic_iteration(&ctx, &mut out);
+        let fields = growable_fields(&tokens, src);
+        w004_unbounded_growth(&ctx, &fields, &mut out);
+        let extents = fn_extents(&tokens, src);
+        w005_nested_locks(&ctx, &extents, &mut out);
+        out
+    }
+
+    #[test]
+    fn expect_requires_string_literal_argument() {
+        let findings = run_all("fn f(p: &mut P) { p.expect(b'{')?; q.expect(\"boom\"); }");
+        let w001: Vec<_> = findings.iter().filter(|f| f.lint == "W001").collect();
+        assert_eq!(w001.len(), 1, "{w001:?}");
+        assert_eq!(w001[0].line, 1);
+    }
+
+    #[test]
+    fn literals_and_comments_never_fire() {
+        let findings = run_all(
+            "fn f() { let s = \"panic!() unwrap() Instant::now HashMap\"; // .unwrap() SystemTime\n }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let findings = run_all("#[cfg(test)]\nmod tests { fn t() { x.unwrap(); panic!(); } }");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn w004_push_without_bound_fires_and_len_check_clears() {
+        let unbounded =
+            "struct S { log: Vec<u8> }\nimpl S { fn add(&mut self) { self.log.push(1); } }";
+        assert_eq!(
+            run_all(unbounded)
+                .iter()
+                .filter(|f| f.lint == "W004")
+                .count(),
+            1
+        );
+        let bounded = "struct S { log: Vec<u8> }\nimpl S { fn add(&mut self) { if self.log.len() < 10 { self.log.push(1); } } }";
+        assert_eq!(
+            run_all(bounded).iter().filter(|f| f.lint == "W004").count(),
+            0
+        );
+    }
+
+    #[test]
+    fn w005_two_locks_one_fn() {
+        let src = "fn f(a: &M, b: &M) { let x = a.lock(); let y = b.lock(); }";
+        let findings = run_all(src);
+        let w005: Vec<_> = findings.iter().filter(|f| f.lint == "W005").collect();
+        assert_eq!(w005.len(), 1);
+        let src_ok = "fn f(a: &M) { let x = a.lock(); }\nfn g(b: &M) { let y = b.lock(); }";
+        assert!(run_all(src_ok).iter().all(|f| f.lint != "W005"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Command-line entry point.
+//!
+//! ```text
+//! cargo run -p parp-analyze -- --workspace --baseline ANALYSIS_baseline.json
+//! ```
+//!
+//! Exit status is 0 when the run passes (no findings, or none beyond
+//! the baseline) and 1 otherwise. The serving-path lint applies to
+//! this crate too, so the driver reports errors instead of panicking.
+
+use parp_analyze::{analyze_workspace, baseline, output};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    baseline_path: Option<PathBuf>,
+    write_baseline: bool,
+    json_path: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: parp-analyze --workspace [--root DIR] [--baseline FILE] \
+[--write-baseline] [--json FILE]\n\
+\x20 --workspace        scan src/ and every crates/*/src tree under the root\n\
+\x20 --root DIR         workspace root (default: current directory)\n\
+\x20 --baseline FILE    ratchet: fail only on findings beyond FILE's counts\n\
+\x20 --write-baseline   rewrite the baseline from this run's findings and exit 0\n\
+\x20 --json FILE        machine-readable report path (default: ROOT/ANALYSIS.json)";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        baseline_path: None,
+        write_baseline: false,
+        json_path: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut workspace = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--baseline" => {
+                args.baseline_path =
+                    Some(PathBuf::from(it.next().ok_or("--baseline needs a file")?));
+            }
+            "--write-baseline" => args.write_baseline = true,
+            "--json" => {
+                args.json_path = Some(PathBuf::from(it.next().ok_or("--json needs a file")?));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    if !workspace {
+        return Err(format!("--workspace is required\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let analysis = analyze_workspace(&args.root);
+    if analysis.files_scanned == 0 {
+        return Err(format!(
+            "no Rust files found under {} — is --root pointing at the workspace?",
+            args.root.display()
+        ));
+    }
+
+    if args.write_baseline {
+        let path = args
+            .baseline_path
+            .clone()
+            .unwrap_or_else(|| args.root.join("ANALYSIS_baseline.json"));
+        let counts = baseline::counts(&analysis);
+        std::fs::write(&path, baseline::to_json(&counts))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!(
+            "parp-analyze: baseline written to {} ({} findings across {} files)",
+            path.display(),
+            analysis.findings.len(),
+            analysis.files_scanned
+        );
+        return Ok(true);
+    }
+
+    let comparison = match &args.baseline_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+            let counts = baseline::parse(&text)?;
+            Some(baseline::compare(&analysis, &counts))
+        }
+        None => None,
+    };
+
+    let json_path = args
+        .json_path
+        .clone()
+        .unwrap_or_else(|| args.root.join("ANALYSIS.json"));
+    std::fs::write(&json_path, output::to_json(&analysis, comparison.as_ref()))
+        .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+
+    print!("{}", output::to_text(&analysis, comparison.as_ref()));
+    Ok(match &comparison {
+        Some(cmp) => cmp.passes(),
+        None => analysis.findings.is_empty(),
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

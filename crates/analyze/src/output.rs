@@ -1,0 +1,205 @@
+//! Report rendering: human-readable text for the terminal and a
+//! machine-readable `ANALYSIS.json` for CI artifacts and the
+//! experiment pipeline.
+
+use crate::baseline::Comparison;
+use crate::{Analysis, Finding, LINT_IDS};
+use parp_jsonrpc::Json;
+
+/// One-line descriptions, indexed like [`LINT_IDS`].
+pub const LINT_SUMMARIES: [(&str, &str); 6] = [
+    ("W000", "suppression without justification"),
+    ("W001", "panic-in-serving-path"),
+    ("W002", "wall-clock-in-sim"),
+    ("W003", "nondeterministic-iteration"),
+    ("W004", "unbounded-growth"),
+    ("W005", "nested-lock discipline"),
+];
+
+fn js(s: &str) -> String {
+    Json::String(s.to_string()).to_string_compact()
+}
+
+fn finding_json(f: &Finding, indent: &str) -> String {
+    format!(
+        "{indent}{{ \"lint\": {}, \"file\": {}, \"line\": {}, \"message\": {} }}",
+        js(&f.lint),
+        js(&f.file),
+        f.line,
+        js(&f.message)
+    )
+}
+
+fn finding_list(findings: &[Finding], indent: &str) -> String {
+    if findings.is_empty() {
+        return "[]".to_string();
+    }
+    let inner: Vec<String> = findings
+        .iter()
+        .map(|f| finding_json(f, &format!("{indent}  ")))
+        .collect();
+    format!("[\n{}\n{indent}]", inner.join(",\n"))
+}
+
+/// Renders the machine-readable report. Deterministic: findings are
+/// pre-sorted by the caller and lint counts follow [`LINT_IDS`]
+/// order, so identical runs produce identical bytes.
+pub fn to_json(analysis: &Analysis, comparison: Option<&Comparison>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"parp-analyze/1\",\n");
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n",
+        analysis.files_scanned
+    ));
+    out.push_str("  \"counts\": { ");
+    let counts: Vec<String> = LINT_IDS
+        .iter()
+        .map(|id| {
+            let n = analysis.findings.iter().filter(|f| &f.lint == id).count();
+            format!("\"{id}\": {n}")
+        })
+        .collect();
+    out.push_str(&counts.join(", "));
+    out.push_str(" },\n");
+    out.push_str(&format!(
+        "  \"suppressed\": {},\n",
+        analysis.suppressed.len()
+    ));
+    out.push_str(&format!(
+        "  \"findings\": {}",
+        finding_list(&analysis.findings, "  ")
+    ));
+    if let Some(cmp) = comparison {
+        out.push_str(",\n  \"baseline\": {\n");
+        out.push_str(&format!(
+            "    \"regressions\": {},\n",
+            finding_list(&cmp.regressions, "    ")
+        ));
+        let improvements: Vec<String> = cmp
+            .improvements
+            .iter()
+            .map(|(lint, file, was, now)| {
+                format!("      [{}, {}, {was}, {now}]", js(lint), js(file))
+            })
+            .collect();
+        if improvements.is_empty() {
+            out.push_str("    \"improvements\": []\n");
+        } else {
+            out.push_str(&format!(
+                "    \"improvements\": [\n{}\n    ]\n",
+                improvements.join(",\n")
+            ));
+        }
+        out.push_str("  }");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Renders the human report.
+pub fn to_text(analysis: &Analysis, comparison: Option<&Comparison>) -> String {
+    let mut out = String::new();
+    let shown: &[Finding] = match comparison {
+        Some(cmp) => &cmp.regressions,
+        None => &analysis.findings,
+    };
+    for f in shown {
+        let name = LINT_SUMMARIES
+            .iter()
+            .find(|(id, _)| *id == f.lint)
+            .map(|(_, name)| *name)
+            .unwrap_or("unknown lint");
+        out.push_str(&format!(
+            "{}:{}: {} [{}] {}\n",
+            f.file, f.line, f.lint, name, f.message
+        ));
+    }
+    if let Some(cmp) = comparison {
+        for (lint, file, was, now) in &cmp.improvements {
+            out.push_str(&format!(
+                "improved: {lint} in {file}: {was} -> {now} (run --write-baseline to ratchet)\n"
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "parp-analyze: {} files, {} findings ({} suppressed by justified parp-allow)",
+        analysis.files_scanned,
+        analysis.findings.len(),
+        analysis.suppressed.len()
+    ));
+    match comparison {
+        Some(cmp) if cmp.passes() => {
+            out.push_str(&format!(
+                ", {} grandfathered by baseline: PASS\n",
+                analysis.findings.len() - cmp.regressions.len()
+            ));
+        }
+        Some(cmp) => {
+            out.push_str(&format!(
+                ": FAIL — {} new finding(s) beyond the baseline\n",
+                cmp.regressions.len()
+            ));
+        }
+        None if analysis.findings.is_empty() => out.push_str(": PASS\n"),
+        None => out.push_str(": FAIL (no baseline given)\n"),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Analysis {
+        Analysis {
+            files_scanned: 2,
+            findings: vec![Finding {
+                lint: "W001".to_string(),
+                file: "crates/x/src/a.rs".to_string(),
+                line: 10,
+                message: "a \"quoted\" rationale".to_string(),
+            }],
+            suppressed: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn json_is_parseable_and_escaped() {
+        let rendered = to_json(&sample(), None);
+        let doc = parp_jsonrpc::parse(&rendered).expect("self-produced JSON must parse");
+        assert_eq!(doc.get("files_scanned").and_then(Json::as_f64), Some(2.0));
+        let findings = doc.get("findings").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            findings[0].get("message").and_then(Json::as_str),
+            Some("a \"quoted\" rationale")
+        );
+        let counts = doc.get("counts").unwrap();
+        assert_eq!(counts.get("W001").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(counts.get("W002").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn text_mentions_location_and_verdict() {
+        let text = to_text(&sample(), None);
+        assert!(text.contains("crates/x/src/a.rs:10: W001"));
+        assert!(text.contains("FAIL"));
+        let clean = Analysis {
+            files_scanned: 1,
+            ..Analysis::default()
+        };
+        assert!(to_text(&clean, None).contains("PASS"));
+    }
+
+    #[test]
+    fn baseline_pass_with_grandfathered_findings() {
+        let analysis = sample();
+        let cmp = Comparison::default();
+        let text = to_text(&analysis, Some(&cmp));
+        assert!(text.contains("PASS"), "{text}");
+        assert!(text.contains("1 grandfathered"), "{text}");
+        let json = to_json(&analysis, Some(&cmp));
+        let doc = parp_jsonrpc::parse(&json).expect("valid JSON");
+        assert!(doc.get("baseline").is_some());
+    }
+}

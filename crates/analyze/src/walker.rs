@@ -1,0 +1,428 @@
+//! Structure recovery over the token stream: which bytes are test
+//! code, where function bodies start and end, which struct fields are
+//! growable collections, and where `parp-allow` suppressions sit.
+//!
+//! This is deliberately *not* a parser — the lints only need a few
+//! coarse facts, and a token-tree walk (attributes, brace matching,
+//! field lists) recovers them without committing to a grammar.
+
+use crate::lexer::{LineIndex, Token, TokenKind};
+
+/// Byte ranges of the source that belong to test or bench code:
+/// items annotated `#[cfg(test)]`, `#[test]`, or `#[bench]`
+/// (including everything nested inside them). Lints skip findings in
+/// these ranges — `unwrap` in a test is the idiom, not a bug.
+#[derive(Debug, Default)]
+pub struct TestRegions {
+    ranges: Vec<(usize, usize)>,
+}
+
+impl TestRegions {
+    /// Whether byte `offset` falls inside test code.
+    pub fn contains(&self, offset: usize) -> bool {
+        self.ranges
+            .iter()
+            .any(|&(start, end)| offset >= start && offset < end)
+    }
+}
+
+/// Significant tokens: everything except comments. Lint pattern
+/// matching runs over these; comments are handled separately (they
+/// carry suppressions).
+pub fn significant(tokens: &[Token]) -> Vec<Token> {
+    tokens
+        .iter()
+        .copied()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect()
+}
+
+fn is_punct(tokens: &[Token], i: usize, src: &str, c: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text(src) == c)
+}
+
+fn is_ident(tokens: &[Token], i: usize, src: &str, name: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Ident && t.text(src) == name)
+}
+
+/// Finds the end index (exclusive) of a bracketed group opening at
+/// `open` (must sit on `[`, `{` or `(`), matching all three bracket
+/// kinds together. Returns `tokens.len()` when unterminated.
+fn matching_close(tokens: &[Token], open: usize, src: &str) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Punct {
+            match tokens[i].text(src) {
+                "[" | "{" | "(" => depth += 1,
+                "]" | "}" | ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Scans `tokens` (significant only) for test-marked items.
+pub fn test_regions(tokens: &[Token], src: &str) -> TestRegions {
+    let mut regions = TestRegions::default();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_punct(tokens, i, src, "#") && is_punct(tokens, i + 1, src, "[") {
+            let attr_end = matching_close(tokens, i + 1, src);
+            let attr = &tokens[i + 1..attr_end];
+            let mentions = |name: &str| {
+                attr.iter()
+                    .any(|t| t.kind == TokenKind::Ident && t.text(src) == name)
+            };
+            // `#[cfg(test)]` / `#[test]` / `#[bench]` mark test code;
+            // `#[cfg(not(test))]` is production code and must not.
+            if (mentions("test") || mentions("bench")) && !mentions("not") {
+                let item_end = item_extent(tokens, attr_end, src);
+                let start = tokens[i].start;
+                let end = tokens
+                    .get(item_end.saturating_sub(1))
+                    .map_or(src.len(), |t| t.end);
+                regions.ranges.push((start, end));
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// The token index one past the item starting at `from` (skipping any
+/// further attributes): through the matching `}` of its first brace
+/// block, or through the first top-level `;` for braceless items.
+fn item_extent(tokens: &[Token], from: usize, src: &str) -> usize {
+    let mut i = from;
+    // Skip stacked attributes.
+    while is_punct(tokens, i, src, "#") && is_punct(tokens, i + 1, src, "[") {
+        i = matching_close(tokens, i + 1, src);
+    }
+    let mut depth = 0i64;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Punct {
+            match tokens[i].text(src) {
+                "{" if depth == 0 => return matching_close(tokens, i, src),
+                "[" | "{" | "(" => depth += 1,
+                "]" | "}" | ")" => depth -= 1,
+                ";" if depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// One function's extent: its name and the byte range of its body.
+#[derive(Debug, Clone)]
+pub struct FnExtent {
+    /// The function's name.
+    pub name: String,
+    /// Byte offset of the body's opening `{`.
+    pub body_start: usize,
+    /// Byte offset one past the body's closing `}`.
+    pub body_end: usize,
+}
+
+/// Collects every function body in the file (nested functions and
+/// closures belong to their syntactic extent; a token can fall inside
+/// several extents, and callers attribute it to the *innermost*).
+pub fn fn_extents(tokens: &[Token], src: &str) -> Vec<FnExtent> {
+    let mut extents = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_ident(tokens, i, src, "fn") {
+            let name = tokens
+                .get(i + 1)
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text(src).to_string());
+            if let Some(name) = name {
+                // Find the body's `{`, giving up at a `;` (trait
+                // method declarations have no body).
+                let mut j = i + 2;
+                let mut depth = 0i64;
+                while j < tokens.len() {
+                    if tokens[j].kind == TokenKind::Punct {
+                        match tokens[j].text(src) {
+                            "{" if depth == 0 => break,
+                            "[" | "{" | "(" => depth += 1,
+                            "]" | "}" | ")" => depth -= 1,
+                            ";" if depth == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+                if j < tokens.len() && tokens[j].text(src) == "{" {
+                    let close = matching_close(tokens, j, src);
+                    extents.push(FnExtent {
+                        name,
+                        body_start: tokens[j].start,
+                        body_end: tokens.get(close - 1).map_or(src.len(), |t| t.end),
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+    extents
+}
+
+/// The innermost function extent containing byte `offset`.
+pub fn innermost_fn(extents: &[FnExtent], offset: usize) -> Option<&FnExtent> {
+    extents
+        .iter()
+        .filter(|e| offset >= e.body_start && offset < e.body_end)
+        .min_by_key(|e| e.body_end - e.body_start)
+}
+
+/// A named struct field whose type is a growable sequence
+/// (`Vec`/`VecDeque`) — the candidates lint W004 tracks push/bound
+/// discipline for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrowableField {
+    /// The struct's name.
+    pub struct_name: String,
+    /// The field's name.
+    pub field_name: String,
+}
+
+/// Collects `Vec`/`VecDeque` fields of every named-field struct in the
+/// file. Tuple structs are skipped (their fields cannot be addressed
+/// as `self.name` and the push-site scan below is name-based).
+pub fn growable_fields(tokens: &[Token], src: &str) -> Vec<GrowableField> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !is_ident(tokens, i, src, "struct") {
+            i += 1;
+            continue;
+        }
+        let Some(struct_name) = tokens
+            .get(i + 1)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src).to_string())
+        else {
+            i += 1;
+            continue;
+        };
+        // Find the field block's `{`; `;` first means a tuple/unit
+        // struct.
+        let mut j = i + 2;
+        let mut depth = 0i64;
+        while j < tokens.len() {
+            if tokens[j].kind == TokenKind::Punct {
+                match tokens[j].text(src) {
+                    "{" if depth == 0 => break,
+                    // `struct S(Vec<u8>);` — the paren opens before
+                    // any brace: tuple struct, skip.
+                    "(" if depth == 0 => {
+                        j = tokens.len();
+                        break;
+                    }
+                    "[" | "{" | "(" => depth += 1,
+                    "]" | "}" | ")" => depth -= 1,
+                    ";" if depth == 0 => {
+                        j = tokens.len();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if j >= tokens.len() {
+            i += 1;
+            continue;
+        }
+        let close = matching_close(tokens, j, src);
+        let body = &tokens[j + 1..close.saturating_sub(1)];
+        // Split the field list on top-level commas; in each chunk the
+        // field name is the last identifier before the first `:`, and
+        // the type is everything after it.
+        let mut chunk_start = 0usize;
+        let mut depth = 0i64;
+        let mut k = 0usize;
+        while k <= body.len() {
+            let at_end = k == body.len();
+            let at_comma = !at_end
+                && body[k].kind == TokenKind::Punct
+                && body[k].text(src) == ","
+                && depth == 0;
+            if at_end || at_comma {
+                let chunk = &body[chunk_start..k];
+                if let Some(colon) = chunk
+                    .iter()
+                    .position(|t| t.kind == TokenKind::Punct && t.text(src) == ":")
+                {
+                    let name = chunk[..colon]
+                        .iter()
+                        .rev()
+                        .find(|t| t.kind == TokenKind::Ident)
+                        .map(|t| t.text(src).to_string());
+                    let growable = chunk[colon..].iter().any(|t| {
+                        t.kind == TokenKind::Ident && matches!(t.text(src), "Vec" | "VecDeque")
+                    });
+                    if let (Some(field_name), true) = (name, growable) {
+                        fields.push(GrowableField {
+                            struct_name: struct_name.clone(),
+                            field_name,
+                        });
+                    }
+                }
+                chunk_start = k + 1;
+            } else if body[k].kind == TokenKind::Punct {
+                match body[k].text(src) {
+                    "[" | "{" | "(" => depth += 1,
+                    "]" | "}" | ")" => depth -= 1,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        i = close;
+    }
+    fields
+}
+
+/// One parsed suppression comment: `parp-allow` plus a lint id in
+/// parentheses and a mandatory `: reason` justification.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The lint being suppressed, e.g. `"W001"`.
+    pub lint: String,
+    /// The justification after the colon (may be empty — which lint
+    /// W000 rejects).
+    pub reason: String,
+    /// 1-based line the comment sits on (suppresses findings on this
+    /// line and the next).
+    pub line: u32,
+    /// 1-based line of the comment's last physical line (multi-line
+    /// block comments suppress below their end).
+    pub end_line: u32,
+}
+
+/// Extracts every `parp-allow` marker from the file's comments.
+pub fn allows(tokens: &[Token], src: &str, lines: &LineIndex) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let text = t.text(src);
+        let Some(at) = text.find("parp-allow(") else {
+            continue;
+        };
+        let rest = &text[at + "parp-allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let lint = rest[..close].trim().to_string();
+        let after = &rest[close + 1..];
+        let reason = after
+            .strip_prefix(':')
+            .map(|r| {
+                // A block comment's reason ends at its closing */.
+                r.trim_end_matches("*/").trim().to_string()
+            })
+            .unwrap_or_default();
+        out.push(Allow {
+            lint,
+            reason,
+            line: lines.line_of(t.start),
+            end_line: lines.line_of(t.end.saturating_sub(1)),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn sig(src: &str) -> Vec<Token> {
+        significant(&lex(src))
+    }
+
+    #[test]
+    fn cfg_test_module_is_a_test_region() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n fn helper() { x.unwrap(); }\n}\nfn prod2() {}";
+        let toks = sig(src);
+        let regions = test_regions(&toks, src);
+        let unwrap_at = src.find("unwrap").unwrap();
+        assert!(regions.contains(unwrap_at));
+        assert!(!regions.contains(src.find("prod2").unwrap()));
+        assert!(!regions.contains(0));
+    }
+
+    #[test]
+    fn cfg_not_test_is_production() {
+        let src = "#[cfg(not(test))]\nfn prod() { x.unwrap(); }";
+        let toks = sig(src);
+        let regions = test_regions(&toks, src);
+        assert!(!regions.contains(src.find("unwrap").unwrap()));
+    }
+
+    #[test]
+    fn stacked_attributes_cover_the_item() {
+        let src = "#[test]\n#[ignore]\nfn t() { boom(); }";
+        let toks = sig(src);
+        let regions = test_regions(&toks, src);
+        assert!(regions.contains(src.find("boom").unwrap()));
+    }
+
+    #[test]
+    fn fn_extents_and_innermost() {
+        let src = "fn outer() { fn inner() { lock(); } lock(); }";
+        let toks = sig(src);
+        let extents = fn_extents(&toks, src);
+        assert_eq!(extents.len(), 2);
+        let first_lock = src.find("lock").unwrap();
+        assert_eq!(innermost_fn(&extents, first_lock).unwrap().name, "inner");
+        let second_lock = src.rfind("lock").unwrap();
+        assert_eq!(innermost_fn(&extents, second_lock).unwrap().name, "outer");
+    }
+
+    #[test]
+    fn growable_fields_found() {
+        let src = "struct S { pub log: Vec<u8>, n: u64, q: VecDeque<(u32, Vec<u8>)> }\nstruct T(Vec<u8>);";
+        let toks = sig(src);
+        let fields = growable_fields(&toks, src);
+        let names: Vec<&str> = fields.iter().map(|f| f.field_name.as_str()).collect();
+        assert_eq!(names, ["log", "q"]);
+        assert!(fields.iter().all(|f| f.struct_name == "S"));
+    }
+
+    #[test]
+    fn allow_parsing() {
+        let src =
+            "// parp-allow(W002): bench harness measures hardware\nx();\n// parp-allow(W001)\ny();";
+        let toks = lex(src);
+        let lines = LineIndex::new(src);
+        let found = allows(&toks, src, &lines);
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].lint, "W002");
+        assert_eq!(found[0].reason, "bench harness measures hardware");
+        assert_eq!(found[0].line, 1);
+        assert_eq!(found[1].lint, "W001");
+        assert_eq!(found[1].reason, "");
+    }
+}

@@ -1,0 +1,35 @@
+//! Lexer-adversarial fixture: every lint trigger below is inside a
+//! string, raw string, byte string, char sequence, or comment — a
+//! regex-based scanner would drown in false positives here. The
+//! analyzer must report ZERO findings for this file.
+
+pub fn strings() -> Vec<String> {
+    vec![
+        "x.unwrap() and y.expect(\"boom\") and panic!(\"no\")".to_string(),
+        String::from("Instant::now() SystemTime HashMap HashSet"),
+        r#"raw: self.log.push(1); a.lock(); b.lock(); unreachable!()"#.to_string(),
+        r##"nested r#"quotes"# with .unwrap() inside"##.to_string(),
+    ]
+}
+
+pub fn bytes() -> (&'static [u8], u8, char) {
+    let raw = br#".expect("inside a raw byte string")"#;
+    let byte = b'"';
+    let quote = '\'';
+    (raw, byte, quote)
+}
+
+// Comment mentioning Instant::now(), .unwrap(), panic!() and HashMap.
+/* Block comment: SystemTime, .expect("x"), .lock() then .lock().
+   /* nested: self.buf.push(1) forever */
+   still inside the outer comment: unreachable!() */
+pub fn lifetimes<'a>(x: &'a str) -> &'a str {
+    // 'a above must lex as a lifetime, not an unterminated char.
+    let _not_a_char = 'b';
+    x
+}
+
+pub fn numbers() -> (f64, u64, u64) {
+    let range_sum: u64 = (0u64..10).sum();
+    (1.5e-3, 0xFFu64, range_sum)
+}

@@ -1,0 +1,24 @@
+//! Suppression-semantics fixture: justified, reasonless, wrong-lint
+//! and unknown-lint markers.
+
+pub fn justified(input: &[u8]) -> u8 {
+    // parp-allow(W001): fixture — the caller guarantees non-empty input
+    *input.first().unwrap()
+}
+
+pub fn trailing(input: &[u8]) -> u8 {
+    *input.first().unwrap() // parp-allow(W001): same-line suppression form
+}
+
+pub fn reasonless(input: &[u8]) -> u8 {
+    // parp-allow(W001)
+    *input.first().unwrap()
+}
+
+pub fn wrong_lint(input: &[u8]) -> u8 {
+    // parp-allow(W002): names the wrong lint, so W001 still fires
+    *input.first().unwrap()
+}
+
+// parp-allow(W042): no such lint id
+pub fn unknown_lint() {}

@@ -1,0 +1,37 @@
+//! W001 fixture: panics in serving code, exemptions in test code, and
+//! the `expect`-method lookalike that must not fire.
+
+pub fn serving_path(input: &[u8]) -> Vec<u8> {
+    let first = input.first().unwrap();
+    let parsed = decode(input).expect("decode failed");
+    if *first == 0xff {
+        panic!("bad tag");
+    }
+    match parsed {
+        0 => unreachable!("tag zero is filtered earlier"),
+        n => vec![n],
+    }
+}
+
+pub fn parser_lookalike(p: &mut Parser) -> Result<(), Error> {
+    // A domain method named `expect` taking a non-string argument is
+    // not the Option/Result panic idiom and must not be flagged.
+    p.expect(b'{')?;
+    p.expect(b'}')?;
+    Ok(())
+}
+
+pub fn suppressed_site(input: &[u8]) -> u8 {
+    // parp-allow(W001): fixture demonstrating a justified suppression
+    *input.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let v: Option<u8> = None;
+        v.unwrap();
+        panic!("fine in tests");
+    }
+}

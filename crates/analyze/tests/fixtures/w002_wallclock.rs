@@ -1,0 +1,39 @@
+//! W002 fixture: host-clock reads in sim-ruled code, plus the
+//! `Instant`-named enum variant that must not fire.
+
+use std::time::{Instant, SystemTime};
+
+pub enum TracePhase {
+    Span,
+    // A variant *named* Instant is not a clock read: only the token
+    // sequence `Instant :: now` fires.
+    Instant,
+}
+
+pub fn measure() -> u64 {
+    let started = Instant::now();
+    work();
+    started.elapsed().as_micros() as u64
+}
+
+pub fn stamp() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+pub fn phase_of() -> TracePhase {
+    TracePhase::Instant
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t = Instant::now();
+        assert!(t.elapsed().as_nanos() < u128::MAX);
+    }
+}

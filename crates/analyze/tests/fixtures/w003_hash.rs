@@ -1,0 +1,31 @@
+//! W003 fixture: hash collections in a byte-commitment module.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub struct Commitments {
+    // Both hash-based fields fire; the BTreeMap does not.
+    by_channel: HashMap<u64, Vec<u8>>,
+    seen: HashSet<u64>,
+    ordered: BTreeMap<u64, Vec<u8>>,
+}
+
+pub fn encode(c: &Commitments) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (k, v) in &c.ordered {
+        out.extend_from_slice(&k.to_be_bytes());
+        out.extend_from_slice(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn scratch_maps_in_tests_are_fine() {
+        let mut m: HashMap<u8, u8> = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.len(), 1);
+    }
+}

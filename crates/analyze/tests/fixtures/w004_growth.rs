@@ -1,0 +1,45 @@
+//! W004 fixture: one unbounded push, one len-guarded push, one
+//! drain-bounded queue, and a test-only push that must not fire.
+
+use std::collections::VecDeque;
+
+pub struct Node {
+    log: Vec<u64>,
+    samples: Vec<u64>,
+    queue: VecDeque<u64>,
+}
+
+impl Node {
+    pub fn record(&mut self, v: u64) {
+        // Fires: nothing in this file ever shrinks or checks `log`.
+        self.log.push(v);
+    }
+
+    pub fn sample(&mut self, v: u64) {
+        if self.samples.len() < 1024 {
+            self.samples.push(v);
+        }
+    }
+
+    pub fn enqueue(&mut self, v: u64) {
+        self.queue.push_back(v);
+        while self.queue.len() > 16 {
+            self.queue.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pushes_in_tests_are_fine() {
+        struct T {
+            buf: Vec<u8>,
+        }
+        let mut t = T { buf: Vec::new() };
+        t.buf.push(1);
+        assert_eq!(t.buf.len(), 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! W005 fixture: nested lock acquisitions inside one function versus
+//! one acquisition per function.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    ledger: Mutex<Vec<u64>>,
+    index: Mutex<Vec<u64>>,
+}
+
+impl Shared {
+    pub fn transfer(&self) -> u64 {
+        // Fires on the second acquisition: two guards in one body.
+        let ledger = self.ledger.lock().unwrap_or_else(|e| e.into_inner());
+        let index = self.index.lock().unwrap_or_else(|e| e.into_inner());
+        ledger.len() as u64 + index.len() as u64
+    }
+
+    pub fn read_ledger(&self) -> usize {
+        self.ledger.lock().map(|g| g.len()).unwrap_or(0)
+    }
+
+    pub fn read_index(&self) -> usize {
+        self.index.lock().map(|g| g.len()).unwrap_or(0)
+    }
+}

@@ -1,0 +1,116 @@
+//! Lexer property tests: random interleavings of comments, raw
+//! strings, nested quotes and ordinary code must lex with no panics,
+//! no identifier leakage out of literals, and spans that tile the
+//! source exactly.
+
+use parp_analyze::lexer::{lex, TokenKind};
+use parp_analyze::walker::significant;
+use proptest::prelude::*;
+
+/// Chunks where every lint-trigger word sits inside a literal or a
+/// comment: if any of these words surfaces as an `Ident` token, the
+/// lexer leaked out of a literal.
+const QUARANTINED: [&str; 8] = [
+    "// unwrap() panic! Instant::now() HashMap trailing comment\n",
+    "/* SystemTime .lock() /* nested .expect(\"x\") */ still out */",
+    "let s = \"panic!(\\\"no\\\") .unwrap() HashSet\";\n",
+    "let r = r#\"Instant::now() self.buf.push(1) .lock()\"#;\n",
+    "let n = r##\"nested r#\"quotes\"# with unreachable!()\"##;\n",
+    "let b = br#\".expect(\"inside raw bytes\") SystemTime\"#;\n",
+    "let c = '\\''; let q = b'\"';\n",
+    "// parp-allow(W042) mentioned in prose, HashMap again\n",
+]; // (the W042 marker never reaches the analyzer here — this file only lexes)
+
+/// Chunks of ordinary code with none of the trigger words.
+const NEUTRAL: [&str; 6] = [
+    "fn f<'a>(x: &'a u8) -> &'a u8 { x }\n",
+    "let range_sum: u64 = (0u64..10).sum();\n",
+    "let n = 1.5e-3 + 0xFF as f64;\n",
+    "let t = (1, \"two\", '3');\n",
+    "struct S { field: Vec<u8> }\n",
+    "impl S { fn get(&self) -> usize { self.field.len() } }\n",
+];
+
+const TRIGGERS: [&str; 10] = [
+    "unwrap",
+    "expect",
+    "panic",
+    "unreachable",
+    "Instant",
+    "SystemTime",
+    "HashMap",
+    "HashSet",
+    "lock",
+    "push",
+];
+
+fn chunk_strategy() -> impl Strategy<Value = &'static str> {
+    (0usize..QUARANTINED.len() + NEUTRAL.len()).prop_map(|i| {
+        if i < QUARANTINED.len() {
+            QUARANTINED[i]
+        } else {
+            NEUTRAL[i - QUARANTINED.len()]
+        }
+    })
+}
+
+/// Spans must be in-bounds, on char boundaries, strictly ordered,
+/// non-overlapping, and the gaps between them whitespace-only — i.e.
+/// the token stream plus whitespace reconstructs the source exactly.
+fn assert_tiling(src: &str) {
+    let tokens = lex(src);
+    let mut cursor = 0usize;
+    for t in &tokens {
+        assert!(t.start < t.end, "empty span {t:?}");
+        assert!(
+            src.get(t.start..t.end).is_some(),
+            "span off char boundary: {t:?}"
+        );
+        assert!(cursor <= t.start, "overlapping tokens at {t:?}");
+        assert!(
+            src[cursor..t.start].chars().all(char::is_whitespace),
+            "non-whitespace gap {:?} before {t:?}",
+            &src[cursor..t.start]
+        );
+        cursor = t.end;
+    }
+    assert!(
+        src[cursor..].chars().all(char::is_whitespace),
+        "trailing non-whitespace {:?}",
+        &src[cursor..]
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn interleavings_tile_and_do_not_leak(chunks in proptest::collection::vec(chunk_strategy(), 0..24)) {
+        let src = chunks.concat();
+        assert_tiling(&src);
+        for t in significant(&lex(&src)) {
+            if t.kind == TokenKind::Ident {
+                let text = t.text(&src);
+                prop_assert!(
+                    !TRIGGERS.contains(&text),
+                    "trigger identifier {text:?} leaked out of a literal at {}..{}",
+                    t.start,
+                    t.end
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_input_never_panics_and_tiles(input in "\\PC{0,120}") {
+        // Even non-Rust garbage must lex without panicking, with spans
+        // that still tile the input.
+        assert_tiling(&input);
+    }
+
+    #[test]
+    fn lexing_is_deterministic(chunks in proptest::collection::vec(chunk_strategy(), 0..12)) {
+        let src = chunks.concat();
+        prop_assert_eq!(lex(&src), lex(&src));
+    }
+}

@@ -1,0 +1,171 @@
+//! Fixture-corpus integration tests: every lint fires where it
+//! should, stays silent where it should not, and the suppression and
+//! ratchet semantics hold end to end — including on this repository
+//! itself.
+
+use parp_analyze::{analyze_source, analyze_workspace, baseline, lints_for_file, LintScope};
+use std::path::Path;
+
+const ALL: LintScope = LintScope {
+    w001: true,
+    w002: true,
+    w003: true,
+    w004: true,
+    w005: true,
+};
+
+fn lint_count(findings: &[parp_analyze::Finding], lint: &str) -> usize {
+    findings.iter().filter(|f| f.lint == lint).count()
+}
+
+#[test]
+fn w001_fires_on_panics_and_respects_exemptions() {
+    let src = include_str!("fixtures/w001_panics.rs");
+    let fa = analyze_source("crates/core/src/fixture.rs", src, ALL);
+    // unwrap + expect("…") + panic! + unreachable! in serving code; the
+    // `p.expect(b'{')` lookalike and the #[cfg(test)] module stay silent.
+    assert_eq!(lint_count(&fa.findings, "W001"), 4, "{:#?}", fa.findings);
+    assert_eq!(
+        lint_count(&fa.suppressed, "W001"),
+        1,
+        "{:#?}",
+        fa.suppressed
+    );
+    assert!(fa.findings.iter().all(|f| f.lint == "W001"));
+}
+
+#[test]
+fn w002_fires_on_host_clock_but_not_instant_named_variants() {
+    let src = include_str!("fixtures/w002_wallclock.rs");
+    let fa = analyze_source("crates/net/src/fixture.rs", src, ALL);
+    let w002: Vec<_> = fa.findings.iter().filter(|f| f.lint == "W002").collect();
+    // Instant::now() once, SystemTime in the use + twice in stamp();
+    // TracePhase::Instant and the test module never fire.
+    assert_eq!(w002.len(), 4, "{w002:#?}");
+    let instant_line = src
+        .lines()
+        .position(|l| l.contains("Instant::now()") && !l.contains("test"))
+        .map(|i| i as u32 + 1);
+    assert!(w002.iter().any(|f| Some(f.line) == instant_line));
+}
+
+#[test]
+fn w003_fires_on_hash_collections_in_commitment_scope_only() {
+    let src = include_str!("fixtures/w003_hash.rs");
+    let fa = analyze_source("crates/contracts/src/cmm.rs", src, ALL);
+    // HashMap and HashSet each appear in the use list and as a field;
+    // BTreeMap and the test module stay silent.
+    assert_eq!(lint_count(&fa.findings, "W003"), 4, "{:#?}", fa.findings);
+
+    let out_of_scope = LintScope { w003: false, ..ALL };
+    let fa = analyze_source("crates/gateway/src/fixture.rs", src, out_of_scope);
+    assert_eq!(lint_count(&fa.findings, "W003"), 0);
+}
+
+#[test]
+fn w004_fires_only_on_unbounded_growth() {
+    let src = include_str!("fixtures/w004_growth.rs");
+    let fa = analyze_source("crates/core/src/fixture.rs", src, ALL);
+    let w004: Vec<_> = fa.findings.iter().filter(|f| f.lint == "W004").collect();
+    assert_eq!(w004.len(), 1, "{w004:#?}");
+    assert!(w004[0].message.contains("Node.log"), "{}", w004[0].message);
+}
+
+#[test]
+fn w005_fires_on_second_lock_in_one_function() {
+    let src = include_str!("fixtures/w005_locks.rs");
+    let fa = analyze_source("crates/runtime/src/fixture.rs", src, ALL);
+    let w005: Vec<_> = fa.findings.iter().filter(|f| f.lint == "W005").collect();
+    assert_eq!(w005.len(), 1, "{w005:#?}");
+    assert!(w005[0].message.contains("transfer"), "{}", w005[0].message);
+}
+
+#[test]
+fn lexer_adversarial_fixture_yields_zero_findings() {
+    let src = include_str!("fixtures/lexer_tricky.rs");
+    let fa = analyze_source("crates/core/src/fixture.rs", src, ALL);
+    assert!(fa.findings.is_empty(), "{:#?}", fa.findings);
+    assert!(fa.suppressed.is_empty(), "{:#?}", fa.suppressed);
+}
+
+#[test]
+fn suppression_semantics_end_to_end() {
+    let src = include_str!("fixtures/suppressions.rs");
+    let fa = analyze_source("crates/core/src/fixture.rs", src, ALL);
+    // justified + trailing forms suppress; reasonless and wrong-lint do
+    // not; reasonless and unknown-id markers are W000.
+    assert_eq!(
+        lint_count(&fa.suppressed, "W001"),
+        2,
+        "{:#?}",
+        fa.suppressed
+    );
+    assert_eq!(lint_count(&fa.findings, "W001"), 2, "{:#?}", fa.findings);
+    assert_eq!(lint_count(&fa.findings, "W000"), 2, "{:#?}", fa.findings);
+}
+
+#[test]
+fn ratchet_flags_a_new_finding_and_passes_at_baseline() {
+    let clean = "pub fn ok(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n";
+    let dirty = "pub fn bad(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    let at = |src: &str| {
+        let fa = analyze_source("crates/core/src/f.rs", src, ALL);
+        parp_analyze::Analysis {
+            files_scanned: 1,
+            findings: fa.findings,
+            suppressed: fa.suppressed,
+        }
+    };
+    let base = baseline::counts(&at(clean));
+    assert!(baseline::compare(&at(clean), &base).passes());
+    let cmp = baseline::compare(&at(dirty), &base);
+    assert!(!cmp.passes());
+    assert_eq!(cmp.regressions.len(), 1);
+    assert_eq!(cmp.regressions[0].lint, "W001");
+}
+
+/// The analyzer runs clean on the workspace that ships it: no finding
+/// beyond the checked-in baseline, and the determinism lints (W002,
+/// W003) plus W004/W005 are at zero outright — only W001 carries
+/// grandfathered counts, which can only ratchet down.
+#[test]
+fn workspace_is_clean_against_checked_in_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let analysis = analyze_workspace(&root);
+    assert!(analysis.files_scanned > 50, "workspace discovery broke");
+
+    let baseline_text = std::fs::read_to_string(root.join("ANALYSIS_baseline.json"))
+        .expect("ANALYSIS_baseline.json must be checked in at the repo root");
+    let base = baseline::parse(&baseline_text).expect("baseline must parse");
+    let cmp = baseline::compare(&analysis, &base);
+    assert!(
+        cmp.passes(),
+        "new findings beyond the baseline:\n{:#?}",
+        cmp.regressions
+    );
+    for lint in ["W000", "W002", "W003", "W004", "W005"] {
+        assert_eq!(
+            lint_count(&analysis.findings, lint),
+            0,
+            "{lint} must be at zero in this workspace"
+        );
+        assert!(
+            base.get(lint).map(|files| files.is_empty()).unwrap_or(true),
+            "{lint} baseline must stay empty so regressions fail immediately"
+        );
+    }
+}
+
+/// The scope table matches the shipped crate layout: serving crates
+/// get W001, commitment modules get W003, shims and bench are skipped.
+#[test]
+fn scope_table_matches_repo_layout() {
+    assert!(lints_for_file("crates/shims/proptest/src/lib.rs").is_none());
+    assert!(lints_for_file("crates/bench/src/report.rs").is_none());
+    let sim = lints_for_file("crates/net/src/sim.rs").expect("in scope");
+    assert!(sim.w001 && sim.w002 && sim.w004 && !sim.w003);
+    let rlp = lints_for_file("crates/rlp/src/lib.rs").expect("in scope");
+    assert!(rlp.w003 && !rlp.w001);
+    let cmm = lints_for_file("crates/contracts/src/cmm.rs").expect("in scope");
+    assert!(cmm.w003 && cmm.w001 && cmm.w004);
+}

@@ -193,8 +193,14 @@ impl Blockchain {
             previous_head.release_trie();
         }
         self.state = state.clone();
+        // The chain IS its history: blocks, receipts and snapshots grow
+        // one entry per produced block by design (tries are released
+        // above, so growth is per-header, not per-frozen-trie).
+        // parp-allow(W004): per-block state snapshot is the design
         self.snapshots.push(state);
+        // parp-allow(W004): per-block receipts are the design
         self.receipts.push(receipts);
+        // parp-allow(W004): the block list is the chain itself
         self.blocks.push(block);
         Ok(self.blocks.last().expect("just pushed"))
     }

@@ -601,6 +601,7 @@ impl FraudModule {
                 block: ctx.number,
             },
         );
+        // parp-allow(W004): the slash log is the append-only audit trail fraud adjudication exists to produce
         self.slash_log.push(SlashEvent {
             request_hash,
             offender: channel.full_node,

@@ -10,12 +10,11 @@ use parp_contracts::{
 };
 use parp_crypto::{sign, KeyPair, SecretKey, Signature};
 use parp_primitives::{Address, H256, U256};
-use parp_telemetry::StageRecorder;
+use parp_telemetry::{StageRecorder, TimeSource, TimeStamp};
 use parp_trie::ProofBuf;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use std::time::Instant;
 
 /// Strategy that supplies state-trie proofs to the serving paths.
 ///
@@ -222,6 +221,10 @@ pub struct FullNode {
     /// response sign), drained by the simulator to emit trace
     /// sub-spans. `None` keeps the uninstrumented path at one branch.
     stages: Option<StageRecorder>,
+    /// The injected clock stage durations are measured with (the
+    /// simulator shares its deterministic handle; standalone nodes
+    /// default to the host clock).
+    clock: TimeSource,
 }
 
 impl FullNode {
@@ -235,7 +238,15 @@ impl FullNode {
             requests_served: 0,
             proof_scratch: ProofBuf::new(),
             stages: None,
+            clock: TimeSource::default(),
         }
+    }
+
+    /// Replaces the clock stage durations are measured with (see
+    /// [`FullNode::set_stage_recorder`]); the deterministic simulator
+    /// injects its own handle so stage traces reproduce across hosts.
+    pub fn set_time_source(&mut self, clock: TimeSource) {
+        self.clock = clock;
     }
 
     /// Attaches (or with `None`, detaches) a [`StageRecorder`] the node
@@ -248,28 +259,28 @@ impl FullNode {
     }
 
     #[inline]
-    fn stage_start(&self) -> Option<Instant> {
-        self.stages.is_some().then(Instant::now)
+    fn stage_start(&self) -> Option<TimeStamp> {
+        self.stages.is_some().then(|| self.clock.start())
     }
 
     #[inline]
-    fn stage_verify(&self, start: Option<Instant>) {
+    fn stage_verify(&self, start: Option<TimeStamp>) {
         if let (Some(stages), Some(start)) = (&self.stages, start) {
-            stages.add_verify_us(start.elapsed().as_micros() as u64);
+            stages.add_verify_us(self.clock.elapsed_us(start));
         }
     }
 
     #[inline]
-    fn stage_proof(&self, start: Option<Instant>) {
+    fn stage_proof(&self, start: Option<TimeStamp>) {
         if let (Some(stages), Some(start)) = (&self.stages, start) {
-            stages.add_proof_us(start.elapsed().as_micros() as u64);
+            stages.add_proof_us(self.clock.elapsed_us(start));
         }
     }
 
     #[inline]
-    fn stage_sign(&self, start: Option<Instant>) {
+    fn stage_sign(&self, start: Option<TimeStamp>) {
         if let (Some(stages), Some(start)) = (&self.stages, start) {
-            stages.add_sign_us(start.elapsed().as_micros() as u64);
+            stages.add_sign_us(self.clock.elapsed_us(start));
         }
     }
 

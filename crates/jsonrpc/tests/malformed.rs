@@ -1,0 +1,175 @@
+//! Adversarial-input sweep for the JSON parser.
+//!
+//! The gateway parses request bodies from untrusted clients, so the
+//! contract under test is simple and absolute: *any* byte sequence
+//! either parses or returns `Err` — it never panics, never overflows
+//! the stack, and never silently accepts garbage. Each case family
+//! here maps to a way a hostile client can cheaply construct input:
+//! truncation, corrupt escapes, depth bombs, control bytes, broken
+//! UTF-8, and number edge cases.
+
+use parp_jsonrpc::{parse, Json, MAX_NESTING_DEPTH};
+
+/// Representative well-formed documents used as truncation seeds.
+const SEEDS: [&str; 5] = [
+    r#"{"jsonrpc":"2.0","method":"eth_getBalance","params":["0xabc","latest"],"id":1}"#,
+    r#"[1,-2.5e3,true,false,null,"str\u0041\n"]"#,
+    r#"{"a":{"b":[{"c":"😀"},"héllo"]}}"#,
+    r#""\ud83d\ude00 surrogate pair""#,
+    r#"[[[[[{"deep":[0]}]]]]]"#,
+];
+
+/// Every strict prefix of a valid document must fail cleanly: a
+/// truncated body is the single most common malformed input a server
+/// sees (closed connections, length-capped reads).
+#[test]
+fn every_truncation_of_valid_documents_errors_cleanly() {
+    for seed in SEEDS {
+        for cut in 0..seed.len() {
+            if !seed.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &seed[..cut];
+            assert!(
+                parse(prefix).is_err(),
+                "prefix {prefix:?} of {seed:?} should not parse"
+            );
+        }
+        assert!(parse(seed).is_ok(), "seed {seed:?} must itself parse");
+    }
+}
+
+/// Suffixes are the mirror case (a read that lost its start).
+#[test]
+fn every_suffix_of_valid_documents_never_panics() {
+    for seed in SEEDS {
+        for cut in 1..=seed.len() {
+            if !seed.is_char_boundary(cut) {
+                continue;
+            }
+            // Some suffixes are themselves valid JSON ("1]" is not, but
+            // "null" from inside an array is) — only the no-panic
+            // contract holds here, not rejection.
+            let _ = parse(&seed[cut..]);
+        }
+    }
+}
+
+#[test]
+fn bad_escapes_are_rejected() {
+    for bad in [
+        r#""\q""#,           // unknown escape
+        r#""\""#,            // escape at end of input
+        r#""\u""#,           // truncated \u
+        r#""\u12""#,         // short hex
+        r#""\u12g4""#,       // non-hex digit
+        r#""\ud800""#,       // lone high surrogate
+        r#""\ud800\n""#,     // high surrogate followed by non-escape
+        r#""\ud800\u0041""#, // high surrogate + non-low-surrogate
+        r#""\udc00""#,       // lone low surrogate (invalid char::from_u32)
+        "\"\\\u{0}\"",       // NUL as the escape byte
+    ] {
+        assert!(parse(bad).is_err(), "should reject {bad:?}");
+    }
+}
+
+#[test]
+fn depth_bombs_fail_at_the_cap_not_the_stack() {
+    // Exactly at the cap: parses.
+    let at = format!(
+        "{}1{}",
+        "[".repeat(MAX_NESTING_DEPTH),
+        "]".repeat(MAX_NESTING_DEPTH)
+    );
+    assert!(parse(&at).is_ok());
+    // One past: ordinary error.
+    let over = format!(
+        "{}1{}",
+        "[".repeat(MAX_NESTING_DEPTH + 1),
+        "]".repeat(MAX_NESTING_DEPTH + 1)
+    );
+    let err = parse(&over).unwrap_err();
+    assert!(err.message.contains("nesting depth"), "{err}");
+    // A megabyte of alternating open brackets — the classic bomb — is
+    // rejected after exactly MAX_NESTING_DEPTH + 1 bytes of work.
+    let bomb: String = "[{\"k\":".repeat(200_000);
+    let err = parse(&bomb).unwrap_err();
+    assert!(err.offset <= 6 * (MAX_NESTING_DEPTH + 1), "{err}");
+}
+
+#[test]
+fn control_bytes_and_broken_utf8_in_strings_are_rejected() {
+    for byte in 0u8..0x20 {
+        let doc = format!("\"a{}b\"", byte as char);
+        assert!(parse(&doc).is_err(), "control byte {byte:#x} accepted");
+    }
+    // `parse` takes `&str`, so truncated multibyte sequences are
+    // rejected by UTF-8 validation before the parser ever runs; what
+    // the parser must still get right is multibyte content adjacent
+    // to syntax bytes and the 0x7F DEL byte (≥ 0x20, legal per JSON).
+    assert_eq!(parse("\"€\\\"😀\"").unwrap(), Json::String("€\"😀".into()));
+    assert!(parse("\"a\u{7f}b\"").is_ok());
+}
+
+#[test]
+fn number_edge_cases() {
+    // Accepted: anything f64::from_str takes, including extremes that
+    // round to infinity-adjacent values.
+    for ok in [
+        "0",
+        "-0",
+        "1e308",
+        "-1e-308",
+        "0.0000000001",
+        "123456789012345678901234567890",
+    ] {
+        assert!(parse(ok).is_ok(), "{ok:?} should parse");
+    }
+    // Rejected: JSON forbids these even though Rust's float parser or a
+    // lenient scanner might not.
+    for bad in [
+        "+1", ".5", "-", "1e", "0x10", "NaN", "Infinity", "- 1", "1.2.3",
+    ] {
+        assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+    }
+}
+
+#[test]
+fn structural_garbage_is_rejected() {
+    for bad in [
+        "{\"a\":1,}", // trailing comma (object)
+        "[1,]",       // trailing comma (array)
+        "[,1]",       // leading comma
+        "{1:2}",      // non-string key
+        "{\"a\" 1}",  // missing colon
+        "[1 2]",      // missing comma
+        "}",          // close without open
+        "]",          // close without open
+        "[}",         // mismatched pair
+        "{\"a\":}",   // missing value
+        "\u{feff}{}", // BOM is not whitespace in strict JSON
+    ] {
+        assert!(parse(bad).is_err(), "should reject {bad:?}");
+    }
+}
+
+/// The error itself must be usable for diagnostics: offsets stay
+/// within the input and messages are non-empty.
+#[test]
+fn errors_carry_in_bounds_offsets() {
+    for bad in ["", "{", "[1,", "tru", "\"\\q\"", "[1] x"] {
+        let err = parse(bad).unwrap_err();
+        assert!(err.offset <= bad.len(), "{err} vs len {}", bad.len());
+        assert!(!err.message.is_empty());
+        assert!(err.to_string().contains("byte"));
+    }
+}
+
+/// Parse errors never leave partial state behind: a failed parse does
+/// not affect a subsequent good one, and repeat parses agree.
+#[test]
+fn parser_is_stateless_across_calls() {
+    assert!(parse("[").is_err());
+    assert_eq!(parse("[1]").unwrap(), Json::Array(vec![Json::Number(1.0)]));
+    assert_eq!(parse("[1]").unwrap(), parse("[1]").unwrap());
+}

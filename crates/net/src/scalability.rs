@@ -21,7 +21,7 @@ use parp_contracts::RpcCall;
 use parp_core::{LightClient, ProcessOutcome};
 use parp_crypto::{SecretKey, Signature};
 use parp_primitives::U256;
-use std::time::Instant;
+use parp_telemetry::TimeSource;
 
 /// Result of one scalability run at a given client count.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -141,7 +141,13 @@ impl Default for ScalabilityConfig {
 pub fn run_scalability_point(clients: usize, config: &ScalabilityConfig) -> ScalabilityPoint {
     assert!(clients > 0, "need at least one client");
     // --- PARP node under load ---
+    // This harness *is* a hardware measurement (the paper's Figure 7
+    // compares CPU time against a plain RPC node), so both sides
+    // deliberately read the host clock through an injected wall
+    // TimeSource instead of the simulator's deterministic default.
+    let wall = TimeSource::wall();
     let mut net = Network::with_latency(crate::latency::LatencyModel::zero());
+    net.set_time_source(wall.clone());
     let node = net.spawn_node(b"fig7-node", U256::from(10u64));
     let mut lcs: Vec<LightClient> = Vec::with_capacity(clients);
     let mut workloads: Vec<Workload> = Vec::with_capacity(clients);
@@ -210,11 +216,11 @@ pub fn run_scalability_point(clients: usize, config: &ScalabilityConfig) -> Scal
         for workload in base_workloads.iter_mut() {
             let call = workload.next_mixed(config.read_fraction);
             let request_bytes = parp_jsonrpc::base_request(&call, 1).wire_size();
-            let started = Instant::now();
+            let started = wall.start();
             let result = base_server
                 .handle(&call, &mut base_chain)
                 .expect("base call");
-            base_cpu_us += started.elapsed().as_micros() as u64;
+            base_cpu_us += wall.elapsed_us(started);
             base_inflight = base_inflight.max(request_bytes + result.len());
         }
     }

@@ -11,16 +11,30 @@ use parp_core::{FullNode, LightClient, ProcessBatchOutcome, ProcessOutcome, Serv
 use parp_crypto::SecretKey;
 use parp_primitives::{Address, U256};
 use parp_runtime::Runtime;
-use parp_telemetry::{ArgValue, Counter, Histogram, StageRecorder, StageSample, Telemetry};
+use parp_telemetry::{
+    ArgValue, Counter, Histogram, StageRecorder, StageSample, Telemetry, TimeSource,
+};
 use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Identifier of a registered full node within the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(pub usize);
+
+/// Serve-time quantum of the simulator's default deterministic clock:
+/// every measured serve leg reports this many microseconds.
+///
+/// The simulator used to stamp `ExchangeStats::server_us` (and through
+/// it the sim clock, provider aggregates, and reputation latencies)
+/// with `Instant::now()` wall readings — host scheduling noise leaking
+/// into what is otherwise a fully deterministic run (lint W002). By
+/// default every serve measurement now reports this fixed quantum;
+/// harnesses that genuinely measure the hardware (the Figure 7
+/// scalability sweep, the bench binaries) opt back into wall time via
+/// [`Network::set_time_source`].
+pub const DEFAULT_SERVE_QUANTUM_US: u64 = 50;
 
 /// Aggregate traffic and timing statistics for one PARP exchange.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -280,6 +294,10 @@ pub struct Network {
     /// Shared per-stage serve-timing scratch every node reports into
     /// (drained per exchange to emit trace sub-spans).
     stages: StageRecorder,
+    /// The injected clock every serve-time measurement routes through
+    /// (see [`DEFAULT_SERVE_QUANTUM_US`]): deterministic by default,
+    /// wall time when a measurement harness injects it.
+    time: TimeSource,
 }
 
 /// The network's registered global metric handles.
@@ -313,6 +331,9 @@ impl Network {
         // Faucet holds 2^170-ish wei: enough for any experiment.
         let supply = U256::ONE << 170;
         let chain = Blockchain::new(vec![(faucet.address(), supply)]);
+        let time = TimeSource::fixed(DEFAULT_SERVE_QUANTUM_US);
+        let mut runtime = Runtime::default();
+        runtime.set_time_source(time.clone());
         Network {
             chain,
             executor: ParpExecutor::new(),
@@ -321,12 +342,31 @@ impl Network {
             latency,
             faucet,
             clock_us: 0,
-            runtime: Runtime::default(),
+            runtime,
             provider_stats: HashMap::new(),
             telemetry: None,
             metrics: None,
             stages: StageRecorder::new(),
+            time,
         }
+    }
+
+    /// Replaces the clock serve-time measurements route through — for
+    /// the whole network *and* its serving runtime (and every already
+    /// spawned node's stage recorder). The default is a deterministic
+    /// [`TimeSource::fixed`] quantum; measurement harnesses inject
+    /// [`TimeSource::wall`] to time the hardware.
+    pub fn set_time_source(&mut self, time: TimeSource) {
+        self.time = time.clone();
+        self.runtime.set_time_source(time.clone());
+        for node in &mut self.nodes {
+            node.set_time_source(time.clone());
+        }
+    }
+
+    /// The clock serve-time measurements route through.
+    pub fn time_source(&self) -> &TimeSource {
+        &self.time
     }
 
     /// Attaches an observability hub: registers the runtime's and the
@@ -400,9 +440,12 @@ impl Network {
     }
 
     /// Replaces the serving runtime (cache size, shard count, admission
-    /// limits). The existing cache is dropped with the old runtime.
+    /// limits). The existing cache is dropped with the old runtime; the
+    /// network's injected clock carries over so a runtime swap cannot
+    /// silently reintroduce wall-clock readings into the sim.
     pub fn set_runtime(&mut self, runtime: Runtime) {
         self.runtime = runtime;
+        self.runtime.set_time_source(self.time.clone());
     }
 
     /// The serving runtime.
@@ -552,6 +595,7 @@ impl Network {
             "serving registration must succeed"
         );
         let mut node = FullNode::new(key, price_per_call);
+        node.set_time_source(self.time.clone());
         if let Some(telemetry) = &self.telemetry {
             node.set_stage_recorder(Some(self.stages.clone()));
             telemetry.tracer.name_track(
@@ -719,7 +763,7 @@ impl Network {
         let request = client.request_from(provider, call)?;
         self.provider_entry(provider).record_call();
         let trace_t0 = self.exchange_trace_start();
-        let started = Instant::now();
+        let started = self.time.start();
         let response = match self.serve(node_id, &request) {
             Ok(response) => response,
             Err(e) => {
@@ -727,7 +771,7 @@ impl Network {
                 return Err(e);
             }
         };
-        let server_us = started.elapsed().as_micros() as u64;
+        let server_us = self.time.elapsed_us(started);
         // The client needs the header for res.m_B before verifying.
         self.sync_client(client);
         let request_bytes = request.encode().len();
@@ -790,7 +834,7 @@ impl Network {
         let request = client.request_batch_from(provider, calls)?;
         self.provider_entry(provider).record_call();
         let trace_t0 = self.exchange_trace_start();
-        let started = Instant::now();
+        let started = self.time.start();
         let response = match self.serve_batch(node_id, &request) {
             Ok(response) => response,
             Err(e) => {
@@ -798,7 +842,7 @@ impl Network {
                 return Err(e);
             }
         };
-        let server_us = started.elapsed().as_micros() as u64;
+        let server_us = self.time.elapsed_us(started);
         // The client needs the header for res.m_B before verifying.
         self.sync_client(client);
         let request_bytes = request.encode().len();
@@ -908,6 +952,7 @@ impl Network {
             // One &mut moment resolves the shared frozen head trie; the
             // legs then serve over disjoint &mut nodes + one &chain.
             let engine = self.runtime.read_engine(&self.chain);
+            let clock = self.time.clone();
             let Network {
                 nodes,
                 chain,
@@ -931,11 +976,12 @@ impl Network {
                         .remove(&legs[index].0 .0)
                         .expect("distinct leg nodes");
                     let mut engine = engine.clone();
+                    let clock = clock.clone();
                     handles.push(scope.spawn(move || {
-                        let started = Instant::now();
+                        let started = clock.start();
                         let outcome =
                             node.handle_read_request(request, chain, executor, &mut engine);
-                        (index, outcome, started.elapsed().as_micros() as u64)
+                        (index, outcome, clock.elapsed_us(started))
                     }));
                 }
                 worker_results = handles
@@ -952,10 +998,10 @@ impl Network {
         } else {
             for (index, built) in requests.iter().enumerate() {
                 let Ok((_, request)) = built else { continue };
-                let started = Instant::now();
+                let started = self.time.start();
                 match self.serve(legs[index].0, request) {
                     Ok(response) => {
-                        served[index] = Some((response, started.elapsed().as_micros() as u64));
+                        served[index] = Some((response, self.time.elapsed_us(started)));
                     }
                     Err(e) => serve_errors[index] = Some(e),
                 }

@@ -11,11 +11,10 @@ use parp_contracts::{
 use parp_core::{FullNode, ProofEngine, ServeError};
 use parp_crypto::keccak256;
 use parp_primitives::Address;
-use parp_telemetry::{Histogram, Telemetry};
+use parp_telemetry::{Histogram, Telemetry, TimeSource};
 use parp_trie::{FrozenTrie, ProofBuf};
 use std::collections::HashSet;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Tuning knobs for a [`Runtime`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +106,11 @@ pub struct Runtime {
     /// Serve-path histograms, present once a telemetry registry is
     /// attached. `None` keeps the uninstrumented path at one branch.
     metrics: Option<RuntimeMetrics>,
+    /// The injected clock serve-path durations are measured with.
+    /// Defaults to the host clock (production serving); the
+    /// deterministic simulator injects a [`TimeSource::fixed`] handle
+    /// so metric readings reproduce across hosts (lint W002).
+    clock: TimeSource,
 }
 
 /// The runtime's registered histograms (fixed-memory, lock-free).
@@ -127,10 +131,10 @@ impl Default for Runtime {
 impl ProofEngine for Runtime {
     fn account_multiproof(&mut self, state: &State, addresses: &[Address]) -> Vec<Vec<u8>> {
         let trie = self.cache.get_or_build(state);
-        let start = self.metrics.is_some().then(Instant::now);
+        let start = self.metrics.is_some().then(|| self.clock.start());
         let proof = sharded_account_multiproof(&trie, addresses, self.shards);
         if let (Some(m), Some(t)) = (&self.metrics, start) {
-            m.multiproof_us.record(t.elapsed().as_micros() as u64);
+            m.multiproof_us.record(self.clock.elapsed_us(t));
         }
         proof
     }
@@ -142,10 +146,10 @@ impl ProofEngine for Runtime {
         out: &mut ProofBuf,
     ) {
         let trie = self.cache.get_or_build(state);
-        let start = self.metrics.is_some().then(Instant::now);
+        let start = self.metrics.is_some().then(|| self.clock.start());
         sharded_account_multiproof_into(&trie, addresses, self.shards, out);
         if let (Some(m), Some(t)) = (&self.metrics, start) {
-            m.multiproof_us.record(t.elapsed().as_micros() as u64);
+            m.multiproof_us.record(self.clock.elapsed_us(t));
         }
     }
 
@@ -193,7 +197,21 @@ impl Runtime {
             shards: config.shards.max(1),
             admission: AdmissionController::new(config.burst_capacity, config.rate_per_sec),
             metrics: None,
+            clock: TimeSource::default(),
         }
+    }
+
+    /// Replaces the clock serve-path durations are measured with. The
+    /// simulator injects its deterministic [`TimeSource`] here so
+    /// runtime histograms record sim-consistent readings; benches
+    /// inject [`TimeSource::wall`] to measure the hardware.
+    pub fn set_time_source(&mut self, clock: TimeSource) {
+        self.clock = clock;
+    }
+
+    /// The clock serve-path durations are measured with.
+    pub fn time_source(&self) -> &TimeSource {
+        &self.clock
     }
 
     /// Registers the runtime's counters and histograms with
@@ -303,10 +321,10 @@ impl Runtime {
         chain: &mut Blockchain,
         executor: &mut ParpExecutor,
     ) -> Result<ParpResponse, ServeError> {
-        let start = self.metrics.is_some().then(Instant::now);
+        let start = self.metrics.is_some().then(|| self.clock.start());
         let response = node.handle_request_with(request, chain, executor, self);
         if let (Some(m), Some(t)) = (&self.metrics, start) {
-            m.serve_single_us.record(t.elapsed().as_micros() as u64);
+            m.serve_single_us.record(self.clock.elapsed_us(t));
         }
         response
     }
@@ -324,10 +342,10 @@ impl Runtime {
         chain: &mut Blockchain,
         executor: &mut ParpExecutor,
     ) -> Result<ParpBatchResponse, ServeError> {
-        let start = self.metrics.is_some().then(Instant::now);
+        let start = self.metrics.is_some().then(|| self.clock.start());
         let response = node.handle_batch_with(request, chain, executor, self);
         if let (Some(m), Some(t)) = (&self.metrics, start) {
-            m.serve_batch_us.record(t.elapsed().as_micros() as u64);
+            m.serve_batch_us.record(self.clock.elapsed_us(t));
             m.batch_calls.record(request.calls.len() as u64);
         }
         response

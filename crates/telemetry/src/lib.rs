@@ -40,11 +40,13 @@ pub mod histogram;
 mod json;
 pub mod metrics;
 pub mod registry;
+pub mod time;
 pub mod trace;
 
 pub use histogram::{Histogram, BUCKETS, RELATIVE_ERROR};
 pub use metrics::{Counter, Gauge};
 pub use registry::{HistogramSnapshot, MetricValue, MetricsSnapshot, Registry};
+pub use time::{TimeSource, TimeStamp};
 pub use trace::{ArgValue, TraceEvent, TracePhase, Tracer};
 
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -1,0 +1,171 @@
+//! The injected clock: every duration measurement in the workspace
+//! routes through a [`TimeSource`] instead of calling
+//! `std::time::Instant::now()` directly.
+//!
+//! The deterministic simulator's accountability story depends on runs
+//! being reproducible: fraud proofs are adjudicated on exact response
+//! bytes, and the simulated clock (which feeds provider aggregates,
+//! reputation scores, and trace timestamps) must advance the same way
+//! on every host. A raw `Instant::now()` inside a serve path silently
+//! couples all of that to host scheduling noise. `parp-analyze` lint
+//! **W002** (wall-clock-in-sim) bans direct wall-clock reads across
+//! the workspace; this module is the one place allowed to touch the
+//! host clock, and everything else injects a handle.
+//!
+//! Two sources exist:
+//!
+//! * [`TimeSource::wall`] — real host time, for benches and load
+//!   harnesses whose entire point is measuring the hardware
+//!   ([`crate::time::TimeSource::is_wall`] lets callers assert which
+//!   mode they got).
+//! * [`TimeSource::fixed`] — deterministic: every `start`/`elapsed_us`
+//!   measurement reports a fixed quantum and advances a shared virtual
+//!   now, so histograms, aggregates and the sim clock see identical
+//!   values on every run. This is the simulator's default.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+// parp-allow(W002): this module IS the wall-clock boundary — the single
+// justified Instant anchor everything else injects a TimeSource for.
+use std::time::Instant;
+
+/// An opaque measurement token returned by [`TimeSource::start`] and
+/// consumed by [`TimeSource::elapsed_us`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeStamp(u64);
+
+/// The process-wide wall anchor: all wall readings are microseconds
+/// since the first one, which keeps stamps small, monotonic, and
+/// comparable across `TimeSource` clones.
+fn wall_anchor() -> &'static Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    // parp-allow(W002): the one wall-clock read behind the abstraction.
+    ANCHOR.get_or_init(Instant::now)
+}
+
+#[derive(Debug, Clone)]
+enum Source {
+    /// Host monotonic clock.
+    Wall,
+    /// Deterministic virtual clock: `elapsed_us` always reports
+    /// `quantum_us` and advances the shared `now`.
+    Fixed {
+        quantum_us: u64,
+        now: Arc<AtomicU64>,
+    },
+}
+
+/// A cheap-clone handle to either the host clock or a deterministic
+/// virtual clock. Clones share state: two clones of a fixed source
+/// advance the same virtual now (so measurements taken on worker
+/// threads stay globally monotonic).
+#[derive(Debug, Clone)]
+pub struct TimeSource(Source);
+
+impl Default for TimeSource {
+    /// Defaults to the host clock — the right choice for production
+    /// serving. The simulator overrides this with [`TimeSource::fixed`]
+    /// at construction.
+    fn default() -> Self {
+        TimeSource::wall()
+    }
+}
+
+impl TimeSource {
+    /// The host monotonic clock.
+    pub fn wall() -> Self {
+        // Touch the anchor eagerly so the first measurement does not
+        // fold anchor-initialisation time into its reading.
+        let _ = wall_anchor();
+        TimeSource(Source::Wall)
+    }
+
+    /// A deterministic clock: every `start`/`elapsed_us` pair reports
+    /// exactly `quantum_us` microseconds (minimum 1 — a zero-length
+    /// measurement would make rate math divide by zero), regardless of
+    /// host scheduling.
+    pub fn fixed(quantum_us: u64) -> Self {
+        TimeSource(Source::Fixed {
+            quantum_us: quantum_us.max(1),
+            now: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// Whether this source reads the host clock (benches assert this
+    /// so a deterministic handle can never silently produce numbers
+    /// that get reported as hardware measurements).
+    pub fn is_wall(&self) -> bool {
+        matches!(self.0, Source::Wall)
+    }
+
+    /// Current reading in microseconds (since the process anchor for
+    /// wall sources; since construction for fixed sources).
+    pub fn now_us(&self) -> u64 {
+        match &self.0 {
+            Source::Wall => wall_anchor().elapsed().as_micros() as u64,
+            Source::Fixed { now, .. } => now.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Begins a measurement.
+    pub fn start(&self) -> TimeStamp {
+        TimeStamp(self.now_us())
+    }
+
+    /// Ends a measurement begun with [`TimeSource::start`].
+    ///
+    /// Wall sources report real elapsed microseconds. Fixed sources
+    /// report the configured quantum and advance the shared virtual
+    /// now by it, so successive measurements remain ordered.
+    pub fn elapsed_us(&self, since: TimeStamp) -> u64 {
+        match &self.0 {
+            Source::Wall => self.now_us().saturating_sub(since.0),
+            Source::Fixed { quantum_us, now } => {
+                now.fetch_add(*quantum_us, Ordering::Relaxed);
+                *quantum_us
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_reports_quantum_every_time() {
+        let ts = TimeSource::fixed(50);
+        for _ in 0..10 {
+            let t = ts.start();
+            assert_eq!(ts.elapsed_us(t), 50);
+        }
+        assert_eq!(ts.now_us(), 500);
+        assert!(!ts.is_wall());
+    }
+
+    #[test]
+    fn fixed_clones_share_the_virtual_clock() {
+        let ts = TimeSource::fixed(7);
+        let clone = ts.clone();
+        let t = clone.start();
+        assert_eq!(clone.elapsed_us(t), 7);
+        assert_eq!(ts.now_us(), 7);
+    }
+
+    #[test]
+    fn fixed_zero_quantum_is_clamped_to_one() {
+        let ts = TimeSource::fixed(0);
+        let t = ts.start();
+        assert_eq!(ts.elapsed_us(t), 1);
+    }
+
+    #[test]
+    fn wall_is_monotonic_and_flagged() {
+        let ts = TimeSource::wall();
+        assert!(ts.is_wall());
+        let t = ts.start();
+        let a = ts.elapsed_us(t);
+        let b = ts.elapsed_us(t);
+        assert!(b >= a);
+    }
+}
