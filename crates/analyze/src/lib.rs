@@ -96,7 +96,7 @@ pub struct LintScope {
 
 /// Crates whose non-test code faces untrusted input or serves
 /// requests: a reachable panic there is an availability bug.
-const W001_SERVING_CRATES: [&str; 7] = [
+const W001_SERVING_CRATES: [&str; 8] = [
     "crates/core/src/",
     "crates/net/src/",
     "crates/runtime/src/",
@@ -104,6 +104,7 @@ const W001_SERVING_CRATES: [&str; 7] = [
     "crates/contracts/src/",
     "crates/jsonrpc/src/",
     "crates/analyze/src/",
+    "crates/store/src/",
 ];
 
 /// Modules whose bytes end up under a commitment or in fraud
@@ -124,7 +125,7 @@ const W003_COMMITMENT_FILES: [&str; 10] = [
 
 /// Crates with long-lived structs (nodes, networks, aggregates) where
 /// an unbounded buffer is a leak rather than a scratch allocation.
-const W004_LONG_LIVED_CRATES: [&str; 7] = [
+const W004_LONG_LIVED_CRATES: [&str; 8] = [
     "crates/core/src/",
     "crates/net/src/",
     "crates/runtime/src/",
@@ -132,6 +133,7 @@ const W004_LONG_LIVED_CRATES: [&str; 7] = [
     "crates/contracts/src/",
     "crates/telemetry/src/",
     "crates/chain/src/",
+    "crates/store/src/",
 ];
 
 /// Paths never scanned: the dependency shims are API mirrors of

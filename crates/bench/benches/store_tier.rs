@@ -1,0 +1,328 @@
+//! The storage-tier bench: what serving deep history from append-only
+//! segments and a byte-budgeted warm tier costs, versus keeping every
+//! block resident.
+//!
+//! Four sections:
+//!
+//! 1. **Correctness pin** — transaction and receipt proofs served by
+//!    the [`ColdProofEngine`] against a pruned chain must be
+//!    byte-identical to a plain [`Runtime`] against the fully resident
+//!    twin (hard assert).
+//! 2. **Cold first touch** — segment read + RLP decode + ordered-trie
+//!    rebuild + freeze, on a fresh engine per round.
+//! 3. **Rehydrate** — the same lookups against a tightly budgeted tier
+//!    whose pages were spilled to disk: spill read + `from_bytes`.
+//! 4. **Warm / in-memory** — warm-tier hits and the resident runtime's
+//!    inclusion-cache hits, the steady-state serve cost.
+//!
+//! Emits `BENCH_store.json` at the workspace root (a CI artifact
+//! alongside `BENCH_trie.json` and friends) with the latency ladder
+//! plus the footprint split: bytes on disk (segments + spill) versus
+//! bytes resident under the budget versus the full in-memory set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parp_chain::{Blockchain, Transaction, TransferExecutor, MIN_HISTORY_WINDOW};
+use parp_core::ProofEngine;
+use parp_crypto::SecretKey;
+use parp_primitives::{Address, U256};
+use parp_runtime::{ColdProofEngine, Runtime, RuntimeConfig};
+use parp_store::{scratch_dir, BlockStore, SpillStore};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Blocks past the pruning floor — the pruned span the bench probes.
+const DEEP: u64 = 64;
+/// Measurement rounds per timed section.
+const ROUNDS: u32 = 8;
+
+/// A pruned chain backed by segment files, its fully resident twin,
+/// and the scratch directories to clean up afterwards.
+struct Fixture {
+    cold: Blockchain,
+    resident: Blockchain,
+    /// Pruned block numbers the bench probes (oldest first).
+    probe: Vec<u64>,
+    dirs: Vec<PathBuf>,
+}
+
+fn fixture() -> Fixture {
+    let key = SecretKey::from_seed(b"store-bench");
+    let make_tx = |nonce| {
+        Transaction {
+            nonce,
+            gas_price: U256::ZERO,
+            gas_limit: 21_000,
+            to: Some(Address::from_low_u64_be(0x57_0e)),
+            value: U256::ONE,
+            data: Vec::new(),
+        }
+        .sign(&key)
+    };
+    let alloc = vec![(key.address(), U256::from(1u64) << 64)];
+    let mut cold = Blockchain::new(alloc.clone());
+    let mut resident = Blockchain::new(alloc);
+    let dir = scratch_dir("bench-history").expect("scratch dir");
+    let store = BlockStore::open(&dir).expect("open block store");
+    cold.attach_history(store, 0).expect("attach history");
+    for nonce in 0..MIN_HISTORY_WINDOW + DEEP {
+        let tx = make_tx(nonce);
+        cold.produce_block(vec![tx.clone()], &mut TransferExecutor)
+            .expect("cold block");
+        resident
+            .produce_block(vec![tx], &mut TransferExecutor)
+            .expect("resident block");
+    }
+    let base = cold.resident_base();
+    assert!(base > DEEP, "the probe span must be fully pruned");
+    Fixture {
+        cold,
+        resident,
+        probe: (1..=DEEP).collect(),
+        dirs: vec![dir],
+    }
+}
+
+/// A cold engine over a fresh, empty spill directory.
+fn fresh_engine(budget: usize, dirs: &mut Vec<PathBuf>) -> ColdProofEngine {
+    let dir = scratch_dir("bench-spill").expect("scratch dir");
+    let spill = SpillStore::open(&dir).expect("open spill store");
+    dirs.push(dir);
+    ColdProofEngine::new(budget, spill)
+}
+
+/// Section 1: the segment-backed path must be indistinguishable from
+/// the resident path on the wire.
+fn assert_byte_identical(fx: &mut Fixture) {
+    let mut engine = fresh_engine(1, &mut fx.dirs); // spill after every page
+    let mut runtime = Runtime::default();
+    // Two passes: the second serves from rehydrated pages, which must
+    // not change a single byte either.
+    for _ in 0..2 {
+        for &block in &fx.probe {
+            let tx_proof = engine.transaction_proof(&fx.cold, block, 0);
+            assert!(!tx_proof.is_empty(), "pruned block {block} must prove");
+            assert_eq!(
+                tx_proof,
+                runtime.transaction_proof(&fx.resident, block, 0),
+                "cold transaction proof diverged at block {block}"
+            );
+            assert_eq!(
+                engine.receipt_proof(&fx.cold, block, 0),
+                runtime.receipt_proof(&fx.resident, block, 0),
+                "cold receipt proof diverged at block {block}"
+            );
+        }
+    }
+    assert!(engine.tier().spill_count() > 0, "budget of 1 must spill");
+    assert!(engine.tier().rehydrate_count() > 0, "revisits rehydrate");
+}
+
+struct Numbers {
+    cold_first_us: f64,
+    rehydrate_us: f64,
+    warm_us: f64,
+    inmem_us: f64,
+    history_disk_bytes: u64,
+    spill_disk_bytes: u64,
+    resident_full_bytes: usize,
+    budget_bytes: usize,
+    budget_resident_bytes: usize,
+}
+
+fn measure(fx: &mut Fixture) -> Numbers {
+    let per_proof = |elapsed_ns: u128, rounds: u32| {
+        elapsed_ns as f64 / 1_000.0 / f64::from(rounds) / fx.probe.len() as f64
+    };
+
+    // Cold first touch: a fresh engine (and fresh, empty spill) per
+    // round, so every proof pays segment read + rebuild + freeze.
+    let mut engines: Vec<ColdProofEngine> = (0..ROUNDS)
+        .map(|_| fresh_engine(usize::MAX, &mut fx.dirs))
+        .collect();
+    let started = Instant::now();
+    for engine in &mut engines {
+        for &block in &fx.probe {
+            black_box(engine.transaction_proof(&fx.cold, block, 0));
+        }
+    }
+    let cold_first_us = per_proof(started.elapsed().as_nanos(), ROUNDS);
+
+    // The unbounded engine now holds every probed page resident: its
+    // measured footprint is what "keep deep history in RAM" costs.
+    let warm_engine = &mut engines[0];
+    let resident_full_bytes = warm_engine.tier().resident_bytes();
+
+    // Warm hits against that engine: the steady-state tier serve.
+    let started = Instant::now();
+    for _ in 0..ROUNDS {
+        for &block in &fx.probe {
+            black_box(warm_engine.transaction_proof(&fx.cold, block, 0));
+        }
+    }
+    let warm_us = per_proof(started.elapsed().as_nanos(), ROUNDS);
+
+    // A tier budgeted at one eighth of the full set. The first pass
+    // populates and spills; sequential re-scans then always find the
+    // probed page on disk (the resident tail is the most recent
+    // eighth), so the timed passes measure spill read + `from_bytes`.
+    let budget_bytes = (resident_full_bytes / 8).max(1);
+    let mut budgeted = fresh_engine(budget_bytes, &mut fx.dirs);
+    for &block in &fx.probe {
+        black_box(budgeted.transaction_proof(&fx.cold, block, 0));
+    }
+    let rehydrates_before = budgeted.tier().rehydrate_count();
+    let started = Instant::now();
+    for _ in 0..ROUNDS {
+        for &block in &fx.probe {
+            black_box(budgeted.transaction_proof(&fx.cold, block, 0));
+        }
+    }
+    let rehydrate_us = per_proof(started.elapsed().as_nanos(), ROUNDS);
+    assert!(
+        budgeted.tier().rehydrate_count() > rehydrates_before,
+        "the budgeted passes must actually rehydrate"
+    );
+    let budget_resident_bytes = budgeted.tier().resident_bytes();
+    let spill_disk_bytes = budgeted.tier().disk_bytes();
+
+    // The in-memory baseline: a resident chain behind the runtime's
+    // inclusion cache, sized so every probe is a cache hit.
+    let mut runtime = Runtime::new(RuntimeConfig {
+        inclusion_cache_capacity: fx.probe.len() + 8,
+        ..RuntimeConfig::default()
+    });
+    for &block in &fx.probe {
+        black_box(runtime.transaction_proof(&fx.resident, block, 0));
+    }
+    let started = Instant::now();
+    for _ in 0..ROUNDS {
+        for &block in &fx.probe {
+            black_box(runtime.transaction_proof(&fx.resident, block, 0));
+        }
+    }
+    let inmem_us = per_proof(started.elapsed().as_nanos(), ROUNDS);
+
+    Numbers {
+        cold_first_us,
+        rehydrate_us,
+        warm_us,
+        inmem_us,
+        history_disk_bytes: fx.cold.history_disk_bytes(),
+        spill_disk_bytes,
+        resident_full_bytes,
+        budget_bytes,
+        budget_resident_bytes,
+    }
+}
+
+fn emit_artifact(n: &Numbers, blocks: u64) {
+    let warm_vs_cold = n.cold_first_us / n.warm_us.max(1e-9);
+    let rehydrate_vs_cold = n.cold_first_us / n.rehydrate_us.max(1e-9);
+    let budget_ratio = n.budget_bytes as f64 / n.resident_full_bytes.max(1) as f64;
+    let json = format!(
+        "{{\"bench\":\"store_tier\",\"blocks\":{blocks},\"probed_pruned_blocks\":{DEEP},\
+         \"cold_first_us\":{:.1},\"rehydrate_us\":{:.1},\"warm_us\":{:.1},\
+         \"inmem_us\":{:.1},\"warm_vs_cold_speedup\":{warm_vs_cold:.2},\
+         \"rehydrate_vs_cold_speedup\":{rehydrate_vs_cold:.2},\
+         \"history_disk_bytes\":{},\"spill_disk_bytes\":{},\
+         \"resident_full_bytes\":{},\"budget_bytes\":{},\
+         \"budget_resident_bytes\":{},\"budget_ratio\":{budget_ratio:.3},\
+         \"byte_identical\":true}}\n",
+        n.cold_first_us,
+        n.rehydrate_us,
+        n.warm_us,
+        n.inmem_us,
+        n.history_disk_bytes,
+        n.spill_disk_bytes,
+        n.resident_full_bytes,
+        n.budget_bytes,
+        n.budget_resident_bytes,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+    std::fs::write(path, &json).expect("write BENCH_store.json");
+    println!("wrote BENCH_store.json: {json}");
+    println!(
+        "old-block proof serve: cold first touch {:.1} µs | rehydrate {:.1} µs | \
+         warm hit {:.1} µs ({warm_vs_cold:.1}× vs cold) | resident baseline {:.1} µs",
+        n.cold_first_us, n.rehydrate_us, n.warm_us, n.inmem_us,
+    );
+    let budget_pct = budget_ratio * 100.0;
+    println!(
+        "footprint: {} B segments + {} B spill on disk | {} B resident under a {} B budget \
+         ({budget_pct:.0}% of the {} B full in-memory set)",
+        n.history_disk_bytes,
+        n.spill_disk_bytes,
+        n.budget_resident_bytes,
+        n.budget_bytes,
+        n.resident_full_bytes,
+    );
+
+    // Hard gates, kept loose enough that VM noise cannot flake CI:
+    // the real numbers live in the JSON.
+    assert!(
+        n.budget_resident_bytes <= n.budget_bytes,
+        "the budgeted tier overran its byte budget \
+         ({} B resident vs {} B budget)",
+        n.budget_resident_bytes,
+        n.budget_bytes,
+    );
+    assert!(
+        n.spill_disk_bytes > 0 && n.history_disk_bytes > 0,
+        "deep history must actually live on disk"
+    );
+    assert!(
+        n.warm_us <= n.cold_first_us,
+        "a warm-tier hit must not lose to a segment rebuild \
+         ({:.1} µs vs {:.1} µs)",
+        n.warm_us,
+        n.cold_first_us,
+    );
+}
+
+fn bench_store_ops(c: &mut Criterion, fx: &mut Fixture) {
+    let mut group = c.benchmark_group("store_tier");
+    group.sample_size(10);
+    let mut warm = fresh_engine(usize::MAX, &mut fx.dirs);
+    let probe = fx.probe.clone();
+    group.bench_function("warm_hit_proof", |b| {
+        b.iter(|| {
+            for &block in &probe {
+                black_box(warm.transaction_proof(&fx.cold, block, 0));
+            }
+        })
+    });
+    // Budget of 1 keeps only the newest page: alternating two blocks
+    // forces a rehydrate on every proof.
+    let mut tiny = fresh_engine(1, &mut fx.dirs);
+    group.bench_function("rehydrate_proof", |b| {
+        b.iter(|| {
+            for &block in &probe[..2] {
+                black_box(tiny.transaction_proof(&fx.cold, block, 0));
+            }
+        })
+    });
+    let mut runtime = Runtime::default();
+    group.bench_function("inmem_proof", |b| {
+        b.iter(|| {
+            for &block in &probe[..2] {
+                black_box(runtime.transaction_proof(&fx.resident, block, 0));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn run_all(c: &mut Criterion) {
+    let mut fx = fixture();
+    assert_byte_identical(&mut fx);
+    let numbers = measure(&mut fx);
+    emit_artifact(&numbers, fx.cold.height());
+    bench_store_ops(c, &mut fx);
+    for dir in fx.dirs.drain(..) {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+criterion_group!(benches, run_all);
+criterion_main!(benches);

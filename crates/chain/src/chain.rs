@@ -10,9 +10,11 @@ use crate::state::State;
 use crate::transaction::SignedTransaction;
 use parp_crypto::keccak256;
 use parp_primitives::{Address, H256, U256};
-use std::collections::HashMap;
+use parp_store::BlockStore;
+use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
+use std::io;
 
 /// EVM `BLOCKHASH` visibility window, which bounds fraud-proof freshness
 /// exactly as in the paper's prototype (§VI).
@@ -20,6 +22,12 @@ pub const BLOCK_HASH_WINDOW: u64 = 256;
 
 /// Seconds between consecutive blocks (Ethereum's post-merge slot time).
 pub const BLOCK_INTERVAL: u64 = 12;
+
+/// Smallest in-memory window a history-backed chain may keep: the
+/// `BLOCKHASH` window plus the head, so block production never needs a
+/// cold read for `recent_hashes` and fraud-proof freshness (§VI) is
+/// unaffected by pruning.
+pub const MIN_HISTORY_WINDOW: u64 = BLOCK_HASH_WINDOW + 1;
 
 /// Errors from block production.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +41,12 @@ pub enum BlockError {
     },
     /// The block's total gas exceeded the block gas limit.
     GasLimitExceeded,
+    /// The attached history store could not archive the block; the
+    /// chain is left unchanged so the caller can retry or detach.
+    History {
+        /// The underlying storage error, rendered.
+        reason: String,
+    },
 }
 
 impl fmt::Display for BlockError {
@@ -42,6 +56,9 @@ impl fmt::Display for BlockError {
                 write!(f, "transaction {index} is invalid: {reason}")
             }
             BlockError::GasLimitExceeded => write!(f, "block gas limit exceeded"),
+            BlockError::History { reason } => {
+                write!(f, "history store rejected the block: {reason}")
+            }
         }
     }
 }
@@ -73,8 +90,14 @@ impl Error for BlockError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct Blockchain {
+    /// Resident window: `blocks[i]` is block `base + i`. Without an
+    /// attached history store the window is the whole chain
+    /// (`base == 0`); with one, `produce_block` archives each block
+    /// into segments and drains the front back to `window` entries.
     blocks: Vec<Block>,
+    /// Per-block receipts, parallel to `blocks`.
     receipts: Vec<Vec<Receipt>>,
+    /// Post-execution state snapshots, parallel to `blocks`.
     snapshots: Vec<State>,
     state: State,
     hash_index: HashMap<H256, u64>,
@@ -82,6 +105,17 @@ pub struct Blockchain {
     beneficiary: Address,
     gas_limit: u64,
     genesis_timestamp: u64,
+    /// Number of the first resident block.
+    base: u64,
+    /// Rolling `(number, hash)` window of the last
+    /// [`BLOCK_HASH_WINDOW`] blocks, maintained incrementally so block
+    /// production never re-hashes up to 256 headers (an O(window)
+    /// keccak cost per block that dominated deep-history mining).
+    recent_window: VecDeque<(u64, H256)>,
+    /// Cold history segments; `None` keeps the chain fully resident.
+    history: Option<BlockStore>,
+    /// Resident-window size once a history store is attached.
+    window: u64,
 }
 
 impl Blockchain {
@@ -106,8 +140,9 @@ impl Blockchain {
             },
             transactions: Vec::new(),
         };
+        let genesis_hash = genesis.hash();
         let mut hash_index = HashMap::new();
-        hash_index.insert(genesis.hash(), 0);
+        hash_index.insert(genesis_hash, 0);
         Blockchain {
             snapshots: vec![state.clone()],
             state,
@@ -115,9 +150,87 @@ impl Blockchain {
             blocks: vec![genesis],
             hash_index,
             tx_index: HashMap::new(),
+            recent_window: VecDeque::from([(0, genesis_hash)]),
             beneficiary: Address::from_low_u64_be(0xbe9ef1c1a97),
             gas_limit: 30_000_000,
             genesis_timestamp,
+            base: 0,
+            history: None,
+            window: u64::MAX,
+        }
+    }
+
+    /// Backs this chain's history with append-only segment storage and
+    /// bounds the resident window to `window` blocks (clamped up to
+    /// [`MIN_HISTORY_WINDOW`] so block production and the `BLOCKHASH`
+    /// window never need a cold read).
+    ///
+    /// Any resident blocks the store has not yet archived are written
+    /// out immediately (and fsynced), then the window is pruned. From
+    /// here on every produced block is archived before the chain
+    /// mutates, so cold lookups through [`Blockchain::header_encoded`]
+    /// and friends are byte-identical to the resident path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the store already holds blocks beyond
+    /// this chain's head or from a different chain (its genesis header
+    /// diverges), or when archiving fails.
+    pub fn attach_history(&mut self, store: BlockStore, window: u64) -> io::Result<()> {
+        if store.next_number() > self.height() + 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "history store is ahead of this chain",
+            ));
+        }
+        if !store.is_empty() {
+            let stored_genesis = store.header(0)?.unwrap_or_default();
+            let ours = self.blocks.first().map(|b| b.header.encode());
+            if self.base != 0 || ours.as_deref() != Some(stored_genesis.as_slice()) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "history store belongs to a different chain",
+                ));
+            }
+        }
+        let mut next = store.next_number();
+        while next <= self.height() {
+            let Some(block) = self.block(next) else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "resident window no longer covers unarchived blocks",
+                ));
+            };
+            let header = block.header.encode();
+            let transactions: Vec<Vec<u8>> = block
+                .transactions
+                .iter()
+                .map(SignedTransaction::encode)
+                .collect();
+            let receipts: Vec<Vec<u8>> = self
+                .receipts(next)
+                .map(|rs| rs.iter().map(Receipt::encode).collect())
+                .unwrap_or_default();
+            store.append_block(next, &header, &transactions, &receipts)?;
+            next += 1;
+        }
+        store.sync()?;
+        self.history = Some(store);
+        self.window = window.max(MIN_HISTORY_WINDOW);
+        self.prune_resident();
+        Ok(())
+    }
+
+    /// Drains resident blocks beyond the configured window, moving
+    /// `base` forward. Only called once a history store holds them.
+    fn prune_resident(&mut self) {
+        let resident = self.blocks.len() as u64;
+        if resident > self.window {
+            let drop = (resident - self.window) as usize;
+            self.blocks.drain(..drop);
+            self.receipts.drain(..drop);
+            self.snapshots.drain(..drop);
+            self.base += drop as u64;
         }
     }
 
@@ -138,10 +251,14 @@ impl Blockchain {
     ) -> Result<&Block, BlockError> {
         let parent = self.blocks.last().expect("genesis always present");
         let number = parent.number() + 1;
-        let window_start = number.saturating_sub(BLOCK_HASH_WINDOW);
-        let recent_hashes: Vec<(u64, H256)> = (window_start..number)
-            .map(|n| (n, self.blocks[n as usize].hash()))
-            .collect();
+        // The rolling window already holds `(n, hash)` for the last
+        // BLOCK_HASH_WINDOW blocks (parent included) — no re-hashing.
+        let parent_hash = self
+            .recent_window
+            .back()
+            .map(|(_, hash)| *hash)
+            .expect("window covers parent");
+        let recent_hashes: Vec<(u64, H256)> = self.recent_window.iter().copied().collect();
         let ctx = BlockContext {
             number,
             timestamp: self.genesis_timestamp + number * BLOCK_INTERVAL,
@@ -167,7 +284,7 @@ impl Blockchain {
         };
         let block = Block {
             header: Header {
-                parent_hash: parent.hash(),
+                parent_hash,
                 ommers_hash: keccak256(&[0xc0]),
                 beneficiary: ctx.beneficiary,
                 state_root: state.state_root(),
@@ -182,7 +299,29 @@ impl Blockchain {
             },
             transactions,
         };
-        self.hash_index.insert(block.hash(), number);
+        // Archive into cold storage *before* any chain mutation, so an
+        // I/O failure leaves the chain unchanged, matching the
+        // validation-error contract above.
+        if let Some(history) = &self.history {
+            let header = block.header.encode();
+            let encoded_txs: Vec<Vec<u8>> = block
+                .transactions
+                .iter()
+                .map(SignedTransaction::encode)
+                .collect();
+            let encoded_receipts: Vec<Vec<u8>> = receipts.iter().map(Receipt::encode).collect();
+            history
+                .append_block(number, &header, &encoded_txs, &encoded_receipts)
+                .map_err(|e| BlockError::History {
+                    reason: e.to_string(),
+                })?;
+        }
+        let block_hash = block.hash();
+        self.hash_index.insert(block_hash, number);
+        self.recent_window.push_back((number, block_hash));
+        while self.recent_window.len() > BLOCK_HASH_WINDOW as usize {
+            self.recent_window.pop_front();
+        }
         for (i, tx) in block.transactions.iter().enumerate() {
             self.tx_index.insert(tx.hash(), (number, i));
         }
@@ -193,15 +332,17 @@ impl Blockchain {
             previous_head.release_trie();
         }
         self.state = state.clone();
-        // The chain IS its history: blocks, receipts and snapshots grow
-        // one entry per produced block by design (tries are released
-        // above, so growth is per-header, not per-frozen-trie).
-        // parp-allow(W004): per-block state snapshot is the design
+        // Growth is bounded: once a history store is attached,
+        // `prune_resident` drains the front of all three parallel
+        // vectors back to the configured window (the block just
+        // archived above is safe to drop whenever it ages out).
+        // Without a store the chain is deliberately fully resident.
         self.snapshots.push(state);
-        // parp-allow(W004): per-block receipts are the design
         self.receipts.push(receipts);
-        // parp-allow(W004): the block list is the chain itself
         self.blocks.push(block);
+        if self.history.is_some() {
+            self.prune_resident();
+        }
         Ok(self.blocks.last().expect("just pushed"))
     }
 
@@ -269,9 +410,18 @@ impl Blockchain {
         self.head().number()
     }
 
-    /// Block by height.
+    /// Index of block `number` in the resident window, if resident.
+    fn resident_index(&self, number: u64) -> Option<usize> {
+        usize::try_from(number.checked_sub(self.base)?).ok()
+    }
+
+    /// Block by height, when it is still in the resident window.
+    ///
+    /// History-backed chains prune old blocks from memory; use the
+    /// cold-capable accessors ([`Blockchain::header_encoded`],
+    /// [`Blockchain::transactions_encoded`], …) to reach them.
     pub fn block(&self, number: u64) -> Option<&Block> {
-        self.blocks.get(number as usize)
+        self.blocks.get(self.resident_index(number)?)
     }
 
     /// Block by hash.
@@ -295,14 +445,19 @@ impl Blockchain {
         self.block(number).map(Block::hash)
     }
 
-    /// Receipts for block `number`.
+    /// Receipts for block `number`, when still in the resident window.
     pub fn receipts(&self, number: u64) -> Option<&[Receipt]> {
-        self.receipts.get(number as usize).map(Vec::as_slice)
+        self.receipts
+            .get(self.resident_index(number)?)
+            .map(Vec::as_slice)
     }
 
-    /// The state snapshot *after* executing block `number`.
+    /// The state snapshot *after* executing block `number`, when still
+    /// in the resident window (historical state is not archived —
+    /// PARP serves account proofs at the head, inclusion proofs for
+    /// arbitrary depth).
     pub fn state_at(&self, number: u64) -> Option<&State> {
-        self.snapshots.get(number as usize)
+        self.snapshots.get(self.resident_index(number)?)
     }
 
     /// The current world state.
@@ -332,19 +487,148 @@ impl Blockchain {
     }
 
     /// Transaction inclusion proof, verifiable against the block's
-    /// `transactions_root`.
+    /// `transactions_root`. Falls back to the archived segments for
+    /// pruned blocks; the proof bytes are identical either way (the
+    /// trie is rebuilt from the same canonical encodings).
     pub fn transaction_proof(&self, number: u64, index: usize) -> Option<Vec<Vec<u8>>> {
-        self.block(number).and_then(|b| b.transaction_proof(index))
+        if self.resident_index(number).is_some() {
+            return self.block(number).and_then(|b| b.transaction_proof(index));
+        }
+        let encoded = self.cold_transactions(number)?;
+        if index >= encoded.len() {
+            return None;
+        }
+        let trie = parp_trie::ordered_trie(encoded.iter().map(Vec::as_slice));
+        Some(trie.prove(&parp_rlp::encode_u64(index as u64)))
     }
 
     /// Receipt inclusion proof, verifiable against the block's
-    /// `receipts_root`.
+    /// `receipts_root`. Falls back to the archived segments for pruned
+    /// blocks, byte-identically.
     pub fn receipt_proof(&self, number: u64, index: usize) -> Option<Vec<Vec<u8>>> {
-        let receipts = self.receipts(number)?;
-        if index >= receipts.len() {
+        if let Some(receipts) = self.receipts(number) {
+            if index >= receipts.len() {
+                return None;
+            }
+            return Some(receipts_trie(receipts).prove(&parp_rlp::encode_u64(index as u64)));
+        }
+        let encoded = self.cold_receipts(number)?;
+        if index >= encoded.len() {
             return None;
         }
-        Some(receipts_trie(receipts).prove(&parp_rlp::encode_u64(index as u64)))
+        let trie = parp_trie::ordered_trie(encoded.iter().map(Vec::as_slice));
+        Some(trie.prove(&parp_rlp::encode_u64(index as u64)))
+    }
+
+    // --- cold/warm unified accessors -------------------------------
+
+    /// Whether a history store backs this chain.
+    pub fn has_history(&self) -> bool {
+        self.history.is_some()
+    }
+
+    /// Number of the first block still resident in memory.
+    pub fn resident_base(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of blocks currently held in memory.
+    pub fn resident_blocks(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Bytes the attached history store occupies on disk (0 without
+    /// one).
+    pub fn history_disk_bytes(&self) -> u64 {
+        self.history.as_ref().map_or(0, BlockStore::disk_bytes)
+    }
+
+    /// Fsyncs the history store's segment tails.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on fsync failure.
+    pub fn sync_history(&self) -> io::Result<()> {
+        match &self.history {
+            Some(history) => history.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Archived record for `number` from the history store, if any.
+    fn cold_transactions(&self, number: u64) -> Option<Vec<Vec<u8>>> {
+        self.history.as_ref()?.transactions(number).ok().flatten()
+    }
+
+    fn cold_receipts(&self, number: u64) -> Option<Vec<Vec<u8>>> {
+        self.history.as_ref()?.receipts(number).ok().flatten()
+    }
+
+    /// The encoded header of block `number`, served from the resident
+    /// window or the archived segments — byte-identical either way.
+    pub fn header_encoded(&self, number: u64) -> Option<Vec<u8>> {
+        if let Some(block) = self.block(number) {
+            return Some(block.header.encode());
+        }
+        self.history.as_ref()?.header(number).ok().flatten()
+    }
+
+    /// The decoded header of block `number`, warm or cold.
+    pub fn header_at(&self, number: u64) -> Option<Header> {
+        if let Some(block) = self.block(number) {
+            return Some(block.header.clone());
+        }
+        let bytes = self.history.as_ref()?.header(number).ok().flatten()?;
+        Header::decode(&bytes).ok()
+    }
+
+    /// The canonically encoded transactions of block `number`, in
+    /// block order, warm or cold — byte-identical either way (cold
+    /// records are the exact bytes whose ordered trie produced the
+    /// header's `transactions_root`).
+    pub fn transactions_encoded(&self, number: u64) -> Option<Vec<Vec<u8>>> {
+        if let Some(block) = self.block(number) {
+            return Some(
+                block
+                    .transactions
+                    .iter()
+                    .map(SignedTransaction::encode)
+                    .collect(),
+            );
+        }
+        self.cold_transactions(number)
+    }
+
+    /// The decoded transactions of block `number`, warm or cold.
+    pub fn transactions_at(&self, number: u64) -> Option<Vec<SignedTransaction>> {
+        if let Some(block) = self.block(number) {
+            return Some(block.transactions.clone());
+        }
+        self.cold_transactions(number)?
+            .iter()
+            .map(|bytes| SignedTransaction::decode(bytes).ok())
+            .collect()
+    }
+
+    /// The canonically encoded receipts of block `number`, warm or
+    /// cold — byte-identical either way.
+    pub fn receipts_encoded(&self, number: u64) -> Option<Vec<Vec<u8>>> {
+        if let Some(receipts) = self.receipts(number) {
+            return Some(receipts.iter().map(Receipt::encode).collect());
+        }
+        self.cold_receipts(number)
+    }
+
+    /// The encoded receipt at `(number, index)`, warm or cold.
+    pub fn receipt_encoded(&self, number: u64, index: usize) -> Option<Vec<u8>> {
+        if let Some(receipts) = self.receipts(number) {
+            return receipts.get(index).map(Receipt::encode);
+        }
+        let mut encoded = self.cold_receipts(number)?;
+        if index >= encoded.len() {
+            return None;
+        }
+        Some(encoded.swap_remove(index))
     }
 }
 
@@ -550,6 +834,145 @@ mod tests {
         // Historical proofs still work — they rebuild on demand.
         let proof = chain.account_proof_at(&key.address(), 1).unwrap();
         assert!(!proof.is_empty());
+    }
+
+    fn history_chain(blocks: u64, window: u64) -> (Blockchain, SecretKey, std::path::PathBuf) {
+        let (mut chain, key) = funded_chain();
+        let dir = parp_store::scratch_dir("chain-history").unwrap();
+        let store = parp_store::BlockStore::open(&dir).unwrap();
+        chain.attach_history(store, window).unwrap();
+        for nonce in 0..blocks {
+            chain
+                .produce_block(vec![transfer(&key, nonce, 2, 1)], &mut TransferExecutor)
+                .unwrap();
+        }
+        (chain, key, dir)
+    }
+
+    #[test]
+    fn history_bounds_resident_window() {
+        let (chain, _, dir) = history_chain(400, 0);
+        assert_eq!(chain.height(), 400);
+        assert_eq!(chain.resident_blocks(), MIN_HISTORY_WINDOW);
+        assert_eq!(chain.resident_base(), 401 - MIN_HISTORY_WINDOW);
+        // Resident accessors miss pruned blocks, cold accessors hit.
+        assert!(chain.block(0).is_none());
+        assert!(chain.block(chain.resident_base()).is_some());
+        assert!(chain.header_encoded(0).is_some());
+        assert!(chain.history_disk_bytes() > 0);
+        // The BLOCKHASH window still works at the head.
+        assert!(chain.recent_block_hash(chain.height() - 255).is_some());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn cold_reads_are_byte_identical_to_resident_reads() {
+        // Two identical chains, one pruned: every cold read off the
+        // pruned chain must match the fully resident one byte for byte.
+        let (cold, _, dir) = history_chain(300, 0);
+        let (mut warm, key) = funded_chain();
+        for nonce in 0..300 {
+            warm.produce_block(vec![transfer(&key, nonce, 2, 1)], &mut TransferExecutor)
+                .unwrap();
+        }
+        for number in [0u64, 1, 7, 150, 299, 300] {
+            assert_eq!(
+                cold.header_encoded(number),
+                warm.block(number).map(|b| b.header.encode()),
+                "header {number}"
+            );
+            assert_eq!(
+                cold.transactions_encoded(number),
+                warm.transactions_encoded(number),
+                "transactions {number}"
+            );
+            assert_eq!(
+                cold.receipts_encoded(number),
+                warm.receipts_encoded(number),
+                "receipts {number}"
+            );
+            if number >= 1 {
+                assert_eq!(
+                    cold.transaction_proof(number, 0),
+                    warm.transaction_proof(number, 0),
+                    "tx proof {number}"
+                );
+                assert_eq!(
+                    cold.receipt_proof(number, 0),
+                    warm.receipt_proof(number, 0),
+                    "receipt proof {number}"
+                );
+            }
+        }
+        // Cold proofs still verify against the archived header roots.
+        let header = Header::decode(&cold.header_encoded(5).unwrap()).unwrap();
+        let proof = cold.transaction_proof(5, 0).unwrap();
+        let value =
+            parp_trie::verify_proof(header.transactions_root, &parp_rlp::encode_u64(0), &proof)
+                .unwrap()
+                .unwrap();
+        assert_eq!(value, cold.transactions_encoded(5).unwrap()[0]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn attach_history_archives_existing_blocks() {
+        let (mut chain, key) = funded_chain();
+        for nonce in 0..10 {
+            chain
+                .produce_block(vec![transfer(&key, nonce, 2, 1)], &mut TransferExecutor)
+                .unwrap();
+        }
+        let dir = parp_store::scratch_dir("late-attach").unwrap();
+        let store = parp_store::BlockStore::open(&dir).unwrap();
+        chain.attach_history(store.clone(), 0).unwrap();
+        // All 11 blocks (genesis included) were archived on attach.
+        assert_eq!(store.next_number(), 11);
+        assert_eq!(
+            store.header(4).unwrap().as_deref(),
+            Some(chain.block(4).unwrap().header.encode().as_slice())
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn foreign_history_store_is_rejected() {
+        let (mut chain_a, key) = funded_chain();
+        chain_a
+            .produce_block(vec![transfer(&key, 0, 2, 1)], &mut TransferExecutor)
+            .unwrap();
+        let dir = parp_store::scratch_dir("foreign").unwrap();
+        let store = parp_store::BlockStore::open(&dir).unwrap();
+        chain_a.attach_history(store.clone(), 0).unwrap();
+        // A different chain (different alloc ⇒ different genesis) must
+        // refuse the same store.
+        let mut other = Blockchain::new(vec![(Address::from_low_u64_be(7), U256::from(1u64))]);
+        assert!(other.attach_history(store, 0).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn transaction_location_survives_pruning() {
+        let (mut chain, key) = funded_chain();
+        let tx = transfer(&key, 0, 2, 7);
+        let tx_hash = tx.hash();
+        let dir = parp_store::scratch_dir("txloc").unwrap();
+        chain
+            .attach_history(parp_store::BlockStore::open(&dir).unwrap(), 0)
+            .unwrap();
+        chain
+            .produce_block(vec![tx], &mut TransferExecutor)
+            .unwrap();
+        for nonce in 1..300 {
+            chain
+                .produce_block(vec![transfer(&key, nonce, 2, 1)], &mut TransferExecutor)
+                .unwrap();
+        }
+        assert!(chain.block(1).is_none(), "block 1 pruned");
+        assert_eq!(chain.transaction_location(&tx_hash), Some((1, 0)));
+        let decoded = chain.transactions_at(1).unwrap();
+        assert_eq!(decoded[0].hash(), tx_hash);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

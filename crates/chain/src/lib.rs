@@ -50,7 +50,7 @@ mod transaction;
 
 pub use account::{empty_code_hash, Account};
 pub use block::{receipts_trie, Block};
-pub use chain::{BlockError, Blockchain, BLOCK_HASH_WINDOW, BLOCK_INTERVAL};
+pub use chain::{BlockError, Blockchain, BLOCK_HASH_WINDOW, BLOCK_INTERVAL, MIN_HISTORY_WINDOW};
 pub use exec::{BlockContext, ExecutionResult, TransactionExecutor, TransferExecutor};
 pub use header::Header;
 pub use receipt::{Log, Receipt};

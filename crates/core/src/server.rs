@@ -530,16 +530,17 @@ impl FullNode {
         // The deduplicated header set: one per distinct referenced
         // block (the snapshot plus every inclusion item's block),
         // ordered by the same function the judge zips headers against.
-        let headers: Vec<Vec<u8>> = parp_contracts::referenced_blocks(head, &item_blocks)
-            .iter()
-            .map(|number| {
+        let referenced = parp_contracts::referenced_blocks(head, &item_blocks);
+        let mut headers: Vec<Vec<u8>> = Vec::with_capacity(referenced.len());
+        for number in &referenced {
+            // Warm blocks come off the resident window, pruned blocks
+            // off the history segments — byte-identical either way.
+            headers.push(
                 chain
-                    .block(*number)
-                    .expect("served blocks exist")
-                    .header
-                    .encode()
-            })
-            .collect();
+                    .header_encoded(*number)
+                    .ok_or(ServeError::UnknownBlock(*number))?,
+            );
+        }
         let served = request.calls.len() as u64;
         let channel = self
             .channels
@@ -710,8 +711,7 @@ impl FullNode {
                 .unwrap_or_default()),
             RpcCall::BlockNumber => Ok(parp_rlp::encode_u64(head)),
             RpcCall::GetHeader { number } => chain
-                .block(*number)
-                .map(|b| b.header.encode())
+                .header_encoded(*number)
                 .ok_or(ServeError::UnknownBlock(*number)),
             RpcCall::GetChannelStatus { channel_id } => Ok(vec![executor
                 .cmm()
@@ -747,14 +747,17 @@ impl FullNode {
                 }))
             }
             RpcCall::GetTransactionReceipt { hash } => {
-                Some(chain.transaction_location(hash).map(|(block, index)| {
-                    let receipt = chain.receipts(block).expect("located")[index].encode();
+                Some(chain.transaction_location(hash).and_then(|(block, index)| {
+                    // Located receipts normally exist; a pruned block
+                    // whose archived record cannot be read degrades to
+                    // the unproven not-found answer instead of a panic.
+                    let receipt = chain.receipt_encoded(block, index)?;
                     let proof = engine.receipt_proof(chain, block, index);
                     let result = parp_rlp::encode_list(&[
                         parp_rlp::encode_u64(index as u64),
                         parp_rlp::encode_bytes(&receipt),
                     ]);
-                    (block, result, proof)
+                    Some((block, result, proof))
                 }))
             }
             _ => None,

@@ -36,12 +36,14 @@
 
 mod contention;
 pub mod dataset;
+mod deep_history;
 mod latency;
 mod scalability;
 mod sim;
 mod workload;
 
 pub use contention::{run_contention, ClientOutcome, ContentionConfig, ContentionReport};
+pub use deep_history::{run_deep_history, DeepHistoryConfig, DeepHistoryReport};
 pub use latency::LatencyModel;
 pub use scalability::{
     run_scalability_point, run_scalability_sweep, BaseRpcServer, ScalabilityConfig,

@@ -206,6 +206,9 @@ pub enum SimError {
     Reverted(String),
     /// Unknown node id.
     UnknownNode(usize),
+    /// The on-disk storage tier failed (opening or writing segment
+    /// files for deep history).
+    Storage(std::io::Error),
     /// A node with this registry address already exists in the
     /// simulation (same seed spawned twice).
     DuplicateNode(Address),
@@ -219,6 +222,7 @@ impl fmt::Display for SimError {
             SimError::Client(e) => write!(f, "client error: {e}"),
             SimError::Reverted(e) => write!(f, "module call reverted: {e}"),
             SimError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            SimError::Storage(e) => write!(f, "storage error: {e}"),
             SimError::DuplicateNode(address) => {
                 write!(
                     f,
@@ -682,14 +686,16 @@ impl Network {
     /// faucet transfer per call, so funding N addresses leaves N
     /// targets spread over N distinct blocks).
     pub fn transaction_locations(&self) -> Vec<(parp_primitives::H256, u64)> {
+        // `transactions_at` decodes pruned blocks out of the history
+        // segments, so the supply of lookup targets survives deep
+        // history (blocks the node never archived contribute nothing).
         (1..=self.chain.height())
             .flat_map(|number| {
                 self.chain
-                    .block(number)
-                    .expect("height bounded")
-                    .transactions
+                    .transactions_at(number)
+                    .unwrap_or_default()
                     .iter()
-                    .map(move |tx| (tx.hash(), number))
+                    .map(|tx| (tx.hash(), number))
                     .collect::<Vec<_>>()
             })
             .collect()
@@ -699,8 +705,44 @@ impl Network {
     pub fn sync_client(&self, client: &mut LightClient) {
         let from = client.tip().map(|h| h.number + 1).unwrap_or(0);
         for n in from..=self.chain.height() {
-            client.sync_header(self.chain.block(n).expect("height bounded").header.clone());
+            // `header_at` falls through to the history segments for
+            // headers behind the resident window.
+            if let Some(header) = self.chain.header_at(n) {
+                client.sync_header(header);
+            }
         }
+    }
+
+    /// Turns on the storage tier for deep historical serving: attaches
+    /// an append-only [`parp_store::BlockStore`] to the chain (archiving
+    /// every block and pruning the resident window down to `window`,
+    /// floored at [`parp_chain::MIN_HISTORY_WINDOW`]) and routes the
+    /// runtime's inclusion proofs through a cold-storage tier whose
+    /// resident trie pages are bounded by `storage_budget_bytes`.
+    ///
+    /// Call before [`Network::attach_telemetry`] so the tier's counters
+    /// are adopted, and before mining the history the scenario will
+    /// look back into.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Storage`] when the segment files cannot be
+    /// created.
+    pub fn enable_deep_history(
+        &mut self,
+        window: u64,
+        storage_budget_bytes: usize,
+    ) -> Result<(), SimError> {
+        let history_dir = parp_store::scratch_dir("net-history").map_err(SimError::Storage)?;
+        let store = parp_store::BlockStore::open(&history_dir).map_err(SimError::Storage)?;
+        self.chain
+            .attach_history(store, window)
+            .map_err(SimError::Storage)?;
+        let spill_dir = parp_store::scratch_dir("net-spill").map_err(SimError::Storage)?;
+        let spill = parp_store::SpillStore::open(&spill_dir).map_err(SimError::Storage)?;
+        self.runtime
+            .enable_cold_storage(spill, storage_budget_bytes);
+        Ok(())
     }
 
     /// Runs the full bootstrap + connection setup of §IV-E: header sync,

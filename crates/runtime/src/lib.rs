@@ -24,6 +24,11 @@
 //!   channels, so one flooding client is bounded to its paid-for rate
 //!   and cannot starve honest clients (the incentive-compatibility
 //!   condition Relay Mining identifies for multi-tenant RPC serving).
+//! * [`TieredSnapshotStore`] + [`ColdProofEngine`] — a byte-budgeted
+//!   warm tier over per-block inclusion tries, spilling cold pages to
+//!   `parp-store` segment files and rehydrating them on demand, so a
+//!   node can serve arbitrarily deep history under a fixed
+//!   `storage_budget_bytes` memory envelope.
 //!
 //! [`Runtime`] bundles the three behind `parp-core`'s
 //! [`ProofEngine`](parp_core::ProofEngine) hook:
@@ -52,6 +57,7 @@ mod admission;
 mod cache;
 mod runtime;
 mod shard;
+mod tiered;
 
 pub use admission::{AdmissionController, AdmissionError, AdmissionStats, FairQueue, TokenBucket};
 pub use cache::SnapshotCache;
@@ -60,3 +66,4 @@ pub use shard::{
     shard_of, sharded_account_multiproof, sharded_account_multiproof_into, INLINE_THRESHOLD,
     MAX_SHARDS,
 };
+pub use tiered::{ColdProofEngine, TieredSnapshotStore};

@@ -4,6 +4,7 @@
 use crate::admission::{AdmissionController, AdmissionError, AdmissionStats};
 use crate::cache::SnapshotCache;
 use crate::shard::{sharded_account_multiproof, sharded_account_multiproof_into};
+use crate::tiered::ColdProofEngine;
 use parp_chain::{Blockchain, State};
 use parp_contracts::{
     ParpBatchRequest, ParpBatchResponse, ParpExecutor, ParpRequest, ParpResponse,
@@ -31,6 +32,14 @@ pub struct RuntimeConfig {
     pub burst_capacity: u64,
     /// Per-client steady-state admission rate (calls per second).
     pub rate_per_sec: u64,
+    /// Warm-tier byte budget for historical inclusion tries. Zero (the
+    /// default) keeps the fixed-slot inclusion cache; a non-zero budget
+    /// routes inclusion proofs through a [`ColdProofEngine`] whose
+    /// resident pages are bounded by *measured* bytes
+    /// ([`parp_trie::FrozenTrie::mem_bytes`]), spilling overflow to an
+    /// on-disk [`parp_store::SpillStore`] in a scratch directory (use
+    /// [`Runtime::enable_cold_storage`] to pick the directory instead).
+    pub storage_budget_bytes: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -41,6 +50,7 @@ impl Default for RuntimeConfig {
             shards: 4,
             burst_capacity: 256,
             rate_per_sec: 512,
+            storage_budget_bytes: 0,
         }
     }
 }
@@ -111,6 +121,9 @@ pub struct Runtime {
     /// deterministic simulator injects a [`TimeSource::fixed`] handle
     /// so metric readings reproduce across hosts (lint W002).
     clock: TimeSource,
+    /// Byte-budgeted cold-storage inclusion path; `None` keeps the
+    /// fixed-slot `inclusion_cache` (see `RuntimeConfig::storage_budget_bytes`).
+    cold: Option<ColdProofEngine>,
 }
 
 /// The runtime's registered histograms (fixed-memory, lock-free).
@@ -159,38 +172,72 @@ impl ProofEngine for Runtime {
     }
 
     fn transaction_proof(&mut self, chain: &Blockchain, block: u64, index: usize) -> Vec<Vec<u8>> {
-        let located = chain.block(block).expect("located block exists");
-        let root = located.header.transactions_root;
-        let trie = self.inclusion_cache.get_or_insert_with(root, || {
-            let encoded: Vec<Vec<u8>> = located
-                .transactions
-                .iter()
-                .map(parp_chain::SignedTransaction::encode)
-                .collect();
-            Arc::new(FrozenTrie::new(parp_trie::ordered_trie(
-                encoded.iter().map(Vec::as_slice),
-            )))
-        });
+        if let Some(cold) = &mut self.cold {
+            return cold.transaction_proof(chain, block, index);
+        }
+        let Some(header) = chain.header_at(block) else {
+            return Vec::new();
+        };
+        let root = header.transactions_root;
+        if let Some(trie) = self.inclusion_cache.get(&root) {
+            return trie.prove(&parp_rlp::encode_u64(index as u64));
+        }
+        let Some(encoded) = chain.transactions_encoded(block) else {
+            return Vec::new();
+        };
+        self.inclusion_cache.miss_counter().inc();
+        let trie = Arc::new(FrozenTrie::new(parp_trie::ordered_trie(
+            encoded.iter().map(Vec::as_slice),
+        )));
+        self.inclusion_cache.insert(root, trie.clone());
         trie.prove(&parp_rlp::encode_u64(index as u64))
     }
 
     fn receipt_proof(&mut self, chain: &Blockchain, block: u64, index: usize) -> Vec<Vec<u8>> {
-        let root = chain
-            .block(block)
-            .expect("located block exists")
-            .header
-            .receipts_root;
-        let trie = self.inclusion_cache.get_or_insert_with(root, || {
-            let receipts = chain.receipts(block).expect("located block has receipts");
-            Arc::new(FrozenTrie::new(parp_chain::receipts_trie(receipts)))
-        });
+        if let Some(cold) = &mut self.cold {
+            return cold.receipt_proof(chain, block, index);
+        }
+        let Some(header) = chain.header_at(block) else {
+            return Vec::new();
+        };
+        let root = header.receipts_root;
+        if let Some(trie) = self.inclusion_cache.get(&root) {
+            return trie.prove(&parp_rlp::encode_u64(index as u64));
+        }
+        // The ordered trie over the encoded receipts is exactly
+        // `parp_chain::receipts_trie`, so the proof bytes match the
+        // in-memory path whether the body came from RAM or a segment.
+        let Some(encoded) = chain.receipts_encoded(block) else {
+            return Vec::new();
+        };
+        self.inclusion_cache.miss_counter().inc();
+        let trie = Arc::new(FrozenTrie::new(parp_trie::ordered_trie(
+            encoded.iter().map(Vec::as_slice),
+        )));
+        self.inclusion_cache.insert(root, trie.clone());
         trie.prove(&parp_rlp::encode_u64(index as u64))
     }
 }
 
 impl Runtime {
     /// A runtime with the given tuning.
+    ///
+    /// A non-zero `storage_budget_bytes` opens a spill store in a fresh
+    /// scratch directory; an environment without a writable temp dir
+    /// falls back to the in-memory inclusion cache (serving still
+    /// works, just unbudgeted). Call [`Runtime::enable_cold_storage`]
+    /// to place the spill file somewhere durable instead.
     pub fn new(config: RuntimeConfig) -> Self {
+        let cold = (config.storage_budget_bytes > 0)
+            .then(|| {
+                let dir = parp_store::scratch_dir("runtime-spill").ok()?;
+                let spill = parp_store::SpillStore::open(&dir).ok()?;
+                Some(ColdProofEngine::new(
+                    config.storage_budget_bytes as usize,
+                    spill,
+                ))
+            })
+            .flatten();
         Runtime {
             cache: SnapshotCache::new(config.snapshot_cache_capacity),
             inclusion_cache: SnapshotCache::new(config.inclusion_cache_capacity),
@@ -198,7 +245,22 @@ impl Runtime {
             admission: AdmissionController::new(config.burst_capacity, config.rate_per_sec),
             metrics: None,
             clock: TimeSource::default(),
+            cold,
         }
+    }
+
+    /// Routes historical inclusion proofs through a byte-budgeted
+    /// [`ColdProofEngine`] spilling to `spill`. Call before
+    /// [`Runtime::attach_telemetry`] so the tier's counters are
+    /// adopted.
+    pub fn enable_cold_storage(&mut self, spill: parp_store::SpillStore, budget_bytes: usize) {
+        self.cold = Some(ColdProofEngine::new(budget_bytes, spill));
+    }
+
+    /// The cold-storage inclusion engine, when one is enabled (tier
+    /// counters, resident/disk footprint).
+    pub fn cold_storage(&self) -> Option<&ColdProofEngine> {
+        self.cold.as_ref()
     }
 
     /// Replaces the clock serve-path durations are measured with. The
@@ -254,6 +316,34 @@ impl Runtime {
             &[],
             &self.admission.throttled_counter(),
         );
+        if let Some(cold) = &self.cold {
+            let tier = cold.tier();
+            r.adopt_counter(
+                "parp_runtime_warm_tier_hits_total",
+                &[],
+                &tier.hit_counter(),
+            );
+            r.adopt_counter(
+                "parp_runtime_warm_tier_misses_total",
+                &[],
+                &tier.miss_counter(),
+            );
+            r.adopt_counter(
+                "parp_runtime_warm_tier_spills_total",
+                &[],
+                &tier.spill_counter(),
+            );
+            r.adopt_counter(
+                "parp_runtime_warm_tier_rehydrates_total",
+                &[],
+                &tier.rehydrate_counter(),
+            );
+            r.adopt_gauge(
+                "parp_runtime_warm_tier_resident_bytes",
+                &[],
+                &tier.resident_gauge(),
+            );
+        }
         self.metrics = Some(RuntimeMetrics {
             multiproof_us: r.histogram("parp_runtime_multiproof_us", &[]),
             serve_single_us: r.histogram("parp_runtime_serve_single_us", &[]),
@@ -474,6 +564,68 @@ mod tests {
         assert!(runtime.cache().contains(&genesis_root));
         let again = runtime.cache.get(&genesis_root).unwrap();
         assert!(Arc::ptr_eq(&genesis_trie, &again));
+    }
+
+    #[test]
+    fn cold_runtime_serves_pruned_blocks_byte_identically() {
+        let key = parp_crypto::SecretKey::from_seed(b"cold-runtime");
+        let make_tx = |nonce| {
+            parp_chain::Transaction {
+                nonce,
+                gas_price: U256::ZERO,
+                gas_limit: 21_000,
+                to: Some(Address::from_low_u64_be(7)),
+                value: U256::ONE,
+                data: Vec::new(),
+            }
+            .sign(&key)
+        };
+        // Twin chains over the same blocks: `cold` prunes behind a
+        // history store, `resident` keeps everything in memory.
+        let alloc = vec![(key.address(), U256::from(1u64) << 64)];
+        let mut cold_chain = Blockchain::new(alloc.clone());
+        let mut resident = Blockchain::new(alloc);
+        let dir = parp_store::scratch_dir("cold-runtime").unwrap();
+        let store = parp_store::BlockStore::open(&dir).unwrap();
+        cold_chain.attach_history(store, 0).unwrap();
+        let blocks = parp_chain::MIN_HISTORY_WINDOW + 20;
+        for nonce in 0..blocks {
+            let executor = &mut parp_chain::TransferExecutor;
+            cold_chain
+                .produce_block(vec![make_tx(nonce)], executor)
+                .unwrap();
+            resident
+                .produce_block(vec![make_tx(nonce)], executor)
+                .unwrap();
+        }
+        assert!(cold_chain.resident_base() > 1, "old blocks were pruned");
+        // A storage-budgeted runtime against the pruned chain must
+        // produce the same proof bytes as a plain runtime against the
+        // fully resident one.
+        let mut cold_rt = Runtime::new(RuntimeConfig {
+            storage_budget_bytes: 1, // force spills after every page
+            ..RuntimeConfig::default()
+        });
+        assert!(cold_rt.cold_storage().is_some());
+        let mut warm_rt = Runtime::default();
+        for block in [1u64, 2, 3, 1, 2, 3] {
+            let cold_proof = cold_rt.transaction_proof(&cold_chain, block, 0);
+            assert_eq!(cold_proof, warm_rt.transaction_proof(&resident, block, 0));
+            assert!(!cold_proof.is_empty());
+            let cold_receipt = cold_rt.receipt_proof(&cold_chain, block, 0);
+            assert_eq!(cold_receipt, warm_rt.receipt_proof(&resident, block, 0));
+        }
+        let tier = cold_rt.cold_storage().unwrap().tier();
+        assert!(tier.spill_count() > 0, "tiny budget forced spills");
+        assert!(tier.rehydrate_count() > 0, "revisits rehydrated from disk");
+        // Unknown locations degrade to empty proofs, not panics.
+        assert!(cold_rt
+            .transaction_proof(&cold_chain, blocks + 99, 0)
+            .is_empty());
+        assert!(warm_rt
+            .transaction_proof(&resident, blocks + 99, 0)
+            .is_empty());
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven, dependency-free.
+//!
+//! Segment records carry a CRC per payload so torn or bit-flipped
+//! tails are detected on open and truncated away instead of being
+//! served. CRC-32 is the right strength here: the threat model is
+//! crash corruption, not an adversary forging records on the
+//! provider's own disk.
+
+/// Reflected IEEE polynomial, as used by zlib/ethernet.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `data` (IEEE, reflected, init/xorout `0xFFFF_FFFF`) —
+/// bit-compatible with zlib's `crc32`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        let index = ((crc ^ byte as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[index];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let data = vec![0xA5u8; 1024];
+        let base = crc32(&data);
+        for i in [0usize, 511, 1023] {
+            let mut corrupted = data.clone();
+            corrupted[i] ^= 0x01;
+            assert_ne!(crc32(&corrupted), base, "flip at {i} undetected");
+        }
+    }
+}

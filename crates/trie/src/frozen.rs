@@ -44,6 +44,27 @@ use std::collections::HashMap;
 /// Sentinel arena id marking an absent branch child.
 const NO_NODE: u32 = u32::MAX;
 
+/// Magic prefix of a serialized arena page ([`FrozenTrie::to_bytes`]).
+const PAGE_MAGIC: &[u8] = b"PFT1";
+
+/// Cursor over a serialized page; every read is bounds-checked.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.bytes.get(self.pos..self.pos.checked_add(n)?)?;
+        self.pos += n;
+        Some(slice)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+}
+
 /// What a flattened node is; the walk only needs the shape, never the
 /// boxed tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +119,10 @@ struct ArenaNode {
 pub struct FrozenTrie {
     trie: Trie,
     root: H256,
+    /// Key/value pair count, stored explicitly so a trie rehydrated
+    /// from [`FrozenTrie::to_bytes`] (whose boxed source tree is not
+    /// serialized) still reports its size.
+    len: usize,
     nodes: Vec<ArenaNode>,
     /// Child-id pool: 16 slots per branch, 1 per extension.
     children: Vec<u32>,
@@ -123,9 +148,11 @@ impl FrozenTrie {
                 (root, arena.nodes, arena.children, arena.paths, arena.buf)
             }
         };
+        let len = trie.len();
         FrozenTrie {
             trie,
             root,
+            len,
             nodes,
             children,
             paths,
@@ -134,18 +161,23 @@ impl FrozenTrie {
     }
 
     /// The underlying trie.
+    ///
+    /// For a trie frozen in memory this is the source [`Trie`]; for
+    /// one rehydrated from [`FrozenTrie::from_bytes`] the boxed tree
+    /// was never serialized, so this returns an empty trie — proofs
+    /// come from the arena either way.
     pub fn trie(&self) -> &Trie {
         &self.trie
     }
 
     /// Number of key/value pairs stored.
     pub fn len(&self) -> usize {
-        self.trie.len()
+        self.len
     }
 
     /// Whether no keys are stored.
     pub fn is_empty(&self) -> bool {
-        self.trie.is_empty()
+        self.len == 0
     }
 
     /// The Merkle root, precomputed at freeze time.
@@ -158,6 +190,163 @@ impl FrozenTrie {
     /// dedups any set of id paths.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Measured resident size of the arena in bytes: the node table,
+    /// the child and nibble-path pools, and the shared encoding
+    /// buffer. The boxed source trie (absent on rehydrated instances)
+    /// is deliberately *not* counted — this is the serving-resident
+    /// footprint a byte-budgeted cache should account, and it is what
+    /// [`FrozenTrie::to_bytes`] round-trips.
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.nodes.len() * std::mem::size_of::<ArenaNode>()
+            + self.children.len() * std::mem::size_of::<u32>()
+            + self.paths.len()
+            + self.buf.len()
+    }
+
+    /// Serializes the arena (root, key count, node table and pools)
+    /// into a flat byte page suitable for spilling to disk. The boxed
+    /// source trie is not serialized: the arena alone serves proofs.
+    ///
+    /// [`FrozenTrie::from_bytes`] inverts this, and the rehydrated
+    /// trie's proofs are byte-identical to the original's.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.mem_bytes());
+        out.extend_from_slice(PAGE_MAGIC);
+        out.extend_from_slice(self.root.as_bytes());
+        out.extend_from_slice(&(self.len as u64).to_le_bytes());
+        out.extend_from_slice(&(self.nodes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.children.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.paths.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.buf.len() as u32).to_le_bytes());
+        for node in &self.nodes {
+            out.push(match node.kind {
+                Kind::Leaf => 0,
+                Kind::Extension => 1,
+                Kind::Branch => 2,
+            });
+            for word in [
+                node.enc_off,
+                node.enc_len,
+                node.child_off,
+                node.path_off,
+                node.path_len,
+                node.dedup,
+            ] {
+                out.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+        for &child in &self.children {
+            out.extend_from_slice(&child.to_le_bytes());
+        }
+        out.extend_from_slice(&self.paths);
+        out.extend_from_slice(&self.buf);
+        out
+    }
+
+    /// Rehydrates a trie from a [`FrozenTrie::to_bytes`] page.
+    ///
+    /// Returns `None` when the page is malformed: every node's
+    /// encoding range, child slots, extension path and witness id are
+    /// bounds-checked here so that proof walks over a page read from
+    /// disk can never panic or loop, even on corrupt input. The
+    /// rehydrated instance carries an empty boxed trie (see
+    /// [`FrozenTrie::trie`]); its proofs are byte-identical to the
+    /// original's.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut reader = Reader { bytes, pos: 0 };
+        if reader.take(PAGE_MAGIC.len())? != PAGE_MAGIC {
+            return None;
+        }
+        let root = H256::from_slice(reader.take(32)?)?;
+        let len = u64::from_le_bytes(reader.take(8)?.try_into().ok()?) as usize;
+        let node_count = reader.u32()? as usize;
+        let children_len = reader.u32()? as usize;
+        let paths_len = reader.u32()? as usize;
+        let buf_len = reader.u32()? as usize;
+
+        // Reject length prefixes that overrun the page before any
+        // allocation happens — a corrupt count must not turn into a
+        // multi-gigabyte reservation.
+        let required = (node_count as u64) * 25
+            + (children_len as u64) * 4
+            + paths_len as u64
+            + buf_len as u64;
+        if required != (bytes.len() - reader.pos) as u64 {
+            return None;
+        }
+
+        let mut nodes = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let kind = match reader.take(1)?[0] {
+                0 => Kind::Leaf,
+                1 => Kind::Extension,
+                2 => Kind::Branch,
+                _ => return None,
+            };
+            let mut words = [0u32; 6];
+            for word in &mut words {
+                *word = reader.u32()?;
+            }
+            let node = ArenaNode {
+                kind,
+                enc_off: words[0],
+                enc_len: words[1],
+                child_off: words[2],
+                path_off: words[3],
+                path_len: words[4],
+                dedup: words[5],
+            };
+            // Bounds that make every later arena access infallible.
+            let enc_end = node.enc_off as u64 + node.enc_len as u64;
+            if enc_end > buf_len as u64 || node.dedup as usize >= node_count {
+                return None;
+            }
+            match node.kind {
+                Kind::Leaf => {}
+                Kind::Extension => {
+                    let path_end = node.path_off as u64 + node.path_len as u64;
+                    // A zero-length extension path would let a crafted
+                    // page trap a proof walk in a cycle.
+                    if node.path_len == 0
+                        || path_end > paths_len as u64
+                        || node.child_off as usize >= children_len
+                    {
+                        return None;
+                    }
+                }
+                Kind::Branch => {
+                    if node.child_off as u64 + 16 > children_len as u64 {
+                        return None;
+                    }
+                }
+            }
+            nodes.push(node);
+        }
+        let mut children = Vec::with_capacity(children_len);
+        for _ in 0..children_len {
+            let child = reader.u32()?;
+            if child != NO_NODE && child as usize >= node_count {
+                return None;
+            }
+            children.push(child);
+        }
+        let paths = reader.take(paths_len)?.to_vec();
+        let buf = reader.take(buf_len)?.to_vec();
+        if reader.pos != bytes.len() {
+            return None;
+        }
+        Some(FrozenTrie {
+            trie: Trie::new(),
+            root,
+            len,
+            nodes,
+            children,
+            paths,
+            buf,
+        })
     }
 
     /// The canonical encoding of arena node `id`, as a slice into the
@@ -587,6 +776,75 @@ mod tests {
         assert_eq!(frozen.prove(b"dog"), frozen.trie().prove(b"dog"));
         let value = verify_proof(frozen.root_hash(), b"dog", &frozen.prove(b"dog")).unwrap();
         assert_eq!(value, Some(b"puppy".to_vec()));
+    }
+
+    #[test]
+    fn serialized_page_round_trips_byte_identically() {
+        let trie = sample_trie(400);
+        let frozen = FrozenTrie::new(trie);
+        let page = frozen.to_bytes();
+        let rehydrated = FrozenTrie::from_bytes(&page).expect("own page parses");
+        assert_eq!(rehydrated.root_hash(), frozen.root_hash());
+        assert_eq!(rehydrated.len(), frozen.len());
+        assert_eq!(rehydrated.node_count(), frozen.node_count());
+        // Proofs from the rehydrated arena are byte-identical to the
+        // in-memory path — single, multi, and zero-copy.
+        let keys: Vec<Vec<u8>> = (0..96u32)
+            .map(|i| keccak256(&(i * 3).to_be_bytes()).as_bytes().to_vec())
+            .collect();
+        for key in &keys {
+            assert_eq!(rehydrated.prove(key), frozen.prove(key));
+        }
+        assert_eq!(rehydrated.prove_many(&keys), frozen.prove_many(&keys));
+        let (mut a, mut b) = (ProofBuf::new(), ProofBuf::new());
+        frozen.multiproof_into(&keys, &mut a);
+        rehydrated.multiproof_into(&keys, &mut b);
+        assert_eq!(a.to_vecs(), b.to_vecs());
+        // Serialization is stable: a second round trip is identical.
+        assert_eq!(rehydrated.to_bytes(), page);
+    }
+
+    #[test]
+    fn empty_trie_page_round_trips() {
+        let frozen = FrozenTrie::new(Trie::new());
+        let page = frozen.to_bytes();
+        let rehydrated = FrozenTrie::from_bytes(&page).expect("empty page parses");
+        assert!(rehydrated.is_empty());
+        assert_eq!(rehydrated.root_hash(), empty_root());
+        assert!(rehydrated.prove(b"anything").is_empty());
+    }
+
+    #[test]
+    fn mem_bytes_tracks_arena_size() {
+        let small = FrozenTrie::new(sample_trie(10));
+        let large = FrozenTrie::new(sample_trie(1_000));
+        assert!(small.mem_bytes() >= std::mem::size_of::<FrozenTrie>());
+        assert!(large.mem_bytes() > small.mem_bytes());
+        // A rehydrated page reports the same measured size.
+        let rehydrated = FrozenTrie::from_bytes(&large.to_bytes()).unwrap();
+        assert_eq!(rehydrated.mem_bytes(), large.mem_bytes());
+    }
+
+    #[test]
+    fn malformed_pages_are_rejected_not_panics() {
+        let page = FrozenTrie::new(sample_trie(50)).to_bytes();
+        // Truncations at every prefix length parse as None or, at full
+        // length, Some — never a panic.
+        for cut in 0..page.len() {
+            assert!(FrozenTrie::from_bytes(&page[..cut]).is_none(), "cut {cut}");
+        }
+        // Single-byte corruptions either fail to parse or yield an
+        // arena whose walks stay in bounds.
+        for pos in (0..page.len()).step_by(7) {
+            let mut bad = page.clone();
+            bad[pos] ^= 0xFF;
+            if let Some(trie) = FrozenTrie::from_bytes(&bad) {
+                let key = keccak256(&7u32.to_be_bytes());
+                let _ = trie.prove(key.as_bytes());
+            }
+        }
+        assert!(FrozenTrie::from_bytes(b"").is_none());
+        assert!(FrozenTrie::from_bytes(b"nope").is_none());
     }
 
     #[test]

@@ -220,6 +220,36 @@ proptest! {
         assert_arena_matches_baseline(&pairs, &probes)?;
     }
 
+    /// The storage tier's spill format: `to_bytes`/`from_bytes` must
+    /// round-trip any trie with byte-identical proofs (what the warm
+    /// tier's rehydration path relies on), re-serialize canonically,
+    /// and reject every truncated page rather than misparse it.
+    #[test]
+    fn page_serialization_round_trips(
+        pairs in arb_pairs(),
+        probes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..12), 0..6),
+        cut_frac in 0usize..1000,
+    ) {
+        let trie: Trie = pairs.clone().into_iter().collect();
+        let frozen = FrozenTrie::new(trie);
+        let page = frozen.to_bytes();
+        let back = FrozenTrie::from_bytes(&page).expect("own page parses");
+        prop_assert_eq!(back.root_hash(), frozen.root_hash());
+        let mut keys: Vec<Vec<u8>> = pairs.iter().map(|(k, _)| k.clone()).collect();
+        keys.extend(probes);
+        for key in &keys {
+            prop_assert_eq!(back.prove(key), frozen.prove(key));
+        }
+        prop_assert_eq!(back.prove_many(&keys), frozen.prove_many(&keys));
+        // Rehydration is canonical: the page of the page is the page.
+        prop_assert_eq!(back.to_bytes(), page.clone());
+        // A torn spill write (any strict prefix) is rejected outright.
+        let cut = page.len() * cut_frac / 1000;
+        if cut < page.len() {
+            prop_assert!(FrozenTrie::from_bytes(&page[..cut]).is_none());
+        }
+    }
+
     #[test]
     fn multiproof_rejects_forgery(pairs in arb_pairs(), flip in any::<u16>()) {
         // Soundness: corrupting any byte of any node changes that node's
