@@ -27,6 +27,7 @@ fn main() {
     fig6();
     fig7(full);
     marketplace_section();
+    chaos_section();
     contention_section();
     crypto_section();
     trie_section();
@@ -176,6 +177,20 @@ fn marketplace_section() {
         report.quorum_disagreements,
         report.payments_monotone,
     );
+    let by_cause: Vec<String> = report
+        .failovers_by_cause
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(cause, n)| format!("{cause} {n}"))
+        .collect();
+    println!(
+        "failovers by cause: {}",
+        if by_cause.is_empty() {
+            "none".to_string()
+        } else {
+            by_cause.join(", ")
+        }
+    );
     println!("per-provider aggregates:");
     println!(
         "  {:<44} {:>6} {:>9} {:>9} {:>9}",
@@ -216,6 +231,66 @@ fn marketplace_section() {
         "captured request-lifecycle trace: {} events (Chrome trace-event \
          JSON via Tracer::export_chrome_json — see TRACE_sample.json)",
         report.telemetry.tracer.len()
+    );
+}
+
+/// Beyond the paper: the chaos scenario — the same marketplace under a
+/// seeded fault schedule (crash + partition + drop/corrupt/delay), with
+/// the gateway's resilience machinery (deadlines, retries, hedging,
+/// circuit breakers) carrying the workload.
+fn chaos_section() {
+    println!("\n== chaos / fault injection (beyond the paper) ==");
+    let config = parp_gateway::ChaosConfig::default();
+    let report = parp_gateway::run_chaos(&config);
+    println!(
+        "{} calls issued under seed {:#x}: {} served, {} degraded, \
+         {} errored, {} unclassified, {} wrong payloads",
+        report.issued,
+        config.seed,
+        report.served,
+        report.degraded,
+        report.errored,
+        report.unclassified,
+        report.wrong_payloads,
+    );
+    println!(
+        "faults injected: {} drops, {} corruptions, {} delays, \
+         {} crash refusals, {} partition swallows, {} deadline burns",
+        report.fault_drops,
+        report.fault_corruptions,
+        report.fault_delays,
+        report.fault_crashes,
+        report.fault_partitions,
+        report.fault_timeouts,
+    );
+    let by_cause: Vec<String> = report
+        .failovers_by_cause
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(cause, n)| format!("{cause} {n}"))
+        .collect();
+    println!(
+        "resilience: {} retries, {} hedged legs, breaker {}x open / {}x \
+         half-open; failovers by cause: {}",
+        report.retries,
+        report.hedges_fired,
+        report.breaker_opens,
+        report.breaker_half_opens,
+        if by_cause.is_empty() {
+            "none".to_string()
+        } else {
+            by_cause.join(", ")
+        }
+    );
+    let mut recoveries = report.recoveries_us.clone();
+    recoveries.sort_unstable();
+    let p50 = recoveries.get(recoveries.len() / 2).copied().unwrap_or(0);
+    let p99 = recoveries.last().copied().unwrap_or(0);
+    println!(
+        "time-to-recover: p50 {p50} µs, max {p99} µs over {} failovers; \
+         payments monotone: {}",
+        recoveries.len(),
+        report.payments_monotone,
     );
 }
 

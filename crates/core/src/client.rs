@@ -757,6 +757,25 @@ impl LightClient {
     /// single-channel behaviour). The fallback never crosses sessions —
     /// a garbage response from one provider must not consume, and
     /// condemn, another provider's in-flight request.
+    /// Drops a pending single-call entry for `provider` without
+    /// processing any response — the simulator's hook for a request or
+    /// response lost in transit (drop, crash, timeout). The channel's
+    /// `spent` is untouched: it only advances when a response is
+    /// processed, so a retried call re-presents the same cumulative
+    /// amount and the provider is never paid for the lost exchange.
+    pub fn forget_pending(&mut self, provider: Address, hash: &H256) {
+        if let Some(session) = self.sessions.get_mut(&provider) {
+            session.pending.remove(hash);
+        }
+    }
+
+    /// Batch analogue of [`Self::forget_pending`].
+    pub fn forget_pending_batch(&mut self, provider: Address, hash: &H256) {
+        if let Some(session) = self.sessions.get_mut(&provider) {
+            session.pending_batches.remove(hash);
+        }
+    }
+
     fn take_pending(
         &mut self,
         hash: &H256,

@@ -1,0 +1,493 @@
+//! The chaos scenario: a marketplace run under a seeded fault schedule
+//! — a provider crash, a partition of a provider subset, a steady
+//! message-drop rate, delay spikes, and corruption bursts — that the
+//! gateway's resilience machinery (deadlines, retries, circuit
+//! breakers, hedged legs, degraded reads) must survive.
+//!
+//! The invariants under test are the robustness analogue of the
+//! marketplace's accountability story: **zero** accepted wrong
+//! payloads whatever the transport does, **every** issued call ends
+//! served, explicitly degraded, or deadline-errored (no hangs), and
+//! the whole run — fault schedule, telemetry, payments, clock — is
+//! byte-identical when replayed from the same seed.
+
+use crate::gateway::{Gateway, GatewayConfig};
+use crate::policy::SelectionPolicy;
+use crate::resilience::ResilienceConfig;
+use parp_contracts::RpcCall;
+use parp_net::{
+    CorruptionBurst, CrashWindow, FaultConfig, Network, PartitionWindow, ProviderFaultRates,
+};
+use parp_primitives::{Address, U256};
+use parp_telemetry::{MetricsSnapshot, Telemetry};
+
+/// Tuning for [`run_chaos`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Seed of the fault schedule (and, XOR-folded, of the gateway's
+    /// backoff jitter) — the whole run replays from it.
+    pub seed: u64,
+    /// Providers on the price ladder (`10·(i+1)` wei per call).
+    pub providers: usize,
+    /// Single-read workload length.
+    pub calls: usize,
+    /// Every `quorum_every`-th read goes out as a quorum read (0
+    /// disables them).
+    pub quorum_every: usize,
+    /// Quorum fan-out width.
+    pub quorum: usize,
+    /// Steady message-drop probability (ppm).
+    pub drop_ppm: u32,
+    /// Steady payload-corruption probability (ppm).
+    pub corrupt_ppm: u32,
+    /// Steady added-delay probability (ppm).
+    pub delay_ppm: u32,
+    /// Ordinary added delay (µs) — survivable under the deadline.
+    pub delay_base_us: u64,
+    /// Spiked added delay (µs) — past the deadline, so spikes become
+    /// timeouts.
+    pub delay_spike_us: u64,
+    /// Whether two corruption bursts are layered mid-run.
+    pub corruption_bursts: bool,
+    /// Whether provider 1 crashes (down for a step window, then back).
+    pub crash: bool,
+    /// Whether providers 2 and 3 are partitioned away for a window.
+    pub partition: bool,
+    /// Per-exchange deadline against the simulated clock (µs).
+    pub call_deadline_us: u64,
+    /// Whether unreachable quorums degrade to best-effort reads
+    /// instead of erroring.
+    pub allow_degraded: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC4A05,
+            providers: 5,
+            calls: 48,
+            quorum_every: 6,
+            quorum: 3,
+            drop_ppm: 100_000, // 10% — the tentpole's headline rate
+            corrupt_ppm: 20_000,
+            delay_ppm: 150_000,
+            delay_base_us: 2_000,
+            delay_spike_us: 40_000,
+            corruption_bursts: true,
+            crash: true,
+            partition: true,
+            call_deadline_us: 25_000,
+            allow_degraded: true,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// The [`FaultConfig`] this scenario installs: steady rates plus
+    /// the configured crash / partition / burst windows, all indexed by
+    /// the plane's step counter so the schedule replays exactly.
+    pub fn fault_config(&self) -> FaultConfig {
+        let mut fault = FaultConfig {
+            seed: self.seed,
+            drop_ppm: self.drop_ppm,
+            corrupt_ppm: self.corrupt_ppm,
+            delay_ppm: self.delay_ppm,
+            delay_base_us: self.delay_base_us,
+            delay_spike_us: self.delay_spike_us,
+            ..FaultConfig::default()
+        };
+        if self.crash {
+            fault.crashes.push(CrashWindow {
+                provider_index: 1,
+                from_step: 30,
+                until_step: 90,
+            });
+        }
+        if self.partition {
+            fault.partitions.push(PartitionWindow {
+                provider_indices: vec![2, 3],
+                from_step: 60,
+                until_step: 110,
+            });
+        }
+        if self.corruption_bursts {
+            fault.bursts.push(CorruptionBurst {
+                from_step: 40,
+                until_step: 70,
+                corrupt_ppm: 400_000,
+            });
+            fault.bursts.push(CorruptionBurst {
+                from_step: 120,
+                until_step: 150,
+                corrupt_ppm: 400_000,
+            });
+        }
+        fault
+    }
+
+    /// One provider made pathologically flaky (90% drop), everyone else
+    /// clean — the schedule the `ReputationWeighted` avoidance
+    /// regression runs under.
+    pub fn flaky_override(provider_index: usize) -> FaultConfig {
+        FaultConfig {
+            seed: 0xF1A,
+            overrides: vec![ProviderFaultRates {
+                provider_index,
+                drop_ppm: 900_000,
+                corrupt_ppm: 0,
+                delay_ppm: 0,
+            }],
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// What a chaos run produced. Every surface is deterministic: vectors
+/// are in issue order, maps are flattened in sorted order, and all
+/// counts come from seeded draws against the simulated clock — two
+/// same-seed runs produce byte-identical reports (minus the live
+/// telemetry handle, whose *snapshot JSON* is also byte-identical).
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Logical calls issued by the workload.
+    pub issued: usize,
+    /// Calls that returned a fully verified (quorum-checked when a
+    /// quorum turn) payload.
+    pub served: usize,
+    /// Quorum turns that returned a best-effort result below width `k`
+    /// with the explicit `degraded` marker.
+    pub degraded: usize,
+    /// Calls that ended in a classified gateway error (deadline,
+    /// failovers exhausted, quorum unreachable, no providers).
+    pub errored: usize,
+    /// Calls that ended in any *other* way — must be 0: every issued
+    /// call is accounted for (no hangs, no mystery errors).
+    pub unclassified: usize,
+    /// Returned payloads that did not match the chain's ground truth —
+    /// must be 0 under any schedule.
+    pub wrong_payloads: usize,
+    /// Errors that were deadline burns ([`crate::GatewayError::Deadline`]).
+    pub errors_deadline: usize,
+    /// Errors from an exhausted failover budget.
+    pub errors_exhausted: usize,
+    /// Errors from an unreachable quorum (only when degradation is
+    /// disabled or no vote at all was collected).
+    pub errors_quorum: usize,
+    /// Errors from an empty eligible-provider set (everyone banned,
+    /// broken, or partitioned at once).
+    pub errors_no_providers: usize,
+    /// In-place retries the gateway fired after timeouts.
+    pub retries: u64,
+    /// Hedged quorum legs launched.
+    pub hedges_fired: u64,
+    /// Circuit-breaker closed/half-open → open transitions.
+    pub breaker_opens: u64,
+    /// Circuit-breaker open → half-open transitions.
+    pub breaker_half_opens: u64,
+    /// Total failovers recorded.
+    pub failovers: usize,
+    /// Failovers by cause label, fixed order.
+    pub failovers_by_cause: Vec<(&'static str, usize)>,
+    /// Time-to-recover for each completed failover (µs, simulated).
+    pub recoveries_us: Vec<u64>,
+    /// Messages the fault plane dropped.
+    pub fault_drops: u64,
+    /// Responses the fault plane corrupted.
+    pub fault_corruptions: u64,
+    /// Responses the fault plane delayed.
+    pub fault_delays: u64,
+    /// Connections refused by the crash window.
+    pub fault_crashes: u64,
+    /// Requests swallowed by the partition window.
+    pub fault_partitions: u64,
+    /// Exchanges that burned the per-call deadline.
+    pub fault_timeouts: u64,
+    /// Whether every per-provider committed-payment trajectory stayed
+    /// monotone (cumulative across channel switches).
+    pub payments_monotone: bool,
+    /// The full payment trajectory, flattened in provider-address
+    /// order — the replay test compares this string byte-for-byte.
+    pub payment_digest: String,
+    /// Fault-plane decision steps consumed.
+    pub steps: u64,
+    /// Final simulated clock (µs).
+    pub clock_us: u64,
+    /// End-of-run metrics snapshot (net fault counters + gateway
+    /// resilience counters together).
+    pub metrics: MetricsSnapshot,
+}
+
+/// Runs the chaos scenario and reports what happened.
+///
+/// # Panics
+///
+/// Panics when the simulation itself cannot be set up (chain errors at
+/// funding/spawn time); workload failures are classified, not panicked.
+pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
+    let telemetry = Telemetry::new();
+    let mut net = Network::new();
+    net.set_call_deadline_us(config.call_deadline_us);
+    net.attach_telemetry(&telemetry);
+    let providers = config.providers.max(2);
+    for i in 0..providers {
+        let price = U256::from(10 * (i as u64 + 1));
+        net.spawn_node(format!("chaos-node-{i}").as_bytes(), price);
+    }
+
+    let targets: Vec<Address> = (0..16)
+        .map(|i| Address::from_low_u64_be(0xC4A0_0000 + i))
+        .collect();
+    net.fund_many(&targets);
+    let expected: Vec<Vec<u8>> = targets
+        .iter()
+        .map(|t| {
+            net.chain()
+                .state()
+                .account(t)
+                .map(parp_chain::Account::encode)
+                .unwrap_or_default()
+        })
+        .collect();
+
+    // Faults start only once the workload does: setup above consumed no
+    // schedule steps (the plane is installed after it).
+    net.install_fault_plane(config.fault_config());
+
+    let client = net.spawn_client(b"chaos-client", U256::from(10u64));
+    let mut gateway = Gateway::new(
+        client,
+        GatewayConfig {
+            policy: SelectionPolicy::ReputationWeighted,
+            quorum: config.quorum,
+            resilience: ResilienceConfig {
+                allow_degraded: config.allow_degraded,
+                jitter_seed: config.seed ^ 0x5EED,
+                call_budget_us: 400_000,
+                breaker_cooldown_us: 100_000,
+                ..ResilienceConfig::default()
+            },
+            ..GatewayConfig::default()
+        },
+    );
+    gateway.attach_telemetry(&telemetry);
+
+    let mut report = ChaosReport {
+        issued: 0,
+        served: 0,
+        degraded: 0,
+        errored: 0,
+        unclassified: 0,
+        wrong_payloads: 0,
+        errors_deadline: 0,
+        errors_exhausted: 0,
+        errors_quorum: 0,
+        errors_no_providers: 0,
+        retries: 0,
+        hedges_fired: 0,
+        breaker_opens: 0,
+        breaker_half_opens: 0,
+        failovers: 0,
+        failovers_by_cause: Vec::new(),
+        recoveries_us: Vec::new(),
+        fault_drops: 0,
+        fault_corruptions: 0,
+        fault_delays: 0,
+        fault_crashes: 0,
+        fault_partitions: 0,
+        fault_timeouts: 0,
+        payments_monotone: true,
+        payment_digest: String::new(),
+        steps: 0,
+        clock_us: 0,
+        metrics: MetricsSnapshot::default(),
+    };
+
+    for i in 0..config.calls {
+        report.issued += 1;
+        let index = i % targets.len();
+        let call = RpcCall::GetBalance {
+            address: targets[index],
+        };
+        let quorum_turn =
+            config.quorum_every > 0 && i % config.quorum_every == config.quorum_every - 1;
+        let outcome: Result<(Vec<u8>, bool), crate::GatewayError> = if quorum_turn {
+            gateway
+                .quorum_call(&mut net, call, 0)
+                .map(|o| (o.result, o.degraded))
+        } else {
+            gateway.call(&mut net, call).map(|bytes| (bytes, false))
+        };
+        match outcome {
+            Ok((bytes, degraded)) => {
+                if degraded {
+                    report.degraded += 1;
+                } else {
+                    report.served += 1;
+                }
+                // Degraded reads are still individually verified
+                // (signature + proof) — they too must match the chain.
+                if bytes != expected[index] {
+                    report.wrong_payloads += 1;
+                }
+            }
+            Err(crate::GatewayError::Deadline { .. }) => {
+                report.errored += 1;
+                report.errors_deadline += 1;
+            }
+            Err(crate::GatewayError::FailoversExhausted { .. }) => {
+                report.errored += 1;
+                report.errors_exhausted += 1;
+            }
+            Err(crate::GatewayError::QuorumUnreachable { .. }) => {
+                report.errored += 1;
+                report.errors_quorum += 1;
+            }
+            Err(crate::GatewayError::NoProviders) => {
+                report.errored += 1;
+                report.errors_no_providers += 1;
+            }
+            Err(crate::GatewayError::Sim(_)) => {
+                report.unclassified += 1;
+            }
+        }
+    }
+
+    report.retries = gateway.retries();
+    report.hedges_fired = gateway.hedges_fired();
+    let (opens, half_opens) = gateway.breaker_transitions();
+    report.breaker_opens = opens;
+    report.breaker_half_opens = half_opens;
+    report.failovers = gateway.failovers().len();
+    report.failovers_by_cause = gateway.failovers_by_cause();
+    report.recoveries_us = gateway
+        .failovers()
+        .iter()
+        .filter_map(|f| f.time_to_recover_us())
+        .collect();
+    report.payments_monotone = gateway.payments_monotone();
+    let mut trails: Vec<(&Address, &Vec<U256>)> = gateway.payment_trajectories().iter().collect();
+    trails.sort_by_key(|(address, _)| **address);
+    let mut digest = String::new();
+    for (address, trail) in trails {
+        digest.push_str(&format!("{address}:"));
+        for (j, amount) in trail.iter().enumerate() {
+            if j > 0 {
+                digest.push(',');
+            }
+            digest.push_str(&format!("{amount}"));
+        }
+        digest.push(';');
+    }
+    report.payment_digest = digest;
+    if let Some(plane) = net.fault_plane() {
+        report.steps = plane.step();
+        let counters = plane.counters();
+        report.fault_drops = counters.drops.get();
+        report.fault_corruptions = counters.corruptions.get();
+        report.fault_delays = counters.delays.get();
+        report.fault_crashes = counters.crashes.get();
+        report.fault_partitions = counters.partitions.get();
+        report.fault_timeouts = counters.timeouts.get();
+    }
+    report.clock_us = net.now_us();
+    report.metrics = telemetry.registry.snapshot();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_run_upholds_the_core_invariants() {
+        let config = ChaosConfig::default();
+        let report = run_chaos(&config);
+        // Accounting: every issued call classified, nothing else.
+        assert_eq!(report.issued, config.calls);
+        assert_eq!(
+            report.served + report.degraded + report.errored + report.unclassified,
+            report.issued,
+            "every call must be served, degraded, or errored"
+        );
+        assert_eq!(report.unclassified, 0, "no unclassified outcomes");
+        // Zero wrong payloads under the full fault cocktail.
+        assert_eq!(report.wrong_payloads, 0);
+        // The schedule actually bit: every fault class fired.
+        assert!(report.fault_drops > 0, "drops: {}", report.fault_drops);
+        assert!(report.fault_corruptions > 0);
+        assert!(report.fault_crashes > 0);
+        assert!(report.fault_partitions > 0);
+        assert!(report.fault_timeouts > 0);
+        // And the machinery reacted.
+        assert!(report.served > 0, "the run must make progress");
+        assert!(report.failovers > 0);
+        assert!(report.payments_monotone);
+        // Bounded recovery: p99 time-to-recover under 2.5 simulated
+        // seconds (the partition window plus breaker cooldowns).
+        let mut recoveries = report.recoveries_us.clone();
+        recoveries.sort_unstable();
+        if !recoveries.is_empty() {
+            let p99 = recoveries[(recoveries.len() - 1) * 99 / 100];
+            assert!(p99 < 2_500_000, "p99 time-to-recover {p99} µs");
+        }
+        // Transient causes appear in the breakdown.
+        let by_cause: std::collections::HashMap<&str, usize> =
+            report.failovers_by_cause.iter().copied().collect();
+        assert!(by_cause["timeout"] + by_cause["crash"] + by_cause["corruption"] > 0);
+    }
+
+    #[test]
+    fn same_seed_replays_byte_identically() {
+        let config = ChaosConfig::default();
+        let a = run_chaos(&config);
+        let b = run_chaos(&config);
+        assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+        assert_eq!(a.payment_digest, b.payment_digest);
+        assert_eq!(a.clock_us, b.clock_us);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(
+            (a.served, a.degraded, a.errored, a.retries, a.hedges_fired),
+            (b.served, b.degraded, b.errored, b.retries, b.hedges_fired)
+        );
+        assert_eq!(a.failovers_by_cause, b.failovers_by_cause);
+        assert_eq!(a.recoveries_us, b.recoveries_us);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = run_chaos(&ChaosConfig {
+            seed: 1,
+            ..ChaosConfig::default()
+        });
+        let b = run_chaos(&ChaosConfig {
+            seed: 2,
+            ..ChaosConfig::default()
+        });
+        assert!(
+            a.fault_drops != b.fault_drops
+                || a.fault_corruptions != b.fault_corruptions
+                || a.clock_us != b.clock_us
+                || a.payment_digest != b.payment_digest,
+            "two seeds should not shadow each other"
+        );
+    }
+
+    #[test]
+    fn quiet_schedule_serves_everything() {
+        let report = run_chaos(&ChaosConfig {
+            drop_ppm: 0,
+            corrupt_ppm: 0,
+            delay_ppm: 0,
+            corruption_bursts: false,
+            crash: false,
+            partition: false,
+            ..ChaosConfig::default()
+        });
+        assert_eq!(report.served, report.issued);
+        assert_eq!(report.errored, 0);
+        assert_eq!(report.degraded, 0);
+        assert_eq!(report.wrong_payloads, 0);
+        assert_eq!(report.fault_timeouts, 0);
+        assert_eq!(report.failovers, 0);
+    }
+}

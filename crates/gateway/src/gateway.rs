@@ -4,6 +4,7 @@
 use crate::directory::{Directory, ProviderInfo};
 use crate::policy::SelectionPolicy;
 use crate::reputation::ReputationBook;
+use crate::resilience::{CircuitBreaker, ResilienceConfig};
 use parp_contracts::{FraudVerdict, RpcCall};
 use parp_core::{ClientState, InvalidReason, LightClient, ProcessBatchOutcome, ProcessOutcome};
 use parp_net::{Network, NodeId, SimError};
@@ -26,6 +27,9 @@ pub struct GatewayConfig {
     /// Fan-out width [`Gateway::quorum_call`] uses when called with
     /// `k = 0`.
     pub quorum: usize,
+    /// Fault-handling knobs: deadlines, retries, circuit breakers,
+    /// hedged legs, and the degraded-read escape hatch.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for GatewayConfig {
@@ -35,6 +39,7 @@ impl Default for GatewayConfig {
             channel_budget: U256::from(1u64) << 40,
             max_failovers: 8,
             quorum: 3,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -48,6 +53,17 @@ pub enum FailoverCause {
     Invalid(InvalidReason),
     /// The response was provably fraudulent.
     Fraud(FraudVerdict),
+    /// The exchange exceeded its deadline (message dropped, provider
+    /// partitioned, or response too slow). Transient: the provider may
+    /// be re-selected once its circuit breaker re-admits it.
+    Timeout,
+    /// The response frame arrived corrupted (wire payload failed the
+    /// signature check) — transport damage, not a provable lie.
+    /// Transient, like [`FailoverCause::Timeout`].
+    Corruption,
+    /// The provider was down (connection refused mid-schedule).
+    /// Transient — crashed providers restart.
+    Crash,
 }
 
 /// One recorded failover: which provider failed, why, whether the fraud
@@ -91,6 +107,12 @@ pub struct QuorumOutcome {
     pub result: Vec<u8>,
     /// Whether all verified votes were byte-identical.
     pub agreed: bool,
+    /// `true` when quorum `k` was unreachable and the gateway returned
+    /// a best-effort read with fewer votes (only under
+    /// [`ResilienceConfig::allow_degraded`]). Degraded results carry
+    /// weaker cross-check guarantees — the caller must decide whether
+    /// to trust them.
+    pub degraded: bool,
     /// Every verified vote, in the order the providers were queried.
     pub votes: Vec<QuorumVote>,
 }
@@ -112,6 +134,15 @@ pub enum GatewayError {
         /// Verified votes actually collected.
         collected: usize,
     },
+    /// The call's total simulated-time budget
+    /// ([`ResilienceConfig::call_budget_us`]) ran out before a verified
+    /// result was obtained — the bounded alternative to hanging.
+    Deadline {
+        /// The configured budget (µs, simulated).
+        budget_us: u64,
+        /// Simulated time actually burned before giving up (µs).
+        waited_us: u64,
+    },
     /// An unrecoverable simulation error.
     Sim(SimError),
 }
@@ -127,6 +158,15 @@ impl fmt::Display for GatewayError {
                 write!(
                     f,
                     "quorum of {needed} unreachable ({collected} verified votes)"
+                )
+            }
+            GatewayError::Deadline {
+                budget_us,
+                waited_us,
+            } => {
+                write!(
+                    f,
+                    "call budget of {budget_us} µs exhausted after {waited_us} µs"
                 )
             }
             GatewayError::Sim(e) => write!(f, "simulation error: {e}"),
@@ -168,14 +208,26 @@ pub struct Gateway {
     reputation: ReputationBook,
     rr_cursor: usize,
     banned: HashSet<Address>,
+    /// Per-provider circuit breakers (transient-failure routing; a
+    /// banned provider never reaches its breaker again).
+    breakers: HashMap<Address, CircuitBreaker>,
     failovers: Vec<FailoverEvent>,
     /// Index into `failovers` of the event still awaiting recovery.
     pending_recovery: Option<usize>,
-    /// Per-provider committed-payment trajectory (monotonicity witness).
+    /// Per-provider committed-payment trajectory (monotonicity
+    /// witness). Entries are *cumulative across channels*: when a
+    /// channel is abandoned its committed spend folds into
+    /// `payment_epoch`, so reconnecting after a transient failure never
+    /// looks like a payment regression.
     payments: HashMap<Address, Vec<U256>>,
+    /// Committed spend of abandoned channels, per provider.
+    payment_epoch: HashMap<Address, U256>,
     payments_monotone: bool,
     calls_served: u64,
     fraud_proofs_submitted: u64,
+    retries: u64,
+    hedges_fired: u64,
+    degraded_reads: u64,
     telemetry: Option<Telemetry>,
     metrics: Option<GatewayMetrics>,
 }
@@ -187,6 +239,9 @@ struct GatewayMetrics {
     failovers: Counter,
     fraud_proofs: Counter,
     quorum_reads: Counter,
+    retries: Counter,
+    hedges: Counter,
+    degraded_reads: Counter,
 }
 
 impl Gateway {
@@ -199,12 +254,17 @@ impl Gateway {
             reputation: ReputationBook::new(),
             rr_cursor: 0,
             banned: HashSet::new(),
+            breakers: HashMap::new(),
             failovers: Vec::new(),
             pending_recovery: None,
             payments: HashMap::new(),
+            payment_epoch: HashMap::new(),
             payments_monotone: true,
             calls_served: 0,
             fraud_proofs_submitted: 0,
+            retries: 0,
+            hedges_fired: 0,
+            degraded_reads: 0,
             telemetry: None,
             metrics: None,
         }
@@ -224,6 +284,9 @@ impl Gateway {
             failovers: registry.counter("parp_gateway_failovers_total", &[]),
             fraud_proofs: registry.counter("parp_gateway_fraud_proofs_total", &[]),
             quorum_reads: registry.counter("parp_gateway_quorum_reads_total", &[]),
+            retries: registry.counter("parp_gateway_retries_total", &[]),
+            hedges: registry.counter("parp_gateway_hedges_total", &[]),
+            degraded_reads: registry.counter("parp_gateway_degraded_reads_total", &[]),
         });
         self.telemetry = Some(telemetry.clone());
     }
@@ -266,6 +329,65 @@ impl Gateway {
         self.fraud_proofs_submitted
     }
 
+    /// In-place retries after timeouts (same provider, deterministic
+    /// jittered backoff applied between attempts).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Hedged quorum legs launched (a spare leg fired because an
+    /// original leg failed or exceeded its EWMA-derived threshold).
+    pub fn hedges_fired(&self) -> u64 {
+        self.hedges_fired
+    }
+
+    /// Quorum reads that returned best-effort results below the
+    /// requested width (only under
+    /// [`ResilienceConfig::allow_degraded`]).
+    pub fn degraded_reads(&self) -> u64 {
+        self.degraded_reads
+    }
+
+    /// Circuit-breaker transitions accumulated across all providers:
+    /// `(opens, half_opens)`.
+    pub fn breaker_transitions(&self) -> (u64, u64) {
+        let mut opens = 0u64;
+        let mut half_opens = 0u64;
+        for breaker in self.breakers.values() {
+            opens += breaker.opens;
+            half_opens += breaker.half_opens;
+        }
+        (opens, half_opens)
+    }
+
+    /// Failover counts broken down by cause, in a fixed label order
+    /// (stable across runs, for reports and benches).
+    pub fn failovers_by_cause(&self) -> Vec<(&'static str, usize)> {
+        let mut counts = [0usize; 6];
+        for event in &self.failovers {
+            let index = match &event.cause {
+                FailoverCause::Refused => 0,
+                FailoverCause::Invalid(_) => 1,
+                FailoverCause::Fraud(_) => 2,
+                FailoverCause::Timeout => 3,
+                FailoverCause::Corruption => 4,
+                FailoverCause::Crash => 5,
+            };
+            counts[index] += 1;
+        }
+        [
+            "refused",
+            "invalid",
+            "fraud",
+            "timeout",
+            "corruption",
+            "crash",
+        ]
+        .into_iter()
+        .zip(counts)
+        .collect()
+    }
+
     /// Whether every per-provider committed payment sequence has been
     /// non-decreasing across the gateway's whole life — including
     /// across channel switches (each new channel starts a fresh
@@ -275,7 +397,8 @@ impl Gateway {
     }
 
     /// Per-provider committed-payment trajectories (final committed
-    /// amount is the last element).
+    /// amount is the last element). Amounts are cumulative across
+    /// channel switches: abandoned channels' spend stays counted.
     pub fn payment_trajectories(&self) -> &HashMap<Address, Vec<U256>> {
         &self.payments
     }
@@ -308,13 +431,24 @@ impl Gateway {
     }
 
     /// Picks the next provider under the configured policy, excluding
-    /// `skip`.
-    fn select_excluding(&mut self, skip: &HashSet<Address>) -> Option<Address> {
+    /// `skip` and anyone whose circuit breaker is open at simulated
+    /// time `now_us` (an open breaker whose cooldown has elapsed
+    /// half-opens here and admits one probe).
+    fn select_excluding(&mut self, skip: &HashSet<Address>, now_us: u64) -> Option<Address> {
         let candidates: Vec<ProviderInfo> = self
             .eligible()
             .into_iter()
             .filter(|p| !skip.contains(&p.address))
             .cloned()
+            .collect();
+        let resilience = self.config.resilience;
+        let candidates: Vec<ProviderInfo> = candidates
+            .into_iter()
+            .filter(|p| {
+                self.breakers
+                    .get_mut(&p.address)
+                    .is_none_or(|b| b.allows(now_us, &resilience))
+            })
             .collect();
         let refs: Vec<&ProviderInfo> = candidates.iter().collect();
         self.config
@@ -346,25 +480,50 @@ impl Gateway {
         Ok(node_id)
     }
 
-    /// Snapshots the channel's committed amount into the monotonicity
-    /// trail (called after every exchange, before any abandon).
+    /// Snapshots the provider's committed amount — the current
+    /// channel's `spent` on top of the epoch base accumulated from
+    /// abandoned channels — into the monotonicity trail (called after
+    /// every exchange, before any abandon).
     fn note_payment(&mut self, provider: Address) {
         if let Some(channel) = self.client.channel_with(&provider) {
-            let spent = channel.spent;
+            let base = self
+                .payment_epoch
+                .get(&provider)
+                .copied()
+                .unwrap_or(U256::from(0u64));
+            let committed = base.saturating_add(channel.spent);
             let trail = self.payments.entry(provider).or_default();
             if let Some(last) = trail.last() {
-                if spent < *last {
+                if committed < *last {
                     self.payments_monotone = false;
                 }
             }
-            trail.push(spent);
+            trail.push(committed);
         }
     }
 
-    /// Records a failover and abandons the provider's channel.
+    /// Records a failover and abandons the provider's channel. Fraud,
+    /// invalid responses, and refusals ban the provider outright;
+    /// transient causes (timeout, corruption, crash) leave it
+    /// re-selectable once its circuit breaker re-admits it.
     fn fail_over(&mut self, net: &Network, provider: Address, cause: FailoverCause, slashed: bool) {
+        // Fold the dying channel's committed spend into the epoch base
+        // so the payment trail stays cumulative across reconnects.
+        if let Some(channel) = self.client.channel_with(&provider) {
+            let base = self
+                .payment_epoch
+                .entry(provider)
+                .or_insert(U256::from(0u64));
+            *base = base.saturating_add(channel.spent);
+        }
         self.client.abandon_provider(provider);
-        self.banned.insert(provider);
+        let transient = matches!(
+            cause,
+            FailoverCause::Timeout | FailoverCause::Corruption | FailoverCause::Crash
+        );
+        if !transient {
+            self.banned.insert(provider);
+        }
         let now_us = net.now_us();
         if let Some(tracer) = self.tracer() {
             let provider_arg = || ("provider".to_string(), ArgValue::Str(provider.to_string()));
@@ -378,6 +537,9 @@ impl Gateway {
                 FailoverCause::Refused => "refused",
                 FailoverCause::Invalid(_) => "invalid",
                 FailoverCause::Fraud(_) => "fraud",
+                FailoverCause::Timeout => "timeout",
+                FailoverCause::Corruption => "corruption",
+                FailoverCause::Crash => "crash",
             };
             tracer.instant(
                 "failover",
@@ -433,6 +595,21 @@ impl Gateway {
                 );
             }
         }
+    }
+
+    /// Advances `provider`'s circuit breaker on a transport-level
+    /// failure at simulated time `now_us`.
+    fn breaker_failure(&mut self, provider: Address, now_us: u64) {
+        let resilience = self.config.resilience;
+        self.breakers
+            .entry(provider)
+            .or_default()
+            .record_failure(now_us, &resilience);
+    }
+
+    /// Closes `provider`'s circuit breaker after a verified exchange.
+    fn breaker_success(&mut self, provider: Address) {
+        self.breakers.entry(provider).or_default().record_success();
     }
 
     /// Emits the re-selection instants of a failover replay: the
@@ -517,14 +694,25 @@ impl Gateway {
     ///
     /// # Errors
     ///
-    /// Fails when no eligible provider remains or the failover budget is
-    /// exhausted. Never returns an unverified payload.
+    /// Fails when no eligible provider remains, the failover budget is
+    /// exhausted, or the call's simulated-time budget runs out
+    /// ([`GatewayError::Deadline`] — bounded, never a hang). Never
+    /// returns an unverified payload.
     pub fn call(&mut self, net: &mut Network, call: RpcCall) -> Result<Vec<u8>, GatewayError> {
         self.refresh(net);
+        let budget_us = self.config.resilience.call_budget_us;
+        let started_us = net.now_us();
         let mut attempts = 0usize;
         loop {
+            let waited_us = net.now_us().saturating_sub(started_us);
+            if waited_us > budget_us {
+                return Err(GatewayError::Deadline {
+                    budget_us,
+                    waited_us,
+                });
+            }
             let provider = self
-                .select_excluding(&HashSet::new())
+                .select_excluding(&HashSet::new(), net.now_us())
                 .ok_or(GatewayError::NoProviders)?;
             if attempts > 0 {
                 self.trace_reselect(net.now_us(), provider);
@@ -563,8 +751,29 @@ impl Gateway {
             }
         }
         let node_id = net.node_id_by_address(&provider).expect("connected");
-        let outcome = net.parp_call(&mut self.client, node_id, call);
-        self.apply_exchange_outcome(net, provider, outcome)
+        let resilience = self.config.resilience;
+        let started_us = net.now_us();
+        let mut attempt = 0u32;
+        loop {
+            let outcome = net.parp_call(&mut self.client, node_id, call.clone());
+            // Retry the same provider in place on a timeout: the
+            // channel is intact and the lost exchange was never paid
+            // for, so the retry re-presents the same cumulative amount
+            // after a deterministic jittered backoff.
+            if matches!(outcome, Err(SimError::Timeout { .. }))
+                && attempt < resilience.max_retries
+                && net.now_us().saturating_sub(started_us) < resilience.call_budget_us
+            {
+                attempt += 1;
+                net.advance_clock(resilience.backoff_us(attempt, addr_salt(&provider)));
+                self.retries += 1;
+                if let Some(metrics) = &self.metrics {
+                    metrics.retries.inc();
+                }
+                continue;
+            }
+            return self.apply_exchange_outcome(net, provider, outcome);
+        }
     }
 
     /// Scores one finished exchange and routes its failure modes —
@@ -582,6 +791,7 @@ impl Gateway {
                 self.reputation
                     .entry(provider)
                     .record_valid(stats.latency_us());
+                self.breaker_success(provider);
                 self.note_payment(provider);
                 self.mark_recovered(net.now_us());
                 self.calls_served += 1;
@@ -589,6 +799,17 @@ impl Gateway {
                     metrics.calls_served.inc();
                 }
                 Ok(Some(result))
+            }
+            // A bad response signature on an otherwise well-formed
+            // frame is transport corruption, not a §V-D lie — a
+            // re-signing provider would produce a *valid* signature
+            // over wrong data and land in the fraud arm instead.
+            Ok((ProcessOutcome::Invalid(InvalidReason::ResponseSignatureInvalid), _)) => {
+                self.reputation.entry(provider).record_corruption();
+                self.breaker_failure(provider, net.now_us());
+                self.note_payment(provider);
+                self.fail_over(net, provider, FailoverCause::Corruption, false);
+                Ok(None)
             }
             Ok((ProcessOutcome::Invalid(reason), _)) => {
                 self.reputation.entry(provider).record_invalid();
@@ -609,6 +830,18 @@ impl Gateway {
                 self.fail_over(net, provider, FailoverCause::Refused, false);
                 Ok(None)
             }
+            Err(SimError::Timeout { .. }) => {
+                self.reputation.entry(provider).record_timeout();
+                self.breaker_failure(provider, net.now_us());
+                self.fail_over(net, provider, FailoverCause::Timeout, false);
+                Ok(None)
+            }
+            Err(SimError::Crashed(_)) => {
+                self.reputation.entry(provider).record_refused();
+                self.breaker_failure(provider, net.now_us());
+                self.fail_over(net, provider, FailoverCause::Crash, false);
+                Ok(None)
+            }
             Err(e) => Err(GatewayError::Sim(e)),
         }
     }
@@ -626,10 +859,19 @@ impl Gateway {
         calls: Vec<RpcCall>,
     ) -> Result<Vec<Vec<u8>>, GatewayError> {
         self.refresh(net);
+        let budget_us = self.config.resilience.call_budget_us;
+        let started_us = net.now_us();
         let mut attempts = 0usize;
         loop {
+            let waited_us = net.now_us().saturating_sub(started_us);
+            if waited_us > budget_us {
+                return Err(GatewayError::Deadline {
+                    budget_us,
+                    waited_us,
+                });
+            }
             let provider = self
-                .select_excluding(&HashSet::new())
+                .select_excluding(&HashSet::new(), net.now_us())
                 .ok_or(GatewayError::NoProviders)?;
             if attempts > 0 {
                 self.trace_reselect(net.now_us(), provider);
@@ -656,6 +898,7 @@ impl Gateway {
                     self.reputation
                         .entry(provider)
                         .record_valid(stats.latency_us());
+                    self.breaker_success(provider);
                     self.note_payment(provider);
                     self.mark_recovered(net.now_us());
                     self.calls_served += results.len() as u64;
@@ -663,6 +906,14 @@ impl Gateway {
                         metrics.calls_served.add(results.len() as u64);
                     }
                     return Ok(results);
+                }
+                // Corrupted batch frame: transport damage, not a lie
+                // (same reasoning as the single-call path).
+                Ok((ProcessBatchOutcome::Invalid(InvalidReason::ResponseSignatureInvalid), _)) => {
+                    self.reputation.entry(provider).record_corruption();
+                    self.breaker_failure(provider, net.now_us());
+                    self.note_payment(provider);
+                    self.fail_over(net, provider, FailoverCause::Corruption, false);
                 }
                 Ok((ProcessBatchOutcome::Invalid(reason), _)) => {
                     self.reputation.entry(provider).record_invalid();
@@ -679,6 +930,19 @@ impl Gateway {
                 Err(SimError::Serve(_)) | Err(SimError::Client(_)) => {
                     self.reputation.entry(provider).record_refused();
                     self.fail_over(net, provider, FailoverCause::Refused, false);
+                }
+                // Batches fail over rather than retry in place: one
+                // batch already burns a whole serve quantum, so the
+                // in-place backoff loop is reserved for single calls.
+                Err(SimError::Timeout { .. }) => {
+                    self.reputation.entry(provider).record_timeout();
+                    self.breaker_failure(provider, net.now_us());
+                    self.fail_over(net, provider, FailoverCause::Timeout, false);
+                }
+                Err(SimError::Crashed(_)) => {
+                    self.reputation.entry(provider).record_refused();
+                    self.breaker_failure(provider, net.now_us());
+                    self.fail_over(net, provider, FailoverCause::Crash, false);
                 }
                 Err(e) => return Err(GatewayError::Sim(e)),
             }
@@ -727,7 +991,7 @@ impl Gateway {
         let mut drafted: Vec<Address> = Vec::new();
         let mut skip: HashSet<Address> = HashSet::new();
         while drafted.len() < k {
-            let Some(provider) = self.select_excluding(&skip) else {
+            let Some(provider) = self.select_excluding(&skip, net.now_us()) else {
                 break;
             };
             skip.insert(provider);
@@ -740,14 +1004,20 @@ impl Gateway {
                 }
             }
         }
+        let resilience = self.config.resilience;
         if drafted.len() < k {
-            // Report how many providers were actually drafted — this
-            // used to hard-code 0, hiding partial progress from the
-            // caller's error handling.
-            return Err(GatewayError::QuorumUnreachable {
-                needed: k,
-                collected: drafted.len(),
-            });
+            // Under a partition the full width may be unreachable; with
+            // degradation enabled the read proceeds best-effort on the
+            // legs that exist and the outcome carries `degraded = true`.
+            if !resilience.allow_degraded || drafted.is_empty() {
+                // Report how many providers were actually drafted — this
+                // used to hard-code 0, hiding partial progress from the
+                // caller's error handling.
+                return Err(GatewayError::QuorumUnreachable {
+                    needed: k,
+                    collected: drafted.len(),
+                });
+            }
         }
         // Phase 2: fan the k legs out **concurrently** over the
         // network's scoped-worker transport (serving and §V-D
@@ -767,7 +1037,20 @@ impl Gateway {
             .collect();
         let outcomes = net.parp_call_fanout(&mut self.client, &legs);
         let mut any_leg_failed = false;
+        let mut hedge_due = false;
         for (provider, outcome) in drafted.iter().zip(outcomes) {
+            // Hedge trigger is judged against the EWMA *before* this
+            // leg's own sample lands in it.
+            let prior_ewma = self.reputation.get(provider).latency_ewma_us;
+            if let Ok((_, stats)) = &outcome {
+                let threshold = (prior_ewma.saturating_mul(resilience.hedge_factor_pct) / 100)
+                    .max(resilience.hedge_min_us);
+                if prior_ewma > 0 && stats.latency_us() > threshold {
+                    hedge_due = true;
+                }
+            } else {
+                hedge_due = true;
+            }
             match self.apply_exchange_outcome(net, *provider, outcome)? {
                 Some(result) => votes.push(QuorumVote {
                     provider: *provider,
@@ -779,10 +1062,26 @@ impl Gateway {
         if any_leg_failed {
             self.refresh(net);
         }
+        // Hedged (k+1)-th leg: when a leg failed or straggled past its
+        // EWMA-derived threshold, fire one spare leg from a fresh
+        // provider rather than waiting on replacements alone.
+        if hedge_due {
+            if let Some(provider) = self.select_excluding(&skip, net.now_us()) {
+                skip.insert(provider);
+                self.hedges_fired += 1;
+                if let Some(metrics) = &self.metrics {
+                    metrics.hedges.inc();
+                }
+                match self.try_call_on(net, provider, call.clone())? {
+                    Some(result) => votes.push(QuorumVote { provider, result }),
+                    None => self.refresh(net),
+                }
+            }
+        }
         // Replacement legs (rare path): serial failover until the
         // quorum fills or candidates run out.
         while votes.len() < k {
-            let provider = match self.select_excluding(&skip) {
+            let provider = match self.select_excluding(&skip, net.now_us()) {
                 Some(p) => {
                     skip.insert(p);
                     p
@@ -795,33 +1094,58 @@ impl Gateway {
             }
         }
         if votes.len() < k {
+            if resilience.allow_degraded && !votes.is_empty() {
+                self.degraded_reads += 1;
+                if let Some(metrics) = &self.metrics {
+                    metrics.degraded_reads.inc();
+                }
+                return Ok(Self::tally_votes(votes, true));
+            }
             return Err(GatewayError::QuorumUnreachable {
                 needed: k,
                 collected: votes.len(),
             });
         }
-        // Majority payload (deterministic: ties broken by first seen —
-        // `counts` is in first-seen order and only a strictly greater
-        // count displaces the current best).
-        let mut counts: Vec<(&Vec<u8>, usize)> = Vec::new();
-        for vote in &votes {
-            match counts.iter_mut().find(|(r, _)| *r == &vote.result) {
-                Some((_, n)) => *n += 1,
-                None => counts.push((&vote.result, 1)),
+        Ok(Self::tally_votes(votes, false))
+    }
+
+    /// Majority payload over `votes` (deterministic: ties broken by
+    /// first seen — `counts` is in first-seen order and only a strictly
+    /// greater count displaces the current best).
+    fn tally_votes(votes: Vec<QuorumVote>, degraded: bool) -> QuorumOutcome {
+        let (result, agreed) = {
+            let mut counts: Vec<(&Vec<u8>, usize)> = Vec::new();
+            for vote in &votes {
+                match counts.iter_mut().find(|(r, _)| *r == &vote.result) {
+                    Some((_, n)) => *n += 1,
+                    None => counts.push((&vote.result, 1)),
+                }
             }
-        }
-        let agreed = counts.len() == 1;
-        let mut best = 0usize;
-        for (i, (_, n)) in counts.iter().enumerate().skip(1) {
-            if *n > counts[best].1 {
-                best = i;
+            let mut best = 0usize;
+            for (i, (_, n)) in counts.iter().enumerate().skip(1) {
+                if *n > counts[best].1 {
+                    best = i;
+                }
             }
-        }
-        let result = counts[best].0.clone();
-        Ok(QuorumOutcome {
+            let result = counts
+                .get(best)
+                .map(|(r, _)| (*r).clone())
+                .unwrap_or_default();
+            (result, counts.len() == 1)
+        };
+        QuorumOutcome {
             result,
             agreed,
+            degraded,
             votes,
-        })
+        }
     }
+}
+
+/// A deterministic per-provider salt for the backoff-jitter stream,
+/// folded from the address bytes (no hashing dependency needed).
+fn addr_salt(provider: &Address) -> u64 {
+    provider.as_bytes().iter().fold(0u64, |acc, b| {
+        acc.wrapping_mul(31).wrapping_add(u64::from(*b))
+    })
 }

@@ -30,6 +30,18 @@
 //! * [`run_marketplace`] — the end-to-end churn scenario: a
 //!   cheapest-but-fraudulent provider slashed mid-run, a join and a
 //!   voluntary exit, zero invalid results accepted.
+//! * [`ResilienceConfig`] / [`CircuitBreaker`] — the machinery for the
+//!   *boring* failures accountability cannot classify: per-call
+//!   deadlines and call budgets, bounded retries with deterministic
+//!   jittered backoff, hedged quorum legs off the latency EWMA, and a
+//!   per-provider closed → open → half-open breaker. Transient causes
+//!   ([`FailoverCause::Timeout`] / `Corruption` / `Crash`) fail over
+//!   without banning, and committed payments stay monotone across the
+//!   reconnects.
+//! * [`run_chaos`] — the marketplace under a seeded
+//!   [`parp_net::FaultPlane`] schedule (drops, delays, corruption,
+//!   crashes, partitions): zero accepted wrong payloads, every call
+//!   classified (no hangs), byte-identical same-seed replay.
 //!
 //! ```
 //! use parp_gateway::{Gateway, GatewayConfig, SelectionPolicy};
@@ -57,12 +69,15 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod chaos;
 mod directory;
 mod gateway;
 mod marketplace;
 mod policy;
 mod reputation;
+mod resilience;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use directory::{Directory, ProviderInfo};
 pub use gateway::{
     FailoverCause, FailoverEvent, Gateway, GatewayConfig, GatewayError, QuorumOutcome, QuorumVote,
@@ -70,3 +85,4 @@ pub use gateway::{
 pub use marketplace::{run_marketplace, MarketplaceConfig, MarketplaceReport};
 pub use policy::SelectionPolicy;
 pub use reputation::{Reputation, ReputationBook};
+pub use resilience::{BreakerState, CircuitBreaker, ResilienceConfig};

@@ -77,8 +77,11 @@ pub struct MarketplaceReport {
     pub fraud_proofs_accepted: u64,
     /// Whether the cheapest provider ended the run slashed on-chain.
     pub cheapest_slashed: bool,
-    /// Total failovers (fraud + invalid + refusals).
+    /// Total failovers (fraud + invalid + refusals + transient causes).
     pub failovers: usize,
+    /// Failovers broken down by cause label, in a fixed order
+    /// (refused / invalid / fraud / timeout / corruption / crash).
+    pub failovers_by_cause: Vec<(&'static str, usize)>,
     /// Time-to-recover for each completed failover (µs of simulated
     /// clock between failure detection and the next verified response).
     pub recoveries_us: Vec<u64>,
@@ -165,6 +168,7 @@ pub fn run_marketplace(config: &MarketplaceConfig) -> MarketplaceReport {
         fraud_proofs_accepted: 0,
         cheapest_slashed: false,
         failovers: 0,
+        failovers_by_cause: Vec::new(),
         recoveries_us: Vec::new(),
         quorum_reads: 0,
         quorum_disagreements: 0,
@@ -259,6 +263,7 @@ pub fn run_marketplace(config: &MarketplaceConfig) -> MarketplaceReport {
         .map(|r| r.slash_count > 0)
         .unwrap_or(false);
     report.failovers = gateway.failovers().len();
+    report.failovers_by_cause = gateway.failovers_by_cause();
     report.recoveries_us = gateway
         .failovers()
         .iter()

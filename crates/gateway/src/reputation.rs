@@ -34,6 +34,13 @@ pub struct Reputation {
     pub refused: u64,
     /// Exchanges classified *fraudulent* (provable on-chain).
     pub fraud: u64,
+    /// Exchanges that timed out (dropped, partitioned, or too slow) —
+    /// a provider that hangs 90% of the time must score down even
+    /// though it never provably lied.
+    pub timeouts: u64,
+    /// Responses whose frames arrived corrupted (signature check
+    /// failed on the wire payload).
+    pub corruptions: u64,
     /// Slash events observed on-chain against this identity.
     pub slash_events: u64,
     /// Exponentially weighted moving average of exchange latency (µs),
@@ -68,6 +75,18 @@ impl Reputation {
     /// Records a provably fraudulent response.
     pub fn record_fraud(&mut self) {
         self.fraud += 1;
+    }
+
+    /// Records a timed-out exchange (drop, partition, or over-deadline
+    /// delay — the client saw no verifiable response at all).
+    pub fn record_timeout(&mut self) {
+        self.timeouts += 1;
+    }
+
+    /// Records a corrupted frame (wire payload failed the signature
+    /// check — transport damage, not a provable provider lie).
+    pub fn record_corruption(&mut self) {
+        self.corruptions += 1;
     }
 
     /// Median latency over valid exchanges (µs), within the histogram's
@@ -108,13 +127,16 @@ impl Reputation {
     /// A score in (0, 1]: the smoothed success ratio, discounted by
     /// latency (1 per second of EWMA). Untried providers score the
     /// optimistic prior 0.5 so exploration happens naturally; provably
-    /// misbehaving providers score 0.
+    /// misbehaving providers score 0. Corrupted frames weigh like
+    /// invalid responses and timeouts like refusals: a
+    /// flaky-but-honest provider drifts down instead of keeping its
+    /// rating.
     pub fn score(&self) -> f64 {
         if !self.trustworthy() {
             return 0.0;
         }
-        let success =
-            (self.valid + 1) as f64 / (self.valid + 4 * self.invalid + 2 * self.refused + 2) as f64;
+        let bad = 4 * (self.invalid + self.corruptions) + 2 * (self.refused + self.timeouts);
+        let success = (self.valid + 1) as f64 / (self.valid + bad + 2) as f64;
         success / (1.0 + self.latency_ewma_us as f64 / 1_000_000.0)
     }
 }
@@ -198,6 +220,32 @@ mod tests {
         fraudster.record_fraud();
         assert_eq!(fraudster.score(), 0.0);
         assert!(!fraudster.trustworthy());
+    }
+
+    #[test]
+    fn timeouts_and_corruptions_drag_the_score_down() {
+        let mut flaky = Reputation::default();
+        let mut solid = Reputation::default();
+        for _ in 0..5 {
+            flaky.record_valid(1_000);
+            solid.record_valid(1_000);
+        }
+        for _ in 0..10 {
+            flaky.record_timeout();
+        }
+        assert!(flaky.trustworthy(), "timeouts are not disqualifying");
+        assert!(flaky.score() < solid.score());
+
+        let mut corrupted = Reputation::default();
+        for _ in 0..5 {
+            corrupted.record_valid(1_000);
+        }
+        for _ in 0..10 {
+            corrupted.record_corruption();
+        }
+        // Corrupted frames weigh heavier than timeouts, like invalid
+        // responses weigh heavier than refusals.
+        assert!(corrupted.score() < flaky.score());
     }
 
     #[test]

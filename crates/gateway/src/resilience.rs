@@ -1,0 +1,244 @@
+//! Resilience knobs and the per-provider circuit breaker.
+//!
+//! Everything here is deterministic: backoff jitter is drawn from a
+//! seeded splitmix64 stream (never a wall clock or thread-local RNG),
+//! and the breaker advances only on the simulated clock the caller
+//! passes in — two runs from the same seed take identical decisions.
+
+use parp_net::splitmix64;
+
+/// Tuning for the gateway's fault-handling machinery: retry budget and
+/// backoff shape, per-call deadline, circuit-breaker thresholds, hedged
+/// quorum legs, and the degraded-read escape hatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Extra attempts on the *same* provider after a timeout before the
+    /// gateway fails over (0 disables retries).
+    pub max_retries: u32,
+    /// First-retry backoff (µs, simulated); doubles every attempt.
+    pub backoff_base_us: u64,
+    /// Backoff ceiling (µs) — the exponential curve is clamped here.
+    pub backoff_cap_us: u64,
+    /// Total simulated-time budget for one gateway call, failovers and
+    /// backoffs included; exceeding it yields `GatewayError::Deadline`.
+    pub call_budget_us: u64,
+    /// Consecutive timeouts/corruptions that trip a closed breaker.
+    pub breaker_threshold: u32,
+    /// Simulated µs an open breaker waits before allowing a half-open
+    /// probe.
+    pub breaker_cooldown_us: u64,
+    /// Hedge threshold as a percentage of the provider's latency EWMA:
+    /// a quorum leg slower than `ewma * hedge_factor_pct / 100` fires a
+    /// spare leg. 300 = 3× the expected latency.
+    pub hedge_factor_pct: u64,
+    /// Floor for the hedge threshold (µs), so a fast EWMA can't make
+    /// hedging hair-triggered.
+    pub hedge_min_us: u64,
+    /// When quorum `k` is unreachable (e.g. under partition), return
+    /// the best-effort votes collected with `degraded = true` instead
+    /// of `GatewayError::QuorumUnreachable`.
+    pub allow_degraded: bool,
+    /// Seed of the backoff-jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            max_retries: 2,
+            backoff_base_us: 2_000,
+            backoff_cap_us: 50_000,
+            call_budget_us: 30_000_000,
+            breaker_threshold: 3,
+            breaker_cooldown_us: 200_000,
+            hedge_factor_pct: 300,
+            hedge_min_us: 5_000,
+            allow_degraded: false,
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Deterministic jittered exponential backoff before retry
+    /// `attempt` (1-based): the exponential step `base << (attempt-1)`
+    /// is clamped to the cap, then full-jittered into
+    /// `[step/2, step]` by a splitmix64 draw keyed on
+    /// `(jitter_seed, salt, attempt)` — same inputs, same wait.
+    pub fn backoff_us(&self, attempt: u32, salt: u64) -> u64 {
+        let shift = attempt.saturating_sub(1).min(16);
+        let step = self
+            .backoff_base_us
+            .saturating_mul(1u64 << shift)
+            .min(self.backoff_cap_us)
+            .max(1);
+        let low = step / 2;
+        let span = step - low + 1;
+        low + splitmix64(self.jitter_seed ^ salt ^ u64::from(attempt)) % span
+    }
+}
+
+/// Circuit-breaker states, the classic three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls flow, consecutive failures are counted.
+    Closed,
+    /// Tripped: the provider is skipped until the cooldown elapses.
+    Open,
+    /// Probing: one call is allowed through; success closes the
+    /// breaker, failure re-opens it immediately.
+    HalfOpen,
+}
+
+/// Per-provider circuit breaker driven by consecutive transport-level
+/// failures (timeouts, corruptions, crashes — not fraud, which bans
+/// outright).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at_us: u64,
+    /// Closed/half-open → open transitions taken so far.
+    pub opens: u64,
+    /// Open → half-open transitions taken so far.
+    pub half_opens: u64,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at_us: 0,
+            opens: 0,
+            half_opens: 0,
+        }
+    }
+}
+
+impl CircuitBreaker {
+    /// Current state (open breakers stay `Open` here; they move to
+    /// half-open only through [`CircuitBreaker::allows`]).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether a call may be routed to this provider at simulated time
+    /// `now_us`. An open breaker whose cooldown has elapsed transitions
+    /// to half-open (counted) and admits the probe.
+    pub fn allows(&mut self, now_us: u64, config: &ResilienceConfig) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now_us.saturating_sub(self.opened_at_us) >= config.breaker_cooldown_us {
+                    self.state = BreakerState::HalfOpen;
+                    self.half_opens += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// A verified-good exchange: the breaker closes and the failure
+    /// streak resets.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// A transport-level failure at simulated time `now_us`. Trips to
+    /// open when the streak reaches the threshold, or immediately when
+    /// a half-open probe fails.
+    pub fn record_failure(&mut self, now_us: u64, config: &ResilienceConfig) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let trip = self.state == BreakerState::HalfOpen
+            || self.consecutive_failures >= config.breaker_threshold;
+        if trip && self.state != BreakerState::Open {
+            self.state = BreakerState::Open;
+            self.opened_at_us = now_us;
+            self.opens += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_trips_after_threshold() {
+        let config = ResilienceConfig::default();
+        let mut breaker = CircuitBreaker::default();
+        for _ in 0..config.breaker_threshold - 1 {
+            breaker.record_failure(100, &config);
+            assert_eq!(breaker.state(), BreakerState::Closed);
+        }
+        breaker.record_failure(100, &config);
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.opens, 1);
+        assert!(!breaker.allows(100, &config));
+    }
+
+    #[test]
+    fn open_breaker_half_opens_after_cooldown() {
+        let config = ResilienceConfig::default();
+        let mut breaker = CircuitBreaker::default();
+        for _ in 0..config.breaker_threshold {
+            breaker.record_failure(1_000, &config);
+        }
+        assert!(!breaker.allows(1_000 + config.breaker_cooldown_us - 1, &config));
+        assert!(breaker.allows(1_000 + config.breaker_cooldown_us, &config));
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        assert_eq!(breaker.half_opens, 1);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens_immediately() {
+        let config = ResilienceConfig::default();
+        let mut breaker = CircuitBreaker::default();
+        for _ in 0..config.breaker_threshold {
+            breaker.record_failure(0, &config);
+        }
+        assert!(breaker.allows(config.breaker_cooldown_us, &config));
+        breaker.record_failure(config.breaker_cooldown_us + 10, &config);
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.opens, 2);
+    }
+
+    #[test]
+    fn success_closes_and_resets_streak() {
+        let config = ResilienceConfig::default();
+        let mut breaker = CircuitBreaker::default();
+        breaker.record_failure(0, &config);
+        breaker.record_failure(0, &config);
+        breaker.record_success();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        // The streak restarted: threshold more failures are needed.
+        for _ in 0..config.breaker_threshold - 1 {
+            breaker.record_failure(0, &config);
+        }
+        assert_eq!(breaker.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_grows() {
+        let config = ResilienceConfig {
+            jitter_seed: 7,
+            ..ResilienceConfig::default()
+        };
+        for attempt in 1..=8 {
+            let a = config.backoff_us(attempt, 0xABCD);
+            let b = config.backoff_us(attempt, 0xABCD);
+            assert_eq!(a, b, "same inputs must give the same wait");
+            let step = (config.backoff_base_us << (attempt - 1).min(16)).min(config.backoff_cap_us);
+            assert!(
+                a >= step / 2 && a <= step,
+                "attempt {attempt}: {a} vs step {step}"
+            );
+        }
+        // Different salts decorrelate concurrent callers.
+        assert_ne!(config.backoff_us(1, 1), config.backoff_us(1, 2));
+    }
+}

@@ -37,6 +37,7 @@
 mod contention;
 pub mod dataset;
 mod deep_history;
+mod fault;
 mod latency;
 mod scalability;
 mod sim;
@@ -44,10 +45,17 @@ mod workload;
 
 pub use contention::{run_contention, ClientOutcome, ContentionConfig, ContentionReport};
 pub use deep_history::{run_deep_history, DeepHistoryConfig, DeepHistoryReport};
+pub use fault::{
+    splitmix64, CorruptionBurst, CrashWindow, FaultConfig, FaultCounters, FaultEffect, FaultPlane,
+    PartitionWindow, ProviderFaultRates,
+};
 pub use latency::LatencyModel;
 pub use scalability::{
     run_scalability_point, run_scalability_sweep, BaseRpcServer, ScalabilityConfig,
     ScalabilityPoint,
 };
-pub use sim::{latency_quantile_us, ExchangeStats, Network, NodeId, ProviderAggregate, SimError};
+pub use sim::{
+    latency_quantile_us, ExchangeStats, Network, NodeId, ProviderAggregate, SimError,
+    DEFAULT_CALL_DEADLINE_US,
+};
 pub use workload::{Workload, WorkloadKind};

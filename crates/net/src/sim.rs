@@ -1,6 +1,7 @@
 //! The deterministic in-process PARP network: one simulated chain, any
 //! number of PARP full nodes and light clients, and a logical clock.
 
+use crate::fault::{self, FaultConfig, FaultEffect, FaultPlane};
 use crate::latency::LatencyModel;
 use parp_chain::{BlockError, Blockchain, SignedTransaction};
 use parp_contracts::{
@@ -35,6 +36,14 @@ pub struct NodeId(pub usize);
 /// scalability sweep, the bench binaries) opt back into wall time via
 /// [`Network::set_time_source`].
 pub const DEFAULT_SERVE_QUANTUM_US: u64 = 50;
+
+/// Default per-call deadline budget against the simulated clock (µs):
+/// generous enough that no fault-free exchange comes near it, tight
+/// enough that *nothing* can hang the simulation — a dropped or
+/// partitioned exchange burns at most this much simulated time and
+/// surfaces as [`SimError::Timeout`]. Chaos scenarios tighten it via
+/// [`Network::set_call_deadline_us`].
+pub const DEFAULT_CALL_DEADLINE_US: u64 = 2_000_000;
 
 /// Aggregate traffic and timing statistics for one PARP exchange.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -212,6 +221,19 @@ pub enum SimError {
     /// A node with this registry address already exists in the
     /// simulation (same seed spawned twice).
     DuplicateNode(Address),
+    /// The exchange exceeded the per-call deadline budget (the message
+    /// was dropped, the provider partitioned away, or the response was
+    /// delayed past the deadline). The simulated clock was charged the
+    /// full deadline.
+    Timeout {
+        /// The provider the exchange was attempted against.
+        provider: Address,
+        /// The deadline budget that was burned (µs of simulated time).
+        deadline_us: u64,
+    },
+    /// The provider's process is down (fault-plane crash window): the
+    /// connection was refused immediately.
+    Crashed(Address),
 }
 
 impl fmt::Display for SimError {
@@ -229,6 +251,18 @@ impl fmt::Display for SimError {
                     "a full node with registry address {address} already exists \
                      (duplicate spawn seed?)"
                 )
+            }
+            SimError::Timeout {
+                provider,
+                deadline_us,
+            } => {
+                write!(
+                    f,
+                    "exchange with {provider} exceeded its {deadline_us} µs deadline"
+                )
+            }
+            SimError::Crashed(provider) => {
+                write!(f, "provider {provider} is down (connection refused)")
             }
         }
     }
@@ -302,6 +336,14 @@ pub struct Network {
     /// (see [`DEFAULT_SERVE_QUANTUM_US`]): deterministic by default,
     /// wall time when a measurement harness injects it.
     time: TimeSource,
+    /// The installed fault schedule, if any (see
+    /// [`Network::install_fault_plane`]).
+    fault: Option<FaultPlane>,
+    /// Per-call deadline budget in simulated µs (see
+    /// [`DEFAULT_CALL_DEADLINE_US`]). A dropped, partitioned, or
+    /// over-delayed exchange charges exactly this much simulated time
+    /// and returns [`SimError::Timeout`] — no exchange can hang.
+    call_deadline_us: u64,
 }
 
 /// The network's registered global metric handles.
@@ -352,6 +394,61 @@ impl Network {
             metrics: None,
             stages: StageRecorder::new(),
             time,
+            fault: None,
+            call_deadline_us: DEFAULT_CALL_DEADLINE_US,
+        }
+    }
+
+    /// Installs a seeded fault schedule: from now on every
+    /// `parp_call` / `parp_batch_call` / fan-out leg consults the plane
+    /// before flying. Replaces any previously installed plane (and its
+    /// step counter). With telemetry attached, the plane's injection
+    /// counters are registered immediately.
+    pub fn install_fault_plane(&mut self, config: FaultConfig) {
+        let plane = FaultPlane::new(config);
+        if let Some(telemetry) = &self.telemetry {
+            plane.register(telemetry);
+        }
+        self.fault = Some(plane);
+    }
+
+    /// The installed fault plane, if any (step counter + injection
+    /// counters).
+    pub fn fault_plane(&self) -> Option<&FaultPlane> {
+        self.fault.as_ref()
+    }
+
+    /// Sets the per-call deadline budget (simulated µs). Values below
+    /// one serve quantum are clamped to it.
+    pub fn set_call_deadline_us(&mut self, deadline_us: u64) {
+        self.call_deadline_us = deadline_us.max(DEFAULT_SERVE_QUANTUM_US);
+    }
+
+    /// The per-call deadline budget (simulated µs).
+    pub fn call_deadline_us(&self) -> u64 {
+        self.call_deadline_us
+    }
+
+    /// Advances the simulated clock by `us` without carrying any
+    /// traffic — how resilience layers above the network model backoff
+    /// waits and other deliberate pauses.
+    pub fn advance_clock(&mut self, us: u64) {
+        self.clock_us += us;
+    }
+
+    /// Draws the fault effect for one exchange attempt against node
+    /// `node_index` (no-op [`FaultEffect::None`] without a plane).
+    fn fault_effect(&mut self, node_index: usize) -> FaultEffect {
+        match &mut self.fault {
+            Some(plane) => plane.decide(node_index),
+            None => FaultEffect::None,
+        }
+    }
+
+    /// Counts one deadline burn on the plane's timeout counter.
+    fn note_timeout(&self) {
+        if let Some(plane) = &self.fault {
+            plane.note_timeout();
         }
     }
 
@@ -391,6 +488,9 @@ impl Network {
         });
         for (provider, aggregate) in &self.provider_stats {
             Self::register_provider(telemetry, *provider, aggregate);
+        }
+        if let Some(plane) = &self.fault {
+            plane.register(telemetry);
         }
         telemetry.tracer.name_track(0, "client");
         for (index, node) in self.nodes.iter_mut().enumerate() {
@@ -802,11 +902,49 @@ impl Network {
             .get(node_id.0)
             .ok_or(SimError::UnknownNode(node_id.0))?
             .address();
+        let deadline_us = self.call_deadline_us;
+        let effect = self.fault_effect(node_id.0);
+        match effect {
+            FaultEffect::Crashed => {
+                // Connection refused: the attempt costs one one-way hop.
+                self.provider_entry(provider).record_call();
+                self.note_provider_failure(provider);
+                self.clock_us += self.latency.one_way_us(64);
+                return Err(SimError::Crashed(provider));
+            }
+            FaultEffect::Partitioned => {
+                // The request vanishes into the partition; the caller's
+                // deadline burns in full.
+                self.provider_entry(provider).record_call();
+                self.note_provider_failure(provider);
+                self.note_timeout();
+                self.clock_us += deadline_us;
+                return Err(SimError::Timeout {
+                    provider,
+                    deadline_us,
+                });
+            }
+            _ => {}
+        }
         let request = client.request_from(provider, call)?;
         self.provider_entry(provider).record_call();
+        if effect == FaultEffect::Drop {
+            // The signed request was lost in flight: the client waits
+            // out its deadline, then abandons the in-flight entry (a
+            // retry re-presents the same cumulative amount, so dropping
+            // it is payment-safe).
+            client.forget_pending(provider, &request.request_hash);
+            self.note_provider_failure(provider);
+            self.note_timeout();
+            self.clock_us += deadline_us;
+            return Err(SimError::Timeout {
+                provider,
+                deadline_us,
+            });
+        }
         let trace_t0 = self.exchange_trace_start();
         let started = self.time.start();
-        let response = match self.serve(node_id, &request) {
+        let mut response = match self.serve(node_id, &request) {
             Ok(response) => response,
             Err(e) => {
                 self.note_provider_failure(provider);
@@ -814,12 +952,33 @@ impl Network {
             }
         };
         let server_us = self.time.elapsed_us(started);
+        if let FaultEffect::Corrupt { nudge } = effect {
+            // Transport corruption: flip a payload byte *without*
+            // re-signing — the §V-D signature check downstream refuses
+            // the response instead of surfacing the flipped bytes.
+            fault::corrupt_response(&mut response, nudge);
+        }
         // The client needs the header for res.m_B before verifying.
         self.sync_client(client);
         let request_bytes = request.encode().len();
         let response_bytes = response.encode().len();
         let proof_bytes = response.proof_bytes();
-        let network_us = self.latency.round_trip_us(request_bytes, response_bytes);
+        let mut network_us = self.latency.round_trip_us(request_bytes, response_bytes);
+        if let FaultEffect::Delay { added_us } = effect {
+            network_us += added_us;
+        }
+        if network_us + server_us > deadline_us {
+            // The response exists but arrived past the deadline: the
+            // client already walked away, so it is never classified.
+            client.forget_pending(provider, &request.request_hash);
+            self.note_provider_failure(provider);
+            self.note_timeout();
+            self.clock_us += deadline_us;
+            return Err(SimError::Timeout {
+                provider,
+                deadline_us,
+            });
+        }
         self.clock_us += network_us + server_us;
         // Scoped processing: the response arrived over this provider's
         // connection, so pairing can never cross onto another channel.
@@ -873,11 +1032,42 @@ impl Network {
             .ok_or(SimError::UnknownNode(node_id.0))?
             .address();
         let batch_size = calls.len() as u64;
+        let deadline_us = self.call_deadline_us;
+        let effect = self.fault_effect(node_id.0);
+        match effect {
+            FaultEffect::Crashed => {
+                self.provider_entry(provider).record_call();
+                self.note_provider_failure(provider);
+                self.clock_us += self.latency.one_way_us(64);
+                return Err(SimError::Crashed(provider));
+            }
+            FaultEffect::Partitioned => {
+                self.provider_entry(provider).record_call();
+                self.note_provider_failure(provider);
+                self.note_timeout();
+                self.clock_us += deadline_us;
+                return Err(SimError::Timeout {
+                    provider,
+                    deadline_us,
+                });
+            }
+            _ => {}
+        }
         let request = client.request_batch_from(provider, calls)?;
         self.provider_entry(provider).record_call();
+        if effect == FaultEffect::Drop {
+            client.forget_pending_batch(provider, &request.request_hash);
+            self.note_provider_failure(provider);
+            self.note_timeout();
+            self.clock_us += deadline_us;
+            return Err(SimError::Timeout {
+                provider,
+                deadline_us,
+            });
+        }
         let trace_t0 = self.exchange_trace_start();
         let started = self.time.start();
-        let response = match self.serve_batch(node_id, &request) {
+        let mut response = match self.serve_batch(node_id, &request) {
             Ok(response) => response,
             Err(e) => {
                 self.note_provider_failure(provider);
@@ -885,12 +1075,28 @@ impl Network {
             }
         };
         let server_us = self.time.elapsed_us(started);
+        if let FaultEffect::Corrupt { nudge } = effect {
+            fault::corrupt_batch_response(&mut response, nudge);
+        }
         // The client needs the header for res.m_B before verifying.
         self.sync_client(client);
         let request_bytes = request.encode().len();
         let response_bytes = response.encode().len();
         let proof_bytes = response.proof_bytes();
-        let network_us = self.latency.round_trip_us(request_bytes, response_bytes);
+        let mut network_us = self.latency.round_trip_us(request_bytes, response_bytes);
+        if let FaultEffect::Delay { added_us } = effect {
+            network_us += added_us;
+        }
+        if network_us + server_us > deadline_us {
+            client.forget_pending_batch(provider, &request.request_hash);
+            self.note_provider_failure(provider);
+            self.note_timeout();
+            self.clock_us += deadline_us;
+            return Err(SimError::Timeout {
+                provider,
+                deadline_us,
+            });
+        }
         self.clock_us += network_us + server_us;
         // Scoped processing: the response arrived over this provider's
         // connection, so pairing can never cross onto another channel.
@@ -955,23 +1161,51 @@ impl Network {
         legs: &[(NodeId, RpcCall)],
     ) -> Vec<Result<(ProcessOutcome, ExchangeStats), SimError>> {
         let trace_t0 = self.exchange_trace_start();
-        // Phase 1 (sequential): build one signed request per leg.
+        let deadline_us = self.call_deadline_us;
+        // Phase 1 (sequential): draw each leg's fault, then build one
+        // signed request per deliverable leg. Fault decisions are drawn
+        // here, before any parallel serving, so the schedule stays
+        // deterministic whatever the worker interleaving.
         let mut requests: Vec<Result<(Address, ParpRequest), SimError>> = Vec::new();
+        let mut effects: Vec<FaultEffect> = Vec::with_capacity(legs.len());
+        // Makespan charged by legs that never produce stats: crashed
+        // and timed-out legs still occupy the concurrent window.
+        let mut error_makespan_us = 0u64;
         for (node_id, call) in legs {
-            let built = match self.nodes.get(node_id.0) {
-                None => Err(SimError::UnknownNode(node_id.0)),
-                Some(node) => {
-                    let provider = node.address();
-                    self.provider_entry(provider).record_call();
-                    match client.request_from(provider, call.clone()) {
-                        Ok(request) => Ok((provider, request)),
-                        Err(e) => {
-                            self.note_provider_failure(provider);
-                            Err(e.into())
-                        }
-                    }
+            let provider = match self.nodes.get(node_id.0) {
+                None => {
+                    effects.push(FaultEffect::None);
+                    requests.push(Err(SimError::UnknownNode(node_id.0)));
+                    continue;
                 }
+                Some(node) => node.address(),
             };
+            self.provider_entry(provider).record_call();
+            let effect = self.fault_effect(node_id.0);
+            let built = match effect {
+                FaultEffect::Crashed => {
+                    self.note_provider_failure(provider);
+                    error_makespan_us = error_makespan_us.max(self.latency.one_way_us(64));
+                    Err(SimError::Crashed(provider))
+                }
+                FaultEffect::Partitioned => {
+                    self.note_provider_failure(provider);
+                    self.note_timeout();
+                    error_makespan_us = error_makespan_us.max(deadline_us);
+                    Err(SimError::Timeout {
+                        provider,
+                        deadline_us,
+                    })
+                }
+                _ => match client.request_from(provider, call.clone()) {
+                    Ok(request) => Ok((provider, request)),
+                    Err(e) => {
+                        self.note_provider_failure(provider);
+                        Err(e.into())
+                    }
+                },
+            };
+            effects.push(effect);
             requests.push(built);
         }
         // Phase 2: serve every buildable leg.
@@ -1049,6 +1283,64 @@ impl Network {
                 }
             }
         }
+        // Phase 2.5 (sequential): response-path transport faults.
+        // Corruption flips a byte in the served frame (signature left
+        // untouched, so classification catches it); drops and
+        // over-deadline delays turn served legs into timeouts before
+        // the client ever sees the response, so its payment ledger is
+        // never advanced by them.
+        let mut extra_delay_us: Vec<u64> = vec![0; legs.len()];
+        for index in 0..legs.len() {
+            let Ok((provider, request)) = &requests[index] else {
+                continue;
+            };
+            let provider = *provider;
+            let effect = effects[index];
+            match effect {
+                FaultEffect::Corrupt { nudge } => {
+                    if let Some((response, _)) = served[index].as_mut() {
+                        fault::corrupt_response(response, nudge);
+                    }
+                }
+                FaultEffect::Drop => {
+                    if served[index].take().is_some() {
+                        client.forget_pending(provider, &request.request_hash);
+                        self.note_timeout();
+                        error_makespan_us = error_makespan_us.max(deadline_us);
+                        serve_errors[index] = Some(SimError::Timeout {
+                            provider,
+                            deadline_us,
+                        });
+                    }
+                }
+                FaultEffect::None | FaultEffect::Delay { .. } => {
+                    let added_us = match effect {
+                        FaultEffect::Delay { added_us } => added_us,
+                        _ => 0,
+                    };
+                    if let Some((response, server_us)) = served[index].as_ref() {
+                        let request_bytes = request.encode().len();
+                        let response_bytes = response.encode().len();
+                        let leg_us = self.latency.round_trip_us(request_bytes, response_bytes)
+                            + added_us
+                            + server_us;
+                        if leg_us > deadline_us {
+                            served[index] = None;
+                            client.forget_pending(provider, &request.request_hash);
+                            self.note_timeout();
+                            error_makespan_us = error_makespan_us.max(deadline_us);
+                            serve_errors[index] = Some(SimError::Timeout {
+                                provider,
+                                deadline_us,
+                            });
+                        } else {
+                            extra_delay_us[index] = added_us;
+                        }
+                    }
+                }
+                FaultEffect::Crashed | FaultEffect::Partitioned => {}
+            }
+        }
         // The client needs headers for every served res.m_B.
         self.sync_client(client);
         // Phase 3: classify all served legs in parallel (one clone per
@@ -1086,7 +1378,8 @@ impl Network {
                             response_bytes,
                             proof_bytes: response.proof_bytes(),
                             server_us,
-                            network_us: self.latency.round_trip_us(request_bytes, response_bytes),
+                            network_us: self.latency.round_trip_us(request_bytes, response_bytes)
+                                + extra_delay_us[index],
                         };
                         // Every served leg flew its round trip, whatever
                         // the client concludes about the payload — it
@@ -1144,7 +1437,7 @@ impl Network {
             };
             results.push(result);
         }
-        self.clock_us += slowest_leg_us;
+        self.clock_us += slowest_leg_us.max(error_makespan_us);
         results
     }
 

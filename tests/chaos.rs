@@ -1,0 +1,295 @@
+//! Chaos-plane integration + property tests: any random fault schedule
+//! must yield zero accepted wrong payloads and zero unclassified call
+//! outcomes; same-seed runs must replay byte-identically (telemetry
+//! snapshots and payment trajectories); `ReputationWeighted` selection
+//! must learn to avoid a flaky-but-honest provider; and each injected
+//! fault class must surface as its own `FailoverCause`.
+
+use parp_suite::contracts::RpcCall;
+use parp_suite::gateway::{
+    run_chaos, ChaosConfig, FailoverCause, Gateway, GatewayConfig, ResilienceConfig,
+    SelectionPolicy,
+};
+use parp_suite::net::{FaultConfig, Network, ProviderFaultRates};
+use parp_suite::primitives::{Address, U256};
+use proptest::prelude::*;
+
+/// A small chaos network: `n` honest providers on a price ladder, 8
+/// funded read targets with their expected payloads, a tight per-call
+/// deadline, and a gateway under the given policy.
+fn chaos_fixture(
+    n: usize,
+    seed_tag: &str,
+    policy: SelectionPolicy,
+) -> (Network, Gateway, Vec<Address>, Vec<Vec<u8>>) {
+    let mut net = Network::new();
+    net.set_call_deadline_us(25_000);
+    for i in 0..n {
+        net.spawn_node(
+            format!("chaos-{seed_tag}-node-{i}").as_bytes(),
+            U256::from(10 * (i as u64 + 1)),
+        );
+    }
+    let targets: Vec<Address> = (0..8)
+        .map(|i| Address::from_low_u64_be(0xCA05_0000 + i))
+        .collect();
+    net.fund_many(&targets);
+    let expected: Vec<Vec<u8>> = targets
+        .iter()
+        .map(|t| {
+            net.chain()
+                .state()
+                .account(t)
+                .map(parp_suite::chain::Account::encode)
+                .unwrap_or_default()
+        })
+        .collect();
+    let client = net.spawn_client(
+        format!("chaos-{seed_tag}-client").as_bytes(),
+        U256::from(10u64),
+    );
+    let gateway = Gateway::new(
+        client,
+        GatewayConfig {
+            policy,
+            resilience: ResilienceConfig {
+                call_budget_us: 400_000,
+                breaker_cooldown_us: 100_000,
+                ..ResilienceConfig::default()
+            },
+            ..GatewayConfig::default()
+        },
+    );
+    (net, gateway, targets, expected)
+}
+
+#[test]
+fn reputation_weighted_learns_to_avoid_a_flaky_but_honest_provider() {
+    // Provider 0 is the cheapest, so the initial score tie sends the
+    // gateway straight into it — and it drops 90% of everything.
+    let (mut net, mut gateway, targets, expected) =
+        chaos_fixture(3, "flaky", SelectionPolicy::ReputationWeighted);
+    let flaky = net.registry()[0];
+    net.install_fault_plane(ChaosConfig::flaky_override(0));
+
+    let calls = 20usize;
+    let mut served = 0usize;
+    for i in 0..calls {
+        let index = i % targets.len();
+        let call = RpcCall::GetBalance {
+            address: targets[index],
+        };
+        if let Ok(bytes) = gateway.call(&mut net, call) {
+            served += 1;
+            assert_eq!(bytes, expected[index], "verified payloads only");
+        }
+    }
+    assert_eq!(served, calls, "reliable providers carry the workload");
+
+    // The flaky provider was tried, timed out, and scored down — the
+    // policy stopped feeding it long before the workload ended.
+    let flaky_rep = gateway.reputation().get(&flaky);
+    assert!(flaky_rep.timeouts >= 1, "the trap was actually sprung");
+    assert!(
+        flaky_rep.timeouts <= 4,
+        "selection must learn, not keep retrying the flake ({} timeouts)",
+        flaky_rep.timeouts
+    );
+    let reliable = net.registry()[1];
+    assert!(
+        gateway.reputation().score(&flaky) < gateway.reputation().score(&reliable),
+        "flaky {} vs reliable {}",
+        gateway.reputation().score(&flaky),
+        gateway.reputation().score(&reliable)
+    );
+    // Flaky-but-honest is not fraud: the provider stays trustworthy
+    // (and un-banned), it just loses the scoring contest.
+    assert!(flaky_rep.trustworthy());
+    assert_eq!(flaky_rep.fraud, 0);
+}
+
+#[test]
+fn each_fault_class_surfaces_as_its_own_failover_cause() {
+    // Crash window → FailoverCause::Crash.
+    let (mut net, mut gateway, targets, _) = chaos_fixture(2, "crash", SelectionPolicy::Cheapest);
+    let mut fault = FaultConfig::default();
+    fault.crashes.push(parp_suite::net::CrashWindow {
+        provider_index: 0,
+        from_step: 0,
+        until_step: 10_000,
+    });
+    net.install_fault_plane(fault);
+    gateway
+        .call(
+            &mut net,
+            RpcCall::GetBalance {
+                address: targets[0],
+            },
+        )
+        .expect("provider 1 serves");
+    assert!(
+        gateway
+            .failovers()
+            .iter()
+            .any(|f| matches!(f.cause, FailoverCause::Crash)),
+        "crash must be recorded as a Crash failover: {:?}",
+        gateway.failovers_by_cause()
+    );
+
+    // 100% corruption on provider 0 → FailoverCause::Corruption.
+    let (mut net, mut gateway, targets, _) = chaos_fixture(2, "corrupt", SelectionPolicy::Cheapest);
+    net.install_fault_plane(FaultConfig {
+        overrides: vec![ProviderFaultRates {
+            provider_index: 0,
+            drop_ppm: 0,
+            corrupt_ppm: 1_000_000,
+            delay_ppm: 0,
+        }],
+        ..FaultConfig::default()
+    });
+    gateway
+        .call(
+            &mut net,
+            RpcCall::GetBalance {
+                address: targets[0],
+            },
+        )
+        .expect("provider 1 serves");
+    assert!(
+        gateway
+            .failovers()
+            .iter()
+            .any(|f| matches!(f.cause, FailoverCause::Corruption)),
+        "corruption must be recorded as a Corruption failover: {:?}",
+        gateway.failovers_by_cause()
+    );
+
+    // 100% drop on provider 0 → retries burn, then FailoverCause::Timeout.
+    let (mut net, mut gateway, targets, _) = chaos_fixture(2, "drop", SelectionPolicy::Cheapest);
+    net.install_fault_plane(FaultConfig {
+        overrides: vec![ProviderFaultRates {
+            provider_index: 0,
+            drop_ppm: 1_000_000,
+            corrupt_ppm: 0,
+            delay_ppm: 0,
+        }],
+        ..FaultConfig::default()
+    });
+    gateway
+        .call(
+            &mut net,
+            RpcCall::GetBalance {
+                address: targets[0],
+            },
+        )
+        .expect("provider 1 serves");
+    assert!(
+        gateway
+            .failovers()
+            .iter()
+            .any(|f| matches!(f.cause, FailoverCause::Timeout)),
+        "drops must be recorded as a Timeout failover: {:?}",
+        gateway.failovers_by_cause()
+    );
+    assert!(gateway.retries() >= 1, "in-place retries fired first");
+}
+
+#[test]
+fn transient_failures_do_not_ban_and_payments_stay_monotone_across_reconnects() {
+    // Single provider that drops everything for a step window, then
+    // heals: the gateway must time out, reconnect later, and the
+    // provider's payment trail must stay cumulative (no regression when
+    // the fresh channel restarts at spent = 0).
+    let (mut net, mut gateway, targets, expected) =
+        chaos_fixture(1, "heal", SelectionPolicy::Cheapest);
+    let call = |t: usize| RpcCall::GetBalance {
+        address: targets[t],
+    };
+    // Clean serve first, payment committed on the original channel.
+    assert_eq!(
+        gateway.call(&mut net, call(0)).expect("clean serve"),
+        expected[0]
+    );
+    // Now wall the sole provider off (the step counter starts at the
+    // plane's install). The window must outlast what one call budget
+    // can burn through in retries, or the call simply rides it out.
+    let mut fault = FaultConfig::default();
+    fault.partitions.push(parp_suite::net::PartitionWindow {
+        provider_indices: vec![0],
+        from_step: 0,
+        until_step: 24,
+    });
+    net.install_fault_plane(fault);
+    // Inside the partition the sole provider times out; with nobody
+    // else to fail over to, the call errs (classified, not hung).
+    let during = gateway.call(&mut net, call(1));
+    assert!(during.is_err(), "partitioned sole provider cannot serve");
+    // Past the window the provider is *not* banned — once the breaker
+    // cooldown elapses, service resumes over a fresh channel.
+    let mut healed = None;
+    for _ in 0..16 {
+        net.advance_clock(200_000);
+        if let Ok(bytes) = gateway.call(&mut net, call(2)) {
+            healed = Some(bytes);
+            break;
+        }
+    }
+    let after = healed.expect("healed provider serves after the window");
+    assert_eq!(after, expected[2]);
+    assert!(
+        gateway.payments_monotone(),
+        "cumulative payments must survive the channel switch"
+    );
+    let provider = net.registry()[0];
+    let trail = &gateway.payment_trajectories()[&provider];
+    assert!(trail.len() >= 2);
+    assert!(
+        trail.windows(2).all(|w| w[0] <= w[1]),
+        "trail must be non-decreasing: {trail:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any random fault schedule: no accepted wrong payloads, no
+    /// unclassified outcomes, and same-seed replay is byte-identical
+    /// (metrics snapshot JSON + payment trajectories + final clock).
+    #[test]
+    fn any_fault_schedule_is_safe_and_replayable(
+        seed in any::<u64>(),
+        drop_ppm in 0u32..300_000,
+        corrupt_ppm in 0u32..150_000,
+        delay_ppm in 0u32..300_000,
+        crash in any::<bool>(),
+        partition in any::<bool>(),
+        bursts in any::<bool>(),
+    ) {
+        let config = ChaosConfig {
+            seed,
+            providers: 4,
+            calls: 12,
+            quorum_every: 4,
+            drop_ppm,
+            corrupt_ppm,
+            delay_ppm,
+            crash,
+            partition,
+            corruption_bursts: bursts,
+            ..ChaosConfig::default()
+        };
+        let a = run_chaos(&config);
+        prop_assert_eq!(a.wrong_payloads, 0, "no wrong payload under any schedule");
+        prop_assert_eq!(a.unclassified, 0, "every outcome classified");
+        prop_assert_eq!(
+            a.served + a.degraded + a.errored,
+            a.issued,
+            "no call may hang or vanish"
+        );
+        let b = run_chaos(&config);
+        prop_assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+        prop_assert_eq!(a.payment_digest, b.payment_digest);
+        prop_assert_eq!(a.clock_us, b.clock_us);
+        prop_assert_eq!(a.steps, b.steps);
+    }
+}
